@@ -1,0 +1,61 @@
+// Ablation: AS-ARBI's cover size m and cover ratio σ (DESIGN.md §6). The
+// paper reports little sensitivity to m in 1..10; this bench measures, for
+// each (m, σ), the fraction of correlated-attack queries answered
+// virtually and the attack's tail count ratio (1.0 = fully suppressed
+// decay).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  SyntheticCorpusConfig config;
+  config.vocabulary_size = 10000;
+  config.num_topics = 96;
+  config.words_per_topic = 300;
+  config.seed = 99;
+  SyntheticCorpusGenerator generator(config);
+  const Corpus corpus = generator.Generate(1050);
+  const Corpus external = generator.Generate(2500);
+  const InvertedIndex index(corpus);
+  PlainSearchEngine engine(index, 50);
+
+  CorrelatedQueryAttack::Options attack_options;
+  attack_options.num_queries = 94;
+  attack_options.min_cooccurrence = 3;
+  const CorrelatedQueryAttack attack(external, "sports", attack_options);
+
+  AsSimpleConfig simple_config;
+  simple_config.gamma = 2.0;
+
+  CsvTable table({"m", "sigma", "virtual_fraction", "tail_count_ratio"});
+  for (size_t m : {1, 2, 5, 10}) {
+    for (double sigma : {0.8, 1.0}) {
+      AsArbiConfig arbi_config;
+      arbi_config.simple = simple_config;
+      arbi_config.cover_size = m;
+      arbi_config.cover_ratio = sigma;
+      AsArbiEngine defended(engine, arbi_config);
+      const auto counts = attack.Run(defended);
+
+      double tail_sum = 0.0;
+      size_t tail_n = 0;
+      for (size_t i = counts.size() / 2; i < counts.size(); ++i) {
+        AsSimpleEngine fresh(engine, simple_config);
+        const double fresh_count = static_cast<double>(
+            fresh.Search(attack.queries()[i]).docs.size());
+        if (fresh_count == 0) continue;
+        tail_sum += static_cast<double>(counts[i]) / fresh_count;
+        ++tail_n;
+      }
+      const double virtual_fraction =
+          static_cast<double>(defended.stats().virtual_answers) /
+          static_cast<double>(defended.stats().queries_processed);
+      table.AddRow({static_cast<double>(m), sigma, virtual_fraction,
+                    tail_n == 0 ? 0.0 : tail_sum / static_cast<double>(tail_n)});
+    }
+  }
+  PrintFigure("ablation: AS-ARBI cover size m and cover ratio sigma", table);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 6: recall and precision of AS-ARBI vs. number of bona fide
+// (AOL-like) queries, over the S and 2S corpora.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = Gamma2Family();
+  const auto env = MakeEnv(params);
+  const Corpus small = env->SampleCorpus(params.corpus_sizes.front(), 1);
+  const Corpus large = env->SampleCorpus(params.corpus_sizes.back(), 4);
+  const size_t log_size = PaperScale() ? 35000 : 8000;
+
+  std::vector<std::vector<UtilityPoint>> series;
+  series.push_back(RunUtility(small, params, Defense::kArbi, log_size));
+  series.push_back(RunUtility(large, params, Defense::kArbi, log_size));
+  PrintFigure("fig06: AS-ARBI recall & precision vs AOL-like queries (k=5, "
+              "gamma=2)",
+              UtilityCsv({"S", "2S"}, series));
+  return 0;
+}

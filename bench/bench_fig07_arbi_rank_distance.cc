@@ -1,0 +1,28 @@
+// Figure 7: average generalized rank distance of AS-ARBI answers vs.
+// number of bona fide queries, over S and 2S.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = Gamma2Family();
+  const auto env = MakeEnv(params);
+  const Corpus small = env->SampleCorpus(params.corpus_sizes.front(), 1);
+  const Corpus large = env->SampleCorpus(params.corpus_sizes.back(), 4);
+  const size_t log_size = PaperScale() ? 35000 : 8000;
+
+  const auto series_small = RunUtility(small, params, Defense::kArbi, log_size);
+  const auto series_large = RunUtility(large, params, Defense::kArbi, log_size);
+
+  CsvTable table({"queries", "rankdist_S", "rankdist_2S"});
+  const size_t rows = std::min(series_small.size(), series_large.size());
+  for (size_t r = 0; r < rows; ++r) {
+    table.AddRow({static_cast<double>(series_small[r].queries),
+                  series_small[r].rank_distance,
+                  series_large[r].rank_distance});
+  }
+  PrintFigure("fig07: AS-ARBI rank distance vs AOL-like queries", table);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 8: UNBIASED-EST with and without AS-ARBI at obfuscation factor
+// γ = 5, over corpora T and 5T (same indistinguishable segment).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = Gamma5Family();
+  const auto env = MakeEnv(params);
+  const std::vector<Corpus> corpora = MakeCorpora(*env, params);
+
+  auto plain = RunUnbiasedSweep(*env, corpora, params, Defense::kNone,
+                               AggregateQuery::Count(), /*replicates=*/3);
+  auto arbi = RunUnbiasedSweep(*env, corpora, params, Defense::kArbi,
+                              AggregateQuery::Count(), /*replicates=*/3);
+  plain.insert(plain.end(), arbi.begin(), arbi.end());
+  PrintFigure("fig08: UNBIASED-EST +- AS-ARBI, gamma=5, corpora T/5T",
+              TrajectoriesToCsv({"T_unbiased", "5T_unbiased", "T_AS-ARBI",
+                                 "5T_AS-ARBI"},
+                                plain));
+  return 0;
+}

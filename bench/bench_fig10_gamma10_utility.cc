@@ -1,0 +1,22 @@
+// Figure 10: recall and precision of AS-ARBI at γ = 10 over T and 10T —
+// the utility cost of the more stringent obfuscation factor.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = Gamma10Family();
+  const auto env = MakeEnv(params);
+  const Corpus small = env->SampleCorpus(params.corpus_sizes.front(), 1);
+  const Corpus large = env->SampleCorpus(params.corpus_sizes.back(), 2);
+  const size_t log_size = PaperScale() ? 35000 : 6000;
+
+  std::vector<std::vector<UtilityPoint>> series;
+  series.push_back(RunUtility(small, params, Defense::kArbi, log_size));
+  series.push_back(RunUtility(large, params, Defense::kArbi, log_size));
+  PrintFigure("fig10: AS-ARBI recall & precision, gamma=10, corpora T/10T",
+              UtilityCsv({"T", "10T"}, series));
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 11: STRATIFIED-EST (the state-of-the-art stratified-sampling
+// estimator) with and without AS-ARBI over S and 2S — the defense is not
+// specific to UNBIASED-EST.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = Gamma2Family();
+  const auto env = MakeEnv(params);
+  const Corpus small = env->SampleCorpus(params.corpus_sizes.front(), 1);
+  const Corpus large = env->SampleCorpus(params.corpus_sizes.back(), 4);
+
+  std::vector<std::vector<EstimationPoint>> trajectories;
+  for (Defense defense : {Defense::kNone, Defense::kArbi}) {
+    for (const Corpus* corpus : {&small, &large}) {
+      EngineStack stack = MakeStack(*corpus, params, defense);
+      StratifiedEstimator::Options options;
+      options.seed = params.seed + 13;
+      StratifiedEstimator estimator(env->pool(), AggregateQuery::Count(),
+                                    FetchFrom(*corpus), options);
+      trajectories.push_back(
+          estimator.Run(stack.service(), params.budget, params.report_every));
+    }
+  }
+  PrintFigure(
+      "fig11: STRATIFIED-EST +- AS-ARBI, corpora S/2S (10 strata, 5 pilots)",
+      TrajectoriesToCsv(
+          {"S_stratified", "2S_stratified", "S_AS-ARBI", "2S_AS-ARBI"},
+          trajectories));
+  return 0;
+}

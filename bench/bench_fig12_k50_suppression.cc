@@ -1,0 +1,39 @@
+// Figure 12: UNBIASED-EST with and without AS-ARBI under a larger result
+// limit, k = 50, over S and 2S.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = K50Family();
+  const auto env = MakeEnv(params);
+  const Corpus small = env->SampleCorpus(params.corpus_sizes.front(), 1);
+  const Corpus large = env->SampleCorpus(params.corpus_sizes.back(), 4);
+
+  // k = 50 runs have few first-round samples per query budget (each
+  // first-round query costs ~k probe queries), so average three attack
+  // replicates to tame the heavy-tailed estimator noise.
+  std::vector<std::vector<EstimationPoint>> trajectories;
+  for (Defense defense : {Defense::kNone, Defense::kArbi}) {
+    for (const Corpus* corpus : {&small, &large}) {
+      std::vector<std::vector<EstimationPoint>> runs;
+      for (size_t rep = 0; rep < 3; ++rep) {
+        EngineStack stack = MakeStack(*corpus, params, defense);
+        UnbiasedEstimator::Options options;
+        options.seed = params.seed + 7 + rep * 101;
+        UnbiasedEstimator estimator(env->pool(), AggregateQuery::Count(),
+                                    FetchFrom(*corpus), options);
+        runs.push_back(estimator.Run(stack.service(), params.budget,
+                                     params.report_every));
+      }
+      trajectories.push_back(AverageTrajectories(runs));
+    }
+  }
+  PrintFigure("fig12: UNBIASED-EST +- AS-ARBI with k=50, corpora S/2S",
+              TrajectoriesToCsv(
+                  {"S_unbiased", "2S_unbiased", "S_AS-ARBI", "2S_AS-ARBI"},
+                  trajectories));
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 13: recall and precision of AS-ARBI with k = 50 over S and 2S.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = K50Family();
+  const auto env = MakeEnv(params);
+  const Corpus small = env->SampleCorpus(params.corpus_sizes.front(), 1);
+  const Corpus large = env->SampleCorpus(params.corpus_sizes.back(), 4);
+  const size_t log_size = PaperScale() ? 35000 : 6000;
+
+  std::vector<std::vector<UtilityPoint>> series;
+  series.push_back(RunUtility(small, params, Defense::kArbi, log_size));
+  series.push_back(RunUtility(large, params, Defense::kArbi, log_size));
+  PrintFigure("fig13: AS-ARBI recall & precision with k=50, corpora S/2S",
+              UtilityCsv({"S", "2S"}, series));
+  return 0;
+}

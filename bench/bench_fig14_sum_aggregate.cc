@@ -1,0 +1,44 @@
+// Figure 14: suppression of a SUM aggregate — the total length of all
+// documents containing the word "sports" — with and without AS-ARBI.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = Gamma2Family();
+  const auto env = MakeEnv(params);
+  const Corpus small = env->SampleCorpus(params.corpus_sizes.front(), 1);
+  const Corpus large = env->SampleCorpus(params.corpus_sizes.back(), 4);
+
+  const TermId sports = *env->vocabulary().Lookup("sports");
+  const AggregateQuery aggregate = AggregateQuery::SumLengthContaining(sports);
+
+  // SUM estimates are noisier than COUNT (only documents containing the
+  // selection term contribute), so average three attack replicates.
+  std::vector<std::vector<EstimationPoint>> trajectories;
+  for (Defense defense : {Defense::kNone, Defense::kArbi}) {
+    for (const Corpus* corpus : {&small, &large}) {
+      std::vector<std::vector<EstimationPoint>> runs;
+      for (size_t rep = 0; rep < 3; ++rep) {
+        EngineStack stack = MakeStack(*corpus, params, defense);
+        UnbiasedEstimator::Options options;
+        options.seed = params.seed + 7 + rep * 101;
+        UnbiasedEstimator estimator(env->pool(), aggregate,
+                                    FetchFrom(*corpus), options);
+        runs.push_back(estimator.Run(stack.service(), params.budget,
+                                     params.report_every));
+      }
+      trajectories.push_back(AverageTrajectories(runs));
+    }
+  }
+  std::fprintf(stdout, "# true SUM(length WHERE 'sports'): S=%.0f 2S=%.0f\n",
+               aggregate.TrueValue(small), aggregate.TrueValue(large));
+  PrintFigure(
+      "fig14: SUM(doc_length WHERE contains 'sports') +- AS-ARBI, S/2S",
+      TrajectoriesToCsv(
+          {"S_unbiased", "2S_unbiased", "S_AS-ARBI", "2S_AS-ARBI"},
+          trajectories));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 15: AS-ARBI's query-processing overhead — the ratio of the
+// defended engine's cumulative response time to the undefended engine's,
+// as the number of processed queries grows. The paper reports a small,
+// flat ratio (the trigger evaluation is skipped for broad queries and the
+// per-document signatures make it cheap otherwise).
+//
+// Also prints an ablation: the same ratio with the deterministic answer
+// cache disabled.
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace asup;
+using namespace asup::bench;
+
+std::vector<double> RatioSeries(const Corpus& corpus,
+                                const std::vector<KeywordQuery>& log,
+                                size_t k, bool cache,
+                                const std::vector<uint64_t>& checkpoints) {
+  EngineStack plain_stack = EngineStack::Plain(corpus, k);
+  AsArbiConfig config;
+  config.cache_answers = cache;
+  config.simple.cache_answers = cache;
+  EngineStack defended_stack = EngineStack::WithArbi(corpus, k, config);
+
+  TimingService plain_timer(plain_stack.service());
+  TimingService defended_timer(defended_stack.service());
+
+  std::vector<double> ratios;
+  size_t next = 0;
+  for (size_t i = 0; i < log.size(); ++i) {
+    plain_timer.Search(log[i]);
+    defended_timer.Search(log[i]);
+    if (next < checkpoints.size() && i + 1 == checkpoints[next]) {
+      ratios.push_back(defended_timer.MeanNanos() /
+                       std::max(plain_timer.MeanNanos(), 1.0));
+      ++next;
+    }
+  }
+  return ratios;
+}
+
+}  // namespace
+
+int main() {
+  const FamilyParams params = Gamma2Family();
+  const auto env = MakeEnv(params);
+  const Corpus corpus = env->SampleCorpus(params.corpus_sizes.back(), 4);
+
+  const size_t log_size = PaperScale() ? 35000 : 8000;
+  AolLikeConfig log_config;
+  log_config.log_size = log_size;
+  log_config.unique_queries = log_size / 3;
+  const AolLikeWorkload workload(corpus, log_config);
+
+  std::vector<uint64_t> checkpoints;
+  for (uint64_t c = log_size / 10; c <= log_size; c += log_size / 10) {
+    checkpoints.push_back(c);
+  }
+
+  const auto with_cache =
+      RatioSeries(corpus, workload.log(), params.k, true, checkpoints);
+  const auto without_cache =
+      RatioSeries(corpus, workload.log(), params.k, false, checkpoints);
+
+  CsvTable table({"queries", "time_ratio", "time_ratio_no_cache"});
+  for (size_t i = 0;
+       i < std::min({checkpoints.size(), with_cache.size(),
+                     without_cache.size()});
+       ++i) {
+    table.AddRow({static_cast<double>(checkpoints[i]), with_cache[i],
+                  without_cache[i]});
+  }
+  PrintFigure("fig15: AS-ARBI response-time ratio vs number of queries",
+              table);
+  return 0;
+}

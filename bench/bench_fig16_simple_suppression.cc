@@ -1,0 +1,32 @@
+// Figure 16: UNBIASED-EST with and without the basic AS-SIMPLE defense
+// over S and 2S.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = Gamma2Family();
+  const auto env = MakeEnv(params);
+  const Corpus small = env->SampleCorpus(params.corpus_sizes.front(), 1);
+  const Corpus large = env->SampleCorpus(params.corpus_sizes.back(), 4);
+
+  std::vector<std::vector<EstimationPoint>> trajectories;
+  for (Defense defense : {Defense::kNone, Defense::kSimple}) {
+    for (const Corpus* corpus : {&small, &large}) {
+      EngineStack stack = MakeStack(*corpus, params, defense);
+      UnbiasedEstimator::Options options;
+      options.seed = params.seed + 7;
+      UnbiasedEstimator estimator(env->pool(), AggregateQuery::Count(),
+                                  FetchFrom(*corpus), options);
+      trajectories.push_back(
+          estimator.Run(stack.service(), params.budget, params.report_every));
+    }
+  }
+  PrintFigure("fig16: UNBIASED-EST +- AS-SIMPLE, corpora S/2S",
+              TrajectoriesToCsv(
+                  {"S_unbiased", "2S_unbiased", "S_AS-SIMPLE", "2S_AS-SIMPLE"},
+                  trajectories));
+  return 0;
+}

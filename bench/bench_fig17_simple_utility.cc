@@ -1,0 +1,23 @@
+// Figure 17: recall and precision of the basic AS-SIMPLE defense over S
+// and 2S — visibly below AS-ARBI's utility (Figure 6), demonstrating the
+// benefit of virtual query processing.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = Gamma2Family();
+  const auto env = MakeEnv(params);
+  const Corpus small = env->SampleCorpus(params.corpus_sizes.front(), 1);
+  const Corpus large = env->SampleCorpus(params.corpus_sizes.back(), 4);
+  const size_t log_size = PaperScale() ? 35000 : 8000;
+
+  std::vector<std::vector<UtilityPoint>> series;
+  series.push_back(RunUtility(small, params, Defense::kSimple, log_size));
+  series.push_back(RunUtility(large, params, Defense::kSimple, log_size));
+  PrintFigure("fig17: AS-SIMPLE recall & precision vs AOL-like queries",
+              UtilityCsv({"S", "2S"}, series));
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 18: the correlated-query attack of Section 5.1 against corpus P
+// (segment bottom, μ ≈ 1). Under AS-SIMPLE the per-query count ratio
+// decays toward μ/γ as the attack's overlapping queries keep hitting
+// already-returned documents; AS-ARBI's virtual query processing holds the
+// ratio near 1.
+
+#include "bench_common.h"
+
+int main() {
+  asup::bench::RunCorrelatedFigure(
+      1050, "fig18: correlated-query attack, corpus P (1050 docs, k=50)");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 19: the correlated-query attack against corpus 2P. Here the
+// correlated queries overflow the top-k interface, so hidden documents are
+// replaced by lower-ranked matches and neither defense shows the decay —
+// the adversary distinguishes P from 2P only when AS-SIMPLE is used on P.
+
+#include "bench_common.h"
+
+int main() {
+  asup::bench::RunCorrelatedFigure(
+      2100, "fig19: correlated-query attack, corpus 2P (2100 docs, k=50)");
+  return 0;
+}

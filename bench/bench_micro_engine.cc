@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) of the substrate: index build,
+// query processing with and without the suppression layers, posting-list
+// decoding, and the AS-ARBI trigger machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "asup/engine/search_engine.h"
+#include "asup/index/inverted_index.h"
+#include "asup/suppress/as_arbi.h"
+#include "asup/suppress/as_simple.h"
+#include "asup/text/synthetic_corpus.h"
+#include "asup/workload/aol_like.h"
+
+namespace asup {
+namespace {
+
+struct MicroEnv {
+  MicroEnv() {
+    SyntheticCorpusConfig config;
+    config.vocabulary_size = 30000;
+    config.seed = 7;
+    SyntheticCorpusGenerator generator(config);
+    corpus = std::make_unique<Corpus>(generator.Generate(20000));
+    index = std::make_unique<InvertedIndex>(*corpus);
+    engine = std::make_unique<PlainSearchEngine>(*index, 5);
+    AolLikeConfig log_config;
+    log_config.log_size = 4000;
+    log_config.unique_queries = 2000;
+    workload = std::make_unique<AolLikeWorkload>(*corpus, log_config);
+  }
+  std::unique_ptr<Corpus> corpus;
+  std::unique_ptr<InvertedIndex> index;
+  std::unique_ptr<PlainSearchEngine> engine;
+  std::unique_ptr<AolLikeWorkload> workload;
+};
+
+MicroEnv& Env() {
+  static MicroEnv* env = new MicroEnv();
+  return *env;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const Corpus& corpus = *Env().corpus;
+  for (auto _ : state) {
+    InvertedIndex index(corpus);
+    benchmark::DoNotOptimize(index.stats().num_postings);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_IndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PlainSearch(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const auto& log = env.workload->log();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.engine->Search(log[i]).docs.size());
+    i = (i + 1) % log.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlainSearch);
+
+void BM_AsSimpleSearch(benchmark::State& state) {
+  MicroEnv& env = Env();
+  AsSimpleConfig config;
+  config.cache_answers = false;  // measure processing, not cache hits
+  AsSimpleEngine defended(*env.engine, config);
+  const auto& log = env.workload->log();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defended.Search(log[i]).docs.size());
+    i = (i + 1) % log.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AsSimpleSearch);
+
+void BM_AsArbiSearch(benchmark::State& state) {
+  MicroEnv& env = Env();
+  AsArbiConfig config;
+  config.cache_answers = false;
+  AsArbiEngine defended(*env.engine, config);
+  const auto& log = env.workload->log();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defended.Search(log[i]).docs.size());
+    i = (i + 1) % log.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AsArbiSearch);
+
+void BM_AsArbiSearchCached(benchmark::State& state) {
+  MicroEnv& env = Env();
+  AsArbiConfig config;
+  AsArbiEngine defended(*env.engine, config);
+  const auto& log = env.workload->log();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defended.Search(log[i]).docs.size());
+    i = (i + 1) % log.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AsArbiSearchCached);
+
+void BM_PostingDecode(benchmark::State& state) {
+  PostingList::Builder builder;
+  for (uint32_t d = 0; d < 10000; ++d) builder.Add(d * 3, 1 + d % 7);
+  const PostingList list = std::move(builder).Build();
+  for (auto _ : state) {
+    size_t total = 0;
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      total += it.Get().freq;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_PostingDecode);
+
+void BM_ConjunctiveMatch(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const auto& vocab = env.corpus->vocabulary();
+  const auto query = KeywordQuery::Parse(vocab, "sports game team");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.index->ConjunctiveMatch(query.terms()).size());
+  }
+}
+BENCHMARK(BM_ConjunctiveMatch);
+
+}  // namespace
+}  // namespace asup
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// (ε, δ, c, p)-privacy-game harness (Definition 1 / Theorem 4.1): plays
+// the Monte-Carlo game with UNBIASED-EST as the adversary against the
+// undefended, AS-SIMPLE- and AS-ARBI-defended engines, sweeping the
+// interval width ε. Suppression holds when the defended win rate stays at
+// or below the undefended one by a wide margin (Theorem 4.1's p = 50%).
+
+#include "asup/eval/privacy_game.h"
+
+#include "bench_common.h"
+
+int main() {
+  using namespace asup;
+  using namespace asup::bench;
+
+  const FamilyParams params = Gamma2Family();
+  ExperimentEnv::Options env_options;
+  env_options.universe_size = params.corpus_sizes.front();
+  env_options.held_out_size = params.held_out;
+  env_options.seed = params.seed;
+  const ExperimentEnv env(env_options);
+  const Corpus& corpus = env.universe();
+  const double truth = static_cast<double>(corpus.size());
+  const InvertedIndex index(corpus);
+  PlainSearchEngine plain(index, params.k);
+
+  CsvTable table({"epsilon_fraction", "win_plain", "win_AS-SIMPLE",
+                  "win_AS-ARBI", "mean_est_plain", "mean_est_AS-SIMPLE",
+                  "mean_est_AS-ARBI"});
+  for (double fraction : {0.25, 0.5, 0.75}) {
+    PrivacyGameConfig config;
+    config.epsilon = fraction * truth;
+    config.query_budget = PaperScale() ? 10000 : 3000;
+    config.trials = PaperScale() ? 10 : 6;
+
+    std::vector<double> wins;
+    std::vector<double> means;
+    const ServiceFactory factories[] = {
+        [&]() -> std::unique_ptr<SearchService> {
+          return std::make_unique<PlainSearchEngine>(index, params.k);
+        },
+        [&]() -> std::unique_ptr<SearchService> {
+          AsSimpleConfig simple_config;
+          simple_config.gamma = params.gamma;
+          return std::make_unique<AsSimpleEngine>(plain, simple_config);
+        },
+        [&]() -> std::unique_ptr<SearchService> {
+          AsArbiConfig arbi_config;
+          arbi_config.simple.gamma = params.gamma;
+          return std::make_unique<AsArbiEngine>(plain, arbi_config);
+        },
+    };
+    for (const auto& factory : factories) {
+      const PrivacyGameResult result =
+          PlayPrivacyGame(factory, env.pool(), AggregateQuery::Count(),
+                          FetchFrom(corpus), truth, config);
+      wins.push_back(result.win_rate);
+      means.push_back(result.estimates.Mean());
+    }
+    table.AddRow({fraction, wins[0], wins[1], wins[2], means[0], means[1],
+                  means[2]});
+  }
+  PrintFigure("privacy game: (eps, delta, c)-win rates, truth = " +
+                  std::to_string(static_cast<long long>(truth)),
+              table);
+  return 0;
+}

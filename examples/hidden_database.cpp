@@ -1,0 +1,123 @@
+// The paper's Section 8 extension target: a *structured* hidden database
+// behind a keyword-search interface. Tuples are flattened into documents
+// (footnote 1 of the paper), attribute-scoped terms carry the selection
+// condition, and AS-ARBI suppresses the aggregate with no changes.
+//
+//   ./hidden_database
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "asup/attack/unbiased_est.h"
+#include "asup/engine/search_engine.h"
+#include "asup/index/inverted_index.h"
+#include "asup/suppress/as_arbi.h"
+#include "asup/text/structured.h"
+#include "asup/text/synthetic_corpus.h"
+#include "asup/util/random.h"
+
+using namespace asup;
+
+int main() {
+  // An employment database: the agency supports individual record search
+  // but considers per-city layoff counts sensitive.
+  auto vocab = std::make_shared<Vocabulary>();
+  StructuredTable table(vocab, {"city", "employer", "status", "notes"});
+
+  const char* cities[] = {"springfield", "riverton", "lakewood", "fairview"};
+  const char* employers[] = {"acme", "globex", "initech", "umbrella",
+                             "stark", "wayne"};
+  const char* notes[] = {
+      "seasonal contract ended early",      "position relocated out of state",
+      "plant modernization program",        "role absorbed by automation",
+      "standard quarterly review outcome",  "voluntary departure package",
+      "department restructuring follow up", "new compliance requirements"};
+
+  // Free-text notes carry realistic rare words (names, case details), the
+  // substrate sampling attacks rely on.
+  Rng rng(17);
+  auto detail_words = Vocabulary::GenerateSynthetic(12000, rng);
+  ZipfDistribution detail_dist(12000, 1.05);
+  auto make_notes = [&](Rng& r) {
+    std::string text = notes[r.UniformBelow(8)];
+    for (int w = 0; w < 10; ++w) {
+      text += " " + detail_words->WordOf(
+                        static_cast<TermId>(detail_dist.Sample(r)));
+    }
+    return text;
+  };
+
+  for (int i = 0; i < 9000; ++i) {
+    const bool layoff = rng.Bernoulli(0.18);
+    table.AddTuple({cities[rng.UniformBelow(4)],
+                    employers[rng.UniformBelow(6)],
+                    layoff ? "laid off" : "employed", make_notes(rng)});
+  }
+  Corpus corpus = table.ToCorpus();
+
+  // A second, disjoint table from the same value distributions plays the
+  // adversary's external sample.
+  StructuredTable external_table(vocab,
+                                 {"city", "employer", "status", "notes"});
+  for (int i = 0; i < 3000; ++i) {
+    const bool layoff = rng.Bernoulli(0.18);
+    external_table.AddTuple({cities[rng.UniformBelow(4)],
+                             employers[rng.UniformBelow(6)],
+                             layoff ? "laid off" : "employed",
+                             make_notes(rng)});
+  }
+  // Shift ids so the corpora do not collide.
+  const Corpus external_raw = external_table.ToCorpus();
+  std::vector<Document> shifted;
+  for (const Document& doc : external_raw.documents()) {
+    shifted.emplace_back(doc.id() + 1000000, doc.terms(), doc.length());
+  }
+  Corpus external(vocab, std::move(shifted));
+
+  InvertedIndex index(corpus);
+  PlainSearchEngine engine(index, /*k=*/5);
+  AsArbiConfig defense;
+  AsArbiEngine defended(engine, defense);
+
+  // Individual record search keeps working.
+  const auto record_query =
+      KeywordQuery::Parse(*vocab, "springfield acme laid off");
+  std::printf("record search '%s': %zu results (defended: %zu)\n",
+              record_query.canonical().c_str(),
+              engine.Search(record_query).docs.size(),
+              defended.Search(record_query).docs.size());
+
+  // Sensitive aggregate: layoffs in Springfield, via scoped terms.
+  const TermId city = *table.AttributeTerm("city", "springfield");
+  const TermId status = *table.AttributeTerm("status", "laid");
+  const double truth = corpus.CountWhere([&](const Document& doc) {
+    return doc.Contains(city) && doc.Contains(status);
+  });
+
+  // Conjunctive attribute-scoped selection: laid-off AND in Springfield
+  // (the per-city count the agency considers sensitive).
+  const AggregateQuery aggregate =
+      AggregateQuery::CountContainingAll({city, status});
+  const double layoffs_total =
+      AggregateQuery::CountContaining(status).TrueValue(corpus);
+  std::printf("aggregate under attack: %s\n",
+              aggregate.Name(*vocab).c_str());
+
+  QueryPool pool(external);
+  UnbiasedEstimator attacker(pool, aggregate, FetchFrom(corpus));
+  const double est_plain =
+      attacker.Run(engine, /*query_budget=*/1500, 1500).back().estimate;
+  UnbiasedEstimator attacker2(pool, aggregate, FetchFrom(corpus));
+  const double est_defended =
+      attacker2.Run(defended, /*query_budget=*/1500, 1500).back().estimate;
+
+  std::printf("\nlayoff records (sensitive): %0.f total, %0.f in "
+              "Springfield\n",
+              layoffs_total, truth);
+  std::printf("adversary estimate, undefended : %.0f\n", est_plain);
+  std::printf("adversary estimate, AS-ARBI    : %.0f (segment top: %.0f "
+              "tuples)\n",
+              est_defended, defended.segment().segment_high());
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Interactive search shell over a synthetic (or saved) corpus, with the
+// suppression layers switchable at runtime. Useful for poking at the
+// defenses by hand.
+//
+//   ./search_repl [corpus.asup]
+//
+// Commands:
+//   <words...>           run a keyword query against the active engine
+//   :engine plain|simple|arbi|decline    switch the active engine
+//   :stats               print corpus/index/defense statistics
+//   :save <path>         persist the corpus for faster restarts
+//   :quit
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "asup/engine/search_engine.h"
+#include "asup/index/corpus_io.h"
+#include "asup/index/inverted_index.h"
+#include "asup/suppress/as_arbi.h"
+#include "asup/suppress/as_decline.h"
+#include "asup/suppress/as_simple.h"
+#include "asup/text/synthetic_corpus.h"
+
+using namespace asup;
+
+namespace {
+
+const char* StatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kUnderflow:
+      return "underflow";
+    case QueryStatus::kValid:
+      return "valid";
+    case QueryStatus::kOverflow:
+      return "overflow";
+    case QueryStatus::kDeclined:
+      return "declined";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<Corpus> corpus;
+  if (argc > 1) {
+    auto loaded = LoadCorpus(argv[1]);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load corpus from %s\n", argv[1]);
+      return 1;
+    }
+    corpus = std::make_unique<Corpus>(std::move(*loaded));
+    std::printf("loaded %zu documents from %s\n", corpus->size(), argv[1]);
+  } else {
+    std::printf("generating a 20000-document corpus...\n");
+    SyntheticCorpusConfig config;
+    config.seed = 42;
+    SyntheticCorpusGenerator generator(config);
+    corpus = std::make_unique<Corpus>(generator.Generate(20000));
+  }
+
+  InvertedIndex index(*corpus);
+  PlainSearchEngine plain(index, /*k=*/5);
+  AsSimpleConfig simple_config;
+  AsSimpleEngine simple(plain, simple_config);
+  AsArbiConfig arbi_config;
+  AsArbiEngine arbi(plain, arbi_config);
+  AsDeclineConfig decline_config;
+  AsDeclineEngine decline(plain, decline_config);
+
+  SearchService* active = &arbi;
+  std::string active_name = "arbi";
+  std::printf(
+      "engine: AS-ARBI (gamma=2). Type words to search, :engine to switch, "
+      ":quit to exit.\n");
+
+  std::string line;
+  while (std::printf("asup[%s]> ", active_name.c_str()),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line[0] == ':') {
+      std::istringstream command(line.substr(1));
+      std::string verb;
+      command >> verb;
+      if (verb == "quit" || verb == "q") break;
+      if (verb == "engine") {
+        std::string which;
+        command >> which;
+        if (which == "plain") {
+          active = &plain;
+        } else if (which == "simple") {
+          active = &simple;
+        } else if (which == "arbi") {
+          active = &arbi;
+        } else if (which == "decline") {
+          active = &decline;
+        } else {
+          std::printf("unknown engine '%s' (plain|simple|arbi|decline)\n",
+                      which.c_str());
+          continue;
+        }
+        active_name = which;
+      } else if (verb == "stats") {
+        const IndexStats& stats = index.stats();
+        std::printf("corpus: %zu docs, %llu tokens, vocab %zu\n",
+                    corpus->size(),
+                    (unsigned long long)corpus->TotalLength(),
+                    corpus->vocabulary().size());
+        std::printf("index: %zu terms, %llu postings, %llu bytes\n",
+                    stats.num_terms,
+                    (unsigned long long)stats.num_postings,
+                    (unsigned long long)stats.posting_bytes);
+        std::printf("segment: [%0.f, %0.f), mu=%.3f\n",
+                    simple.segment().segment_low(),
+                    simple.segment().segment_high(), simple.segment().mu());
+        std::printf("AS-SIMPLE: %llu queries, %zu activated docs\n",
+                    (unsigned long long)simple.stats().queries_processed,
+                    simple.NumActivatedDocs());
+        std::printf("AS-ARBI: %llu queries, %llu virtual, %llu history\n",
+                    (unsigned long long)arbi.stats().queries_processed,
+                    (unsigned long long)arbi.stats().virtual_answers,
+                    (unsigned long long)arbi.history().NumQueries());
+        std::printf("AS-DECLINE: %llu declined\n",
+                    (unsigned long long)decline.stats().declined);
+      } else if (verb == "save") {
+        std::string path;
+        command >> path;
+        std::printf(SaveCorpus(*corpus, path) ? "saved to %s\n"
+                                              : "save to %s FAILED\n",
+                    path.c_str());
+      } else {
+        std::printf("commands: :engine <e>, :stats, :save <path>, :quit\n");
+      }
+      continue;
+    }
+
+    const auto query = KeywordQuery::Parse(corpus->vocabulary(), line);
+    const SearchResult result = active->Search(query);
+    std::printf("'%s' -> %s, %zu docs\n", query.canonical().c_str(),
+                StatusName(result.status), result.docs.size());
+    for (const auto& scored : result.docs) {
+      const Document& doc = corpus->Get(scored.doc);
+      std::printf("  doc %-8u score %7.3f  length %u\n", scored.doc,
+                  scored.score, doc.length());
+    }
+  }
+  return 0;
+}

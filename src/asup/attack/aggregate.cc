@@ -1,0 +1,66 @@
+#include "asup/attack/aggregate.h"
+
+namespace asup {
+
+AggregateQuery AggregateQuery::Count() { return AggregateQuery(); }
+
+AggregateQuery AggregateQuery::CountContaining(TermId term) {
+  return CountContainingAll({term});
+}
+
+AggregateQuery AggregateQuery::CountContainingAll(std::vector<TermId> terms) {
+  AggregateQuery query;
+  query.required_terms_ = std::move(terms);
+  return query;
+}
+
+AggregateQuery AggregateQuery::SumLength() {
+  AggregateQuery query;
+  query.function_ = AggregateFunction::kSumLength;
+  return query;
+}
+
+AggregateQuery AggregateQuery::SumLengthContaining(TermId term) {
+  return SumLengthContainingAll({term});
+}
+
+AggregateQuery AggregateQuery::SumLengthContainingAll(
+    std::vector<TermId> terms) {
+  AggregateQuery query;
+  query.function_ = AggregateFunction::kSumLength;
+  query.required_terms_ = std::move(terms);
+  return query;
+}
+
+double AggregateQuery::MeasureOf(const Document& doc) const {
+  for (TermId term : required_terms_) {
+    if (!doc.Contains(term)) return 0.0;
+  }
+  switch (function_) {
+    case AggregateFunction::kCount:
+      return 1.0;
+    case AggregateFunction::kSumLength:
+      return static_cast<double>(doc.length());
+  }
+  return 0.0;
+}
+
+double AggregateQuery::TrueValue(const Corpus& corpus) const {
+  double total = 0.0;
+  for (const auto& doc : corpus.documents()) total += MeasureOf(doc);
+  return total;
+}
+
+std::string AggregateQuery::Name(const Vocabulary& vocabulary) const {
+  std::string name = function_ == AggregateFunction::kCount
+                         ? "COUNT(*)"
+                         : "SUM(doc_length)";
+  for (size_t i = 0; i < required_terms_.size(); ++i) {
+    name += i == 0 ? " WHERE contains '" : "' AND '";
+    name += vocabulary.WordOf(required_terms_[i]);
+  }
+  if (!required_terms_.empty()) name += "'";
+  return name;
+}
+
+}  // namespace asup

@@ -1,0 +1,73 @@
+#ifndef ASUP_ATTACK_AGGREGATE_H_
+#define ASUP_ATTACK_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "asup/text/corpus.h"
+#include "asup/text/document.h"
+
+namespace asup {
+
+/// Aggregate function of a sensitive query
+/// "SELECT AGGR(*) FROM corpus WHERE selection_condition" (Section 3.1).
+enum class AggregateFunction {
+  /// COUNT(*) — number of (selected) documents.
+  kCount,
+  /// SUM(doc_length) — total length of (selected) documents.
+  kSumLength,
+};
+
+/// A sensitive aggregate to be estimated (by attacks) or suppressed (by the
+/// defenses). The optional selection condition restricts the aggregate to
+/// documents containing one or more required terms (conjunctive) — enough
+/// to express the paper's experiments (COUNT(*), SUM(length WHERE contains
+/// "sports")) and attribute-scoped conditions over flattened structured
+/// tables ("city=springfield AND status=laid").
+class AggregateQuery {
+ public:
+  /// COUNT(*) over the whole corpus.
+  static AggregateQuery Count();
+
+  /// COUNT(*) restricted to documents containing `term`.
+  static AggregateQuery CountContaining(TermId term);
+
+  /// COUNT(*) restricted to documents containing *all* of `terms`.
+  static AggregateQuery CountContainingAll(std::vector<TermId> terms);
+
+  /// SUM(doc_length) over the whole corpus.
+  static AggregateQuery SumLength();
+
+  /// SUM(doc_length) restricted to documents containing `term`
+  /// (the paper's Figure 14 aggregate).
+  static AggregateQuery SumLengthContaining(TermId term);
+
+  /// SUM(doc_length) restricted to documents containing *all* of `terms`.
+  static AggregateQuery SumLengthContainingAll(std::vector<TermId> terms);
+
+  /// The document's contribution to the aggregate: 0 if it fails the
+  /// selection condition, else 1 (COUNT) or its length (SUM).
+  double MeasureOf(const Document& doc) const;
+
+  /// Ground truth over a corpus (what the adversary tries to estimate).
+  double TrueValue(const Corpus& corpus) const;
+
+  AggregateFunction function() const { return function_; }
+
+  /// The selection-condition terms (all must be contained); empty when
+  /// unconditioned.
+  const std::vector<TermId>& required_terms() const {
+    return required_terms_;
+  }
+
+  /// Human-readable name for experiment output.
+  std::string Name(const Vocabulary& vocabulary) const;
+
+ private:
+  AggregateFunction function_ = AggregateFunction::kCount;
+  std::vector<TermId> required_terms_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ATTACK_AGGREGATE_H_

@@ -1,0 +1,48 @@
+#include "asup/attack/brute_force.h"
+
+#include <numeric>
+
+namespace asup {
+
+BruteForceCrawler::BruteForceCrawler(const QueryPool& pool,
+                                     const AggregateQuery& aggregate,
+                                     DocFetcher fetcher,
+                                     const Options& options)
+    : pool_(&pool),
+      aggregate_(aggregate),
+      fetcher_(std::move(fetcher)),
+      options_(options) {}
+
+std::vector<EstimationPoint> BruteForceCrawler::Run(SearchService& service,
+                                                    uint64_t query_budget,
+                                                    uint64_t report_every) {
+  Rng rng(options_.seed);
+  crawled_.clear();
+  std::vector<uint64_t> order(pool_->size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::vector<EstimationPoint> points;
+  double total = 0.0;
+  uint64_t issued = 0;
+  uint64_t next_report = report_every;
+  for (uint64_t pick : order) {
+    if (issued >= query_budget) break;
+    const SearchResult result =
+        service.Search(pool_->QueryAt(static_cast<size_t>(pick)));
+    ++issued;
+    for (const ScoredDoc& scored : result.docs) {
+      if (crawled_.insert(scored.doc).second) {
+        total += aggregate_.MeasureOf(fetcher_(scored.doc));
+      }
+    }
+    if (issued >= next_report) {
+      points.push_back({issued, total});
+      next_report += report_every;
+    }
+  }
+  points.push_back({issued, total});
+  return points;
+}
+
+}  // namespace asup

@@ -1,0 +1,49 @@
+#ifndef ASUP_ATTACK_BRUTE_FORCE_H_
+#define ASUP_ATTACK_BRUTE_FORCE_H_
+
+#include <unordered_set>
+
+#include "asup/attack/estimator.h"
+
+namespace asup {
+
+/// The brute-force crawl of Section 2.2: issue pool queries (in random
+/// order) and tally the aggregate over every *distinct* document retrieved.
+///
+/// Included as the paper's strawman baseline: under the interface's top-k
+/// and query-number limits it can only lower-bound the aggregate, because
+/// the crawlable document count is capped at k per query and at
+/// k·query_budget overall — orders of magnitude below a real corpus.
+class BruteForceCrawler : public AggregateEstimator {
+ public:
+  struct Options {
+    uint64_t seed = 17;
+  };
+
+  BruteForceCrawler(const QueryPool& pool, const AggregateQuery& aggregate,
+                    DocFetcher fetcher, const Options& options);
+
+  BruteForceCrawler(const QueryPool& pool, const AggregateQuery& aggregate,
+                    DocFetcher fetcher)
+      : BruteForceCrawler(pool, aggregate, std::move(fetcher), Options()) {}
+
+  std::vector<EstimationPoint> Run(SearchService& service,
+                                   uint64_t query_budget,
+                                   uint64_t report_every) override;
+
+  const char* name() const override { return "BRUTE-FORCE"; }
+
+  /// Distinct documents retrieved in the last Run.
+  size_t NumCrawledDocs() const { return crawled_.size(); }
+
+ private:
+  const QueryPool* pool_;
+  AggregateQuery aggregate_;
+  DocFetcher fetcher_;
+  Options options_;
+  std::unordered_set<DocId> crawled_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ATTACK_BRUTE_FORCE_H_

@@ -1,0 +1,56 @@
+#include "asup/attack/correlated.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace asup {
+
+CorrelatedQueryAttack::CorrelatedQueryAttack(const Corpus& external,
+                                             const std::string& seed_word,
+                                             const Options& options) {
+  const Vocabulary& vocabulary = external.vocabulary();
+  auto seed = vocabulary.Lookup(seed_word);
+  if (!seed.has_value()) {
+    std::fprintf(stderr, "CorrelatedQueryAttack: seed word '%s' unknown\n",
+                 seed_word.c_str());
+    std::abort();
+  }
+
+  // Count words co-occurring with the seed in the external corpus.
+  std::unordered_map<TermId, uint32_t> cooccurrence;
+  for (const Document& doc : external.documents()) {
+    if (!doc.Contains(*seed)) continue;
+    for (const TermFreq& entry : doc.terms()) {
+      if (entry.term != *seed) cooccurrence[entry.term] += 1;
+    }
+  }
+  std::vector<std::pair<TermId, uint32_t>> ranked(cooccurrence.begin(),
+                                                  cooccurrence.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic ties
+  });
+
+  if (options.include_seed_query) {
+    queries_.push_back(KeywordQuery::FromTerms(vocabulary, {*seed}));
+  }
+  for (const auto& [term, count] : ranked) {
+    if (queries_.size() >= options.num_queries) break;
+    if (count < options.min_cooccurrence) break;
+    if (count > options.max_cooccurrence) continue;
+    queries_.push_back(KeywordQuery::FromTerms(vocabulary, {*seed, term}));
+  }
+}
+
+std::vector<size_t> CorrelatedQueryAttack::Run(SearchService& service) const {
+  std::vector<size_t> counts;
+  counts.reserve(queries_.size());
+  for (const KeywordQuery& query : queries_) {
+    counts.push_back(service.Search(query).docs.size());
+  }
+  return counts;
+}
+
+}  // namespace asup

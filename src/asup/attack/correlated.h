@@ -1,0 +1,65 @@
+#ifndef ASUP_ATTACK_CORRELATED_H_
+#define ASUP_ATTACK_CORRELATED_H_
+
+#include <string>
+#include <vector>
+
+#include "asup/engine/query.h"
+#include "asup/engine/search_service.h"
+#include "asup/text/corpus.h"
+
+namespace asup {
+
+/// The correlated-query attack against AS-SIMPLE (paper Section 5.1).
+///
+/// The adversary analyzes an *external* linguistic corpus to find words
+/// that strongly co-occur with a seed word, then issues the two-word
+/// queries (seed, w1), (seed, w2), ... in sequence. All these queries match
+/// subsets of the seed word's documents, so their answers overlap heavily;
+/// on a corpus near the *bottom* of its indistinguishable segment (μ ≈ 1),
+/// AS-SIMPLE's per-document edge removal makes the observed answer sizes
+/// decay across the sequence — revealing the corpus's position in the
+/// segment. AS-ARBI's virtual query processing removes the decay.
+class CorrelatedQueryAttack {
+ public:
+  struct Options {
+    /// Number of correlated queries to build (paper: 94).
+    size_t num_queries = 94;
+    /// Words must co-occur with the seed in at least this many external
+    /// documents to qualify.
+    size_t min_cooccurrence = 2;
+    /// Words co-occurring more often than this are skipped. A smart
+    /// adversary avoids the broadest pairs: queries that overflow the
+    /// top-k interface have their hidden documents replaced by lower-ranked
+    /// matches, which masks the degree decay the attack watches for.
+    size_t max_cooccurrence = SIZE_MAX;
+    /// Whether the bare seed word is issued as the first query. Off by
+    /// default for the same reason as max_cooccurrence: the seed alone
+    /// usually overflows.
+    bool include_seed_query = false;
+  };
+
+  /// Mines `external` (the adversary's linguistic corpus) for words
+  /// co-occurring with `seed_word`; the attack queries are the seed alone
+  /// followed by (seed, w) pairs in decreasing co-occurrence order.
+  CorrelatedQueryAttack(const Corpus& external, const std::string& seed_word,
+                        const Options& options);
+
+  CorrelatedQueryAttack(const Corpus& external, const std::string& seed_word)
+      : CorrelatedQueryAttack(external, seed_word, Options()) {}
+
+  /// The attack's query sequence.
+  const std::vector<KeywordQuery>& queries() const { return queries_; }
+
+  /// Issues the queries in order; element i is the number of documents
+  /// returned for queries()[i]. The adversary watches this sequence for
+  /// decay.
+  std::vector<size_t> Run(SearchService& service) const;
+
+ private:
+  std::vector<KeywordQuery> queries_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ATTACK_CORRELATED_H_

@@ -1,0 +1,50 @@
+#include "asup/attack/estimator.h"
+
+#include <algorithm>
+
+namespace asup {
+
+DocFetcher FetchFrom(const Corpus& corpus) {
+  return [&corpus](DocId id) -> const Document& { return corpus.Get(id); };
+}
+
+namespace attack_internal {
+
+double EstimateQueryContribution(SearchService& service, const QueryPool& pool,
+                                 const AggregateQuery& aggregate,
+                                 const DocFetcher& fetcher, Rng& rng,
+                                 size_t pool_index, uint64_t query_budget,
+                                 double max_trial_factor, uint64_t& issued) {
+  const SearchResult result = service.Search(pool.QueryAt(pool_index));
+  ++issued;
+  double contribution = 0.0;
+  for (const ScoredDoc& scored : result.docs) {
+    const Document& doc = fetcher(scored.doc);
+    const double measure = aggregate.MeasureOf(doc);
+    if (measure == 0.0) continue;  // outside the selection condition
+    const std::vector<uint32_t> matching = pool.MatchingQueries(doc);
+    if (matching.empty()) continue;
+
+    // Second-round sampling for the edge weight 1/deg_ret(X).
+    const uint64_t cap =
+        std::max<uint64_t>(16, static_cast<uint64_t>(
+                                   max_trial_factor *
+                                   static_cast<double>(matching.size())));
+    uint64_t trials = 0;
+    while (trials < cap && issued < query_budget) {
+      ++trials;
+      const uint32_t probe = matching[rng.UniformBelow(matching.size())];
+      const SearchResult probe_result = service.Search(pool.QueryAt(probe));
+      ++issued;
+      if (probe_result.Returned(scored.doc)) break;
+    }
+    contribution +=
+        (static_cast<double>(trials) / static_cast<double>(matching.size())) *
+        measure;
+  }
+  return contribution;
+}
+
+}  // namespace attack_internal
+
+}  // namespace asup

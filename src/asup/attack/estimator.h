@@ -1,0 +1,71 @@
+#ifndef ASUP_ATTACK_ESTIMATOR_H_
+#define ASUP_ATTACK_ESTIMATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "asup/attack/aggregate.h"
+#include "asup/attack/query_pool.h"
+#include "asup/engine/search_service.h"
+#include "asup/util/random.h"
+#include "asup/util/stats.h"
+
+namespace asup {
+
+/// One point of an estimate trajectory: the adversary's running estimate
+/// after spending `queries_issued` interface queries. The figures of the
+/// paper's Section 6 plot exactly these trajectories.
+struct EstimationPoint {
+  uint64_t queries_issued = 0;
+  double estimate = 0.0;
+};
+
+/// How the adversary reads a retrieved document's content. Returned
+/// documents are public (the search engine serves them), so the adversary
+/// can compute their aggregate measure and their matching query set M(X).
+using DocFetcher = std::function<const Document&(DocId)>;
+
+/// Standard fetcher over the engine's corpus.
+DocFetcher FetchFrom(const Corpus& corpus);
+
+/// Common interface of the aggregate-estimation attacks.
+class AggregateEstimator {
+ public:
+  virtual ~AggregateEstimator() = default;
+
+  /// Attacks `service`, issuing at most `query_budget` interface queries
+  /// (first- and second-round queries both count, as in the paper's
+  /// query-limit model), reporting the running estimate roughly every
+  /// `report_every` issued queries. The final point is always reported.
+  virtual std::vector<EstimationPoint> Run(SearchService& service,
+                                           uint64_t query_budget,
+                                           uint64_t report_every) = 0;
+
+  /// Attack name for experiment output.
+  virtual const char* name() const = 0;
+};
+
+namespace attack_internal {
+
+/// Shared inner routine of UNBIASED-EST and STRATIFIED-EST: issues pool
+/// query `pool_index` and estimates its per-query contribution
+/// Σ_{X returned} ŵ(X)·measure(X), where ŵ(X) is obtained by the
+/// second-round sampling of [Bar-Yossef & Gurevich]: repeatedly pick a
+/// uniform query from M(X) and issue it until one returns X again; with t
+/// trials, ŵ = t/|M(X)| is an unbiased estimate of 1/deg_ret(X).
+///
+/// `issued` is advanced by every interface query spent. Trials per edge are
+/// capped at max(16, max_trial_factor·|M(X)|) to bound worst-case budget
+/// burn; the cap only truncates the far tail of the geometric distribution.
+double EstimateQueryContribution(SearchService& service, const QueryPool& pool,
+                                 const AggregateQuery& aggregate,
+                                 const DocFetcher& fetcher, Rng& rng,
+                                 size_t pool_index, uint64_t query_budget,
+                                 double max_trial_factor, uint64_t& issued);
+
+}  // namespace attack_internal
+
+}  // namespace asup
+
+#endif  // ASUP_ATTACK_ESTIMATOR_H_

@@ -1,0 +1,143 @@
+#include "asup/attack/query_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "asup/util/hash.h"
+
+namespace asup {
+
+QueryPool::QueryPool(const Corpus& external_sample, const Options& options) {
+  // Count document frequencies of every word in the external sample.
+  std::unordered_map<TermId, uint32_t> df;
+  for (const Document& doc : external_sample.documents()) {
+    for (const TermFreq& entry : doc.terms()) df[entry.term] += 1;
+  }
+  const double max_df =
+      options.max_df_fraction * static_cast<double>(external_sample.size());
+  std::vector<TermId> terms;
+  terms.reserve(df.size());
+  for (const auto& [term, count] : df) {
+    if (static_cast<double>(count) <= max_df) terms.push_back(term);
+  }
+  std::sort(terms.begin(), terms.end());  // deterministic pool order
+
+  const Vocabulary& vocabulary = external_sample.vocabulary();
+  queries_.reserve(terms.size());
+  terms_.reserve(terms.size());
+  sample_df_.reserve(terms.size());
+  for (TermId term : terms) {
+    index_of_term_.emplace(term, static_cast<uint32_t>(queries_.size()));
+    queries_.push_back(KeywordQuery::FromTerms(vocabulary, {term}));
+    terms_.push_back(term);
+    sample_df_.push_back(df[term]);
+  }
+}
+
+QueryPool QueryPool::WordPairPool(const Corpus& external_sample,
+                                  size_t pairs_per_doc, uint64_t seed,
+                                  const Options& options) {
+  QueryPool pool;
+  pool.pair_pool_ = true;
+  Rng rng(seed);
+
+  // Pass 1: sample candidate pairs (low term, high term) from each doc.
+  auto pair_key = [](TermId low, TermId high) {
+    return (static_cast<uint64_t>(low) << 32) | high;
+  };
+  std::unordered_map<uint64_t, uint32_t> pair_df;
+  for (const Document& doc : external_sample.documents()) {
+    const auto& terms = doc.terms();
+    if (terms.size() < 2) continue;
+    for (size_t draw = 0; draw < pairs_per_doc; ++draw) {
+      const size_t a = rng.UniformBelow(terms.size());
+      const size_t b = rng.UniformBelow(terms.size());
+      if (a == b) continue;
+      const TermId low = std::min(terms[a].term, terms[b].term);
+      const TermId high = std::max(terms[a].term, terms[b].term);
+      pair_df.emplace(pair_key(low, high), 0);
+    }
+  }
+
+  // Pass 2: exact sample df of every candidate pair, via an incidence walk
+  // over each document's terms.
+  std::unordered_map<TermId, std::vector<TermId>> highs_by_low;
+  for (const auto& [key, unused] : pair_df) {
+    highs_by_low[static_cast<TermId>(key >> 32)].push_back(
+        static_cast<TermId>(key & 0xffffffffu));
+  }
+  for (const Document& doc : external_sample.documents()) {
+    for (const TermFreq& entry : doc.terms()) {
+      auto it = highs_by_low.find(entry.term);
+      if (it == highs_by_low.end()) continue;
+      for (TermId high : it->second) {
+        if (doc.Contains(high)) {
+          pair_df[pair_key(entry.term, high)] += 1;
+        }
+      }
+    }
+  }
+
+  // Deterministic order + df filter.
+  std::vector<uint64_t> keys;
+  keys.reserve(pair_df.size());
+  const double max_df =
+      options.max_df_fraction * static_cast<double>(external_sample.size());
+  for (const auto& [key, count] : pair_df) {
+    if (count >= 1 && static_cast<double>(count) <= max_df) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+
+  const Vocabulary& vocabulary = external_sample.vocabulary();
+  pool.queries_.reserve(keys.size());
+  pool.sample_df_.reserve(keys.size());
+  for (uint64_t key : keys) {
+    const TermId low = static_cast<TermId>(key >> 32);
+    const TermId high = static_cast<TermId>(key & 0xffffffffu);
+    const uint32_t index = static_cast<uint32_t>(pool.queries_.size());
+    pool.queries_.push_back(KeywordQuery::FromTerms(vocabulary, {low, high}));
+    pool.sample_df_.push_back(pair_df[key]);
+    pool.pairs_by_low_term_[low].push_back({index, high});
+  }
+  return pool;
+}
+
+TermId QueryPool::TermAt(size_t i) const {
+  if (pair_pool_) {
+    std::fprintf(stderr, "QueryPool::TermAt called on a pair pool\n");
+    std::abort();
+  }
+  return terms_[i];
+}
+
+std::vector<uint32_t> QueryPool::MatchingQueries(const Document& doc) const {
+  std::vector<uint32_t> result;
+  if (!pair_pool_) {
+    result.reserve(doc.terms().size());
+    for (const TermFreq& entry : doc.terms()) {
+      auto it = index_of_term_.find(entry.term);
+      if (it != index_of_term_.end()) result.push_back(it->second);
+    }
+    return result;
+  }
+  for (const TermFreq& entry : doc.terms()) {
+    auto it = pairs_by_low_term_.find(entry.term);
+    if (it == pairs_by_low_term_.end()) continue;
+    for (const auto& [index, high] : it->second) {
+      if (doc.Contains(high)) result.push_back(index);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+uint32_t QueryPool::IndexOfTerm(TermId term) const {
+  auto it = index_of_term_.find(term);
+  return it == index_of_term_.end() ? UINT32_MAX : it->second;
+}
+
+}  // namespace asup

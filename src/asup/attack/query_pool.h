@@ -1,0 +1,105 @@
+#ifndef ASUP_ATTACK_QUERY_POOL_H_
+#define ASUP_ATTACK_QUERY_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "asup/engine/query.h"
+#include "asup/text/corpus.h"
+#include "asup/util/random.h"
+
+namespace asup {
+
+/// The adversary's query pool Ω (Section 2.1 of the paper).
+///
+/// Built exactly as the published attacks build theirs: from an *external*
+/// sample of documents (the paper uses ODP pages not chosen into the corpus;
+/// we use held-out documents from the same synthetic universe). Two pool
+/// constructions are supported:
+///
+///  * **single-word** (the paper's Section 6.1 configuration, after [26]):
+///    every distinct word of the external sample;
+///  * **word-pair** (the phrase-style pools of [8, 9], which the paper's
+///    SIMPLE-ADV model references as the standard way to keep d_max small):
+///    conjunctive two-word queries sampled from co-occurring word pairs.
+///
+/// The pool also remembers each query's document frequency within the
+/// external sample — the adversary's only prior knowledge of query
+/// selectivity, used by STRATIFIED-EST's strata design.
+class QueryPool {
+ public:
+  struct Options {
+    /// Words (or pairs) appearing in more than this fraction of the
+    /// external sample's documents are excluded from the pool. Published
+    /// attack pools do the equivalent (stop-word removal / fixed-length
+    /// phrase queries): the SIMPLE-ADV model requires every document to be
+    /// *returned* by at most a small constant d_max pool queries, which
+    /// ultra-common words violate — and their answers are top-k-truncated
+    /// anyway, so they only add noise.
+    double max_df_fraction = 1.0;
+  };
+
+  /// Builds a single-word pool from the distinct words of `external_sample`.
+  QueryPool(const Corpus& external_sample, const Options& options);
+
+  explicit QueryPool(const Corpus& external_sample)
+      : QueryPool(external_sample, Options()) {}
+
+  /// Builds a word-pair pool: up to `pairs_per_doc` random co-occurring
+  /// word pairs are drawn from each external document (deduplicated across
+  /// documents), then filtered by `options.max_df_fraction` on the pair's
+  /// sample df.
+  static QueryPool WordPairPool(const Corpus& external_sample,
+                                size_t pairs_per_doc, uint64_t seed,
+                                const Options& options);
+
+  static QueryPool WordPairPool(const Corpus& external_sample,
+                                size_t pairs_per_doc, uint64_t seed) {
+    return WordPairPool(external_sample, pairs_per_doc, seed, Options());
+  }
+
+  /// Number of queries |Ω|.
+  size_t size() const { return queries_.size(); }
+
+  /// True for a word-pair pool.
+  bool is_pair_pool() const { return pair_pool_; }
+
+  /// The i-th pool query.
+  const KeywordQuery& QueryAt(size_t i) const { return queries_[i]; }
+
+  /// The term backing the i-th pool query (single-word pools only; aborts
+  /// on pair pools).
+  TermId TermAt(size_t i) const;
+
+  /// Uniform random pool index.
+  size_t SampleIndex(Rng& rng) const { return rng.UniformBelow(size()); }
+
+  /// Document frequency of the i-th query in the adversary's external
+  /// sample (selectivity prior; *not* the secret corpus df).
+  uint32_t SampleDf(size_t i) const { return sample_df_[i]; }
+
+  /// M(X): indices of the pool queries matching document X — computable by
+  /// the adversary from the retrieved document's content alone.
+  std::vector<uint32_t> MatchingQueries(const Document& doc) const;
+
+  /// Pool index of `term` (single-word pools), or UINT32_MAX if absent.
+  uint32_t IndexOfTerm(TermId term) const;
+
+ private:
+  QueryPool() = default;
+
+  bool pair_pool_ = false;
+  std::vector<KeywordQuery> queries_;
+  std::vector<TermId> terms_;  // single-word pools only
+  std::vector<uint32_t> sample_df_;
+  std::unordered_map<TermId, uint32_t> index_of_term_;
+  /// Pair pools: for each lower term, the (pool index, higher term) pairs.
+  std::unordered_map<TermId, std::vector<std::pair<uint32_t, TermId>>>
+      pairs_by_low_term_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ATTACK_QUERY_POOL_H_

@@ -1,0 +1,100 @@
+#include "asup/attack/stratified_est.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asup {
+
+StratifiedEstimator::StratifiedEstimator(const QueryPool& pool,
+                                         const AggregateQuery& aggregate,
+                                         DocFetcher fetcher,
+                                         const Options& options)
+    : pool_(&pool),
+      aggregate_(aggregate),
+      fetcher_(std::move(fetcher)),
+      options_(options) {
+  // Geometric df buckets: stratum j holds queries with sample-df in
+  // [2^j, 2^{j+1}), the last bucket open-ended. Empty buckets are dropped.
+  std::vector<std::vector<uint32_t>> buckets(options_.num_strata);
+  for (uint32_t i = 0; i < pool.size(); ++i) {
+    const double df = std::max<double>(pool.SampleDf(i), 1.0);
+    size_t bucket = static_cast<size_t>(std::log2(df));
+    bucket = std::min(bucket, options_.num_strata - 1);
+    buckets[bucket].push_back(i);
+  }
+  for (auto& bucket : buckets) {
+    if (!bucket.empty()) strata_.push_back(std::move(bucket));
+  }
+}
+
+double StratifiedEstimator::CurrentEstimate(
+    const std::vector<StreamingStats>& per_stratum) const {
+  double estimate = 0.0;
+  for (size_t s = 0; s < strata_.size(); ++s) {
+    if (per_stratum[s].count() == 0) continue;
+    estimate +=
+        static_cast<double>(strata_[s].size()) * per_stratum[s].Mean();
+  }
+  return estimate;
+}
+
+std::vector<EstimationPoint> StratifiedEstimator::Run(SearchService& service,
+                                                      uint64_t query_budget,
+                                                      uint64_t report_every) {
+  Rng rng(options_.seed);
+  std::vector<StreamingStats> per_stratum(strata_.size());
+  std::vector<EstimationPoint> points;
+  if (strata_.empty()) {
+    points.push_back({0, 0.0});
+    return points;
+  }
+  uint64_t issued = 0;
+  uint64_t next_report = report_every;
+
+  auto sample_stratum = [&](size_t s) {
+    const uint32_t pick = strata_[s][rng.UniformBelow(strata_[s].size())];
+    const double contribution = attack_internal::EstimateQueryContribution(
+        service, *pool_, aggregate_, fetcher_, rng, pick, query_budget,
+        options_.max_trial_factor, issued);
+    per_stratum[s].Add(contribution);
+    while (issued >= next_report) {
+      points.push_back({next_report, CurrentEstimate(per_stratum)});
+      next_report += report_every;
+    }
+  };
+
+  // Pilot phase: a few queries from every stratum to seed the variance
+  // estimates.
+  for (size_t round = 0;
+       round < options_.pilot_queries_per_stratum && issued < query_budget;
+       ++round) {
+    for (size_t s = 0; s < strata_.size() && issued < query_budget; ++s) {
+      sample_stratum(s);
+    }
+  }
+
+  // Main phase: Neyman allocation. Greedily sample the stratum whose
+  // (|Ω_s|·σ_s)/samples_s deficit is largest — equivalent to allocating the
+  // remaining budget proportionally to |Ω_s|·σ_s while staying adaptive as
+  // the variance estimates sharpen.
+  while (issued < query_budget) {
+    size_t best = 0;
+    double best_score = -1.0;
+    for (size_t s = 0; s < strata_.size(); ++s) {
+      const double sigma = std::max(per_stratum[s].StdDev(), 1e-9);
+      const double weight = static_cast<double>(strata_[s].size()) * sigma;
+      const double score =
+          weight / (static_cast<double>(per_stratum[s].count()) + 1.0);
+      if (score > best_score) {
+        best_score = score;
+        best = s;
+      }
+    }
+    sample_stratum(best);
+  }
+
+  points.push_back({issued, CurrentEstimate(per_stratum)});
+  return points;
+}
+
+}  // namespace asup

@@ -1,0 +1,43 @@
+#include "asup/attack/unbiased_est.h"
+
+namespace asup {
+
+UnbiasedEstimator::UnbiasedEstimator(const QueryPool& pool,
+                                     const AggregateQuery& aggregate,
+                                     DocFetcher fetcher,
+                                     const Options& options)
+    : pool_(&pool),
+      aggregate_(aggregate),
+      fetcher_(std::move(fetcher)),
+      options_(options) {}
+
+std::vector<EstimationPoint> UnbiasedEstimator::Run(SearchService& service,
+                                                    uint64_t query_budget,
+                                                    uint64_t report_every) {
+  Rng rng(options_.seed);
+  per_query_ = StreamingStats();
+  std::vector<EstimationPoint> points;
+  if (pool_->size() == 0) {
+    points.push_back({0, 0.0});
+    return points;
+  }
+  uint64_t issued = 0;
+  uint64_t next_report = report_every;
+  const double pool_size = static_cast<double>(pool_->size());
+
+  while (issued < query_budget) {
+    const size_t pick = pool_->SampleIndex(rng);
+    const double contribution = attack_internal::EstimateQueryContribution(
+        service, *pool_, aggregate_, fetcher_, rng, pick, query_budget,
+        options_.max_trial_factor, issued);
+    per_query_.Add(contribution * pool_size);
+    while (issued >= next_report) {
+      points.push_back({next_report, per_query_.Mean()});
+      next_report += report_every;
+    }
+  }
+  points.push_back({issued, per_query_.Mean()});
+  return points;
+}
+
+}  // namespace asup

@@ -1,0 +1,53 @@
+#ifndef ASUP_ATTACK_UNBIASED_EST_H_
+#define ASUP_ATTACK_UNBIASED_EST_H_
+
+#include "asup/attack/estimator.h"
+
+namespace asup {
+
+/// UNBIASED-EST [Bar-Yossef & Gurevich, WWW'07], as reviewed in
+/// Section 2.2 of the paper.
+///
+/// Repeatedly: draw a query q uniformly from the pool Ω, retrieve its
+/// answer, and for every returned document X estimate the edge weight
+/// w = 1/deg_ret(X) by second-round sampling over M(X). The per-query
+/// estimate |Ω|·Σ ŵ(X)·measure(X) is an unbiased estimator of the
+/// aggregate over pool-recallable documents; the running mean over sampled
+/// queries is reported as the trajectory.
+class UnbiasedEstimator : public AggregateEstimator {
+ public:
+  struct Options {
+    uint64_t seed = 7;
+    /// Cap on second-round trials per edge (multiple of |M(X)|).
+    double max_trial_factor = 8.0;
+  };
+
+  /// `pool` and the corpus behind `fetcher` are borrowed.
+  UnbiasedEstimator(const QueryPool& pool, const AggregateQuery& aggregate,
+                    DocFetcher fetcher, const Options& options);
+
+  UnbiasedEstimator(const QueryPool& pool, const AggregateQuery& aggregate,
+                    DocFetcher fetcher)
+      : UnbiasedEstimator(pool, aggregate, std::move(fetcher), Options()) {}
+
+  std::vector<EstimationPoint> Run(SearchService& service,
+                                   uint64_t query_budget,
+                                   uint64_t report_every) override;
+
+  const char* name() const override { return "UNBIASED-EST"; }
+
+  /// Moments of the per-query estimates from the last Run (adversarial
+  /// confidence intervals in the privacy game are built from these).
+  const StreamingStats& last_run_stats() const { return per_query_; }
+
+ private:
+  const QueryPool* pool_;
+  AggregateQuery aggregate_;
+  DocFetcher fetcher_;
+  Options options_;
+  StreamingStats per_query_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ATTACK_UNBIASED_EST_H_

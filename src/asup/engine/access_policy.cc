@@ -1,0 +1,27 @@
+#include "asup/engine/access_policy.h"
+
+namespace asup {
+
+SearchResult RateLimitedService::Search(const KeywordQuery& query) {
+  if (blocked() || queries_this_period_ >= policy_.queries_per_period) {
+    if (!blocked()) {
+      // Exceeding the quota triggers the block; block_periods == 0 means
+      // the client is never served again.
+      blocked_periods_remaining_ =
+          policy_.block_periods == 0 ? UINT64_MAX : policy_.block_periods;
+    }
+    ++refused_;
+    SearchResult refusal;
+    refusal.status = QueryStatus::kDeclined;
+    return refusal;
+  }
+  ++queries_this_period_;
+  return base_->Search(query);
+}
+
+void RateLimitedService::AdvancePeriod() {
+  queries_this_period_ = 0;
+  if (blocked_periods_remaining_ > 0) --blocked_periods_remaining_;
+}
+
+}  // namespace asup

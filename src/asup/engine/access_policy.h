@@ -1,0 +1,59 @@
+#ifndef ASUP_ENGINE_ACCESS_POLICY_H_
+#define ASUP_ENGINE_ACCESS_POLICY_H_
+
+#include <cstdint>
+
+#include "asup/engine/search_service.h"
+
+namespace asup {
+
+/// The interface access limits of Section 2.1: real search APIs cap the
+/// number of queries per client per period (e.g., Google's SOAP/JSON APIs
+/// allowed 1,000 / 100 queries per user per day) and block clients that
+/// exceed them. These limits are what makes the brute-force crawl of
+/// Section 2.2 infeasible.
+struct AccessPolicy {
+  /// Queries a client may issue per period.
+  uint64_t queries_per_period = 1000;
+
+  /// Periods after which a blocked client's count resets (1 = quota simply
+  /// refills each period; 0 = a client that exceeds the quota once is
+  /// blocked forever).
+  uint64_t block_periods = 1;
+};
+
+/// Per-client decorator enforcing an AccessPolicy. One instance models one
+/// client identity (an IP address); queries beyond the quota are refused
+/// with status kDeclined until AdvancePeriod() is called often enough.
+class RateLimitedService : public SearchService {
+ public:
+  RateLimitedService(SearchService& base, const AccessPolicy& policy)
+      : base_(&base), policy_(policy) {}
+
+  SearchResult Search(const KeywordQuery& query) override;
+
+  size_t k() const override { return base_->k(); }
+
+  /// Advances logical time by one period ("the next day").
+  void AdvancePeriod();
+
+  /// Queries issued in the current period.
+  uint64_t queries_this_period() const { return queries_this_period_; }
+
+  /// True if the client is currently refused service.
+  bool blocked() const { return blocked_periods_remaining_ > 0; }
+
+  /// Total queries refused so far.
+  uint64_t refused() const { return refused_; }
+
+ private:
+  SearchService* base_;
+  AccessPolicy policy_;
+  uint64_t queries_this_period_ = 0;
+  uint64_t blocked_periods_remaining_ = 0;
+  uint64_t refused_ = 0;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ENGINE_ACCESS_POLICY_H_

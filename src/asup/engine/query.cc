@@ -1,0 +1,68 @@
+#include "asup/engine/query.h"
+
+#include <algorithm>
+
+#include "asup/text/tokenizer.h"
+#include "asup/util/hash.h"
+
+namespace asup {
+
+namespace {
+
+std::string Lowercase(std::string_view word) {
+  std::string out(word);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+KeywordQuery KeywordQuery::FromWords(const Vocabulary& vocabulary,
+                                     const std::vector<std::string>& words) {
+  KeywordQuery query;
+  std::vector<std::string> canonical_words;
+  canonical_words.reserve(words.size());
+  for (const auto& raw : words) {
+    canonical_words.push_back(Lowercase(raw));
+  }
+  std::sort(canonical_words.begin(), canonical_words.end());
+  canonical_words.erase(
+      std::unique(canonical_words.begin(), canonical_words.end()),
+      canonical_words.end());
+
+  for (const auto& word : canonical_words) {
+    auto id = vocabulary.Lookup(word);
+    if (id.has_value()) {
+      query.terms_.push_back(*id);
+    } else {
+      query.has_unknown_word_ = true;
+    }
+    if (!query.canonical_.empty()) query.canonical_.push_back(' ');
+    query.canonical_ += word;
+  }
+  if (query.has_unknown_word_) {
+    // Conjunctive semantics: an unknown word means nothing matches; drop
+    // the term list so the engine can short-circuit to underflow.
+    query.terms_.clear();
+  }
+  std::sort(query.terms_.begin(), query.terms_.end());
+  query.hash_ = HashString(query.canonical_);
+  return query;
+}
+
+KeywordQuery KeywordQuery::FromTerms(const Vocabulary& vocabulary,
+                                     std::vector<TermId> terms) {
+  std::vector<std::string> words;
+  words.reserve(terms.size());
+  for (TermId term : terms) words.push_back(vocabulary.WordOf(term));
+  return FromWords(vocabulary, words);
+}
+
+KeywordQuery KeywordQuery::Parse(const Vocabulary& vocabulary,
+                                 std::string_view text) {
+  return FromWords(vocabulary, Tokenize(text));
+}
+
+}  // namespace asup

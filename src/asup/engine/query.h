@@ -1,0 +1,67 @@
+#ifndef ASUP_ENGINE_QUERY_H_
+#define ASUP_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asup/text/vocabulary.h"
+
+namespace asup {
+
+/// A conjunctive keyword query ("one or a few words"; a document matches iff
+/// it contains every word).
+///
+/// Queries are canonicalized — lowercased words, duplicates dropped, terms
+/// sorted — so that "2012 sigmod" and "SIGMOD 2012" are the same query. The
+/// canonical string and its 64-bit hash identify the query in AS-SIMPLE's
+/// answer cache and in AS-ARBI's per-document history signatures.
+class KeywordQuery {
+ public:
+  KeywordQuery() = default;
+
+  /// Builds a query from raw words; words unknown to `vocabulary` make the
+  /// query unanswerable (it matches no document) and are recorded verbatim
+  /// in the canonical form.
+  static KeywordQuery FromWords(const Vocabulary& vocabulary,
+                                const std::vector<std::string>& words);
+
+  /// Builds a query from term ids (all must be valid vocabulary ids).
+  static KeywordQuery FromTerms(const Vocabulary& vocabulary,
+                                std::vector<TermId> terms);
+
+  /// Parses whitespace/punctuation-separated text into a query.
+  static KeywordQuery Parse(const Vocabulary& vocabulary,
+                            std::string_view text);
+
+  /// Sorted distinct term ids (empty if any word was unknown — conjunctive
+  /// semantics make the whole query match nothing).
+  const std::vector<TermId>& terms() const { return terms_; }
+
+  /// True if some query word is not in the vocabulary.
+  bool has_unknown_word() const { return has_unknown_word_; }
+
+  /// True for the empty query.
+  bool empty() const { return canonical_.empty(); }
+
+  /// Canonical "word1 word2 ..." form.
+  const std::string& canonical() const { return canonical_; }
+
+  /// Hash of the canonical form.
+  uint64_t hash() const { return hash_; }
+
+  friend bool operator==(const KeywordQuery& a, const KeywordQuery& b) {
+    return a.canonical_ == b.canonical_;
+  }
+
+ private:
+  std::vector<TermId> terms_;
+  std::string canonical_;
+  uint64_t hash_ = 0;
+  bool has_unknown_word_ = false;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ENGINE_QUERY_H_

@@ -1,0 +1,45 @@
+#include "asup/engine/scoring.h"
+
+#include <cmath>
+
+namespace asup {
+
+double Bm25Scorer::Score(const InvertedIndex& index,
+                         std::span<const TermId> terms,
+                         const MatchedDoc& match) const {
+  const IndexStats& stats = index.stats();
+  const double n = static_cast<double>(stats.num_documents);
+  const double doc_len = index.DocAt(match.local_doc).length();
+  const double avg_len =
+      stats.average_doc_length > 0.0 ? stats.average_doc_length : 1.0;
+  double score = 0.0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const double df = static_cast<double>(index.DocumentFrequency(terms[i]));
+    const double idf = std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+    const double tf = static_cast<double>(match.freqs[i]);
+    const double norm = k1_ * (1.0 - b_ + b_ * doc_len / avg_len);
+    score += idf * tf * (k1_ + 1.0) / (tf + norm);
+  }
+  return score;
+}
+
+double TfIdfScorer::Score(const InvertedIndex& index,
+                          std::span<const TermId> terms,
+                          const MatchedDoc& match) const {
+  const double n = static_cast<double>(index.stats().num_documents);
+  const double doc_len = index.DocAt(match.local_doc).length();
+  double score = 0.0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const double df = static_cast<double>(index.DocumentFrequency(terms[i]));
+    if (df == 0.0) continue;
+    const double tf = 1.0 + std::log(static_cast<double>(match.freqs[i]));
+    score += tf * std::log(n / df);
+  }
+  return doc_len > 0.0 ? score / std::sqrt(doc_len) : score;
+}
+
+std::unique_ptr<ScoringFunction> MakeDefaultScorer() {
+  return std::make_unique<Bm25Scorer>();
+}
+
+}  // namespace asup

@@ -1,0 +1,55 @@
+#ifndef ASUP_ENGINE_SCORING_H_
+#define ASUP_ENGINE_SCORING_H_
+
+#include <memory>
+#include <span>
+
+#include "asup/index/inverted_index.h"
+#include "asup/text/vocabulary.h"
+
+namespace asup {
+
+/// The engine's ranking function.
+///
+/// The paper treats the enterprise scoring function as deterministic and
+/// proprietary (unknown to external users); any fixed implementation of
+/// this interface plays that role. Ties are broken by the engine on
+/// ascending document id, so ranking is a strict total order.
+class ScoringFunction {
+ public:
+  virtual ~ScoringFunction() = default;
+
+  /// Relevance of a matched document to the query terms. Higher is better.
+  virtual double Score(const InvertedIndex& index,
+                       std::span<const TermId> terms,
+                       const MatchedDoc& match) const = 0;
+};
+
+/// Okapi BM25 — the default ranking function of the substrate engine.
+class Bm25Scorer : public ScoringFunction {
+ public:
+  explicit Bm25Scorer(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+
+  double Score(const InvertedIndex& index, std::span<const TermId> terms,
+               const MatchedDoc& match) const override;
+
+ private:
+  double k1_;
+  double b_;
+};
+
+/// Classic TF-IDF with log-scaled term frequency; provided as an alternate
+/// "proprietary" ranker to demonstrate that the defenses are agnostic to the
+/// scoring function.
+class TfIdfScorer : public ScoringFunction {
+ public:
+  double Score(const InvertedIndex& index, std::span<const TermId> terms,
+               const MatchedDoc& match) const override;
+};
+
+/// Returns the library's default scorer (BM25 with standard parameters).
+std::unique_ptr<ScoringFunction> MakeDefaultScorer();
+
+}  // namespace asup
+
+#endif  // ASUP_ENGINE_SCORING_H_

@@ -1,0 +1,99 @@
+#include "asup/engine/search_engine.h"
+
+#include <algorithm>
+
+namespace asup {
+
+namespace {
+
+/// Ranking order: descending score, ties broken by ascending doc id so the
+/// engine is fully deterministic.
+bool RankBefore(const ScoredDoc& a, const ScoredDoc& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+}  // namespace
+
+PlainSearchEngine::PlainSearchEngine(const InvertedIndex& index, size_t k,
+                                     std::unique_ptr<ScoringFunction> scorer)
+    : index_(&index),
+      k_(k),
+      scorer_(scorer ? std::move(scorer) : MakeDefaultScorer()) {}
+
+RankedMatches PlainSearchEngine::TopMatches(const KeywordQuery& query,
+                                            size_t limit) const {
+  RankedMatches out;
+  if (query.terms().empty()) return out;  // unknown word or empty query
+  const std::vector<MatchedDoc> matches =
+      index_->ConjunctiveMatch(query.terms());
+  out.total_matches = matches.size();
+  if (matches.empty()) return out;
+
+  std::vector<ScoredDoc> scored;
+  scored.reserve(matches.size());
+  for (const MatchedDoc& match : matches) {
+    scored.push_back({index_->LocalToId(match.local_doc),
+                      scorer_->Score(*index_, query.terms(), match)});
+  }
+  if (limit < scored.size()) {
+    std::nth_element(scored.begin(), scored.begin() + limit, scored.end(),
+                     RankBefore);
+    scored.resize(limit);
+  }
+  std::sort(scored.begin(), scored.end(), RankBefore);
+  out.docs = std::move(scored);
+  return out;
+}
+
+SearchResult PlainSearchEngine::Search(const KeywordQuery& query) {
+  RankedMatches ranked = TopMatches(query, k_);
+  SearchResult result;
+  if (ranked.total_matches == 0) {
+    result.status = QueryStatus::kUnderflow;
+  } else if (ranked.total_matches > k_) {
+    result.status = QueryStatus::kOverflow;
+  } else {
+    result.status = QueryStatus::kValid;
+  }
+  result.docs = std::move(ranked.docs);
+  return result;
+}
+
+size_t PlainSearchEngine::MatchCount(const KeywordQuery& query) const {
+  if (query.terms().empty()) return 0;
+  return index_->MatchCount(query.terms());
+}
+
+std::vector<DocId> PlainSearchEngine::MatchIds(const KeywordQuery& query) const {
+  std::vector<DocId> ids;
+  if (query.terms().empty()) return ids;
+  const std::vector<MatchedDoc> matches =
+      index_->ConjunctiveMatch(query.terms());
+  ids.reserve(matches.size());
+  for (const MatchedDoc& match : matches) {
+    ids.push_back(index_->LocalToId(match.local_doc));
+  }
+  return ids;
+}
+
+std::vector<ScoredDoc> PlainSearchEngine::RankDocs(
+    const KeywordQuery& query, std::span<const DocId> docs) const {
+  std::vector<ScoredDoc> scored;
+  scored.reserve(docs.size());
+  for (DocId id : docs) {
+    const uint32_t local = index_->LocalOf(id);
+    MatchedDoc match;
+    match.local_doc = local;
+    const Document& doc = index_->DocAt(local);
+    match.freqs.reserve(query.terms().size());
+    for (TermId term : query.terms()) {
+      match.freqs.push_back(doc.FrequencyOf(term));
+    }
+    scored.push_back({id, scorer_->Score(*index_, query.terms(), match)});
+  }
+  std::sort(scored.begin(), scored.end(), RankBefore);
+  return scored;
+}
+
+}  // namespace asup

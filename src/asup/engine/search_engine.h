@@ -1,0 +1,70 @@
+#ifndef ASUP_ENGINE_SEARCH_ENGINE_H_
+#define ASUP_ENGINE_SEARCH_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "asup/engine/scoring.h"
+#include "asup/engine/search_service.h"
+#include "asup/index/inverted_index.h"
+
+namespace asup {
+
+/// Privileged (server-side) view of a query's matches: the full ranking the
+/// suppression layer needs — paper notation M(q) and |q| — which the public
+/// interface never exposes.
+struct RankedMatches {
+  /// Top `limit` matching documents, ranked by descending score with ties
+  /// broken by ascending document id.
+  std::vector<ScoredDoc> docs;
+
+  /// Total number of matching documents, |Sel(q)|.
+  size_t total_matches = 0;
+};
+
+/// The undefended enterprise search engine substrate: deterministic
+/// conjunctive keyword search with top-k truncation over an inverted index.
+///
+/// Plays the role of Windows Search 4.0 in the paper's experiments. The
+/// public `Search` obeys the restrictive interface model of Section 2.1;
+/// the suppression engines are constructed *around* a PlainSearchEngine and
+/// use its privileged `TopMatches` / `MatchIds` accessors.
+class PlainSearchEngine : public SearchService {
+ public:
+  /// Builds an engine over `index` (borrowed; must outlive the engine).
+  /// `scorer` defaults to BM25. `k` is the interface's result limit.
+  PlainSearchEngine(const InvertedIndex& index, size_t k,
+                    std::unique_ptr<ScoringFunction> scorer = nullptr);
+
+  SearchResult Search(const KeywordQuery& query) override;
+
+  size_t k() const override { return k_; }
+
+  /// Server-side: the top `limit` matches and the total match count.
+  RankedMatches TopMatches(const KeywordQuery& query, size_t limit) const;
+
+  /// Server-side: |Sel(q)|.
+  size_t MatchCount(const KeywordQuery& query) const;
+
+  /// Server-side: ids of all matching documents, ascending.
+  std::vector<DocId> MatchIds(const KeywordQuery& query) const;
+
+  /// Server-side: scores the given documents (each must match the query and
+  /// be in the corpus) and returns them ranked exactly as Search would.
+  /// Used by AS-ARBI's virtual query processing to rank an answer composed
+  /// from historic results.
+  std::vector<ScoredDoc> RankDocs(const KeywordQuery& query,
+                                  std::span<const DocId> docs) const;
+
+  const InvertedIndex& index() const { return *index_; }
+  const ScoringFunction& scorer() const { return *scorer_; }
+
+ private:
+  const InvertedIndex* index_;
+  size_t k_;
+  std::unique_ptr<ScoringFunction> scorer_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ENGINE_SEARCH_ENGINE_H_

@@ -1,0 +1,19 @@
+#include "asup/engine/search_service.h"
+
+#include <algorithm>
+
+namespace asup {
+
+std::vector<DocId> SearchResult::DocIds() const {
+  std::vector<DocId> ids;
+  ids.reserve(docs.size());
+  for (const auto& scored : docs) ids.push_back(scored.doc);
+  return ids;
+}
+
+bool SearchResult::Returned(DocId doc) const {
+  return std::any_of(docs.begin(), docs.end(),
+                     [doc](const ScoredDoc& s) { return s.doc == doc; });
+}
+
+}  // namespace asup

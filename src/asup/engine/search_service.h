@@ -1,0 +1,136 @@
+#ifndef ASUP_ENGINE_SEARCH_SERVICE_H_
+#define ASUP_ENGINE_SEARCH_SERVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asup/engine/query.h"
+#include "asup/text/document.h"
+#include "asup/util/stopwatch.h"
+
+namespace asup {
+
+/// Outcome of a keyword query at the restrictive top-k interface
+/// (Section 2.1 of the paper).
+enum class QueryStatus {
+  /// No document matched.
+  kUnderflow,
+  /// All matching documents were returned.
+  kValid,
+  /// More documents matched than were returned; the interface notifies the
+  /// user of the overflow but does not reveal the match count.
+  kOverflow,
+  /// The interface refused to answer: either the client exhausted its
+  /// query quota (Section 2.1's interface limits) or a decline-based
+  /// defense rejected the query (Section 5.2's strawman).
+  kDeclined,
+};
+
+/// One returned document with its (engine-internal) relevance score.
+struct ScoredDoc {
+  DocId doc = kInvalidDoc;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredDoc& a, const ScoredDoc& b) {
+    return a.doc == b.doc;
+  }
+};
+
+/// Answer to a keyword query: at most k documents, ranked by descending
+/// score (ties broken by ascending document id), plus the overflow /
+/// underflow notification. This is *all* an external user — bona fide or
+/// adversarial — observes.
+struct SearchResult {
+  QueryStatus status = QueryStatus::kUnderflow;
+  std::vector<ScoredDoc> docs;
+
+  /// Returns the ranked document ids.
+  std::vector<DocId> DocIds() const;
+
+  /// True if `doc` appears in the answer.
+  bool Returned(DocId doc) const;
+};
+
+/// The public keyword-search interface.
+///
+/// `PlainSearchEngine`, `AsSimpleEngine` and `AsArbiEngine` all implement
+/// this interface, so adversaries and workloads run unchanged against
+/// defended and undefended engines.
+class SearchService {
+ public:
+  virtual ~SearchService() = default;
+
+  /// Answers a keyword query. Deterministic: re-issuing the same query
+  /// returns the same answer (paper Section 2.1).
+  virtual SearchResult Search(const KeywordQuery& query) = 0;
+
+  /// The interface's result limit k.
+  virtual size_t k() const = 0;
+};
+
+/// Decorator that counts queries sent through it.
+///
+/// Models the per-user query-number limit of real interfaces and provides
+/// the x-axis ("No. of Queries") of every suppression experiment.
+class QueryCountingService : public SearchService {
+ public:
+  explicit QueryCountingService(SearchService& base) : base_(&base) {}
+
+  SearchResult Search(const KeywordQuery& query) override {
+    ++queries_issued_;
+    return base_->Search(query);
+  }
+
+  size_t k() const override { return base_->k(); }
+
+  /// Queries issued since construction or the last Reset().
+  uint64_t queries_issued() const { return queries_issued_; }
+
+  void Reset() { queries_issued_ = 0; }
+
+ private:
+  SearchService* base_;
+  uint64_t queries_issued_ = 0;
+};
+
+/// Decorator that accumulates wall-clock time spent answering queries
+/// (Figure 15 reports defended/undefended response-time ratios).
+class TimingService : public SearchService {
+ public:
+  explicit TimingService(SearchService& base) : base_(&base) {}
+
+  SearchResult Search(const KeywordQuery& query) override {
+    Stopwatch watch;
+    SearchResult result = base_->Search(query);
+    total_nanos_ += watch.ElapsedNanos();
+    ++queries_;
+    return result;
+  }
+
+  size_t k() const override { return base_->k(); }
+
+  int64_t total_nanos() const { return total_nanos_; }
+  uint64_t queries() const { return queries_; }
+
+  /// Mean per-query latency in nanoseconds (0 if no queries).
+  double MeanNanos() const {
+    return queries_ == 0
+               ? 0.0
+               : static_cast<double>(total_nanos_) /
+                     static_cast<double>(queries_);
+  }
+
+  void Reset() {
+    total_nanos_ = 0;
+    queries_ = 0;
+  }
+
+ private:
+  SearchService* base_;
+  int64_t total_nanos_ = 0;
+  uint64_t queries_ = 0;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ENGINE_SEARCH_SERVICE_H_

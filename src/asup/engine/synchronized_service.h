@@ -1,0 +1,36 @@
+#ifndef ASUP_ENGINE_SYNCHRONIZED_SERVICE_H_
+#define ASUP_ENGINE_SYNCHRONIZED_SERVICE_H_
+
+#include <mutex>
+
+#include "asup/engine/search_service.h"
+
+namespace asup {
+
+/// Thread-safety decorator.
+///
+/// The suppression engines are deliberately single-threaded: their mutable
+/// state (Θ_R, the answer history, the caches) *is* the defense, and it
+/// must evolve in one consistent order for the determinism guarantee of
+/// Section 2.1 to hold. A production deployment serving concurrent
+/// customers either shards defense state per index replica or serializes
+/// queries through this wrapper.
+class SynchronizedService : public SearchService {
+ public:
+  explicit SynchronizedService(SearchService& base) : base_(&base) {}
+
+  SearchResult Search(const KeywordQuery& query) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return base_->Search(query);
+  }
+
+  size_t k() const override { return base_->k(); }
+
+ private:
+  std::mutex mutex_;
+  SearchService* base_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ENGINE_SYNCHRONIZED_SERVICE_H_

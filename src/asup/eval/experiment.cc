@@ -1,0 +1,116 @@
+#include "asup/eval/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "asup/util/hash.h"
+
+namespace asup {
+
+bool PaperScale() {
+  const char* scale = std::getenv("ASUP_SCALE");
+  return scale != nullptr && std::strcmp(scale, "paper") == 0;
+}
+
+size_t ScaledSize(size_t small, size_t paper) {
+  return PaperScale() ? paper : small;
+}
+
+EngineStack::EngineStack(const Corpus& corpus, size_t k)
+    : index_(std::make_unique<InvertedIndex>(corpus)),
+      plain_(std::make_unique<PlainSearchEngine>(*index_, k)) {}
+
+EngineStack EngineStack::Plain(const Corpus& corpus, size_t k) {
+  return EngineStack(corpus, k);
+}
+
+EngineStack EngineStack::WithSimple(const Corpus& corpus, size_t k,
+                                    const AsSimpleConfig& config) {
+  EngineStack stack(corpus, k);
+  stack.simple_ = std::make_unique<AsSimpleEngine>(*stack.plain_, config);
+  return stack;
+}
+
+EngineStack EngineStack::WithArbi(const Corpus& corpus, size_t k,
+                                  const AsArbiConfig& config) {
+  EngineStack stack(corpus, k);
+  stack.arbi_ = std::make_unique<AsArbiEngine>(*stack.plain_, config);
+  return stack;
+}
+
+SearchService& EngineStack::service() {
+  if (arbi_ != nullptr) return *arbi_;
+  if (simple_ != nullptr) return *simple_;
+  return *plain_;
+}
+
+ExperimentEnv::ExperimentEnv(const Options& options) : options_(options) {
+  SyntheticCorpusConfig config = options.corpus_config;
+  config.seed = options.seed;
+  SyntheticCorpusGenerator generator(config);
+  universe_ = generator.Generate(options.universe_size);
+  held_out_ = generator.Generate(options.held_out_size);
+  QueryPool::Options pool_options;
+  pool_options.max_df_fraction = options.pool_max_df_fraction;
+  pool_ = std::make_unique<QueryPool>(held_out_, pool_options);
+}
+
+Corpus ExperimentEnv::SampleCorpus(size_t size, uint64_t salt) const {
+  Rng rng(HashCombine(options_.seed, salt));
+  return universe_.SampleSubcorpus(size, rng);
+}
+
+CsvTable TrajectoriesToCsv(
+    const std::vector<std::string>& series_names,
+    const std::vector<std::vector<EstimationPoint>>& trajectories) {
+  std::vector<std::string> columns{"queries"};
+  for (const auto& name : series_names) columns.push_back(name);
+  CsvTable table(std::move(columns));
+  size_t rows = SIZE_MAX;
+  for (const auto& trajectory : trajectories) {
+    rows = std::min(rows, trajectory.size());
+  }
+  if (rows == SIZE_MAX) rows = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<double> row;
+    row.push_back(static_cast<double>(trajectories[0][r].queries_issued));
+    for (const auto& trajectory : trajectories) {
+      row.push_back(trajectory[r].estimate);
+    }
+    table.AddRow(row);
+  }
+  return table;
+}
+
+void PrintFigure(const std::string& title, const CsvTable& table) {
+  std::cout << "# " << title << "\n";
+  table.Print(std::cout);
+  std::cout.flush();
+}
+
+double FinalEstimateSpread(
+    const std::vector<std::vector<EstimationPoint>>& trajectories) {
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  size_t count = 0;
+  for (const auto& trajectory : trajectories) {
+    if (trajectory.empty()) continue;
+    const double final = trajectory.back().estimate;
+    if (count == 0) {
+      min = final;
+      max = final;
+    } else {
+      min = std::min(min, final);
+      max = std::max(max, final);
+    }
+    sum += final;
+    ++count;
+  }
+  if (count < 2 || sum == 0.0) return 0.0;
+  return (max - min) / (sum / static_cast<double>(count));
+}
+
+}  // namespace asup

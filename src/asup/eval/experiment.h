@@ -1,0 +1,117 @@
+#ifndef ASUP_EVAL_EXPERIMENT_H_
+#define ASUP_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asup/attack/estimator.h"
+#include "asup/attack/query_pool.h"
+#include "asup/engine/search_engine.h"
+#include "asup/suppress/as_arbi.h"
+#include "asup/suppress/as_simple.h"
+#include "asup/text/synthetic_corpus.h"
+#include "asup/util/csv.h"
+
+namespace asup {
+
+/// True when the ASUP_SCALE environment variable is "paper": benches then
+/// use paper-scale corpus sizes and query budgets instead of the fast
+/// defaults.
+bool PaperScale();
+
+/// Picks the small- or paper-scale value of a parameter.
+size_t ScaledSize(size_t small, size_t paper);
+
+/// A corpus bound to its index, engine, and (optionally) a suppression
+/// layer. Keeps the borrowing chain (corpus -> index -> engine -> defense)
+/// alive in one owner; the corpus itself is borrowed and must outlive the
+/// stack.
+class EngineStack {
+ public:
+  /// Undefended engine.
+  static EngineStack Plain(const Corpus& corpus, size_t k);
+
+  /// Engine defended by AS-SIMPLE.
+  static EngineStack WithSimple(const Corpus& corpus, size_t k,
+                                const AsSimpleConfig& config);
+
+  /// Engine defended by AS-ARBI.
+  static EngineStack WithArbi(const Corpus& corpus, size_t k,
+                              const AsArbiConfig& config);
+
+  EngineStack(EngineStack&&) = default;
+  EngineStack& operator=(EngineStack&&) = default;
+
+  /// The outermost service (defended if a defense was attached).
+  SearchService& service();
+
+  PlainSearchEngine& plain() { return *plain_; }
+  const InvertedIndex& index() const { return *index_; }
+  AsSimpleEngine* simple() { return simple_.get(); }
+  AsArbiEngine* arbi() { return arbi_.get(); }
+
+ private:
+  explicit EngineStack(const Corpus& corpus, size_t k);
+
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<PlainSearchEngine> plain_;
+  std::unique_ptr<AsSimpleEngine> simple_;
+  std::unique_ptr<AsArbiEngine> arbi_;
+};
+
+/// Shared experiment environment: a document universe, nested corpora
+/// sampled from it, a held-out external sample, and the adversarial query
+/// pool built from that sample — the construction of Section 6.1.
+class ExperimentEnv {
+ public:
+  struct Options {
+    /// Size of the document universe corpora are sampled from.
+    size_t universe_size = 20000;
+    /// Held-out documents behind the adversary's query pool.
+    size_t held_out_size = 5000;
+    uint64_t seed = 42;
+    /// Base generator parameters (its seed is overridden by `seed`).
+    SyntheticCorpusConfig corpus_config;
+    /// Pool stop-word threshold (see QueryPool::Options::max_df_fraction).
+    double pool_max_df_fraction = 1.0;
+  };
+
+  explicit ExperimentEnv(const Options& options);
+
+  const Corpus& universe() const { return universe_; }
+  const Corpus& held_out() const { return held_out_; }
+  const QueryPool& pool() const { return *pool_; }
+  const Vocabulary& vocabulary() const { return universe_.vocabulary(); }
+
+  /// Samples a corpus of `size` documents (without replacement) from the
+  /// universe; `salt` decorrelates sibling corpora.
+  Corpus SampleCorpus(size_t size, uint64_t salt) const;
+
+ private:
+  Options options_;
+  Corpus universe_;
+  Corpus held_out_;
+  std::unique_ptr<QueryPool> pool_;
+};
+
+/// Zips same-length estimate trajectories into a CSV table
+/// ("queries", series...). Trajectories are truncated to the shortest.
+CsvTable TrajectoriesToCsv(const std::vector<std::string>& series_names,
+                           const std::vector<std::vector<EstimationPoint>>&
+                               trajectories);
+
+/// Prints "# <title>" followed by the table, to stdout.
+void PrintFigure(const std::string& title, const CsvTable& table);
+
+/// Distinguishability of a set of estimate trajectories: the relative
+/// spread (max − min)/mean of their *final* estimates. An adversary
+/// comparing corpora needs a spread larger than its estimator noise;
+/// suppression is working when the defended spread collapses relative to
+/// the undefended one. Returns 0 for fewer than two trajectories.
+double FinalEstimateSpread(
+    const std::vector<std::vector<EstimationPoint>>& trajectories);
+
+}  // namespace asup
+
+#endif  // ASUP_EVAL_EXPERIMENT_H_

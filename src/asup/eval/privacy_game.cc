@@ -1,0 +1,35 @@
+#include "asup/eval/privacy_game.h"
+
+#include <cmath>
+
+#include "asup/attack/unbiased_est.h"
+#include "asup/util/hash.h"
+
+namespace asup {
+
+PrivacyGameResult PlayPrivacyGame(const ServiceFactory& factory,
+                                  const QueryPool& pool,
+                                  const AggregateQuery& aggregate,
+                                  const DocFetcher& fetcher, double true_value,
+                                  const PrivacyGameConfig& config) {
+  PrivacyGameResult result;
+  result.true_value = true_value;
+  size_t wins = 0;
+  for (size_t trial = 0; trial < config.trials; ++trial) {
+    std::unique_ptr<SearchService> service = factory();
+    UnbiasedEstimator::Options options;
+    options.seed = HashCombine(config.seed, trial);
+    UnbiasedEstimator estimator(pool, aggregate, fetcher, options);
+    const std::vector<EstimationPoint> points =
+        estimator.Run(*service, config.query_budget, config.query_budget);
+    const double estimate = points.back().estimate;
+    result.estimates.Add(estimate);
+    if (std::abs(estimate - true_value) <= config.epsilon / 2.0) ++wins;
+  }
+  result.win_rate = config.trials == 0 ? 0.0
+                                       : static_cast<double>(wins) /
+                                             static_cast<double>(config.trials);
+  return result;
+}
+
+}  // namespace asup

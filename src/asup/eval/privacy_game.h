@@ -1,0 +1,57 @@
+#ifndef ASUP_EVAL_PRIVACY_GAME_H_
+#define ASUP_EVAL_PRIVACY_GAME_H_
+
+#include <functional>
+#include <memory>
+
+#include "asup/attack/estimator.h"
+#include "asup/attack/query_pool.h"
+#include "asup/engine/search_service.h"
+#include "asup/util/stats.h"
+
+namespace asup {
+
+/// Parameters of the (ε, δ, c)-privacy game of Section 3.1.
+struct PrivacyGameConfig {
+  /// Width ε of the interval the adversary must pin the aggregate into.
+  double epsilon = 0.0;
+
+  /// Query budget c per game.
+  uint64_t query_budget = 2000;
+
+  /// Independent Monte-Carlo plays (fresh defense state + fresh attack
+  /// randomness each time).
+  size_t trials = 15;
+
+  uint64_t seed = 99;
+};
+
+/// Outcome of the Monte-Carlo game.
+struct PrivacyGameResult {
+  double true_value = 0.0;
+  /// Fraction of plays where the adversary's best interval
+  /// [estimate − ε/2, estimate + ε/2] contained the truth. An
+  /// (ε, δ, c, p)-guarantee (Definition 1) demands this stay ≤ p.
+  double win_rate = 0.0;
+  /// Moments of the adversary's final estimates across plays.
+  StreamingStats estimates;
+};
+
+/// Builds a fresh defended (or undefended) engine for one play. Defense
+/// state (Θ_R, history, caches) accumulates within a play and must not leak
+/// across plays.
+using ServiceFactory = std::function<std::unique_ptr<SearchService>()>;
+
+/// Plays the (ε, δ, c)-game `config.trials` times with UNBIASED-EST as the
+/// adversary strategy and returns the empirical win rate. Comparing the win
+/// rate of a defended factory against an undefended one validates
+/// Theorem 4.1's suppression guarantee empirically.
+PrivacyGameResult PlayPrivacyGame(const ServiceFactory& factory,
+                                  const QueryPool& pool,
+                                  const AggregateQuery& aggregate,
+                                  const DocFetcher& fetcher, double true_value,
+                                  const PrivacyGameConfig& config);
+
+}  // namespace asup
+
+#endif  // ASUP_EVAL_PRIVACY_GAME_H_

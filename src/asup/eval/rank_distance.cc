@@ -1,0 +1,67 @@
+#include "asup/eval/rank_distance.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace asup {
+
+double TopKKendallDistance(const std::vector<DocId>& a,
+                           const std::vector<DocId>& b, double penalty) {
+  if (a.empty() && b.empty()) return 0.0;
+
+  // Rank maps; SIZE_MAX marks "not in the list".
+  std::unordered_map<DocId, size_t> rank_a;
+  std::unordered_map<DocId, size_t> rank_b;
+  for (size_t i = 0; i < a.size(); ++i) rank_a.emplace(a[i], i);
+  for (size_t i = 0; i < b.size(); ++i) rank_b.emplace(b[i], i);
+
+  std::vector<DocId> all = a;
+  for (DocId doc : b) {
+    if (rank_a.find(doc) == rank_a.end()) all.push_back(doc);
+  }
+
+  auto rank_of = [](const std::unordered_map<DocId, size_t>& ranks,
+                    DocId doc) -> size_t {
+    auto it = ranks.find(doc);
+    return it == ranks.end() ? SIZE_MAX : it->second;
+  };
+
+  double distance = 0.0;
+  double pairs = 0.0;
+  for (size_t x = 0; x < all.size(); ++x) {
+    for (size_t y = x + 1; y < all.size(); ++y) {
+      const size_t ax = rank_of(rank_a, all[x]);
+      const size_t ay = rank_of(rank_a, all[y]);
+      const size_t bx = rank_of(rank_b, all[x]);
+      const size_t by = rank_of(rank_b, all[y]);
+      pairs += 1.0;
+      const bool x_in_a = ax != SIZE_MAX;
+      const bool y_in_a = ay != SIZE_MAX;
+      const bool x_in_b = bx != SIZE_MAX;
+      const bool y_in_b = by != SIZE_MAX;
+      if (x_in_a && y_in_a && x_in_b && y_in_b) {
+        // Case 1: ordered oppositely?
+        if ((ax < ay) != (bx < by)) distance += 1.0;
+      } else if (x_in_a && y_in_a && (x_in_b != y_in_b)) {
+        // Case 2 (one of the pair missing from b): the one present in b is
+        // implicitly ranked above the missing one; disagreement iff a says
+        // otherwise.
+        const bool x_is_present_in_b = x_in_b;
+        if (x_is_present_in_b ? (ay < ax) : (ax < ay)) distance += 1.0;
+      } else if (x_in_b && y_in_b && (x_in_a != y_in_a)) {
+        const bool x_is_present_in_a = x_in_a;
+        if (x_is_present_in_a ? (by < bx) : (bx < by)) distance += 1.0;
+      } else if ((x_in_a && !x_in_b && !y_in_a && y_in_b) ||
+                 (!x_in_a && x_in_b && y_in_a && !y_in_b)) {
+        // Case 3: each appears in exactly one list, different lists.
+        distance += 1.0;
+      } else {
+        // Case 4: both missing from the same list.
+        distance += penalty;
+      }
+    }
+  }
+  return pairs == 0.0 ? 0.0 : distance / pairs;
+}
+
+}  // namespace asup

@@ -1,0 +1,30 @@
+#ifndef ASUP_EVAL_RANK_DISTANCE_H_
+#define ASUP_EVAL_RANK_DISTANCE_H_
+
+#include <vector>
+
+#include "asup/text/document.h"
+
+namespace asup {
+
+/// Generalized Kendall-tau distance between two top-k lists
+/// [Kumar & Vassilvitskii WWW'10; Fagin, Kumar & Sivakumar], the rank
+/// quality measure the paper reports in Figure 7.
+///
+/// Every unordered pair {i, j} of documents from the union of the lists
+/// contributes:
+///  * both in both lists, ranked in opposite orders           -> 1
+///  * i in both, j in one list only, j ranked above i there   -> 1
+///  * i only in the first list, j only in the second          -> 1
+///  * both missing from the same list                         -> `penalty`
+///    (the "optimistic" choice is 0, the neutral one 0.5)
+///  * otherwise                                               -> 0
+///
+/// The result is normalized by the total number of contributing pairs, so
+/// it lies in [0, 1]; identical lists score 0, disjoint lists score 1.
+double TopKKendallDistance(const std::vector<DocId>& a,
+                           const std::vector<DocId>& b, double penalty = 0.5);
+
+}  // namespace asup
+
+#endif  // ASUP_EVAL_RANK_DISTANCE_H_

@@ -1,0 +1,72 @@
+#include "asup/eval/utility.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "asup/eval/rank_distance.h"
+#include "asup/util/stats.h"
+
+namespace asup {
+
+namespace {
+
+size_t IntersectionSize(const SearchResult& a, const SearchResult& b) {
+  std::unordered_set<DocId> ids;
+  ids.reserve(a.docs.size() * 2);
+  for (const ScoredDoc& scored : a.docs) ids.insert(scored.doc);
+  size_t common = 0;
+  for (const ScoredDoc& scored : b.docs) common += ids.count(scored.doc);
+  return common;
+}
+
+}  // namespace
+
+void UtilityMeter::Observe(const SearchResult& plain,
+                           const SearchResult& suppressed) {
+  ++count_;
+  const size_t common = IntersectionSize(plain, suppressed);
+  recall_sum_ += plain.docs.empty()
+                     ? 1.0
+                     : static_cast<double>(common) /
+                           static_cast<double>(plain.docs.size());
+  precision_sum_ += suppressed.docs.empty()
+                        ? 1.0
+                        : static_cast<double>(common) /
+                              static_cast<double>(suppressed.docs.size());
+}
+
+double UtilityMeter::recall() const {
+  return count_ == 0 ? 1.0 : recall_sum_ / static_cast<double>(count_);
+}
+
+double UtilityMeter::precision() const {
+  return count_ == 0 ? 1.0 : precision_sum_ / static_cast<double>(count_);
+}
+
+std::vector<UtilityPoint> MeasureUtility(SearchService& plain,
+                                         SearchService& suppressed,
+                                         std::span<const KeywordQuery> log,
+                                         uint64_t report_every) {
+  UtilityMeter meter;
+  StreamingStats distances;
+  std::vector<UtilityPoint> points;
+  uint64_t issued = 0;
+  for (const KeywordQuery& query : log) {
+    const SearchResult before = plain.Search(query);
+    const SearchResult after = suppressed.Search(query);
+    meter.Observe(before, after);
+    distances.Add(TopKKendallDistance(before.DocIds(), after.DocIds()));
+    ++issued;
+    if (issued % report_every == 0) {
+      points.push_back(
+          {issued, meter.recall(), meter.precision(), distances.Mean()});
+    }
+  }
+  if (points.empty() || points.back().queries != issued) {
+    points.push_back(
+        {issued, meter.recall(), meter.precision(), distances.Mean()});
+  }
+  return points;
+}
+
+}  // namespace asup

@@ -1,0 +1,55 @@
+#ifndef ASUP_EVAL_UTILITY_H_
+#define ASUP_EVAL_UTILITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asup/engine/query.h"
+#include "asup/engine/search_service.h"
+
+namespace asup {
+
+/// Streaming recall / precision per Definition 2 of the paper:
+///
+///   recall    = (1/h) Σ_i |Res(q_i) ∩ ResAS(q_i)| / |Res(q_i)|
+///   precision = (1/h) Σ_i |Res(q_i) ∩ ResAS(q_i)| / |ResAS(q_i)|
+///
+/// where Res / ResAS are the answers before and after aggregate
+/// suppression. Queries with an empty denominator contribute 1 (nothing
+/// was lost / nothing spurious was added).
+class UtilityMeter {
+ public:
+  /// Incorporates one query's pair of answers.
+  void Observe(const SearchResult& plain, const SearchResult& suppressed);
+
+  double recall() const;
+  double precision() const;
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+  double recall_sum_ = 0.0;
+  double precision_sum_ = 0.0;
+};
+
+/// One point of a utility trajectory (the running averages after the first
+/// `queries` log entries — the x-axis of Figures 6/7/10/13/17).
+struct UtilityPoint {
+  uint64_t queries = 0;
+  double recall = 0.0;
+  double precision = 0.0;
+  double rank_distance = 0.0;
+};
+
+/// Replays `log` against the undefended and defended services side by side
+/// and records running recall / precision / average rank distance every
+/// `report_every` queries (plus a final point).
+std::vector<UtilityPoint> MeasureUtility(SearchService& plain,
+                                         SearchService& suppressed,
+                                         std::span<const KeywordQuery> log,
+                                         uint64_t report_every);
+
+}  // namespace asup
+
+#endif  // ASUP_EVAL_UTILITY_H_

@@ -1,0 +1,134 @@
+#include "asup/index/corpus_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace asup {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'S', 'U', 'P'};
+constexpr uint32_t kVersion = 1;
+
+void PutVar(uint32_t value, std::ostream& out) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+// Returns false on EOF/corruption.
+bool GetVar(std::istream& in, uint32_t& value) {
+  value = 0;
+  int shift = 0;
+  while (true) {
+    const int byte = in.get();
+    if (byte == EOF || shift > 28) return false;
+    value |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+}
+
+void PutU32(uint32_t value, std::ostream& out) {
+  for (int i = 0; i < 4; ++i) out.put(static_cast<char>(value >> (8 * i)));
+}
+
+bool GetU32(std::istream& in, uint32_t& value) {
+  value = 0;
+  for (int i = 0; i < 4; ++i) {
+    const int byte = in.get();
+    if (byte == EOF) return false;
+    value |= static_cast<uint32_t>(byte) << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kMagic, 4);
+  PutU32(kVersion, out);
+
+  const Vocabulary& vocab = corpus.vocabulary();
+  PutVar(static_cast<uint32_t>(vocab.size()), out);
+  for (TermId id = 0; id < vocab.size(); ++id) {
+    const std::string& word = vocab.WordOf(id);
+    PutVar(static_cast<uint32_t>(word.size()), out);
+    out.write(word.data(), static_cast<std::streamsize>(word.size()));
+  }
+
+  PutVar(static_cast<uint32_t>(corpus.size()), out);
+  for (const Document& doc : corpus.documents()) {
+    PutVar(doc.id(), out);
+    PutVar(doc.length(), out);
+    PutVar(static_cast<uint32_t>(doc.terms().size()), out);
+    TermId previous = 0;
+    for (const TermFreq& entry : doc.terms()) {
+      PutVar(entry.term - previous, out);  // terms are sorted ascending
+      PutVar(entry.freq, out);
+      previous = entry.term;
+    }
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::optional<Corpus> LoadCorpus(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) return std::nullopt;
+  uint32_t version = 0;
+  if (!GetU32(in, version) || version != kVersion) return std::nullopt;
+
+  uint32_t vocab_size = 0;
+  if (!GetVar(in, vocab_size)) return std::nullopt;
+  auto vocab = std::make_shared<Vocabulary>();
+  std::string word;
+  for (uint32_t i = 0; i < vocab_size; ++i) {
+    uint32_t length = 0;
+    if (!GetVar(in, length) || length > (1u << 20)) return std::nullopt;
+    word.resize(length);
+    in.read(word.data(), length);
+    if (!in) return std::nullopt;
+    if (vocab->AddWord(word) != i) return std::nullopt;  // duplicate word
+  }
+
+  uint32_t doc_count = 0;
+  if (!GetVar(in, doc_count)) return std::nullopt;
+  std::vector<Document> docs;
+  docs.reserve(doc_count);
+  for (uint32_t d = 0; d < doc_count; ++d) {
+    uint32_t id = 0;
+    uint32_t length = 0;
+    uint32_t num_terms = 0;
+    if (!GetVar(in, id) || !GetVar(in, length) || !GetVar(in, num_terms)) {
+      return std::nullopt;
+    }
+    std::vector<TermFreq> terms;
+    terms.reserve(num_terms);
+    TermId previous = 0;
+    for (uint32_t t = 0; t < num_terms; ++t) {
+      uint32_t delta = 0;
+      uint32_t freq = 0;
+      if (!GetVar(in, delta) || !GetVar(in, freq) || freq == 0) {
+        return std::nullopt;
+      }
+      const TermId term = previous + delta;
+      if (term >= vocab_size) return std::nullopt;
+      terms.push_back({term, freq});
+      previous = term;
+    }
+    docs.emplace_back(id, std::move(terms), length);
+  }
+  return Corpus(std::move(vocab), std::move(docs));
+}
+
+}  // namespace asup

@@ -1,0 +1,34 @@
+#ifndef ASUP_INDEX_CORPUS_IO_H_
+#define ASUP_INDEX_CORPUS_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "asup/text/corpus.h"
+
+namespace asup {
+
+/// Binary persistence for a corpus (vocabulary + bag-of-words documents).
+///
+/// An enterprise deployment indexes its documents once and reopens them
+/// across restarts; these helpers give experiments the same property, so a
+/// large synthetic universe can be generated once and shared between
+/// benchmark runs.
+///
+/// Format (little-endian, variable-byte integers):
+///   magic "ASUP", u32 version,
+///   vocab count, then per word: byte length + bytes,
+///   doc count, then per document: id, token length, distinct-term count,
+///   delta-encoded term ids interleaved with frequencies.
+
+/// Writes `corpus` to `path`. Returns false on I/O failure.
+bool SaveCorpus(const Corpus& corpus, const std::string& path);
+
+/// Reads a corpus from `path`. Returns nullopt if the file is missing,
+/// truncated, or not an ASUP corpus file. The loaded corpus owns a fresh
+/// vocabulary (term ids are preserved).
+std::optional<Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace asup
+
+#endif  // ASUP_INDEX_CORPUS_IO_H_

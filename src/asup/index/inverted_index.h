@@ -1,0 +1,96 @@
+#ifndef ASUP_INDEX_INVERTED_INDEX_H_
+#define ASUP_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asup/index/postings.h"
+#include "asup/text/corpus.h"
+
+namespace asup {
+
+/// A document matched by a conjunctive query, with per-query-term
+/// frequencies (inputs to the scoring function).
+struct MatchedDoc {
+  /// Dense per-index id; ascending local id == ascending universe DocId.
+  uint32_t local_doc;
+  /// Frequency of each query term in this document, in query-term order.
+  std::vector<uint32_t> freqs;
+};
+
+/// Summary statistics of an index.
+struct IndexStats {
+  size_t num_documents = 0;
+  size_t num_terms = 0;          // terms with non-empty posting lists
+  uint64_t num_postings = 0;     // total (term, doc) pairs
+  uint64_t posting_bytes = 0;    // compressed size of all posting lists
+  double average_doc_length = 0.0;
+};
+
+/// Immutable inverted index over a corpus: the storage layer of the
+/// enterprise search engine substrate.
+///
+/// Documents get dense *local ids* assigned in ascending universe-DocId
+/// order, so iteration and intersection results are deterministic and
+/// id-ordered regardless of corpus insertion order. The index borrows the
+/// corpus, which must outlive it.
+class InvertedIndex {
+ public:
+  /// Builds the index; O(total tokens).
+  explicit InvertedIndex(const Corpus& corpus);
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  /// Number of indexed documents.
+  size_t NumDocuments() const { return docs_by_local_.size(); }
+
+  /// The indexed corpus.
+  const Corpus& corpus() const { return *corpus_; }
+
+  /// Document for a local id. Requires local < NumDocuments().
+  const Document& DocAt(uint32_t local) const {
+    return *docs_by_local_[local];
+  }
+
+  /// Universe DocId for a local id.
+  DocId LocalToId(uint32_t local) const { return docs_by_local_[local]->id(); }
+
+  /// Local id for a universe DocId; aborts if the document is not indexed.
+  uint32_t LocalOf(DocId id) const;
+
+  /// Posting list of `term`; empty list if the term does not occur.
+  const PostingList& Postings(TermId term) const;
+
+  /// Document frequency of `term` in this corpus.
+  size_t DocumentFrequency(TermId term) const {
+    return Postings(term).size();
+  }
+
+  /// Returns all documents containing *every* term in `terms` (conjunctive
+  /// keyword-search semantics), ascending by local id, with per-term
+  /// frequencies. Duplicate terms are allowed and behave as a single
+  /// occurrence (frequencies are still reported per input position).
+  /// An empty `terms` matches nothing.
+  std::vector<MatchedDoc> ConjunctiveMatch(std::span<const TermId> terms) const;
+
+  /// Number of documents matching the conjunctive query (the |q| of the
+  /// paper). Equivalent to ConjunctiveMatch(terms).size() but avoids
+  /// materializing frequencies.
+  size_t MatchCount(std::span<const TermId> terms) const;
+
+  /// Corpus-wide statistics.
+  const IndexStats& stats() const { return stats_; }
+
+ private:
+  const Corpus* corpus_;
+  std::vector<const Document*> docs_by_local_;
+  std::vector<PostingList> postings_;  // indexed by TermId
+  PostingList empty_list_;
+  IndexStats stats_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_INDEX_INVERTED_INDEX_H_

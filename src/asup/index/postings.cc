@@ -1,0 +1,104 @@
+#include "asup/index/postings.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace asup {
+
+void AppendVarByte(uint32_t value, std::vector<uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+uint32_t ReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset) {
+  uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    assert(offset < bytes.size());
+    const uint8_t byte = bytes[offset++];
+    value |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+void PostingList::Builder::Add(uint32_t local_doc, uint32_t freq) {
+  assert(freq >= 1);
+  assert(count_ == 0 || local_doc > last_doc_);
+  if (count_ % kPostingBlock == 0) {
+    // Block boundary: record a skip entry (except for the very first
+    // block, which the iterator starts in anyway) and encode the absolute
+    // doc id so decoding can begin here.
+    if (count_ > 0) {
+      skips_.push_back({local_doc, static_cast<uint32_t>(bytes_.size()),
+                        static_cast<uint32_t>(count_)});
+    }
+    AppendVarByte(local_doc, bytes_);
+  } else {
+    AppendVarByte(local_doc - last_doc_, bytes_);
+  }
+  AppendVarByte(freq, bytes_);
+  last_doc_ = local_doc;
+  ++count_;
+}
+
+PostingList PostingList::Builder::Build() && {
+  PostingList list;
+  list.bytes_ = std::move(bytes_);
+  list.bytes_.shrink_to_fit();
+  list.skips_ = std::move(skips_);
+  list.skips_.shrink_to_fit();
+  list.count_ = count_;
+  return list;
+}
+
+PostingList::Iterator::Iterator(const PostingList* list) : list_(list) {
+  if (Valid()) ReadCurrent();
+}
+
+void PostingList::Iterator::ReadCurrent() {
+  const uint32_t value = ReadVarByte(list_->bytes_, offset_);
+  current_.local_doc =
+      index_ % kPostingBlock == 0 ? value : current_.local_doc + value;
+  current_.freq = ReadVarByte(list_->bytes_, offset_);
+}
+
+void PostingList::Iterator::Next() {
+  assert(Valid());
+  ++index_;
+  if (!Valid()) return;
+  ReadCurrent();
+}
+
+void PostingList::Iterator::SkipTo(uint32_t target) {
+  if (!Valid() || current_.local_doc >= target) return;
+  // Jump to the last block whose first doc is <= target, if it is ahead.
+  const auto& skips = list_->skips_;
+  auto it = std::upper_bound(
+      skips.begin(), skips.end(), target,
+      [](uint32_t value, const Builder::SkipEntry& entry) {
+        return value < entry.doc;
+      });
+  if (it != skips.begin()) {
+    const auto& entry = *(it - 1);
+    if (entry.index > index_) {
+      index_ = entry.index;
+      offset_ = entry.offset;
+      ReadCurrent();
+    }
+  }
+  while (Valid() && current_.local_doc < target) Next();
+}
+
+std::vector<Posting> PostingList::Decode() const {
+  std::vector<Posting> out;
+  out.reserve(count_);
+  for (Iterator it(this); it.Valid(); it.Next()) out.push_back(it.Get());
+  return out;
+}
+
+}  // namespace asup

@@ -1,0 +1,126 @@
+#ifndef ASUP_INDEX_POSTINGS_H_
+#define ASUP_INDEX_POSTINGS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace asup {
+
+/// One posting: a document (as a dense per-index local id, which preserves
+/// document-id order) and the term's in-document frequency.
+struct Posting {
+  uint32_t local_doc;
+  uint32_t freq;
+
+  friend bool operator==(const Posting& a, const Posting& b) {
+    return a.local_doc == b.local_doc && a.freq == b.freq;
+  }
+};
+
+/// Immutable compressed posting list: ascending local doc ids, delta +
+/// variable-byte encoded in blocks of kPostingBlock postings, frequencies
+/// variable-byte encoded inline. Each block boundary stores the absolute
+/// doc id and a skip entry, so `Iterator::SkipTo` jumps whole blocks —
+/// the standard skip-pointer layout of enterprise search indexes, and what
+/// keeps conjunctive intersections of a rare and a common term cheap.
+class PostingList {
+ public:
+  /// Postings per skip block.
+  static constexpr uint32_t kPostingBlock = 128;
+
+  /// Incremental builder; postings must be added in strictly increasing
+  /// local doc id order.
+  class Builder {
+   public:
+    /// Appends one posting. Requires local_doc > previous local_doc and
+    /// freq >= 1.
+    void Add(uint32_t local_doc, uint32_t freq);
+
+    /// Finalizes the list. The builder must not be reused.
+    PostingList Build() &&;
+
+    size_t size() const { return count_; }
+
+   private:
+    friend class PostingList;
+    struct SkipEntry {
+      uint32_t doc;     // first doc id of the block
+      uint32_t offset;  // byte offset of the block start
+      uint32_t index;   // posting index of the block start
+    };
+
+    std::vector<uint8_t> bytes_;
+    std::vector<SkipEntry> skips_;
+    uint32_t last_doc_ = 0;
+    size_t count_ = 0;
+  };
+
+  /// Forward iterator over the compressed list.
+  class Iterator {
+   public:
+    explicit Iterator(const PostingList* list);
+
+    /// True if the iterator points at a posting.
+    bool Valid() const { return index_ < list_->count_; }
+
+    /// Current posting. Requires Valid().
+    const Posting& Get() const { return current_; }
+
+    /// Advances to the next posting.
+    void Next();
+
+    /// Advances until Get().local_doc >= target (or exhaustion), jumping
+    /// over whole blocks via the skip entries where possible.
+    void SkipTo(uint32_t target);
+
+    /// Index of the current posting within the list.
+    size_t index() const { return index_; }
+
+   private:
+    void ReadCurrent();
+
+    const PostingList* list_;
+    size_t offset_ = 0;
+    size_t index_ = 0;
+    Posting current_{0, 0};
+  };
+
+  PostingList() = default;
+
+  /// Number of postings (the term's document frequency).
+  size_t size() const { return count_; }
+
+  bool empty() const { return count_ == 0; }
+
+  /// Compressed size in bytes (payload + skip entries).
+  size_t ByteSize() const {
+    return bytes_.size() + skips_.size() * sizeof(Builder::SkipEntry);
+  }
+
+  /// Number of skip entries (one per block after the first).
+  size_t NumSkipEntries() const { return skips_.size(); }
+
+  /// Decodes the full list.
+  std::vector<Posting> Decode() const;
+
+  Iterator begin() const { return Iterator(this); }
+
+ private:
+  friend class Builder;
+  friend class Iterator;
+
+  std::vector<uint8_t> bytes_;
+  std::vector<Builder::SkipEntry> skips_;
+  size_t count_ = 0;
+};
+
+/// Appends `value` to `out` in LEB128-style variable-byte encoding.
+void AppendVarByte(uint32_t value, std::vector<uint8_t>& out);
+
+/// Decodes one variable-byte integer starting at `offset`, advancing it.
+uint32_t ReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset);
+
+}  // namespace asup
+
+#endif  // ASUP_INDEX_POSTINGS_H_

@@ -1,0 +1,111 @@
+#include "asup/suppress/as_arbi.h"
+
+#include <algorithm>
+
+namespace asup {
+
+namespace {
+
+AsSimpleConfig InnerSimpleConfig(const AsArbiConfig& config) {
+  AsSimpleConfig inner = config.simple;
+  // AS-ARBI caches final answers itself; a second cache inside AS-SIMPLE
+  // would never be hit (it only sees AS-ARBI cache misses) and would double
+  // the memory footprint.
+  inner.cache_answers = false;
+  return inner;
+}
+
+}  // namespace
+
+AsArbiEngine::AsArbiEngine(PlainSearchEngine& base, const AsArbiConfig& config)
+    : base_(&base),
+      config_(config),
+      simple_(base, InnerSimpleConfig(config)),
+      finder_(history_, config.cover_size, config.cover_ratio) {}
+
+SearchResult AsArbiEngine::Search(const KeywordQuery& query) {
+  ++stats_.queries_processed;
+  if (config_.cache_answers) {
+    auto it = answer_cache_.find(query.canonical());
+    if (it != answer_cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+  }
+
+  SearchResult result;
+  const size_t match_count = base_->MatchCount(query);
+  if (match_count == 0) {
+    result.status = QueryStatus::kUnderflow;
+    if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
+    return result;
+  }
+
+  // The cover trigger is only satisfiable when m historic answers (of at
+  // most k documents each) can reach σ·|q| documents, so the expensive
+  // evaluation is skipped for broad queries — this is why most real
+  // (overflowing) queries pay almost nothing for AS-ARBI (Figure 15).
+  const double max_coverable =
+      static_cast<double>(config_.cover_size * base_->k());
+  if (config_.cover_ratio * static_cast<double>(match_count) <=
+      max_coverable) {
+    ++stats_.trigger_evaluations;
+    const std::vector<DocId> match_ids = base_->MatchIds(query);
+    const CoverResult cover = finder_.Find(match_ids);
+    if (cover.found) {
+      ++stats_.virtual_answers;
+      result = AnswerVirtually(query, match_ids, cover);
+      if (config_.cache_answers) {
+        answer_cache_.emplace(query.canonical(), result);
+      }
+      return result;
+    }
+  }
+
+  // Lines 6-8: fall through to AS-SIMPLE and remember the answer.
+  ++stats_.simple_answers;
+  result = simple_.Search(query);
+  if (!result.docs.empty()) {
+    history_.Record(query, result.DocIds());
+  }
+  if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
+  return result;
+}
+
+SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
+                                           const std::vector<DocId>& match_ids,
+                                           const CoverResult& cover) {
+  // Union of the covering historic answers.
+  std::vector<DocId> pool;
+  for (uint32_t qi : cover.query_indices) {
+    const auto& answer = history_.QueryAt(qi).answer;
+    pool.insert(pool.end(), answer.begin(), answer.end());
+  }
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+  // q ∩ (Res(q1) ∪ ... ∪ Res(qu)); both inputs are ascending.
+  std::vector<DocId> virtual_ids;
+  std::set_intersection(match_ids.begin(), match_ids.end(), pool.begin(),
+                        pool.end(), std::back_inserter(virtual_ids));
+
+  SearchResult result;
+  if (virtual_ids.empty()) {
+    result.status = QueryStatus::kUnderflow;
+    return result;
+  }
+  std::vector<ScoredDoc> ranked = base_->RankDocs(query, virtual_ids);
+  if (ranked.size() > base_->k()) ranked.resize(base_->k());
+  result.docs = std::move(ranked);
+  // Same emulated-overflow rule as AS-SIMPLE, so the two answer paths are
+  // indistinguishable to the client.
+  if (static_cast<double>(match_ids.size()) >
+      simple_.segment().mu() * static_cast<double>(base_->k())) {
+    result.status = QueryStatus::kOverflow;
+  } else {
+    result.status = QueryStatus::kValid;
+  }
+  return result;
+}
+
+}  // namespace asup

@@ -1,0 +1,96 @@
+#ifndef ASUP_SUPPRESS_AS_ARBI_H_
+#define ASUP_SUPPRESS_AS_ARBI_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "asup/engine/search_engine.h"
+#include "asup/engine/search_service.h"
+#include "asup/suppress/as_simple.h"
+#include "asup/suppress/cover_finder.h"
+#include "asup/suppress/history_store.h"
+
+namespace asup {
+
+/// Configuration of AS-ARBI (paper Algorithm 2).
+struct AsArbiConfig {
+  /// Parameters of the inner AS-SIMPLE engine.
+  AsSimpleConfig simple;
+
+  /// Cover size m: maximum number of historic answers that may virtually
+  /// answer a new query. The paper's default is 5 (and reports little
+  /// sensitivity in 1..10).
+  size_t cover_size = 5;
+
+  /// Cover ratio σ in (0, 1]: fraction of the new query's matches that must
+  /// be covered. The paper's default is 1.0 (the most conservative value).
+  double cover_ratio = 1.0;
+
+  /// Cache final answers per canonical query (deterministic re-issue).
+  bool cache_answers = true;
+};
+
+/// Counters exposed for tests and experiments.
+struct AsArbiStats {
+  uint64_t queries_processed = 0;
+  uint64_t cache_hits = 0;
+  /// Queries answered by virtual query processing.
+  uint64_t virtual_answers = 0;
+  /// Queries passed through to AS-SIMPLE.
+  uint64_t simple_answers = 0;
+  /// Queries for which the (cheap) trigger evaluation ran.
+  uint64_t trigger_evaluations = 0;
+};
+
+/// AS-ARBI: AS-SIMPLE plus *virtual query processing*, which defeats the
+/// correlated-query attack of Section 5.1.
+///
+/// On each query q: if at most m historic answers cover a σ fraction of
+/// Sel(q), the engine answers q purely from those historic answers
+/// (q ∩ (Res(q1) ∪ ... ∪ Res(qm)), top-k filtered). Since everything in a
+/// virtual answer was already disclosed, the adversary learns nothing new —
+/// in particular it cannot observe the LHS-degree decay that AS-SIMPLE's
+/// edge removal would otherwise reveal under highly correlated queries.
+/// Queries that are not covered fall through to AS-SIMPLE and are recorded
+/// in the history.
+class AsArbiEngine : public SearchService {
+ public:
+  // State persistence (suppress/state_io.h) reads and restores the inner
+  // AS-SIMPLE state, the history, and the answer cache directly.
+  friend bool SaveDefenseState(const AsArbiEngine&, std::ostream&);
+  friend bool LoadDefenseState(AsArbiEngine&, std::istream&);
+
+  /// Wraps `base` (borrowed; must outlive this engine).
+  AsArbiEngine(PlainSearchEngine& base, const AsArbiConfig& config);
+
+  SearchResult Search(const KeywordQuery& query) override;
+
+  size_t k() const override { return base_->k(); }
+
+  const AsArbiConfig& config() const { return config_; }
+  const AsArbiStats& stats() const { return stats_; }
+  const HistoryStore& history() const { return history_; }
+  const AsSimpleEngine& simple_engine() const { return simple_; }
+  const IndistinguishableSegment& segment() const {
+    return simple_.segment();
+  }
+
+ private:
+  SearchResult AnswerVirtually(const KeywordQuery& query,
+                               const std::vector<DocId>& match_ids,
+                               const CoverResult& cover);
+
+  PlainSearchEngine* base_;
+  AsArbiConfig config_;
+  AsSimpleEngine simple_;
+  HistoryStore history_;
+  CoverFinder finder_;
+  std::unordered_map<std::string, SearchResult> answer_cache_;
+  AsArbiStats stats_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_SUPPRESS_AS_ARBI_H_

@@ -1,0 +1,64 @@
+#include "asup/suppress/as_decline.h"
+
+namespace asup {
+
+namespace {
+
+AsSimpleConfig InnerSimpleConfig(const AsDeclineConfig& config) {
+  AsSimpleConfig inner = config.simple;
+  inner.cache_answers = false;  // this engine caches final answers itself
+  return inner;
+}
+
+}  // namespace
+
+AsDeclineEngine::AsDeclineEngine(PlainSearchEngine& base,
+                                 const AsDeclineConfig& config)
+    : base_(&base),
+      config_(config),
+      simple_(base, InnerSimpleConfig(config)),
+      finder_(history_, config.cover_size, config.cover_ratio) {}
+
+SearchResult AsDeclineEngine::Search(const KeywordQuery& query) {
+  ++stats_.queries_processed;
+  if (config_.cache_answers) {
+    auto it = answer_cache_.find(query.canonical());
+    if (it != answer_cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+  }
+
+  SearchResult result;
+  const size_t match_count = base_->MatchCount(query);
+  if (match_count == 0) {
+    result.status = QueryStatus::kUnderflow;
+    if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
+    return result;
+  }
+
+  const double max_coverable =
+      static_cast<double>(config_.cover_size * base_->k());
+  if (config_.cover_ratio * static_cast<double>(match_count) <=
+      max_coverable) {
+    const std::vector<DocId> match_ids = base_->MatchIds(query);
+    if (finder_.Find(match_ids).found) {
+      ++stats_.declined;
+      result.status = QueryStatus::kDeclined;
+      if (config_.cache_answers) {
+        answer_cache_.emplace(query.canonical(), result);
+      }
+      return result;
+    }
+  }
+
+  ++stats_.simple_answers;
+  result = simple_.Search(query);
+  if (!result.docs.empty()) {
+    history_.Record(query, result.DocIds());
+  }
+  if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
+  return result;
+}
+
+}  // namespace asup

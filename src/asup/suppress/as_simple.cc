@@ -1,0 +1,87 @@
+#include "asup/suppress/as_simple.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asup {
+
+AsSimpleEngine::AsSimpleEngine(PlainSearchEngine& base,
+                               const AsSimpleConfig& config)
+    : base_(&base),
+      config_(config),
+      segment_(std::max<size_t>(base.index().NumDocuments(), 1),
+               config.gamma),
+      coin_(config.secret_key),
+      m_limit_(static_cast<size_t>(
+          std::ceil(config.gamma * static_cast<double>(base.k())))) {}
+
+SearchResult AsSimpleEngine::Search(const KeywordQuery& query) {
+  ++stats_.queries_processed;
+  if (config_.cache_answers) {
+    auto it = answer_cache_.find(query.canonical());
+    if (it != answer_cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+  }
+
+  // Line 5: M(q) = the min(|q|, γ·k) highest-ranked matching documents.
+  RankedMatches ranked = base_->TopMatches(query, m_limit_);
+  const size_t m_size = ranked.docs.size();
+
+  SearchResult result;
+  if (ranked.total_matches == 0) {
+    result.status = QueryStatus::kUnderflow;
+    if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
+    return result;
+  }
+
+  // Lines 7-13: per-document edge removal. A document already in Θ_R keeps
+  // its edge to this query only with probability μ/γ; the coin is a keyed
+  // deterministic function of the (query, document) edge, so processing is
+  // repeatable. Fresh documents are always kept and enter Θ_R — note that
+  // *all* of M(q) is activated, including documents the final trim will cut
+  // (exactly as in Algorithm 1, where line 14 runs after the loop).
+  const double keep_probability = segment_.edge_keep_probability();
+  std::vector<ScoredDoc> survivors;
+  survivors.reserve(m_size);
+  for (const ScoredDoc& scored : ranked.docs) {
+    if (returned_before_.count(scored.doc) != 0) {
+      if (coin_.Accept(query.hash(), scored.doc, keep_probability)) {
+        survivors.push_back(scored);
+      } else {
+        ++stats_.docs_hidden;
+      }
+    } else {
+      returned_before_.insert(scored.doc);
+      survivors.push_back(scored);
+    }
+  }
+
+  // Line 14: trim to min(|M(q)|/μ, k) lowest-rank-last documents. When the
+  // query overflows, documents hidden above are implicitly replaced by
+  // lower-ranked survivors of M(q).
+  const size_t lhs_target = static_cast<size_t>(std::llround(
+      static_cast<double>(m_size) * segment_.lhs_keep_fraction()));
+  const size_t keep = std::min(lhs_target, base_->k());
+  if (survivors.size() > keep) {
+    stats_.docs_trimmed += survivors.size() - keep;
+    survivors.resize(keep);
+  }
+
+  result.docs = std::move(survivors);
+  // Status in the *emulated* corpus: the defended engine behaves as if q
+  // matched |q|/μ documents, so it overflows iff |q| > μ·k.
+  if (result.docs.empty()) {
+    result.status = QueryStatus::kUnderflow;
+  } else if (static_cast<double>(ranked.total_matches) >
+             segment_.mu() * static_cast<double>(base_->k())) {
+    result.status = QueryStatus::kOverflow;
+  } else {
+    result.status = QueryStatus::kValid;
+  }
+  if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
+  return result;
+}
+
+}  // namespace asup

@@ -1,0 +1,99 @@
+#ifndef ASUP_SUPPRESS_AS_SIMPLE_H_
+#define ASUP_SUPPRESS_AS_SIMPLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "asup/engine/search_engine.h"
+#include "asup/engine/search_service.h"
+#include "asup/suppress/segment.h"
+#include "asup/util/hash.h"
+
+namespace asup {
+
+/// Configuration of AS-SIMPLE (paper Algorithm 1).
+struct AsSimpleConfig {
+  /// Obfuscation factor γ > 1. Larger γ = more stringent suppression,
+  /// lower utility (paper Theorems 4.1 / 4.2).
+  double gamma = 2.0;
+
+  /// Secret key for the deterministic per-edge coins. Must stay
+  /// server-side: an adversary knowing the key could replay the coins.
+  uint64_t secret_key = 0x517bd152a1c7d9e3ULL;
+
+  /// Cache final answers per canonical query so that re-issuing a query
+  /// returns the identical answer (the deterministic-processing requirement
+  /// of Section 2.1). Disable only for ablation measurements.
+  bool cache_answers = true;
+};
+
+/// Counters exposed for tests and the overhead experiments.
+struct AsSimpleStats {
+  uint64_t queries_processed = 0;
+  uint64_t cache_hits = 0;
+  /// Documents hidden by the per-document edge removal (line 9).
+  uint64_t docs_hidden = 0;
+  /// Documents trimmed by the final LHS-degree cut (line 14).
+  uint64_t docs_trimmed = 0;
+};
+
+/// AS-SIMPLE: run-time document hiding that suppresses COUNT/SUM aggregates
+/// against the SIMPLE-ADV class (all published sampling estimators) while
+/// barely touching the top-k answers bona fide users see.
+///
+/// For each query q with match set Sel(q):
+///   1. M(q) = the min(|q|, γ·k) highest-ranked matching documents.
+///   2. Every document of M(q) that was returned by some earlier query is
+///      *hidden* with probability 1 − μ/γ (deterministic keyed coin per
+///      (query, document) edge); fresh documents are kept and marked
+///      returned (Θ_R).
+///   3. The surviving list is trimmed to min(|M(q)|/μ, k) documents —
+///      hidden/trimmed top-k documents are thereby replaced by lower-ranked
+///      survivors of M(q) when the query overflows.
+///
+/// The engine is deliberately single-threaded: a production deployment
+/// would shard Θ_R and the answer cache per index replica.
+class AsSimpleEngine : public SearchService {
+ public:
+  // State persistence (suppress/state_io.h) reads and restores Θ_R and the
+  // answer cache directly.
+  friend bool SaveDefenseState(const AsSimpleEngine&, std::ostream&);
+  friend bool LoadDefenseState(AsSimpleEngine&, std::istream&);
+
+  /// Wraps `base` (borrowed; must outlive this engine).
+  AsSimpleEngine(PlainSearchEngine& base, const AsSimpleConfig& config);
+
+  SearchResult Search(const KeywordQuery& query) override;
+
+  size_t k() const override { return base_->k(); }
+
+  const IndistinguishableSegment& segment() const { return segment_; }
+  const AsSimpleConfig& config() const { return config_; }
+  const AsSimpleStats& stats() const { return stats_; }
+  PlainSearchEngine& base() const { return *base_; }
+
+  /// |Θ_R|: number of documents returned (or activated) so far.
+  size_t NumActivatedDocs() const { return returned_before_.size(); }
+
+  /// True if `doc` is in Θ_R.
+  bool IsActivated(DocId doc) const {
+    return returned_before_.count(doc) != 0;
+  }
+
+ private:
+  PlainSearchEngine* base_;
+  AsSimpleConfig config_;
+  IndistinguishableSegment segment_;
+  DeterministicCoin coin_;
+  size_t m_limit_;  // γ·k, the size cap of M(q)
+  std::unordered_set<DocId> returned_before_;  // Θ_R
+  std::unordered_map<std::string, SearchResult> answer_cache_;
+  AsSimpleStats stats_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_SUPPRESS_AS_SIMPLE_H_

@@ -1,0 +1,72 @@
+#ifndef ASUP_SUPPRESS_COVER_FINDER_H_
+#define ASUP_SUPPRESS_COVER_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asup/suppress/history_store.h"
+#include "asup/text/document.h"
+
+namespace asup {
+
+/// Outcome of the AS-ARBI cover trigger (paper Equation 6).
+struct CoverResult {
+  bool found = false;
+  /// Indices into the HistoryStore of the covering queries (at most m).
+  std::vector<uint32_t> query_indices;
+};
+
+/// Decides whether a new query's match set can be covered by at most m
+/// historic answers:
+///
+///   |q ∩ (Res(q1) ∪ ... ∪ Res(qu))| >= σ·|q|,  u <= m.
+///
+/// Two-phase evaluation, as in Section 5.3 of the paper: (1) a cheap upper
+/// bound from the per-document 1000-bit query signatures — sum the signature
+/// vectors of all matching documents, take the m largest counts, and reject
+/// if even that optimistic total misses σ·|q|; (2) exact search over the
+/// (small) set of candidate historic queries. For σ = 1 the exact phase is a
+/// document-driven depth-first set-cover search of depth <= m; for σ < 1 it
+/// is greedy max-coverage with a bounded exhaustive fallback.
+class CoverFinder {
+ public:
+  /// Candidate historic query with the positions (into match_ids) its
+  /// answer covers. Public for the internal search helpers.
+  struct Candidate {
+    uint32_t query_index;
+    std::vector<uint32_t> positions;
+  };
+
+  /// `history` is borrowed and must outlive the finder. Requires
+  /// cover_size >= 1 and cover_ratio in (0, 1].
+  CoverFinder(const HistoryStore& history, size_t cover_size,
+              double cover_ratio);
+
+  /// Attempts to cover `match_ids` (ascending ids of the documents matching
+  /// the new query). Returns not-found for an empty match set.
+  CoverResult Find(const std::vector<DocId>& match_ids) const;
+
+  size_t cover_size() const { return cover_size_; }
+  double cover_ratio() const { return cover_ratio_; }
+
+ private:
+  std::vector<Candidate> GatherCandidates(
+      const std::vector<DocId>& match_ids) const;
+
+  bool PassesSignaturePrescreen(const std::vector<DocId>& match_ids,
+                                size_t need) const;
+
+  CoverResult ExactCover(const std::vector<Candidate>& candidates,
+                         size_t num_positions) const;
+
+  CoverResult GreedyPartialCover(const std::vector<Candidate>& candidates,
+                                 size_t num_positions, size_t need) const;
+
+  const HistoryStore* history_;
+  size_t cover_size_;
+  double cover_ratio_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_SUPPRESS_COVER_FINDER_H_

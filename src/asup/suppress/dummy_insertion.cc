@@ -1,0 +1,30 @@
+#include "asup/suppress/dummy_insertion.h"
+
+#include <cmath>
+
+#include "asup/suppress/segment.h"
+
+namespace asup {
+
+DummyPaddedCorpus PadCorpusWithDummies(const Corpus& corpus,
+                                       SyntheticCorpusGenerator& generator,
+                                       double gamma) {
+  const IndistinguishableSegment segment(std::max<size_t>(corpus.size(), 1),
+                                         gamma);
+  const size_t target =
+      static_cast<size_t>(std::llround(segment.segment_high()));
+  const size_t needed = target > corpus.size() ? target - corpus.size() : 0;
+
+  DummyPaddedCorpus padded;
+  const Corpus dummies = generator.Generate(needed);
+  std::vector<Document> docs = corpus.documents();
+  docs.reserve(docs.size() + needed);
+  for (const Document& dummy : dummies.documents()) {
+    padded.dummy_ids.insert(dummy.id());
+    docs.push_back(dummy);
+  }
+  padded.corpus = Corpus(corpus.vocabulary_ptr(), std::move(docs));
+  return padded;
+}
+
+}  // namespace asup

@@ -1,0 +1,45 @@
+#ifndef ASUP_SUPPRESS_DUMMY_INSERTION_H_
+#define ASUP_SUPPRESS_DUMMY_INSERTION_H_
+
+#include <unordered_set>
+
+#include "asup/text/corpus.h"
+#include "asup/text/synthetic_corpus.h"
+
+namespace asup {
+
+/// Dummy-document insertion — the alternative defense the paper discusses
+/// and rejects (Sections 1 and 8, after [12] for structured databases):
+/// pad the corpus with fabricated documents until COUNT(*) reaches the top
+/// of the indistinguishable segment, so sampling estimators measure the
+/// padded size.
+///
+/// The paper's objection is qualitative: fabricating *unstructured*
+/// documents that an adversary cannot recognize as fake is hard, and every
+/// dummy that sneaks into a top-k answer costs real users precision. This
+/// implementation makes the comparison quantitative
+/// (`bench_ablation_dummy`): the generator can fabricate statistically
+/// indistinguishable documents (they come from the same model), yet the
+/// precision cost is intrinsic — a fraction 1 − n/γ^{i+1} of all returned
+/// results are fake.
+struct DummyPaddedCorpus {
+  Corpus corpus;
+  /// Ids of the inserted dummy documents (for utility accounting; a real
+  /// deployment would keep this list server-side).
+  std::unordered_set<DocId> dummy_ids;
+
+  /// True if `doc` is fabricated.
+  bool IsDummy(DocId doc) const { return dummy_ids.count(doc) != 0; }
+};
+
+/// Pads `corpus` with documents drawn from `generator` until its size
+/// reaches the top of its [γ^i, γ^{i+1}) segment. The generator must be
+/// the corpus's own (or a statistically identical) source so the dummies
+/// blend in; its id counter must be ahead of every id in `corpus`.
+DummyPaddedCorpus PadCorpusWithDummies(const Corpus& corpus,
+                                       SyntheticCorpusGenerator& generator,
+                                       double gamma);
+
+}  // namespace asup
+
+#endif  // ASUP_SUPPRESS_DUMMY_INSERTION_H_

@@ -1,0 +1,36 @@
+#include "asup/suppress/guarantee.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "asup/suppress/segment.h"
+
+namespace asup {
+
+SuppressionGuarantee ComputeGuarantee(size_t corpus_size, double gamma,
+                                      size_t k, size_t dmax,
+                                      double aggregate_value, double delta) {
+  assert(corpus_size >= 1);
+  assert(gamma > 1.0);
+  assert(k >= 1);
+  assert(dmax >= 1);
+  assert(delta >= 0.0 && delta <= 1.0);
+
+  // γ^⌈log n / log γ⌉ — the emulated segment top (reuse the segment math;
+  // for exact powers the ceiling equals the exponent itself).
+  IndistinguishableSegment segment(corpus_size, gamma);
+  const double n = static_cast<double>(corpus_size);
+  const double emulated_top = segment.mu() > 1.0
+                                  ? segment.segment_high()
+                                  : segment.segment_low();
+
+  SuppressionGuarantee guarantee;
+  guarantee.epsilon = emulated_top * delta * aggregate_value / n;
+  guarantee.delta = delta;
+  guarantee.query_budget_c =
+      std::sqrt(n / (static_cast<double>(dmax) * static_cast<double>(k)));
+  guarantee.win_probability_p = 0.5;
+  return guarantee;
+}
+
+}  // namespace asup

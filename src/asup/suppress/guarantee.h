@@ -1,0 +1,38 @@
+#ifndef ASUP_SUPPRESS_GUARANTEE_H_
+#define ASUP_SUPPRESS_GUARANTEE_H_
+
+#include <cstddef>
+
+namespace asup {
+
+/// An (ε, δ, c, p)-aggregate-suppression guarantee (paper Definition 1):
+/// against any SIMPLE-ADV adversary that issues at most `query_budget_c`
+/// interface queries, the probability of pinning the sensitive aggregate
+/// into an interval of width `epsilon` with confidence > `delta` is at
+/// most `win_probability_p`.
+struct SuppressionGuarantee {
+  double epsilon = 0.0;
+  double delta = 0.0;
+  double query_budget_c = 0.0;
+  double win_probability_p = 0.0;
+};
+
+/// Theorem 4.1: AS-SIMPLE with obfuscation factor γ over an n-document
+/// corpus behind a top-k interface achieves, for any COUNT/SUM aggregate of
+/// value `aggregate_value` and any δ ∈ [0, 1], the guarantee
+///
+///   ( γ^⌈log n / log γ⌉ · δ · qA / n,  δ,  sqrt(n / (dmax · k)),  50% )
+///
+/// against every SIMPLE-ADV adversary whose query pool returns each
+/// document at most `dmax` times. The ε term is the segment top scaled to
+/// the aggregate: the defended estimate reveals the aggregate only up to
+/// the factor-γ granularity of the segment partition.
+///
+/// Requires n >= 1, gamma > 1, k >= 1, dmax >= 1.
+SuppressionGuarantee ComputeGuarantee(size_t corpus_size, double gamma,
+                                      size_t k, size_t dmax,
+                                      double aggregate_value, double delta);
+
+}  // namespace asup
+
+#endif  // ASUP_SUPPRESS_GUARANTEE_H_

@@ -1,0 +1,37 @@
+#include "asup/suppress/history_store.h"
+
+#include <algorithm>
+
+namespace asup {
+
+size_t QuerySignatureBit(const KeywordQuery& query) {
+  return static_cast<size_t>(query.hash() % kSignatureBits);
+}
+
+uint32_t HistoryStore::Record(const KeywordQuery& query,
+                              std::vector<DocId> answer_docs) {
+  std::sort(answer_docs.begin(), answer_docs.end());
+  const uint32_t index = static_cast<uint32_t>(queries_.size());
+  const size_t bit = QuerySignatureBit(query);
+  for (DocId doc : answer_docs) {
+    DocHistory& history = per_doc_[doc];
+    history.query_indices.push_back(index);
+    history.signature.Set(bit);
+  }
+  queries_.push_back(HistoricQuery{query, std::move(answer_docs)});
+  return index;
+}
+
+const std::vector<uint32_t>* HistoryStore::QueriesReturning(DocId doc) const {
+  auto it = per_doc_.find(doc);
+  if (it == per_doc_.end()) return nullptr;
+  return &it->second.query_indices;
+}
+
+const BitVector* HistoryStore::SignatureOf(DocId doc) const {
+  auto it = per_doc_.find(doc);
+  if (it == per_doc_.end()) return nullptr;
+  return &it->second.signature;
+}
+
+}  // namespace asup

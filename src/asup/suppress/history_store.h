@@ -1,0 +1,71 @@
+#ifndef ASUP_SUPPRESS_HISTORY_STORE_H_
+#define ASUP_SUPPRESS_HISTORY_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "asup/engine/query.h"
+#include "asup/text/document.h"
+#include "asup/util/bitvector.h"
+
+namespace asup {
+
+/// Width of the per-document query signature. The paper uses 1000-bit
+/// vectors (Section 5.3).
+inline constexpr size_t kSignatureBits = 1000;
+
+/// Returns the signature bit of a query: its canonical-string hash mapped
+/// into [0, kSignatureBits).
+size_t QuerySignatureBit(const KeywordQuery& query);
+
+/// AS-ARBI's record of past (non-virtual) query answers.
+///
+/// Two structures per the paper: for every returned document, (a) the array
+/// of historic queries that returned it, and (b) a 1000-bit vector with one
+/// bit set per such query (hash of the query string). The bit vectors give
+/// a cheap upper bound for the cover trigger before exact enumeration.
+class HistoryStore {
+ public:
+  /// One historic query and the answer it received from AS-SIMPLE.
+  struct HistoricQuery {
+    KeywordQuery query;
+    /// Returned documents, ascending by id (for O(log) intersection).
+    std::vector<DocId> answer;
+  };
+
+  HistoryStore() = default;
+
+  /// Records an answered query. Returns its index in the history.
+  /// `answer_docs` need not be sorted.
+  uint32_t Record(const KeywordQuery& query, std::vector<DocId> answer_docs);
+
+  /// Number of recorded queries.
+  size_t NumQueries() const { return queries_.size(); }
+
+  /// The idx-th recorded query.
+  const HistoricQuery& QueryAt(size_t idx) const { return queries_[idx]; }
+
+  /// Indices (into the history) of queries whose answers contained `doc`,
+  /// or nullptr if no historic query returned it.
+  const std::vector<uint32_t>* QueriesReturning(DocId doc) const;
+
+  /// The document's 1000-bit query signature, or nullptr if unseen.
+  const BitVector* SignatureOf(DocId doc) const;
+
+  /// Number of documents appearing in at least one recorded answer.
+  size_t NumDocumentsSeen() const { return per_doc_.size(); }
+
+ private:
+  struct DocHistory {
+    std::vector<uint32_t> query_indices;
+    BitVector signature{kSignatureBits};
+  };
+
+  std::vector<HistoricQuery> queries_;
+  std::unordered_map<DocId, DocHistory> per_doc_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_SUPPRESS_HISTORY_STORE_H_

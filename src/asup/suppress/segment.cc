@@ -1,0 +1,25 @@
+#include "asup/suppress/segment.h"
+
+#include <cassert>
+
+namespace asup {
+
+IndistinguishableSegment::IndistinguishableSegment(size_t corpus_size,
+                                                   double gamma)
+    : n_(corpus_size), gamma_(gamma) {
+  assert(corpus_size >= 1);
+  assert(gamma > 1.0);
+  // Find the largest i with γ^i <= n by repeated multiplication; avoids the
+  // boundary instability of floor(log n / log γ) when n is an exact power.
+  index_ = 0;
+  low_ = 1.0;
+  const double n = static_cast<double>(corpus_size);
+  while (low_ * gamma_ <= n) {
+    low_ *= gamma_;
+    ++index_;
+  }
+  mu_ = n / low_;
+  assert(mu_ >= 1.0 && mu_ < gamma_ + 1e-9);
+}
+
+}  // namespace asup

@@ -1,0 +1,60 @@
+#ifndef ASUP_SUPPRESS_SEGMENT_H_
+#define ASUP_SUPPRESS_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asup {
+
+/// Indistinguishable-segment arithmetic of AS-SIMPLE (paper Section 4.2).
+///
+/// Given an obfuscation factor γ, corpus sizes are partitioned into segments
+/// [γ^i, γ^{i+1}). A corpus of size n = μ·γ^i (μ ∈ [1, γ)) is made to look,
+/// to any SIMPLE-ADV estimator, like the segment's top γ^{i+1}:
+///  * each *query's* degree is scaled down by 1/μ (to match the segment
+///    bottom γ^i), and
+///  * each already-returned *document's* edges are kept only with
+///    probability μ/γ (to match the RHS degrees of the segment top).
+class IndistinguishableSegment {
+ public:
+  /// Requires corpus_size >= 1 and gamma > 1.
+  IndistinguishableSegment(size_t corpus_size, double gamma);
+
+  /// The obfuscation factor γ.
+  double gamma() const { return gamma_; }
+
+  /// μ = n / γ^i, in [1, γ).
+  double mu() const { return mu_; }
+
+  /// i = the largest integer with γ^i <= n.
+  int segment_index() const { return index_; }
+
+  /// γ^i, the segment bottom.
+  double segment_low() const { return low_; }
+
+  /// γ^{i+1}, the segment top — the COUNT(*) every corpus in the segment is
+  /// made to emulate.
+  double segment_high() const { return low_ * gamma_; }
+
+  /// μ/γ: probability of *keeping* an edge to an already-returned document
+  /// (Algorithm 1 line 9 removes with probability 1 − μ/γ).
+  double edge_keep_probability() const { return mu_ / gamma_; }
+
+  /// 1/μ: fraction of M(q) retained by the final trim (Algorithm 1
+  /// line 14).
+  double lhs_keep_fraction() const { return 1.0 / mu_; }
+
+  /// The corpus size this segment was computed for.
+  size_t corpus_size() const { return n_; }
+
+ private:
+  size_t n_;
+  double gamma_;
+  int index_;
+  double low_;
+  double mu_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_SUPPRESS_SEGMENT_H_

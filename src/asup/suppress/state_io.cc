@@ -1,0 +1,209 @@
+#include "asup/suppress/state_io.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace asup {
+
+namespace {
+
+constexpr char kSimpleMagic[4] = {'A', 'S', 'S', '1'};
+constexpr char kArbiMagic[4] = {'A', 'S', 'A', '1'};
+
+void PutU64(uint64_t value, std::ostream& out) {
+  for (int i = 0; i < 8; ++i) out.put(static_cast<char>(value >> (8 * i)));
+}
+
+bool GetU64(std::istream& in, uint64_t& value) {
+  value = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int byte = in.get();
+    if (byte == EOF) return false;
+    value |= static_cast<uint64_t>(byte) << (8 * i);
+  }
+  return true;
+}
+
+void PutDouble(double value, std::ostream& out) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(bits, out);
+}
+
+bool GetDouble(std::istream& in, double& value) {
+  uint64_t bits = 0;
+  if (!GetU64(in, bits)) return false;
+  std::memcpy(&value, &bits, sizeof(value));
+  return true;
+}
+
+void PutString(const std::string& s, std::ostream& out) {
+  PutU64(s.size(), out);
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetString(std::istream& in, std::string& s) {
+  uint64_t length = 0;
+  if (!GetU64(in, length) || length > (1u << 24)) return false;
+  s.resize(length);
+  in.read(s.data(), static_cast<std::streamsize>(length));
+  return static_cast<bool>(in);
+}
+
+void PutResult(const SearchResult& result, std::ostream& out) {
+  out.put(static_cast<char>(result.status));
+  PutU64(result.docs.size(), out);
+  for (const ScoredDoc& scored : result.docs) {
+    PutU64(scored.doc, out);
+    PutDouble(scored.score, out);
+  }
+}
+
+bool GetResult(std::istream& in, SearchResult& result) {
+  const int status = in.get();
+  if (status == EOF || status > static_cast<int>(QueryStatus::kDeclined)) {
+    return false;
+  }
+  result.status = static_cast<QueryStatus>(status);
+  uint64_t count = 0;
+  if (!GetU64(in, count) || count > (1u << 20)) return false;
+  result.docs.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t doc = 0;
+    if (!GetU64(in, doc) || !GetDouble(in, result.docs[i].score)) {
+      return false;
+    }
+    result.docs[i].doc = static_cast<DocId>(doc);
+  }
+  return true;
+}
+
+// Configuration fingerprint: a snapshot only replays under the same corpus
+// size, γ, and coin key.
+void PutFingerprint(const AsSimpleEngine& engine, std::ostream& out) {
+  PutU64(engine.segment().corpus_size(), out);
+  PutDouble(engine.config().gamma, out);
+  PutU64(engine.config().secret_key, out);
+}
+
+bool CheckFingerprint(const AsSimpleEngine& engine, std::istream& in) {
+  uint64_t corpus_size = 0;
+  double gamma = 0.0;
+  uint64_t key = 0;
+  if (!GetU64(in, corpus_size) || !GetDouble(in, gamma) || !GetU64(in, key)) {
+    return false;
+  }
+  return corpus_size == engine.segment().corpus_size() &&
+         gamma == engine.config().gamma &&
+         key == engine.config().secret_key;
+}
+
+}  // namespace
+
+bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out) {
+  out.write(kSimpleMagic, 4);
+  PutFingerprint(engine, out);
+  PutU64(engine.returned_before_.size(), out);
+  for (DocId doc : engine.returned_before_) PutU64(doc, out);
+  PutU64(engine.answer_cache_.size(), out);
+  for (const auto& [canonical, result] : engine.answer_cache_) {
+    PutString(canonical, out);
+    PutResult(result, out);
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kSimpleMagic, 4) != 0) return false;
+  if (!CheckFingerprint(engine, in)) return false;
+
+  std::unordered_set<DocId> returned;
+  uint64_t count = 0;
+  if (!GetU64(in, count)) return false;
+  returned.reserve(count * 2);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t doc = 0;
+    if (!GetU64(in, doc)) return false;
+    returned.insert(static_cast<DocId>(doc));
+  }
+
+  std::unordered_map<std::string, SearchResult> cache;
+  if (!GetU64(in, count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string canonical;
+    SearchResult result;
+    if (!GetString(in, canonical) || !GetResult(in, result)) return false;
+    cache.emplace(std::move(canonical), std::move(result));
+  }
+
+  engine.returned_before_ = std::move(returned);
+  engine.answer_cache_ = std::move(cache);
+  return true;
+}
+
+bool SaveDefenseState(const AsArbiEngine& engine, std::ostream& out) {
+  out.write(kArbiMagic, 4);
+  if (!SaveDefenseState(engine.simple_, out)) return false;
+  PutU64(engine.history_.NumQueries(), out);
+  for (size_t i = 0; i < engine.history_.NumQueries(); ++i) {
+    const auto& entry = engine.history_.QueryAt(i);
+    PutString(entry.query.canonical(), out);
+    PutU64(entry.answer.size(), out);
+    for (DocId doc : entry.answer) PutU64(doc, out);
+  }
+  PutU64(engine.answer_cache_.size(), out);
+  for (const auto& [canonical, result] : engine.answer_cache_) {
+    PutString(canonical, out);
+    PutResult(result, out);
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool LoadDefenseState(AsArbiEngine& engine, std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kArbiMagic, 4) != 0) return false;
+  if (!LoadDefenseState(engine.simple_, in)) return false;
+
+  const Vocabulary& vocabulary =
+      engine.base_->index().corpus().vocabulary();
+  HistoryStore history;
+  uint64_t num_queries = 0;
+  if (!GetU64(in, num_queries) || num_queries > (1u << 26)) return false;
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    std::string canonical;
+    if (!GetString(in, canonical)) return false;
+    uint64_t answer_size = 0;
+    if (!GetU64(in, answer_size) || answer_size > (1u << 20)) return false;
+    std::vector<DocId> answer(answer_size);
+    for (uint64_t d = 0; d < answer_size; ++d) {
+      uint64_t doc = 0;
+      if (!GetU64(in, doc)) return false;
+      answer[d] = static_cast<DocId>(doc);
+    }
+    history.Record(KeywordQuery::Parse(vocabulary, canonical),
+                   std::move(answer));
+  }
+
+  std::unordered_map<std::string, SearchResult> cache;
+  uint64_t cache_size = 0;
+  if (!GetU64(in, cache_size)) return false;
+  for (uint64_t i = 0; i < cache_size; ++i) {
+    std::string canonical;
+    SearchResult result;
+    if (!GetString(in, canonical) || !GetResult(in, result)) return false;
+    cache.emplace(std::move(canonical), std::move(result));
+  }
+
+  engine.history_ = std::move(history);
+  engine.answer_cache_ = std::move(cache);
+  return true;
+}
+
+}  // namespace asup

@@ -1,0 +1,43 @@
+#ifndef ASUP_SUPPRESS_STATE_IO_H_
+#define ASUP_SUPPRESS_STATE_IO_H_
+
+#include <iosfwd>
+
+#include "asup/suppress/as_arbi.h"
+#include "asup/suppress/as_simple.h"
+
+namespace asup {
+
+/// Defense-state persistence.
+///
+/// The suppression engines are stateful *by design*: Θ_R, the answer
+/// caches, and AS-ARBI's history determine what future queries see. A
+/// deployment that restarts with empty state would re-run the activation
+/// transient — re-issued queries would get *different* answers, violating
+/// the deterministic-processing requirement of Section 2.1 and handing a
+/// watching adversary a before/after comparison. These helpers snapshot
+/// and restore the state so the engine resumes exactly where it stopped.
+///
+/// The snapshot embeds γ, the corpus size, and the secret coin key; Load
+/// refuses a snapshot taken under a different configuration (the coins
+/// would not replay).
+
+/// Serializes the engine's Θ_R and answer cache. Returns false on I/O
+/// failure.
+bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out);
+
+/// Restores a snapshot written by SaveDefenseState. Returns false on
+/// corruption or configuration mismatch; the engine is unchanged on
+/// failure.
+bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in);
+
+/// Serializes the AS-ARBI state: the inner AS-SIMPLE state, the query
+/// history, and the answer cache.
+bool SaveDefenseState(const AsArbiEngine& engine, std::ostream& out);
+
+/// Restores a snapshot written by the AS-ARBI SaveDefenseState.
+bool LoadDefenseState(AsArbiEngine& engine, std::istream& in);
+
+}  // namespace asup
+
+#endif  // ASUP_SUPPRESS_STATE_IO_H_

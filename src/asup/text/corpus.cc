@@ -1,0 +1,69 @@
+#include "asup/text/corpus.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace asup {
+
+Corpus::Corpus(std::shared_ptr<Vocabulary> vocabulary,
+               std::vector<Document> documents)
+    : vocabulary_(std::move(vocabulary)), documents_(std::move(documents)) {
+  by_id_.reserve(documents_.size() * 2);
+  for (uint32_t pos = 0; pos < documents_.size(); ++pos) {
+    const bool inserted =
+        by_id_.emplace(documents_[pos].id(), pos).second;
+    if (!inserted) {
+      std::fprintf(stderr, "Corpus: duplicate document id %u\n",
+                   documents_[pos].id());
+      std::abort();
+    }
+  }
+}
+
+const Document& Corpus::Get(DocId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    std::fprintf(stderr, "Corpus: unknown document id %u\n", id);
+    std::abort();
+  }
+  return documents_[it->second];
+}
+
+uint64_t Corpus::TotalLength() const {
+  uint64_t total = 0;
+  for (const auto& doc : documents_) total += doc.length();
+  return total;
+}
+
+uint64_t Corpus::CountWhere(
+    const std::function<bool(const Document&)>& predicate) const {
+  uint64_t count = 0;
+  for (const auto& doc : documents_) {
+    if (predicate(doc)) ++count;
+  }
+  return count;
+}
+
+uint64_t Corpus::SumLengthWhere(
+    const std::function<bool(const Document&)>& predicate) const {
+  uint64_t total = 0;
+  for (const auto& doc : documents_) {
+    if (predicate(doc)) total += doc.length();
+  }
+  return total;
+}
+
+Corpus Corpus::SampleSubcorpus(size_t count, Rng& rng) const {
+  assert(count <= documents_.size());
+  std::vector<uint64_t> picks =
+      rng.SampleWithoutReplacement(documents_.size(), count);
+  std::vector<Document> sampled;
+  sampled.reserve(count);
+  for (uint64_t position : picks) {
+    sampled.push_back(documents_[position]);
+  }
+  return Corpus(vocabulary_, std::move(sampled));
+}
+
+}  // namespace asup

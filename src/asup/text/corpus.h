@@ -1,0 +1,80 @@
+#ifndef ASUP_TEXT_CORPUS_H_
+#define ASUP_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "asup/text/document.h"
+#include "asup/text/vocabulary.h"
+#include "asup/util/random.h"
+
+namespace asup {
+
+/// A search engine's document collection (the paper's Θ).
+///
+/// A corpus owns its documents and shares a vocabulary with sibling corpora.
+/// Nested corpora — the paper's S ⊂ 1.33S ⊂ 1.67S ⊂ 2S construction, where
+/// the smaller corpus is a simple random sample (without replacement) of the
+/// larger — are produced with `SampleSubcorpus`, and documents keep their
+/// universe-wide ids across samples.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Builds a corpus from pre-constructed documents.
+  Corpus(std::shared_ptr<Vocabulary> vocabulary,
+         std::vector<Document> documents);
+
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  /// Number of documents (the paper's sensitive COUNT(*)).
+  size_t size() const { return documents_.size(); }
+
+  bool empty() const { return documents_.empty(); }
+
+  /// All documents, in insertion order.
+  const std::vector<Document>& documents() const { return documents_; }
+
+  /// The shared vocabulary.
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+  std::shared_ptr<Vocabulary> vocabulary_ptr() const { return vocabulary_; }
+
+  /// Returns the document with the given universe id; aborts if absent.
+  const Document& Get(DocId id) const;
+
+  /// True if a document with this id is in the corpus.
+  bool Contains(DocId id) const { return by_id_.count(id) != 0; }
+
+  /// Sum of document lengths (sensitive SUM(doc_length)).
+  uint64_t TotalLength() const;
+
+  /// Number of documents satisfying `predicate` (COUNT with a selection
+  /// condition).
+  uint64_t CountWhere(
+      const std::function<bool(const Document&)>& predicate) const;
+
+  /// Sum of document lengths over documents satisfying `predicate` (the
+  /// paper's Figure 14 aggregate: SUM(length) WHERE contains "sports").
+  uint64_t SumLengthWhere(
+      const std::function<bool(const Document&)>& predicate) const;
+
+  /// Returns a uniform random sample (without replacement) of `count`
+  /// documents as a new corpus sharing this vocabulary. Requires
+  /// count <= size(). Document ids are preserved.
+  Corpus SampleSubcorpus(size_t count, Rng& rng) const;
+
+ private:
+  std::shared_ptr<Vocabulary> vocabulary_;
+  std::vector<Document> documents_;
+  std::unordered_map<DocId, uint32_t> by_id_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_TEXT_CORPUS_H_

@@ -1,0 +1,38 @@
+#include "asup/text/document.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace asup {
+
+Document::Document(DocId id, const std::vector<TermId>& tokens) : id_(id) {
+  length_ = static_cast<uint32_t>(tokens.size());
+  std::vector<TermId> sorted = tokens;
+  std::sort(sorted.begin(), sorted.end());
+  terms_.reserve(sorted.size() / 2 + 1);
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    terms_.push_back({sorted[i], static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+}
+
+Document::Document(DocId id, std::vector<TermFreq> terms, uint32_t length)
+    : id_(id), length_(length), terms_(std::move(terms)) {
+  assert(std::is_sorted(terms_.begin(), terms_.end(),
+                        [](const TermFreq& a, const TermFreq& b) {
+                          return a.term < b.term;
+                        }));
+}
+
+uint32_t Document::FrequencyOf(TermId term) const {
+  auto it = std::lower_bound(terms_.begin(), terms_.end(), term,
+                             [](const TermFreq& entry, TermId value) {
+                               return entry.term < value;
+                             });
+  if (it == terms_.end() || it->term != term) return 0;
+  return it->freq;
+}
+
+}  // namespace asup

@@ -1,0 +1,70 @@
+#ifndef ASUP_TEXT_DOCUMENT_H_
+#define ASUP_TEXT_DOCUMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asup/text/vocabulary.h"
+
+namespace asup {
+
+/// Integer identifier of a document. Ids are assigned once, in the document
+/// *universe* from which nested corpora are sampled, so the same document
+/// keeps the same id in S and in 2S (the paper's corpora are nested samples
+/// of each other).
+using DocId = uint32_t;
+
+inline constexpr DocId kInvalidDoc = UINT32_MAX;
+
+/// One (term, frequency) pair of a document's bag-of-words representation.
+struct TermFreq {
+  TermId term;
+  uint32_t freq;
+
+  friend bool operator==(const TermFreq& a, const TermFreq& b) {
+    return a.term == b.term && a.freq == b.freq;
+  }
+};
+
+/// A searchable document in bag-of-words form.
+///
+/// `terms` is sorted by term id and contains each distinct term once with
+/// its in-document frequency; `length` is the token count (used for BM25
+/// normalization and for the paper's SUM(doc_length) aggregate).
+class Document {
+ public:
+  Document() = default;
+
+  /// Builds a document from a raw token sequence.
+  Document(DocId id, const std::vector<TermId>& tokens);
+
+  /// Builds a document directly from a sorted distinct-term list.
+  Document(DocId id, std::vector<TermFreq> terms, uint32_t length);
+
+  DocId id() const { return id_; }
+
+  /// Token count (document length).
+  uint32_t length() const { return length_; }
+
+  /// Distinct terms with frequencies, sorted by term id.
+  const std::vector<TermFreq>& terms() const { return terms_; }
+
+  /// Number of distinct terms.
+  size_t NumDistinctTerms() const { return terms_.size(); }
+
+  /// Returns the in-document frequency of `term` (0 if absent).
+  /// Binary search over the sorted term list.
+  uint32_t FrequencyOf(TermId term) const;
+
+  /// Returns true if the document contains `term`.
+  bool Contains(TermId term) const { return FrequencyOf(term) > 0; }
+
+ private:
+  DocId id_ = kInvalidDoc;
+  uint32_t length_ = 0;
+  std::vector<TermFreq> terms_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_TEXT_DOCUMENT_H_

@@ -1,0 +1,61 @@
+#include "asup/text/structured.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "asup/text/tokenizer.h"
+
+namespace asup {
+
+namespace {
+
+std::string ScopedWord(const std::string& attribute, const std::string& token) {
+  return attribute + "=" + token;
+}
+
+}  // namespace
+
+StructuredTable::StructuredTable(std::shared_ptr<Vocabulary> vocabulary,
+                                 std::vector<std::string> attribute_names)
+    : vocabulary_(std::move(vocabulary)),
+      attribute_names_(std::move(attribute_names)) {}
+
+DocId StructuredTable::AddTuple(const std::vector<std::string>& values) {
+  if (values.size() != attribute_names_.size()) {
+    std::fprintf(stderr,
+                 "StructuredTable::AddTuple: %zu values for %zu attributes\n",
+                 values.size(), attribute_names_.size());
+    std::abort();
+  }
+  std::vector<TermId> tokens;
+  for (size_t a = 0; a < values.size(); ++a) {
+    for (const std::string& word : Tokenize(values[a])) {
+      // The plain word (keyword search over the flattened tuple) ...
+      tokens.push_back(vocabulary_->AddWord(word));
+      // ... and the attribute-scoped term (selection conditions). The '='
+      // cannot appear in tokenized words, so scoped terms never collide
+      // with plain ones.
+      tokens.push_back(
+          vocabulary_->AddWord(ScopedWord(attribute_names_[a], word)));
+    }
+  }
+  const DocId id = next_id_++;
+  documents_.emplace_back(id, tokens);
+  return id;
+}
+
+Corpus StructuredTable::ToCorpus() const {
+  return Corpus(vocabulary_, documents_);
+}
+
+std::optional<TermId> StructuredTable::AttributeTerm(
+    const std::string& attribute, const std::string& token) const {
+  std::string lowered = token;
+  for (char& c : lowered) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return vocabulary_->Lookup(ScopedWord(attribute, lowered));
+}
+
+}  // namespace asup

@@ -1,0 +1,63 @@
+#ifndef ASUP_TEXT_STRUCTURED_H_
+#define ASUP_TEXT_STRUCTURED_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asup/text/corpus.h"
+#include "asup/text/vocabulary.h"
+
+namespace asup {
+
+/// Structured tuples behind a keyword-search interface.
+///
+/// The paper's footnote 1: "most real-world search engines simply consider
+/// each tuple as a document consisting of all attribute values of the
+/// tuple, and process the keyword-search query in (almost) the same way as
+/// search over unstructured documents" — and Section 8 names structured
+/// hidden databases as an extension target for the defenses. This class
+/// implements that flattening: every tuple becomes a document whose tokens
+/// are its attribute values' words, plus one scoped `<attr>=<token>` term
+/// per word so aggregates can carry attribute-level selection conditions
+/// (e.g., COUNT(*) WHERE brand = 'acme') and still flow through the same
+/// engines, attacks, and defenses as free text.
+class StructuredTable {
+ public:
+  /// `attribute_names` define the schema; tuples supply one value string
+  /// per attribute.
+  StructuredTable(std::shared_ptr<Vocabulary> vocabulary,
+                  std::vector<std::string> attribute_names);
+
+  /// Adds one tuple; `values` must have one entry per attribute. Returns
+  /// the tuple's document id.
+  DocId AddTuple(const std::vector<std::string>& values);
+
+  /// Number of tuples.
+  size_t size() const { return documents_.size(); }
+
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+
+  /// Flattens the table into a searchable corpus (shares the vocabulary).
+  Corpus ToCorpus() const;
+
+  /// The scoped term for `attribute` containing word `token` (lowercased),
+  /// or nullopt if that combination never occurs. Use with
+  /// AggregateQuery::CountContaining / SumLengthContaining for
+  /// attribute-level selection conditions.
+  std::optional<TermId> AttributeTerm(const std::string& attribute,
+                                      const std::string& token) const;
+
+ private:
+  std::shared_ptr<Vocabulary> vocabulary_;
+  std::vector<std::string> attribute_names_;
+  std::vector<Document> documents_;
+  DocId next_id_ = 0;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_TEXT_STRUCTURED_H_

@@ -1,0 +1,126 @@
+#include "asup/text/synthetic_corpus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace asup {
+
+namespace {
+
+std::vector<std::string> FlattenSeedWords(
+    const std::vector<std::vector<std::string>>& seed_topics) {
+  std::vector<std::string> flat;
+  std::unordered_set<std::string> seen;
+  for (const auto& topic : seed_topics) {
+    for (const auto& word : topic) {
+      if (seen.insert(word).second) flat.push_back(word);
+    }
+  }
+  return flat;
+}
+
+}  // namespace
+
+const std::vector<std::vector<std::string>>&
+SyntheticCorpusGenerator::SeedTopicWords() {
+  // Topic 0 backs the paper's "sports" SUM aggregate (Figure 14) and the
+  // correlated-query attack (Figures 18-19); topics 1 and 2 back the two
+  // motivating examples of Section 1.
+  static const auto* const kSeeds = new std::vector<std::vector<std::string>>{
+      {"sports", "game", "team", "score", "league", "coach", "season",
+       "player", "match", "win"},
+      {"poor", "quality", "product", "review", "broken", "refund", "cheap",
+       "defective", "return", "warranty"},
+      {"patent", "examiner", "claim", "invention", "approval", "filing",
+       "office", "trademark", "application", "grant"},
+  };
+  return *kSeeds;
+}
+
+SyntheticCorpusGenerator::SyntheticCorpusGenerator(
+    const SyntheticCorpusConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      background_dist_(config.vocabulary_size, config.background_zipf_s),
+      topic_word_dist_(config.words_per_topic, config.topic_zipf_s),
+      topic_pick_dist_(std::max<size_t>(config.num_topics, 1),
+                       config.topic_popularity_s) {
+  assert(config_.vocabulary_size > 0);
+  assert(config_.num_topics > 0);
+  assert(config_.words_per_topic > 0);
+  assert(config_.words_per_topic <= config_.vocabulary_size);
+
+  vocabulary_ = Vocabulary::GenerateSynthetic(
+      config_.vocabulary_size, rng_, FlattenSeedWords(SeedTopicWords()));
+
+  background_rank_to_term_.resize(config_.vocabulary_size);
+  for (size_t i = 0; i < config_.vocabulary_size; ++i) {
+    background_rank_to_term_[i] = static_cast<TermId>(i);
+  }
+  rng_.Shuffle(background_rank_to_term_);
+
+  // Assemble topic word lists. The first topics start with the seeded real
+  // words (placed at the head of the list, i.e., the most frequent ranks of
+  // the topic's Zipf distribution); all topics are then filled with random
+  // distinct vocabulary words. Overlap between topics is allowed, as in
+  // natural language.
+  topics_.resize(config_.num_topics);
+  const auto& seeds = SeedTopicWords();
+  for (size_t t = 0; t < config_.num_topics; ++t) {
+    auto& words = topics_[t];
+    std::unordered_set<TermId> used;
+    if (t < seeds.size()) {
+      for (const auto& word : seeds[t]) {
+        const TermId id = *vocabulary_->Lookup(word);
+        if (used.insert(id).second) words.push_back(id);
+      }
+    }
+    while (words.size() < config_.words_per_topic) {
+      const TermId id =
+          static_cast<TermId>(rng_.UniformBelow(config_.vocabulary_size));
+      if (used.insert(id).second) words.push_back(id);
+    }
+  }
+}
+
+Corpus SyntheticCorpusGenerator::Generate(size_t count) {
+  std::vector<Document> docs;
+  docs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    docs.push_back(GenerateDocument(next_id_++));
+  }
+  return Corpus(vocabulary_, std::move(docs));
+}
+
+Document SyntheticCorpusGenerator::GenerateDocument(DocId id) {
+  const double raw_length =
+      rng_.LogNormal(config_.doc_length_log_mean, config_.doc_length_log_sigma);
+  const uint32_t length = std::clamp(
+      static_cast<uint32_t>(raw_length), config_.min_doc_length,
+      config_.max_doc_length);
+
+  // Pick the document's topics.
+  size_t doc_topics[2];
+  size_t num_doc_topics = 1;
+  doc_topics[0] = topic_pick_dist_.Sample(rng_);
+  if (rng_.Bernoulli(config_.second_topic_fraction)) {
+    doc_topics[1] = topic_pick_dist_.Sample(rng_);
+    if (doc_topics[1] != doc_topics[0]) num_doc_topics = 2;
+  }
+
+  std::vector<TermId> tokens;
+  tokens.reserve(length);
+  for (uint32_t i = 0; i < length; ++i) {
+    if (rng_.Bernoulli(config_.topic_token_fraction)) {
+      const auto& topic =
+          topics_[doc_topics[rng_.UniformBelow(num_doc_topics)]];
+      tokens.push_back(topic[topic_word_dist_.Sample(rng_)]);
+    } else {
+      tokens.push_back(background_rank_to_term_[background_dist_.Sample(rng_)]);
+    }
+  }
+  return Document(id, tokens);
+}
+
+}  // namespace asup

@@ -1,0 +1,112 @@
+#ifndef ASUP_TEXT_SYNTHETIC_CORPUS_H_
+#define ASUP_TEXT_SYNTHETIC_CORPUS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asup/text/corpus.h"
+#include "asup/util/random.h"
+
+namespace asup {
+
+/// Parameters of the synthetic document generator.
+///
+/// The paper's experiments use a 150k-page ODP web crawl; we substitute a
+/// Zipf + topic-mixture model (see DESIGN.md). What the attacks and defenses
+/// actually consume is the query-document bipartite graph, so the generator
+/// is tuned to reproduce the graph's relevant statistics:
+///  * heavy-tailed document frequencies (overflowing head queries and
+///    underflowing tail queries, as in web text),
+///  * log-normal document lengths (for SUM aggregates and BM25),
+///  * topical co-occurrence (required by the Section 5.1 correlated-query
+///    attack, which needs words that return overlapping document sets).
+struct SyntheticCorpusConfig {
+  /// Distinct words in the shared vocabulary. Web-crawl text has a very
+  /// large type vocabulary dominated by rare words; a large value keeps the
+  /// adversary's pool dominated by low-df queries (as in the paper), which
+  /// in turn keeps AS-SIMPLE's document-activation rate realistic.
+  size_t vocabulary_size = 100000;
+
+  /// Number of latent topics.
+  size_t num_topics = 64;
+
+  /// Words associated with each topic.
+  size_t words_per_topic = 600;
+
+  /// Zipf exponent of the background word distribution.
+  double background_zipf_s = 1.05;
+
+  /// Zipf exponent of each topic's word distribution.
+  double topic_zipf_s = 0.9;
+
+  /// Zipf exponent of topic popularity. Kept mild so that no single topic
+  /// dominates the corpus (topical words must be rare corpus-wide but
+  /// strongly co-occurring within their topic).
+  double topic_popularity_s = 0.5;
+
+  /// Probability that a token is drawn from a document topic rather than
+  /// the background distribution.
+  double topic_token_fraction = 0.45;
+
+  /// Probability that a document mixes a second topic.
+  double second_topic_fraction = 0.4;
+
+  /// Log-normal document length parameters (of the underlying normal).
+  double doc_length_log_mean = std::log(140.0);
+  double doc_length_log_sigma = 0.7;
+
+  /// Length clamp. The paper drops pages under 10 words.
+  uint32_t min_doc_length = 10;
+  uint32_t max_doc_length = 2000;
+
+  /// Seed for the generator's private random stream.
+  uint64_t seed = 42;
+};
+
+/// Generates documents from a fixed topic-mixture model.
+///
+/// All documents produced by one generator instance live in a common
+/// "universe": ids are unique across calls, so a later `Generate` call
+/// yields held-out documents (used to build the adversary's query pool the
+/// same way the paper builds it from ODP pages not chosen into the corpus).
+class SyntheticCorpusGenerator {
+ public:
+  explicit SyntheticCorpusGenerator(const SyntheticCorpusConfig& config);
+
+  /// Generates the next `count` documents of the universe.
+  Corpus Generate(size_t count);
+
+  /// The vocabulary shared by everything this generator produces.
+  std::shared_ptr<Vocabulary> vocabulary() const { return vocabulary_; }
+
+  const SyntheticCorpusConfig& config() const { return config_; }
+
+  /// Words seeded into the first topics ("sports", "poor quality" reviews,
+  /// patents). Useful for building selection conditions and correlated
+  /// query pools that mirror the paper's experiments.
+  static const std::vector<std::vector<std::string>>& SeedTopicWords();
+
+ private:
+  Document GenerateDocument(DocId id);
+
+  SyntheticCorpusConfig config_;
+  Rng rng_;
+  std::shared_ptr<Vocabulary> vocabulary_;
+  /// Maps background Zipf rank -> term id, so that frequency rank is
+  /// decoupled from vocabulary id (in particular, the reserved topic words
+  /// at ids 0, 1, ... are not automatically the most frequent background
+  /// words).
+  std::vector<TermId> background_rank_to_term_;
+  std::vector<std::vector<TermId>> topics_;
+  ZipfDistribution background_dist_;
+  ZipfDistribution topic_word_dist_;
+  ZipfDistribution topic_pick_dist_;
+  DocId next_id_ = 0;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_TEXT_SYNTHETIC_CORPUS_H_

@@ -1,0 +1,37 @@
+#include "asup/text/tokenizer.h"
+
+#include <cctype>
+
+namespace asup {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<TermId> TokenizeToTerms(std::string_view text,
+                                    Vocabulary& vocabulary) {
+  std::vector<TermId> terms;
+  for (const auto& token : Tokenize(text)) {
+    terms.push_back(vocabulary.AddWord(token));
+  }
+  return terms;
+}
+
+Document MakeDocumentFromText(DocId id, std::string_view text,
+                              Vocabulary& vocabulary) {
+  return Document(id, TokenizeToTerms(text, vocabulary));
+}
+
+}  // namespace asup

@@ -1,0 +1,30 @@
+#ifndef ASUP_TEXT_TOKENIZER_H_
+#define ASUP_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asup/text/document.h"
+#include "asup/text/vocabulary.h"
+
+namespace asup {
+
+/// Splits text into lowercase alphanumeric word tokens. Keyword-search
+/// semantics follow the paper's model: a document "matches" a query iff it
+/// contains every query word.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Tokenizes `text` and maps each token through `vocabulary`, adding unknown
+/// words. Used by the example programs, which build small corpora from real
+/// sentences.
+std::vector<TermId> TokenizeToTerms(std::string_view text,
+                                    Vocabulary& vocabulary);
+
+/// Convenience: builds a Document from raw text.
+Document MakeDocumentFromText(DocId id, std::string_view text,
+                              Vocabulary& vocabulary);
+
+}  // namespace asup
+
+#endif  // ASUP_TEXT_TOKENIZER_H_

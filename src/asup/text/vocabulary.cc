@@ -1,0 +1,73 @@
+#include "asup/text/vocabulary.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace asup {
+
+TermId Vocabulary::AddWord(std::string_view word) {
+  auto it = ids_.find(std::string(word));
+  if (it != ids_.end()) return it->second;
+  const TermId id = static_cast<TermId>(words_.size());
+  words_.emplace_back(word);
+  ids_.emplace(words_.back(), id);
+  return id;
+}
+
+std::optional<TermId> Vocabulary::Lookup(std::string_view word) const {
+  auto it = ids_.find(std::string(word));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Vocabulary::WordOf(TermId id) const {
+  assert(id < words_.size());
+  return words_[id];
+}
+
+std::shared_ptr<Vocabulary> Vocabulary::GenerateSynthetic(
+    size_t size, Rng& rng, const std::vector<std::string>& reserved_words) {
+  auto vocab = std::make_shared<Vocabulary>();
+  for (const auto& word : reserved_words) vocab->AddWord(word);
+  if (vocab->size() > size) {
+    std::fprintf(stderr,
+                 "Vocabulary::GenerateSynthetic: %zu reserved words exceed "
+                 "requested size %zu\n",
+                 reserved_words.size(), size);
+    std::abort();
+  }
+  WordSynthesizer synthesizer(rng);
+  size_t attempts = 0;
+  while (vocab->size() < size) {
+    std::string word = synthesizer.NextWord();
+    // Suffix a counter if the syllable space is getting exhausted; keeps
+    // generation O(size) even for very large vocabularies.
+    if (++attempts > 4 * size) word += std::to_string(attempts);
+    vocab->AddWord(word);
+  }
+  return vocab;
+}
+
+std::string WordSynthesizer::NextWord() {
+  static constexpr const char* kOnsets[] = {
+      "b", "d", "f", "g", "h", "j", "k", "l", "m", "n",
+      "p", "r", "s", "t", "v", "z", "br", "dr", "st", "tr"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u",
+                                            "ai", "ei", "ou"};
+  static constexpr const char* kCodas[] = {"", "", "", "n", "r", "s", "k",
+                                           "l", "m", "t"};
+  const int syllables = static_cast<int>(rng_.UniformU64(2, 4));
+  std::string word;
+  word.reserve(12);
+  for (int i = 0; i < syllables; ++i) {
+    word += kOnsets[rng_.UniformBelow(std::size(kOnsets))];
+    word += kVowels[rng_.UniformBelow(std::size(kVowels))];
+    if (i + 1 == syllables) {
+      word += kCodas[rng_.UniformBelow(std::size(kCodas))];
+    }
+  }
+  return word;
+}
+
+}  // namespace asup

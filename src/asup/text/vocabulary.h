@@ -1,0 +1,77 @@
+#ifndef ASUP_TEXT_VOCABULARY_H_
+#define ASUP_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asup/util/random.h"
+
+namespace asup {
+
+/// Integer identifier of a word. Term ids are dense: 0 .. size()-1.
+using TermId = uint32_t;
+
+/// Sentinel for "no such term".
+inline constexpr TermId kInvalidTerm = UINT32_MAX;
+
+/// Bidirectional word <-> TermId mapping shared by a corpus, its index, the
+/// search engine, and the adversary's query pool.
+///
+/// The paper's corpora are English web pages; our synthetic substitute
+/// generates pronounceable pseudo-words (plus injected real topic words such
+/// as "sports" that the paper's SUM experiment and correlated-query attack
+/// refer to), so examples and debug output stay readable.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  /// Adds `word` if absent; returns its id either way.
+  TermId AddWord(std::string_view word);
+
+  /// Returns the id of `word`, or nullopt if unknown.
+  std::optional<TermId> Lookup(std::string_view word) const;
+
+  /// Returns the word for `id`. Requires id < size().
+  const std::string& WordOf(TermId id) const;
+
+  /// Number of distinct words.
+  size_t size() const { return words_.size(); }
+
+  /// Generates a vocabulary of exactly `size` distinct pronounceable
+  /// pseudo-words. `reserved_words` are inserted first (ids 0, 1, ...) so
+  /// callers can pin real words (e.g., "sports") to known ids.
+  static std::shared_ptr<Vocabulary> GenerateSynthetic(
+      size_t size, Rng& rng,
+      const std::vector<std::string>& reserved_words = {});
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, TermId> ids_;
+};
+
+/// Produces distinct pronounceable pseudo-words ("zorimak", "beltanu", ...).
+class WordSynthesizer {
+ public:
+  explicit WordSynthesizer(Rng& rng) : rng_(rng) {}
+
+  /// Returns a random word of 2-4 syllables. Distinctness is the caller's
+  /// concern (Vocabulary::GenerateSynthetic retries on collision).
+  std::string NextWord();
+
+ private:
+  Rng& rng_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_TEXT_VOCABULARY_H_

@@ -1,0 +1,69 @@
+#include "asup/util/bitvector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace asup {
+
+BitVector::BitVector(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+void BitVector::Set(size_t i) {
+  assert(i < num_bits_);
+  words_[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+void BitVector::Clear(size_t i) {
+  assert(i < num_bits_);
+  words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+bool BitVector::Test(size_t i) const {
+  assert(i < num_bits_);
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+void BitVector::Reset() {
+  for (auto& word : words_) word = 0;
+}
+
+size_t BitVector::Count() const {
+  size_t total = 0;
+  for (uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+size_t BitVector::CountAnd(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+void BitVector::AccumulateInto(std::vector<uint32_t>& accumulator) const {
+  assert(accumulator.size() >= num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      accumulator[w * 64 + static_cast<size_t>(bit)] += 1;
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace asup

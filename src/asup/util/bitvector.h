@@ -1,0 +1,69 @@
+#ifndef ASUP_UTIL_BITVECTOR_H_
+#define ASUP_UTIL_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace asup {
+
+/// A fixed-size bit vector.
+///
+/// Used by AS-ARBI's trigger pre-screen: each document keeps a 1000-bit
+/// signature with one bit set per historic query that returned it
+/// (Section 5.3 of the paper). The class also backs generic set membership
+/// needs elsewhere in the library.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a vector of `num_bits` zero bits.
+  explicit BitVector(size_t num_bits);
+
+  /// Number of addressable bits.
+  size_t size() const { return num_bits_; }
+
+  /// Sets bit `i` to one. Requires i < size().
+  void Set(size_t i);
+
+  /// Clears bit `i`. Requires i < size().
+  void Clear(size_t i);
+
+  /// Returns bit `i`. Requires i < size().
+  bool Test(size_t i) const;
+
+  /// Sets all bits to zero.
+  void Reset();
+
+  /// Number of one bits.
+  size_t Count() const;
+
+  /// Returns true if no bit is set.
+  bool None() const { return Count() == 0; }
+
+  /// Bitwise OR-assign; requires equal sizes.
+  BitVector& operator|=(const BitVector& other);
+
+  /// Bitwise AND-assign; requires equal sizes.
+  BitVector& operator&=(const BitVector& other);
+
+  /// Number of positions set in both vectors; requires equal sizes.
+  size_t CountAnd(const BitVector& other) const;
+
+  /// Adds each bit of `this` (0/1) into `accumulator`, which must have at
+  /// least size() entries. This is the "SUM of binary vectors" step of the
+  /// AS-ARBI trigger evaluation.
+  void AccumulateInto(std::vector<uint32_t>& accumulator) const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_UTIL_BITVECTOR_H_

@@ -1,0 +1,57 @@
+#include "asup/util/csv.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace asup {
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void CsvTable::AddRow(const std::vector<double>& row) {
+  assert(row.size() == columns_.size());
+  rows_.push_back(row);
+}
+
+double CsvTable::At(size_t row, size_t col) const {
+  assert(row < rows_.size() && col < columns_.size());
+  return rows_[row][col];
+}
+
+std::vector<double> CsvTable::Column(const std::string& name) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == name) {
+      std::vector<double> out;
+      out.reserve(rows_.size());
+      for (const auto& row : rows_) out.push_back(row[c]);
+      return out;
+    }
+  }
+  std::fprintf(stderr, "CsvTable: unknown column '%s'\n", name.c_str());
+  std::abort();
+}
+
+void CsvTable::Print(std::ostream& out) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) out << ',';
+    out << columns_[c];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << FormatCell(row[c]);
+    }
+    out << '\n';
+  }
+}
+
+std::string FormatCell(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace asup

@@ -1,0 +1,53 @@
+#ifndef ASUP_UTIL_CSV_H_
+#define ASUP_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace asup {
+
+/// Columnar table of doubles with named columns, printed as CSV.
+///
+/// Every benchmark harness in `bench/` reproduces one paper figure by
+/// emitting a `CsvTable` whose columns match the figure's series (e.g.,
+/// "queries, est_S, est_1.33S, est_1.67S, est_2S" for Figure 4), so the
+/// output can be plotted directly against the paper.
+class CsvTable {
+ public:
+  /// Creates a table with the given column names.
+  explicit CsvTable(std::vector<std::string> columns);
+
+  /// Appends one row; must have exactly one value per column.
+  void AddRow(const std::vector<double>& row);
+
+  /// Number of data rows.
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Number of columns.
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Column names in order.
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Returns the value at (row, column index).
+  double At(size_t row, size_t col) const;
+
+  /// Returns an entire column by name; aborts if the name is unknown.
+  std::vector<double> Column(const std::string& name) const;
+
+  /// Writes "col1,col2,...\n" followed by one line per row.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Formats a double with up to six significant digits, trimming trailing
+/// zeros (compact CSV cells).
+std::string FormatCell(double value);
+
+}  // namespace asup
+
+#endif  // ASUP_UTIL_CSV_H_

@@ -1,0 +1,32 @@
+#include "asup/util/hash.h"
+
+namespace asup {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+uint64_t HashString(std::string_view s) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+double DeterministicCoin::UniformDouble(uint64_t a, uint64_t b) const {
+  const uint64_t word = Mix64(HashCombine(HashCombine(key_, a), b));
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+}  // namespace asup

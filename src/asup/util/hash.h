@@ -1,0 +1,46 @@
+#ifndef ASUP_UTIL_HASH_H_
+#define ASUP_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace asup {
+
+/// Finalizing 64-bit mixer (splitmix64 finalizer). Good avalanche behavior;
+/// used to turn structured keys into pseudo-random words.
+uint64_t Mix64(uint64_t x);
+
+/// Combines two 64-bit hashes into one.
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// FNV-1a hash of a byte string.
+uint64_t HashString(std::string_view s);
+
+/// A keyed source of *deterministic* pseudo-random decisions.
+///
+/// AS-SIMPLE must remove each query/document edge with a fixed probability,
+/// but a search engine is required to be deterministic: re-issuing a query
+/// must return the same answer (Section 2.1 of the paper). Deriving every
+/// coin from a secret key and the edge identity gives random-looking yet
+/// perfectly repeatable decisions without storing per-edge state.
+class DeterministicCoin {
+ public:
+  explicit DeterministicCoin(uint64_t key) : key_(key) {}
+
+  /// Returns a uniform double in [0, 1) fully determined by (key, a, b).
+  double UniformDouble(uint64_t a, uint64_t b) const;
+
+  /// Returns true with probability `p`, deterministically for (key, a, b).
+  bool Accept(uint64_t a, uint64_t b, double p) const {
+    return UniformDouble(a, b) < p;
+  }
+
+  uint64_t key() const { return key_; }
+
+ private:
+  uint64_t key_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_UTIL_HASH_H_

@@ -1,0 +1,164 @@
+#include "asup/util/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace asup {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformU64(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = hi - lo;
+  if (span == UINT64_MAX) return NextU64();
+  return lo + UniformBelow(span + 1);
+}
+
+uint64_t Rng::UniformBelow(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t value = NextU64();
+  while (value >= limit) value = NextU64();
+  return value % n;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; one fresh pair per call keeps the generator stateless
+  // beyond its core state.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+uint64_t Rng::Geometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 1;
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return 1 + static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n,
+                                                    uint64_t count) {
+  assert(count <= n);
+  std::vector<uint64_t> result;
+  result.reserve(count);
+  if (count == 0) return result;
+  if (count * 3 < n) {
+    // Floyd's algorithm: O(count) memory, no O(n) initialization.
+    std::unordered_set<uint64_t> chosen;
+    chosen.reserve(count * 2);
+    for (uint64_t j = n - count; j < n; ++j) {
+      uint64_t t = UniformU64(0, j);
+      if (chosen.insert(t).second) {
+        result.push_back(t);
+      } else {
+        chosen.insert(j);
+        result.push_back(j);
+      }
+    }
+  } else {
+    // Partial Fisher-Yates over the full population.
+    std::vector<uint64_t> population(n);
+    for (uint64_t i = 0; i < n; ++i) population[i] = i;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t j = UniformU64(i, n - 1);
+      std::swap(population[i], population[j]);
+      result.push_back(population[i]);
+    }
+  }
+  Shuffle(result);
+  return result;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s));
+}
+
+double ZipfDistribution::H(double x) const {
+  // H(x) = integral of 1/t^s: (x^{1-s} - 1)/(1-s), with the s == 1 limit
+  // being log(x).
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  // Rejection-inversion (Hörmann & Derflinger 1996): invert the hazard
+  // integral, then accept/reject against the true mass.
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k - 1;  // callers use 0-based ranks
+    }
+  }
+}
+
+}  // namespace asup

@@ -1,0 +1,107 @@
+#ifndef ASUP_UTIL_RANDOM_H_
+#define ASUP_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace asup {
+
+/// Deterministic, seedable pseudo-random number generator.
+///
+/// Implements xoshiro256** seeded via splitmix64. All randomized components
+/// of the library (corpus generation, attacks, defenses) draw from an
+/// explicitly passed `Rng` so that every experiment is reproducible from a
+/// single seed. The generator is cheap to copy; independent streams should
+/// be derived with `Fork()`.
+class Rng {
+ public:
+  /// Creates a generator whose entire stream is determined by `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t NextU64();
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a uniform integer in the closed range [lo, hi]. Requires
+  /// lo <= hi.
+  uint64_t UniformU64(uint64_t lo, uint64_t hi);
+
+  /// Returns a uniform integer in [0, n). Requires n > 0. Uses rejection to
+  /// avoid modulo bias.
+  uint64_t UniformBelow(uint64_t n);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns a sample from Normal(mean, stddev) via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  /// Returns a sample from LogNormal(mu, sigma) (parameters of the
+  /// underlying normal).
+  double LogNormal(double mu, double sigma);
+
+  /// Returns a geometrically distributed trial count >= 1 with success
+  /// probability `p` in (0, 1].
+  uint64_t Geometric(double p);
+
+  /// Returns a new generator seeded from this one; the two streams are
+  /// statistically independent.
+  Rng Fork();
+
+  /// Samples `count` distinct values from [0, n) without replacement,
+  /// in uniformly random order. Requires count <= n. Uses Floyd's algorithm
+  /// when count << n and a partial Fisher-Yates shuffle otherwise.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t count);
+
+  /// Shuffles `values` in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformBelow(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Picks one element of `values` uniformly at random. Requires non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& values) {
+    return values[UniformBelow(values.size())];
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks {0, 1, ..., n-1}: P(rank = r) proportional to
+/// 1 / (r + 1)^s. Uses the rejection-inversion method of Hörmann and
+/// Derflinger, which needs O(1) setup memory and O(1) expected time per
+/// sample, so it scales to vocabulary-sized supports.
+class ZipfDistribution {
+ public:
+  /// Requires n >= 1 and s > 0, s != 1 handled as well as s == 1.
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Returns a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_UTIL_RANDOM_H_

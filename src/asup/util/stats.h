@@ -1,0 +1,61 @@
+#ifndef ASUP_UTIL_STATS_H_
+#define ASUP_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asup {
+
+/// Numerically stable streaming moments (Welford's algorithm).
+///
+/// The sampling-based estimators (UNBIASED-EST, STRATIFIED-EST) maintain
+/// running means and variances of per-query estimates; the privacy-game
+/// harness uses the derived standard errors for adversarial confidence
+/// intervals.
+class StreamingStats {
+ public:
+  StreamingStats() = default;
+
+  /// Incorporates one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford update).
+  void Merge(const StreamingStats& other);
+
+  /// Number of observations so far.
+  uint64_t count() const { return count_; }
+
+  /// Mean of observations; 0 if empty.
+  double Mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 if fewer than two observations.
+  double Variance() const;
+
+  /// Square root of Variance().
+  double StdDev() const;
+
+  /// Standard error of the mean; 0 if fewer than two observations.
+  double StdError() const;
+
+  /// Half-width of a normal-approximation confidence interval around the
+  /// mean at the given z value (e.g., 1.96 for 95%).
+  double ConfidenceHalfWidth(double z = 1.96) const;
+
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+}  // namespace asup
+
+#endif  // ASUP_UTIL_STATS_H_

@@ -1,0 +1,3 @@
+#include "asup/util/stopwatch.h"
+
+// Header-only; this translation unit anchors the target.

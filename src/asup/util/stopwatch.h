@@ -1,0 +1,37 @@
+#ifndef ASUP_UTIL_STOPWATCH_H_
+#define ASUP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace asup {
+
+/// Monotonic wall-clock stopwatch used by the overhead experiments
+/// (paper Figure 15 reports the defended/undefended response-time ratio).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset(), in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_UTIL_STOPWATCH_H_

@@ -1,0 +1,116 @@
+#include "asup/workload/aol_like.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "asup/util/random.h"
+
+namespace asup {
+
+namespace {
+
+size_t SampleWordCount(Rng& rng, const double probs[4]) {
+  const double u = rng.NextDouble();
+  double cumulative = 0.0;
+  for (size_t i = 0; i < 4; ++i) {
+    cumulative += probs[i];
+    if (u < cumulative) return i + 1;
+  }
+  return 4;
+}
+
+// Draws `count` distinct terms from `doc`, weighted by in-document
+// frequency (frequent words of a page are what a user searching for that
+// page would type).
+std::vector<TermId> DrawFromDocument(Rng& rng, const Document& doc,
+                                     size_t count) {
+  std::vector<TermId> picked;
+  const auto& terms = doc.terms();
+  if (terms.empty()) return picked;
+  for (size_t attempt = 0; attempt < count * 8 && picked.size() < count;
+       ++attempt) {
+    uint32_t target = static_cast<uint32_t>(
+        rng.UniformU64(1, std::max<uint32_t>(doc.length(), 1)));
+    uint32_t running = 0;
+    TermId chosen = terms.back().term;
+    for (const TermFreq& entry : terms) {
+      running += entry.freq;
+      if (running >= target) {
+        chosen = entry.term;
+        break;
+      }
+    }
+    if (std::find(picked.begin(), picked.end(), chosen) == picked.end()) {
+      picked.push_back(chosen);
+    }
+  }
+  return picked;
+}
+
+}  // namespace
+
+AolLikeWorkload::AolLikeWorkload(const Corpus& corpus,
+                                 const AolLikeConfig& config)
+    : config_(config) {
+  assert(!corpus.empty());
+  Rng rng(config.seed);
+  const Vocabulary& vocabulary = corpus.vocabulary();
+
+  // Head-term distribution for the non-document-derived queries.
+  ZipfDistribution head_terms(vocabulary.size(), 1.1);
+
+  unique_.reserve(config.unique_queries);
+  while (unique_.size() < config.unique_queries) {
+    std::vector<TermId> terms;
+    if (!unique_.empty() && rng.Bernoulli(config.reformulation_fraction)) {
+      // Reformulate an earlier query: add a word from one of its matching
+      // documents, or drop a word.
+      const KeywordQuery& base = unique_[rng.UniformBelow(unique_.size())];
+      terms = base.terms();
+      if (terms.size() >= 2 && (terms.size() >= 4 || rng.Bernoulli(0.4))) {
+        terms.erase(terms.begin() + rng.UniformBelow(terms.size()));
+      } else if (!terms.empty()) {
+        // Find a document containing the base query's first term and add
+        // one of its words, so the refined query still matches something.
+        const TermId anchor = terms[rng.UniformBelow(terms.size())];
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const Document& doc =
+              corpus.documents()[rng.UniformBelow(corpus.size())];
+          if (!doc.Contains(anchor)) continue;
+          const auto extra = DrawFromDocument(rng, doc, 1);
+          if (!extra.empty() &&
+              std::find(terms.begin(), terms.end(), extra[0]) ==
+                  terms.end()) {
+            terms.push_back(extra[0]);
+          }
+          break;
+        }
+      }
+    } else {
+      const size_t words = SampleWordCount(rng, config.word_count_probs);
+      if (rng.Bernoulli(config.from_document_fraction)) {
+        const Document& doc =
+            corpus.documents()[rng.UniformBelow(corpus.size())];
+        terms = DrawFromDocument(rng, doc, words);
+      } else {
+        while (terms.size() < words) {
+          const TermId term = static_cast<TermId>(head_terms.Sample(rng));
+          if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
+            terms.push_back(term);
+          }
+        }
+      }
+    }
+    if (terms.empty()) continue;
+    unique_.push_back(KeywordQuery::FromTerms(vocabulary, std::move(terms)));
+  }
+
+  // Replay log: Zipf popularity over the unique population.
+  ZipfDistribution popularity(unique_.size(), config.popularity_zipf_s);
+  log_.reserve(config.log_size);
+  for (size_t i = 0; i < config.log_size; ++i) {
+    log_.push_back(unique_[popularity.Sample(rng)]);
+  }
+}
+
+}  // namespace asup

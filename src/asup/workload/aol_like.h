@@ -1,0 +1,72 @@
+#ifndef ASUP_WORKLOAD_AOL_LIKE_H_
+#define ASUP_WORKLOAD_AOL_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asup/engine/query.h"
+#include "asup/text/corpus.h"
+
+namespace asup {
+
+/// Parameters of the synthetic bona fide query log.
+///
+/// Substitutes for the AOL query log used in the paper's utility
+/// experiments (Section 6.1: the first 35,000 AOL queries, issued
+/// consecutively). The generator reproduces the log properties the utility
+/// results depend on: a Zipf-popularity query population (real logs repeat
+/// head queries heavily), short 1-4 word queries biased toward corpus head
+/// terms (so most queries overflow the top-k interface — the reason
+/// AS-SIMPLE's answer perturbation is barely visible to real users), and a
+/// tail of specific multi-word queries that are valid or underflow.
+struct AolLikeConfig {
+  /// Length of the replayed log (with duplicates).
+  size_t log_size = 35000;
+
+  /// Size of the unique-query population behind the log.
+  size_t unique_queries = 12000;
+
+  /// Zipf exponent of query popularity.
+  double popularity_zipf_s = 0.85;
+
+  /// P(query has 1, 2, 3, 4 words). Mean ≈ 2 words, as in AOL.
+  double word_count_probs[4] = {0.35, 0.40, 0.20, 0.05};
+
+  /// Fraction of unique queries whose words are drawn from a random corpus
+  /// document (guaranteeing at least one match); the rest combine frequent
+  /// corpus words at random and may underflow.
+  double from_document_fraction = 0.8;
+
+  /// Fraction of unique queries that are *reformulations* of an earlier
+  /// query — one word added or dropped ("sigmod 2012" -> "acm sigmod
+  /// 2012"). Real logs are full of such families (the paper calls out
+  /// "similar yet different queries" in Section 5.2); they retrieve
+  /// heavily overlapping results, which is exactly where AS-ARBI's virtual
+  /// query processing recovers the recall AS-SIMPLE loses.
+  double reformulation_fraction = 0.35;
+
+  uint64_t seed = 2006;
+};
+
+/// Generates and holds a bona fide query workload for a corpus.
+class AolLikeWorkload {
+ public:
+  AolLikeWorkload(const Corpus& corpus, const AolLikeConfig& config);
+
+  /// The full log, in replay order, duplicates included.
+  const std::vector<KeywordQuery>& log() const { return log_; }
+
+  /// The unique query population.
+  const std::vector<KeywordQuery>& unique_queries() const { return unique_; }
+
+  const AolLikeConfig& config() const { return config_; }
+
+ private:
+  AolLikeConfig config_;
+  std::vector<KeywordQuery> unique_;
+  std::vector<KeywordQuery> log_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_WORKLOAD_AOL_LIKE_H_

@@ -1,0 +1,31 @@
+#include "asup/workload/log_io.h"
+
+#include <fstream>
+
+namespace asup {
+
+bool SaveQueryLog(std::span<const KeywordQuery> log, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const KeywordQuery& query : log) {
+    out << query.canonical() << '\n';
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<KeywordQuery>> LoadQueryLog(
+    const std::string& path, const Vocabulary& vocabulary) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<KeywordQuery> log;
+  std::string line;
+  while (std::getline(in, line)) {
+    KeywordQuery query = KeywordQuery::Parse(vocabulary, line);
+    if (query.empty()) continue;  // skip blank lines
+    log.push_back(std::move(query));
+  }
+  return log;
+}
+
+}  // namespace asup

@@ -1,0 +1,32 @@
+#ifndef ASUP_WORKLOAD_LOG_IO_H_
+#define ASUP_WORKLOAD_LOG_IO_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asup/engine/query.h"
+
+namespace asup {
+
+/// Text persistence for query logs: one query per line, words separated by
+/// whitespace — the format of the AOL log release (and of most search-log
+/// dumps), so a real log file can be replayed against the engines with
+/// `LoadQueryLog` directly.
+
+/// Writes `log` to `path`, one canonical query per line. Returns false on
+/// I/O failure.
+bool SaveQueryLog(std::span<const KeywordQuery> log, const std::string& path);
+
+/// Reads a query log from `path`, parsing each non-empty line against
+/// `vocabulary`. Words unknown to the vocabulary are preserved in the
+/// query's canonical form and make it unanswerable — exactly how a live
+/// engine treats out-of-corpus queries. Returns nullopt if the file cannot
+/// be opened.
+std::optional<std::vector<KeywordQuery>> LoadQueryLog(
+    const std::string& path, const Vocabulary& vocabulary);
+
+}  // namespace asup
+
+#endif  // ASUP_WORKLOAD_LOG_IO_H_

@@ -1,0 +1,62 @@
+#include "asup/workload/query_log.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace asup {
+
+double WorkloadProfile::RecallLowerBound(double gamma) const {
+  // Equation (4): recall >= min[ (ρ_γ(γ-1)+1)/γ ,
+  //                              (d̄·|Ω_B| + (γ-1)·n_1) / (γ·d̄·|Ω_B|) ].
+  const double d_total =
+      avg_docs_returned * static_cast<double>(num_queries);
+  if (d_total == 0.0) return 1.0;  // nothing returned, nothing lost
+  const double first =
+      (gamma_overflow_fraction * (gamma - 1.0) + 1.0) / gamma;
+  const double second =
+      (d_total + (gamma - 1.0) * static_cast<double>(docs_returned_once)) /
+      (gamma * d_total);
+  return std::min(first, second);
+}
+
+double WorkloadProfile::PrecisionLowerBound(double gamma) const {
+  // Equation (5): precision >= 1 - (1 - 1/γ)·ρ_O.
+  return 1.0 - (1.0 - 1.0 / gamma) * overflow_fraction;
+}
+
+WorkloadProfile ProfileWorkload(PlainSearchEngine& engine,
+                                std::span<const KeywordQuery> queries,
+                                double gamma) {
+  WorkloadProfile profile;
+  profile.num_queries = queries.size();
+  const double gamma_k = gamma * static_cast<double>(engine.k());
+  size_t overflow = 0;
+  size_t gamma_overflow = 0;
+  uint64_t total_returned = 0;
+  std::unordered_map<DocId, uint32_t> return_counts;
+  for (const KeywordQuery& query : queries) {
+    const RankedMatches ranked = engine.TopMatches(query, engine.k());
+    if (ranked.total_matches == 0) ++profile.underflow_queries;
+    if (ranked.total_matches > engine.k()) ++overflow;
+    if (static_cast<double>(ranked.total_matches) > gamma_k) ++gamma_overflow;
+    total_returned += ranked.docs.size();
+    for (const ScoredDoc& scored : ranked.docs) {
+      return_counts[scored.doc] += 1;
+    }
+  }
+  if (!queries.empty()) {
+    profile.overflow_fraction =
+        static_cast<double>(overflow) / static_cast<double>(queries.size());
+    profile.gamma_overflow_fraction =
+        static_cast<double>(gamma_overflow) /
+        static_cast<double>(queries.size());
+    profile.avg_docs_returned = static_cast<double>(total_returned) /
+                                static_cast<double>(queries.size());
+  }
+  for (const auto& [doc, count] : return_counts) {
+    if (count == 1) ++profile.docs_returned_once;
+  }
+  return profile;
+}
+
+}  // namespace asup

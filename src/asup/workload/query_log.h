@@ -1,0 +1,40 @@
+#ifndef ASUP_WORKLOAD_QUERY_LOG_H_
+#define ASUP_WORKLOAD_QUERY_LOG_H_
+
+#include <cstddef>
+#include <span>
+
+#include "asup/engine/query.h"
+#include "asup/engine/search_engine.h"
+
+namespace asup {
+
+/// Workload statistics in the vocabulary of Theorem 4.2, which lower-bounds
+/// AS-SIMPLE's recall and precision in terms of:
+///   ρ_O — fraction of workload queries that overflow (|q| > k),
+///   ρ_γ — fraction matching more than γ·k documents,
+///   d̄  — average number of documents returned per query,
+///   n_1 — number of documents returned exactly once by the workload.
+struct WorkloadProfile {
+  size_t num_queries = 0;
+  size_t underflow_queries = 0;
+  double overflow_fraction = 0.0;        // ρ_O
+  double gamma_overflow_fraction = 0.0;  // ρ_γ
+  double avg_docs_returned = 0.0;        // d̄
+  size_t docs_returned_once = 0;         // n_1
+
+  /// Theorem 4.2's recall lower bound for obfuscation factor γ.
+  double RecallLowerBound(double gamma) const;
+
+  /// Theorem 4.2's precision lower bound for obfuscation factor γ.
+  double PrecisionLowerBound(double gamma) const;
+};
+
+/// Profiles a workload against the *undefended* engine.
+WorkloadProfile ProfileWorkload(PlainSearchEngine& engine,
+                                std::span<const KeywordQuery> queries,
+                                double gamma);
+
+}  // namespace asup
+
+#endif  // ASUP_WORKLOAD_QUERY_LOG_H_

@@ -1,0 +1,200 @@
+#include "asup/attack/correlated.h"
+
+#include <gtest/gtest.h>
+
+#include "asup/suppress/as_arbi.h"
+#include "asup/suppress/as_simple.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::MakeTopicalRig;
+using testing_util::Rig;
+
+TEST(CorrelatedAttackTest, BuildsPairQueries) {
+  Rig rig = MakeRig(100, 5, /*seed=*/31, /*held_out_size=*/400);
+  CorrelatedQueryAttack::Options options;
+  options.num_queries = 20;
+  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const auto& queries = attack.queries();
+  ASSERT_GE(queries.size(), 5u);
+  ASSERT_LE(queries.size(), 20u);
+  const TermId sports = *rig.held_out->vocabulary().Lookup("sports");
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.terms().size(), 2u);
+    EXPECT_TRUE(q.terms()[0] == sports || q.terms()[1] == sports);
+  }
+}
+
+TEST(CorrelatedAttackTest, SeedQueryOptional) {
+  Rig rig = MakeRig(100, 5, /*seed=*/31, /*held_out_size=*/400);
+  CorrelatedQueryAttack::Options options;
+  options.num_queries = 10;
+  options.include_seed_query = true;
+  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  EXPECT_EQ(attack.queries()[0].canonical(), "sports");
+  EXPECT_EQ(attack.queries()[1].terms().size(), 2u);
+}
+
+TEST(CorrelatedAttackTest, QueriesOrderedByCooccurrence) {
+  Rig rig = MakeRig(100, 5, /*seed=*/32, /*held_out_size=*/400);
+  CorrelatedQueryAttack attack(*rig.held_out, "sports");
+  const auto& queries = attack.queries();
+  const TermId sports = *rig.held_out->vocabulary().Lookup("sports");
+  auto cooccurrence = [&](const KeywordQuery& q) {
+    TermId other = q.terms()[0] == sports ? q.terms()[1] : q.terms()[0];
+    return rig.held_out->CountWhere([&](const Document& d) {
+      return d.Contains(sports) && d.Contains(other);
+    });
+  };
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_GE(cooccurrence(queries[i - 1]), cooccurrence(queries[i]));
+  }
+}
+
+TEST(CorrelatedAttackTest, CooccurrenceBandRespected) {
+  Rig rig = MakeRig(100, 5, /*seed=*/32, /*held_out_size=*/400);
+  CorrelatedQueryAttack::Options options;
+  options.min_cooccurrence = 5;
+  options.max_cooccurrence = 30;
+  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const TermId sports = *rig.held_out->vocabulary().Lookup("sports");
+  for (const auto& q : attack.queries()) {
+    TermId other = q.terms()[0] == sports ? q.terms()[1] : q.terms()[0];
+    const uint64_t count = rig.held_out->CountWhere([&](const Document& d) {
+      return d.Contains(sports) && d.Contains(other);
+    });
+    EXPECT_GE(count, 5u);
+    EXPECT_LE(count, 30u);
+  }
+}
+
+TEST(CorrelatedAttackTest, QueriesHeavilyOverlapOnTarget) {
+  // On the target corpus, the pair queries must return documents from the
+  // seed word's match set — the overlap that powers the attack.
+  Rig rig = MakeTopicalRig(600, 50, /*seed=*/33, /*held_out_size=*/900);
+  CorrelatedQueryAttack attack(*rig.held_out, "sports");
+  const TermId sports = *rig.corpus->vocabulary().Lookup("sports");
+  for (const auto& q : attack.queries()) {
+    for (DocId id : rig.engine->MatchIds(q)) {
+      EXPECT_TRUE(rig.corpus->Get(id).Contains(sports));
+    }
+  }
+}
+
+TEST(CorrelatedAttackTest, RunReturnsPerQueryCounts) {
+  Rig rig = MakeTopicalRig(600, 50, /*seed=*/34, /*held_out_size=*/900);
+  CorrelatedQueryAttack::Options options;
+  options.num_queries = 15;
+  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const auto counts = attack.Run(*rig.engine);
+  EXPECT_EQ(counts.size(), attack.queries().size());
+  for (size_t c : counts) EXPECT_LE(c, 50u);
+  EXPECT_GT(counts[0], 0u);  // the top-co-occurrence pair certainly matches
+}
+
+TEST(CorrelatedAttackTest, RevealsDecayUnderAsSimpleAtSegmentBottom) {
+  // Corpus near segment bottom (μ ≈ 1): AS-SIMPLE's edge removal makes
+  // later correlated answers visibly smaller than fresh ones.
+  Rig rig = MakeTopicalRig(1050, 50, /*seed=*/99, /*held_out_size=*/2000);
+  AsSimpleConfig config;
+  config.gamma = 2.0;
+  AsSimpleEngine defended(*rig.engine, config);
+  ASSERT_LT(defended.segment().mu(), 1.1);
+
+  CorrelatedQueryAttack::Options options;
+  options.num_queries = 60;
+  options.min_cooccurrence = 3;
+  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  ASSERT_GE(attack.queries().size(), 20u);
+  const auto counts = attack.Run(defended);
+
+  // Fresh counts: what each query would return with empty defense state.
+  double ratio_sum_tail = 0.0;
+  size_t tail = 0;
+  for (size_t i = counts.size() / 2; i < counts.size(); ++i) {
+    AsSimpleEngine fresh(*rig.engine, config);
+    const size_t fresh_count = fresh.Search(attack.queries()[i]).docs.size();
+    if (fresh_count == 0) continue;
+    ratio_sum_tail +=
+        static_cast<double>(counts[i]) / static_cast<double>(fresh_count);
+    ++tail;
+  }
+  ASSERT_GT(tail, 5u);
+  // Late queries return roughly μ/γ ≈ half of a fresh answer.
+  EXPECT_LT(ratio_sum_tail / static_cast<double>(tail), 0.75);
+}
+
+TEST(CorrelatedAttackTest, AsArbiSuppressesDecay) {
+  Rig rig = MakeTopicalRig(1050, 50, /*seed=*/99, /*held_out_size=*/2000);
+  AsArbiConfig config;
+  config.simple.gamma = 2.0;
+  AsArbiEngine defended(*rig.engine, config);
+
+  CorrelatedQueryAttack::Options options;
+  options.num_queries = 60;
+  options.min_cooccurrence = 3;
+  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const auto counts = attack.Run(defended);
+
+  AsSimpleConfig fresh_config;
+  fresh_config.gamma = 2.0;
+  double ratio_sum_tail = 0.0;
+  size_t tail = 0;
+  for (size_t i = counts.size() / 2; i < counts.size(); ++i) {
+    AsSimpleEngine fresh(*rig.engine, fresh_config);
+    const size_t fresh_count = fresh.Search(attack.queries()[i]).docs.size();
+    if (fresh_count == 0) continue;
+    ratio_sum_tail +=
+        static_cast<double>(counts[i]) / static_cast<double>(fresh_count);
+    ++tail;
+  }
+  ASSERT_GT(tail, 5u);
+  // Virtual query processing keeps answers at (or above) the fresh level.
+  EXPECT_GT(ratio_sum_tail / static_cast<double>(tail), 0.85);
+  EXPECT_GT(defended.stats().virtual_answers, counts.size() / 3);
+}
+
+TEST(CorrelatedAttackTest, OverflowMasksDecayOnLargerCorpus) {
+  // The 2P side of Figures 18/19: on a corpus where the correlated queries
+  // overflow by ~2x, hidden documents are replaced from the surplus, so
+  // the top co-occurrence queries' answer sizes barely move.
+  Rig rig = MakeTopicalRig(2100, 50, /*seed=*/99, /*held_out_size=*/2000);
+  AsSimpleConfig config;
+  config.gamma = 2.0;
+  AsSimpleEngine defended(*rig.engine, config);
+
+  CorrelatedQueryAttack::Options options;
+  options.num_queries = 20;  // broadest pairs only
+  options.min_cooccurrence = 3;
+  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const auto counts = attack.Run(defended);
+
+  double ratio_sum = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const auto& q = attack.queries()[i];
+    if (rig.engine->MatchCount(q) <
+        2 * static_cast<size_t>(rig.engine->k())) {
+      continue;  // only the overflowing queries demonstrate the masking
+    }
+    AsSimpleEngine fresh(*rig.engine, config);
+    const size_t fresh_count = fresh.Search(q).docs.size();
+    if (fresh_count == 0) continue;
+    ratio_sum +=
+        static_cast<double>(counts[i]) / static_cast<double>(fresh_count);
+    ++used;
+  }
+  ASSERT_GT(used, 3u);
+  EXPECT_GT(ratio_sum / static_cast<double>(used), 0.9);
+}
+
+TEST(CorrelatedAttackTest, SeedMustExist) {
+  Rig rig = MakeRig(50, 5, /*seed=*/36, /*held_out_size=*/50);
+  EXPECT_DEATH(CorrelatedQueryAttack(*rig.held_out, "notaword"), "unknown");
+}
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,235 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asup/attack/brute_force.h"
+#include "asup/engine/access_policy.h"
+#include "asup/attack/stratified_est.h"
+#include "asup/attack/unbiased_est.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+// Number of corpus documents recallable through the pool (return-degree
+// >= 1 under the top-k interface): the quantity UNBIASED-EST actually
+// estimates.
+double RecallableCount(const Rig& rig, const QueryPool& pool) {
+  std::set<DocId> recalled;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (const auto& scored : rig.engine->Search(pool.QueryAt(i)).docs) {
+      recalled.insert(scored.doc);
+    }
+  }
+  return static_cast<double>(recalled.size());
+}
+
+TEST(UnbiasedEstTest, EstimatesCountOnUndefendedEngine) {
+  Rig rig = MakeRig(400, 50, /*seed=*/19, /*held_out_size=*/400);
+  QueryPool pool(*rig.held_out);
+  const double recallable = RecallableCount(rig, pool);
+  ASSERT_GT(recallable, 300.0);
+
+  UnbiasedEstimator::Options options;
+  options.seed = 5;
+  UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
+                              FetchFrom(*rig.corpus), options);
+  const auto points = estimator.Run(*rig.engine, 40000, 10000);
+  ASSERT_FALSE(points.empty());
+  const double estimate = points.back().estimate;
+  EXPECT_NEAR(estimate, recallable, 0.3 * recallable);
+}
+
+TEST(UnbiasedEstTest, TrajectoryHasRequestedCadence) {
+  Rig rig = MakeRig(150, 50, /*seed=*/20, /*held_out_size=*/150);
+  QueryPool pool(*rig.held_out);
+  UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
+                              FetchFrom(*rig.corpus));
+  const auto points = estimator.Run(*rig.engine, 3000, 500);
+  ASSERT_GE(points.size(), 6u);
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    EXPECT_EQ(points[i].queries_issued, 500 * (i + 1));
+  }
+  EXPECT_GE(points.back().queries_issued, 3000u);
+}
+
+TEST(UnbiasedEstTest, RespectsQueryBudget) {
+  Rig rig = MakeRig(150, 50, /*seed=*/21, /*held_out_size=*/150);
+  QueryPool pool(*rig.held_out);
+  QueryCountingService counting(*rig.engine);
+  UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
+                              FetchFrom(*rig.corpus));
+  estimator.Run(counting, 2000, 1000);
+  EXPECT_LE(counting.queries_issued(), 2000u + 1);
+}
+
+TEST(UnbiasedEstTest, SumAggregateScalesWithLength) {
+  Rig rig = MakeRig(300, 50, /*seed=*/22, /*held_out_size=*/300);
+  QueryPool pool(*rig.held_out);
+  UnbiasedEstimator count_est(pool, AggregateQuery::Count(),
+                              FetchFrom(*rig.corpus));
+  UnbiasedEstimator sum_est(pool, AggregateQuery::SumLength(),
+                            FetchFrom(*rig.corpus));
+  const double count = count_est.Run(*rig.engine, 20000, 20000).back().estimate;
+  const double sum = sum_est.Run(*rig.engine, 20000, 20000).back().estimate;
+  const double avg_length =
+      static_cast<double>(rig.corpus->TotalLength()) /
+      static_cast<double>(rig.corpus->size());
+  // sum/count should be near the mean document length.
+  EXPECT_GT(sum, count);
+  EXPECT_NEAR(sum / count, avg_length, 0.6 * avg_length);
+}
+
+TEST(UnbiasedEstTest, DeterministicForSeed) {
+  Rig rig = MakeRig(150, 50, /*seed=*/23, /*held_out_size=*/150);
+  QueryPool pool(*rig.held_out);
+  UnbiasedEstimator::Options options;
+  options.seed = 77;
+  UnbiasedEstimator a(pool, AggregateQuery::Count(), FetchFrom(*rig.corpus),
+                      options);
+  UnbiasedEstimator b(pool, AggregateQuery::Count(), FetchFrom(*rig.corpus),
+                      options);
+  const auto pa = a.Run(*rig.engine, 2000, 500);
+  const auto pb = b.Run(*rig.engine, 2000, 500);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].estimate, pb[i].estimate);
+  }
+}
+
+TEST(StratifiedEstTest, StrataPartitionThePool) {
+  Rig rig = MakeRig(200, 50, /*seed=*/24, /*held_out_size=*/300);
+  QueryPool pool(*rig.held_out);
+  StratifiedEstimator estimator(pool, AggregateQuery::Count(),
+                                FetchFrom(*rig.corpus));
+  size_t total = 0;
+  for (size_t s = 0; s < estimator.NumStrata(); ++s) {
+    total += estimator.Stratum(s).size();
+  }
+  EXPECT_EQ(total, pool.size());
+  EXPECT_GE(estimator.NumStrata(), 2u);
+  EXPECT_LE(estimator.NumStrata(), 10u);
+}
+
+TEST(StratifiedEstTest, StrataOrderedByDf) {
+  Rig rig = MakeRig(200, 50, /*seed=*/25, /*held_out_size=*/300);
+  QueryPool pool(*rig.held_out);
+  StratifiedEstimator estimator(pool, AggregateQuery::Count(),
+                                FetchFrom(*rig.corpus));
+  // Max df of stratum s must be below min df of stratum s+2 (geometric
+  // buckets are contiguous).
+  for (size_t s = 0; s + 1 < estimator.NumStrata(); ++s) {
+    uint32_t max_df = 0;
+    for (uint32_t qi : estimator.Stratum(s)) {
+      max_df = std::max(max_df, pool.SampleDf(qi));
+    }
+    uint32_t min_df_next = UINT32_MAX;
+    for (uint32_t qi : estimator.Stratum(s + 1)) {
+      min_df_next = std::min(min_df_next, pool.SampleDf(qi));
+    }
+    EXPECT_LE(max_df, min_df_next * 2);
+  }
+}
+
+TEST(StratifiedEstTest, EstimatesCountOnUndefendedEngine) {
+  Rig rig = MakeRig(400, 50, /*seed=*/26, /*held_out_size=*/400);
+  QueryPool pool(*rig.held_out);
+  const double recallable = RecallableCount(rig, pool);
+  StratifiedEstimator::Options options;
+  options.seed = 6;
+  StratifiedEstimator estimator(pool, AggregateQuery::Count(),
+                                FetchFrom(*rig.corpus), options);
+  const auto points = estimator.Run(*rig.engine, 40000, 10000);
+  EXPECT_NEAR(points.back().estimate, recallable, 0.35 * recallable);
+}
+
+TEST(BruteForceTest, CrawlsDistinctDocsAndLowerBounds) {
+  Rig rig = MakeRig(500, 5, /*seed=*/27, /*held_out_size=*/300);
+  QueryPool pool(*rig.held_out);
+  BruteForceCrawler crawler(pool, AggregateQuery::Count(),
+                            FetchFrom(*rig.corpus));
+  const auto points = crawler.Run(*rig.engine, 300, 100);
+  const double estimate = points.back().estimate;
+  EXPECT_EQ(estimate, static_cast<double>(crawler.NumCrawledDocs()));
+  // With k = 5 and 300 queries, at most 1500 docs; and strictly fewer than
+  // the corpus (overlap + overflow truncation).
+  EXPECT_LE(estimate, 1500.0);
+  EXPECT_GT(estimate, 0.0);
+  EXPECT_LT(estimate, 500.0);
+}
+
+TEST(UnbiasedEstTest, SurvivesRateLimitedInterface) {
+  // Failure injection: the engine starts refusing mid-attack (the §2.1
+  // quota). The estimator must finish without crashing and report a
+  // finite (degraded) estimate.
+  Rig rig = MakeRig(300, 5, /*seed=*/29, /*held_out_size=*/200);
+  QueryPool pool(*rig.held_out);
+  AccessPolicy policy;
+  policy.queries_per_period = 150;
+  policy.block_periods = 0;  // blocked forever once exceeded
+  RateLimitedService limited(*rig.engine, policy);
+  UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
+                              FetchFrom(*rig.corpus));
+  const auto points = estimator.Run(limited, 2000, 500);
+  ASSERT_FALSE(points.empty());
+  EXPECT_TRUE(std::isfinite(points.back().estimate));
+  EXPECT_GE(points.back().estimate, 0.0);
+}
+
+TEST(UnbiasedEstTest, EmptyPoolYieldsZero) {
+  Rig rig = MakeRig(100, 5, /*seed=*/30, /*held_out_size=*/50);
+  QueryPool::Options options;
+  options.max_df_fraction = 0.0;  // filters out everything
+  QueryPool pool(*rig.held_out, options);
+  ASSERT_EQ(pool.size(), 0u);
+  UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
+                              FetchFrom(*rig.corpus));
+  const auto points = estimator.Run(*rig.engine, 100, 50);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points.back().estimate, 0.0);
+}
+
+TEST(StratifiedEstTest, EmptyPoolYieldsZero) {
+  Rig rig = MakeRig(100, 5, /*seed=*/31, /*held_out_size=*/50);
+  QueryPool::Options options;
+  options.max_df_fraction = 0.0;
+  QueryPool pool(*rig.held_out, options);
+  StratifiedEstimator estimator(pool, AggregateQuery::Count(),
+                                FetchFrom(*rig.corpus));
+  const auto points = estimator.Run(*rig.engine, 100, 50);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points.back().estimate, 0.0);
+}
+
+TEST(StratifiedEstTest, SurvivesRateLimitedInterface) {
+  Rig rig = MakeRig(300, 5, /*seed=*/32, /*held_out_size=*/200);
+  QueryPool pool(*rig.held_out);
+  AccessPolicy policy;
+  policy.queries_per_period = 100;
+  policy.block_periods = 0;
+  RateLimitedService limited(*rig.engine, policy);
+  StratifiedEstimator estimator(pool, AggregateQuery::Count(),
+                                FetchFrom(*rig.corpus));
+  const auto points = estimator.Run(limited, 1500, 500);
+  ASSERT_FALSE(points.empty());
+  EXPECT_TRUE(std::isfinite(points.back().estimate));
+}
+
+TEST(BruteForceTest, MonotoneTrajectory) {
+  Rig rig = MakeRig(300, 5, /*seed=*/28, /*held_out_size=*/200);
+  QueryPool pool(*rig.held_out);
+  BruteForceCrawler crawler(pool, AggregateQuery::Count(),
+                            FetchFrom(*rig.corpus));
+  const auto points = crawler.Run(*rig.engine, 200, 50);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].estimate, points[i - 1].estimate);
+  }
+}
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,301 @@
+#include "asup/attack/query_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "asup/attack/aggregate.h"
+#include "asup/attack/unbiased_est.h"
+
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+TEST(QueryPoolTest, PoolContainsDistinctSampleWords) {
+  Rig rig = MakeRig(200, 5, /*seed=*/3, /*held_out_size=*/150);
+  QueryPool pool(*rig.held_out);
+  EXPECT_GT(pool.size(), 100u);
+  // Every pool query is a single known word.
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool.QueryAt(i).terms().size(), 1u);
+    EXPECT_EQ(pool.QueryAt(i).terms()[0], pool.TermAt(i));
+  }
+}
+
+TEST(QueryPoolTest, SampleDfMatchesHeldOutCorpus) {
+  Rig rig = MakeRig(200, 5, /*seed=*/4, /*held_out_size=*/120);
+  QueryPool pool(*rig.held_out);
+  for (size_t i = 0; i < pool.size(); i += 37) {
+    const TermId term = pool.TermAt(i);
+    const uint64_t df = rig.held_out->CountWhere(
+        [term](const Document& d) { return d.Contains(term); });
+    EXPECT_EQ(pool.SampleDf(i), df);
+  }
+}
+
+TEST(QueryPoolTest, MatchingQueriesAreExactlyDocWordsInPool) {
+  Rig rig = MakeRig(300, 5, /*seed=*/5, /*held_out_size=*/150);
+  QueryPool pool(*rig.held_out);
+  const Document& doc = rig.corpus->documents()[7];
+  const auto matching = pool.MatchingQueries(doc);
+  // Every matching query's term is in the doc.
+  for (uint32_t qi : matching) {
+    EXPECT_TRUE(doc.Contains(pool.TermAt(qi)));
+  }
+  // Every doc word that is in the pool appears.
+  size_t expected = 0;
+  for (const TermFreq& entry : doc.terms()) {
+    if (pool.IndexOfTerm(entry.term) != UINT32_MAX) ++expected;
+  }
+  EXPECT_EQ(matching.size(), expected);
+}
+
+TEST(QueryPoolTest, IndexOfTermRoundTrips) {
+  Rig rig = MakeRig(100, 5, /*seed=*/6, /*held_out_size=*/100);
+  QueryPool pool(*rig.held_out);
+  for (size_t i = 0; i < pool.size(); i += 11) {
+    EXPECT_EQ(pool.IndexOfTerm(pool.TermAt(i)), i);
+  }
+}
+
+TEST(QueryPoolTest, SampleIndexWithinBounds) {
+  Rig rig = MakeRig(100, 5, /*seed=*/8, /*held_out_size=*/80);
+  QueryPool pool(*rig.held_out);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(pool.SampleIndex(rng), pool.size());
+  }
+}
+
+TEST(QueryPoolTest, PoolRecallsMostOfCorpus) {
+  // The held-out sample comes from the same universe, so its word pool
+  // should recall nearly every corpus document (the paper's worst-case
+  // assumption for the defender).
+  Rig rig = MakeRig(400, 5, /*seed=*/9, /*held_out_size=*/400);
+  QueryPool pool(*rig.held_out);
+  size_t recalled = 0;
+  for (const Document& doc : rig.corpus->documents()) {
+    if (!pool.MatchingQueries(doc).empty()) ++recalled;
+  }
+  EXPECT_GT(static_cast<double>(recalled) / rig.corpus->size(), 0.95);
+}
+
+TEST(QueryPoolTest, DfFilterDropsCommonWords) {
+  Rig rig = MakeRig(200, 5, /*seed=*/14, /*held_out_size=*/200);
+  QueryPool unfiltered(*rig.held_out);
+  QueryPool::Options options;
+  options.max_df_fraction = 0.05;
+  QueryPool filtered(*rig.held_out, options);
+  EXPECT_LT(filtered.size(), unfiltered.size());
+  const double max_df = 0.05 * static_cast<double>(rig.held_out->size());
+  for (size_t i = 0; i < filtered.size(); ++i) {
+    EXPECT_LE(static_cast<double>(filtered.SampleDf(i)), max_df);
+  }
+}
+
+TEST(QueryPoolTest, FilteredPoolStillRecallsMostDocs) {
+  // Rare words dominate recall: dropping the head of the df distribution
+  // barely reduces coverage (why real attack pools can ignore stop words).
+  Rig rig = MakeRig(400, 5, /*seed=*/15, /*held_out_size=*/400);
+  QueryPool::Options options;
+  options.max_df_fraction = 0.05;
+  QueryPool pool(*rig.held_out, options);
+  size_t recalled = 0;
+  for (const Document& doc : rig.corpus->documents()) {
+    if (!pool.MatchingQueries(doc).empty()) ++recalled;
+  }
+  EXPECT_GT(static_cast<double>(recalled) / rig.corpus->size(), 0.9);
+}
+
+TEST(QueryPoolTest, FilterOfOneKeepsEverything) {
+  Rig rig = MakeRig(100, 5, /*seed=*/16, /*held_out_size=*/100);
+  QueryPool unfiltered(*rig.held_out);
+  QueryPool::Options options;
+  options.max_df_fraction = 1.0;
+  QueryPool same(*rig.held_out, options);
+  EXPECT_EQ(same.size(), unfiltered.size());
+}
+
+TEST(WordPairPoolTest, BuildsTwoWordQueries) {
+  Rig rig = MakeRig(200, 5, /*seed=*/17, /*held_out_size=*/200);
+  const QueryPool pool = QueryPool::WordPairPool(*rig.held_out, 10, 1);
+  EXPECT_TRUE(pool.is_pair_pool());
+  EXPECT_GT(pool.size(), 100u);
+  for (size_t i = 0; i < pool.size(); i += 53) {
+    EXPECT_EQ(pool.QueryAt(i).terms().size(), 2u);
+  }
+}
+
+TEST(WordPairPoolTest, SampleDfIsExact) {
+  Rig rig = MakeRig(150, 5, /*seed=*/18, /*held_out_size=*/150);
+  const QueryPool pool = QueryPool::WordPairPool(*rig.held_out, 8, 2);
+  for (size_t i = 0; i < pool.size(); i += 71) {
+    const auto& terms = pool.QueryAt(i).terms();
+    ASSERT_EQ(terms.size(), 2u);
+    const uint64_t df = rig.held_out->CountWhere([&](const Document& d) {
+      return d.Contains(terms[0]) && d.Contains(terms[1]);
+    });
+    EXPECT_EQ(pool.SampleDf(i), df) << i;
+  }
+}
+
+TEST(WordPairPoolTest, MatchingQueriesConsistent) {
+  Rig rig = MakeRig(200, 5, /*seed=*/19, /*held_out_size=*/200);
+  const QueryPool pool = QueryPool::WordPairPool(*rig.held_out, 10, 3);
+  const Document& doc = rig.corpus->documents()[3];
+  const auto matching = pool.MatchingQueries(doc);
+  // Every reported query's both terms are in the doc.
+  for (uint32_t qi : matching) {
+    for (TermId term : pool.QueryAt(qi).terms()) {
+      EXPECT_TRUE(doc.Contains(term));
+    }
+  }
+  // Exhaustive cross-check: every pool query whose terms are both in the
+  // doc is reported.
+  size_t expected = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const auto& terms = pool.QueryAt(i).terms();
+    if (doc.Contains(terms[0]) && doc.Contains(terms[1])) ++expected;
+  }
+  EXPECT_EQ(matching.size(), expected);
+}
+
+TEST(WordPairPoolTest, PairDmaxBelowSingleWordDmax) {
+  // The point of phrase-style pools: documents match far fewer pool
+  // queries, keeping d_max small (SIMPLE-ADV's second condition). This
+  // requires a realistic (large) vocabulary — with a toy vocabulary every
+  // pair is common.
+  SyntheticCorpusConfig config;
+  config.vocabulary_size = 30000;
+  config.seed = 20;
+  SyntheticCorpusGenerator generator(config);
+  const Corpus corpus = generator.Generate(300);
+  const Corpus held_out = generator.Generate(300);
+  const QueryPool singles(held_out);
+  const QueryPool pairs = QueryPool::WordPairPool(held_out, 10, 4);
+  double single_avg = 0.0;
+  double pair_avg = 0.0;
+  const size_t probe = 50;
+  for (size_t i = 0; i < probe; ++i) {
+    const Document& doc = corpus.documents()[i];
+    single_avg += static_cast<double>(singles.MatchingQueries(doc).size());
+    pair_avg += static_cast<double>(pairs.MatchingQueries(doc).size());
+  }
+  // d_max is an absolute bound on the queries matching one document; the
+  // pair pool keeps it far smaller than the single-word pool does.
+  EXPECT_LT(pair_avg, 0.5 * single_avg);
+}
+
+TEST(WordPairPoolTest, DfFilterApplies) {
+  Rig rig = MakeRig(150, 5, /*seed=*/21, /*held_out_size=*/150);
+  QueryPool::Options options;
+  options.max_df_fraction = 0.02;
+  const QueryPool pool =
+      QueryPool::WordPairPool(*rig.held_out, 10, 5, options);
+  const double max_df = 0.02 * static_cast<double>(rig.held_out->size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_LE(static_cast<double>(pool.SampleDf(i)), max_df);
+  }
+}
+
+TEST(WordPairPoolTest, DeterministicForSeed) {
+  Rig rig = MakeRig(150, 5, /*seed=*/22, /*held_out_size=*/150);
+  const QueryPool a = QueryPool::WordPairPool(*rig.held_out, 10, 7);
+  const QueryPool b = QueryPool::WordPairPool(*rig.held_out, 10, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a.QueryAt(i).canonical(), b.QueryAt(i).canonical());
+  }
+}
+
+TEST(WordPairPoolTest, UsableByUnbiasedEstimator) {
+  Rig rig = MakeRig(400, 50, /*seed=*/23, /*held_out_size=*/400);
+  const QueryPool pool = QueryPool::WordPairPool(*rig.held_out, 25, 8);
+  UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
+                              FetchFrom(*rig.corpus));
+  const auto points = estimator.Run(*rig.engine, 20000, 20000);
+  // Pair pools recall fewer documents, so expect a sane but possibly lower
+  // estimate; it must still be in the right order of magnitude.
+  EXPECT_GT(points.back().estimate, 100.0);
+  EXPECT_LT(points.back().estimate, 1200.0);
+}
+
+TEST(AggregateQueryTest, CountMeasure) {
+  Rig rig = MakeRig(50, 5, /*seed=*/10);
+  const auto aggregate = AggregateQuery::Count();
+  EXPECT_EQ(aggregate.MeasureOf(rig.corpus->documents()[0]), 1.0);
+  EXPECT_EQ(aggregate.TrueValue(*rig.corpus), 50.0);
+}
+
+TEST(AggregateQueryTest, SumLengthMeasure) {
+  Rig rig = MakeRig(50, 5, /*seed=*/11);
+  const auto aggregate = AggregateQuery::SumLength();
+  EXPECT_EQ(aggregate.TrueValue(*rig.corpus),
+            static_cast<double>(rig.corpus->TotalLength()));
+}
+
+TEST(AggregateQueryTest, SelectionCondition) {
+  Rig rig = MakeRig(200, 5, /*seed=*/12);
+  const TermId sports = *rig.corpus->vocabulary().Lookup("sports");
+  const auto count = AggregateQuery::CountContaining(sports);
+  const auto sum = AggregateQuery::SumLengthContaining(sports);
+  double expected_count = 0;
+  double expected_sum = 0;
+  for (const Document& doc : rig.corpus->documents()) {
+    if (doc.Contains(sports)) {
+      expected_count += 1;
+      expected_sum += doc.length();
+    }
+  }
+  EXPECT_EQ(count.TrueValue(*rig.corpus), expected_count);
+  EXPECT_EQ(sum.TrueValue(*rig.corpus), expected_sum);
+  EXPECT_GT(expected_count, 0);
+}
+
+TEST(AggregateQueryTest, ConjunctiveSelectionCondition) {
+  Rig rig = MakeRig(300, 5, /*seed=*/12);
+  const auto& vocab = rig.corpus->vocabulary();
+  const TermId sports = *vocab.Lookup("sports");
+  const TermId game = *vocab.Lookup("game");
+  const auto both = AggregateQuery::CountContainingAll({sports, game});
+  double expected = 0;
+  for (const Document& doc : rig.corpus->documents()) {
+    if (doc.Contains(sports) && doc.Contains(game)) expected += 1;
+  }
+  EXPECT_EQ(both.TrueValue(*rig.corpus), expected);
+  // Conjunctive is never larger than either single condition.
+  EXPECT_LE(both.TrueValue(*rig.corpus),
+            AggregateQuery::CountContaining(sports).TrueValue(*rig.corpus));
+  EXPECT_LE(both.TrueValue(*rig.corpus),
+            AggregateQuery::CountContaining(game).TrueValue(*rig.corpus));
+}
+
+TEST(AggregateQueryTest, ConjunctiveSumCondition) {
+  Rig rig = MakeRig(200, 5, /*seed=*/12);
+  const auto& vocab = rig.corpus->vocabulary();
+  const TermId sports = *vocab.Lookup("sports");
+  const TermId team = *vocab.Lookup("team");
+  const auto sum = AggregateQuery::SumLengthContainingAll({sports, team});
+  double expected = 0;
+  for (const Document& doc : rig.corpus->documents()) {
+    if (doc.Contains(sports) && doc.Contains(team)) expected += doc.length();
+  }
+  EXPECT_EQ(sum.TrueValue(*rig.corpus), expected);
+}
+
+TEST(AggregateQueryTest, Names) {
+  Rig rig = MakeRig(10, 5, /*seed=*/13);
+  const auto& vocab = rig.corpus->vocabulary();
+  EXPECT_EQ(AggregateQuery::Count().Name(vocab), "COUNT(*)");
+  const TermId sports = *vocab.Lookup("sports");
+  EXPECT_EQ(AggregateQuery::SumLengthContaining(sports).Name(vocab),
+            "SUM(doc_length) WHERE contains 'sports'");
+  const TermId game = *vocab.Lookup("game");
+  EXPECT_EQ(AggregateQuery::CountContainingAll({sports, game}).Name(vocab),
+            "COUNT(*) WHERE contains 'sports' AND 'game'");
+}
+
+}  // namespace
+}  // namespace asup

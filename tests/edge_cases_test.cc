@@ -1,0 +1,141 @@
+// Edge cases and abort paths spanning modules.
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "asup/eval/utility.h"
+#include "asup/index/inverted_index.h"
+#include "asup/suppress/as_simple.h"
+#include "asup/util/csv.h"
+#include "asup/util/stopwatch.h"
+#include "asup/workload/aol_like.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+TEST(EdgeCasesTest, EmptyCorpusIndex) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddWord("word");
+  Corpus corpus(vocab, {});
+  InvertedIndex index(corpus);
+  EXPECT_EQ(index.NumDocuments(), 0u);
+  EXPECT_EQ(index.stats().num_terms, 0u);
+  PlainSearchEngine engine(index, 5);
+  const auto result =
+      engine.Search(KeywordQuery::Parse(*vocab, "word"));
+  EXPECT_EQ(result.status, QueryStatus::kUnderflow);
+}
+
+TEST(EdgeCasesTest, SingleDocumentCorpusWithDefense) {
+  auto vocab = std::make_shared<Vocabulary>();
+  std::vector<Document> docs;
+  docs.emplace_back(0, std::vector<TermId>{vocab->AddWord("alpha"),
+                                           vocab->AddWord("beta")});
+  Corpus corpus(vocab, std::move(docs));
+  InvertedIndex index(corpus);
+  PlainSearchEngine engine(index, 5);
+  AsSimpleEngine defended(engine, AsSimpleConfig{});
+  // n = 1 sits at the bottom of segment [1, 2).
+  EXPECT_EQ(defended.segment().segment_index(), 0);
+  const auto result =
+      defended.Search(KeywordQuery::Parse(*vocab, "alpha"));
+  EXPECT_LE(result.docs.size(), 1u);
+}
+
+TEST(EdgeCasesTest, EmptyQuerySearch) {
+  Rig rig = MakeRig(100, 5);
+  const auto q = KeywordQuery::Parse(rig.corpus->vocabulary(), "");
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(rig.engine->Search(q).status, QueryStatus::kUnderflow);
+}
+
+TEST(EdgeCasesTest, TopMatchesWithZeroLimit) {
+  Rig rig = MakeRig(200, 5);
+  const auto ranked = rig.engine->TopMatches(rig.Q("sports"), 0);
+  EXPECT_TRUE(ranked.docs.empty());
+  EXPECT_GT(ranked.total_matches, 0u);
+}
+
+TEST(EdgeCasesTest, RankDocsEmptySpan) {
+  Rig rig = MakeRig(100, 5);
+  EXPECT_TRUE(rig.engine->RankDocs(rig.Q("sports"), {}).empty());
+}
+
+TEST(EdgeCasesTest, MeasureUtilityEmptyLog) {
+  Rig rig = MakeRig(100, 5);
+  const auto points =
+      MeasureUtility(*rig.engine, *rig.engine, {}, 10);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].queries, 0u);
+  EXPECT_EQ(points[0].recall, 1.0);
+}
+
+TEST(EdgeCasesTest, WorkloadContainsReformulationFamilies) {
+  // The reformulation mechanism must produce queries in subset/superset
+  // relations (the "sigmod 2012" / "acm sigmod 2012" pattern).
+  Rig rig = MakeRig(400, 5);
+  AolLikeConfig config;
+  config.log_size = 400;
+  config.unique_queries = 200;
+  AolLikeWorkload workload(*rig.corpus, config);
+  size_t families = 0;
+  const auto& uniques = workload.unique_queries();
+  for (size_t i = 0; i < uniques.size() && families == 0; ++i) {
+    for (size_t j = 0; j < uniques.size(); ++j) {
+      if (i == j) continue;
+      const auto& small = uniques[i].terms();
+      const auto& big = uniques[j].terms();
+      if (small.empty() || small.size() >= big.size()) continue;
+      if (std::includes(big.begin(), big.end(), small.begin(),
+                        small.end())) {
+        ++families;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(families, 0u);
+}
+
+TEST(EdgeCasesDeathTest, CsvUnknownColumnAborts) {
+  CsvTable table({"a"});
+  EXPECT_DEATH(table.Column("nope"), "unknown column");
+}
+
+TEST(EdgeCasesDeathTest, CorpusDuplicateIdAborts) {
+  auto vocab = std::make_shared<Vocabulary>();
+  const TermId t = vocab->AddWord("x");
+  std::vector<Document> docs;
+  docs.emplace_back(7, std::vector<TermId>{t});
+  docs.emplace_back(7, std::vector<TermId>{t});
+  EXPECT_DEATH(Corpus(vocab, std::move(docs)), "duplicate");
+}
+
+TEST(EdgeCasesDeathTest, CorpusUnknownIdAborts) {
+  auto vocab = std::make_shared<Vocabulary>();
+  const TermId t = vocab->AddWord("x");
+  std::vector<Document> docs;
+  docs.emplace_back(1, std::vector<TermId>{t});
+  Corpus corpus(vocab, std::move(docs));
+  EXPECT_DEATH(corpus.Get(99), "unknown");
+}
+
+TEST(EdgeCasesTest, StopwatchMeasuresForwardTime) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GT(watch.ElapsedNanos(), 0);
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  const int64_t first = watch.ElapsedNanos();
+  EXPECT_GE(watch.ElapsedNanos(), first);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedNanos(), first + 1000000000);
+}
+
+}  // namespace
+}  // namespace asup

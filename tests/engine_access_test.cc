@@ -1,0 +1,114 @@
+#include "asup/engine/access_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asup/attack/query_pool.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+TEST(RateLimitTest, AllowsWithinQuota) {
+  Rig rig = MakeRig(300, 5);
+  AccessPolicy policy;
+  policy.queries_per_period = 10;
+  RateLimitedService limited(*rig.engine, policy);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NE(limited.Search(rig.Q("sports")).status, QueryStatus::kDeclined);
+  }
+  EXPECT_EQ(limited.queries_this_period(), 10u);
+  EXPECT_FALSE(limited.blocked());
+}
+
+TEST(RateLimitTest, RefusesBeyondQuota) {
+  Rig rig = MakeRig(300, 5);
+  AccessPolicy policy;
+  policy.queries_per_period = 3;
+  RateLimitedService limited(*rig.engine, policy);
+  for (int i = 0; i < 3; ++i) limited.Search(rig.Q("sports"));
+  const auto refused = limited.Search(rig.Q("game"));
+  EXPECT_EQ(refused.status, QueryStatus::kDeclined);
+  EXPECT_TRUE(refused.docs.empty());
+  EXPECT_TRUE(limited.blocked());
+  EXPECT_EQ(limited.refused(), 1u);
+}
+
+TEST(RateLimitTest, QuotaRefillsNextPeriod) {
+  Rig rig = MakeRig(300, 5);
+  AccessPolicy policy;
+  policy.queries_per_period = 2;
+  policy.block_periods = 1;
+  RateLimitedService limited(*rig.engine, policy);
+  limited.Search(rig.Q("sports"));
+  limited.Search(rig.Q("game"));
+  EXPECT_EQ(limited.Search(rig.Q("team")).status, QueryStatus::kDeclined);
+  limited.AdvancePeriod();
+  EXPECT_NE(limited.Search(rig.Q("team")).status, QueryStatus::kDeclined);
+}
+
+TEST(RateLimitTest, LongBlockPersistsAcrossPeriods) {
+  Rig rig = MakeRig(300, 5);
+  AccessPolicy policy;
+  policy.queries_per_period = 1;
+  policy.block_periods = 3;
+  RateLimitedService limited(*rig.engine, policy);
+  limited.Search(rig.Q("sports"));
+  limited.Search(rig.Q("game"));  // exceeds -> blocked for 3 periods
+  limited.AdvancePeriod();
+  EXPECT_EQ(limited.Search(rig.Q("team")).status, QueryStatus::kDeclined);
+  limited.AdvancePeriod();
+  EXPECT_EQ(limited.Search(rig.Q("team")).status, QueryStatus::kDeclined);
+  limited.AdvancePeriod();
+  EXPECT_NE(limited.Search(rig.Q("team")).status, QueryStatus::kDeclined);
+}
+
+TEST(RateLimitTest, ZeroBlockPeriodsIsForever) {
+  Rig rig = MakeRig(300, 5);
+  AccessPolicy policy;
+  policy.queries_per_period = 1;
+  policy.block_periods = 0;
+  RateLimitedService limited(*rig.engine, policy);
+  limited.Search(rig.Q("sports"));
+  limited.Search(rig.Q("game"));  // exceeds -> blocked permanently
+  for (int period = 0; period < 5; ++period) {
+    limited.AdvancePeriod();
+    EXPECT_EQ(limited.Search(rig.Q("team")).status, QueryStatus::kDeclined);
+  }
+}
+
+TEST(RateLimitTest, PassesThroughAnswers) {
+  Rig rig = MakeRig(300, 5);
+  AccessPolicy policy;
+  RateLimitedService limited(*rig.engine, policy);
+  const auto direct = rig.engine->Search(rig.Q("sports"));
+  const auto via_limit = limited.Search(rig.Q("sports"));
+  EXPECT_EQ(direct.status, via_limit.status);
+  EXPECT_EQ(direct.DocIds(), via_limit.DocIds());
+  EXPECT_EQ(limited.k(), rig.engine->k());
+}
+
+TEST(RateLimitTest, BoundsBruteForceCrawl) {
+  // The reason the paper's brute-force attack fails: quota * k bounds the
+  // crawlable documents per period.
+  Rig rig = MakeRig(500, 5, /*seed=*/7, /*held_out_size=*/300);
+  AccessPolicy policy;
+  policy.queries_per_period = 20;
+  RateLimitedService limited(*rig.engine, policy);
+  QueryPool pool(*rig.held_out);
+  std::set<DocId> crawled;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const auto result = limited.Search(pool.QueryAt(i));
+    if (result.status == QueryStatus::kDeclined) break;
+    for (const auto& scored : result.docs) crawled.insert(scored.doc);
+  }
+  EXPECT_LE(crawled.size(), 20u * 5u);
+  EXPECT_LT(crawled.size(), rig.corpus->size() / 2);
+}
+
+}  // namespace
+}  // namespace asup

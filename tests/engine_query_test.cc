@@ -1,0 +1,86 @@
+#include "asup/engine/query.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+Vocabulary MakeVocab() {
+  Vocabulary vocab;
+  vocab.AddWord("sigmod");
+  vocab.AddWord("2012");
+  vocab.AddWord("acm");
+  return vocab;
+}
+
+TEST(KeywordQueryTest, CanonicalizationSortsAndLowercases) {
+  Vocabulary vocab = MakeVocab();
+  const auto a = KeywordQuery::FromWords(vocab, {"SIGMOD", "2012"});
+  const auto b = KeywordQuery::FromWords(vocab, {"2012", "sigmod"});
+  EXPECT_EQ(a.canonical(), "2012 sigmod");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(KeywordQueryTest, DuplicatesDropped) {
+  Vocabulary vocab = MakeVocab();
+  const auto q = KeywordQuery::FromWords(vocab, {"acm", "ACM", "acm"});
+  EXPECT_EQ(q.canonical(), "acm");
+  EXPECT_EQ(q.terms().size(), 1u);
+}
+
+TEST(KeywordQueryTest, UnknownWordMakesQueryUnanswerable) {
+  Vocabulary vocab = MakeVocab();
+  const auto q = KeywordQuery::FromWords(vocab, {"sigmod", "mars"});
+  EXPECT_TRUE(q.has_unknown_word());
+  EXPECT_TRUE(q.terms().empty());
+  // Canonical form keeps the unknown word (two different unknown-word
+  // queries must not collide in the answer cache).
+  EXPECT_EQ(q.canonical(), "mars sigmod");
+}
+
+TEST(KeywordQueryTest, TermsAreSorted) {
+  Vocabulary vocab = MakeVocab();
+  const auto q = KeywordQuery::FromWords(vocab, {"acm", "sigmod", "2012"});
+  const auto& terms = q.terms();
+  for (size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_LT(terms[i - 1], terms[i]);
+  }
+}
+
+TEST(KeywordQueryTest, FromTermsRoundTrips) {
+  Vocabulary vocab = MakeVocab();
+  const auto q = KeywordQuery::FromTerms(
+      vocab, {*vocab.Lookup("sigmod"), *vocab.Lookup("acm")});
+  EXPECT_EQ(q.canonical(), "acm sigmod");
+  EXPECT_FALSE(q.has_unknown_word());
+  EXPECT_EQ(q.terms().size(), 2u);
+}
+
+TEST(KeywordQueryTest, ParseSplitsPunctuation) {
+  Vocabulary vocab = MakeVocab();
+  const auto q = KeywordQuery::Parse(vocab, "ACM/SIGMOD (2012)");
+  EXPECT_EQ(q.canonical(), "2012 acm sigmod");
+  EXPECT_EQ(q.terms().size(), 3u);
+}
+
+TEST(KeywordQueryTest, EmptyQuery) {
+  Vocabulary vocab = MakeVocab();
+  const auto q = KeywordQuery::FromWords(vocab, {});
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.terms().empty());
+  EXPECT_FALSE(q.has_unknown_word());
+}
+
+TEST(KeywordQueryTest, DistinctQueriesDistinctHashes) {
+  Vocabulary vocab = MakeVocab();
+  const auto a = KeywordQuery::FromWords(vocab, {"sigmod"});
+  const auto b = KeywordQuery::FromWords(vocab, {"acm"});
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace asup

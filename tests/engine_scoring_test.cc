@@ -1,0 +1,139 @@
+#include "asup/engine/scoring.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+// A tiny corpus with controlled term statistics.
+class ScoringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vocab_ = std::make_shared<Vocabulary>();
+    const TermId rare = vocab_->AddWord("rare");      // df 1
+    const TermId common = vocab_->AddWord("common");  // df 4
+    const TermId filler = vocab_->AddWord("filler");
+    rare_ = rare;
+    common_ = common;
+
+    std::vector<Document> docs;
+    // Doc 0: short, contains rare + common.
+    docs.emplace_back(0, std::vector<TermId>{rare, common, filler});
+    // Doc 1: long, one 'common', many fillers.
+    std::vector<TermId> long_tokens(50, filler);
+    long_tokens.push_back(common);
+    docs.emplace_back(1, long_tokens);
+    // Doc 2: 'common' thrice.
+    docs.emplace_back(2, std::vector<TermId>{common, common, common, filler});
+    // Doc 3: 'common' once, short.
+    docs.emplace_back(3, std::vector<TermId>{common, filler, filler});
+    corpus_ = std::make_unique<Corpus>(vocab_, std::move(docs));
+    index_ = std::make_unique<InvertedIndex>(*corpus_);
+  }
+
+  MatchedDoc Match(DocId id, std::vector<TermId> terms) {
+    MatchedDoc match;
+    match.local_doc = index_->LocalOf(id);
+    const Document& doc = corpus_->Get(id);
+    for (TermId term : terms) match.freqs.push_back(doc.FrequencyOf(term));
+    return match;
+  }
+
+  std::shared_ptr<Vocabulary> vocab_;
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<InvertedIndex> index_;
+  TermId rare_;
+  TermId common_;
+};
+
+TEST_F(ScoringTest, Bm25RareTermOutscoresCommonTerm) {
+  Bm25Scorer scorer;
+  const std::vector<TermId> rare_q{rare_};
+  const std::vector<TermId> common_q{common_};
+  const double rare_score = scorer.Score(*index_, rare_q, Match(0, {rare_}));
+  const double common_score =
+      scorer.Score(*index_, common_q, Match(0, {common_}));
+  EXPECT_GT(rare_score, common_score);
+}
+
+TEST_F(ScoringTest, Bm25HigherTfScoresHigher) {
+  Bm25Scorer scorer;
+  const std::vector<TermId> q{common_};
+  // Doc 2 has tf 3, doc 3 has tf 1; similar lengths.
+  EXPECT_GT(scorer.Score(*index_, q, Match(2, {common_})),
+            scorer.Score(*index_, q, Match(3, {common_})));
+}
+
+TEST_F(ScoringTest, Bm25LengthNormalizationPenalizesLongDocs) {
+  Bm25Scorer scorer;
+  const std::vector<TermId> q{common_};
+  // Doc 3 (short, tf 1) vs doc 1 (long, tf 1).
+  EXPECT_GT(scorer.Score(*index_, q, Match(3, {common_})),
+            scorer.Score(*index_, q, Match(1, {common_})));
+}
+
+TEST_F(ScoringTest, Bm25TfSaturates) {
+  Bm25Scorer scorer;
+  const std::vector<TermId> q{common_};
+  MatchedDoc tf1 = Match(3, {common_});
+  MatchedDoc tf10 = tf1;
+  tf10.freqs[0] = 10;
+  MatchedDoc tf100 = tf1;
+  tf100.freqs[0] = 100;
+  const double s1 = scorer.Score(*index_, q, tf1);
+  const double s10 = scorer.Score(*index_, q, tf10);
+  const double s100 = scorer.Score(*index_, q, tf100);
+  EXPECT_GT(s10, s1);
+  EXPECT_GT(s100, s10);
+  // Diminishing returns: the 10 -> 100 jump adds less than 1 -> 10.
+  EXPECT_LT(s100 - s10, s10 - s1);
+}
+
+TEST_F(ScoringTest, Bm25MultiTermIsAdditive) {
+  Bm25Scorer scorer;
+  const std::vector<TermId> both{rare_, common_};
+  const std::vector<TermId> just_rare{rare_};
+  const std::vector<TermId> just_common{common_};
+  const double sum =
+      scorer.Score(*index_, just_rare, Match(0, {rare_})) +
+      scorer.Score(*index_, just_common, Match(0, {common_}));
+  const double joint = scorer.Score(*index_, both, Match(0, {rare_, common_}));
+  EXPECT_NEAR(joint, sum, 1e-9);
+}
+
+TEST_F(ScoringTest, Bm25ScoresArePositive) {
+  Bm25Scorer scorer;
+  for (DocId id : {0u, 2u, 3u}) {
+    EXPECT_GT(scorer.Score(*index_, std::vector<TermId>{common_},
+                           Match(id, {common_})),
+              0.0);
+  }
+}
+
+TEST_F(ScoringTest, TfIdfRareTermOutscoresCommonTerm) {
+  TfIdfScorer scorer;
+  EXPECT_GT(scorer.Score(*index_, std::vector<TermId>{rare_},
+                         Match(0, {rare_})),
+            scorer.Score(*index_, std::vector<TermId>{common_},
+                         Match(0, {common_})));
+}
+
+TEST_F(ScoringTest, Bm25ParametersMatter) {
+  // b = 0 disables length normalization: long and short docs with equal tf
+  // score equally.
+  Bm25Scorer no_length_norm(1.2, 0.0);
+  const std::vector<TermId> q{common_};
+  EXPECT_NEAR(no_length_norm.Score(*index_, q, Match(3, {common_})),
+              no_length_norm.Score(*index_, q, Match(1, {common_})), 1e-9);
+}
+
+TEST_F(ScoringTest, DefaultScorerIsBm25) {
+  auto scorer = MakeDefaultScorer();
+  ASSERT_NE(scorer, nullptr);
+  EXPECT_NE(dynamic_cast<Bm25Scorer*>(scorer.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace asup

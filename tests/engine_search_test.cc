@@ -1,0 +1,172 @@
+#include "asup/engine/search_engine.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "asup/text/synthetic_corpus.h"
+
+namespace asup {
+namespace {
+
+class SearchEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticCorpusConfig config;
+    config.vocabulary_size = 1000;
+    config.num_topics = 8;
+    config.words_per_topic = 100;
+    config.seed = 7;
+    generator_ = std::make_unique<SyntheticCorpusGenerator>(config);
+    corpus_ = std::make_unique<Corpus>(generator_->Generate(600));
+    index_ = std::make_unique<InvertedIndex>(*corpus_);
+    engine_ = std::make_unique<PlainSearchEngine>(*index_, 5);
+  }
+
+  KeywordQuery Q(const std::string& text) {
+    return KeywordQuery::Parse(corpus_->vocabulary(), text);
+  }
+
+  std::unique_ptr<SyntheticCorpusGenerator> generator_;
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<PlainSearchEngine> engine_;
+};
+
+TEST_F(SearchEngineTest, UnderflowOnUnknownWord) {
+  const auto result = engine_->Search(Q("notawordatall"));
+  EXPECT_EQ(result.status, QueryStatus::kUnderflow);
+  EXPECT_TRUE(result.docs.empty());
+}
+
+TEST_F(SearchEngineTest, OverflowTruncatesToK) {
+  // "sports" is a topic head word; with 600 docs it matches far more than
+  // k = 5 documents.
+  const auto result = engine_->Search(Q("sports"));
+  EXPECT_EQ(result.status, QueryStatus::kOverflow);
+  EXPECT_EQ(result.docs.size(), 5u);
+}
+
+TEST_F(SearchEngineTest, ValidWhenFewMatches) {
+  // Find a term with 1..5 matches and verify all are returned.
+  for (TermId term = 0; term < corpus_->vocabulary().size(); ++term) {
+    const size_t df = index_->DocumentFrequency(term);
+    if (df >= 1 && df <= 5) {
+      const auto q = KeywordQuery::FromTerms(corpus_->vocabulary(), {term});
+      const auto result = engine_->Search(q);
+      EXPECT_EQ(result.status, QueryStatus::kValid);
+      EXPECT_EQ(result.docs.size(), df);
+      return;
+    }
+  }
+  FAIL() << "no low-df term found";
+}
+
+TEST_F(SearchEngineTest, DeterministicAnswers) {
+  const auto a = engine_->Search(Q("sports game"));
+  const auto b = engine_->Search(Q("sports game"));
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  for (size_t i = 0; i < a.docs.size(); ++i) {
+    EXPECT_EQ(a.docs[i].doc, b.docs[i].doc);
+    EXPECT_EQ(a.docs[i].score, b.docs[i].score);
+  }
+}
+
+TEST_F(SearchEngineTest, RankedByScoreThenId) {
+  const auto result = engine_->Search(Q("sports"));
+  for (size_t i = 1; i < result.docs.size(); ++i) {
+    const auto& prev = result.docs[i - 1];
+    const auto& cur = result.docs[i];
+    EXPECT_TRUE(prev.score > cur.score ||
+                (prev.score == cur.score && prev.doc < cur.doc));
+  }
+}
+
+TEST_F(SearchEngineTest, TopMatchesExtendsSearch) {
+  const auto q = Q("sports");
+  const auto top5 = engine_->TopMatches(q, 5);
+  const auto top20 = engine_->TopMatches(q, 20);
+  EXPECT_EQ(top5.total_matches, top20.total_matches);
+  ASSERT_GE(top20.docs.size(), top5.docs.size());
+  for (size_t i = 0; i < top5.docs.size(); ++i) {
+    EXPECT_EQ(top20.docs[i].doc, top5.docs[i].doc);  // consistent prefix
+  }
+}
+
+TEST_F(SearchEngineTest, MatchIdsAscendingAndComplete) {
+  const auto q = Q("sports");
+  const auto ids = engine_->MatchIds(q);
+  EXPECT_EQ(ids.size(), engine_->MatchCount(q));
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_LT(ids[i - 1], ids[i]);
+  const TermId sports = *corpus_->vocabulary().Lookup("sports");
+  for (DocId id : ids) {
+    EXPECT_TRUE(corpus_->Get(id).Contains(sports));
+  }
+}
+
+TEST_F(SearchEngineTest, RankDocsAgreesWithTopMatches) {
+  const auto q = Q("sports");
+  const auto full = engine_->TopMatches(q, engine_->MatchCount(q));
+  std::vector<DocId> ids;
+  for (const auto& scored : full.docs) ids.push_back(scored.doc);
+  const auto reranked = engine_->RankDocs(q, ids);
+  ASSERT_EQ(reranked.size(), full.docs.size());
+  for (size_t i = 0; i < reranked.size(); ++i) {
+    EXPECT_EQ(reranked[i].doc, full.docs[i].doc);
+    EXPECT_NEAR(reranked[i].score, full.docs[i].score, 1e-12);
+  }
+}
+
+TEST_F(SearchEngineTest, ConjunctiveSemantics) {
+  const auto q = Q("sports game team");
+  const auto ids = engine_->MatchIds(q);
+  const auto& vocab = corpus_->vocabulary();
+  for (DocId id : ids) {
+    const Document& doc = corpus_->Get(id);
+    EXPECT_TRUE(doc.Contains(*vocab.Lookup("sports")));
+    EXPECT_TRUE(doc.Contains(*vocab.Lookup("game")));
+    EXPECT_TRUE(doc.Contains(*vocab.Lookup("team")));
+  }
+}
+
+TEST_F(SearchEngineTest, QueryCountingDecorator) {
+  QueryCountingService counting(*engine_);
+  EXPECT_EQ(counting.queries_issued(), 0u);
+  counting.Search(Q("sports"));
+  counting.Search(Q("game"));
+  EXPECT_EQ(counting.queries_issued(), 2u);
+  EXPECT_EQ(counting.k(), engine_->k());
+  counting.Reset();
+  EXPECT_EQ(counting.queries_issued(), 0u);
+}
+
+TEST_F(SearchEngineTest, TimingDecoratorAccumulates) {
+  TimingService timing(*engine_);
+  timing.Search(Q("sports"));
+  timing.Search(Q("sports game"));
+  EXPECT_EQ(timing.queries(), 2u);
+  EXPECT_GT(timing.total_nanos(), 0);
+  EXPECT_GT(timing.MeanNanos(), 0.0);
+}
+
+TEST_F(SearchEngineTest, SearchResultHelpers) {
+  const auto result = engine_->Search(Q("sports"));
+  ASSERT_FALSE(result.docs.empty());
+  const DocId first = result.docs[0].doc;
+  EXPECT_TRUE(result.Returned(first));
+  EXPECT_FALSE(result.Returned(kInvalidDoc));
+  EXPECT_EQ(result.DocIds().size(), result.docs.size());
+  EXPECT_EQ(result.DocIds()[0], first);
+}
+
+TEST_F(SearchEngineTest, TfIdfScorerAlsoWorks) {
+  PlainSearchEngine tfidf(*index_, 5, std::make_unique<TfIdfScorer>());
+  const auto result = tfidf.Search(Q("sports"));
+  EXPECT_EQ(result.docs.size(), 5u);
+  for (size_t i = 1; i < result.docs.size(); ++i) {
+    EXPECT_GE(result.docs[i - 1].score, result.docs[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace asup

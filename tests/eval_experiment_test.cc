@@ -1,0 +1,83 @@
+#include "asup/eval/experiment.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+TEST(FinalEstimateSpreadTest, FewerThanTwoTrajectoriesIsZero) {
+  EXPECT_EQ(FinalEstimateSpread({}), 0.0);
+  EXPECT_EQ(FinalEstimateSpread({{{100, 5.0}}}), 0.0);
+}
+
+TEST(FinalEstimateSpreadTest, IdenticalFinalsIsZero) {
+  const std::vector<std::vector<EstimationPoint>> t{
+      {{100, 2.0}, {200, 10.0}},
+      {{100, 7.0}, {200, 10.0}},
+  };
+  EXPECT_EQ(FinalEstimateSpread(t), 0.0);
+}
+
+TEST(FinalEstimateSpreadTest, ComputesRelativeSpread) {
+  const std::vector<std::vector<EstimationPoint>> t{
+      {{200, 10.0}},
+      {{200, 20.0}},
+      {{200, 30.0}},
+  };
+  // (30 - 10) / 20.
+  EXPECT_NEAR(FinalEstimateSpread(t), 1.0, 1e-12);
+}
+
+TEST(FinalEstimateSpreadTest, IgnoresEmptyTrajectories) {
+  const std::vector<std::vector<EstimationPoint>> t{
+      {},
+      {{200, 10.0}},
+      {{200, 30.0}},
+  };
+  EXPECT_NEAR(FinalEstimateSpread(t), 1.0, 1e-12);
+}
+
+TEST(FinalEstimateSpreadTest, UsesOnlyFinalPoints) {
+  const std::vector<std::vector<EstimationPoint>> t{
+      {{100, 1000.0}, {200, 10.0}},  // wild early value must not matter
+      {{100, 0.0}, {200, 10.0}},
+  };
+  EXPECT_EQ(FinalEstimateSpread(t), 0.0);
+}
+
+TEST(ScaleTest, DefaultIsSmall) {
+  unsetenv("ASUP_SCALE");
+  EXPECT_FALSE(PaperScale());
+  EXPECT_EQ(ScaledSize(10, 100), 10u);
+}
+
+TEST(ScaleTest, PaperScaleViaEnv) {
+  setenv("ASUP_SCALE", "paper", 1);
+  EXPECT_TRUE(PaperScale());
+  EXPECT_EQ(ScaledSize(10, 100), 100u);
+  unsetenv("ASUP_SCALE");
+}
+
+TEST(ScaleTest, OtherValuesAreSmall) {
+  setenv("ASUP_SCALE", "huge", 1);
+  EXPECT_FALSE(PaperScale());
+  unsetenv("ASUP_SCALE");
+}
+
+TEST(ExperimentEnvTest, PoolFilterPlumbsThrough) {
+  ExperimentEnv::Options options;
+  options.universe_size = 300;
+  options.held_out_size = 150;
+  options.corpus_config.vocabulary_size = 1500;
+  options.corpus_config.num_topics = 8;
+  options.corpus_config.words_per_topic = 100;
+  ExperimentEnv unfiltered(options);
+  options.pool_max_df_fraction = 0.05;
+  ExperimentEnv filtered(options);
+  EXPECT_LT(filtered.pool().size(), unfiltered.pool().size());
+}
+
+}  // namespace
+}  // namespace asup

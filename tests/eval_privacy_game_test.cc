@@ -1,0 +1,154 @@
+#include "asup/eval/privacy_game.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "asup/eval/experiment.h"
+
+namespace asup {
+namespace {
+
+// The suppression transient requires a corpus large relative to the query
+// budget (see DESIGN.md): 17000 documents sit near the bottom of the
+// [16384, 32768) segment (μ ≈ 1.04), so AS-SIMPLE pushes estimates toward
+// the segment top ~32768 while the truth is 17000.
+class PrivacyGameTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentEnv::Options options;
+    options.universe_size = 17000;
+    options.held_out_size = 3000;
+    options.seed = 2012;
+    env_ = new ExperimentEnv(options);
+    index_ = new InvertedIndex(env_->universe());
+    plain_ = new PlainSearchEngine(*index_, 5);
+  }
+
+  static void TearDownTestSuite() {
+    delete plain_;
+    delete index_;
+    delete env_;
+    plain_ = nullptr;
+    index_ = nullptr;
+    env_ = nullptr;
+  }
+
+  static ExperimentEnv* env_;
+  static InvertedIndex* index_;
+  static PlainSearchEngine* plain_;
+};
+
+ExperimentEnv* PrivacyGameTest::env_ = nullptr;
+InvertedIndex* PrivacyGameTest::index_ = nullptr;
+PlainSearchEngine* PrivacyGameTest::plain_ = nullptr;
+
+constexpr double kTruth = 17000.0;
+
+PrivacyGameConfig GameConfig() {
+  PrivacyGameConfig config;
+  config.epsilon = 0.5 * kTruth;
+  config.query_budget = 3000;
+  config.trials = 6;
+  return config;
+}
+
+TEST_F(PrivacyGameTest, AdversaryWinsAgainstUndefendedEngine) {
+  const auto result = PlayPrivacyGame(
+      [&] { return std::make_unique<PlainSearchEngine>(*index_, 5); },
+      env_->pool(), AggregateQuery::Count(), FetchFrom(env_->universe()),
+      kTruth, GameConfig());
+  EXPECT_GE(result.win_rate, 0.75);
+  EXPECT_NEAR(result.estimates.Mean(), kTruth, 0.25 * kTruth);
+}
+
+TEST_F(PrivacyGameTest, AsSimpleSuppressesTheGame) {
+  AsSimpleConfig config;
+  config.gamma = 2.0;
+  const auto result = PlayPrivacyGame(
+      [&]() -> std::unique_ptr<SearchService> {
+        // Fresh defense state per play, shared (immutable) base engine.
+        return std::make_unique<AsSimpleEngine>(*plain_, config);
+      },
+      env_->pool(), AggregateQuery::Count(), FetchFrom(env_->universe()),
+      kTruth, GameConfig());
+  // The defended estimate concentrates near the segment top (~32768), far
+  // outside the adversary's ±ε/2 interval around the truth.
+  EXPECT_LE(result.win_rate, 0.25);
+  EXPECT_GT(result.estimates.Mean(), 1.25 * kTruth);
+}
+
+TEST_F(PrivacyGameTest, ResultRecordsTruth) {
+  PrivacyGameConfig config;
+  config.epsilon = 100.0;
+  config.query_budget = 500;
+  config.trials = 2;
+  const auto result = PlayPrivacyGame(
+      [&] { return std::make_unique<PlainSearchEngine>(*index_, 5); },
+      env_->pool(), AggregateQuery::Count(), FetchFrom(env_->universe()),
+      kTruth, config);
+  EXPECT_EQ(result.true_value, kTruth);
+  EXPECT_EQ(result.estimates.count(), 2u);
+}
+
+TEST(ExperimentEnvTest, BuildsNestedCorporaAndPool) {
+  ExperimentEnv::Options options;
+  options.universe_size = 500;
+  options.held_out_size = 200;
+  options.corpus_config.vocabulary_size = 2000;
+  options.corpus_config.num_topics = 8;
+  options.corpus_config.words_per_topic = 100;
+  ExperimentEnv env(options);
+  EXPECT_EQ(env.universe().size(), 500u);
+  EXPECT_EQ(env.held_out().size(), 200u);
+  EXPECT_GT(env.pool().size(), 500u);
+
+  Corpus small = env.SampleCorpus(100, 1);
+  EXPECT_EQ(small.size(), 100u);
+  for (const Document& doc : small.documents()) {
+    EXPECT_TRUE(env.universe().Contains(doc.id()));
+  }
+}
+
+TEST(ExperimentEnvTest, EngineStackWiring) {
+  ExperimentEnv::Options options;
+  options.universe_size = 300;
+  options.held_out_size = 100;
+  options.corpus_config.vocabulary_size = 1500;
+  options.corpus_config.num_topics = 8;
+  options.corpus_config.words_per_topic = 100;
+  ExperimentEnv env(options);
+
+  auto plain = EngineStack::Plain(env.universe(), 5);
+  EXPECT_EQ(&plain.service(), &plain.plain());
+
+  AsSimpleConfig simple;
+  auto with_simple = EngineStack::WithSimple(env.universe(), 5, simple);
+  EXPECT_EQ(&with_simple.service(),
+            static_cast<SearchService*>(with_simple.simple()));
+
+  AsArbiConfig arbi;
+  auto with_arbi = EngineStack::WithArbi(env.universe(), 5, arbi);
+  EXPECT_EQ(&with_arbi.service(),
+            static_cast<SearchService*>(with_arbi.arbi()));
+
+  const auto q = KeywordQuery::Parse(env.vocabulary(), "sports");
+  EXPECT_FALSE(plain.service().Search(q).docs.empty());
+  EXPECT_LE(with_arbi.service().Search(q).docs.size(), 5u);
+}
+
+TEST(TrajectoriesToCsvTest, AlignsSeries) {
+  std::vector<std::vector<EstimationPoint>> trajectories{
+      {{100, 1.0}, {200, 2.0}, {300, 3.0}},
+      {{100, 10.0}, {200, 20.0}},
+  };
+  const CsvTable table = TrajectoriesToCsv({"a", "b"}, trajectories);
+  EXPECT_EQ(table.NumColumns(), 3u);
+  EXPECT_EQ(table.NumRows(), 2u);  // truncated to the shortest
+  EXPECT_EQ(table.At(1, 0), 200.0);
+  EXPECT_EQ(table.At(1, 1), 2.0);
+  EXPECT_EQ(table.At(1, 2), 20.0);
+}
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,76 @@
+#include "asup/eval/rank_distance.h"
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+TEST(RankDistanceTest, IdenticalListsAreZero) {
+  EXPECT_EQ(TopKKendallDistance({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(RankDistanceTest, BothEmptyIsZero) {
+  EXPECT_EQ(TopKKendallDistance({}, {}), 0.0);
+}
+
+TEST(RankDistanceTest, DisjointListsAreMaximal) {
+  EXPECT_EQ(TopKKendallDistance({1, 2}, {3, 4}, 1.0), 1.0);
+}
+
+TEST(RankDistanceTest, ReversedListIsMaximalAmongPermutations) {
+  const double reversed = TopKKendallDistance({1, 2, 3}, {3, 2, 1});
+  EXPECT_EQ(reversed, 1.0);  // all 3 pairs inverted
+}
+
+TEST(RankDistanceTest, SingleSwap) {
+  // One adjacent transposition in a 3-list: 1 of 3 pairs disagrees.
+  EXPECT_NEAR(TopKKendallDistance({1, 2, 3}, {2, 1, 3}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RankDistanceTest, SymmetricInArguments) {
+  const std::vector<DocId> a{1, 2, 3, 4};
+  const std::vector<DocId> b{2, 5, 1};
+  EXPECT_NEAR(TopKKendallDistance(a, b), TopKKendallDistance(b, a), 1e-12);
+}
+
+TEST(RankDistanceTest, MissingElementAgainstPrefix) {
+  // b is a prefix of a: dropped elements were ranked below the kept ones,
+  // consistent with their absence, so only both-missing pairs contribute.
+  const double d = TopKKendallDistance({1, 2, 3, 4}, {1, 2}, 0.0);
+  EXPECT_EQ(d, 0.0);
+  const double with_penalty = TopKKendallDistance({1, 2, 3, 4}, {1, 2}, 0.5);
+  // Exactly the pair {3,4} is missing from b together: 0.5 of 6 pairs.
+  EXPECT_NEAR(with_penalty, 0.5 / 6.0, 1e-12);
+}
+
+TEST(RankDistanceTest, DroppingTheTopHurtsMore) {
+  // Dropping the top-ranked doc contradicts list a's ordering against all
+  // remaining docs.
+  const double drop_top = TopKKendallDistance({1, 2, 3}, {2, 3}, 0.0);
+  const double drop_bottom = TopKKendallDistance({1, 2, 3}, {1, 2}, 0.0);
+  EXPECT_GT(drop_top, drop_bottom);
+}
+
+TEST(RankDistanceTest, InRange) {
+  const std::vector<std::vector<DocId>> lists{
+      {}, {1}, {1, 2}, {2, 1}, {3, 4, 5}, {1, 3, 5}, {5, 4, 3, 2, 1}};
+  for (const auto& a : lists) {
+    for (const auto& b : lists) {
+      const double d = TopKKendallDistance(a, b);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+TEST(RankDistanceTest, PenaltyZeroVsOne) {
+  // Penalty only affects both-missing pairs.
+  const std::vector<DocId> a{1, 2, 3};
+  const std::vector<DocId> b{1};
+  const double p0 = TopKKendallDistance(a, b, 0.0);
+  const double p1 = TopKKendallDistance(a, b, 1.0);
+  EXPECT_LT(p0, p1);
+}
+
+}  // namespace
+}  // namespace asup

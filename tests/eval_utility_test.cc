@@ -1,0 +1,111 @@
+#include "asup/eval/utility.h"
+
+#include <gtest/gtest.h>
+
+#include "asup/suppress/as_arbi.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+SearchResult MakeResult(std::vector<DocId> ids) {
+  SearchResult result;
+  result.status = ids.empty() ? QueryStatus::kUnderflow : QueryStatus::kValid;
+  for (DocId id : ids) result.docs.push_back({id, 0.0});
+  return result;
+}
+
+TEST(UtilityMeterTest, IdenticalAnswersArePerfect) {
+  UtilityMeter meter;
+  meter.Observe(MakeResult({1, 2, 3}), MakeResult({1, 2, 3}));
+  EXPECT_EQ(meter.recall(), 1.0);
+  EXPECT_EQ(meter.precision(), 1.0);
+}
+
+TEST(UtilityMeterTest, DisjointAnswersAreZero) {
+  UtilityMeter meter;
+  meter.Observe(MakeResult({1, 2}), MakeResult({3, 4}));
+  EXPECT_EQ(meter.recall(), 0.0);
+  EXPECT_EQ(meter.precision(), 0.0);
+}
+
+TEST(UtilityMeterTest, FalseNegativesHitRecall) {
+  UtilityMeter meter;
+  meter.Observe(MakeResult({1, 2, 3, 4}), MakeResult({1, 2}));
+  EXPECT_EQ(meter.recall(), 0.5);
+  EXPECT_EQ(meter.precision(), 1.0);
+}
+
+TEST(UtilityMeterTest, FalsePositivesHitPrecision) {
+  UtilityMeter meter;
+  meter.Observe(MakeResult({1, 2}), MakeResult({1, 2, 3, 4}));
+  EXPECT_EQ(meter.recall(), 1.0);
+  EXPECT_EQ(meter.precision(), 0.5);
+}
+
+TEST(UtilityMeterTest, EmptyAnswersCountAsPerfect) {
+  UtilityMeter meter;
+  meter.Observe(MakeResult({}), MakeResult({}));
+  EXPECT_EQ(meter.recall(), 1.0);
+  EXPECT_EQ(meter.precision(), 1.0);
+}
+
+TEST(UtilityMeterTest, AveragesOverQueries) {
+  UtilityMeter meter;
+  meter.Observe(MakeResult({1, 2}), MakeResult({1, 2}));  // recall 1
+  meter.Observe(MakeResult({1, 2}), MakeResult({1}));     // recall 0.5
+  EXPECT_EQ(meter.count(), 2u);
+  EXPECT_NEAR(meter.recall(), 0.75, 1e-12);
+  EXPECT_EQ(meter.precision(), 1.0);
+}
+
+TEST(MeasureUtilityTest, PerfectAgainstItself) {
+  Rig rig = MakeRig(400, 5);
+  std::vector<KeywordQuery> log;
+  for (const char* w : {"sports", "game", "team", "score", "league"}) {
+    log.push_back(rig.Q(w));
+  }
+  const auto points = MeasureUtility(*rig.engine, *rig.engine, log, 2);
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points.back().recall, 1.0);
+  EXPECT_EQ(points.back().precision, 1.0);
+  EXPECT_EQ(points.back().rank_distance, 0.0);
+  EXPECT_EQ(points.back().queries, log.size());
+}
+
+TEST(MeasureUtilityTest, DefendedEngineUtilityInRange) {
+  Rig rig = MakeRig(700, 5);
+  PlainSearchEngine reference(*rig.index, 5);
+  AsArbiEngine defended(*rig.engine, AsArbiConfig{});
+  std::vector<KeywordQuery> log;
+  for (const char* w : {"sports", "game", "team", "sports game", "score",
+                        "league", "coach", "win", "season", "player"}) {
+    log.push_back(rig.Q(w));
+  }
+  const auto points = MeasureUtility(reference, defended, log, 5);
+  ASSERT_FALSE(points.empty());
+  const auto& final = points.back();
+  EXPECT_GT(final.recall, 0.2);
+  EXPECT_LE(final.recall, 1.0);
+  EXPECT_GT(final.precision, 0.2);
+  EXPECT_LE(final.precision, 1.0);
+  EXPECT_GE(final.rank_distance, 0.0);
+  EXPECT_LE(final.rank_distance, 1.0);
+}
+
+TEST(MeasureUtilityTest, ReportCadence) {
+  Rig rig = MakeRig(300, 5);
+  std::vector<KeywordQuery> log(7, rig.Q("sports"));
+  const auto points = MeasureUtility(*rig.engine, *rig.engine, log, 3);
+  // Points at 3, 6, and final 7.
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].queries, 3u);
+  EXPECT_EQ(points[1].queries, 6u);
+  EXPECT_EQ(points[2].queries, 7u);
+}
+
+}  // namespace
+}  // namespace asup

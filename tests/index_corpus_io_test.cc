@@ -1,0 +1,114 @@
+#include "asup/index/corpus_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asup/index/inverted_index.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CorpusIoTest, RoundTripsDocumentsAndVocabulary) {
+  Rig rig = MakeRig(300, 5);
+  const std::string path = TempPath("roundtrip.asup");
+  ASSERT_TRUE(SaveCorpus(*rig.corpus, path));
+  auto loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  ASSERT_EQ(loaded->size(), rig.corpus->size());
+  EXPECT_EQ(loaded->vocabulary().size(), rig.corpus->vocabulary().size());
+  for (size_t i = 0; i < rig.corpus->size(); ++i) {
+    const Document& original = rig.corpus->documents()[i];
+    const Document& copy = loaded->documents()[i];
+    EXPECT_EQ(copy.id(), original.id());
+    EXPECT_EQ(copy.length(), original.length());
+    EXPECT_EQ(copy.terms(), original.terms());
+  }
+  for (TermId id = 0; id < rig.corpus->vocabulary().size(); id += 97) {
+    EXPECT_EQ(loaded->vocabulary().WordOf(id),
+              rig.corpus->vocabulary().WordOf(id));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, LoadedCorpusIndexesIdentically) {
+  Rig rig = MakeRig(300, 5);
+  const std::string path = TempPath("reindex.asup");
+  ASSERT_TRUE(SaveCorpus(*rig.corpus, path));
+  auto loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  InvertedIndex reloaded_index(*loaded);
+  PlainSearchEngine reloaded_engine(reloaded_index, 5);
+  for (const char* w : {"sports", "game", "sports team"}) {
+    const auto q1 = rig.Q(w);
+    const auto q2 = KeywordQuery::Parse(loaded->vocabulary(), w);
+    EXPECT_EQ(rig.engine->Search(q1).DocIds(),
+              reloaded_engine.Search(q2).DocIds())
+        << w;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadCorpus(TempPath("does_not_exist.asup")).has_value());
+}
+
+TEST(CorpusIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bad_magic.asup");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE this is not a corpus";
+  }
+  EXPECT_FALSE(LoadCorpus(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, RejectsTruncatedFile) {
+  Rig rig = MakeRig(100, 5);
+  const std::string path = TempPath("truncated.asup");
+  ASSERT_TRUE(SaveCorpus(*rig.corpus, path));
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(LoadCorpus(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, EmptyCorpusRoundTrips) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddWord("lonely");
+  Corpus corpus(vocab, {});
+  const std::string path = TempPath("empty.asup");
+  ASSERT_TRUE(SaveCorpus(corpus, path));
+  auto loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->vocabulary().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, SaveToUnwritablePathFails) {
+  Rig rig = MakeRig(50, 5);
+  EXPECT_FALSE(SaveCorpus(*rig.corpus, "/nonexistent_dir/x/y.asup"));
+}
+
+}  // namespace
+}  // namespace asup

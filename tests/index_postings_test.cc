@@ -1,0 +1,203 @@
+#include "asup/index/postings.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asup/util/random.h"
+
+namespace asup {
+namespace {
+
+TEST(VarByteTest, RoundTripsValues) {
+  std::vector<uint8_t> bytes;
+  const std::vector<uint32_t> values{0,      1,      127,        128,
+                                     16383,  16384,  2097151,    2097152,
+                                     268435455, 268435456, UINT32_MAX};
+  for (uint32_t v : values) AppendVarByte(v, bytes);
+  size_t offset = 0;
+  for (uint32_t v : values) {
+    EXPECT_EQ(ReadVarByte(bytes, offset), v);
+  }
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(VarByteTest, SmallValuesUseOneByte) {
+  std::vector<uint8_t> bytes;
+  AppendVarByte(127, bytes);
+  EXPECT_EQ(bytes.size(), 1u);
+  AppendVarByte(128, bytes);
+  EXPECT_EQ(bytes.size(), 3u);
+}
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.begin().Valid());
+  EXPECT_TRUE(list.Decode().empty());
+}
+
+TEST(PostingListTest, BuildAndDecode) {
+  PostingList::Builder builder;
+  builder.Add(3, 2);
+  builder.Add(7, 1);
+  builder.Add(1000000, 9);
+  PostingList list = std::move(builder).Build();
+  EXPECT_EQ(list.size(), 3u);
+  const auto postings = list.Decode();
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[0], (Posting{3, 2}));
+  EXPECT_EQ(postings[1], (Posting{7, 1}));
+  EXPECT_EQ(postings[2], (Posting{1000000, 9}));
+}
+
+TEST(PostingListTest, IteratorWalk) {
+  PostingList::Builder builder;
+  for (uint32_t d = 0; d < 50; ++d) builder.Add(d * 3, d + 1);
+  PostingList list = std::move(builder).Build();
+  uint32_t expected = 0;
+  for (auto it = list.begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.Get().local_doc, expected * 3);
+    EXPECT_EQ(it.Get().freq, expected + 1);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 50u);
+}
+
+TEST(PostingListTest, SkipToLandsOnOrAfterTarget) {
+  PostingList::Builder builder;
+  for (uint32_t d = 0; d < 100; d += 10) builder.Add(d, 1);
+  PostingList list = std::move(builder).Build();
+  auto it = list.begin();
+  it.SkipTo(35);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Get().local_doc, 40u);
+  it.SkipTo(40);
+  EXPECT_EQ(it.Get().local_doc, 40u);  // SkipTo is a no-op when satisfied
+  it.SkipTo(95);
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, FirstDocCanBeZero) {
+  PostingList::Builder builder;
+  builder.Add(0, 5);
+  PostingList list = std::move(builder).Build();
+  auto it = list.begin();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Get().local_doc, 0u);
+  EXPECT_EQ(it.Get().freq, 5u);
+}
+
+TEST(PostingListTest, CompressionIsCompactForDenseLists) {
+  PostingList::Builder builder;
+  for (uint32_t d = 0; d < 10000; ++d) builder.Add(d, 1);
+  PostingList list = std::move(builder).Build();
+  // Delta 1 + freq 1 = 2 bytes per posting, plus ~12 bytes of skip entry
+  // and an absolute doc id per 128-posting block.
+  EXPECT_LE(list.ByteSize(), 22000u);
+}
+
+TEST(PostingListTest, SkipEntriesPerBlock) {
+  PostingList::Builder builder;
+  const uint32_t n = PostingList::kPostingBlock * 3 + 10;
+  for (uint32_t d = 0; d < n; ++d) builder.Add(d * 2, 1);
+  PostingList list = std::move(builder).Build();
+  EXPECT_EQ(list.NumSkipEntries(), 3u);  // one per block after the first
+}
+
+TEST(PostingListTest, SkipToJumpsAcrossBlocks) {
+  PostingList::Builder builder;
+  const uint32_t n = PostingList::kPostingBlock * 8;
+  for (uint32_t d = 0; d < n; ++d) builder.Add(d * 5, d % 9 + 1);
+  PostingList list = std::move(builder).Build();
+
+  auto it = list.begin();
+  it.SkipTo(5 * (PostingList::kPostingBlock * 5 + 17));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Get().local_doc, 5 * (PostingList::kPostingBlock * 5 + 17));
+  EXPECT_EQ(it.Get().freq, (PostingList::kPostingBlock * 5 + 17) % 9 + 1);
+  // The jump went via the skip table, not a full scan.
+  EXPECT_EQ(it.index(), PostingList::kPostingBlock * 5 + 17);
+}
+
+TEST(PostingListTest, SkipToNeverMovesBackward) {
+  PostingList::Builder builder;
+  for (uint32_t d = 0; d < 1000; ++d) builder.Add(d * 3, 1);
+  PostingList list = std::move(builder).Build();
+  auto it = list.begin();
+  it.SkipTo(2400);
+  const size_t index_after = it.index();
+  it.SkipTo(100);  // earlier target: no-op
+  EXPECT_EQ(it.index(), index_after);
+  EXPECT_EQ(it.Get().local_doc, 2400u);
+}
+
+TEST(PostingListTest, SkipToAgainstLinearScanRandomized) {
+  Rng rng(321);
+  for (int round = 0; round < 10; ++round) {
+    PostingList::Builder builder;
+    std::vector<Posting> reference;
+    uint32_t doc = 0;
+    const size_t n = 200 + rng.UniformBelow(800);
+    for (size_t i = 0; i < n; ++i) {
+      doc += 1 + static_cast<uint32_t>(rng.UniformBelow(20));
+      builder.Add(doc, 1 + static_cast<uint32_t>(rng.UniformBelow(5)));
+      reference.push_back({doc, 0});
+    }
+    PostingList list = std::move(builder).Build();
+    for (int probe = 0; probe < 50; ++probe) {
+      const uint32_t target =
+          static_cast<uint32_t>(rng.UniformBelow(doc + 10));
+      auto it = list.begin();
+      it.SkipTo(target);
+      // Reference answer via binary search over the decoded ids.
+      auto ref = std::lower_bound(
+          reference.begin(), reference.end(), target,
+          [](const Posting& p, uint32_t t) { return p.local_doc < t; });
+      if (ref == reference.end()) {
+        EXPECT_FALSE(it.Valid());
+      } else {
+        ASSERT_TRUE(it.Valid());
+        EXPECT_EQ(it.Get().local_doc, ref->local_doc);
+      }
+    }
+  }
+}
+
+TEST(PostingListTest, InterleavedSkipAndNext) {
+  PostingList::Builder builder;
+  for (uint32_t d = 0; d < 600; ++d) builder.Add(d * 2, 1);
+  PostingList list = std::move(builder).Build();
+  auto it = list.begin();
+  it.SkipTo(300);  // doc 300 = posting 150 (block 2)
+  EXPECT_EQ(it.Get().local_doc, 300u);
+  it.Next();
+  EXPECT_EQ(it.Get().local_doc, 302u);
+  it.SkipTo(1000);
+  EXPECT_EQ(it.Get().local_doc, 1000u);
+  it.Next();
+  EXPECT_EQ(it.Get().local_doc, 1002u);
+}
+
+TEST(PostingListTest, RandomRoundTrip) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Posting> reference;
+    uint32_t doc = 0;
+    const size_t n = 1 + rng.UniformBelow(500);
+    PostingList::Builder builder;
+    for (size_t i = 0; i < n; ++i) {
+      doc += 1 + static_cast<uint32_t>(rng.UniformBelow(1000));
+      const uint32_t freq = 1 + static_cast<uint32_t>(rng.UniformBelow(30));
+      builder.Add(doc, freq);
+      reference.push_back({doc, freq});
+    }
+    PostingList list = std::move(builder).Build();
+    EXPECT_EQ(list.Decode(), reference);
+  }
+}
+
+}  // namespace
+}  // namespace asup

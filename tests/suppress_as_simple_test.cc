@@ -1,0 +1,218 @@
+#include "asup/suppress/as_simple.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+TEST(AsSimpleTest, SegmentComputedFromCorpusSize) {
+  Rig rig = MakeRig(600, 5);
+  AsSimpleConfig config;
+  config.gamma = 2.0;
+  AsSimpleEngine defended(*rig.engine, config);
+  // 512 <= 600 < 1024.
+  EXPECT_EQ(defended.segment().segment_index(), 9);
+  EXPECT_NEAR(defended.segment().mu(), 600.0 / 512.0, 1e-12);
+}
+
+TEST(AsSimpleTest, UnderflowPassesThrough) {
+  Rig rig = MakeRig(300, 5);
+  AsSimpleEngine defended(*rig.engine, AsSimpleConfig{});
+  const auto result = defended.Search(rig.Q("notaword"));
+  EXPECT_EQ(result.status, QueryStatus::kUnderflow);
+  EXPECT_TRUE(result.docs.empty());
+}
+
+TEST(AsSimpleTest, DeterministicRepeatedQueries) {
+  Rig rig = MakeRig(500, 5);
+  AsSimpleEngine defended(*rig.engine, AsSimpleConfig{});
+  // Issue several queries, then re-issue the first: the answer must be
+  // byte-identical even though Θ_R grew in between.
+  const auto first = defended.Search(rig.Q("sports"));
+  defended.Search(rig.Q("game"));
+  defended.Search(rig.Q("team"));
+  defended.Search(rig.Q("score"));
+  const auto again = defended.Search(rig.Q("sports"));
+  ASSERT_EQ(first.docs.size(), again.docs.size());
+  for (size_t i = 0; i < first.docs.size(); ++i) {
+    EXPECT_EQ(first.docs[i].doc, again.docs[i].doc);
+  }
+  EXPECT_EQ(first.status, again.status);
+  EXPECT_GE(defended.stats().cache_hits, 1u);
+}
+
+TEST(AsSimpleTest, AnswersAreSubsetOfMatches) {
+  Rig rig = MakeRig(500, 5);
+  AsSimpleEngine defended(*rig.engine, AsSimpleConfig{});
+  for (const char* word : {"sports", "game", "team", "league", "win"}) {
+    const auto q = rig.Q(word);
+    const auto match_ids = rig.engine->MatchIds(q);
+    const std::set<DocId> matches(match_ids.begin(), match_ids.end());
+    const auto result = defended.Search(q);
+    for (const auto& scored : result.docs) {
+      EXPECT_TRUE(matches.count(scored.doc)) << word;
+    }
+  }
+}
+
+TEST(AsSimpleTest, NeverReturnsMoreThanK) {
+  Rig rig = MakeRig(800, 5);
+  AsSimpleEngine defended(*rig.engine, AsSimpleConfig{});
+  for (const char* word : {"sports", "game", "team", "coach", "season"}) {
+    EXPECT_LE(defended.Search(rig.Q(word)).docs.size(), 5u);
+  }
+}
+
+TEST(AsSimpleTest, FreshQueryTrimsToLhsTarget) {
+  // The very first query has no stale documents, so its answer size is
+  // exactly min(round(|M|/μ), k, |M|).
+  Rig rig = MakeRig(700, 5);
+  AsSimpleConfig config;
+  config.gamma = 2.0;
+  AsSimpleEngine defended(*rig.engine, config);
+  const auto q = rig.Q("sports");
+  const auto ranked = rig.engine->TopMatches(q, static_cast<size_t>(
+                                                    std::ceil(2.0 * 5)));
+  const double mu = defended.segment().mu();
+  const size_t expected =
+      std::min<size_t>(static_cast<size_t>(std::llround(
+                           static_cast<double>(ranked.docs.size()) / mu)),
+                       5);
+  const auto result = defended.Search(q);
+  EXPECT_EQ(result.docs.size(), expected);
+}
+
+TEST(AsSimpleTest, ActivatedSetGrowsAndBounds) {
+  Rig rig = MakeRig(600, 5);
+  AsSimpleConfig config;
+  config.gamma = 2.0;
+  AsSimpleEngine defended(*rig.engine, config);
+  EXPECT_EQ(defended.NumActivatedDocs(), 0u);
+  defended.Search(rig.Q("sports"));
+  const size_t after_one = defended.NumActivatedDocs();
+  EXPECT_GT(after_one, 0u);
+  EXPECT_LE(after_one, static_cast<size_t>(std::ceil(2.0 * 5)));
+  defended.Search(rig.Q("game"));
+  EXPECT_GE(defended.NumActivatedDocs(), after_one);
+}
+
+TEST(AsSimpleTest, StaleDocsHiddenAtExpectedRate) {
+  // Build a corpus at the bottom of a segment (μ ≈ 1) so the per-edge keep
+  // probability is ≈ 1/2, then measure how often a previously returned
+  // document survives in later overlapping queries.
+  Rig rig = MakeRig(520, 50);  // 512 <= 520 < 1024, μ ≈ 1.016
+  AsSimpleConfig config;
+  config.gamma = 2.0;
+  AsSimpleEngine defended(*rig.engine, config);
+  EXPECT_NEAR(defended.segment().edge_keep_probability(), 0.5, 0.01);
+
+  // First query activates the sports documents.
+  const auto first = defended.Search(rig.Q("sports"));
+  const std::set<DocId> activated = [&] {
+    std::set<DocId> s;
+    for (const auto& d : first.docs) s.insert(d.doc);
+    return s;
+  }();
+  ASSERT_GT(activated.size(), 10u);
+
+  // Issue overlapping queries; count how many activated docs survive where
+  // they match.
+  int stale_kept = 0;
+  int stale_total = 0;
+  for (const char* word : {"game", "team", "score", "league", "coach",
+                           "season", "player", "match", "win"}) {
+    const auto q = rig.Q(std::string("sports ") + word);
+    const auto match_ids = rig.engine->MatchIds(q);
+    const auto result = defended.Search(q);
+    for (DocId id : match_ids) {
+      if (activated.count(id)) {
+        ++stale_total;
+        stale_kept += result.Returned(id);
+      }
+    }
+  }
+  ASSERT_GT(stale_total, 30);
+  const double keep_rate =
+      static_cast<double>(stale_kept) / static_cast<double>(stale_total);
+  // μ/γ ≈ 0.51, with slack for top-k interactions and activation during
+  // the same query.
+  EXPECT_GT(keep_rate, 0.25);
+  EXPECT_LT(keep_rate, 0.8);
+}
+
+TEST(AsSimpleTest, TopOfSegmentHalvesAnswers) {
+  // A corpus near the segment top (μ ≈ γ) gets pure LHS trimming: answers
+  // are |M|/γ with (almost) no per-document hiding.
+  Rig rig = MakeRig(1000, 50);  // 512 <= 1000 < 1024, μ ≈ 1.95
+  AsSimpleConfig config;
+  config.gamma = 2.0;
+  AsSimpleEngine defended(*rig.engine, config);
+  EXPECT_GT(defended.segment().mu(), 1.9);
+
+  const auto q = rig.Q("sports");
+  const auto ranked = rig.engine->TopMatches(q, 100);
+  const auto result = defended.Search(q);
+  const size_t expected = std::min<size_t>(
+      static_cast<size_t>(std::llround(static_cast<double>(ranked.docs.size()) /
+                                       defended.segment().mu())),
+      50);
+  EXPECT_EQ(result.docs.size(), expected);
+}
+
+TEST(AsSimpleTest, StatsAccumulate) {
+  Rig rig = MakeRig(600, 5);
+  AsSimpleEngine defended(*rig.engine, AsSimpleConfig{});
+  for (const char* w : {"sports", "game", "sports", "team"}) {
+    defended.Search(rig.Q(w));
+  }
+  EXPECT_EQ(defended.stats().queries_processed, 4u);
+  EXPECT_EQ(defended.stats().cache_hits, 1u);
+}
+
+TEST(AsSimpleTest, CacheDisabledStillSubsetAndBounded) {
+  Rig rig = MakeRig(600, 5);
+  AsSimpleConfig config;
+  config.cache_answers = false;
+  AsSimpleEngine defended(*rig.engine, config);
+  const auto q = rig.Q("sports");
+  for (int i = 0; i < 3; ++i) {
+    const auto result = defended.Search(q);
+    EXPECT_LE(result.docs.size(), 5u);
+  }
+  EXPECT_EQ(defended.stats().cache_hits, 0u);
+}
+
+class AsSimpleGammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AsSimpleGammaSweep, AnswerSizeMatchesLhsTargetOnFreshQueries) {
+  const double gamma = GetParam();
+  Rig rig = MakeRig(900, 5, /*seed=*/21);
+  AsSimpleConfig config;
+  config.gamma = gamma;
+  AsSimpleEngine defended(*rig.engine, config);
+  const double mu = defended.segment().mu();
+  const size_t limit =
+      static_cast<size_t>(std::ceil(gamma * 5));
+  // First query is entirely fresh.
+  const auto q = rig.Q("sports");
+  const auto ranked = rig.engine->TopMatches(q, limit);
+  const size_t expected = std::min<size_t>(
+      static_cast<size_t>(
+          std::llround(static_cast<double>(ranked.docs.size()) / mu)),
+      5);
+  EXPECT_EQ(defended.Search(q).docs.size(), expected) << "gamma=" << gamma;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, AsSimpleGammaSweep,
+                         ::testing::Values(1.5, 2.0, 3.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace asup

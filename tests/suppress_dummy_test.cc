@@ -1,0 +1,92 @@
+#include "asup/suppress/dummy_insertion.h"
+
+#include <gtest/gtest.h>
+
+#include "asup/attack/unbiased_est.h"
+#include "asup/eval/utility.h"
+#include "asup/index/inverted_index.h"
+#include "asup/suppress/segment.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+TEST(DummyInsertionTest, PadsToSegmentTop) {
+  Rig rig = MakeRig(300, 5);
+  const auto padded = PadCorpusWithDummies(*rig.corpus, *rig.generator, 2.0);
+  // 300 sits in [256, 512): padded size must be 512.
+  EXPECT_EQ(padded.corpus.size(), 512u);
+  EXPECT_EQ(padded.dummy_ids.size(), 212u);
+}
+
+TEST(DummyInsertionTest, OriginalDocumentsSurvive) {
+  Rig rig = MakeRig(300, 5);
+  const auto padded = PadCorpusWithDummies(*rig.corpus, *rig.generator, 2.0);
+  for (const Document& doc : rig.corpus->documents()) {
+    EXPECT_TRUE(padded.corpus.Contains(doc.id()));
+    EXPECT_FALSE(padded.IsDummy(doc.id()));
+  }
+}
+
+TEST(DummyInsertionTest, DummiesAreFreshIds) {
+  Rig rig = MakeRig(300, 5);
+  const auto padded = PadCorpusWithDummies(*rig.corpus, *rig.generator, 2.0);
+  for (DocId dummy : padded.dummy_ids) {
+    EXPECT_FALSE(rig.corpus->Contains(dummy));
+    EXPECT_TRUE(padded.corpus.Contains(dummy));
+  }
+}
+
+TEST(DummyInsertionTest, SegmentTopCorpusNeedsNoDummies) {
+  Rig rig = MakeRig(511, 5);
+  const auto padded = PadCorpusWithDummies(*rig.corpus, *rig.generator, 2.0);
+  EXPECT_EQ(padded.corpus.size(), 512u);
+  EXPECT_EQ(padded.dummy_ids.size(), 1u);
+}
+
+TEST(DummyInsertionTest, SuppressesCountEstimate) {
+  // The padded corpus's undefended estimate lands near the segment top —
+  // the same place AS-SIMPLE pushes the unpadded corpus's estimate.
+  Rig rig = MakeRig(300, 50, /*seed=*/5, /*held_out_size=*/400);
+  const auto padded = PadCorpusWithDummies(*rig.corpus, *rig.generator, 2.0);
+  InvertedIndex index(padded.corpus);
+  PlainSearchEngine engine(index, 50);
+  QueryPool pool(*rig.held_out);
+  UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
+                              FetchFrom(padded.corpus));
+  const double estimate = estimator.Run(engine, 20000, 20000).back().estimate;
+  EXPECT_GT(estimate, 360.0);  // well above the true 300
+  EXPECT_LT(estimate, 700.0);
+}
+
+TEST(DummyInsertionTest, PrecisionCostIsIntrinsic) {
+  // Roughly 1 - n/γ^{i+1} of the padded engine's results are fakes; with
+  // n = 300 in [256, 512) that is ~41% of every answer, far worse than
+  // AS-ARBI's measured precision (paper's reason to reject the approach).
+  Rig rig = MakeRig(300, 5);
+  const auto padded = PadCorpusWithDummies(*rig.corpus, *rig.generator, 2.0);
+  InvertedIndex index(padded.corpus);
+  PlainSearchEngine engine(index, 5);
+
+  size_t returned = 0;
+  size_t fake = 0;
+  for (const char* w : {"sports", "game", "team", "score", "league",
+                        "coach", "season", "player", "match", "win"}) {
+    const auto q = KeywordQuery::Parse(padded.corpus.vocabulary(), w);
+    for (const auto& scored : engine.Search(q).docs) {
+      ++returned;
+      fake += padded.IsDummy(scored.doc);
+    }
+  }
+  ASSERT_GT(returned, 20u);
+  const double fake_fraction =
+      static_cast<double>(fake) / static_cast<double>(returned);
+  EXPECT_GT(fake_fraction, 0.2);
+  EXPECT_LT(fake_fraction, 0.65);
+}
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,71 @@
+#include "asup/suppress/guarantee.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+TEST(GuaranteeTest, MatchesTheoremFormula) {
+  // n = 1536, γ = 2: segment [1024, 2048), ceiling power 2048.
+  const auto g = ComputeGuarantee(/*corpus_size=*/1536, /*gamma=*/2.0,
+                                  /*k=*/5, /*dmax=*/100,
+                                  /*aggregate_value=*/1536.0,
+                                  /*delta=*/0.9);
+  EXPECT_NEAR(g.epsilon, 2048.0 * 0.9 * 1536.0 / 1536.0, 1e-9);
+  EXPECT_EQ(g.delta, 0.9);
+  EXPECT_NEAR(g.query_budget_c, std::sqrt(1536.0 / (100.0 * 5.0)), 1e-12);
+  EXPECT_EQ(g.win_probability_p, 0.5);
+}
+
+TEST(GuaranteeTest, ExactPowerUsesOwnValue) {
+  // ⌈log 1024 / log 2⌉ = 10 exactly: the emulated top is 1024 itself.
+  const auto g = ComputeGuarantee(1024, 2.0, 5, 10, 1024.0, 1.0);
+  EXPECT_NEAR(g.epsilon, 1024.0, 1e-9);
+}
+
+TEST(GuaranteeTest, EpsilonScalesWithAggregate) {
+  const auto count = ComputeGuarantee(1500, 2.0, 5, 10, 1500.0, 0.5);
+  const auto sum = ComputeGuarantee(1500, 2.0, 5, 10, 150000.0, 0.5);
+  EXPECT_NEAR(sum.epsilon / count.epsilon, 100.0, 1e-9);
+}
+
+TEST(GuaranteeTest, BudgetShrinksWithDmaxAndK) {
+  const auto loose = ComputeGuarantee(100000, 2.0, 5, 10, 1.0, 0.5);
+  const auto tight = ComputeGuarantee(100000, 2.0, 50, 100, 1.0, 0.5);
+  EXPECT_GT(loose.query_budget_c, tight.query_budget_c);
+}
+
+TEST(GuaranteeTest, BudgetGrowsWithCorpus) {
+  const auto small = ComputeGuarantee(10000, 2.0, 5, 10, 1.0, 0.5);
+  const auto large = ComputeGuarantee(1000000, 2.0, 5, 10, 1.0, 0.5);
+  EXPECT_NEAR(large.query_budget_c / small.query_budget_c, 10.0, 1e-9);
+}
+
+TEST(GuaranteeTest, LargerGammaWidensEpsilon) {
+  const auto g2 = ComputeGuarantee(1500, 2.0, 5, 10, 1500.0, 0.5);
+  const auto g10 = ComputeGuarantee(1500, 10.0, 5, 10, 1500.0, 0.5);
+  EXPECT_GT(g10.epsilon, g2.epsilon);
+}
+
+class GuaranteeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(GuaranteeSweep, EpsilonBracketsAggregateGranularity) {
+  const auto [n, gamma] = GetParam();
+  const double aggregate = static_cast<double>(n);
+  const auto g = ComputeGuarantee(n, gamma, 5, 10, aggregate, 1.0);
+  // With δ = 1 and qA = n, ε is the emulated segment top: at least the
+  // aggregate itself, at most γ times it.
+  EXPECT_GE(g.epsilon, aggregate * (1.0 - 1e-9));
+  EXPECT_LE(g.epsilon, gamma * aggregate * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuaranteeSweep,
+    ::testing::Combine(::testing::Values<size_t>(1, 10, 1000, 4097, 100000),
+                       ::testing::Values(1.5, 2.0, 5.0, 10.0)));
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,90 @@
+#include "asup/suppress/history_store.h"
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+Vocabulary MakeVocab() {
+  Vocabulary vocab;
+  for (const char* w : {"a", "b", "c", "d"}) vocab.AddWord(w);
+  return vocab;
+}
+
+TEST(HistoryStoreTest, EmptyStore) {
+  HistoryStore store;
+  EXPECT_EQ(store.NumQueries(), 0u);
+  EXPECT_EQ(store.NumDocumentsSeen(), 0u);
+  EXPECT_EQ(store.QueriesReturning(5), nullptr);
+  EXPECT_EQ(store.SignatureOf(5), nullptr);
+}
+
+TEST(HistoryStoreTest, RecordIndexesDocuments) {
+  Vocabulary vocab = MakeVocab();
+  HistoryStore store;
+  const auto q1 = KeywordQuery::FromWords(vocab, {"a"});
+  const auto q2 = KeywordQuery::FromWords(vocab, {"b"});
+  const uint32_t i1 = store.Record(q1, {10, 20, 30});
+  const uint32_t i2 = store.Record(q2, {20, 40});
+  EXPECT_EQ(i1, 0u);
+  EXPECT_EQ(i2, 1u);
+  EXPECT_EQ(store.NumQueries(), 2u);
+  EXPECT_EQ(store.NumDocumentsSeen(), 4u);
+
+  const auto* doc20 = store.QueriesReturning(20);
+  ASSERT_NE(doc20, nullptr);
+  EXPECT_EQ(*doc20, (std::vector<uint32_t>{0, 1}));
+  const auto* doc40 = store.QueriesReturning(40);
+  ASSERT_NE(doc40, nullptr);
+  EXPECT_EQ(*doc40, (std::vector<uint32_t>{1}));
+}
+
+TEST(HistoryStoreTest, AnswersStoredSorted) {
+  Vocabulary vocab = MakeVocab();
+  HistoryStore store;
+  store.Record(KeywordQuery::FromWords(vocab, {"a"}), {30, 10, 20});
+  EXPECT_EQ(store.QueryAt(0).answer, (std::vector<DocId>{10, 20, 30}));
+}
+
+TEST(HistoryStoreTest, SignatureBitsSet) {
+  Vocabulary vocab = MakeVocab();
+  HistoryStore store;
+  const auto q1 = KeywordQuery::FromWords(vocab, {"a"});
+  const auto q2 = KeywordQuery::FromWords(vocab, {"b"});
+  store.Record(q1, {10});
+  store.Record(q2, {10});
+  const BitVector* signature = store.SignatureOf(10);
+  ASSERT_NE(signature, nullptr);
+  EXPECT_TRUE(signature->Test(QuerySignatureBit(q1)));
+  EXPECT_TRUE(signature->Test(QuerySignatureBit(q2)));
+  // At most two bits (exactly two unless the hashes collide).
+  EXPECT_LE(signature->Count(), 2u);
+  EXPECT_GE(signature->Count(), 1u);
+}
+
+TEST(HistoryStoreTest, SignatureBitInRange) {
+  Vocabulary vocab = MakeVocab();
+  for (const char* w : {"a", "b", "c", "d"}) {
+    const auto q = KeywordQuery::FromWords(vocab, {w});
+    EXPECT_LT(QuerySignatureBit(q), kSignatureBits);
+  }
+}
+
+TEST(HistoryStoreTest, QueryAtPreservesQuery) {
+  Vocabulary vocab = MakeVocab();
+  HistoryStore store;
+  const auto q = KeywordQuery::FromWords(vocab, {"c", "a"});
+  store.Record(q, {1, 2});
+  EXPECT_EQ(store.QueryAt(0).query.canonical(), "a c");
+}
+
+TEST(HistoryStoreTest, EmptyAnswerRecordsQueryOnly) {
+  Vocabulary vocab = MakeVocab();
+  HistoryStore store;
+  store.Record(KeywordQuery::FromWords(vocab, {"d"}), {});
+  EXPECT_EQ(store.NumQueries(), 1u);
+  EXPECT_EQ(store.NumDocumentsSeen(), 0u);
+}
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,217 @@
+// Cross-configuration property tests: invariants that must hold for every
+// defense, at every k, γ, and corpus size. Each property is checked over a
+// batch of bona fide queries.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "asup/suppress/as_arbi.h"
+#include "asup/suppress/as_decline.h"
+#include "asup/suppress/as_simple.h"
+#include "asup/workload/aol_like.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+enum class DefenseKind { kSimple, kArbi, kDecline };
+
+std::unique_ptr<SearchService> MakeDefense(PlainSearchEngine& engine,
+                                           DefenseKind kind, double gamma) {
+  switch (kind) {
+    case DefenseKind::kSimple: {
+      AsSimpleConfig config;
+      config.gamma = gamma;
+      return std::make_unique<AsSimpleEngine>(engine, config);
+    }
+    case DefenseKind::kArbi: {
+      AsArbiConfig config;
+      config.simple.gamma = gamma;
+      return std::make_unique<AsArbiEngine>(engine, config);
+    }
+    case DefenseKind::kDecline: {
+      AsDeclineConfig config;
+      config.simple.gamma = gamma;
+      return std::make_unique<AsDeclineEngine>(engine, config);
+    }
+  }
+  return nullptr;
+}
+
+const char* KindName(DefenseKind kind) {
+  switch (kind) {
+    case DefenseKind::kSimple:
+      return "AS-SIMPLE";
+    case DefenseKind::kArbi:
+      return "AS-ARBI";
+    case DefenseKind::kDecline:
+      return "AS-DECLINE";
+  }
+  return "?";
+}
+
+using Config = std::tuple<DefenseKind, size_t /*k*/, double /*gamma*/,
+                          size_t /*corpus size*/>;
+
+class DefenseProperties : public ::testing::TestWithParam<Config> {
+ protected:
+  void SetUp() override {
+    const auto [kind, k, gamma, corpus_size] = GetParam();
+    rig_ = MakeRig(corpus_size, k, /*seed=*/813);
+    defense_ = MakeDefense(*rig_.engine, kind, gamma);
+
+    AolLikeConfig log_config;
+    log_config.log_size = 300;
+    log_config.unique_queries = 150;
+    log_config.seed = 29;
+    workload_ = std::make_unique<AolLikeWorkload>(*rig_.corpus, log_config);
+  }
+
+  Rig rig_;
+  std::unique_ptr<SearchService> defense_;
+  std::unique_ptr<AolLikeWorkload> workload_;
+};
+
+TEST_P(DefenseProperties, AnswersAreMatchingSubsetsWithinK) {
+  const auto [kind, k, gamma, corpus_size] = GetParam();
+  for (const auto& query : workload_->log()) {
+    const SearchResult result = defense_->Search(query);
+    EXPECT_LE(result.docs.size(), k);
+    const auto match_ids = rig_.engine->MatchIds(query);
+    const std::set<DocId> matches(match_ids.begin(), match_ids.end());
+    std::set<DocId> seen;
+    for (const auto& scored : result.docs) {
+      EXPECT_TRUE(matches.count(scored.doc))
+          << KindName(kind) << " returned a non-matching doc";
+      EXPECT_TRUE(seen.insert(scored.doc).second)
+          << KindName(kind) << " returned a duplicate doc";
+    }
+  }
+}
+
+TEST_P(DefenseProperties, AnswersAreRankedByScore) {
+  for (const auto& query : workload_->log()) {
+    const SearchResult result = defense_->Search(query);
+    for (size_t i = 1; i < result.docs.size(); ++i) {
+      const auto& prev = result.docs[i - 1];
+      const auto& cur = result.docs[i];
+      EXPECT_TRUE(prev.score > cur.score ||
+                  (prev.score == cur.score && prev.doc < cur.doc));
+    }
+  }
+}
+
+TEST_P(DefenseProperties, RepeatedQueriesAreIdentical) {
+  // Deterministic processing (Section 2.1): replaying the whole log must
+  // return byte-identical answers, despite all the state the defense
+  // accumulated in between.
+  std::vector<SearchResult> first;
+  first.reserve(workload_->unique_queries().size());
+  for (const auto& query : workload_->unique_queries()) {
+    first.push_back(defense_->Search(query));
+  }
+  for (size_t i = 0; i < workload_->unique_queries().size(); ++i) {
+    const SearchResult again =
+        defense_->Search(workload_->unique_queries()[i]);
+    EXPECT_EQ(again.status, first[i].status);
+    ASSERT_EQ(again.docs.size(), first[i].docs.size());
+    for (size_t d = 0; d < again.docs.size(); ++d) {
+      EXPECT_EQ(again.docs[d].doc, first[i].docs[d].doc);
+    }
+  }
+}
+
+TEST_P(DefenseProperties, StatusesAreConsistent) {
+  const auto [kind, k, gamma, corpus_size] = GetParam();
+  for (const auto& query : workload_->log()) {
+    const SearchResult result = defense_->Search(query);
+    switch (result.status) {
+      case QueryStatus::kUnderflow:
+        EXPECT_TRUE(result.docs.empty());
+        break;
+      case QueryStatus::kValid:
+      case QueryStatus::kOverflow:
+        EXPECT_FALSE(result.docs.empty());
+        break;
+      case QueryStatus::kDeclined:
+        EXPECT_EQ(kind, DefenseKind::kDecline);
+        EXPECT_TRUE(result.docs.empty());
+        break;
+    }
+    // A query matching nothing must never produce an answer.
+    if (rig_.engine->MatchCount(query) == 0) {
+      EXPECT_EQ(result.status, QueryStatus::kUnderflow);
+    }
+  }
+}
+
+TEST_P(DefenseProperties, UnderflowOnUnknownWords) {
+  const auto q = rig_.Q("zzzunknownzzz");
+  EXPECT_EQ(defense_->Search(q).status, QueryStatus::kUnderflow);
+}
+
+TEST_P(DefenseProperties, KIsForwarded) {
+  const auto [kind, k, gamma, corpus_size] = GetParam();
+  EXPECT_EQ(defense_->k(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DefenseProperties,
+    ::testing::Combine(
+        ::testing::Values(DefenseKind::kSimple, DefenseKind::kArbi,
+                          DefenseKind::kDecline),
+        ::testing::Values<size_t>(5, 50),
+        ::testing::Values(2.0, 5.0),
+        ::testing::Values<size_t>(300, 1100)),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      std::string name = KindName(std::get<0>(info.param));
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_k" + std::to_string(std::get<1>(info.param)) + "_g" +
+             std::to_string(static_cast<int>(std::get<2>(info.param))) +
+             "_n" + std::to_string(std::get<3>(info.param));
+    });
+
+// The segment-emulation property across same-segment corpus sizes: fresh
+// answers of a valid query scale as 1/μ.
+class SegmentEmulation : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SegmentEmulation, FreshAnswerSizeTracksLhsFraction) {
+  const size_t corpus_size = GetParam();  // all within [256, 512)
+  Rig rig = MakeRig(corpus_size, 50, /*seed=*/7);
+  AsSimpleConfig config;
+  config.gamma = 2.0;
+  AsSimpleEngine defended(*rig.engine, config);
+  const double mu = defended.segment().mu();
+  // On a fresh engine nothing is hidden, so the answer size is exactly
+  // min(round(|M|/μ), k) with |M| = min(|q|, γ·k).
+  size_t checked = 0;
+  for (const char* w : {"sports game", "sports team", "game team",
+                        "sports score", "game score", "sports game team"}) {
+    const auto q = rig.Q(w);
+    const size_t matches = rig.engine->MatchCount(q);
+    if (matches == 0) continue;
+    const size_t m_size = std::min<size_t>(matches, 100);  // γ·k = 100
+    const size_t expected = std::min<size_t>(
+        static_cast<size_t>(
+            std::llround(static_cast<double>(m_size) / mu)),
+        50);
+    AsSimpleEngine fresh(*rig.engine, config);
+    EXPECT_EQ(fresh.Search(q).docs.size(), expected) << w;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SameSegment, SegmentEmulation,
+                         ::testing::Values<size_t>(260, 300, 380, 460, 505));
+
+}  // namespace
+}  // namespace asup

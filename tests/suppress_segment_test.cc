@@ -1,0 +1,95 @@
+#include "asup/suppress/segment.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+TEST(SegmentTest, ExactPowerIsSegmentBottom) {
+  IndistinguishableSegment segment(1024, 2.0);
+  EXPECT_EQ(segment.segment_index(), 10);
+  EXPECT_DOUBLE_EQ(segment.mu(), 1.0);
+  EXPECT_DOUBLE_EQ(segment.segment_low(), 1024.0);
+  EXPECT_DOUBLE_EQ(segment.segment_high(), 2048.0);
+}
+
+TEST(SegmentTest, MidSegment) {
+  IndistinguishableSegment segment(1536, 2.0);
+  EXPECT_EQ(segment.segment_index(), 10);
+  EXPECT_DOUBLE_EQ(segment.mu(), 1.5);
+  EXPECT_DOUBLE_EQ(segment.segment_high(), 2048.0);
+}
+
+TEST(SegmentTest, JustBelowBoundary) {
+  IndistinguishableSegment segment(2047, 2.0);
+  EXPECT_EQ(segment.segment_index(), 10);
+  EXPECT_NEAR(segment.mu(), 2047.0 / 1024.0, 1e-12);
+}
+
+TEST(SegmentTest, CorpusOfOne) {
+  IndistinguishableSegment segment(1, 2.0);
+  EXPECT_EQ(segment.segment_index(), 0);
+  EXPECT_DOUBLE_EQ(segment.mu(), 1.0);
+  EXPECT_DOUBLE_EQ(segment.segment_high(), 2.0);
+}
+
+TEST(SegmentTest, DerivedProbabilities) {
+  IndistinguishableSegment segment(1536, 2.0);
+  EXPECT_DOUBLE_EQ(segment.edge_keep_probability(), 1.5 / 2.0);
+  EXPECT_DOUBLE_EQ(segment.lhs_keep_fraction(), 1.0 / 1.5);
+}
+
+TEST(SegmentTest, GammaFive) {
+  IndistinguishableSegment segment(10000, 5.0);
+  // 5^5 = 3125 <= 10000 < 5^6 = 15625.
+  EXPECT_EQ(segment.segment_index(), 5);
+  EXPECT_NEAR(segment.mu(), 10000.0 / 3125.0, 1e-12);
+  EXPECT_DOUBLE_EQ(segment.segment_high(), 15625.0);
+}
+
+TEST(SegmentTest, GammaTen) {
+  IndistinguishableSegment segment(99000, 10.0);
+  EXPECT_EQ(segment.segment_index(), 4);
+  EXPECT_NEAR(segment.mu(), 9.9, 1e-9);
+  EXPECT_DOUBLE_EQ(segment.segment_high(), 100000.0);
+}
+
+TEST(SegmentTest, NonIntegerGamma) {
+  IndistinguishableSegment segment(10, 1.5);
+  // 1.5^5 = 7.59 <= 10 < 1.5^6 = 11.39.
+  EXPECT_EQ(segment.segment_index(), 5);
+  EXPECT_NEAR(segment.mu(), 10.0 / std::pow(1.5, 5), 1e-9);
+}
+
+class SegmentSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(SegmentSweepTest, InvariantsHold) {
+  const auto [n, gamma] = GetParam();
+  IndistinguishableSegment segment(n, gamma);
+  // μ ∈ [1, γ).
+  EXPECT_GE(segment.mu(), 1.0);
+  EXPECT_LT(segment.mu(), gamma + 1e-9);
+  // n = μ · γ^i.
+  EXPECT_NEAR(segment.mu() * segment.segment_low(),
+              static_cast<double>(n), 1e-6 * static_cast<double>(n) + 1e-9);
+  // Segment brackets n.
+  EXPECT_LE(segment.segment_low(), static_cast<double>(n) + 1e-9);
+  EXPECT_GT(segment.segment_high(), static_cast<double>(n) * (1 - 1e-12));
+  // Derived rates are valid probabilities/fractions.
+  EXPECT_GT(segment.edge_keep_probability(), 0.0);
+  EXPECT_LE(segment.edge_keep_probability(), 1.0 + 1e-9);
+  EXPECT_GT(segment.lhs_keep_fraction(), 0.0);
+  EXPECT_LE(segment.lhs_keep_fraction(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SegmentSweepTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 3, 7, 100, 1000, 1024,
+                                                 4097, 50000, 1048576),
+                       ::testing::Values(1.5, 2.0, 3.0, 5.0, 10.0)));
+
+}  // namespace
+}  // namespace asup

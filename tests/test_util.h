@@ -1,0 +1,72 @@
+#ifndef ASUP_TESTS_TEST_UTIL_H_
+#define ASUP_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "asup/engine/search_engine.h"
+#include "asup/index/inverted_index.h"
+#include "asup/text/synthetic_corpus.h"
+
+namespace asup {
+namespace testing_util {
+
+/// A self-owning corpus + index + engine rig for tests.
+struct Rig {
+  std::unique_ptr<SyntheticCorpusGenerator> generator;
+  std::unique_ptr<Corpus> corpus;
+  std::unique_ptr<Corpus> held_out;
+  std::unique_ptr<InvertedIndex> index;
+  std::unique_ptr<PlainSearchEngine> engine;
+
+  KeywordQuery Q(const std::string& text) const {
+    return KeywordQuery::Parse(corpus->vocabulary(), text);
+  }
+};
+
+inline Rig MakeRig(size_t corpus_size, size_t k, uint64_t seed = 7,
+                   size_t held_out_size = 0) {
+  SyntheticCorpusConfig config;
+  config.vocabulary_size = 2000;
+  config.num_topics = 12;
+  config.words_per_topic = 150;
+  config.seed = seed;
+  Rig rig;
+  rig.generator = std::make_unique<SyntheticCorpusGenerator>(config);
+  rig.corpus = std::make_unique<Corpus>(rig.generator->Generate(corpus_size));
+  if (held_out_size > 0) {
+    rig.held_out =
+        std::make_unique<Corpus>(rig.generator->Generate(held_out_size));
+  }
+  rig.index = std::make_unique<InvertedIndex>(*rig.corpus);
+  rig.engine = std::make_unique<PlainSearchEngine>(*rig.index, k);
+  return rig;
+}
+
+/// A rig whose seeded topics are rare enough that a topic head word's
+/// document frequency is on the order of k — the regime of the paper's
+/// correlated-query experiments (Figures 18/19), where virtual query
+/// processing triggers reliably.
+inline Rig MakeTopicalRig(size_t corpus_size, size_t k, uint64_t seed = 99,
+                          size_t held_out_size = 0) {
+  SyntheticCorpusConfig config;
+  config.vocabulary_size = 10000;
+  config.num_topics = 96;
+  config.words_per_topic = 300;
+  config.seed = seed;
+  Rig rig;
+  rig.generator = std::make_unique<SyntheticCorpusGenerator>(config);
+  rig.corpus = std::make_unique<Corpus>(rig.generator->Generate(corpus_size));
+  if (held_out_size > 0) {
+    rig.held_out =
+        std::make_unique<Corpus>(rig.generator->Generate(held_out_size));
+  }
+  rig.index = std::make_unique<InvertedIndex>(*rig.corpus);
+  rig.engine = std::make_unique<PlainSearchEngine>(*rig.index, k);
+  return rig;
+}
+
+}  // namespace testing_util
+}  // namespace asup
+
+#endif  // ASUP_TESTS_TEST_UTIL_H_

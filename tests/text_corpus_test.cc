@@ -1,0 +1,105 @@
+#include "asup/text/corpus.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+Corpus MakeCorpus(std::shared_ptr<Vocabulary> vocab) {
+  std::vector<Document> docs;
+  docs.emplace_back(0, std::vector<TermId>{0, 1});
+  docs.emplace_back(1, std::vector<TermId>{1, 1, 2});
+  docs.emplace_back(2, std::vector<TermId>{2});
+  docs.emplace_back(5, std::vector<TermId>{0, 2, 2, 2});
+  return Corpus(std::move(vocab), std::move(docs));
+}
+
+std::shared_ptr<Vocabulary> MakeVocab() {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddWord("alpha");
+  vocab->AddWord("beta");
+  vocab->AddWord("gamma");
+  return vocab;
+}
+
+TEST(CorpusTest, SizeAndLookup) {
+  Corpus corpus = MakeCorpus(MakeVocab());
+  EXPECT_EQ(corpus.size(), 4u);
+  EXPECT_TRUE(corpus.Contains(5));
+  EXPECT_FALSE(corpus.Contains(3));
+  EXPECT_EQ(corpus.Get(1).length(), 3u);
+}
+
+TEST(CorpusTest, TotalLength) {
+  Corpus corpus = MakeCorpus(MakeVocab());
+  EXPECT_EQ(corpus.TotalLength(), 2u + 3u + 1u + 4u);
+}
+
+TEST(CorpusTest, CountWhere) {
+  Corpus corpus = MakeCorpus(MakeVocab());
+  EXPECT_EQ(corpus.CountWhere(
+                [](const Document& d) { return d.Contains(2); }),
+            3u);
+  EXPECT_EQ(corpus.CountWhere([](const Document&) { return false; }), 0u);
+}
+
+TEST(CorpusTest, SumLengthWhere) {
+  Corpus corpus = MakeCorpus(MakeVocab());
+  EXPECT_EQ(corpus.SumLengthWhere(
+                [](const Document& d) { return d.Contains(0); }),
+            2u + 4u);
+}
+
+TEST(CorpusTest, SampleSubcorpusPreservesIds) {
+  Corpus corpus = MakeCorpus(MakeVocab());
+  Rng rng(3);
+  Corpus sample = corpus.SampleSubcorpus(2, rng);
+  EXPECT_EQ(sample.size(), 2u);
+  for (const Document& doc : sample.documents()) {
+    EXPECT_TRUE(corpus.Contains(doc.id()));
+    EXPECT_EQ(corpus.Get(doc.id()).length(), doc.length());
+  }
+}
+
+TEST(CorpusTest, SampleSubcorpusFull) {
+  Corpus corpus = MakeCorpus(MakeVocab());
+  Rng rng(4);
+  Corpus sample = corpus.SampleSubcorpus(4, rng);
+  std::set<DocId> ids;
+  for (const Document& doc : sample.documents()) ids.insert(doc.id());
+  EXPECT_EQ(ids, (std::set<DocId>{0, 1, 2, 5}));
+}
+
+TEST(CorpusTest, SampleSubcorpusEmpty) {
+  Corpus corpus = MakeCorpus(MakeVocab());
+  Rng rng(5);
+  Corpus sample = corpus.SampleSubcorpus(0, rng);
+  EXPECT_TRUE(sample.empty());
+}
+
+TEST(CorpusTest, NestedSamplesShareVocabulary) {
+  Corpus corpus = MakeCorpus(MakeVocab());
+  Rng rng(6);
+  Corpus sample = corpus.SampleSubcorpus(2, rng);
+  EXPECT_EQ(&corpus.vocabulary(), &sample.vocabulary());
+}
+
+TEST(CorpusTest, SampleIsUniform) {
+  // Each doc should appear in a half-size sample about half the time.
+  Corpus corpus = MakeCorpus(MakeVocab());
+  std::map<DocId, int> counts;
+  for (uint64_t seed = 0; seed < 2000; ++seed) {
+    Rng rng(seed);
+    Corpus sample = corpus.SampleSubcorpus(2, rng);
+    for (const Document& doc : sample.documents()) counts[doc.id()]++;
+  }
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(count, 1000, 120) << "doc " << id;
+  }
+}
+
+}  // namespace
+}  // namespace asup

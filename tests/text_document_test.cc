@@ -1,0 +1,87 @@
+#include "asup/text/document.h"
+
+#include <gtest/gtest.h>
+
+#include "asup/text/tokenizer.h"
+
+namespace asup {
+namespace {
+
+TEST(DocumentTest, FromTokensComputesFrequencies) {
+  Document doc(7, std::vector<TermId>{3, 1, 3, 2, 3, 1});
+  EXPECT_EQ(doc.id(), 7u);
+  EXPECT_EQ(doc.length(), 6u);
+  EXPECT_EQ(doc.NumDistinctTerms(), 3u);
+  EXPECT_EQ(doc.FrequencyOf(1), 2u);
+  EXPECT_EQ(doc.FrequencyOf(2), 1u);
+  EXPECT_EQ(doc.FrequencyOf(3), 3u);
+  EXPECT_EQ(doc.FrequencyOf(4), 0u);
+}
+
+TEST(DocumentTest, TermsAreSorted) {
+  Document doc(1, std::vector<TermId>{9, 5, 7, 5, 9, 1});
+  const auto& terms = doc.terms();
+  for (size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_LT(terms[i - 1].term, terms[i].term);
+  }
+}
+
+TEST(DocumentTest, Contains) {
+  Document doc(2, std::vector<TermId>{10, 20});
+  EXPECT_TRUE(doc.Contains(10));
+  EXPECT_TRUE(doc.Contains(20));
+  EXPECT_FALSE(doc.Contains(15));
+  EXPECT_FALSE(doc.Contains(0));
+  EXPECT_FALSE(doc.Contains(999));
+}
+
+TEST(DocumentTest, EmptyDocument) {
+  Document doc(3, std::vector<TermId>{});
+  EXPECT_EQ(doc.length(), 0u);
+  EXPECT_EQ(doc.NumDistinctTerms(), 0u);
+  EXPECT_FALSE(doc.Contains(0));
+}
+
+TEST(DocumentTest, FromSortedTermFreqs) {
+  std::vector<TermFreq> terms{{1, 2}, {5, 1}};
+  Document doc(4, terms, 3);
+  EXPECT_EQ(doc.length(), 3u);
+  EXPECT_EQ(doc.FrequencyOf(1), 2u);
+  EXPECT_EQ(doc.FrequencyOf(5), 1u);
+}
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  const auto tokens = Tokenize("Linux OS Kernel, version 6.1!");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0], "linux");
+  EXPECT_EQ(tokens[1], "os");
+  EXPECT_EQ(tokens[2], "kernel");
+  EXPECT_EQ(tokens[3], "version");
+  EXPECT_EQ(tokens[4], "6");
+  EXPECT_EQ(tokens[5], "1");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,.!? ").empty());
+}
+
+TEST(TokenizerTest, TokenizeToTermsAddsWords) {
+  Vocabulary vocab;
+  const auto terms = TokenizeToTerms("windows xp os handbook", vocab);
+  EXPECT_EQ(terms.size(), 4u);
+  EXPECT_EQ(vocab.size(), 4u);
+  EXPECT_TRUE(vocab.Lookup("xp").has_value());
+}
+
+TEST(TokenizerTest, MakeDocumentFromText) {
+  Vocabulary vocab;
+  const Document doc = MakeDocumentFromText(11, "os os kernel", vocab);
+  EXPECT_EQ(doc.id(), 11u);
+  EXPECT_EQ(doc.length(), 3u);
+  EXPECT_EQ(doc.FrequencyOf(*vocab.Lookup("os")), 2u);
+  EXPECT_EQ(doc.FrequencyOf(*vocab.Lookup("kernel")), 1u);
+}
+
+}  // namespace
+}  // namespace asup

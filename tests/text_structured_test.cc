@@ -1,0 +1,115 @@
+#include "asup/text/structured.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "asup/attack/aggregate.h"
+#include "asup/engine/search_engine.h"
+#include "asup/index/inverted_index.h"
+#include "asup/suppress/as_arbi.h"
+
+namespace asup {
+namespace {
+
+StructuredTable MakeProducts() {
+  auto vocab = std::make_shared<Vocabulary>();
+  StructuredTable table(vocab, {"brand", "category", "review"});
+  table.AddTuple({"Acme", "camera", "poor quality, broken on arrival"});
+  table.AddTuple({"Acme", "laptop", "great value"});
+  table.AddTuple({"Bolt", "camera", "poor battery"});
+  table.AddTuple({"Bolt", "phone", "excellent screen"});
+  table.AddTuple({"Acme", "phone", "poor quality speaker"});
+  return table;
+}
+
+TEST(StructuredTableTest, TuplesBecomeDocuments) {
+  StructuredTable table = MakeProducts();
+  EXPECT_EQ(table.size(), 5u);
+  Corpus corpus = table.ToCorpus();
+  EXPECT_EQ(corpus.size(), 5u);
+}
+
+TEST(StructuredTableTest, PlainKeywordSearchWorks) {
+  StructuredTable table = MakeProducts();
+  Corpus corpus = table.ToCorpus();
+  InvertedIndex index(corpus);
+  PlainSearchEngine engine(index, 10);
+  // "poor" appears in three reviews.
+  const auto result =
+      engine.Search(KeywordQuery::Parse(corpus.vocabulary(), "poor"));
+  EXPECT_EQ(result.docs.size(), 3u);
+  // Conjunctive across attributes: brand word + review word.
+  const auto acme_poor =
+      engine.Search(KeywordQuery::Parse(corpus.vocabulary(), "acme poor"));
+  EXPECT_EQ(acme_poor.docs.size(), 2u);
+}
+
+TEST(StructuredTableTest, AttributeTermsScopeSelection) {
+  StructuredTable table = MakeProducts();
+  Corpus corpus = table.ToCorpus();
+  // "camera" as a category vs anywhere: tuple 0 and 2 are cameras.
+  const auto category_camera = table.AttributeTerm("category", "camera");
+  ASSERT_TRUE(category_camera.has_value());
+  EXPECT_EQ(AggregateQuery::CountContaining(*category_camera)
+                .TrueValue(corpus),
+            2.0);
+  // "poor" scoped to the review attribute.
+  const auto review_poor = table.AttributeTerm("review", "poor");
+  ASSERT_TRUE(review_poor.has_value());
+  EXPECT_EQ(AggregateQuery::CountContaining(*review_poor).TrueValue(corpus),
+            3.0);
+  // A brand word does not leak into other attributes.
+  EXPECT_FALSE(table.AttributeTerm("category", "acme").has_value());
+}
+
+TEST(StructuredTableTest, AttributeTermIsCaseInsensitive) {
+  StructuredTable table = MakeProducts();
+  EXPECT_TRUE(table.AttributeTerm("brand", "ACME").has_value());
+  EXPECT_EQ(table.AttributeTerm("brand", "ACME"),
+            table.AttributeTerm("brand", "acme"));
+}
+
+TEST(StructuredTableTest, ScopedTermsDoNotPolluteKeywordSearch) {
+  StructuredTable table = MakeProducts();
+  Corpus corpus = table.ToCorpus();
+  InvertedIndex index(corpus);
+  PlainSearchEngine engine(index, 10);
+  // Querying the literal scoped form via the keyword box tokenizes into
+  // ("brand", "acme") — the '=' splits — and "brand" alone matches nothing
+  // since it is not a value word.
+  const auto result =
+      engine.Search(KeywordQuery::Parse(corpus.vocabulary(), "brand=acme"));
+  EXPECT_EQ(result.status, QueryStatus::kUnderflow);
+}
+
+TEST(StructuredTableTest, DefensesApplyUnchanged) {
+  // The §8 extension claim: the flattened table runs behind AS-ARBI with
+  // no further work.
+  auto vocab = std::make_shared<Vocabulary>();
+  StructuredTable table(vocab, {"brand", "review"});
+  for (int i = 0; i < 400; ++i) {
+    table.AddTuple({i % 3 == 0 ? "Acme" : "Bolt",
+                    i % 5 == 0 ? "poor quality item" : "fine sturdy item"});
+  }
+  Corpus corpus = table.ToCorpus();
+  InvertedIndex index(corpus);
+  PlainSearchEngine engine(index, 5);
+  AsArbiEngine defended(engine, AsArbiConfig{});
+  const auto q = KeywordQuery::Parse(corpus.vocabulary(), "poor");
+  const auto result = defended.Search(q);
+  EXPECT_LE(result.docs.size(), 5u);
+  EXPECT_NE(result.status, QueryStatus::kUnderflow);
+}
+
+TEST(StructuredTableTest, SharedVocabularyAcrossTables) {
+  auto vocab = std::make_shared<Vocabulary>();
+  StructuredTable a(vocab, {"x"});
+  StructuredTable b(vocab, {"x"});
+  a.AddTuple({"hello world"});
+  b.AddTuple({"hello there"});
+  EXPECT_EQ(a.AttributeTerm("x", "hello"), b.AttributeTerm("x", "hello"));
+}
+
+}  // namespace
+}  // namespace asup

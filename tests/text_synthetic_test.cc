@@ -1,0 +1,143 @@
+#include "asup/text/synthetic_corpus.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+SyntheticCorpusConfig SmallConfig() {
+  SyntheticCorpusConfig config;
+  config.vocabulary_size = 3000;
+  config.num_topics = 16;
+  config.words_per_topic = 200;
+  config.seed = 77;
+  return config;
+}
+
+TEST(SyntheticCorpusTest, GeneratesRequestedCount) {
+  SyntheticCorpusGenerator generator(SmallConfig());
+  Corpus corpus = generator.Generate(500);
+  EXPECT_EQ(corpus.size(), 500u);
+}
+
+TEST(SyntheticCorpusTest, IdsAreUniqueAcrossCalls) {
+  SyntheticCorpusGenerator generator(SmallConfig());
+  Corpus a = generator.Generate(300);
+  Corpus b = generator.Generate(300);
+  std::unordered_set<DocId> ids;
+  for (const Document& doc : a.documents()) ids.insert(doc.id());
+  for (const Document& doc : b.documents()) {
+    EXPECT_TRUE(ids.insert(doc.id()).second);
+  }
+  EXPECT_EQ(ids.size(), 600u);
+}
+
+TEST(SyntheticCorpusTest, LengthsWithinClamp) {
+  auto config = SmallConfig();
+  config.min_doc_length = 10;
+  config.max_doc_length = 500;
+  SyntheticCorpusGenerator generator(config);
+  Corpus corpus = generator.Generate(1000);
+  for (const Document& doc : corpus.documents()) {
+    EXPECT_GE(doc.length(), 10u);
+    EXPECT_LE(doc.length(), 500u);
+  }
+}
+
+TEST(SyntheticCorpusTest, SeedWordsAreInVocabulary) {
+  SyntheticCorpusGenerator generator(SmallConfig());
+  const auto& vocab = *generator.vocabulary();
+  for (const auto& topic : SyntheticCorpusGenerator::SeedTopicWords()) {
+    for (const auto& word : topic) {
+      EXPECT_TRUE(vocab.Lookup(word).has_value()) << word;
+    }
+  }
+}
+
+TEST(SyntheticCorpusTest, SportsTopicProducesSportsDocs) {
+  SyntheticCorpusGenerator generator(SmallConfig());
+  Corpus corpus = generator.Generate(2000);
+  const TermId sports = *generator.vocabulary()->Lookup("sports");
+  const uint64_t with_sports = corpus.CountWhere(
+      [sports](const Document& d) { return d.Contains(sports); });
+  // Topic 0 is the most popular topic and "sports" is its head word, so a
+  // nontrivial fraction of documents must contain it.
+  EXPECT_GT(with_sports, corpus.size() / 50);
+  EXPECT_LT(with_sports, corpus.size());
+}
+
+TEST(SyntheticCorpusTest, DeterministicForSeed) {
+  SyntheticCorpusGenerator g1(SmallConfig());
+  SyntheticCorpusGenerator g2(SmallConfig());
+  Corpus a = g1.Generate(100);
+  Corpus b = g2.Generate(100);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.documents()[i].id(), b.documents()[i].id());
+    EXPECT_EQ(a.documents()[i].length(), b.documents()[i].length());
+    EXPECT_EQ(a.documents()[i].terms(), b.documents()[i].terms());
+  }
+}
+
+TEST(SyntheticCorpusTest, DifferentSeedsDiffer) {
+  auto config1 = SmallConfig();
+  auto config2 = SmallConfig();
+  config2.seed = 78;
+  SyntheticCorpusGenerator g1(config1);
+  SyntheticCorpusGenerator g2(config2);
+  Corpus a = g1.Generate(50);
+  Corpus b = g2.Generate(50);
+  bool any_diff = false;
+  for (size_t i = 0; i < 50 && !any_diff; ++i) {
+    any_diff = !(a.documents()[i].terms() == b.documents()[i].terms());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticCorpusTest, HeavyTailedDocumentFrequencies) {
+  // The most frequent word should appear in far more documents than the
+  // median word — the Zipf structure the attacks depend on.
+  SyntheticCorpusGenerator generator(SmallConfig());
+  Corpus corpus = generator.Generate(1500);
+  std::vector<uint32_t> df(generator.vocabulary()->size(), 0);
+  for (const Document& doc : corpus.documents()) {
+    for (const TermFreq& entry : doc.terms()) df[entry.term]++;
+  }
+  std::sort(df.begin(), df.end(), std::greater<uint32_t>());
+  EXPECT_GT(df[0], corpus.size() / 2);  // head word: in most documents
+  EXPECT_GT(df[0], 20 * std::max<uint32_t>(df[df.size() / 2], 1));
+}
+
+TEST(SyntheticCorpusTest, TopicalCooccurrence) {
+  // Documents containing "sports" should contain "game" far more often
+  // than random documents do — the property the correlated-query attack
+  // needs. Use enough topics that topic 0 is not corpus-dominant (as in
+  // the default configuration).
+  auto config = SmallConfig();
+  config.num_topics = 48;
+  SyntheticCorpusGenerator generator(config);
+  Corpus corpus = generator.Generate(3000);
+  const TermId sports = *generator.vocabulary()->Lookup("sports");
+  const TermId game = *generator.vocabulary()->Lookup("game");
+  uint64_t sports_docs = 0;
+  uint64_t sports_and_game = 0;
+  uint64_t game_docs = 0;
+  for (const Document& doc : corpus.documents()) {
+    const bool has_sports = doc.Contains(sports);
+    const bool has_game = doc.Contains(game);
+    sports_docs += has_sports;
+    game_docs += has_game;
+    sports_and_game += has_sports && has_game;
+  }
+  ASSERT_GT(sports_docs, 0u);
+  ASSERT_GT(game_docs, 0u);
+  const double p_game_given_sports =
+      static_cast<double>(sports_and_game) / static_cast<double>(sports_docs);
+  const double p_game =
+      static_cast<double>(game_docs) / static_cast<double>(corpus.size());
+  EXPECT_GT(p_game_given_sports, 3.0 * p_game);
+}
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,125 @@
+#include "asup/util/bitvector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.None());
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector bits(100);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(99));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(BitVectorTest, SetIsIdempotent) {
+  BitVector bits(10);
+  bits.Set(5);
+  bits.Set(5);
+  EXPECT_EQ(bits.Count(), 1u);
+}
+
+TEST(BitVectorTest, Reset) {
+  BitVector bits(200);
+  for (size_t i = 0; i < 200; i += 3) bits.Set(i);
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitVectorTest, OrAssign) {
+  BitVector a(70);
+  BitVector b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(2);
+  b.Set(65);
+  a |= b;
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_TRUE(a.Test(65));
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(BitVectorTest, AndAssign) {
+  BitVector a(70);
+  BitVector b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(65);
+  a &= b;
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_TRUE(a.Test(65));
+  EXPECT_EQ(a.Count(), 1u);
+}
+
+TEST(BitVectorTest, CountAnd) {
+  BitVector a(128);
+  BitVector b(128);
+  for (size_t i = 0; i < 128; i += 2) a.Set(i);
+  for (size_t i = 0; i < 128; i += 3) b.Set(i);
+  // Multiples of 6 below 128: 0, 6, ..., 126 -> 22 values.
+  EXPECT_EQ(a.CountAnd(b), 22u);
+}
+
+TEST(BitVectorTest, Equality) {
+  BitVector a(40);
+  BitVector b(40);
+  EXPECT_TRUE(a == b);
+  a.Set(7);
+  EXPECT_FALSE(a == b);
+  b.Set(7);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(BitVectorTest, AccumulateInto) {
+  BitVector a(1000);
+  BitVector b(1000);
+  a.Set(0);
+  a.Set(999);
+  b.Set(999);
+  std::vector<uint32_t> counts(1000, 0);
+  a.AccumulateInto(counts);
+  b.AccumulateInto(counts);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[999], 2u);
+  EXPECT_EQ(counts[500], 0u);
+}
+
+TEST(BitVectorTest, AccumulateIntoSumsEqualCount) {
+  BitVector bits(256);
+  for (size_t i = 1; i < 256; i *= 2) bits.Set(i);
+  std::vector<uint32_t> counts(256, 0);
+  bits.AccumulateInto(counts);
+  uint32_t total = 0;
+  for (uint32_t c : counts) total += c;
+  EXPECT_EQ(total, bits.Count());
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bits;
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,56 @@
+#include "asup/util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+TEST(CsvTableTest, HeaderOnly) {
+  CsvTable table({"a", "b"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_EQ(out.str(), "a,b\n");
+}
+
+TEST(CsvTableTest, RowsRoundTrip) {
+  CsvTable table({"x", "y"});
+  table.AddRow({1.0, 2.5});
+  table.AddRow({3.0, -4.0});
+  EXPECT_EQ(table.NumRows(), 2u);
+  EXPECT_EQ(table.NumColumns(), 2u);
+  EXPECT_EQ(table.At(0, 1), 2.5);
+  EXPECT_EQ(table.At(1, 0), 3.0);
+}
+
+TEST(CsvTableTest, ColumnByName) {
+  CsvTable table({"queries", "estimate"});
+  table.AddRow({100, 5000});
+  table.AddRow({200, 5100});
+  const std::vector<double> estimates = table.Column("estimate");
+  ASSERT_EQ(estimates.size(), 2u);
+  EXPECT_EQ(estimates[0], 5000);
+  EXPECT_EQ(estimates[1], 5100);
+}
+
+TEST(CsvTableTest, PrintFormat) {
+  CsvTable table({"a", "b"});
+  table.AddRow({1.0, 0.5});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_EQ(out.str(), "a,b\n1,0.5\n");
+}
+
+TEST(FormatCellTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatCell(1.0), "1");
+  EXPECT_EQ(FormatCell(0.25), "0.25");
+  EXPECT_EQ(FormatCell(123456), "123456");
+}
+
+TEST(FormatCellTest, LargeValuesUseCompactForm) {
+  EXPECT_EQ(FormatCell(1e12), "1e+12");
+}
+
+}  // namespace
+}  // namespace asup

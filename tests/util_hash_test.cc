@@ -1,0 +1,89 @@
+#include "asup/util/hash.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+TEST(Mix64Test, Deterministic) { EXPECT_EQ(Mix64(42), Mix64(42)); }
+
+TEST(Mix64Test, SpreadsNearbyInputs) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(HashCombineTest, OrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashCombineTest, Deterministic) {
+  EXPECT_EQ(HashCombine(10, 20), HashCombine(10, 20));
+}
+
+TEST(HashStringTest, EmptyAndNonEmptyDiffer) {
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashStringTest, DistinctStringsDiffer) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(HashString("word" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(DeterministicCoinTest, SameInputsSameOutput) {
+  DeterministicCoin coin(0xdead);
+  EXPECT_EQ(coin.UniformDouble(1, 2), coin.UniformDouble(1, 2));
+  EXPECT_EQ(coin.Accept(5, 6, 0.5), coin.Accept(5, 6, 0.5));
+}
+
+TEST(DeterministicCoinTest, DifferentKeysDisagreeSometimes) {
+  DeterministicCoin a(1);
+  DeterministicCoin b(2);
+  int disagreements = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (a.Accept(i, 0, 0.5) != b.Accept(i, 0, 0.5)) ++disagreements;
+  }
+  // Two independent fair coins disagree about half the time.
+  EXPECT_GT(disagreements, 350);
+  EXPECT_LT(disagreements, 650);
+}
+
+TEST(DeterministicCoinTest, AcceptRateMatchesProbability) {
+  DeterministicCoin coin(0xbeef);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    int accepted = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      accepted += coin.Accept(static_cast<uint64_t>(i), 7, p);
+    }
+    EXPECT_NEAR(static_cast<double>(accepted) / n, p, 0.015) << "p=" << p;
+  }
+}
+
+TEST(DeterministicCoinTest, UniformDoubleInRange) {
+  DeterministicCoin coin(123);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const double x = coin.UniformDouble(i, i * 3);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(DeterministicCoinTest, EdgeIdentityMatters) {
+  DeterministicCoin coin(99);
+  // (a, b) and (b, a) should be independent coins.
+  int diff = 0;
+  for (uint64_t i = 1; i < 500; ++i) {
+    if (coin.Accept(i, i + 1, 0.5) != coin.Accept(i + 1, i, 0.5)) ++diff;
+  }
+  EXPECT_GT(diff, 150);
+}
+
+}  // namespace
+}  // namespace asup

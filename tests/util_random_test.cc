@@ -1,0 +1,230 @@
+#include "asup/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformBelowCoversRangeUniformly) {
+  Rng rng(3);
+  std::vector<int> histogram(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) histogram[rng.UniformBelow(10)]++;
+  for (int count : histogram) {
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, UniformU64RespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t x = rng.UniformU64(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(RngTest, UniformU64DegenerateRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.UniformU64(42, 42), 42u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Geometric(0.25));
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, GeometricSureSuccess) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 1u);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (uint64_t count : {0ULL, 1ULL, 10ULL, 100ULL, 999ULL, 1000ULL}) {
+    auto sample = rng.SampleWithoutReplacement(1000, count);
+    ASSERT_EQ(sample.size(), count);
+    std::set<uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), count);
+    for (uint64_t v : sample) EXPECT_LT(v, 1000u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  // Each element of [0, 20) should be picked with probability 5/20.
+  Rng rng(41);
+  std::vector<int> counts(20, 0);
+  const int rounds = 40000;
+  for (int r = 0; r < rounds; ++r) {
+    for (uint64_t v : rng.SampleWithoutReplacement(20, 5)) counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, rounds / 4, rounds / 4 * 0.1);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = values;
+  rng.Shuffle(values);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, original);
+}
+
+TEST(ZipfTest, SingleElement) {
+  Rng rng(47);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, SamplesWithinSupport) {
+  Rng rng(53);
+  ZipfDistribution zipf(100, 1.2);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 100u);
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  Rng rng(59);
+  ZipfDistribution zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfTest, MatchesExactDistributionSmallSupport) {
+  // Compare empirical frequencies against the exact Zipf mass for n = 5.
+  Rng rng(61);
+  const double s = 1.3;
+  ZipfDistribution zipf(5, s);
+  std::vector<double> expected(5);
+  double z = 0.0;
+  for (int r = 0; r < 5; ++r) z += std::pow(r + 1.0, -s);
+  for (int r = 0; r < 5; ++r) expected[r] = std::pow(r + 1.0, -s) / z;
+  std::vector<int> counts(5, 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, expected[r], 0.01)
+        << "rank " << r;
+  }
+}
+
+class ZipfSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweepTest, HeadProbabilityMatchesTheory) {
+  const double s = GetParam();
+  const uint64_t n = 2000;
+  Rng rng(67);
+  ZipfDistribution zipf(n, s);
+  double z = 0.0;
+  for (uint64_t r = 1; r <= n; ++r) z += std::pow(r, -s);
+  const double expected_head = 1.0 / z;
+  int head = 0;
+  const int rounds = 200000;
+  for (int i = 0; i < rounds; ++i) head += zipf.Sample(rng) == 0;
+  EXPECT_NEAR(static_cast<double>(head) / rounds, expected_head,
+              0.1 * expected_head + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweepTest,
+                         ::testing::Values(0.6, 0.8, 1.0, 1.05, 1.3, 2.0));
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,111 @@
+#include "asup/util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asup/util/random.h"
+
+namespace asup {
+namespace {
+
+TEST(StreamingStatsTest, Empty) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.StdError(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.Mean(), 5.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.Min(), 5.0);
+  EXPECT_EQ(stats.Max(), 5.0);
+}
+
+TEST(StreamingStatsTest, MatchesDirectComputation) {
+  const std::vector<double> values{1.5, 2.5, -3.0, 7.0, 0.0, 4.25};
+  StreamingStats stats;
+  double sum = 0.0;
+  for (double v : values) {
+    stats.Add(v);
+    sum += v;
+  }
+  const double mean = sum / values.size();
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  const double variance = ss / (values.size() - 1);
+  EXPECT_NEAR(stats.Mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.Variance(), variance, 1e-12);
+  EXPECT_NEAR(stats.StdDev(), std::sqrt(variance), 1e-12);
+  EXPECT_NEAR(stats.Sum(), sum, 1e-12);
+}
+
+TEST(StreamingStatsTest, MinMax) {
+  StreamingStats stats;
+  for (double v : {3.0, -1.0, 10.0, 2.0}) stats.Add(v);
+  EXPECT_EQ(stats.Min(), -1.0);
+  EXPECT_EQ(stats.Max(), 10.0);
+}
+
+TEST(StreamingStatsTest, MergeMatchesCombined) {
+  Rng rng(5);
+  StreamingStats combined;
+  StreamingStats left;
+  StreamingStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(3.0, 2.0);
+    combined.Add(v);
+    (i % 3 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.Mean(), combined.Mean(), 1e-9);
+  EXPECT_NEAR(left.Variance(), combined.Variance(), 1e-9);
+  EXPECT_EQ(left.Min(), combined.Min());
+  EXPECT_EQ(left.Max(), combined.Max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a;
+  StreamingStats b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Mean(), 2.0);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.Mean(), 2.0);
+}
+
+TEST(StreamingStatsTest, StdErrorShrinksWithN) {
+  Rng rng(7);
+  StreamingStats small;
+  StreamingStats large;
+  for (int i = 0; i < 100; ++i) small.Add(rng.Normal(0, 1));
+  for (int i = 0; i < 10000; ++i) large.Add(rng.Normal(0, 1));
+  EXPECT_GT(small.StdError(), large.StdError());
+}
+
+TEST(StreamingStatsTest, ConfidenceHalfWidth) {
+  StreamingStats stats;
+  for (int i = 0; i < 100; ++i) stats.Add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(stats.ConfidenceHalfWidth(1.96), 1.96 * stats.StdError(),
+              1e-12);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalCdf(5.0), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,88 @@
+#include "asup/workload/log_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "asup/workload/aol_like.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(LogIoTest, RoundTripsAWorkload) {
+  Rig rig = MakeRig(300, 5);
+  AolLikeConfig config;
+  config.log_size = 200;
+  config.unique_queries = 80;
+  AolLikeWorkload workload(*rig.corpus, config);
+
+  const std::string path = TempPath("log_roundtrip.txt");
+  ASSERT_TRUE(SaveQueryLog(workload.log(), path));
+  const auto loaded = LoadQueryLog(path, rig.corpus->vocabulary());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), workload.log().size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_EQ((*loaded)[i].canonical(), workload.log()[i].canonical());
+    EXPECT_EQ((*loaded)[i].terms(), workload.log()[i].terms());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LogIoTest, LoadParsesRawText) {
+  Rig rig = MakeRig(100, 5);
+  const std::string path = TempPath("raw_log.txt");
+  {
+    std::ofstream out(path);
+    out << "sports game\n";
+    out << "\n";  // blank line skipped
+    out << "  TEAM sports \n";
+    out << "wordthatdoesnotexist\n";  // preserved as unanswerable
+  }
+  const auto loaded = LoadQueryLog(path, rig.corpus->vocabulary());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].canonical(), "game sports");
+  EXPECT_EQ((*loaded)[1].canonical(), "sports team");
+  EXPECT_TRUE((*loaded)[2].has_unknown_word());
+  EXPECT_TRUE((*loaded)[2].terms().empty());
+  std::remove(path.c_str());
+}
+
+TEST(LogIoTest, MissingFileReturnsNullopt) {
+  Rig rig = MakeRig(50, 5);
+  EXPECT_FALSE(
+      LoadQueryLog(TempPath("nope.txt"), rig.corpus->vocabulary())
+          .has_value());
+}
+
+TEST(LogIoTest, LoadedLogIsReplayable) {
+  Rig rig = MakeRig(400, 5);
+  const std::string path = TempPath("replay_log.txt");
+  {
+    std::ofstream out(path);
+    out << "sports\ngame team\nsports game\n";
+  }
+  const auto loaded = LoadQueryLog(path, rig.corpus->vocabulary());
+  ASSERT_TRUE(loaded.has_value());
+  for (const auto& query : *loaded) {
+    const auto result = rig.engine->Search(query);
+    EXPECT_NE(result.status, QueryStatus::kDeclined);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LogIoTest, SaveToUnwritablePathFails) {
+  EXPECT_FALSE(SaveQueryLog({}, "/nonexistent_dir/x/log.txt"));
+}
+
+}  // namespace
+}  // namespace asup

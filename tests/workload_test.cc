@@ -1,0 +1,138 @@
+#include "asup/workload/aol_like.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "asup/workload/query_log.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+AolLikeConfig SmallLog() {
+  AolLikeConfig config;
+  config.log_size = 2000;
+  config.unique_queries = 600;
+  return config;
+}
+
+TEST(AolLikeTest, GeneratesRequestedSizes) {
+  Rig rig = MakeRig(500, 5);
+  AolLikeWorkload workload(*rig.corpus, SmallLog());
+  EXPECT_EQ(workload.log().size(), 2000u);
+  EXPECT_EQ(workload.unique_queries().size(), 600u);
+}
+
+TEST(AolLikeTest, LogDrawsFromUniquePopulation) {
+  Rig rig = MakeRig(500, 5);
+  AolLikeWorkload workload(*rig.corpus, SmallLog());
+  std::set<std::string> population;
+  for (const auto& q : workload.unique_queries()) {
+    population.insert(q.canonical());
+  }
+  for (const auto& q : workload.log()) {
+    EXPECT_TRUE(population.count(q.canonical()));
+  }
+}
+
+TEST(AolLikeTest, LogContainsDuplicates) {
+  // Zipf popularity must produce repeated queries (the paper notes the
+  // workload may contain duplicates).
+  Rig rig = MakeRig(500, 5);
+  AolLikeWorkload workload(*rig.corpus, SmallLog());
+  std::set<std::string> seen;
+  size_t duplicates = 0;
+  for (const auto& q : workload.log()) {
+    if (!seen.insert(q.canonical()).second) ++duplicates;
+  }
+  EXPECT_GT(duplicates, workload.log().size() / 10);
+}
+
+TEST(AolLikeTest, QueriesHaveOneToFourWords) {
+  Rig rig = MakeRig(500, 5);
+  AolLikeWorkload workload(*rig.corpus, SmallLog());
+  for (const auto& q : workload.unique_queries()) {
+    EXPECT_GE(q.terms().size(), 1u);
+    EXPECT_LE(q.terms().size(), 4u);
+  }
+}
+
+TEST(AolLikeTest, MostQueriesMatchSomething) {
+  Rig rig = MakeRig(500, 5);
+  AolLikeWorkload workload(*rig.corpus, SmallLog());
+  size_t matched = 0;
+  for (const auto& q : workload.unique_queries()) {
+    if (rig.engine->MatchCount(q) > 0) ++matched;
+  }
+  EXPECT_GT(static_cast<double>(matched) / workload.unique_queries().size(),
+            0.7);
+}
+
+TEST(AolLikeTest, ManyQueriesOverflow) {
+  // The paper's key utility observation: most real queries overflow the
+  // top-k interface.
+  Rig rig = MakeRig(800, 5);
+  AolLikeWorkload workload(*rig.corpus, SmallLog());
+  size_t overflow = 0;
+  for (const auto& q : workload.log()) {
+    if (rig.engine->MatchCount(q) > rig.engine->k()) ++overflow;
+  }
+  EXPECT_GT(static_cast<double>(overflow) / workload.log().size(), 0.4);
+}
+
+TEST(AolLikeTest, DeterministicForSeed) {
+  Rig rig = MakeRig(300, 5);
+  AolLikeWorkload a(*rig.corpus, SmallLog());
+  AolLikeWorkload b(*rig.corpus, SmallLog());
+  for (size_t i = 0; i < a.log().size(); ++i) {
+    EXPECT_EQ(a.log()[i].canonical(), b.log()[i].canonical());
+  }
+}
+
+TEST(WorkloadProfileTest, ProfilesBasicCounts) {
+  Rig rig = MakeRig(800, 5);
+  AolLikeConfig config = SmallLog();
+  config.log_size = 500;
+  AolLikeWorkload workload(*rig.corpus, config);
+  const WorkloadProfile profile =
+      ProfileWorkload(*rig.engine, workload.log(), 2.0);
+  EXPECT_EQ(profile.num_queries, 500u);
+  EXPECT_GE(profile.overflow_fraction, profile.gamma_overflow_fraction);
+  EXPECT_GT(profile.avg_docs_returned, 0.0);
+  EXPECT_LE(profile.avg_docs_returned, 5.0);
+}
+
+TEST(WorkloadProfileTest, TheoremBoundsAreValidProbabilities) {
+  Rig rig = MakeRig(800, 5);
+  AolLikeConfig config = SmallLog();
+  config.log_size = 500;
+  AolLikeWorkload workload(*rig.corpus, config);
+  const WorkloadProfile profile =
+      ProfileWorkload(*rig.engine, workload.log(), 2.0);
+  for (double gamma : {1.5, 2.0, 5.0, 10.0}) {
+    const double recall_bound = profile.RecallLowerBound(gamma);
+    const double precision_bound = profile.PrecisionLowerBound(gamma);
+    EXPECT_GT(recall_bound, 0.0) << gamma;
+    EXPECT_LE(recall_bound, 1.0) << gamma;
+    EXPECT_GT(precision_bound, 0.0) << gamma;
+    EXPECT_LE(precision_bound, 1.0) << gamma;
+  }
+}
+
+TEST(WorkloadProfileTest, BoundsDegradeWithGamma) {
+  Rig rig = MakeRig(800, 5);
+  AolLikeConfig config = SmallLog();
+  config.log_size = 400;
+  AolLikeWorkload workload(*rig.corpus, config);
+  const WorkloadProfile profile =
+      ProfileWorkload(*rig.engine, workload.log(), 2.0);
+  EXPECT_GE(profile.PrecisionLowerBound(2.0),
+            profile.PrecisionLowerBound(10.0));
+}
+
+}  // namespace
+}  // namespace asup
