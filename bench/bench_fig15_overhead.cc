@@ -5,8 +5,16 @@
 // per-document signatures make it cheap otherwise).
 //
 // Also prints an ablation: the same ratio with the deterministic answer
-// cache disabled.
+// cache disabled, and a parallel-mode table: batch throughput of the
+// plain and defended engines at 1/2/4/8 workers (free-running concurrent
+// mode and the deterministic prefetch+serial-commit mode).
 
+#include <functional>
+#include <span>
+
+#include "asup/engine/parallel_service.h"
+#include "asup/util/stopwatch.h"
+#include "asup/util/thread_pool.h"
 #include "bench_common.h"
 
 namespace {
@@ -39,6 +47,59 @@ std::vector<double> RatioSeries(const Corpus& corpus,
     }
   }
   return ratios;
+}
+
+double MeasureQps(const std::function<void()>& run, size_t queries) {
+  Stopwatch watch;
+  run();
+  const double seconds =
+      static_cast<double>(watch.ElapsedNanos()) / 1e9;
+  return static_cast<double>(queries) / std::max(seconds, 1e-9);
+}
+
+/// Batch throughput (queries/s) of the plain engine (concurrent mode) and
+/// of AS-ARBI (concurrent and deterministic modes) at several worker
+/// counts, plus the speedup of each series over its own 1-worker row.
+/// Fresh engines per row: the answer cache must not carry work across
+/// measurements.
+void PrintParallelMode(const Corpus& corpus,
+                       const std::vector<KeywordQuery>& log, size_t k) {
+  const std::span<const KeywordQuery> batch(
+      log.data(), std::min<size_t>(log.size(), 2000));
+
+  CsvTable table({"workers", "plain_qps", "arbi_qps", "arbi_det_qps",
+                  "plain_speedup", "arbi_speedup", "arbi_det_speedup"});
+  double base_plain = 0.0, base_arbi = 0.0, base_det = 0.0;
+  for (const size_t workers : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(workers);
+    BatchExecutor executor(pool);
+
+    EngineStack plain_stack = EngineStack::Plain(corpus, k);
+    const double plain_qps = MeasureQps(
+        [&] { executor.ExecuteConcurrent(plain_stack.service(), batch); },
+        batch.size());
+
+    EngineStack arbi_stack = EngineStack::WithArbi(corpus, k, AsArbiConfig{});
+    const double arbi_qps = MeasureQps(
+        [&] { executor.ExecuteConcurrent(arbi_stack.service(), batch); },
+        batch.size());
+
+    EngineStack det_stack = EngineStack::WithArbi(corpus, k, AsArbiConfig{});
+    const double det_qps = MeasureQps(
+        [&] { executor.ExecuteDeterministic(*det_stack.arbi(), batch); },
+        batch.size());
+
+    if (workers == 1) {
+      base_plain = plain_qps;
+      base_arbi = arbi_qps;
+      base_det = det_qps;
+    }
+    table.AddRow({static_cast<double>(workers), plain_qps, arbi_qps, det_qps,
+                  plain_qps / std::max(base_plain, 1e-9),
+                  arbi_qps / std::max(base_arbi, 1e-9),
+                  det_qps / std::max(base_det, 1e-9)});
+  }
+  PrintFigure("fig15b: parallel batch throughput vs worker count", table);
 }
 
 }  // namespace
@@ -74,5 +135,7 @@ int main() {
   }
   PrintFigure("fig15: AS-ARBI response-time ratio vs number of queries",
               table);
+
+  PrintParallelMode(corpus, workload.log(), params.k);
   return 0;
 }

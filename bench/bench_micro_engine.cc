@@ -1,14 +1,19 @@
 // Micro-benchmarks (google-benchmark) of the substrate: index build,
 // query processing with and without the suppression layers, posting-list
-// decoding, and the AS-ARBI trigger machinery.
+// decoding, the AS-ARBI trigger machinery, and the parallel batch
+// executor's throughput scaling over 1..8 workers.
+
+#include <span>
 
 #include <benchmark/benchmark.h>
 
+#include "asup/engine/parallel_service.h"
 #include "asup/engine/search_engine.h"
 #include "asup/index/inverted_index.h"
 #include "asup/suppress/as_arbi.h"
 #include "asup/suppress/as_simple.h"
 #include "asup/text/synthetic_corpus.h"
+#include "asup/util/thread_pool.h"
 #include "asup/workload/aol_like.h"
 
 namespace asup {
@@ -105,6 +110,87 @@ void BM_AsArbiSearchCached(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AsArbiSearchCached);
+
+// Batch throughput over the undefended engine at state.range(0) workers.
+// The index is immutable and the engine stateless, so this is the pure
+// fan-out scaling of the thread pool + executor; items/s is the headline
+// queries-per-second figure. Compare Arg(8) to Arg(1) on a quiesced
+// multicore machine for the parallel speedup (a 1-core container shows
+// ~1x by construction).
+void BM_ParallelPlainBatch(benchmark::State& state) {
+  MicroEnv& env = Env();
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  BatchExecutor executor(pool);
+  const auto& log = env.workload->log();
+  const std::span<const KeywordQuery> batch(log.data(), 1000);
+  for (auto _ : state) {
+    auto results = executor.ExecuteConcurrent(*env.engine, batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_ParallelPlainBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Free-running concurrent batch over a defended (AS-ARBI) engine. The
+// engine synchronizes internally; each iteration uses a fresh engine so
+// the answer cache never short-circuits the work being measured.
+void BM_ParallelArbiBatch(benchmark::State& state) {
+  MicroEnv& env = Env();
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  BatchExecutor executor(pool);
+  const auto& log = env.workload->log();
+  const std::span<const KeywordQuery> batch(log.data(), 1000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    AsArbiEngine defended(*env.engine, AsArbiConfig{});
+    state.ResumeTiming();
+    auto results = executor.ExecuteConcurrent(defended, batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_ParallelArbiBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Deterministic mode on the same defended engine: parallel prefetch +
+// serial in-order commit. The gap to BM_ParallelArbiBatch is the price of
+// bitwise-serial-equivalent state evolution.
+void BM_DeterministicArbiBatch(benchmark::State& state) {
+  MicroEnv& env = Env();
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  BatchExecutor executor(pool);
+  const auto& log = env.workload->log();
+  const std::span<const KeywordQuery> batch(log.data(), 1000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    AsArbiEngine defended(*env.engine, AsArbiConfig{});
+    state.ResumeTiming();
+    auto results = executor.ExecuteDeterministic(defended, batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_DeterministicArbiBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PostingDecode(benchmark::State& state) {
   PostingList::Builder builder;

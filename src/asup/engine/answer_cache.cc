@@ -1,0 +1,92 @@
+#include "asup/engine/answer_cache.h"
+
+namespace asup {
+
+AnswerCache::Claim AnswerCache::LookupOrClaim(const std::string& key,
+                                              SearchResult* out) {
+  const size_t shard_index = ShardIndexOf(key);
+  Shard& shard = shards_[shard_index];
+  std::unique_lock<std::mutex> lock(mutexes_.MutexAt(shard_index));
+  for (;;) {
+    auto [it, inserted] = shard.map.try_emplace(key);
+    if (inserted) return Claim::kOwned;
+    if (it->second.ready) {
+      *out = it->second.result;
+      return Claim::kHit;
+    }
+    // Another thread is computing this key. Iterators may be invalidated by
+    // concurrent insertions while we wait, so re-probe from scratch.
+    shard.ready_cv.wait(lock);
+  }
+}
+
+void AnswerCache::Publish(const std::string& key, const SearchResult& result) {
+  const size_t shard_index = ShardIndexOf(key);
+  Shard& shard = shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
+    Entry& entry = shard.map[key];
+    entry.result = result;
+    entry.ready = true;
+  }
+  shard.ready_cv.notify_all();
+}
+
+void AnswerCache::Abandon(const std::string& key) {
+  const size_t shard_index = ShardIndexOf(key);
+  Shard& shard = shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && !it->second.ready) shard.map.erase(it);
+  }
+  shard.ready_cv.notify_all();
+}
+
+bool AnswerCache::Contains(const std::string& key) const {
+  const size_t shard_index = ShardIndexOf(key);
+  const Shard& shard = shards_[shard_index];
+  std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
+  auto it = shard.map.find(key);
+  return it != shard.map.end() && it->second.ready;
+}
+
+size_t AnswerCache::size() const {
+  size_t count = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(s));
+    for (const auto& [key, entry] : shards_[s].map) {
+      if (entry.ready) ++count;
+    }
+  }
+  return count;
+}
+
+void AnswerCache::Clear() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(s));
+    shards_[s].map.clear();
+  }
+}
+
+void AnswerCache::Insert(const std::string& key, SearchResult result) {
+  const size_t shard_index = ShardIndexOf(key);
+  std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
+  Entry& entry = shards_[shard_index].map[key];
+  entry.result = std::move(result);
+  entry.ready = true;
+}
+
+std::vector<std::pair<std::string, SearchResult>> AnswerCache::Snapshot()
+    const {
+  std::vector<std::pair<std::string, SearchResult>> entries;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(s));
+    for (const auto& [key, entry] : shards_[s].map) {
+      if (entry.ready) entries.emplace_back(key, entry.result);
+    }
+  }
+  return entries;
+}
+
+}  // namespace asup

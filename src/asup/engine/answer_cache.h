@@ -1,0 +1,85 @@
+#ifndef ASUP_ENGINE_ANSWER_CACHE_H_
+#define ASUP_ENGINE_ANSWER_CACHE_H_
+
+#include <condition_variable>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "asup/engine/search_service.h"
+#include "asup/util/sharded_mutex.h"
+
+namespace asup {
+
+/// A sharded, thread-safe memo table from canonical query strings to final
+/// answers.
+///
+/// This cache *is* the determinism guarantee of Section 2.1 under
+/// concurrency: the first caller to claim a key computes the answer while
+/// every concurrent caller of the same query blocks until the answer is
+/// published — so a query observably has exactly one answer, regardless of
+/// how racing threads interleave. Keys are hash-partitioned across shards
+/// (see ShardedMutex), so distinct queries rarely contend.
+class AnswerCache {
+ public:
+  explicit AnswerCache(size_t min_shards = 16)
+      : mutexes_(min_shards), shards_(mutexes_.num_shards()) {}
+
+  enum class Claim {
+    /// The answer was already computed (or became ready while waiting);
+    /// it has been copied to the out parameter.
+    kHit,
+    /// The caller owns the key and must call Publish (or Abandon).
+    kOwned,
+  };
+
+  /// Looks the key up; claims it if absent. Blocks while another thread
+  /// holds the claim.
+  Claim LookupOrClaim(const std::string& key, SearchResult* out);
+
+  /// Completes a claim: stores the answer and wakes waiters.
+  void Publish(const std::string& key, const SearchResult& result);
+
+  /// Releases a claim without an answer (compute failed); wakes waiters,
+  /// which then race to re-claim.
+  void Abandon(const std::string& key);
+
+  /// True if a *ready* answer is cached. Never blocks, never claims.
+  bool Contains(const std::string& key) const;
+
+  /// Number of ready answers.
+  size_t size() const;
+
+  /// Drops everything, including in-flight claims. Callers must be
+  /// quiesced (used by state persistence).
+  void Clear();
+
+  /// Inserts a ready answer directly (state restore; callers quiesced).
+  void Insert(const std::string& key, SearchResult result);
+
+  /// Copies all ready entries (state save; callers quiesced).
+  std::vector<std::pair<std::string, SearchResult>> Snapshot() const;
+
+ private:
+  struct Entry {
+    SearchResult result;
+    bool ready = false;
+  };
+
+  struct Shard {
+    std::unordered_map<std::string, Entry> map;
+    std::condition_variable ready_cv;
+  };
+
+  size_t ShardIndexOf(const std::string& key) const {
+    return mutexes_.ShardOf(HashString(key));
+  }
+
+  mutable ShardedMutex mutexes_;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ENGINE_ANSWER_CACHE_H_

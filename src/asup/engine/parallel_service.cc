@@ -1,0 +1,58 @@
+#include "asup/engine/parallel_service.h"
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+namespace asup {
+
+std::vector<SearchResult> BatchExecutor::ExecuteConcurrent(
+    SearchService& service, std::span<const KeywordQuery> queries) const {
+  std::vector<SearchResult> results(queries.size());
+  pool_->ParallelFor(queries.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = service.Search(queries[i]);
+    }
+  });
+  return results;
+}
+
+std::vector<SearchResult> BatchExecutor::ExecuteDeterministic(
+    PrefetchableService& service,
+    std::span<const KeywordQuery> queries) const {
+  // Deduplicate: a query repeated within the batch is prefetched once; its
+  // later occurrences hit the engine's answer cache during the commit.
+  std::unordered_map<std::string_view, size_t> slot_of;
+  std::vector<size_t> slots(queries.size());
+  std::vector<const KeywordQuery*> unique_queries;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] =
+        slot_of.try_emplace(queries[i].canonical(), unique_queries.size());
+    if (inserted) unique_queries.push_back(&queries[i]);
+    slots[i] = it->second;
+  }
+
+  // Phase 1 (parallel, read-only): match every distinct uncached query
+  // against the immutable index.
+  std::vector<std::optional<QueryPrefetch>> prefetches(unique_queries.size());
+  pool_->ParallelFor(unique_queries.size(), [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      if (!service.HasCachedAnswer(*unique_queries[j])) {
+        prefetches[j] = service.PrefetchMatches(*unique_queries[j]);
+      }
+    }
+  });
+
+  // Phase 2 (serial, in input order): run the stateful suppression phase.
+  // State evolves exactly as in a serial loop, so answers are bitwise
+  // identical to serial execution.
+  std::vector<SearchResult> results(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::optional<QueryPrefetch>& prefetch = prefetches[slots[i]];
+    results[i] = prefetch ? service.SearchPrefetched(queries[i], *prefetch)
+                          : service.Search(queries[i]);
+  }
+  return results;
+}
+
+}  // namespace asup

@@ -1,6 +1,7 @@
 #ifndef ASUP_ENGINE_SEARCH_SERVICE_H_
 #define ASUP_ENGINE_SEARCH_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -71,30 +72,38 @@ class SearchService {
 /// Decorator that counts queries sent through it.
 ///
 /// Models the per-user query-number limit of real interfaces and provides
-/// the x-axis ("No. of Queries") of every suppression experiment.
+/// the x-axis ("No. of Queries") of every suppression experiment. The
+/// counter is atomic, so the decorator may wrap a thread-safe service and
+/// be called from concurrent workers.
 class QueryCountingService : public SearchService {
  public:
   explicit QueryCountingService(SearchService& base) : base_(&base) {}
 
   SearchResult Search(const KeywordQuery& query) override {
-    ++queries_issued_;
+    queries_issued_.fetch_add(1, std::memory_order_relaxed);
     return base_->Search(query);
   }
 
   size_t k() const override { return base_->k(); }
 
   /// Queries issued since construction or the last Reset().
-  uint64_t queries_issued() const { return queries_issued_; }
+  uint64_t queries_issued() const {
+    return queries_issued_.load(std::memory_order_relaxed);
+  }
 
-  void Reset() { queries_issued_ = 0; }
+  void Reset() { queries_issued_.store(0, std::memory_order_relaxed); }
 
  private:
   SearchService* base_;
-  uint64_t queries_issued_ = 0;
+  std::atomic<uint64_t> queries_issued_{0};
 };
 
 /// Decorator that accumulates wall-clock time spent answering queries
 /// (Figure 15 reports defended/undefended response-time ratios).
+///
+/// Counters are atomic so concurrent callers never corrupt them; under
+/// concurrency, total_nanos() sums the per-call latencies of all threads
+/// (i.e. aggregate work, not elapsed wall time).
 class TimingService : public SearchService {
  public:
   explicit TimingService(SearchService& base) : base_(&base) {}
@@ -102,33 +111,37 @@ class TimingService : public SearchService {
   SearchResult Search(const KeywordQuery& query) override {
     Stopwatch watch;
     SearchResult result = base_->Search(query);
-    total_nanos_ += watch.ElapsedNanos();
-    ++queries_;
+    total_nanos_.fetch_add(watch.ElapsedNanos(), std::memory_order_relaxed);
+    queries_.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
 
   size_t k() const override { return base_->k(); }
 
-  int64_t total_nanos() const { return total_nanos_; }
-  uint64_t queries() const { return queries_; }
+  int64_t total_nanos() const {
+    return total_nanos_.load(std::memory_order_relaxed);
+  }
+  uint64_t queries() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
 
   /// Mean per-query latency in nanoseconds (0 if no queries).
   double MeanNanos() const {
-    return queries_ == 0
-               ? 0.0
-               : static_cast<double>(total_nanos_) /
-                     static_cast<double>(queries_);
+    const uint64_t queries = this->queries();
+    return queries == 0 ? 0.0
+                        : static_cast<double>(total_nanos()) /
+                              static_cast<double>(queries);
   }
 
   void Reset() {
-    total_nanos_ = 0;
-    queries_ = 0;
+    total_nanos_.store(0, std::memory_order_relaxed);
+    queries_.store(0, std::memory_order_relaxed);
   }
 
  private:
   SearchService* base_;
-  int64_t total_nanos_ = 0;
-  uint64_t queries_ = 0;
+  std::atomic<int64_t> total_nanos_{0};
+  std::atomic<uint64_t> queries_{0};
 };
 
 }  // namespace asup

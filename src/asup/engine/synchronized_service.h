@@ -7,14 +7,14 @@
 
 namespace asup {
 
-/// Thread-safety decorator.
+/// Coarse thread-safety decorator.
 ///
-/// The suppression engines are deliberately single-threaded: their mutable
-/// state (Θ_R, the answer history, the caches) *is* the defense, and it
-/// must evolve in one consistent order for the determinism guarantee of
-/// Section 2.1 to hold. A production deployment serving concurrent
-/// customers either shards defense state per index replica or serializes
-/// queries through this wrapper.
+/// The suppression engines synchronize internally (atomic Θ_R bitmap,
+/// reader-writer-locked history, answer cache — see DESIGN.md, "Threading
+/// model") and do not need this wrapper. It remains the one-line fallback
+/// for wrapping a service with *no* internal synchronization — custom
+/// SearchService implementations, instrumented fakes — at the cost of
+/// serializing every call through one mutex.
 class SynchronizedService : public SearchService {
  public:
   explicit SynchronizedService(SearchService& base) : base_(&base) {}

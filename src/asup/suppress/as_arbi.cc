@@ -1,6 +1,8 @@
 #include "asup/suppress/as_arbi.h"
 
 #include <algorithm>
+#include <cmath>
+#include <mutex>
 
 namespace asup {
 
@@ -23,59 +25,131 @@ AsArbiEngine::AsArbiEngine(PlainSearchEngine& base, const AsArbiConfig& config)
       simple_(base, InnerSimpleConfig(config)),
       finder_(history_, config.cover_size, config.cover_ratio) {}
 
-SearchResult AsArbiEngine::Search(const KeywordQuery& query) {
-  ++stats_.queries_processed;
-  if (config_.cache_answers) {
-    auto it = answer_cache_.find(query.canonical());
-    if (it != answer_cache_.end()) {
-      ++stats_.cache_hits;
-      return it->second;
-    }
-  }
+AsArbiStats AsArbiEngine::stats() const {
+  AsArbiStats snapshot;
+  snapshot.queries_processed =
+      stats_.queries_processed.load(std::memory_order_relaxed);
+  snapshot.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  snapshot.virtual_answers =
+      stats_.virtual_answers.load(std::memory_order_relaxed);
+  snapshot.simple_answers =
+      stats_.simple_answers.load(std::memory_order_relaxed);
+  snapshot.trigger_evaluations =
+      stats_.trigger_evaluations.load(std::memory_order_relaxed);
+  return snapshot;
+}
 
-  SearchResult result;
-  const size_t match_count = base_->MatchCount(query);
-  if (match_count == 0) {
-    result.status = QueryStatus::kUnderflow;
-    if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
-    return result;
-  }
-
+bool AsArbiEngine::TriggerPlausible(size_t match_count) const {
   // The cover trigger is only satisfiable when m historic answers (of at
   // most k documents each) can reach σ·|q| documents, so the expensive
   // evaluation is skipped for broad queries — this is why most real
   // (overflowing) queries pay almost nothing for AS-ARBI (Figure 15).
   const double max_coverable =
       static_cast<double>(config_.cover_size * base_->k());
-  if (config_.cover_ratio * static_cast<double>(match_count) <=
-      max_coverable) {
-    ++stats_.trigger_evaluations;
-    const std::vector<DocId> match_ids = base_->MatchIds(query);
-    const CoverResult cover = finder_.Find(match_ids);
-    if (cover.found) {
-      ++stats_.virtual_answers;
-      result = AnswerVirtually(query, match_ids, cover);
-      if (config_.cache_answers) {
-        answer_cache_.emplace(query.canonical(), result);
+  return config_.cover_ratio * static_cast<double>(match_count) <=
+         max_coverable;
+}
+
+QueryPrefetch AsArbiEngine::PrefetchMatches(const KeywordQuery& query) const {
+  QueryPrefetch prefetch = simple_.PrefetchMatches(query);
+  if (prefetch.ranked.total_matches > 0 &&
+      TriggerPlausible(prefetch.ranked.total_matches)) {
+    prefetch.match_ids = base_->MatchIds(query);
+    prefetch.has_match_ids = true;
+  }
+  return prefetch;
+}
+
+bool AsArbiEngine::HasCachedAnswer(const KeywordQuery& query) const {
+  return config_.cache_answers && answer_cache_.Contains(query.canonical());
+}
+
+SearchResult AsArbiEngine::Search(const KeywordQuery& query) {
+  return SearchImpl(query, nullptr);
+}
+
+SearchResult AsArbiEngine::SearchPrefetched(const KeywordQuery& query,
+                                            const QueryPrefetch& prefetch) {
+  return SearchImpl(query, &prefetch);
+}
+
+SearchResult AsArbiEngine::SearchImpl(const KeywordQuery& query,
+                                      const QueryPrefetch* prefetch) {
+  stats_.queries_processed.fetch_add(1, std::memory_order_relaxed);
+  if (config_.cache_answers) {
+    SearchResult cached;
+    if (answer_cache_.LookupOrClaim(query.canonical(), &cached) ==
+        AnswerCache::Claim::kHit) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+  }
+
+  SearchResult result;
+  try {
+    result = Process(query, prefetch);
+  } catch (...) {
+    if (config_.cache_answers) answer_cache_.Abandon(query.canonical());
+    throw;
+  }
+  if (config_.cache_answers) answer_cache_.Publish(query.canonical(), result);
+  return result;
+}
+
+SearchResult AsArbiEngine::Process(const KeywordQuery& query,
+                                   const QueryPrefetch* prefetch) {
+  SearchResult result;
+  const size_t match_count = prefetch ? prefetch->ranked.total_matches
+                                      : base_->MatchCount(query);
+  if (match_count == 0) {
+    result.status = QueryStatus::kUnderflow;
+    return result;
+  }
+
+  if (TriggerPlausible(match_count)) {
+    stats_.trigger_evaluations.fetch_add(1, std::memory_order_relaxed);
+    // Lock-free pre-screen: with no recorded answer, or fewer documents
+    // ever disclosed than the coverage target, no cover can exist — skip
+    // the history lock entirely.
+    const size_t need = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(
+               config_.cover_ratio * static_cast<double>(match_count))));
+    if (history_queries_.load(std::memory_order_acquire) > 0 &&
+        history_docs_seen_.load(std::memory_order_acquire) >= need) {
+      const std::vector<DocId> local_ids =
+          prefetch && prefetch->has_match_ids ? std::vector<DocId>()
+                                              : base_->MatchIds(query);
+      const std::vector<DocId>& match_ids =
+          prefetch && prefetch->has_match_ids ? prefetch->match_ids
+                                              : local_ids;
+      std::shared_lock<std::shared_mutex> lock(history_mutex_);
+      const CoverResult cover = finder_.Find(match_ids);
+      if (cover.found) {
+        stats_.virtual_answers.fetch_add(1, std::memory_order_relaxed);
+        return AnswerVirtually(query, match_ids, cover);
       }
-      return result;
     }
   }
 
   // Lines 6-8: fall through to AS-SIMPLE and remember the answer.
-  ++stats_.simple_answers;
-  result = simple_.Search(query);
+  stats_.simple_answers.fetch_add(1, std::memory_order_relaxed);
+  result = prefetch ? simple_.SearchPrefetched(query, *prefetch)
+                    : simple_.Search(query);
   if (!result.docs.empty()) {
+    std::unique_lock<std::shared_mutex> lock(history_mutex_);
     history_.Record(query, result.DocIds());
+    history_docs_seen_.store(history_.NumDocumentsSeen(),
+                             std::memory_order_release);
+    history_queries_.store(history_.NumQueries(), std::memory_order_release);
   }
-  if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
   return result;
 }
 
 SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
                                            const std::vector<DocId>& match_ids,
                                            const CoverResult& cover) {
-  // Union of the covering historic answers.
+  // Union of the covering historic answers. The caller holds the history
+  // lock (shared side) across the cover search and this read.
   std::vector<DocId> pool;
   for (uint32_t qi : cover.query_indices) {
     const auto& answer = history_.QueryAt(qi).answer;

@@ -1,11 +1,14 @@
 #ifndef ASUP_SUPPRESS_AS_ARBI_H_
 #define ASUP_SUPPRESS_AS_ARBI_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <shared_mutex>
 #include <string>
-#include <unordered_map>
 
+#include "asup/engine/answer_cache.h"
+#include "asup/engine/parallel_service.h"
 #include "asup/engine/search_engine.h"
 #include "asup/engine/search_service.h"
 #include "asup/suppress/as_simple.h"
@@ -28,7 +31,8 @@ struct AsArbiConfig {
   /// be covered. The paper's default is 1.0 (the most conservative value).
   double cover_ratio = 1.0;
 
-  /// Cache final answers per canonical query (deterministic re-issue).
+  /// Cache final answers per canonical query (deterministic re-issue, also
+  /// under concurrent duplicate queries).
   bool cache_answers = true;
 };
 
@@ -55,7 +59,16 @@ struct AsArbiStats {
 /// edge removal would otherwise reveal under highly correlated queries.
 /// Queries that are not covered fall through to AS-SIMPLE and are recorded
 /// in the history.
-class AsArbiEngine : public SearchService {
+///
+/// Thread safety: Search may be called from concurrent workers. The history
+/// store (per-document query arrays and 1000-bit signature vectors) sits
+/// behind a reader-writer lock — cover evaluation takes the shared side,
+/// recording a new answer the exclusive side — and two lock-free atomic
+/// pre-screens (recorded-query and disclosed-document counts) let queries
+/// that cannot possibly be covered skip the lock entirely. The engine
+/// implements PrefetchableService for BatchExecutor's deterministic
+/// parallel mode.
+class AsArbiEngine : public PrefetchableService {
  public:
   // State persistence (suppress/state_io.h) reads and restores the inner
   // AS-SIMPLE state, the history, and the answer cache directly.
@@ -67,17 +80,41 @@ class AsArbiEngine : public SearchService {
 
   SearchResult Search(const KeywordQuery& query) override;
 
+  /// Read-only match phase: M(q) for the inner AS-SIMPLE plus — when the
+  /// trigger is size-plausible — the full match-id list the cover
+  /// evaluation needs. Independent of suppression state.
+  QueryPrefetch PrefetchMatches(const KeywordQuery& query) const override;
+
+  SearchResult SearchPrefetched(const KeywordQuery& query,
+                                const QueryPrefetch& prefetch) override;
+
+  bool HasCachedAnswer(const KeywordQuery& query) const override;
+
   size_t k() const override { return base_->k(); }
 
   const AsArbiConfig& config() const { return config_; }
-  const AsArbiStats& stats() const { return stats_; }
   const HistoryStore& history() const { return history_; }
   const AsSimpleEngine& simple_engine() const { return simple_; }
   const IndistinguishableSegment& segment() const {
     return simple_.segment();
   }
 
+  /// Snapshot of the processing counters (consistent only when quiesced).
+  AsArbiStats stats() const;
+
  private:
+  /// Full processing pipeline behind the answer cache. `prefetch` is null
+  /// on the live path (match data computed on demand).
+  SearchResult Process(const KeywordQuery& query,
+                       const QueryPrefetch* prefetch);
+
+  SearchResult SearchImpl(const KeywordQuery& query,
+                          const QueryPrefetch* prefetch);
+
+  /// True when m historic answers of at most k documents each could reach
+  /// σ·|Sel(q)| documents — a pure size argument, no state involved.
+  bool TriggerPlausible(size_t match_count) const;
+
   SearchResult AnswerVirtually(const KeywordQuery& query,
                                const std::vector<DocId>& match_ids,
                                const CoverResult& cover);
@@ -87,8 +124,24 @@ class AsArbiEngine : public SearchService {
   AsSimpleEngine simple_;
   HistoryStore history_;
   CoverFinder finder_;
-  std::unordered_map<std::string, SearchResult> answer_cache_;
-  AsArbiStats stats_;
+  AnswerCache answer_cache_;
+
+  /// Guards history_ (and finder_'s traversals of it): shared for cover
+  /// evaluation, exclusive for Record.
+  mutable std::shared_mutex history_mutex_;
+  /// Lock-free mirrors of history_.NumQueries() / NumDocumentsSeen() for
+  /// pre-screening; they may lag the store, which only makes the screen
+  /// more conservative (a just-recorded cover is found on the next query).
+  std::atomic<size_t> history_queries_{0};
+  std::atomic<size_t> history_docs_seen_{0};
+
+  struct {
+    std::atomic<uint64_t> queries_processed{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> virtual_answers{0};
+    std::atomic<uint64_t> simple_answers{0};
+    std::atomic<uint64_t> trigger_evaluations{0};
+  } stats_;
 };
 
 }  // namespace asup

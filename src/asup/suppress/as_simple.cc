@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace asup {
 
@@ -13,26 +14,77 @@ AsSimpleEngine::AsSimpleEngine(PlainSearchEngine& base,
                config.gamma),
       coin_(config.secret_key),
       m_limit_(static_cast<size_t>(
-          std::ceil(config.gamma * static_cast<double>(base.k())))) {}
+          std::ceil(config.gamma * static_cast<double>(base.k())))),
+      returned_before_(base.index().NumDocuments()) {}
+
+AsSimpleStats AsSimpleEngine::stats() const {
+  AsSimpleStats snapshot;
+  snapshot.queries_processed =
+      stats_.queries_processed.load(std::memory_order_relaxed);
+  snapshot.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  snapshot.docs_hidden = stats_.docs_hidden.load(std::memory_order_relaxed);
+  snapshot.docs_trimmed = stats_.docs_trimmed.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+bool AsSimpleEngine::IsActivated(DocId doc) const {
+  const InvertedIndex& index = base_->index();
+  if (!index.corpus().Contains(doc)) return false;
+  return returned_before_.Test(index.LocalOf(doc));
+}
+
+QueryPrefetch AsSimpleEngine::PrefetchMatches(const KeywordQuery& query) const {
+  QueryPrefetch prefetch;
+  // Line 5: M(q) = the min(|q|, γ·k) highest-ranked matching documents — a
+  // pure function of the immutable index, never of Θ_R.
+  prefetch.ranked = base_->TopMatches(query, m_limit_);
+  return prefetch;
+}
+
+bool AsSimpleEngine::HasCachedAnswer(const KeywordQuery& query) const {
+  return config_.cache_answers && answer_cache_.Contains(query.canonical());
+}
 
 SearchResult AsSimpleEngine::Search(const KeywordQuery& query) {
-  ++stats_.queries_processed;
+  return SearchImpl(query, nullptr);
+}
+
+SearchResult AsSimpleEngine::SearchPrefetched(const KeywordQuery& query,
+                                              const QueryPrefetch& prefetch) {
+  return SearchImpl(query, &prefetch);
+}
+
+SearchResult AsSimpleEngine::SearchImpl(const KeywordQuery& query,
+                                        const QueryPrefetch* prefetch) {
+  stats_.queries_processed.fetch_add(1, std::memory_order_relaxed);
   if (config_.cache_answers) {
-    auto it = answer_cache_.find(query.canonical());
-    if (it != answer_cache_.end()) {
-      ++stats_.cache_hits;
-      return it->second;
+    SearchResult cached;
+    if (answer_cache_.LookupOrClaim(query.canonical(), &cached) ==
+        AnswerCache::Claim::kHit) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached;
     }
   }
 
-  // Line 5: M(q) = the min(|q|, γ·k) highest-ranked matching documents.
-  RankedMatches ranked = base_->TopMatches(query, m_limit_);
+  SearchResult result;
+  try {
+    result = prefetch ? Process(query, prefetch->ranked)
+                      : Process(query, base_->TopMatches(query, m_limit_));
+  } catch (...) {
+    if (config_.cache_answers) answer_cache_.Abandon(query.canonical());
+    throw;
+  }
+  if (config_.cache_answers) answer_cache_.Publish(query.canonical(), result);
+  return result;
+}
+
+SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
+                                     const RankedMatches& ranked) {
   const size_t m_size = ranked.docs.size();
 
   SearchResult result;
   if (ranked.total_matches == 0) {
     result.status = QueryStatus::kUnderflow;
-    if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
     return result;
   }
 
@@ -41,21 +93,27 @@ SearchResult AsSimpleEngine::Search(const KeywordQuery& query) {
   // deterministic function of the (query, document) edge, so processing is
   // repeatable. Fresh documents are always kept and enter Θ_R — note that
   // *all* of M(q) is activated, including documents the final trim will cut
-  // (exactly as in Algorithm 1, where line 14 runs after the loop).
+  // (exactly as in Algorithm 1, where line 14 runs after the loop). The
+  // atomic test-and-set makes the fresh-or-returned decision per document
+  // linearizable under concurrent queries.
+  const InvertedIndex& index = base_->index();
   const double keep_probability = segment_.edge_keep_probability();
   std::vector<ScoredDoc> survivors;
   survivors.reserve(m_size);
+  uint64_t hidden = 0;
   for (const ScoredDoc& scored : ranked.docs) {
-    if (returned_before_.count(scored.doc) != 0) {
+    if (returned_before_.TestAndSet(index.LocalOf(scored.doc))) {
       if (coin_.Accept(query.hash(), scored.doc, keep_probability)) {
         survivors.push_back(scored);
       } else {
-        ++stats_.docs_hidden;
+        ++hidden;
       }
     } else {
-      returned_before_.insert(scored.doc);
       survivors.push_back(scored);
     }
+  }
+  if (hidden != 0) {
+    stats_.docs_hidden.fetch_add(hidden, std::memory_order_relaxed);
   }
 
   // Line 14: trim to min(|M(q)|/μ, k) lowest-rank-last documents. When the
@@ -65,7 +123,8 @@ SearchResult AsSimpleEngine::Search(const KeywordQuery& query) {
       static_cast<double>(m_size) * segment_.lhs_keep_fraction()));
   const size_t keep = std::min(lhs_target, base_->k());
   if (survivors.size() > keep) {
-    stats_.docs_trimmed += survivors.size() - keep;
+    stats_.docs_trimmed.fetch_add(survivors.size() - keep,
+                                  std::memory_order_relaxed);
     survivors.resize(keep);
   }
 
@@ -80,7 +139,6 @@ SearchResult AsSimpleEngine::Search(const KeywordQuery& query) {
   } else {
     result.status = QueryStatus::kValid;
   }
-  if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
   return result;
 }
 

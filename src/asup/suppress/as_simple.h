@@ -1,15 +1,17 @@
 #ifndef ASUP_SUPPRESS_AS_SIMPLE_H_
 #define ASUP_SUPPRESS_AS_SIMPLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "asup/engine/answer_cache.h"
+#include "asup/engine/parallel_service.h"
 #include "asup/engine/search_engine.h"
 #include "asup/engine/search_service.h"
 #include "asup/suppress/segment.h"
+#include "asup/util/atomic_bitmap.h"
 #include "asup/util/hash.h"
 
 namespace asup {
@@ -26,7 +28,9 @@ struct AsSimpleConfig {
 
   /// Cache final answers per canonical query so that re-issuing a query
   /// returns the identical answer (the deterministic-processing requirement
-  /// of Section 2.1). Disable only for ablation measurements.
+  /// of Section 2.1). Under concurrency the cache also serializes duplicate
+  /// in-flight queries, so "same query ⇒ same answer" holds regardless of
+  /// interleaving. Disable only for ablation measurements.
   bool cache_answers = true;
 };
 
@@ -54,9 +58,13 @@ struct AsSimpleStats {
 ///      hidden/trimmed top-k documents are thereby replaced by lower-ranked
 ///      survivors of M(q) when the query overflows.
 ///
-/// The engine is deliberately single-threaded: a production deployment
-/// would shard Θ_R and the answer cache per index replica.
-class AsSimpleEngine : public SearchService {
+/// Thread safety: Search may be called from concurrent workers. Θ_R is an
+/// atomic bitmap (per-document test-and-set), counters are atomic, and the
+/// answer cache serializes duplicate in-flight queries. The match phase is
+/// read-only against the immutable index, so the engine also implements
+/// PrefetchableService for BatchExecutor's deterministic parallel mode
+/// (see DESIGN.md, "Threading model").
+class AsSimpleEngine : public PrefetchableService {
  public:
   // State persistence (suppress/state_io.h) reads and restores Θ_R and the
   // answer cache directly.
@@ -68,30 +76,52 @@ class AsSimpleEngine : public SearchService {
 
   SearchResult Search(const KeywordQuery& query) override;
 
+  /// Read-only match phase: M(q), independent of suppression state.
+  QueryPrefetch PrefetchMatches(const KeywordQuery& query) const override;
+
+  /// Stateful phase of Search, fed a prefetched M(q).
+  SearchResult SearchPrefetched(const KeywordQuery& query,
+                                const QueryPrefetch& prefetch) override;
+
+  bool HasCachedAnswer(const KeywordQuery& query) const override;
+
   size_t k() const override { return base_->k(); }
 
   const IndistinguishableSegment& segment() const { return segment_; }
   const AsSimpleConfig& config() const { return config_; }
-  const AsSimpleStats& stats() const { return stats_; }
   PlainSearchEngine& base() const { return *base_; }
 
+  /// Snapshot of the processing counters (consistent only when quiesced).
+  AsSimpleStats stats() const;
+
   /// |Θ_R|: number of documents returned (or activated) so far.
-  size_t NumActivatedDocs() const { return returned_before_.size(); }
+  size_t NumActivatedDocs() const { return returned_before_.Count(); }
 
   /// True if `doc` is in Θ_R.
-  bool IsActivated(DocId doc) const {
-    return returned_before_.count(doc) != 0;
-  }
+  bool IsActivated(DocId doc) const;
 
  private:
+  /// The stateful suppression phase (Algorithm 1 lines 7-14) applied to a
+  /// prefetched M(q). Safe for concurrent callers; never reads the cache.
+  SearchResult Process(const KeywordQuery& query, const RankedMatches& ranked);
+
+  /// Cache-wrapped processing shared by Search and SearchPrefetched.
+  SearchResult SearchImpl(const KeywordQuery& query,
+                          const QueryPrefetch* prefetch);
+
   PlainSearchEngine* base_;
   AsSimpleConfig config_;
   IndistinguishableSegment segment_;
   DeterministicCoin coin_;
   size_t m_limit_;  // γ·k, the size cap of M(q)
-  std::unordered_set<DocId> returned_before_;  // Θ_R
-  std::unordered_map<std::string, SearchResult> answer_cache_;
-  AsSimpleStats stats_;
+  AtomicBitmap returned_before_;  // Θ_R, indexed by dense local doc id
+  AnswerCache answer_cache_;
+  struct {
+    std::atomic<uint64_t> queries_processed{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> docs_hidden{0};
+    std::atomic<uint64_t> docs_trimmed{0};
+  } stats_;
 };
 
 }  // namespace asup

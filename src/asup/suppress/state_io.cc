@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace asup {
 
@@ -105,10 +107,17 @@ bool CheckFingerprint(const AsSimpleEngine& engine, std::istream& in) {
 bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out) {
   out.write(kSimpleMagic, 4);
   PutFingerprint(engine, out);
-  PutU64(engine.returned_before_.size(), out);
-  for (DocId doc : engine.returned_before_) PutU64(doc, out);
-  PutU64(engine.answer_cache_.size(), out);
-  for (const auto& [canonical, result] : engine.answer_cache_) {
+  // Θ_R is stored as universe document ids (stable across restarts); the
+  // engine's atomic bitmap is indexed by dense local id.
+  const InvertedIndex& index = engine.base_->index();
+  const std::vector<size_t> locals = engine.returned_before_.SetBits();
+  PutU64(locals.size(), out);
+  for (size_t local : locals) {
+    PutU64(index.LocalToId(static_cast<uint32_t>(local)), out);
+  }
+  const auto cache_entries = engine.answer_cache_.Snapshot();
+  PutU64(cache_entries.size(), out);
+  for (const auto& [canonical, result] : cache_entries) {
     PutString(canonical, out);
     PutResult(result, out);
   }
@@ -122,14 +131,18 @@ bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
   if (!in || std::memcmp(magic, kSimpleMagic, 4) != 0) return false;
   if (!CheckFingerprint(engine, in)) return false;
 
-  std::unordered_set<DocId> returned;
+  // Parse (and validate) everything before touching the engine, so a
+  // corrupt snapshot leaves it unchanged.
+  const InvertedIndex& index = engine.base_->index();
+  std::vector<DocId> returned;
   uint64_t count = 0;
-  if (!GetU64(in, count)) return false;
-  returned.reserve(count * 2);
+  if (!GetU64(in, count) || count > index.NumDocuments()) return false;
+  returned.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t doc = 0;
     if (!GetU64(in, doc)) return false;
-    returned.insert(static_cast<DocId>(doc));
+    if (!index.corpus().Contains(static_cast<DocId>(doc))) return false;
+    returned.push_back(static_cast<DocId>(doc));
   }
 
   std::unordered_map<std::string, SearchResult> cache;
@@ -141,8 +154,12 @@ bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
     cache.emplace(std::move(canonical), std::move(result));
   }
 
-  engine.returned_before_ = std::move(returned);
-  engine.answer_cache_ = std::move(cache);
+  engine.returned_before_.ClearAll();
+  for (DocId doc : returned) engine.returned_before_.Set(index.LocalOf(doc));
+  engine.answer_cache_.Clear();
+  for (auto& [canonical, result] : cache) {
+    engine.answer_cache_.Insert(canonical, std::move(result));
+  }
   return true;
 }
 
@@ -156,8 +173,9 @@ bool SaveDefenseState(const AsArbiEngine& engine, std::ostream& out) {
     PutU64(entry.answer.size(), out);
     for (DocId doc : entry.answer) PutU64(doc, out);
   }
-  PutU64(engine.answer_cache_.size(), out);
-  for (const auto& [canonical, result] : engine.answer_cache_) {
+  const auto cache_entries = engine.answer_cache_.Snapshot();
+  PutU64(cache_entries.size(), out);
+  for (const auto& [canonical, result] : cache_entries) {
     PutString(canonical, out);
     PutResult(result, out);
   }
@@ -202,7 +220,14 @@ bool LoadDefenseState(AsArbiEngine& engine, std::istream& in) {
   }
 
   engine.history_ = std::move(history);
-  engine.answer_cache_ = std::move(cache);
+  engine.history_queries_.store(engine.history_.NumQueries(),
+                                std::memory_order_release);
+  engine.history_docs_seen_.store(engine.history_.NumDocumentsSeen(),
+                                  std::memory_order_release);
+  engine.answer_cache_.Clear();
+  for (auto& [canonical, result] : cache) {
+    engine.answer_cache_.Insert(canonical, std::move(result));
+  }
   return true;
 }
 

@@ -1,0 +1,82 @@
+#ifndef ASUP_UTIL_ATOMIC_BITMAP_H_
+#define ASUP_UTIL_ATOMIC_BITMAP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace asup {
+
+/// A fixed-size bitmap with atomic per-bit test-and-set.
+///
+/// Holds AS-SIMPLE's returned-document state Θ_R under concurrent query
+/// execution: TestAndSet linearizes the "was this document returned
+/// before?" decision per document, which is the only cross-query coupling
+/// in Algorithm 1. Relaxed memory order suffices — each bit is independent
+/// and guards no other data.
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+
+  /// Creates `num_bits` zero bits.
+  explicit AtomicBitmap(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64) {}
+
+  size_t size() const { return num_bits_; }
+
+  /// Returns bit `i`. Requires i < size().
+  bool Test(size_t i) const {
+    return (words_[i / 64].load(std::memory_order_relaxed) >>
+            (i % 64)) & 1;
+  }
+
+  /// Atomically sets bit `i` and returns its previous value.
+  /// Requires i < size().
+  bool TestAndSet(size_t i) {
+    const uint64_t bit = uint64_t{1} << (i % 64);
+    return (words_[i / 64].fetch_or(bit, std::memory_order_relaxed) & bit) !=
+           0;
+  }
+
+  /// Sets bit `i`. Requires i < size().
+  void Set(size_t i) { (void)TestAndSet(i); }
+
+  /// Number of one bits. Only a point-in-time value while writers run.
+  size_t Count() const {
+    size_t count = 0;
+    for (const auto& word : words_) {
+      count += static_cast<size_t>(
+          __builtin_popcountll(word.load(std::memory_order_relaxed)));
+    }
+    return count;
+  }
+
+  /// Zeroes every bit. Not safe against concurrent writers.
+  void ClearAll() {
+    for (auto& word : words_) word.store(0, std::memory_order_relaxed);
+  }
+
+  /// Indices of all one bits, ascending. Not safe against concurrent
+  /// writers (used by state persistence, which runs quiesced).
+  std::vector<size_t> SetBits() const {
+    std::vector<size_t> bits;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w].load(std::memory_order_relaxed);
+      while (word != 0) {
+        const int lowest = __builtin_ctzll(word);
+        bits.push_back(w * 64 + static_cast<size_t>(lowest));
+        word &= word - 1;
+      }
+    }
+    return bits;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_UTIL_ATOMIC_BITMAP_H_

@@ -1,0 +1,56 @@
+#ifndef ASUP_UTIL_SHARDED_MUTEX_H_
+#define ASUP_UTIL_SHARDED_MUTEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "asup/util/hash.h"
+
+namespace asup {
+
+/// A power-of-two array of mutexes addressed by key hash.
+///
+/// Spreads lock contention on hash-partitioned state (e.g. the concurrent
+/// answer cache) across independent shards: operations on keys in different
+/// shards never contend. The hash is re-mixed before masking so weak input
+/// hashes still spread evenly.
+class ShardedMutex {
+ public:
+  /// Creates at least `min_shards` mutexes (rounded up to a power of two).
+  explicit ShardedMutex(size_t min_shards = 16) {
+    size_t shards = 1;
+    while (shards < min_shards) shards <<= 1;
+    mutexes_ = std::vector<std::mutex>(shards);
+    mask_ = shards - 1;
+  }
+
+  size_t num_shards() const { return mutexes_.size(); }
+
+  /// Shard index for a key hash.
+  size_t ShardOf(uint64_t hash) const {
+    return static_cast<size_t>(Mix64(hash) & mask_);
+  }
+
+  std::mutex& MutexAt(size_t shard) { return mutexes_[shard]; }
+
+  std::mutex& MutexFor(uint64_t hash) { return mutexes_[ShardOf(hash)]; }
+
+  /// Locks every shard (in index order, so concurrent LockAll calls cannot
+  /// deadlock). Used for whole-structure operations such as snapshots.
+  std::vector<std::unique_lock<std::mutex>> LockAll() {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(mutexes_.size());
+    for (std::mutex& mutex : mutexes_) locks.emplace_back(mutex);
+    return locks;
+  }
+
+ private:
+  std::vector<std::mutex> mutexes_;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_UTIL_SHARDED_MUTEX_H_

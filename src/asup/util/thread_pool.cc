@@ -1,0 +1,116 @@
+#include "asup/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace asup {
+
+namespace {
+
+/// Shared state of one ParallelFor call. Heap-allocated and shared with the
+/// submitted helper tasks, which may start (and harmlessly find the range
+/// exhausted) after the call has already returned.
+struct ForLoop {
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  size_t n = 0;
+  size_t grain = 1;
+  std::atomic<size_t> next{0};
+  /// Indices whose body call has finished. Completion is defined by this
+  /// counter reaching n — NOT by helper tasks finishing — so the loop ends
+  /// as soon as the participating threads have covered [0, n), even if a
+  /// queued helper never gets a worker (e.g. every worker is itself blocked
+  /// in an enclosing ParallelFor). This is what makes nesting deadlock-free.
+  std::atomic<size_t> completed{0};
+  std::mutex mutex;
+  std::condition_variable done;
+
+  void RunChunks() {
+    for (;;) {
+      const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const size_t end = std::min(begin + grain, n);
+      (*body)(begin, end);
+      if (completed.fetch_add(end - begin, std::memory_order_acq_rel) +
+              (end - begin) ==
+          n) {
+        // Last chunk: wake the caller. Taking the mutex orders this notify
+        // after the caller's predicate check, so the wakeup cannot be lost.
+        std::lock_guard<std::mutex> lock(mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  auto loop = std::make_shared<ForLoop>();
+  loop->body = &body;
+  loop->n = n;
+  // Several chunks per participant so dynamic claiming can rebalance.
+  loop->grain = std::max<size_t>(1, n / (4 * (num_threads() + 1)));
+
+  const size_t helpers = std::min(num_threads(), (n - 1) / loop->grain + 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([loop] { loop->RunChunks(); });
+  }
+
+  // The caller participates, so the loop completes even when all workers
+  // are busy with other (possibly enclosing) ParallelFor calls.
+  loop->RunChunks();
+
+  std::unique_lock<std::mutex> lock(loop->mutex);
+  loop->done.wait(lock, [&] {
+    return loop->completed.load(std::memory_order_acquire) == loop->n;
+  });
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace asup

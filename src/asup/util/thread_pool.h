@@ -1,0 +1,63 @@
+#ifndef ASUP_UTIL_THREAD_POOL_H_
+#define ASUP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asup {
+
+/// A fixed-size worker pool with a shared FIFO task queue.
+///
+/// Backs the parallel batch query execution subsystem: workers fan queries
+/// out against the shared (immutable) inverted index while the suppression
+/// state is synchronized separately (see DESIGN.md, "Threading model").
+///
+/// Tasks must not throw — an exception escaping a task terminates the
+/// process. `ParallelFor` is the preferred entry point: the calling thread
+/// participates in the loop, so progress is guaranteed even when every
+/// worker is busy (which also makes nested ParallelFor calls from inside a
+/// worker safe).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultThreadCount().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains nothing: pending tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for an arbitrary worker.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(begin, end)` over disjoint chunks covering [0, n), using
+  /// the workers *and* the calling thread, and blocks until every index has
+  /// been processed. Chunks are claimed dynamically, so uneven per-index
+  /// cost balances itself.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Hardware concurrency, at least 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_UTIL_THREAD_POOL_H_

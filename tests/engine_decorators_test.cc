@@ -1,0 +1,176 @@
+// Tests for the SearchService decorators: QueryCountingService,
+// TimingService and SynchronizedService — including concurrent callers,
+// since the counting/timing decorators now sit in front of thread-safe
+// engines inside the parallel batch subsystem.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asup/engine/search_service.h"
+#include "asup/engine/synchronized_service.h"
+#include "asup/util/thread_pool.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+/// Minimal inner service with canned behavior and *unsynchronized* mutable
+/// state — a stand-in for the deliberately single-threaded services that
+/// SynchronizedService exists to protect.
+class FakeService : public SearchService {
+ public:
+  explicit FakeService(size_t k = 5) : k_(k) {}
+
+  SearchResult Search(const KeywordQuery& query) override {
+    // Non-atomic read-modify-write: a data race unless the caller
+    // serializes. ThreadSanitizer flags any unprotected concurrent use.
+    ++calls_;
+    SearchResult result;
+    result.status = QueryStatus::kValid;
+    result.docs.push_back({static_cast<DocId>(query.terms().size()), 1.0});
+    return result;
+  }
+
+  size_t k() const override { return k_; }
+  uint64_t calls() const { return calls_; }
+
+ private:
+  size_t k_;
+  uint64_t calls_ = 0;
+};
+
+TEST(QueryCountingServiceTest, CountsAndDelegates) {
+  Rig rig = MakeRig(300, 5);
+  QueryCountingService counting(*rig.engine);
+  EXPECT_EQ(counting.k(), rig.engine->k());
+  EXPECT_EQ(counting.queries_issued(), 0u);
+
+  const auto query = rig.Q("sports game");
+  const SearchResult direct = rig.engine->Search(query);
+  const SearchResult counted = counting.Search(query);
+  EXPECT_EQ(counted.status, direct.status);
+  EXPECT_EQ(counted.DocIds(), direct.DocIds());
+  EXPECT_EQ(counting.queries_issued(), 1u);
+
+  counting.Search(rig.Q("team"));
+  counting.Search(rig.Q("team"));
+  EXPECT_EQ(counting.queries_issued(), 3u);
+
+  counting.Reset();
+  EXPECT_EQ(counting.queries_issued(), 0u);
+}
+
+TEST(QueryCountingServiceTest, ConcurrentCallersLoseNoIncrements) {
+  FakeService fake;
+  SynchronizedService synced(fake);
+  QueryCountingService counting(synced);
+  Rig rig = MakeRig(200, 5);
+  const auto query = rig.Q("sports");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) counting.Search(query);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counting.queries_issued(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(fake.calls(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(TimingServiceTest, AccumulatesTimeAndQueries) {
+  Rig rig = MakeRig(300, 5);
+  TimingService timing(*rig.engine);
+  EXPECT_EQ(timing.k(), rig.engine->k());
+  EXPECT_EQ(timing.queries(), 0u);
+  EXPECT_EQ(timing.total_nanos(), 0);
+  EXPECT_EQ(timing.MeanNanos(), 0.0);
+
+  timing.Search(rig.Q("sports game"));
+  timing.Search(rig.Q("team"));
+  EXPECT_EQ(timing.queries(), 2u);
+  EXPECT_GT(timing.total_nanos(), 0);
+  EXPECT_NEAR(timing.MeanNanos(),
+              static_cast<double>(timing.total_nanos()) / 2.0, 1e-9);
+
+  timing.Reset();
+  EXPECT_EQ(timing.queries(), 0u);
+  EXPECT_EQ(timing.total_nanos(), 0);
+}
+
+TEST(TimingServiceTest, ConcurrentCallersAggregateWork) {
+  Rig rig = MakeRig(300, 5);
+  TimingService timing(*rig.engine);
+  const auto query = rig.Q("sports");
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 50;
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads * kPerThread, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) timing.Search(query);
+  });
+  EXPECT_EQ(timing.queries(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // total_nanos sums per-call latencies across threads; every call took a
+  // nonzero amount of time, so the sum is at least the call count.
+  EXPECT_GE(timing.total_nanos(),
+            static_cast<int64_t>(timing.queries()));
+  EXPECT_GT(timing.MeanNanos(), 0.0);
+}
+
+TEST(SynchronizedServiceTest, DelegatesTransparently) {
+  Rig rig = MakeRig(300, 5);
+  SynchronizedService synced(*rig.engine);
+  EXPECT_EQ(synced.k(), rig.engine->k());
+  const auto query = rig.Q("sports game");
+  const SearchResult direct = rig.engine->Search(query);
+  const SearchResult wrapped = synced.Search(query);
+  EXPECT_EQ(wrapped.status, direct.status);
+  EXPECT_EQ(wrapped.DocIds(), direct.DocIds());
+}
+
+TEST(SynchronizedServiceTest, SerializesRacyInnerService) {
+  // FakeService's counter is a plain uint64_t; only the wrapper's mutex
+  // makes the concurrent hammering below well-defined. Run under
+  // -DASUP_SANITIZE=thread to have TSan certify the serialization.
+  FakeService fake;
+  SynchronizedService synced(fake);
+  Rig rig = MakeRig(200, 5);
+  const auto query = rig.Q("sports");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) synced.Search(query);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(fake.calls(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(DecoratorStackTest, CountingOverTimingOverSynchronized) {
+  // The stack used by the overhead experiments, exercised end to end.
+  Rig rig = MakeRig(300, 5);
+  SynchronizedService synced(*rig.engine);
+  TimingService timing(synced);
+  QueryCountingService counting(timing);
+
+  for (int i = 0; i < 10; ++i) counting.Search(rig.Q("sports game"));
+  EXPECT_EQ(counting.queries_issued(), 10u);
+  EXPECT_EQ(timing.queries(), 10u);
+  EXPECT_GT(timing.total_nanos(), 0);
+  EXPECT_EQ(counting.k(), rig.engine->k());
+}
+
+}  // namespace
+}  // namespace asup

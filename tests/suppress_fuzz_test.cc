@@ -1,0 +1,243 @@
+// Randomized property tests for the suppression engines. Each test draws
+// rounds of (corpus, γ, k, query mix) from one seeded Rng and asserts the
+// invariants the paper's algorithms promise for *every* input, rather than
+// for hand-picked examples:
+//
+//   - an answer never exceeds k documents and only contains documents that
+//     actually match the query (suppression hides, it never fabricates);
+//   - an answer is empty exactly when the engine reports underflow;
+//   - re-issuing a query returns the bitwise-identical answer (Section
+//     2.1's deterministic-processing requirement);
+//   - with the answer cache disabled, re-issues are *monotone*: once M(q)
+//     is activated the keyed coins only thin the answer, and from the
+//     second issue on the answer is a fixed point;
+//   - two engine instances with identical corpus and key agree bitwise on
+//     any query sequence.
+//
+// Everything is reproducible from kFuzzSeed; failures print the round.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asup/engine/query.h"
+#include "asup/suppress/as_arbi.h"
+#include "asup/suppress/as_simple.h"
+#include "asup/util/random.h"
+#include "test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakeRig;
+using testing_util::MakeTopicalRig;
+using testing_util::Rig;
+
+constexpr uint64_t kFuzzSeed = 0x5eed5eed5eedULL;
+
+class SuppressFuzz : public ::testing::Test {
+ protected:
+  SuppressFuzz() : rng_(kFuzzSeed) {}
+
+  /// A random corpus/engine rig with fuzzed size and k.
+  Rig RandomRig() {
+    const size_t corpus_size = rng_.UniformU64(200, 800);
+    const size_t k = kChoicesK[rng_.UniformBelow(3)];
+    return MakeRig(corpus_size, k, rng_.NextU64());
+  }
+
+  AsSimpleConfig RandomSimpleConfig() {
+    AsSimpleConfig config;
+    config.gamma = kChoicesGamma[rng_.UniformBelow(4)];
+    config.secret_key = rng_.NextU64();
+    return config;
+  }
+
+  /// A random 1-3 term query over the rig's vocabulary. Distinct sorted
+  /// terms, so the canonical form is stable.
+  KeywordQuery RandomQuery(const Rig& rig) {
+    const Vocabulary& vocabulary = rig.corpus->vocabulary();
+    const size_t num_terms = rng_.UniformU64(1, 3);
+    std::vector<TermId> terms;
+    for (const uint64_t t :
+         rng_.SampleWithoutReplacement(vocabulary.size(), num_terms)) {
+      terms.push_back(static_cast<TermId>(t));
+    }
+    std::sort(terms.begin(), terms.end());
+    return KeywordQuery::FromTerms(vocabulary, terms);
+  }
+
+  std::vector<KeywordQuery> RandomQueries(const Rig& rig, size_t count) {
+    std::vector<KeywordQuery> queries;
+    queries.reserve(count);
+    for (size_t i = 0; i < count; ++i) queries.push_back(RandomQuery(rig));
+    return queries;
+  }
+
+  static std::vector<DocId> SortedMatchIds(const Rig& rig,
+                                           const KeywordQuery& query) {
+    std::vector<DocId> ids = rig.engine->MatchIds(query);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  static void ExpectWellFormed(const Rig& rig, const KeywordQuery& query,
+                               const SearchResult& result, size_t k,
+                               int round) {
+    SCOPED_TRACE(::testing::Message()
+                 << "round " << round << ", query '" << query.canonical()
+                 << "'");
+    EXPECT_LE(result.docs.size(), k);
+    EXPECT_EQ(result.docs.empty(), result.status == QueryStatus::kUnderflow);
+    const std::vector<DocId> matches = SortedMatchIds(rig, query);
+    double previous_score = std::numeric_limits<double>::infinity();
+    for (const ScoredDoc& scored : result.docs) {
+      EXPECT_TRUE(
+          std::binary_search(matches.begin(), matches.end(), scored.doc))
+          << "answer contains non-matching doc " << scored.doc;
+      EXPECT_LE(scored.score, previous_score) << "answer not rank-ordered";
+      previous_score = scored.score;
+    }
+  }
+
+  static void ExpectBitwiseEqual(const SearchResult& a, const SearchResult& b,
+                                 int round) {
+    ASSERT_EQ(a.status, b.status) << "round " << round;
+    ASSERT_EQ(a.docs.size(), b.docs.size()) << "round " << round;
+    for (size_t d = 0; d < a.docs.size(); ++d) {
+      ASSERT_EQ(a.docs[d].doc, b.docs[d].doc) << "round " << round;
+      ASSERT_EQ(a.docs[d].score, b.docs[d].score) << "round " << round;
+    }
+  }
+
+  static constexpr size_t kChoicesK[3] = {3, 5, 10};
+  static constexpr double kChoicesGamma[4] = {1.5, 2.0, 3.0, 5.0};
+
+  Rng rng_;
+};
+
+TEST_F(SuppressFuzz, AsSimpleAnswersAreAlwaysWellFormed) {
+  for (int round = 0; round < 5; ++round) {
+    Rig rig = RandomRig();
+    AsSimpleEngine engine(*rig.engine, RandomSimpleConfig());
+    for (const auto& query : RandomQueries(rig, 60)) {
+      ExpectWellFormed(rig, query, engine.Search(query), engine.k(), round);
+    }
+  }
+}
+
+TEST_F(SuppressFuzz, AsSimpleReissueIsBitwiseDeterministic) {
+  for (int round = 0; round < 4; ++round) {
+    Rig rig = RandomRig();
+    AsSimpleEngine engine(*rig.engine, RandomSimpleConfig());
+    const auto queries = RandomQueries(rig, 40);
+    std::vector<SearchResult> first;
+    for (const auto& query : queries) first.push_back(engine.Search(query));
+    // Interleave the re-issues in reverse order: determinism must not
+    // depend on the position of a query in the stream.
+    for (size_t i = queries.size(); i-- > 0;) {
+      ExpectBitwiseEqual(engine.Search(queries[i]), first[i], round);
+    }
+    EXPECT_EQ(engine.stats().cache_hits, queries.size());
+  }
+}
+
+TEST_F(SuppressFuzz, AsSimpleTwinEnginesAgreeBitwise) {
+  // Two engines built from the same seed and key are replicas: the keyed
+  // per-edge coins make the whole suppression pipeline a deterministic
+  // function of (corpus, key, query sequence).
+  for (int round = 0; round < 4; ++round) {
+    const size_t corpus_size = rng_.UniformU64(200, 800);
+    const size_t k = kChoicesK[rng_.UniformBelow(3)];
+    const uint64_t corpus_seed = rng_.NextU64();
+    Rig rig_a = MakeRig(corpus_size, k, corpus_seed);
+    Rig rig_b = MakeRig(corpus_size, k, corpus_seed);
+    const AsSimpleConfig config = RandomSimpleConfig();
+    AsSimpleEngine engine_a(*rig_a.engine, config);
+    AsSimpleEngine engine_b(*rig_b.engine, config);
+    for (const auto& query : RandomQueries(rig_a, 50)) {
+      ExpectBitwiseEqual(engine_a.Search(query), engine_b.Search(query),
+                         round);
+    }
+    EXPECT_EQ(engine_a.NumActivatedDocs(), engine_b.NumActivatedDocs());
+  }
+}
+
+TEST_F(SuppressFuzz, AsSimpleReissuesThinMonotonically) {
+  // With the cache off, the first issue activates all of M(q); every later
+  // issue coin-filters the same activated set, so the answer can only
+  // shrink once and is a fixed point from the second issue on.
+  for (int round = 0; round < 4; ++round) {
+    Rig rig = RandomRig();
+    AsSimpleConfig config = RandomSimpleConfig();
+    config.cache_answers = false;
+    AsSimpleEngine engine(*rig.engine, config);
+    for (const auto& query : RandomQueries(rig, 30)) {
+      const SearchResult first = engine.Search(query);
+      const SearchResult second = engine.Search(query);
+      const SearchResult third = engine.Search(query);
+      SCOPED_TRACE(::testing::Message()
+                   << "round " << round << ", query '" << query.canonical()
+                   << "'");
+      EXPECT_LE(second.docs.size(), first.docs.size());
+      ExpectBitwiseEqual(third, second, round);
+      ExpectWellFormed(rig, query, second, engine.k(), round);
+    }
+  }
+}
+
+TEST_F(SuppressFuzz, AsArbiAnswersAreAlwaysWellFormed) {
+  // AS-ARBI adds the virtual answer path; a virtual answer is drawn from
+  // historic answers but must still be a rank-ordered subset of the new
+  // query's own match set.
+  for (int round = 0; round < 4; ++round) {
+    const size_t corpus_size = rng_.UniformU64(400, 1200);
+    const size_t k = kChoicesK[rng_.UniformBelow(3)];
+    Rig rig = MakeTopicalRig(corpus_size, k, rng_.NextU64());
+    AsArbiConfig config;
+    config.simple = RandomSimpleConfig();
+    config.cover_size = rng_.UniformU64(1, 8);
+    config.cover_ratio = 0.5 + 0.5 * rng_.NextDouble();
+    AsArbiEngine engine(*rig.engine, config);
+
+    const auto queries = RandomQueries(rig, 80);
+    std::vector<SearchResult> first;
+    for (const auto& query : queries) {
+      first.push_back(engine.Search(query));
+      ExpectWellFormed(rig, query, first.back(), engine.k(), round);
+    }
+    // Determinism on re-issue, after arbitrary interleaved history growth.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectBitwiseEqual(engine.Search(queries[i]), first[i], round);
+    }
+  }
+}
+
+TEST_F(SuppressFuzz, AsArbiTwinEnginesAgreeBitwise) {
+  // The virtual-answer trigger, cover search, and history evolution must
+  // all be deterministic functions of the query sequence.
+  for (int round = 0; round < 3; ++round) {
+    const size_t corpus_size = rng_.UniformU64(400, 1200);
+    const size_t k = kChoicesK[rng_.UniformBelow(3)];
+    const uint64_t corpus_seed = rng_.NextU64();
+    Rig rig_a = MakeTopicalRig(corpus_size, k, corpus_seed);
+    Rig rig_b = MakeTopicalRig(corpus_size, k, corpus_seed);
+    AsArbiConfig config;
+    config.simple = RandomSimpleConfig();
+    AsArbiEngine engine_a(*rig_a.engine, config);
+    AsArbiEngine engine_b(*rig_b.engine, config);
+    for (const auto& query : RandomQueries(rig_a, 60)) {
+      ExpectBitwiseEqual(engine_a.Search(query), engine_b.Search(query),
+                         round);
+    }
+    EXPECT_EQ(engine_a.history().NumQueries(), engine_b.history().NumQueries());
+    EXPECT_EQ(engine_a.stats().virtual_answers,
+              engine_b.stats().virtual_answers);
+  }
+}
+
+}  // namespace
+}  // namespace asup
