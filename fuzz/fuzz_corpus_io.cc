@@ -1,0 +1,52 @@
+// Fuzz oracle for the binary corpus reader (index/corpus_io.h).
+//
+// LoadCorpus consumes untrusted bytes (a corpus file shared between
+// machines); it must reject malformed input gracefully and only ever
+// produce corpora satisfying the Document/Corpus class invariants:
+//  * strictly ascending term ids, positive frequencies, ids < |vocab|;
+//  * unique document ids;
+//  * Save ∘ Load reaches a canonical fixed point after one round trip.
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "asup/index/corpus_io.h"
+#include "asup/text/corpus.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(input);
+  const std::optional<asup::Corpus> corpus = asup::LoadCorpus(in);
+  if (!corpus.has_value()) return 0;  // rejected — the common, boring case
+
+  const asup::Vocabulary& vocabulary = corpus->vocabulary();
+  for (const asup::Document& doc : corpus->documents()) {
+    FUZZ_ASSERT(corpus->Contains(doc.id()));
+    FUZZ_ASSERT(corpus->Get(doc.id()).id() == doc.id());
+    asup::TermId previous = 0;
+    bool first = true;
+    for (const asup::TermFreq& entry : doc.terms()) {
+      FUZZ_ASSERT(entry.freq > 0);
+      FUZZ_ASSERT(entry.term < vocabulary.size());
+      if (!first) FUZZ_ASSERT(entry.term > previous);
+      previous = entry.term;
+      first = false;
+    }
+  }
+
+  std::ostringstream save1;
+  FUZZ_ASSERT(asup::SaveCorpus(*corpus, save1));
+  const std::string canonical = save1.str();
+  std::istringstream in2(canonical);
+  const std::optional<asup::Corpus> reloaded = asup::LoadCorpus(in2);
+  FUZZ_ASSERT(reloaded.has_value());
+  FUZZ_ASSERT(reloaded->size() == corpus->size());
+  FUZZ_ASSERT(reloaded->vocabulary().size() == vocabulary.size());
+  std::ostringstream save2;
+  FUZZ_ASSERT(asup::SaveCorpus(*reloaded, save2));
+  FUZZ_ASSERT(save2.str() == canonical);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fuzz oracle for keyword-query parsing and canonicalization.
+//
+// Query identity (canonical string + hash) keys the answer caches and
+// AS-ARBI's history, so canonicalization must be a total, stable function
+// of the input text:
+//  * hash() is exactly HashString(canonical());
+//  * term ids are strictly ascending and valid vocabulary ids;
+//  * an unknown word empties the term list (conjunctive semantics);
+//  * re-parsing the canonical form is a fixed point for every field.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "asup/engine/query.h"
+#include "asup/text/vocabulary.h"
+#include "asup/util/hash.h"
+#include "fuzz_util.h"
+
+namespace {
+
+const asup::Vocabulary& TestVocabulary() {
+  static const asup::Vocabulary* vocabulary = [] {
+    auto* v = new asup::Vocabulary();
+    // Single letters and digits so short fuzz tokens often resolve to
+    // known terms, plus a few real words for dictionary-style inputs.
+    for (char c = 'a'; c <= 'z'; ++c) v->AddWord(std::string(1, c));
+    for (char c = '0'; c <= '9'; ++c) v->AddWord(std::string(1, c));
+    for (const char* word :
+         {"sigmod", "2012", "aggregate", "suppression", "enterprise",
+          "search", "engine", "query", "sports", "patent"}) {
+      v->AddWord(word);
+    }
+    return v;
+  }();
+  return *vocabulary;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const asup::Vocabulary& vocabulary = TestVocabulary();
+
+  const asup::KeywordQuery query = asup::KeywordQuery::Parse(vocabulary, text);
+  FUZZ_ASSERT(query.hash() == asup::HashString(query.canonical()));
+  FUZZ_ASSERT(query.empty() == query.canonical().empty());
+  if (query.has_unknown_word()) FUZZ_ASSERT(query.terms().empty());
+
+  asup::TermId previous = 0;
+  bool first = true;
+  for (const asup::TermId term : query.terms()) {
+    FUZZ_ASSERT(term < vocabulary.size());
+    if (!first) FUZZ_ASSERT(term > previous);
+    previous = term;
+    first = false;
+  }
+
+  const asup::KeywordQuery reparsed =
+      asup::KeywordQuery::Parse(vocabulary, query.canonical());
+  FUZZ_ASSERT(reparsed.canonical() == query.canonical());
+  FUZZ_ASSERT(reparsed.hash() == query.hash());
+  FUZZ_ASSERT(reparsed.terms() == query.terms());
+  FUZZ_ASSERT(reparsed.has_unknown_word() == query.has_unknown_word());
+  return 0;
+}

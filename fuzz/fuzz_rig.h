@@ -1,0 +1,46 @@
+#ifndef ASUP_FUZZ_FUZZ_RIG_H_
+#define ASUP_FUZZ_FUZZ_RIG_H_
+
+#include <cstddef>
+
+#include "asup/engine/search_engine.h"
+#include "asup/index/inverted_index.h"
+#include "asup/text/synthetic_corpus.h"
+
+namespace asup_fuzz {
+
+// The state-io harness and the seed-corpus generator must build the *same*
+// engine: a defense-state snapshot embeds the corpus size, γ, and the coin
+// key, and Load rejects mismatches — any drift here would turn every
+// checked-in seed into a shallow "fingerprint mismatch" input.
+inline constexpr size_t kRigCorpusSize = 96;
+inline constexpr size_t kRigTopK = 4;
+
+inline asup::SyntheticCorpusConfig RigCorpusConfig() {
+  asup::SyntheticCorpusConfig config;
+  config.vocabulary_size = 400;
+  config.num_topics = 6;
+  config.words_per_topic = 40;
+  config.seed = 7;
+  return config;
+}
+
+/// Corpus + index + undefended engine shared by the state-io fuzzing side.
+/// The suppression engines under test are constructed per input (their
+/// state is what the snapshot mutates); this immutable substrate is built
+/// once.
+struct Rig {
+  asup::Corpus corpus;
+  asup::InvertedIndex index;
+  asup::PlainSearchEngine engine;
+
+  Rig()
+      : corpus(asup::SyntheticCorpusGenerator(RigCorpusConfig())
+                   .Generate(kRigCorpusSize)),
+        index(corpus),
+        engine(index, kRigTopK) {}
+};
+
+}  // namespace asup_fuzz
+
+#endif  // ASUP_FUZZ_FUZZ_RIG_H_

@@ -1,0 +1,58 @@
+// Fuzz oracle for the tokenizer and bag-of-words document construction.
+//
+// Properties checked on arbitrary byte input:
+//  * every token is non-empty, alphanumeric, lowercase;
+//  * tokenizing the space-joined token list is a fixed point (the canonical
+//    form queries are built from must be stable);
+//  * a Document built from the text has strictly ascending term ids,
+//    positive frequencies, and token-count accounting that adds up.
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asup/text/document.h"
+#include "asup/text/tokenizer.h"
+#include "asup/text/vocabulary.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  const std::vector<std::string> tokens = asup::Tokenize(text);
+  for (const std::string& token : tokens) {
+    FUZZ_ASSERT(!token.empty());
+    for (const char c : token) {
+      const unsigned char uc = static_cast<unsigned char>(c);
+      FUZZ_ASSERT(std::isalnum(uc));
+      FUZZ_ASSERT(!std::isupper(uc));
+    }
+  }
+
+  std::string joined;
+  for (const std::string& token : tokens) {
+    if (!joined.empty()) joined.push_back(' ');
+    joined += token;
+  }
+  FUZZ_ASSERT(asup::Tokenize(joined) == tokens);
+
+  asup::Vocabulary vocabulary;
+  const asup::Document doc = asup::MakeDocumentFromText(1, text, vocabulary);
+  FUZZ_ASSERT(doc.length() == tokens.size());
+  uint64_t total_freq = 0;
+  asup::TermId previous = 0;
+  bool first = true;
+  for (const asup::TermFreq& entry : doc.terms()) {
+    FUZZ_ASSERT(entry.freq > 0);
+    FUZZ_ASSERT(entry.term < vocabulary.size());
+    if (!first) FUZZ_ASSERT(entry.term > previous);
+    FUZZ_ASSERT(doc.FrequencyOf(entry.term) == entry.freq);
+    previous = entry.term;
+    first = false;
+    total_freq += entry.freq;
+  }
+  FUZZ_ASSERT(total_freq == tokens.size());
+  return 0;
+}

@@ -1,0 +1,20 @@
+#ifndef ASUP_FUZZ_FUZZ_UTIL_H_
+#define ASUP_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant check for the fuzz harnesses. Aborts (reported by libFuzzer
+/// and the sanitizers, and fatal under the standalone driver) with a
+/// message naming the broken property. Always on, in every build type —
+/// a fuzz binary whose oracles compile out finds nothing.
+#define FUZZ_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#endif  // ASUP_FUZZ_FUZZ_UTIL_H_

@@ -1,5 +1,9 @@
 #include "asup/engine/answer_cache.h"
 
+#include <algorithm>
+
+#include "asup/util/check.h"
+
 namespace asup {
 
 AnswerCache::Claim AnswerCache::LookupOrClaim(const std::string& key,
@@ -25,6 +29,13 @@ void AnswerCache::Publish(const std::string& key, const SearchResult& result) {
   Shard& shard = shards_[shard_index];
   {
     std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
+    // Claim protocol: only the thread that claimed the key may publish,
+    // exactly once. Re-publishing a ready entry could swap an answer a
+    // client already saw — the nondeterministic-re-issue side channel the
+    // cache exists to close.
+    ASUP_CONTRACTS_ONLY(const auto claimed = shard.map.find(key);
+                        ASUP_CHECK(claimed != shard.map.end());
+                        ASUP_CHECK(!claimed->second.ready);)
     Entry& entry = shard.map[key];
     entry.result = result;
     entry.ready = true;
@@ -38,6 +49,9 @@ void AnswerCache::Abandon(const std::string& key) {
   {
     std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
     auto it = shard.map.find(key);
+    // Abandoning a published answer would let a later compute replace it;
+    // only unclaimed or in-flight keys may be abandoned.
+    ASUP_CHECK(it == shard.map.end() || !it->second.ready);
     if (it != shard.map.end() && !it->second.ready) shard.map.erase(it);
   }
   shard.ready_cv.notify_all();
@@ -55,6 +69,7 @@ size_t AnswerCache::size() const {
   size_t count = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
     std::lock_guard<std::mutex> lock(mutexes_.MutexAt(s));
+    // NOLINTNEXTLINE(asup-unordered-iteration): counting is order-invariant
     for (const auto& [key, entry] : shards_[s].map) {
       if (entry.ready) ++count;
     }
@@ -82,10 +97,15 @@ std::vector<std::pair<std::string, SearchResult>> AnswerCache::Snapshot()
   std::vector<std::pair<std::string, SearchResult>> entries;
   for (size_t s = 0; s < shards_.size(); ++s) {
     std::lock_guard<std::mutex> lock(mutexes_.MutexAt(s));
+    // NOLINTNEXTLINE(asup-unordered-iteration): order canonicalized below
     for (const auto& [key, entry] : shards_[s].map) {
       if (entry.ready) entries.emplace_back(key, entry.result);
     }
   }
+  // Canonical order: hash-map iteration order must not leak into snapshot
+  // bytes, or two saves of identical state would differ.
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return entries;
 }
 

@@ -4,6 +4,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "asup/util/check.h"
+
 namespace asup {
 
 std::vector<SearchResult> BatchExecutor::ExecuteConcurrent(
@@ -48,7 +50,13 @@ std::vector<SearchResult> BatchExecutor::ExecuteDeterministic(
   // identical to serial execution.
   std::vector<SearchResult> results(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
+    ASUP_CHECK_LT(slots[i], prefetches.size());
     const std::optional<QueryPrefetch>& prefetch = prefetches[slots[i]];
+    // Bitwise-replay precondition: a query skipped by the prefetch phase
+    // was answer-cached then, and cache entries are never evicted, so its
+    // commit must be a pure cache hit — otherwise Search would re-run the
+    // match phase against suppression state the serial replay never saw.
+    ASUP_CHECK(prefetch.has_value() || service.HasCachedAnswer(queries[i]));
     results[i] = prefetch ? service.SearchPrefetched(queries[i], *prefetch)
                           : service.Search(queries[i]);
   }

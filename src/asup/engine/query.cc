@@ -53,7 +53,7 @@ KeywordQuery KeywordQuery::FromWords(const Vocabulary& vocabulary,
 }
 
 KeywordQuery KeywordQuery::FromTerms(const Vocabulary& vocabulary,
-                                     std::vector<TermId> terms) {
+                                     const std::vector<TermId>& terms) {
   std::vector<std::string> words;
   words.reserve(terms.size());
   for (TermId term : terms) words.push_back(vocabulary.WordOf(term));

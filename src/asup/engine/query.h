@@ -29,7 +29,7 @@ class KeywordQuery {
 
   /// Builds a query from term ids (all must be valid vocabulary ids).
   static KeywordQuery FromTerms(const Vocabulary& vocabulary,
-                                std::vector<TermId> terms);
+                                const std::vector<TermId>& terms);
 
   /// Parses whitespace/punctuation-separated text into a query.
   static KeywordQuery Parse(const Vocabulary& vocabulary,

@@ -10,6 +10,7 @@
 namespace asup {
 
 bool PaperScale() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup, never set
   const char* scale = std::getenv("ASUP_SCALE");
   return scale != nullptr && std::strcmp(scale, "paper") == 0;
 }

@@ -1,8 +1,10 @@
 #include "asup/index/corpus_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <unordered_set>
 #include <vector>
 
 namespace asup {
@@ -52,6 +54,10 @@ bool GetU32(std::istream& in, uint32_t& value) {
 bool SaveCorpus(const Corpus& corpus, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
+  return SaveCorpus(corpus, out);
+}
+
+bool SaveCorpus(const Corpus& corpus, std::ostream& out) {
   out.write(kMagic, 4);
   PutU32(kVersion, out);
 
@@ -82,6 +88,10 @@ bool SaveCorpus(const Corpus& corpus, const std::string& path) {
 std::optional<Corpus> LoadCorpus(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
+  return LoadCorpus(in);
+}
+
+std::optional<Corpus> LoadCorpus(std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kMagic, 4) != 0) return std::nullopt;
@@ -104,7 +114,10 @@ std::optional<Corpus> LoadCorpus(const std::string& path) {
   uint32_t doc_count = 0;
   if (!GetVar(in, doc_count)) return std::nullopt;
   std::vector<Document> docs;
-  docs.reserve(doc_count);
+  // Counts are untrusted until the payload behind them parses: cap the
+  // up-front reservation so a crafted header cannot force a huge allocation.
+  docs.reserve(std::min(doc_count, 4096u));
+  std::unordered_set<DocId> seen_ids;
   for (uint32_t d = 0; d < doc_count; ++d) {
     uint32_t id = 0;
     uint32_t length = 0;
@@ -112,8 +125,9 @@ std::optional<Corpus> LoadCorpus(const std::string& path) {
     if (!GetVar(in, id) || !GetVar(in, length) || !GetVar(in, num_terms)) {
       return std::nullopt;
     }
+    if (!seen_ids.insert(id).second) return std::nullopt;  // duplicate doc id
     std::vector<TermFreq> terms;
-    terms.reserve(num_terms);
+    terms.reserve(std::min(num_terms, 4096u));
     TermId previous = 0;
     for (uint32_t t = 0; t < num_terms; ++t) {
       uint32_t delta = 0;
@@ -123,6 +137,9 @@ std::optional<Corpus> LoadCorpus(const std::string& path) {
       }
       const TermId term = previous + delta;
       if (term >= vocab_size) return std::nullopt;
+      // Document requires strictly ascending term ids; a zero delta after
+      // the first term (or a wrapped sum) would corrupt its binary search.
+      if (t > 0 && term <= previous) return std::nullopt;
       terms.push_back({term, freq});
       previous = term;
     }

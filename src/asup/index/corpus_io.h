@@ -1,6 +1,7 @@
 #ifndef ASUP_INDEX_CORPUS_IO_H_
 #define ASUP_INDEX_CORPUS_IO_H_
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -24,10 +25,17 @@ namespace asup {
 /// Writes `corpus` to `path`. Returns false on I/O failure.
 bool SaveCorpus(const Corpus& corpus, const std::string& path);
 
+/// Writes `corpus` to an already-open binary stream.
+bool SaveCorpus(const Corpus& corpus, std::ostream& out);
+
 /// Reads a corpus from `path`. Returns nullopt if the file is missing,
 /// truncated, or not an ASUP corpus file. The loaded corpus owns a fresh
 /// vocabulary (term ids are preserved).
 std::optional<Corpus> LoadCorpus(const std::string& path);
+
+/// Reads a corpus from an already-open binary stream (the fuzz harnesses
+/// feed arbitrary bytes through this entry point).
+std::optional<Corpus> LoadCorpus(std::istream& in);
 
 }  // namespace asup
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <mutex>
 
+#include "asup/util/check.h"
+
 namespace asup {
 
 namespace {
@@ -23,7 +25,13 @@ AsArbiEngine::AsArbiEngine(PlainSearchEngine& base, const AsArbiConfig& config)
     : base_(&base),
       config_(config),
       simple_(base, InnerSimpleConfig(config)),
-      finder_(history_, config.cover_size, config.cover_ratio) {}
+      finder_(history_, config.cover_size, config.cover_ratio) {
+  // Algorithm 2's trigger parameters: cover size m ≥ 1 historic answers,
+  // cover ratio σ ∈ (0, 1].
+  ASUP_CHECK(config.cover_size >= 1);
+  ASUP_CHECK(config.cover_ratio > 0.0);
+  ASUP_CHECK_LE(config.cover_ratio, 1.0);
+}
 
 AsArbiStats AsArbiEngine::stats() const {
   AsArbiStats snapshot;
@@ -137,7 +145,16 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
                     : simple_.Search(query);
   if (!result.docs.empty()) {
     std::unique_lock<std::shared_mutex> lock(history_mutex_);
+    ASUP_CONTRACTS_ONLY(const size_t queries_before = history_.NumQueries();
+                        const size_t docs_before =
+                            history_.NumDocumentsSeen();)
     history_.Record(query, result.DocIds());
+    // The history only ever grows — answers, once disclosed, cannot be
+    // retracted; the cover trigger's lock-free prescreen relies on the
+    // mirrors being monotone lower bounds of the store.
+    ASUP_CONTRACTS_ONLY(
+        ASUP_CHECK_EQ(history_.NumQueries(), queries_before + 1);
+        ASUP_CHECK(history_.NumDocumentsSeen() >= docs_before);)
     history_docs_seen_.store(history_.NumDocumentsSeen(),
                              std::memory_order_release);
     history_queries_.store(history_.NumQueries(), std::memory_order_release);
@@ -148,10 +165,15 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
 SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
                                            const std::vector<DocId>& match_ids,
                                            const CoverResult& cover) {
+  // Algorithm 2's cover contract: at most m historic answers...
+  ASUP_CHECK(cover.found);
+  ASUP_CHECK(!cover.query_indices.empty());
+  ASUP_CHECK_LE(cover.query_indices.size(), config_.cover_size);
   // Union of the covering historic answers. The caller holds the history
   // lock (shared side) across the cover search and this read.
   std::vector<DocId> pool;
   for (uint32_t qi : cover.query_indices) {
+    ASUP_CHECK_LT(qi, history_.NumQueries());
     const auto& answer = history_.QueryAt(qi).answer;
     pool.insert(pool.end(), answer.begin(), answer.end());
   }
@@ -163,6 +185,17 @@ SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
   std::set_intersection(match_ids.begin(), match_ids.end(), pool.begin(),
                         pool.end(), std::back_inserter(virtual_ids));
 
+  // ...covering at least ⌈σ·|Sel(q)|⌉ matching documents, every one of them
+  // already disclosed by an earlier answer (so the virtual answer reveals
+  // no new query–document edge and no fresh degree evidence).
+  ASUP_CONTRACTS_ONLY(
+      const auto need = static_cast<size_t>(std::ceil(
+          config_.cover_ratio * static_cast<double>(match_ids.size())));
+      ASUP_CHECK(virtual_ids.size() >= need);
+      for (DocId doc : virtual_ids) {
+        ASUP_DCHECK(simple_.IsActivated(doc));
+      })
+
   SearchResult result;
   if (virtual_ids.empty()) {
     result.status = QueryStatus::kUnderflow;
@@ -170,6 +203,8 @@ SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
   }
   std::vector<ScoredDoc> ranked = base_->RankDocs(query, virtual_ids);
   if (ranked.size() > base_->k()) ranked.resize(base_->k());
+  // Top-k interface bound, same as every non-virtual answer path.
+  ASUP_CHECK_LE(ranked.size(), base_->k());
   result.docs = std::move(ranked);
   // Same emulated-overflow rule as AS-SIMPLE, so the two answer paths are
   // indistinguishable to the client.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "asup/util/check.h"
+
 namespace asup {
 
 AsSimpleEngine::AsSimpleEngine(PlainSearchEngine& base,
@@ -15,7 +17,11 @@ AsSimpleEngine::AsSimpleEngine(PlainSearchEngine& base,
       coin_(config.secret_key),
       m_limit_(static_cast<size_t>(
           std::ceil(config.gamma * static_cast<double>(base.k())))),
-      returned_before_(base.index().NumDocuments()) {}
+      returned_before_(base.index().NumDocuments()) {
+  // γ > 1 (checked again by the segment) implies |M(q)| may exceed k, which
+  // is what lets trimmed top-k documents be replaced by lower-ranked ones.
+  ASUP_CHECK_LE(base.k(), m_limit_);
+}
 
 AsSimpleStats AsSimpleEngine::stats() const {
   AsSimpleStats snapshot;
@@ -81,6 +87,9 @@ SearchResult AsSimpleEngine::SearchImpl(const KeywordQuery& query,
 SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
                                      const RankedMatches& ranked) {
   const size_t m_size = ranked.docs.size();
+  // Algorithm 1 line 5: |M(q)| = min(|Sel(q)|, γ·k).
+  ASUP_CHECK_LE(m_size, m_limit_);
+  ASUP_CHECK_LE(m_size, ranked.total_matches);
 
   SearchResult result;
   if (ranked.total_matches == 0) {
@@ -98,6 +107,10 @@ SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
   // linearizable under concurrent queries.
   const InvertedIndex& index = base_->index();
   const double keep_probability = segment_.edge_keep_probability();
+  // Line 9's edge-removal coin keeps with probability μ/γ ∈ (0, 1]
+  // (equivalently hides with probability 1 − μ/γ ∈ [0, 1)).
+  ASUP_CHECK(keep_probability > 0.0);
+  ASUP_CHECK_LE(keep_probability, 1.0);
   std::vector<ScoredDoc> survivors;
   survivors.reserve(m_size);
   uint64_t hidden = 0;
@@ -115,18 +128,31 @@ SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
   if (hidden != 0) {
     stats_.docs_hidden.fetch_add(hidden, std::memory_order_relaxed);
   }
+  // Θ_R monotonicity: TestAndSet only ever sets bits, so after the loop
+  // every document of M(q) — kept, hidden, or about to be trimmed — is
+  // activated (Algorithm 1 runs line 14 after the loop; §5.1 depends on
+  // all of M(q) entering Θ_R).
+  ASUP_CONTRACTS_ONLY(for (const ScoredDoc& scored : ranked.docs) {
+    ASUP_DCHECK(returned_before_.Test(index.LocalOf(scored.doc)));
+  })
+  ASUP_CHECK_EQ(survivors.size() + hidden, m_size);
 
   // Line 14: trim to min(|M(q)|/μ, k) lowest-rank-last documents. When the
   // query overflows, documents hidden above are implicitly replaced by
   // lower-ranked survivors of M(q).
   const size_t lhs_target = static_cast<size_t>(std::llround(
       static_cast<double>(m_size) * segment_.lhs_keep_fraction()));
+  // 1/μ ≤ 1, so the trim target never exceeds |M(q)|.
+  ASUP_CHECK_LE(lhs_target, m_size);
   const size_t keep = std::min(lhs_target, base_->k());
   if (survivors.size() > keep) {
     stats_.docs_trimmed.fetch_add(survivors.size() - keep,
                                   std::memory_order_relaxed);
     survivors.resize(keep);
   }
+  // Line 14 postcondition: the answer is capped at min(|M(q)|/μ, k).
+  ASUP_CHECK_LE(survivors.size(), keep);
+  ASUP_CHECK_LE(survivors.size(), base_->k());
 
   result.docs = std::move(survivors);
   // Status in the *emulated* corpus: the defended engine behaves as if q

@@ -1,17 +1,19 @@
 #include "asup/suppress/cover_finder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_map>
+
+#include "asup/util/check.h"
 
 namespace asup {
 
 CoverFinder::CoverFinder(const HistoryStore& history, size_t cover_size,
                          double cover_ratio)
     : history_(&history), cover_size_(cover_size), cover_ratio_(cover_ratio) {
-  assert(cover_size_ >= 1);
-  assert(cover_ratio_ > 0.0 && cover_ratio_ <= 1.0);
+  ASUP_CHECK(cover_size_ >= 1);
+  ASUP_CHECK(cover_ratio_ > 0.0);
+  ASUP_CHECK_LE(cover_ratio_, 1.0);
 }
 
 bool CoverFinder::PassesSignaturePrescreen(const std::vector<DocId>& match_ids,
@@ -46,6 +48,7 @@ std::vector<CoverFinder::Candidate> CoverFinder::GatherCandidates(
   }
   std::vector<Candidate> candidates;
   candidates.reserve(covers.size());
+  // NOLINTNEXTLINE(asup-unordered-iteration): total sort below canonicalizes
   for (auto& [qi, positions] : covers) {
     candidates.push_back(Candidate{qi, std::move(positions)});
   }
@@ -162,6 +165,10 @@ CoverResult CoverFinder::ExactCover(const std::vector<Candidate>& candidates,
 
   CoverResult result;
   if (!search.Dfs()) return result;
+  // Exact-cover postcondition (σ = 100%): every matching document covered
+  // by at most m chosen historic answers.
+  ASUP_CHECK_EQ(search.uncovered, 0u);
+  ASUP_CHECK_LE(search.chosen.size(), cover_size_);
   result.found = true;
   for (uint32_t ci : search.chosen) {
     result.query_indices.push_back(candidates[ci].query_index);
@@ -201,6 +208,10 @@ CoverResult CoverFinder::GreedyPartialCover(
 
   CoverResult result;
   if (total_covered < need) return result;
+  // Partial-cover postcondition: ≥ ⌈σ·|Sel(q)|⌉ matching documents covered
+  // by at most m historic answers.
+  ASUP_CHECK(total_covered >= need);
+  ASUP_CHECK_LE(picks.size(), cover_size_);
   result.found = true;
   for (uint32_t ci : picks) {
     result.query_indices.push_back(candidates[ci].query_index);

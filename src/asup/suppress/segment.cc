@@ -1,14 +1,14 @@
 #include "asup/suppress/segment.h"
 
-#include <cassert>
+#include "asup/util/check.h"
 
 namespace asup {
 
 IndistinguishableSegment::IndistinguishableSegment(size_t corpus_size,
                                                    double gamma)
     : n_(corpus_size), gamma_(gamma) {
-  assert(corpus_size >= 1);
-  assert(gamma > 1.0);
+  ASUP_CHECK(corpus_size >= 1);
+  ASUP_CHECK(gamma > 1.0);
   // Find the largest i with γ^i <= n by repeated multiplication; avoids the
   // boundary instability of floor(log n / log γ) when n is an exact power.
   index_ = 0;
@@ -19,7 +19,21 @@ IndistinguishableSegment::IndistinguishableSegment(size_t corpus_size,
     ++index_;
   }
   mu_ = n / low_;
-  assert(mu_ >= 1.0 && mu_ < gamma_ + 1e-9);
+  // Paper Section 4.2: μ = n/γ^⌊log n/log γ⌋ ∈ (1, γ] — equal to 1 only
+  // when n is an exact power of γ. Segment bounds: γ^i ≤ n < γ^{i+1}.
+  ASUP_CHECK(mu_ >= 1.0);
+  ASUP_CHECK_LE(mu_, gamma_ + 1e-9);
+  ASUP_CHECK_LE(low_, n);
+  ASUP_CHECK_LT(n, low_ * gamma_);
+  // Derived probabilities Algorithm 1 relies on: the hide probability
+  // 1 − μ/γ must be a probability strictly below 1 (a keep probability of 0
+  // would hide every previously returned document and be trivially
+  // detectable), and the LHS trim fraction 1/μ must be in (0, 1].
+  const double hide_probability = 1.0 - edge_keep_probability();
+  ASUP_CHECK(hide_probability >= 0.0);
+  ASUP_CHECK_LT(hide_probability, 1.0);
+  ASUP_CHECK(lhs_keep_fraction() > 0.0);
+  ASUP_CHECK_LE(lhs_keep_fraction(), 1.0);
 }
 
 }  // namespace asup

@@ -1,10 +1,12 @@
 #include "asup/suppress/state_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace asup {
@@ -71,13 +73,15 @@ bool GetResult(std::istream& in, SearchResult& result) {
   result.status = static_cast<QueryStatus>(status);
   uint64_t count = 0;
   if (!GetU64(in, count) || count > (1u << 20)) return false;
-  result.docs.resize(count);
+  // The count is untrusted until the payload behind it parses: grow the
+  // vector as entries validate instead of resizing to a claimed size.
+  result.docs.clear();
+  result.docs.reserve(std::min<uint64_t>(count, 4096));
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t doc = 0;
-    if (!GetU64(in, doc) || !GetDouble(in, result.docs[i].score)) {
-      return false;
-    }
-    result.docs[i].doc = static_cast<DocId>(doc);
+    double score = 0.0;
+    if (!GetU64(in, doc) || !GetDouble(in, score)) return false;
+    result.docs.push_back({static_cast<DocId>(doc), score});
   }
   return true;
 }
@@ -145,13 +149,15 @@ bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
     returned.push_back(static_cast<DocId>(doc));
   }
 
-  std::unordered_map<std::string, SearchResult> cache;
+  // Staged in snapshot order (a vector, not a hash map: restore order is
+  // part of the deterministic-replay story and must match the file).
+  std::vector<std::pair<std::string, SearchResult>> cache;
   if (!GetU64(in, count)) return false;
   for (uint64_t i = 0; i < count; ++i) {
     std::string canonical;
     SearchResult result;
     if (!GetString(in, canonical) || !GetResult(in, result)) return false;
-    cache.emplace(std::move(canonical), std::move(result));
+    cache.emplace_back(std::move(canonical), std::move(result));
   }
 
   engine.returned_before_.ClearAll();
@@ -187,7 +193,11 @@ bool LoadDefenseState(AsArbiEngine& engine, std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kArbiMagic, 4) != 0) return false;
-  if (!LoadDefenseState(engine.simple_, in)) return false;
+  // Stage the inner AS-SIMPLE section in a scratch engine: a snapshot whose
+  // history or cache section is corrupt must leave the real engine fully
+  // unchanged, including its inner AS-SIMPLE state.
+  AsSimpleEngine staged(*engine.base_, engine.config_.simple);
+  if (!LoadDefenseState(staged, in)) return false;
 
   const Vocabulary& vocabulary =
       engine.base_->index().corpus().vocabulary();
@@ -209,16 +219,25 @@ bool LoadDefenseState(AsArbiEngine& engine, std::istream& in) {
                    std::move(answer));
   }
 
-  std::unordered_map<std::string, SearchResult> cache;
+  std::vector<std::pair<std::string, SearchResult>> cache;
   uint64_t cache_size = 0;
   if (!GetU64(in, cache_size)) return false;
   for (uint64_t i = 0; i < cache_size; ++i) {
     std::string canonical;
     SearchResult result;
     if (!GetString(in, canonical) || !GetResult(in, result)) return false;
-    cache.emplace(std::move(canonical), std::move(result));
+    cache.emplace_back(std::move(canonical), std::move(result));
   }
 
+  // Everything parsed: commit. The staged AS-SIMPLE state replays into the
+  // real inner engine through its own saver/loader (same fingerprint by
+  // construction, so this round trip cannot fail); committing it first
+  // keeps the engine consistent even if it somehow did.
+  std::stringstream simple_bytes;
+  if (!SaveDefenseState(staged, simple_bytes) ||
+      !LoadDefenseState(engine.simple_, simple_bytes)) {
+    return false;
+  }
   engine.history_ = std::move(history);
   engine.history_queries_.store(engine.history_.NumQueries(),
                                 std::memory_order_release);

@@ -1,0 +1,111 @@
+#ifndef ASUP_UTIL_CHECK_H_
+#define ASUP_UTIL_CHECK_H_
+
+/// Paper-invariant contract layer.
+///
+/// The suppression guarantees rest on invariants the type system cannot
+/// express: answers trimmed to min(|M(q)|/μ, k), Θ_R growing monotonically,
+/// virtual answers being valid covers drawn only from already-disclosed
+/// documents. One silent violation re-opens the degree side channel the
+/// whole defense exists to close, so the decision points assert them with
+/// the macros below instead of hoping.
+///
+/// Gating:
+///   * Debug builds (NDEBUG undefined): contracts are always compiled in.
+///   * Release-family builds: opt in with -DASUP_ENABLE_CONTRACTS=ON at
+///     CMake configure time (CI runs a dedicated `contracts` job).
+///   * Otherwise every macro compiles to nothing; the condition is type
+///     checked but never evaluated, so hot paths pay zero cost.
+///
+/// `ASUP_CHECK*` guards the cheap O(1) invariants; `ASUP_DCHECK*` marks
+/// checks that scan an answer or match set (O(k)–O(γk)). Both currently
+/// follow the same gate — the two names exist so the gates can diverge
+/// without touching call sites. A failed contract prints the expression,
+/// the operand values (for the comparison forms) and the source location to
+/// stderr, then aborts.
+
+#if !defined(NDEBUG) || defined(ASUP_ENABLE_CONTRACTS)
+#define ASUP_CONTRACTS_ENABLED 1
+#else
+#define ASUP_CONTRACTS_ENABLED 0
+#endif
+
+#if ASUP_CONTRACTS_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace asup {
+namespace contract_internal {
+
+[[noreturn]] inline void Fail(const char* file, int line, const char* expr,
+                              const std::string& values) {
+  std::fprintf(stderr, "ASUP_CHECK failed: %s%s at %s:%d\n", expr,
+               values.c_str(), file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+template <typename A, typename B>
+[[noreturn]] void FailOp(const char* file, int line, const char* expr,
+                         const A& a, const B& b) {
+  std::ostringstream values;
+  values << " (" << a << " vs. " << b << ")";
+  Fail(file, line, expr, values.str());
+}
+
+}  // namespace contract_internal
+}  // namespace asup
+
+#define ASUP_CHECK(cond)                                              \
+  ((cond) ? (void)0                                                   \
+          : ::asup::contract_internal::Fail(__FILE__, __LINE__, #cond, \
+                                            std::string()))
+
+#define ASUP_CHECK_OP_(op, a, b)                                       \
+  do {                                                                 \
+    const auto& asup_check_a_ = (a);                                   \
+    const auto& asup_check_b_ = (b);                                   \
+    if (!(asup_check_a_ op asup_check_b_)) {                           \
+      ::asup::contract_internal::FailOp(__FILE__, __LINE__,            \
+                                        #a " " #op " " #b,             \
+                                        asup_check_a_, asup_check_b_); \
+    }                                                                  \
+  } while (0)
+
+#define ASUP_CHECK_EQ(a, b) ASUP_CHECK_OP_(==, a, b)
+#define ASUP_CHECK_LE(a, b) ASUP_CHECK_OP_(<=, a, b)
+#define ASUP_CHECK_LT(a, b) ASUP_CHECK_OP_(<, a, b)
+
+#define ASUP_DCHECK(cond) ASUP_CHECK(cond)
+#define ASUP_DCHECK_EQ(a, b) ASUP_CHECK_EQ(a, b)
+#define ASUP_DCHECK_LE(a, b) ASUP_CHECK_LE(a, b)
+#define ASUP_DCHECK_LT(a, b) ASUP_CHECK_LT(a, b)
+
+/// Compiles its argument only when contracts are enabled — for bookkeeping
+/// (snapshots of pre-state, validation loops) that exists solely to feed a
+/// check.
+#define ASUP_CONTRACTS_ONLY(...) __VA_ARGS__
+
+#else  // !ASUP_CONTRACTS_ENABLED
+
+// Disabled: conditions stay type checked (the dead branch is folded away)
+// but are never evaluated, and operands used only in checks do not trigger
+// -Wunused warnings.
+#define ASUP_CHECK(cond) (true ? (void)0 : ((void)(cond)))
+#define ASUP_CHECK_EQ(a, b) (true ? (void)0 : ((void)((a) == (b))))
+#define ASUP_CHECK_LE(a, b) (true ? (void)0 : ((void)((a) <= (b))))
+#define ASUP_CHECK_LT(a, b) (true ? (void)0 : ((void)((a) < (b))))
+
+#define ASUP_DCHECK(cond) ASUP_CHECK(cond)
+#define ASUP_DCHECK_EQ(a, b) ASUP_CHECK_EQ(a, b)
+#define ASUP_DCHECK_LE(a, b) ASUP_CHECK_LE(a, b)
+#define ASUP_DCHECK_LT(a, b) ASUP_CHECK_LT(a, b)
+
+#define ASUP_CONTRACTS_ONLY(...)
+
+#endif  // ASUP_CONTRACTS_ENABLED
+
+#endif  // ASUP_UTIL_CHECK_H_

@@ -128,7 +128,7 @@ TEST(EdgeCasesDeathTest, CorpusUnknownIdAborts) {
 TEST(EdgeCasesTest, StopwatchMeasuresForwardTime) {
   Stopwatch watch;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   EXPECT_GT(watch.ElapsedNanos(), 0);
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
   const int64_t first = watch.ElapsedNanos();

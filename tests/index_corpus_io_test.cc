@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -17,6 +19,32 @@ using testing_util::Rig;
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+// Byte-level builders mirroring the on-disk format, for crafting corrupt
+// files the saver itself can never produce.
+void AppendVar(uint32_t value, std::string& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::string CorpusFileHeader(const std::vector<std::string>& words) {
+  std::string bytes = "ASUP";
+  bytes += std::string("\x01\x00\x00\x00", 4);  // version 1, little-endian
+  AppendVar(static_cast<uint32_t>(words.size()), bytes);
+  for (const std::string& word : words) {
+    AppendVar(static_cast<uint32_t>(word.size()), bytes);
+    bytes += word;
+  }
+  return bytes;
+}
+
+std::optional<Corpus> LoadFromBytes(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return LoadCorpus(in);
 }
 
 TEST(CorpusIoTest, RoundTripsDocumentsAndVocabulary) {
@@ -108,6 +136,85 @@ TEST(CorpusIoTest, EmptyCorpusRoundTrips) {
 TEST(CorpusIoTest, SaveToUnwritablePathFails) {
   Rig rig = MakeRig(50, 5);
   EXPECT_FALSE(SaveCorpus(*rig.corpus, "/nonexistent_dir/x/y.asup"));
+}
+
+TEST(CorpusIoTest, StreamAndPathOverloadsProduceIdenticalBytes) {
+  Rig rig = MakeRig(60, 5);
+  std::ostringstream stream_out;
+  ASSERT_TRUE(SaveCorpus(*rig.corpus, stream_out));
+  const std::string path = TempPath("stream_vs_path.asup");
+  ASSERT_TRUE(SaveCorpus(*rig.corpus, path));
+  std::ifstream in(path, std::ios::binary);
+  const std::string file_bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+  EXPECT_EQ(stream_out.str(), file_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, RejectsDuplicateDocumentIds) {
+  // Corpus keeps an id -> document map; two documents with one id would
+  // corrupt Get()/Contains(). The saver cannot produce this, so craft it.
+  std::string bytes = CorpusFileHeader({"alpha", "beta"});
+  AppendVar(2, bytes);  // document count
+  for (int copy = 0; copy < 2; ++copy) {
+    AppendVar(7, bytes);  // id — identical both times
+    AppendVar(3, bytes);  // token length
+    AppendVar(1, bytes);  // distinct terms
+    AppendVar(0, bytes);  // delta -> term 0
+    AppendVar(3, bytes);  // frequency
+  }
+  EXPECT_FALSE(LoadFromBytes(bytes).has_value());
+}
+
+TEST(CorpusIoTest, RejectsNonAscendingTerms) {
+  // A zero delta after the first term repeats a term id, breaking the
+  // sorted-unique invariant Document's binary search relies on.
+  std::string bytes = CorpusFileHeader({"alpha", "beta"});
+  AppendVar(1, bytes);
+  AppendVar(1, bytes);  // id
+  AppendVar(4, bytes);  // token length
+  AppendVar(2, bytes);  // distinct terms
+  AppendVar(1, bytes);  // delta -> term 1
+  AppendVar(2, bytes);  // frequency
+  AppendVar(0, bytes);  // delta 0 -> term 1 again
+  AppendVar(2, bytes);  // frequency
+  EXPECT_FALSE(LoadFromBytes(bytes).has_value());
+}
+
+TEST(CorpusIoTest, RejectsZeroFrequency) {
+  std::string bytes = CorpusFileHeader({"alpha"});
+  AppendVar(1, bytes);
+  AppendVar(1, bytes);  // id
+  AppendVar(1, bytes);  // token length
+  AppendVar(1, bytes);  // distinct terms
+  AppendVar(0, bytes);  // delta -> term 0
+  AppendVar(0, bytes);  // frequency 0: invalid
+  EXPECT_FALSE(LoadFromBytes(bytes).has_value());
+}
+
+TEST(CorpusIoTest, RejectsTermBeyondVocabulary) {
+  std::string bytes = CorpusFileHeader({"alpha"});
+  AppendVar(1, bytes);
+  AppendVar(1, bytes);  // id
+  AppendVar(1, bytes);  // token length
+  AppendVar(1, bytes);  // distinct terms
+  AppendVar(1, bytes);  // delta -> term 1, but |vocab| == 1
+  AppendVar(1, bytes);  // frequency
+  EXPECT_FALSE(LoadFromBytes(bytes).has_value());
+}
+
+TEST(CorpusIoTest, RejectsHugeClaimedDocCountWithoutPayload) {
+  // A header claiming 2^28 documents followed by nothing must fail fast —
+  // and must not reserve gigabytes up front on the claim alone.
+  std::string bytes = CorpusFileHeader({"alpha"});
+  AppendVar(1u << 28, bytes);
+  EXPECT_FALSE(LoadFromBytes(bytes).has_value());
+}
+
+TEST(CorpusIoTest, RejectsDuplicateVocabularyWords) {
+  std::string bytes = CorpusFileHeader({"alpha", "alpha"});
+  AppendVar(0, bytes);  // document count
+  EXPECT_FALSE(LoadFromBytes(bytes).has_value());
 }
 
 }  // namespace

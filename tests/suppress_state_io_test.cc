@@ -165,5 +165,71 @@ TEST(StateIoTest, ArbiRejectsTruncatedSnapshot) {
   EXPECT_FALSE(LoadDefenseState(restarted, truncated));
 }
 
+TEST(StateIoTest, SimpleFailedLoadLeavesWarmEngineUnchanged) {
+  // "Unchanged on failure" must hold for an engine that already has state,
+  // not just a fresh one: a deployment retries a corrupt snapshot without
+  // losing the state it is running on.
+  Rig rig = MakeRig(520, 5);
+  AsSimpleEngine engine(*rig.engine, AsSimpleConfig{});
+  std::vector<SearchResult> answers;
+  for (const auto& q : WarmupQueries(rig)) answers.push_back(engine.Search(q));
+  const size_t activated = engine.NumActivatedDocs();
+
+  std::stringstream garbage("ASS1 but then nothing sensible follows here");
+  EXPECT_FALSE(LoadDefenseState(engine, garbage));
+  EXPECT_EQ(engine.NumActivatedDocs(), activated);
+  const auto queries = WarmupQueries(rig);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(SameAnswers(engine.Search(queries[i]), answers[i])) << i;
+  }
+}
+
+TEST(StateIoTest, ArbiTailCorruptionLeavesEngineFullyUnchanged) {
+  // The AS-ARBI snapshot nests the AS-SIMPLE section first; a snapshot
+  // whose *history/cache tail* is corrupt must not half-commit the inner
+  // AS-SIMPLE state (the loader stages it before committing anything).
+  Rig rig = MakeTopicalRig(520, 50);
+  AsArbiEngine original(*rig.engine, AsArbiConfig{});
+  original.Search(rig.Q("sports game"));
+  original.Search(rig.Q("sports team"));
+  std::stringstream snapshot;
+  ASSERT_TRUE(SaveDefenseState(original, snapshot));
+  const std::string bytes = snapshot.str();
+  ASSERT_GT(original.simple_engine().NumActivatedDocs(), 0u);
+
+  // Dropping the final byte corrupts the trailing cache section only; the
+  // nested AS-SIMPLE section still parses cleanly.
+  std::stringstream tail_corrupt(bytes.substr(0, bytes.size() - 1));
+  AsArbiEngine restarted(*rig.engine, AsArbiConfig{});
+  EXPECT_FALSE(LoadDefenseState(restarted, tail_corrupt));
+  EXPECT_EQ(restarted.history().NumQueries(), 0u);
+  EXPECT_EQ(restarted.simple_engine().NumActivatedDocs(), 0u);
+}
+
+TEST(StateIoTest, SimpleRejectsUnknownDocumentId) {
+  // Θ_R entries are universe document ids; an id outside the corpus cannot
+  // be mapped to a local bitmap slot and must be rejected, not aborted on.
+  Rig rig = MakeRig(300, 5);
+  AsSimpleEngine original(*rig.engine, AsSimpleConfig{});
+  original.Search(rig.Q("sports"));
+  std::stringstream snapshot;
+  ASSERT_TRUE(SaveDefenseState(original, snapshot));
+  std::string bytes = snapshot.str();
+
+  // Layout: magic(4) + corpus_size(8) + gamma(8) + key(8) + count(8) +
+  // first universe doc id (8 bytes, little-endian). Overwrite that id with
+  // one no universe document uses.
+  ASSERT_GT(original.NumActivatedDocs(), 0u);
+  const size_t id_offset = 4 + 8 + 8 + 8 + 8;
+  ASSERT_GE(bytes.size(), id_offset + 8);
+  for (size_t i = 0; i < 8; ++i) {
+    bytes[id_offset + i] = static_cast<char>(0xff);
+  }
+  std::stringstream corrupt(bytes);
+  AsSimpleEngine restarted(*rig.engine, AsSimpleConfig{});
+  EXPECT_FALSE(LoadDefenseState(restarted, corrupt));
+  EXPECT_EQ(restarted.NumActivatedDocs(), 0u);
+}
+
 }  // namespace
 }  // namespace asup

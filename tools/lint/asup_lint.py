@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""asup_lint: determinism & locking lint for the asup sources.
+
+The defense's core guarantee (paper Section 2.1) is that re-issuing a query
+returns a bitwise-identical answer; nondeterministic answers are themselves
+a side channel. This lint rejects the constructs that historically break
+that guarantee, plus the lock-discipline convention of the threading layer.
+
+Rules (all scoped to src/ unless noted):
+
+  asup-banned-random       rand()/srand() and std::random_device: all
+                           randomness must flow through the seeded asup::Rng
+                           or the keyed DeterministicCoin.
+  asup-banned-time         time()/clock()/gettimeofday(): wall-clock reads
+                           in library logic break replay (timing belongs in
+                           util/stopwatch via <chrono>).
+  asup-unordered-iteration deterministic paths only (src/asup/suppress/,
+                           src/asup/engine/): iterating a std::unordered_map
+                           or std::unordered_set observes hash-table order,
+                           which varies across platforms/libstdc++ versions.
+                           Canonicalize (sort) or use an ordered container.
+  asup-manual-lock         .lock()/.unlock() calls: RAII guards only
+                           (lock_guard/unique_lock/shared_lock/scoped_lock).
+  asup-locked-suffix       a function named *Locked asserts "caller holds
+                           the mutex" — it must not construct a lock guard
+                           itself (deadlock with a non-recursive mutex, or
+                           double-think about which lock protects what).
+
+Suppressing a finding requires an inline justification on the same line or
+on the preceding line:
+
+    // NOLINT(asup-unordered-iteration): order canonicalized by sort below
+    // NOLINTNEXTLINE(asup-banned-time): example code, not library logic
+
+A NOLINT for an asup-* rule without a ': reason' is itself an error.
+
+Exit status: 0 when clean, 1 with findings, 2 on usage errors.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+DETERMINISTIC_SUBDIRS = ("asup/suppress", "asup/engine")
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)\s*[;={(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*([^)]*)\)")
+LOCK_GUARD_RE = re.compile(
+    r"\bstd::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+)
+LOCKED_DEF_RE = re.compile(
+    r"^\s*(?:[\w:<>,*&~\[\]]+\s+)+(?:\w+::)?(\w*Locked)\s*\(")
+NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE)?\(([^)]*)\)(:?)\s*(.*)")
+
+BANNED_PATTERNS = (
+    ("asup-banned-random", re.compile(r"(?<![\w:.])s?rand\s*\("),
+     "rand()/srand() is nondeterministic across platforms; use asup::Rng"),
+    ("asup-banned-random", re.compile(r"\bstd::random_device\b"),
+     "std::random_device defeats seeded replay; use asup::Rng / Fork()"),
+    ("asup-banned-time", re.compile(r"(?<![\w:.\"])(?:std::)?time\s*\("),
+     "wall-clock time() breaks deterministic replay; use util/stopwatch"),
+    ("asup-banned-time", re.compile(r"(?<![\w:.\"])(?:std::)?clock\s*\("),
+     "clock() breaks deterministic replay; use util/stopwatch"),
+    ("asup-banned-time", re.compile(r"\bgettimeofday\s*\("),
+     "gettimeofday() breaks deterministic replay; use util/stopwatch"),
+    ("asup-manual-lock", re.compile(r"\.\s*(?:lock|unlock)\s*\(\s*\)"),
+     "manual lock()/unlock(); use an RAII guard"),
+)
+
+
+def strip_code_noise(line):
+    """Removes string/char literals and // comments so prose never matches."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            out.append(quote)
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, path, lineno, rule, message):
+        self.items.append((path, lineno, rule, message))
+
+
+def nolint_rules(raw_line, lineno, path, findings):
+    """Returns the set of rules suppressed by a NOLINT comment on raw_line.
+
+    An asup-* NOLINT without a reason is reported as its own finding.
+    """
+    match = NOLINT_RE.search(raw_line)
+    if not match:
+        return frozenset()
+    rules = {r.strip() for r in match.group(1).split(",")}
+    asup_rules = {r for r in rules if r.startswith("asup-")}
+    if asup_rules and (match.group(2) != ":" or not match.group(3).strip()):
+        findings.add(path, lineno, "asup-nolint-reason",
+                     "NOLINT of an asup-* rule requires ': <reason>'")
+    return frozenset(rules)
+
+
+def collect_unordered_names(text):
+    return set(UNORDERED_DECL_RE.findall(text))
+
+
+def paired_header_text(path):
+    if path.suffix == ".cc":
+        header = path.with_suffix(".h")
+        if header.exists():
+            return header.read_text(encoding="utf-8")
+    return ""
+
+
+def check_locked_suffix(clean_lines, suppressed, path, findings):
+    """*Locked functions must not construct lock guards in their own body."""
+    for idx, line in enumerate(clean_lines):
+        match = LOCKED_DEF_RE.search(line.rstrip())
+        if not match:
+            continue
+        # A definition reaches '{' before ';'; declarations and call
+        # statements hit ';' first and are skipped.
+        is_definition = False
+        for j in range(idx, min(idx + 20, len(clean_lines))):
+            brace = clean_lines[j].find("{")
+            semi = clean_lines[j].find(";")
+            if brace != -1 and (semi == -1 or brace < semi):
+                is_definition = True
+            if brace != -1 or semi != -1:
+                break
+        if not is_definition:
+            continue
+        # Walk to the opening brace, then scan the brace-balanced body.
+        depth = 0
+        opened = False
+        for j in range(idx, min(idx + 400, len(clean_lines))):
+            body_line = clean_lines[j]
+            if opened and LOCK_GUARD_RE.search(body_line) and \
+                    "asup-locked-suffix" not in suppressed.get(j + 1, ()):
+                findings.add(
+                    path, j + 1, "asup-locked-suffix",
+                    f"{match.group(1)}() claims the caller holds the lock "
+                    "but constructs a lock guard itself")
+            depth += body_line.count("{") - body_line.count("}")
+            if "{" in body_line:
+                opened = True
+            if opened and depth <= 0:
+                break
+
+
+def lint_file(path, rel, findings):
+    text = path.read_text(encoding="utf-8")
+    raw_lines = text.splitlines()
+    clean_lines = [strip_code_noise(l) for l in raw_lines]
+
+    suppressed = {}
+    for lineno, raw in enumerate(raw_lines, 1):
+        rules = nolint_rules(raw, lineno, rel, findings)
+        if not rules:
+            continue
+        target = lineno + 1 if "NOLINTNEXTLINE" in raw else lineno
+        suppressed.setdefault(target, set()).update(rules)
+
+    def is_suppressed(lineno, rule):
+        rules = suppressed.get(lineno, ())
+        return rule in rules or "*" in rules
+
+    for lineno, line in enumerate(clean_lines, 1):
+        for rule, pattern, message in BANNED_PATTERNS:
+            if pattern.search(line) and not is_suppressed(lineno, rule):
+                findings.add(rel, lineno, rule, message)
+
+    deterministic = any(d in rel.replace("\\", "/")
+                        for d in DETERMINISTIC_SUBDIRS)
+    if deterministic:
+        names = collect_unordered_names(text)
+        names |= collect_unordered_names(paired_header_text(path))
+        if names:
+            name_re = re.compile(
+                r"\b(?:" + "|".join(re.escape(n) for n in sorted(names)) +
+                r")\b")
+            for lineno, line in enumerate(clean_lines, 1):
+                match = RANGE_FOR_RE.search(line)
+                if match and name_re.search(match.group(1)) and \
+                        not is_suppressed(lineno, "asup-unordered-iteration"):
+                    findings.add(
+                        rel, lineno, "asup-unordered-iteration",
+                        "iteration over an unordered container in a "
+                        "deterministic path; canonicalize the order")
+        check_locked_suffix(clean_lines, suppressed, rel, findings)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    if args.paths:
+        files = [Path(p).resolve() for p in args.paths]
+    else:
+        src = root / "src"
+        if not src.is_dir():
+            print(f"asup_lint: no src/ under {root}", file=sys.stderr)
+            return 2
+        files = sorted(p for suffix in ("*.cc", "*.h")
+                       for p in src.rglob(suffix))
+
+    findings = Findings()
+    for path in files:
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        lint_file(path, rel, findings)
+
+    for path, lineno, rule, message in sorted(findings.items):
+        print(f"{path}:{lineno}: [{rule}] {message}")
+    if findings.items:
+        print(f"asup_lint: {len(findings.items)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"asup_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
