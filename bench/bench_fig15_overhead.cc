@@ -8,11 +8,21 @@
 // cache disabled, and a parallel-mode table: batch throughput of the
 // plain and defended engines at 1/2/4/8 workers (free-running concurrent
 // mode and the deterministic prefetch+serial-commit mode).
+//
+// With metrics compiled in, the defended runs execute under a query trace
+// and the bench additionally prints fig15c — per-stage latency percentiles
+// (match/hide/trim/cover/...) from RunReport — and accepts
+//   --trace-out=FILE    dump the most recent query traces as JSONL
+//   --report-out=FILE   dump the RunReport JSON summary (BENCH sidecar)
 
+#include <fstream>
 #include <functional>
 #include <span>
+#include <string>
 
 #include "asup/engine/parallel_service.h"
+#include "asup/obs/run_report.h"
+#include "asup/obs/trace.h"
 #include "asup/util/stopwatch.h"
 #include "asup/util/thread_pool.h"
 #include "bench_common.h"
@@ -39,7 +49,12 @@ std::vector<double> RatioSeries(const Corpus& corpus,
   size_t next = 0;
   for (size_t i = 0; i < log.size(); ++i) {
     plain_timer.Search(log[i]);
-    defended_timer.Search(log[i]);
+    {
+      // Trace the defended pipeline only; inert when no sink is installed.
+      ASUP_METRICS_ONLY(const obs::ScopedQueryTrace traced(
+          log[i].canonical());)
+      defended_timer.Search(log[i]);
+    }
     if (next < checkpoints.size() && i + 1 == checkpoints[next]) {
       ratios.push_back(defended_timer.MeanNanos() /
                        std::max(plain_timer.MeanNanos(), 1.0));
@@ -104,7 +119,31 @@ void PrintParallelMode(const Corpus& corpus,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::string report_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg.rfind("--report-out=", 0) == 0) {
+      report_out = arg.substr(std::string("--report-out=").size());
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig15_overhead [--trace-out=FILE] "
+                   "[--report-out=FILE]\n");
+      return 2;
+    }
+  }
+#if !ASUP_METRICS_ENABLED
+  if (!trace_out.empty() || !report_out.empty()) {
+    std::fprintf(stderr,
+                 "--trace-out/--report-out require an ASUP_METRICS=ON "
+                 "build\n");
+    return 2;
+  }
+#endif
+
   const FamilyParams params = Gamma2Family();
   const auto env = MakeEnv(params);
   const Corpus corpus = env->SampleCorpus(params.corpus_sizes.back(), 4);
@@ -119,6 +158,14 @@ int main() {
   for (uint64_t c = log_size / 10; c <= log_size; c += log_size / 10) {
     checkpoints.push_back(c);
   }
+
+#if ASUP_METRICS_ENABLED
+  // Keep only the most recent traces; the corpus/workload build above is
+  // excluded from the per-stage report by resetting the registry here.
+  obs::TraceRingSink trace_sink(1024);
+  obs::InstallTraceSink(&trace_sink);
+  ResetRunMetrics();
+#endif
 
   const auto with_cache =
       RatioSeries(corpus, workload.log(), params.k, true, checkpoints);
@@ -137,5 +184,29 @@ int main() {
               table);
 
   PrintParallelMode(corpus, workload.log(), params.k);
+
+  PrintRunReport("fig15c: per-stage latency percentiles (ns)");
+#if ASUP_METRICS_ENABLED
+  obs::InstallTraceSink(nullptr);
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    trace_sink.WriteJsonl(out);
+    std::fprintf(stderr, "wrote %zu traces to %s\n",
+                 trace_sink.Snapshot().size(), trace_out.c_str());
+  }
+  if (!report_out.empty()) {
+    std::ofstream out(report_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", report_out.c_str());
+      return 1;
+    }
+    out << obs::RunReport::Collect().Json() << "\n";
+    std::fprintf(stderr, "wrote run report to %s\n", report_out.c_str());
+  }
+#endif
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "asup/engine/parallel_service.h"
 #include "asup/engine/search_engine.h"
 #include "asup/index/inverted_index.h"
+#include "asup/obs/trace.h"
 #include "asup/suppress/as_arbi.h"
 #include "asup/suppress/as_simple.h"
 #include "asup/text/synthetic_corpus.h"
@@ -217,6 +218,59 @@ void BM_ConjunctiveMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConjunctiveMatch);
+
+#if ASUP_METRICS_ENABLED
+
+// Cost of the obs primitives themselves. The engine benchmarks above run
+// with the instrumentation compiled in either way; these isolate the
+// per-call price the <2% overhead budget (DESIGN.md §11) is made of.
+
+void BM_MetricCounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    ASUP_METRIC_COUNT("asup_bench_counter_total", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricCounterAdd);
+
+void BM_MetricHistogramObserve(benchmark::State& state) {
+  int64_t v = 1;
+  for (auto _ : state) {
+    ASUP_METRIC_OBSERVE_NANOS("asup_bench_latency_ns", v);
+    v = (v * 17) & 0xFFFFF;  // walk the bucket ladder
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricHistogramObserve);
+
+// A stage scope with no active trace: one steady_clock read at open, one
+// at close, plus the stage-histogram observe. This is the hot-path cost
+// every ASUP_TRACE_STAGE site pays per query.
+void BM_TraceStageScopeUntraced(benchmark::State& state) {
+  for (auto _ : state) {
+    ASUP_TRACE_STAGE(obs::Stage::kMatch);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceStageScopeUntraced);
+
+// One fully traced query: open a trace, record one stage span, publish to
+// the ring sink. This is the extra per-query price of a --trace-out run.
+void BM_TraceStageScopeTraced(benchmark::State& state) {
+  obs::TraceRingSink sink(16);
+  obs::InstallTraceSink(&sink);
+  for (auto _ : state) {
+    obs::ScopedQueryTrace traced("bench");
+    ASUP_TRACE_STAGE(obs::Stage::kMatch);
+    benchmark::ClobberMemory();
+  }
+  obs::InstallTraceSink(nullptr);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceStageScopeTraced);
+
+#endif  // ASUP_METRICS_ENABLED
 
 }  // namespace
 }  // namespace asup

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "asup/obs/metrics.h"
+
 namespace asup {
 
 DocFetcher FetchFrom(const Corpus& corpus) {
@@ -15,6 +17,7 @@ double EstimateQueryContribution(SearchService& service, const QueryPool& pool,
                                  const DocFetcher& fetcher, Rng& rng,
                                  size_t pool_index, uint64_t query_budget,
                                  double max_trial_factor, uint64_t& issued) {
+  const uint64_t issued_before = issued;
   const SearchResult result = service.Search(pool.QueryAt(pool_index));
   ++issued;
   double contribution = 0.0;
@@ -24,6 +27,9 @@ double EstimateQueryContribution(SearchService& service, const QueryPool& pool,
     if (measure == 0.0) continue;  // outside the selection condition
     const std::vector<uint32_t> matching = pool.MatchingQueries(doc);
     if (matching.empty()) continue;
+    // Pool coverage: how many pool queries could have returned this
+    // document (the deg(X) denominator of the edge weight).
+    ASUP_METRIC_OBSERVE_SIZE("asup_attack_doc_pool_degree", matching.size());
 
     // Second-round sampling for the edge weight 1/deg_ret(X).
     const uint64_t cap =
@@ -38,10 +44,12 @@ double EstimateQueryContribution(SearchService& service, const QueryPool& pool,
       ++issued;
       if (probe_result.Returned(scored.doc)) break;
     }
+    ASUP_METRIC_OBSERVE_SIZE("asup_attack_probe_trials", trials);
     contribution +=
         (static_cast<double>(trials) / static_cast<double>(matching.size())) *
         measure;
   }
+  ASUP_METRIC_COUNT("asup_attack_queries_issued_total", issued - issued_before);
   return contribution;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "asup/obs/metrics.h"
+
 namespace asup {
 
 StratifiedEstimator::StratifiedEstimator(const QueryPool& pool,
@@ -94,6 +96,16 @@ std::vector<EstimationPoint> StratifiedEstimator::Run(SearchService& service,
   }
 
   points.push_back({issued, CurrentEstimate(per_stratum)});
+  // Variance inputs of the Neyman allocation: the widest per-stratum spread
+  // dominates the allocation error.
+  double max_sigma = 0.0;
+  for (const StreamingStats& stats : per_stratum) {
+    max_sigma = std::max(max_sigma, stats.StdDev());
+  }
+  ASUP_METRIC_GAUGE_SET("asup_attack_stratified_strata", strata_.size());
+  ASUP_METRIC_GAUGE_SET("asup_attack_stratified_max_stddev", max_sigma);
+  ASUP_METRIC_GAUGE_SET("asup_attack_stratified_estimate",
+                        CurrentEstimate(per_stratum));
   return points;
 }
 

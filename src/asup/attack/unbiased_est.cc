@@ -1,5 +1,7 @@
 #include "asup/attack/unbiased_est.h"
 
+#include "asup/obs/metrics.h"
+
 namespace asup {
 
 UnbiasedEstimator::UnbiasedEstimator(const QueryPool& pool,
@@ -37,6 +39,10 @@ std::vector<EstimationPoint> UnbiasedEstimator::Run(SearchService& service,
     }
   }
   points.push_back({issued, per_query_.Mean()});
+  // Variance inputs of the final estimate (paper §4.1's error analysis).
+  ASUP_METRIC_GAUGE_SET("asup_attack_unbiased_samples", per_query_.count());
+  ASUP_METRIC_GAUGE_SET("asup_attack_unbiased_mean", per_query_.Mean());
+  ASUP_METRIC_GAUGE_SET("asup_attack_unbiased_stddev", per_query_.StdDev());
   return points;
 }
 

@@ -1,20 +1,36 @@
 #include "asup/engine/answer_cache.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "asup/obs/trace.h"
 #include "asup/util/check.h"
 
 namespace asup {
 
 AnswerCache::Claim AnswerCache::LookupOrClaim(const std::string& key,
                                               SearchResult* out) {
+#if ASUP_METRICS_ENABLED
+  // A cache hit is the sub-µs fast path; the stage span's two clock reads
+  // would be its dominant cost, so span it only for actively traced
+  // queries. The counters below stay on (one relaxed add each).
+  std::optional<obs::ScopedStageTimer> span;
+  if (obs::ActiveTrace() != nullptr) {
+    span.emplace(obs::Stage::kCacheLookup);
+  }
+#endif
   const size_t shard_index = ShardIndexOf(key);
   Shard& shard = shards_[shard_index];
   std::unique_lock<std::mutex> lock(mutexes_.MutexAt(shard_index));
   for (;;) {
     auto [it, inserted] = shard.map.try_emplace(key);
-    if (inserted) return Claim::kOwned;
+    if (inserted) {
+      ASUP_METRIC_COUNT("asup_engine_cache_claims_total", 1);
+      return Claim::kOwned;
+    }
     if (it->second.ready) {
+      ASUP_METRIC_COUNT("asup_engine_cache_hits_total", 1);
+      ASUP_METRICS_ONLY(if (span) { ASUP_TRACE_NOTE("cache_hit", 1); })
       *out = it->second.result;
       return Claim::kHit;
     }
@@ -40,6 +56,7 @@ void AnswerCache::Publish(const std::string& key, const SearchResult& result) {
     entry.result = result;
     entry.ready = true;
   }
+  ASUP_METRIC_COUNT("asup_engine_cache_publishes_total", 1);
   shard.ready_cv.notify_all();
 }
 
@@ -54,6 +71,7 @@ void AnswerCache::Abandon(const std::string& key) {
     ASUP_CHECK(it == shard.map.end() || !it->second.ready);
     if (it != shard.map.end() && !it->second.ready) shard.map.erase(it);
   }
+  ASUP_METRIC_COUNT("asup_engine_cache_abandons_total", 1);
   shard.ready_cv.notify_all();
 }
 

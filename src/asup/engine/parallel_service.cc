@@ -1,9 +1,11 @@
 #include "asup/engine/parallel_service.h"
 
+#include <atomic>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
 
+#include "asup/obs/trace.h"
 #include "asup/util/check.h"
 
 namespace asup {
@@ -35,30 +37,47 @@ std::vector<SearchResult> BatchExecutor::ExecuteDeterministic(
   }
 
   // Phase 1 (parallel, read-only): match every distinct uncached query
-  // against the immutable index.
+  // against the immutable index. A query skipped because its answer is
+  // already cached is a prefetch hit — the batch pays nothing for it.
   std::vector<std::optional<QueryPrefetch>> prefetches(unique_queries.size());
-  pool_->ParallelFor(unique_queries.size(), [&](size_t begin, size_t end) {
-    for (size_t j = begin; j < end; ++j) {
-      if (!service.HasCachedAnswer(*unique_queries[j])) {
-        prefetches[j] = service.PrefetchMatches(*unique_queries[j]);
+  std::atomic<size_t> prefetch_hits{0};
+  {
+    ASUP_TRACE_STAGE(obs::Stage::kPrefetch);
+    pool_->ParallelFor(unique_queries.size(), [&](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        if (!service.HasCachedAnswer(*unique_queries[j])) {
+          prefetches[j] = service.PrefetchMatches(*unique_queries[j]);
+        } else {
+          prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+        }
       }
-    }
-  });
+    });
+  }
+  ASUP_METRIC_GAUGE_SET("asup_engine_batch_unique_queries",
+                        unique_queries.size());
+  ASUP_METRIC_GAUGE_SET("asup_engine_batch_prefetch_hits",
+                        prefetch_hits.load(std::memory_order_relaxed));
+  ASUP_METRIC_GAUGE_SET("asup_engine_pool_queue_depth", pool_->QueueDepth());
+  ASUP_METRIC_GAUGE_SET("asup_engine_pool_tasks_executed",
+                        pool_->TasksExecuted());
 
   // Phase 2 (serial, in input order): run the stateful suppression phase.
   // State evolves exactly as in a serial loop, so answers are bitwise
   // identical to serial execution.
   std::vector<SearchResult> results(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    ASUP_CHECK_LT(slots[i], prefetches.size());
-    const std::optional<QueryPrefetch>& prefetch = prefetches[slots[i]];
-    // Bitwise-replay precondition: a query skipped by the prefetch phase
-    // was answer-cached then, and cache entries are never evicted, so its
-    // commit must be a pure cache hit — otherwise Search would re-run the
-    // match phase against suppression state the serial replay never saw.
-    ASUP_CHECK(prefetch.has_value() || service.HasCachedAnswer(queries[i]));
-    results[i] = prefetch ? service.SearchPrefetched(queries[i], *prefetch)
-                          : service.Search(queries[i]);
+  {
+    ASUP_TRACE_STAGE(obs::Stage::kCommit);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASUP_CHECK_LT(slots[i], prefetches.size());
+      const std::optional<QueryPrefetch>& prefetch = prefetches[slots[i]];
+      // Bitwise-replay precondition: a query skipped by the prefetch phase
+      // was answer-cached then, and cache entries are never evicted, so its
+      // commit must be a pure cache hit — otherwise Search would re-run the
+      // match phase against suppression state the serial replay never saw.
+      ASUP_CHECK(prefetch.has_value() || service.HasCachedAnswer(queries[i]));
+      results[i] = prefetch ? service.SearchPrefetched(queries[i], *prefetch)
+                            : service.Search(queries[i]);
+    }
   }
   return results;
 }

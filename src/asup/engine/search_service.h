@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "asup/engine/query.h"
+#include "asup/obs/metrics.h"
 #include "asup/text/document.h"
 #include "asup/util/stopwatch.h"
 
@@ -81,6 +82,7 @@ class QueryCountingService : public SearchService {
 
   SearchResult Search(const KeywordQuery& query) override {
     queries_issued_.fetch_add(1, std::memory_order_relaxed);
+    ASUP_METRIC_COUNT("asup_engine_queries_total", 1);
     return base_->Search(query);
   }
 
@@ -111,8 +113,10 @@ class TimingService : public SearchService {
   SearchResult Search(const KeywordQuery& query) override {
     Stopwatch watch;
     SearchResult result = base_->Search(query);
-    total_nanos_.fetch_add(watch.ElapsedNanos(), std::memory_order_relaxed);
+    const int64_t elapsed = watch.ElapsedNanos();
+    total_nanos_.fetch_add(elapsed, std::memory_order_relaxed);
     queries_.fetch_add(1, std::memory_order_relaxed);
+    ASUP_METRIC_OBSERVE_NANOS("asup_engine_query_latency_ns", elapsed);
     return result;
   }
 

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "asup/obs/run_report.h"
 #include "asup/util/hash.h"
 
 namespace asup {
@@ -89,6 +90,20 @@ void PrintFigure(const std::string& title, const CsvTable& table) {
   std::cout << "# " << title << "\n";
   table.Print(std::cout);
   std::cout.flush();
+}
+
+void PrintRunReport(const std::string& title) {
+#if ASUP_METRICS_ENABLED
+  PrintFigure(title, obs::RunReport::Collect().StagePercentileTable());
+#else
+  (void)title;
+#endif
+}
+
+void ResetRunMetrics() {
+#if ASUP_METRICS_ENABLED
+  obs::MetricsRegistry::Default().Reset();
+#endif
 }
 
 double FinalEstimateSpread(

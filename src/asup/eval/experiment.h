@@ -104,6 +104,17 @@ CsvTable TrajectoriesToCsv(const std::vector<std::string>& series_names,
 /// Prints "# <title>" followed by the table, to stdout.
 void PrintFigure(const std::string& title, const CsvTable& table);
 
+/// Prints the observability RunReport of the process-wide metrics registry
+/// as a figure: per-stage latency percentiles (one `<stage>_ns` column per
+/// pipeline stage that ran) under `title`. No-op in ASUP_METRICS=OFF
+/// builds. Benches call this after their measured region; pair with
+/// ResetRunMetrics() before it.
+void PrintRunReport(const std::string& title);
+
+/// Zeroes the process-wide metrics registry so a following PrintRunReport
+/// covers only the measured region. No-op in ASUP_METRICS=OFF builds.
+void ResetRunMetrics();
+
 /// Distinguishability of a set of estimate trajectories: the relative
 /// spread (max − min)/mean of their *final* estimates. An adversary
 /// comparing corpora needs a spread larger than its estimator noise;

@@ -1,0 +1,319 @@
+#include "asup/obs/metrics.h"
+
+#if ASUP_METRICS_ENABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "asup/util/check.h"
+
+namespace asup {
+namespace obs {
+
+namespace {
+
+/// Round-robin shard assignment: each new thread takes the next shard, so
+/// up to kShards concurrent writers never share a cache line (a hash of the
+/// thread id clusters badly under some libstdc++ implementations).
+size_t CurrentShard() {
+  static std::atomic<size_t> next_shard{0};
+  thread_local const size_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) %
+      Histogram::kShards;
+  return shard;
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Splices a `le="<bound>"` label into a (possibly already labelled) metric
+/// name: `m` -> `m_bucket{le="10"}`, `m{x="y"}` -> `m_bucket{x="y",le="10"}`.
+std::string BucketSeries(const std::string& name, const std::string& le) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + "_bucket{le=\"" + le + "\"}";
+  }
+  std::string out = name.substr(0, brace) + "_bucket" + name.substr(brace);
+  out.insert(out.size() - 1, ",le=\"" + le + "\"");
+  return out;
+}
+
+std::string SuffixedSeries(const std::string& name, const char* suffix) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+}  // namespace
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (total_count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: no finite upper edge; report the largest bound.
+      return bounds.empty() ? 0.0
+                            : static_cast<double>(bounds.back());
+    }
+    const double upper = static_cast<double>(bounds[i]);
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const uint64_t below = cumulative - counts[i];
+    if (counts[i] == 0) return upper;
+    const double fraction = (target - static_cast<double>(below)) /
+                            static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  ASUP_CHECK(!bounds_.empty());
+  ASUP_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  const size_t buckets = bounds_.size() + 1;  // +1 overflow
+  // Pad the per-shard row to a whole cacheline of 8-byte atomics so rows
+  // never share a line.
+  stride_ = (buckets + 7) / 8 * 8;
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(stride_ * kShards);
+  for (size_t i = 0; i < stride_ * kShards; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  sums_ = std::make_unique<PaddedSum[]>(kShards);
+}
+
+void Histogram::Observe(int64_t value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  const size_t shard = CurrentShard();
+  counts_[shard * stride_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  sums_[shard].v.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      snap.counts[b] +=
+          counts_[shard * stride_ + b].load(std::memory_order_relaxed);
+    }
+    snap.sum += sums_[shard].v.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.total_count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < stride_ * kShards; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    sums_[shard].v.store(0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<int64_t>& LatencyBucketsNanos() {
+  static const std::vector<int64_t>* const buckets = [] {
+    auto* b = new std::vector<int64_t>;
+    for (int64_t decade = 250; decade <= 2'500'000'000LL; decade *= 10) {
+      b->push_back(decade);          // 250ns, 2.5µs, ...
+      b->push_back(decade * 2);      // 500ns, 5µs, ...
+      b->push_back(decade * 4);      // 1µs, 10µs, ...
+    }
+    b->push_back(10'000'000'000LL);  // 10s
+    return b;
+  }();
+  return *buckets;
+}
+
+const std::vector<int64_t>& SizeBuckets() {
+  static const std::vector<int64_t>* const buckets = [] {
+    auto* b = new std::vector<int64_t>;
+    for (int64_t decade = 1; decade <= 1'000'000'000LL; decade *= 10) {
+      b->push_back(decade);
+      if (decade < 1'000'000'000LL) {
+        b->push_back(decade * 2);
+        b->push_back(decade * 5);
+      }
+    }
+    return b;
+  }();
+  return *buckets;
+}
+
+Counter& MetricsRegistry::CounterOf(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GaugeOf(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::HistogramOf(std::string_view name,
+                                        const std::vector<int64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, uint64_t> values;
+  for (const auto& [name, counter] : counters_) {
+    values.emplace(name, counter->Value());
+  }
+  return values;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> values;
+  for (const auto& [name, gauge] : gauges_) {
+    values.emplace(name, gauge->Value());
+  }
+  return values;
+}
+
+Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "# TYPE " + name.substr(0, name.find('{')) + " counter\n";
+    out += name + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "# TYPE " + name.substr(0, name.find('{')) + " gauge\n";
+    out += name + " " + FormatDouble(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->Snap();
+    out += "# TYPE " + name.substr(0, name.find('{')) + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += snap.counts[i];
+      out += BucketSeries(name, std::to_string(snap.bounds[i])) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += BucketSeries(name, "+Inf") + " " +
+           std::to_string(snap.total_count) + "\n";
+    out += SuffixedSeries(name, "_sum") + " " + std::to_string(snap.sum) +
+           "\n";
+    out += SuffixedSeries(name, "_count") + " " +
+           std::to_string(snap.total_count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":" + std::to_string(counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":" + FormatDouble(gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->Snap();
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":{\"count\":" + std::to_string(snap.total_count) +
+           ",\"sum\":" + std::to_string(snap.sum) +
+           ",\"p50\":" + FormatDouble(snap.Quantile(0.50)) +
+           ",\"p95\":" + FormatDouble(snap.Quantile(0.95)) +
+           ",\"p99\":" + FormatDouble(snap.Quantile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace asup
+
+#endif  // ASUP_METRICS_ENABLED

@@ -1,0 +1,245 @@
+#ifndef ASUP_OBS_METRICS_H_
+#define ASUP_OBS_METRICS_H_
+
+/// Lock-cheap metrics layer (counters, gauges, fixed-bucket histograms).
+///
+/// The paper's claims are quantitative trade-offs — suppression vs. recall
+/// and per-query overhead — so the pipeline must be observable *while it
+/// runs*, not reconstructed from coarse bench timers afterwards. This layer
+/// is the measurement surface: engines bump metrics through the macros
+/// below, and harnesses scrape `MetricsRegistry` snapshots (Prometheus text
+/// or JSON) or the derived `RunReport`.
+///
+/// Naming scheme: `asup_<layer>_<name>{label="value"}` with layers `engine`,
+/// `suppress`, `attack`, `pipeline`. Counters end in `_total`, latency
+/// histograms in `_ns`. Labels are embedded verbatim in the metric name
+/// string; the registry treats the full string as the identity.
+///
+/// Gating (mirrors util/check.h): metrics are compiled in by default and
+/// compiled *out* with `-DASUP_METRICS=OFF` at CMake configure time, which
+/// defines `ASUP_METRICS_OFF`. In the OFF build the macros expand to
+/// nothing (operands are type checked but never evaluated), no obs type
+/// exists, and no object of the `asup_obs` library is linked — CI verifies
+/// the core archives carry no `asup::obs` symbols.
+///
+/// Hot-path cost in the ON build: one relaxed atomic add for a counter, a
+/// branchless bucket search plus two relaxed adds on a per-thread shard for
+/// a histogram. The overhead budget is <2% on `bench_micro_engine`
+/// (DESIGN.md §11).
+
+#if !defined(ASUP_METRICS_OFF)
+#define ASUP_METRICS_ENABLED 1
+#else
+#define ASUP_METRICS_ENABLED 0
+#endif
+
+#if ASUP_METRICS_ENABLED
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asup {
+namespace obs {
+
+/// Monotone event count. `Add` is a single relaxed atomic add; reads are
+/// racy-but-coherent (fine for monitoring; quiesce for exact totals).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, history sizes,
+/// estimator moments).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    // fetch_add on atomic<double> is C++20; relaxed CAS keeps the compiler
+    // baseline at "any C++20 libstdc++" without relying on FP atomics.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram of integer-valued observations (nanoseconds,
+/// sizes). Writers accumulate into one of `kShards` cacheline-padded shard
+/// rows selected per thread, so concurrent observers on different shards
+/// never touch the same cache line; snapshots sum the shards.
+class Histogram {
+ public:
+  static constexpr size_t kShards = 8;
+
+  /// One merged view of the histogram. `counts[i]` is the number of
+  /// observations ≤ `bounds[i]`; `counts.back()` (one longer than bounds)
+  /// is the overflow bucket.
+  struct Snapshot {
+    std::vector<int64_t> bounds;
+    std::vector<uint64_t> counts;
+    uint64_t total_count = 0;
+    int64_t sum = 0;
+
+    /// Quantile estimate (q in [0, 1]) with linear interpolation inside the
+    /// owning bucket, as in Prometheus' histogram_quantile. Observations in
+    /// the overflow bucket report the largest finite bound. 0 when empty.
+    double Quantile(double q) const;
+  };
+
+  /// `bounds` are ascending inclusive upper limits; an implicit +Inf bucket
+  /// is appended.
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  Snapshot Snap() const;
+
+  void Reset();
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<int64_t> bounds_;
+  size_t stride_;  // buckets rounded up to a cacheline of atomics
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  struct alignas(64) PaddedSum {
+    std::atomic<int64_t> v{0};
+  };
+  std::unique_ptr<PaddedSum[]> sums_;
+};
+
+/// Default bucket ladder for latency histograms: 250ns .. 10s, roughly
+/// 1-2.5-5 per decade. Covers sub-µs posting scans through multi-second
+/// paper-scale batches.
+const std::vector<int64_t>& LatencyBucketsNanos();
+
+/// Default bucket ladder for size/count histograms: 1 .. 10^9, 1-2-5 steps.
+const std::vector<int64_t>& SizeBuckets();
+
+/// Named metrics, one instance per process section (tests may construct
+/// private registries). Registration is mutex-guarded and happens once per
+/// call site (the macros cache the returned reference in a function-local
+/// static); updates after that are lock-free. Metrics are never erased, so
+/// returned references stay valid for the registry's lifetime — Reset()
+/// zeroes values in place.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& CounterOf(std::string_view name);
+  Gauge& GaugeOf(std::string_view name);
+  /// `bounds` is consulted only on first registration of `name`.
+  Histogram& HistogramOf(std::string_view name,
+                         const std::vector<int64_t>& bounds);
+
+  /// Point-in-time values of every counter / gauge, sorted by name
+  /// (RunReport scrapes these).
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+
+  /// The histogram registered under `name`, or nullptr.
+  Histogram* FindHistogram(std::string_view name) const;
+
+  /// Prometheus text exposition (deterministic: metrics sorted by name).
+  std::string PrometheusText() const;
+
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string JsonText() const;
+
+  /// Zeroes every metric in place; references handed out stay valid.
+  void Reset();
+
+  /// The process-wide registry the instrumentation macros write to.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: snapshot iteration must be deterministic (golden files, CI
+  // greps); registration is cold so the tree walk never matters.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace asup
+
+// Instrumentation macros. `name` must be a string literal (or have static
+// storage duration): the resolved metric reference is cached in a
+// function-local static, so the registry lock is taken once per call site.
+#define ASUP_METRICS_ONLY(...) __VA_ARGS__
+
+#define ASUP_METRIC_COUNT(name, n)                               \
+  do {                                                           \
+    static ::asup::obs::Counter& asup_metric_counter_ =          \
+        ::asup::obs::MetricsRegistry::Default().CounterOf(name); \
+    asup_metric_counter_.Add(n);                                 \
+  } while (0)
+
+#define ASUP_METRIC_GAUGE_SET(name, v)                         \
+  do {                                                         \
+    static ::asup::obs::Gauge& asup_metric_gauge_ =            \
+        ::asup::obs::MetricsRegistry::Default().GaugeOf(name); \
+    asup_metric_gauge_.Set(static_cast<double>(v));            \
+  } while (0)
+
+#define ASUP_METRIC_GAUGE_ADD(name, v)                         \
+  do {                                                         \
+    static ::asup::obs::Gauge& asup_metric_gauge_ =            \
+        ::asup::obs::MetricsRegistry::Default().GaugeOf(name); \
+    asup_metric_gauge_.Add(static_cast<double>(v));            \
+  } while (0)
+
+#define ASUP_METRIC_OBSERVE_NANOS(name, v)                      \
+  do {                                                          \
+    static ::asup::obs::Histogram& asup_metric_histogram_ =     \
+        ::asup::obs::MetricsRegistry::Default().HistogramOf(    \
+            name, ::asup::obs::LatencyBucketsNanos());          \
+    asup_metric_histogram_.Observe(static_cast<int64_t>(v));    \
+  } while (0)
+
+#define ASUP_METRIC_OBSERVE_SIZE(name, v)                       \
+  do {                                                          \
+    static ::asup::obs::Histogram& asup_metric_histogram_ =     \
+        ::asup::obs::MetricsRegistry::Default().HistogramOf(    \
+            name, ::asup::obs::SizeBuckets());                  \
+    asup_metric_histogram_.Observe(static_cast<int64_t>(v));    \
+  } while (0)
+
+#else  // !ASUP_METRICS_ENABLED
+
+// Compiled out: operands stay type checked (the dead branch folds away)
+// but are never evaluated — the same contract as the disabled ASUP_CHECK.
+#define ASUP_METRICS_ONLY(...)
+#define ASUP_METRIC_COUNT(name, n) (true ? (void)0 : ((void)(n)))
+#define ASUP_METRIC_GAUGE_SET(name, v) (true ? (void)0 : ((void)(v)))
+#define ASUP_METRIC_GAUGE_ADD(name, v) (true ? (void)0 : ((void)(v)))
+#define ASUP_METRIC_OBSERVE_NANOS(name, v) (true ? (void)0 : ((void)(v)))
+#define ASUP_METRIC_OBSERVE_SIZE(name, v) (true ? (void)0 : ((void)(v)))
+
+#endif  // ASUP_METRICS_ENABLED
+
+#endif  // ASUP_OBS_METRICS_H_

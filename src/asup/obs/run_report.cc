@@ -1,0 +1,117 @@
+#include "asup/obs/run_report.h"
+
+#if ASUP_METRICS_ENABLED
+
+#include <sstream>
+
+namespace asup {
+namespace obs {
+
+namespace {
+
+std::string StageHistogramName(Stage stage) {
+  return std::string("asup_pipeline_stage_ns{stage=\"") + StageName(stage) +
+         "\"}";
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Metric names may embed label quotes (`x{stage="hide"}`); escape them
+/// when used as JSON keys.
+std::string JsonKey(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 2);
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunReport RunReport::Collect(MetricsRegistry& registry) {
+  RunReport report;
+  for (size_t s = 0; s < kNumStages; ++s) {
+    const Stage stage = static_cast<Stage>(s);
+    StageLatencySummary summary;
+    summary.stage = stage;
+    if (Histogram* histogram =
+            registry.FindHistogram(StageHistogramName(stage))) {
+      const Histogram::Snapshot snap = histogram->Snap();
+      summary.count = snap.total_count;
+      summary.total_ns = snap.sum;
+      summary.p50_ns = snap.Quantile(0.50);
+      summary.p95_ns = snap.Quantile(0.95);
+      summary.p99_ns = snap.Quantile(0.99);
+    }
+    report.stages_.push_back(summary);
+  }
+  report.counters_ = registry.CounterValues();
+  report.gauges_ = registry.GaugeValues();
+  return report;
+}
+
+CsvTable RunReport::StagePercentileTable() const {
+  std::vector<std::string> columns{"percentile"};
+  std::vector<const StageLatencySummary*> ran;
+  for (const StageLatencySummary& summary : stages_) {
+    if (summary.count == 0) continue;
+    columns.push_back(std::string(StageName(summary.stage)) + "_ns");
+    ran.push_back(&summary);
+  }
+  CsvTable table(std::move(columns));
+  const double StageLatencySummary::* percentiles[] = {
+      &StageLatencySummary::p50_ns, &StageLatencySummary::p95_ns,
+      &StageLatencySummary::p99_ns};
+  const double labels[] = {50.0, 95.0, 99.0};
+  for (size_t p = 0; p < 3; ++p) {
+    std::vector<double> row{labels[p]};
+    for (const StageLatencySummary* summary : ran) {
+      row.push_back(summary->*percentiles[p]);
+    }
+    table.AddRow(row);
+  }
+  return table;
+}
+
+std::string RunReport::Json() const {
+  std::string out = "{\"stages\":{";
+  bool first = true;
+  for (const StageLatencySummary& summary : stages_) {
+    if (summary.count == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += std::string("\"") + StageName(summary.stage) + "\":{" +
+           "\"count\":" + std::to_string(summary.count) +
+           ",\"total_ns\":" + std::to_string(summary.total_ns) +
+           ",\"p50_ns\":" + FormatDouble(summary.p50_ns) +
+           ",\"p95_ns\":" + FormatDouble(summary.p95_ns) +
+           ",\"p99_ns\":" + FormatDouble(summary.p99_ns) + "}";
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonKey(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonKey(name) + "\":" + FormatDouble(value);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace asup
+
+#endif  // ASUP_METRICS_ENABLED

@@ -1,0 +1,79 @@
+#ifndef ASUP_OBS_RUN_REPORT_H_
+#define ASUP_OBS_RUN_REPORT_H_
+
+/// Structured per-run summary scraped from a MetricsRegistry.
+///
+/// Benches and `eval/experiment` call `RunReport::Collect()` after a run to
+/// turn the raw registry state into the figures-facing view: per-stage
+/// latency percentiles (p50/p95/p99 of `asup_pipeline_stage_ns{...}`),
+/// the suppression counters (docs hidden/trimmed, virtual answers, cache
+/// hits), and a JSON blob suitable for a BENCH_*.json sidecar. Reset the
+/// default registry before the measured region or the report includes
+/// warmup work.
+///
+/// Compiled out with the rest of the obs layer (`-DASUP_METRICS=OFF`).
+
+#include "asup/obs/metrics.h"
+
+#if ASUP_METRICS_ENABLED
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asup/obs/trace.h"
+#include "asup/util/csv.h"
+
+namespace asup {
+namespace obs {
+
+/// Latency summary of one pipeline stage.
+struct StageLatencySummary {
+  Stage stage = Stage::kMatch;
+  uint64_t count = 0;
+  int64_t total_ns = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+class RunReport {
+ public:
+  /// Scrapes `registry` (default: the process-wide one).
+  static RunReport Collect(
+      MetricsRegistry& registry = MetricsRegistry::Default());
+
+  /// Every pipeline stage, in Stage order; stages that never ran have
+  /// count 0.
+  const std::vector<StageLatencySummary>& stages() const { return stages_; }
+
+  /// All registry counters by full name.
+  const std::map<std::string, uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// All registry gauges by full name.
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  /// Stage percentiles as a figure table: one column per stage that ran
+  /// (`<stage>_ns`), one row per percentile, first column "percentile"
+  /// (50/95/99).
+  CsvTable StagePercentileTable() const;
+
+  /// {"stages":{...},"counters":{...},"gauges":{...}} — the structured
+  /// per-run summary BENCH_*.json sidecars embed.
+  std::string Json() const;
+
+ private:
+  std::vector<StageLatencySummary> stages_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace obs
+}  // namespace asup
+
+#endif  // ASUP_METRICS_ENABLED
+
+#endif  // ASUP_OBS_RUN_REPORT_H_

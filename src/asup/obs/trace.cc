@@ -1,0 +1,259 @@
+#include "asup/obs/trace.h"
+
+#if ASUP_METRICS_ENABLED
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "asup/util/check.h"
+
+namespace asup {
+namespace obs {
+
+namespace {
+
+/// The calling thread's active trace and the stopwatch anchoring its
+/// timeline. Plain thread-locals: every access is thread-confined.
+struct ActiveTraceState {
+  QueryTrace* trace = nullptr;
+  const Stopwatch* watch = nullptr;
+};
+
+thread_local ActiveTraceState g_active;
+
+std::atomic<TraceRingSink*> g_sink{nullptr};
+
+std::atomic<uint64_t> g_sequence{0};
+
+Histogram& StageHistogram(Stage stage) {
+  // One histogram per stage, resolved once; the array outlives every
+  // caller (registry metrics are never erased).
+  static Histogram* const histograms[kNumStages] = {
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"match\"}", LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"hide\"}", LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"trim\"}", LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"cover\"}", LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"virtual\"}", LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"cache_lookup\"}",
+          LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"history_record\"}",
+          LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"prefetch\"}", LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"commit\"}", LatencyBucketsNanos()),
+  };
+  return *histograms[static_cast<size_t>(stage)];
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string FormatNoteValue(double v) {
+  // Notes are almost always small integers; print them without the
+  // scientific-notation noise a raw operator<< would add.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kMatch:
+      return "match";
+    case Stage::kHide:
+      return "hide";
+    case Stage::kTrim:
+      return "trim";
+    case Stage::kCover:
+      return "cover";
+    case Stage::kVirtual:
+      return "virtual";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kHistoryRecord:
+      return "history_record";
+    case Stage::kPrefetch:
+      return "prefetch";
+    case Stage::kCommit:
+      return "commit";
+  }
+  return "?";
+}
+
+size_t QueryTrace::OpenSpan(Stage stage, int64_t start_ns) {
+  TraceSpan span;
+  span.stage = stage;
+  span.start_ns = start_ns;
+  span.duration_ns = -1;  // open
+  span.depth = open_spans_;
+  ++open_spans_;
+  spans_.push_back(span);
+  return spans_.size() - 1;
+}
+
+void QueryTrace::CloseSpan(size_t index, int64_t end_ns) {
+  ASUP_CHECK_LT(index, spans_.size());
+  TraceSpan& span = spans_[index];
+  ASUP_CHECK(span.duration_ns < 0);
+  span.duration_ns = end_ns - span.start_ns;
+  ASUP_CHECK(open_spans_ > 0);
+  --open_spans_;
+}
+
+void QueryTrace::AppendJson(std::string& out) const {
+  out += "{\"q\":\"";
+  AppendEscaped(out, query_);
+  out += "\",\"seq\":" + std::to_string(sequence_) + ",\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& span = spans_[i];
+    if (i != 0) out += ",";
+    out += "{\"stage\":\"";
+    out += StageName(span.stage);
+    out += "\",\"start_ns\":" + std::to_string(span.start_ns) +
+           ",\"dur_ns\":" + std::to_string(span.duration_ns) +
+           ",\"depth\":" + std::to_string(span.depth) + "}";
+  }
+  out += "],\"notes\":{";
+  for (size_t i = 0; i < notes_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"";
+    AppendEscaped(out, notes_[i].key);
+    out += "\":" + FormatNoteValue(notes_[i].value);
+  }
+  out += "}}";
+}
+
+TraceRingSink::TraceRingSink(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRingSink::Publish(QueryTrace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[next_] = std::move(trace);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++published_;
+}
+
+uint64_t TraceRingSink::total_published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+std::vector<QueryTrace> TraceRingSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QueryTrace> out;
+  out.reserve(ring_.size());
+  // `next_` is the oldest retained slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRingSink::WriteJsonl(std::ostream& out) const {
+  for (const QueryTrace& trace : Snapshot()) {
+    std::string line;
+    trace.AppendJson(line);
+    out << line << "\n";
+  }
+}
+
+void InstallTraceSink(TraceRingSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceRingSink* InstalledTraceSink() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+QueryTrace* ActiveTrace() { return g_active.trace; }
+
+int64_t ActiveTraceElapsedNanos() {
+  return g_active.watch == nullptr ? 0 : g_active.watch->ElapsedNanos();
+}
+
+void NoteActiveTrace(const char* key, double value) {
+  if (g_active.trace != nullptr) g_active.trace->AddNote(key, value);
+}
+
+ScopedQueryTrace::ScopedQueryTrace(const std::string& query) {
+  if (InstalledTraceSink() == nullptr) return;
+  active_ = true;
+  trace_ = QueryTrace(query);
+  previous_ = g_active.trace;
+  previous_watch_ = g_active.watch;
+  g_active.trace = &trace_;
+  g_active.watch = &watch_;
+}
+
+ScopedQueryTrace::~ScopedQueryTrace() {
+  if (!active_) return;
+  g_active.trace = previous_;
+  g_active.watch = previous_watch_;
+  TraceRingSink* sink = InstalledTraceSink();
+  if (sink != nullptr) {
+    trace_.set_sequence(g_sequence.fetch_add(1, std::memory_order_relaxed));
+    sink->Publish(std::move(trace_));
+  }
+}
+
+ScopedStageTimer::ScopedStageTimer(Stage stage)
+    : stage_(stage), trace_(g_active.trace) {
+  if (trace_ != nullptr) {
+    trace_start_ns_ = ActiveTraceElapsedNanos();
+    span_index_ = trace_->OpenSpan(stage_, trace_start_ns_);
+  }
+}
+
+ScopedStageTimer::~ScopedStageTimer() {
+  const int64_t elapsed = watch_.ElapsedNanos();
+  StageHistogram(stage_).Observe(elapsed);
+  if (trace_ != nullptr) {
+    trace_->CloseSpan(span_index_, trace_start_ns_ + elapsed);
+  }
+}
+
+}  // namespace obs
+}  // namespace asup
+
+#endif  // ASUP_METRICS_ENABLED

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "asup/obs/trace.h"
 #include "asup/util/check.h"
 
 namespace asup {
@@ -107,8 +108,15 @@ SearchResult AsArbiEngine::SearchImpl(const KeywordQuery& query,
 SearchResult AsArbiEngine::Process(const KeywordQuery& query,
                                    const QueryPrefetch* prefetch) {
   SearchResult result;
-  const size_t match_count = prefetch ? prefetch->ranked.total_matches
-                                      : base_->MatchCount(query);
+  size_t match_count;
+  if (prefetch) {
+    match_count = prefetch->ranked.total_matches;
+  } else {
+    ASUP_TRACE_STAGE(obs::Stage::kMatch);
+    match_count = base_->MatchCount(query);
+  }
+  // |Sel(q)|; AS-SIMPLE notes its own "match_count" when we fall through.
+  ASUP_TRACE_NOTE("sel_size", match_count);
   if (match_count == 0) {
     result.status = QueryStatus::kUnderflow;
     return result;
@@ -116,6 +124,7 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
 
   if (TriggerPlausible(match_count)) {
     stats_.trigger_evaluations.fetch_add(1, std::memory_order_relaxed);
+    ASUP_METRIC_COUNT("asup_suppress_arbi_trigger_evals_total", 1);
     // Lock-free pre-screen: with no recorded answer, or fewer documents
     // ever disclosed than the coverage target, no cover can exist — skip
     // the history lock entirely.
@@ -124,16 +133,24 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
                config_.cover_ratio * static_cast<double>(match_count))));
     if (history_queries_.load(std::memory_order_acquire) > 0 &&
         history_docs_seen_.load(std::memory_order_acquire) >= need) {
-      const std::vector<DocId> local_ids =
-          prefetch && prefetch->has_match_ids ? std::vector<DocId>()
-                                              : base_->MatchIds(query);
+      const bool use_prefetched_ids = prefetch && prefetch->has_match_ids;
+      std::vector<DocId> local_ids;
+      if (!use_prefetched_ids) {
+        ASUP_TRACE_STAGE(obs::Stage::kMatch);
+        local_ids = base_->MatchIds(query);
+      }
       const std::vector<DocId>& match_ids =
-          prefetch && prefetch->has_match_ids ? prefetch->match_ids
-                                              : local_ids;
+          use_prefetched_ids ? prefetch->match_ids : local_ids;
       std::shared_lock<std::shared_mutex> lock(history_mutex_);
-      const CoverResult cover = finder_.Find(match_ids);
+      CoverResult cover;
+      {
+        ASUP_TRACE_STAGE(obs::Stage::kCover);
+        cover = finder_.Find(match_ids);
+      }
       if (cover.found) {
         stats_.virtual_answers.fetch_add(1, std::memory_order_relaxed);
+        ASUP_METRIC_COUNT("asup_suppress_arbi_virtual_answers_total", 1);
+        ASUP_TRACE_NOTE("cover_answers_used", cover.query_indices.size());
         return AnswerVirtually(query, match_ids, cover);
       }
     }
@@ -141,9 +158,11 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
 
   // Lines 6-8: fall through to AS-SIMPLE and remember the answer.
   stats_.simple_answers.fetch_add(1, std::memory_order_relaxed);
+  ASUP_METRIC_COUNT("asup_suppress_arbi_simple_answers_total", 1);
   result = prefetch ? simple_.SearchPrefetched(query, *prefetch)
                     : simple_.Search(query);
   if (!result.docs.empty()) {
+    ASUP_TRACE_STAGE(obs::Stage::kHistoryRecord);
     std::unique_lock<std::shared_mutex> lock(history_mutex_);
     ASUP_CONTRACTS_ONLY(const size_t queries_before = history_.NumQueries();
                         const size_t docs_before =
@@ -158,6 +177,10 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
     history_docs_seen_.store(history_.NumDocumentsSeen(),
                              std::memory_order_release);
     history_queries_.store(history_.NumQueries(), std::memory_order_release);
+    ASUP_METRIC_GAUGE_SET("asup_suppress_history_queries",
+                          history_.NumQueries());
+    ASUP_METRIC_GAUGE_SET("asup_suppress_history_docs_seen",
+                          history_.NumDocumentsSeen());
   }
   return result;
 }
@@ -165,6 +188,7 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
 SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
                                            const std::vector<DocId>& match_ids,
                                            const CoverResult& cover) {
+  ASUP_TRACE_STAGE(obs::Stage::kVirtual);
   // Algorithm 2's cover contract: at most m historic answers...
   ASUP_CHECK(cover.found);
   ASUP_CHECK(!cover.query_indices.empty());
@@ -184,6 +208,8 @@ SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
   std::vector<DocId> virtual_ids;
   std::set_intersection(match_ids.begin(), match_ids.end(), pool.begin(),
                         pool.end(), std::back_inserter(virtual_ids));
+  ASUP_TRACE_NOTE("cover_pool_docs", pool.size());
+  ASUP_TRACE_NOTE("virtual_docs", virtual_ids.size());
 
   // ...covering at least ⌈σ·|Sel(q)|⌉ matching documents, every one of them
   // already disclosed by an earlier answer (so the virtual answer reveals

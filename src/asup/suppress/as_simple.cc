@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "asup/obs/trace.h"
 #include "asup/util/check.h"
 
 namespace asup {
@@ -74,8 +75,16 @@ SearchResult AsSimpleEngine::SearchImpl(const KeywordQuery& query,
 
   SearchResult result;
   try {
-    result = prefetch ? Process(query, prefetch->ranked)
-                      : Process(query, base_->TopMatches(query, m_limit_));
+    if (prefetch) {
+      result = Process(query, prefetch->ranked);
+    } else {
+      RankedMatches ranked;
+      {
+        ASUP_TRACE_STAGE(obs::Stage::kMatch);
+        ranked = base_->TopMatches(query, m_limit_);
+      }
+      result = Process(query, ranked);
+    }
   } catch (...) {
     if (config_.cache_answers) answer_cache_.Abandon(query.canonical());
     throw;
@@ -114,20 +123,32 @@ SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
   std::vector<ScoredDoc> survivors;
   survivors.reserve(m_size);
   uint64_t hidden = 0;
-  for (const ScoredDoc& scored : ranked.docs) {
-    if (returned_before_.TestAndSet(index.LocalOf(scored.doc))) {
-      if (coin_.Accept(query.hash(), scored.doc, keep_probability)) {
-        survivors.push_back(scored);
+  uint64_t reshown = 0;
+  {
+    ASUP_TRACE_STAGE(obs::Stage::kHide);
+    for (const ScoredDoc& scored : ranked.docs) {
+      if (returned_before_.TestAndSet(index.LocalOf(scored.doc))) {
+        if (coin_.Accept(query.hash(), scored.doc, keep_probability)) {
+          survivors.push_back(scored);
+          ++reshown;
+        } else {
+          ++hidden;
+        }
       } else {
-        ++hidden;
+        survivors.push_back(scored);
       }
-    } else {
-      survivors.push_back(scored);
     }
   }
   if (hidden != 0) {
     stats_.docs_hidden.fetch_add(hidden, std::memory_order_relaxed);
   }
+  ASUP_METRIC_COUNT("asup_suppress_docs_hidden_total", hidden);
+  ASUP_METRIC_COUNT("asup_suppress_docs_reshown_total", reshown);
+  ASUP_TRACE_NOTE("match_count", ranked.total_matches);
+  ASUP_TRACE_NOTE("docs_hidden", hidden);
+  ASUP_TRACE_NOTE("docs_reshown", reshown);
+  ASUP_TRACE_NOTE("mu", segment_.mu());
+  ASUP_TRACE_NOTE("gamma", config_.gamma);
   // Θ_R monotonicity: TestAndSet only ever sets bits, so after the loop
   // every document of M(q) — kept, hidden, or about to be trimmed — is
   // activated (Algorithm 1 runs line 14 after the loop; §5.1 depends on
@@ -140,19 +161,24 @@ SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
   // Line 14: trim to min(|M(q)|/μ, k) lowest-rank-last documents. When the
   // query overflows, documents hidden above are implicitly replaced by
   // lower-ranked survivors of M(q).
-  const size_t lhs_target = static_cast<size_t>(std::llround(
-      static_cast<double>(m_size) * segment_.lhs_keep_fraction()));
-  // 1/μ ≤ 1, so the trim target never exceeds |M(q)|.
-  ASUP_CHECK_LE(lhs_target, m_size);
-  const size_t keep = std::min(lhs_target, base_->k());
-  if (survivors.size() > keep) {
-    stats_.docs_trimmed.fetch_add(survivors.size() - keep,
-                                  std::memory_order_relaxed);
-    survivors.resize(keep);
+  {
+    ASUP_TRACE_STAGE(obs::Stage::kTrim);
+    const size_t lhs_target = static_cast<size_t>(std::llround(
+        static_cast<double>(m_size) * segment_.lhs_keep_fraction()));
+    // 1/μ ≤ 1, so the trim target never exceeds |M(q)|.
+    ASUP_CHECK_LE(lhs_target, m_size);
+    const size_t keep = std::min(lhs_target, base_->k());
+    if (survivors.size() > keep) {
+      const uint64_t trimmed = survivors.size() - keep;
+      stats_.docs_trimmed.fetch_add(trimmed, std::memory_order_relaxed);
+      ASUP_METRIC_COUNT("asup_suppress_docs_trimmed_total", trimmed);
+      ASUP_TRACE_NOTE("docs_trimmed", trimmed);
+      survivors.resize(keep);
+    }
+    // Line 14 postcondition: the answer is capped at min(|M(q)|/μ, k).
+    ASUP_CHECK_LE(survivors.size(), keep);
+    ASUP_CHECK_LE(survivors.size(), base_->k());
   }
-  // Line 14 postcondition: the answer is capped at min(|M(q)|/μ, k).
-  ASUP_CHECK_LE(survivors.size(), keep);
-  ASUP_CHECK_LE(survivors.size(), base_->k());
 
   result.docs = std::move(survivors);
   // Status in the *emulated* corpus: the defended engine behaves as if q

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "asup/obs/trace.h"
 #include "asup/util/check.h"
 
 namespace asup {
@@ -76,9 +77,16 @@ CoverResult CoverFinder::Find(const std::vector<DocId>& match_ids) const {
       if (history_->QueriesReturning(doc) == nullptr) return result;
     }
   }
-  if (!PassesSignaturePrescreen(match_ids, need)) return result;
+  if (!PassesSignaturePrescreen(match_ids, need)) {
+    ASUP_METRIC_COUNT("asup_suppress_prescreen_reject_total", 1);
+    return result;
+  }
+  ASUP_METRIC_COUNT("asup_suppress_prescreen_pass_total", 1);
 
   const std::vector<Candidate> candidates = GatherCandidates(match_ids);
+  ASUP_METRIC_OBSERVE_SIZE("asup_suppress_cover_candidates",
+                           candidates.size());
+  ASUP_TRACE_NOTE("cover_candidates", candidates.size());
   if (candidates.empty()) return result;
 
   if (cover_ratio_ >= 1.0) {
@@ -100,8 +108,11 @@ struct ExactSearch {
   size_t uncovered;
   size_t max_depth;
   size_t max_candidate_size;
+  /// DFS nodes visited — the enumeration size the metrics report.
+  size_t nodes = 0;
 
   bool Dfs() {
+    ++nodes;
     if (uncovered == 0) return true;
     if (chosen.size() >= max_depth) return false;
     // Admissible pruning: even perfectly disjoint picks cannot finish.
@@ -164,7 +175,10 @@ CoverResult CoverFinder::ExactCover(const std::vector<Candidate>& candidates,
   }
 
   CoverResult result;
-  if (!search.Dfs()) return result;
+  const bool found = search.Dfs();
+  ASUP_METRIC_OBSERVE_SIZE("asup_suppress_exact_cover_nodes", search.nodes);
+  ASUP_TRACE_NOTE("exact_cover_nodes", search.nodes);
+  if (!found) return result;
   // Exact-cover postcondition (σ = 100%): every matching document covered
   // by at most m chosen historic answers.
   ASUP_CHECK_EQ(search.uncovered, 0u);

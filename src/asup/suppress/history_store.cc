@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "asup/obs/metrics.h"
+
 namespace asup {
 
 size_t QuerySignatureBit(const KeywordQuery& query) {
@@ -19,6 +21,7 @@ uint32_t HistoryStore::Record(const KeywordQuery& query,
     history.signature.Set(bit);
   }
   queries_.push_back(HistoricQuery{query, std::move(answer_docs)});
+  ASUP_METRIC_COUNT("asup_suppress_history_records_total", 1);
   return index;
 }
 

@@ -28,7 +28,12 @@ class Stopwatch {
   }
 
  private:
+  // Timing paths must never observe wall-clock adjustments (NTP slews would
+  // corrupt latency histograms and Figure 15 ratios); asup_lint additionally
+  // bans system_clock in timing code.
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Stopwatch requires a monotonic (steady) clock");
   Clock::time_point start_;
 };
 

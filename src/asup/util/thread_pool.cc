@@ -94,6 +94,11 @@ void ThreadPool::ParallelFor(
   });
 }
 
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 size_t ThreadPool::DefaultThreadCount() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
@@ -110,6 +115,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

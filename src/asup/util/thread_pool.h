@@ -1,8 +1,10 @@
 #ifndef ASUP_UTIL_THREAD_POOL_H_
 #define ASUP_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -48,13 +50,23 @@ class ThreadPool {
   /// Hardware concurrency, at least 1.
   static size_t DefaultThreadCount();
 
+  /// Tasks currently queued (not yet picked up by a worker). A point-in-time
+  /// reading for monitoring gauges; stale by the time the caller sees it.
+  size_t QueueDepth() const;
+
+  /// Tasks a worker has finished executing since construction.
+  uint64_t TasksExecuted() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable ready_;
+  std::atomic<uint64_t> tasks_executed_{0};
   bool stopping_ = false;
 };
 

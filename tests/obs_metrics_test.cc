@@ -1,0 +1,200 @@
+// Tests for the metrics layer (src/asup/obs/metrics.h): counter / gauge /
+// histogram semantics, concurrent increments (run under TSan by the CI
+// `tsan` job), snapshot formats, and the compile-out contract — in the
+// ASUP_METRICS=OFF build the macros must not evaluate their operands.
+
+#include "asup/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace asup {
+namespace {
+
+#if ASUP_METRICS_ENABLED
+
+TEST(Counter, AddsAndResets) {
+  obs::Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  obs::Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.Add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperEdges) {
+  obs::Histogram histogram({10, 100, 1000});
+  histogram.Observe(0);     // bucket 0: ≤ 10
+  histogram.Observe(10);    // bucket 0 (inclusive upper edge)
+  histogram.Observe(11);    // bucket 1: ≤ 100
+  histogram.Observe(100);   // bucket 1
+  histogram.Observe(1000);  // bucket 2: ≤ 1000
+  histogram.Observe(1001);  // overflow bucket
+  const obs::Histogram::Snapshot snap = histogram.Snap();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.total_count, 6u);
+  EXPECT_EQ(snap.sum, 0 + 10 + 11 + 100 + 1000 + 1001);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  obs::Histogram histogram({100});
+  for (int i = 0; i < 10; ++i) histogram.Observe(50);
+  const obs::Histogram::Snapshot snap = histogram.Snap();
+  // All mass in [0, 100): the median interpolates to the bucket middle.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram::Snapshot{}.Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, OverflowObservationsReportLargestBound) {
+  obs::Histogram histogram({10, 20});
+  histogram.Observe(1'000'000);
+  EXPECT_DOUBLE_EQ(histogram.Snap().Quantile(0.99), 20.0);
+}
+
+TEST(Histogram, ConcurrentObserveSumsAcrossShards) {
+  obs::Histogram histogram(obs::LatencyBucketsNanos());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe(1000 * (t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const obs::Histogram::Snapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.total_count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  int64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<int64_t>(kPerThread) * 1000 * (t + 1);
+  }
+  EXPECT_EQ(snap.sum, expected_sum);
+}
+
+TEST(MetricsRegistry, ReturnsStableReferencesAndSnapshotsValues) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.CounterOf("asup_test_a_total");
+  obs::Counter& again = registry.CounterOf("asup_test_a_total");
+  EXPECT_EQ(&a, &again);
+  a.Add(3);
+  registry.GaugeOf("asup_test_depth").Set(7.0);
+  const auto counters = registry.CounterValues();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters.at("asup_test_a_total"), 3u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValues().at("asup_test_depth"), 7.0);
+  registry.Reset();
+  EXPECT_EQ(a.Value(), 0u);  // reference survives Reset
+}
+
+TEST(MetricsRegistry, PrometheusTextExposesLabelledHistogramSeries) {
+  obs::MetricsRegistry registry;
+  registry.CounterOf("asup_test_queries_total").Add(2);
+  registry.HistogramOf("asup_test_ns{stage=\"hide\"}", {10, 100})
+      .Observe(50);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("asup_test_queries_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE asup_test_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("asup_test_ns_bucket{stage=\"hide\",le=\"10\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("asup_test_ns_bucket{stage=\"hide\",le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("asup_test_ns_bucket{stage=\"hide\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("asup_test_ns_count{stage=\"hide\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonTextEscapesLabelQuotes) {
+  obs::MetricsRegistry registry;
+  registry.CounterOf("asup_test_total{kind=\"x\"}").Add(1);
+  const std::string json = registry.JsonText();
+  EXPECT_NE(json.find("\"asup_test_total{kind=\\\"x\\\"}\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{}"), std::string::npos);
+}
+
+TEST(MetricsRegistry, FindHistogramReturnsNullForUnknownName) {
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(registry.FindHistogram("nope"), nullptr);
+  registry.HistogramOf("asup_test_ns", {1});
+  EXPECT_NE(registry.FindHistogram("asup_test_ns"), nullptr);
+}
+
+TEST(MetricsMacros, WriteToDefaultRegistry) {
+  obs::MetricsRegistry::Default().Reset();
+  ASUP_METRIC_COUNT("asup_test_macro_total", 2);
+  ASUP_METRIC_COUNT("asup_test_macro_total", 3);
+  ASUP_METRIC_GAUGE_SET("asup_test_macro_gauge", 1.5);
+  ASUP_METRIC_OBSERVE_NANOS("asup_test_macro_ns", 1234);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  EXPECT_EQ(registry.CounterValues().at("asup_test_macro_total"), 5u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValues().at("asup_test_macro_gauge"), 1.5);
+  ASSERT_NE(registry.FindHistogram("asup_test_macro_ns"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("asup_test_macro_ns")->Snap().total_count,
+            1u);
+}
+
+#else  // !ASUP_METRICS_ENABLED
+
+// The compiled-out macros must not evaluate their operands (mirrors the
+// disabled-ASUP_CHECK contract in contracts_test.cc).
+TEST(MetricsCompiledOut, MacrosDoNotEvaluateOperands) {
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations; };
+  ASUP_METRIC_COUNT("asup_test_total", bump());
+  ASUP_METRIC_GAUGE_SET("asup_test_gauge", bump());
+  ASUP_METRIC_GAUGE_ADD("asup_test_gauge", bump());
+  ASUP_METRIC_OBSERVE_NANOS("asup_test_ns", bump());
+  ASUP_METRIC_OBSERVE_SIZE("asup_test_size", bump());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(MetricsCompiledOut, MetricsOnlyDropsItsBody) {
+  int evaluations = 0;
+  ASUP_METRICS_ONLY(++evaluations;)
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // ASUP_METRICS_ENABLED
+
+}  // namespace
+}  // namespace asup

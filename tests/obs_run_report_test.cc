@@ -1,0 +1,111 @@
+// Tests for RunReport (src/asup/obs/run_report.h): per-stage percentile
+// collection from a registry, the figure-facing percentile table, and the
+// JSON summary benches embed into BENCH_*.json sidecars.
+
+#include "asup/obs/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#if ASUP_METRICS_ENABLED
+
+namespace asup {
+namespace {
+
+void ObserveStage(obs::MetricsRegistry& registry, const char* stage,
+                  int64_t nanos, int repeats = 1) {
+  obs::Histogram& histogram = registry.HistogramOf(
+      std::string("asup_pipeline_stage_ns{stage=\"") + stage + "\"}",
+      obs::LatencyBucketsNanos());
+  for (int i = 0; i < repeats; ++i) histogram.Observe(nanos);
+}
+
+TEST(RunReport, CollectsOnlyStagesThatRan) {
+  obs::MetricsRegistry registry;
+  ObserveStage(registry, "match", 1000, 10);
+  ObserveStage(registry, "hide", 4000, 10);
+  registry.CounterOf("asup_suppress_docs_hidden_total").Add(3);
+  registry.GaugeOf("asup_suppress_history_queries").Set(12.0);
+
+  const obs::RunReport report = obs::RunReport::Collect(registry);
+  ASSERT_EQ(report.stages().size(), obs::kNumStages);
+  uint64_t stages_ran = 0;
+  for (const obs::StageLatencySummary& stage : report.stages()) {
+    if (stage.count == 0) continue;
+    ++stages_ran;
+    EXPECT_GT(stage.p50_ns, 0.0);
+    EXPECT_LE(stage.p50_ns, stage.p95_ns);
+    EXPECT_LE(stage.p95_ns, stage.p99_ns);
+  }
+  EXPECT_EQ(stages_ran, 2u);
+  EXPECT_EQ(report.counters().at("asup_suppress_docs_hidden_total"), 3u);
+  EXPECT_DOUBLE_EQ(report.gauges().at("asup_suppress_history_queries"),
+                   12.0);
+}
+
+TEST(RunReport, StagePercentileTableHasOneColumnPerRanStage) {
+  obs::MetricsRegistry registry;
+  ObserveStage(registry, "match", 900);
+  ObserveStage(registry, "hide", 1800);
+  ObserveStage(registry, "trim", 450);
+  ObserveStage(registry, "cover", 90'000);
+
+  const CsvTable table =
+      obs::RunReport::Collect(registry).StagePercentileTable();
+  const std::vector<std::string>& columns = table.columns();
+  ASSERT_EQ(columns.size(), 5u);
+  EXPECT_EQ(columns[0], "percentile");
+  // Stage order is the Stage enum order: match, hide, trim, cover.
+  EXPECT_EQ(columns[1], "match_ns");
+  EXPECT_EQ(columns[2], "hide_ns");
+  EXPECT_EQ(columns[3], "trim_ns");
+  EXPECT_EQ(columns[4], "cover_ns");
+  ASSERT_EQ(table.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(table.At(0, 0), 50.0);
+  EXPECT_DOUBLE_EQ(table.At(1, 0), 95.0);
+  EXPECT_DOUBLE_EQ(table.At(2, 0), 99.0);
+  // The slow stage dominates: its p50 exceeds every other stage's p99.
+  EXPECT_GT(table.At(0, 4), table.At(2, 1));
+}
+
+TEST(RunReport, EmptyRegistryYieldsPercentileRowsWithNoStageColumns) {
+  obs::MetricsRegistry registry;
+  const CsvTable table =
+      obs::RunReport::Collect(registry).StagePercentileTable();
+  EXPECT_EQ(table.NumColumns(), 1u);
+  EXPECT_EQ(table.NumRows(), 3u);
+}
+
+TEST(RunReport, JsonEmbedsStagesCountersAndGauges) {
+  obs::MetricsRegistry registry;
+  ObserveStage(registry, "commit", 5000, 4);
+  registry.CounterOf("asup_engine_cache_hits_total").Add(9);
+  registry.GaugeOf("asup_engine_pool_queue_depth").Set(2.0);
+
+  const std::string json = obs::RunReport::Collect(registry).Json();
+  EXPECT_NE(json.find("\"stages\":{\"commit\":{\"count\":4"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"asup_engine_cache_hits_total\":9"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"asup_engine_pool_queue_depth\":2"),
+            std::string::npos);
+  // Counter names with labels must arrive escaped (valid JSON keys).
+  registry.CounterOf("asup_x_total{kind=\"y\"}").Add(1);
+  const std::string labelled = obs::RunReport::Collect(registry).Json();
+  EXPECT_NE(labelled.find("\"asup_x_total{kind=\\\"y\\\"}\":1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace asup
+
+#else  // !ASUP_METRICS_ENABLED
+
+// RunReport does not exist in the compiled-out build; the suite still has
+// to link and pass.
+TEST(RunReportCompiledOut, BuildsWithoutObsSymbols) { SUCCEED(); }
+
+#endif  // ASUP_METRICS_ENABLED

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Verifies the ASUP_METRICS=OFF compile-out contract (DESIGN.md §11): a
+# metrics-OFF build must not define or reference any asup::obs symbol in
+# the core archives — the macros expand to nothing, so even an accidental
+# direct call into the obs layer (bypassing the macros) fails this gate.
+#
+# Usage: tools/check_no_obs_symbols.sh <metrics-off-build-dir>
+set -euo pipefail
+
+build_dir="${1:?usage: check_no_obs_symbols.sh <metrics-off-build-dir>}"
+
+if [ -e "$build_dir/src/libasup_obs.a" ]; then
+  echo "FAIL: $build_dir/src/libasup_obs.a exists in a metrics-OFF build" >&2
+  exit 1
+fi
+
+status=0
+checked=0
+for archive in "$build_dir"/src/libasup_*.a; do
+  [ -e "$archive" ] || continue
+  checked=$((checked + 1))
+  if nm -C "$archive" 2>/dev/null | grep -q 'asup::obs::'; then
+    echo "FAIL: $archive carries asup::obs symbols:" >&2
+    nm -C "$archive" | grep 'asup::obs::' | head >&2
+    status=1
+  fi
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "FAIL: no libasup_*.a archives found under $build_dir/src" >&2
+  exit 1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: $checked archives, no asup::obs symbols"
+fi
+exit "$status"

@@ -13,7 +13,11 @@ Rules (all scoped to src/ unless noted):
                            or the keyed DeterministicCoin.
   asup-banned-time         time()/clock()/gettimeofday(): wall-clock reads
                            in library logic break replay (timing belongs in
-                           util/stopwatch via <chrono>).
+                           util/stopwatch via <chrono>). Also bans
+                           std::chrono::system_clock: it is not monotonic
+                           (NTP slews/steps corrupt latency measurements),
+                           so every timing path must use the steady clock
+                           that util/stopwatch wraps.
   asup-unordered-iteration deterministic paths only (src/asup/suppress/,
                            src/asup/engine/): iterating a std::unordered_map
                            or std::unordered_set observes hash-table order,
@@ -66,6 +70,9 @@ BANNED_PATTERNS = (
      "clock() breaks deterministic replay; use util/stopwatch"),
     ("asup-banned-time", re.compile(r"\bgettimeofday\s*\("),
      "gettimeofday() breaks deterministic replay; use util/stopwatch"),
+    ("asup-banned-time", re.compile(r"\b(?:std::)?chrono::system_clock\b"),
+     "system_clock is not monotonic; time with util/stopwatch "
+     "(steady_clock)"),
     ("asup-manual-lock", re.compile(r"\.\s*(?:lock|unlock)\s*\(\s*\)"),
      "manual lock()/unlock(); use an RAII guard"),
 )
