@@ -21,6 +21,8 @@
 #include <string>
 
 #include "asup/engine/parallel_service.h"
+#include "asup/engine/sharded_service.h"
+#include "asup/index/sharded_index.h"
 #include "asup/obs/run_report.h"
 #include "asup/obs/trace.h"
 #include "asup/util/stopwatch.h"
@@ -117,6 +119,42 @@ void PrintParallelMode(const Corpus& corpus,
   PrintFigure("fig15b: parallel batch throughput vs worker count", table);
 }
 
+/// Match throughput of the scatter-gather engine vs shard count: the same
+/// query log, answered serially (one thread walking all shards) and with
+/// a pool of one worker per shard. Answers are bitwise identical to the
+/// single-index engine at every row, so this isolates the scaling of the
+/// scatter phase against the partitioning + merge overhead.
+void PrintShardScaling(const Corpus& corpus,
+                       const std::vector<KeywordQuery>& log, size_t k) {
+  const size_t queries = std::min<size_t>(log.size(), 2000);
+
+  CsvTable table({"shards", "serial_match_qps", "pooled_match_qps",
+                  "pooled_speedup"});
+  double base_pooled = 0.0;
+  for (const size_t shards : {1u, 2u, 4u, 8u}) {
+    ShardedInvertedIndex index(corpus, shards);
+    ShardedSearchService serial_engine(index, k);
+    const double serial_qps = MeasureQps(
+        [&] {
+          for (size_t i = 0; i < queries; ++i) serial_engine.Search(log[i]);
+        },
+        queries);
+
+    ThreadPool pool(shards);
+    ShardedSearchService pooled_engine(index, k, &pool);
+    const double pooled_qps = MeasureQps(
+        [&] {
+          for (size_t i = 0; i < queries; ++i) pooled_engine.Search(log[i]);
+        },
+        queries);
+
+    if (shards == 1) base_pooled = pooled_qps;
+    table.AddRow({static_cast<double>(shards), serial_qps, pooled_qps,
+                  pooled_qps / std::max(base_pooled, 1e-9)});
+  }
+  PrintFigure("fig15d: sharded match throughput vs shard count", table);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,6 +222,8 @@ int main(int argc, char** argv) {
               table);
 
   PrintParallelMode(corpus, workload.log(), params.k);
+
+  PrintShardScaling(corpus, workload.log(), params.k);
 
   PrintRunReport("fig15c: per-stage latency percentiles (ns)");
 #if ASUP_METRICS_ENABLED

@@ -9,7 +9,9 @@
 
 #include "asup/engine/parallel_service.h"
 #include "asup/engine/search_engine.h"
+#include "asup/engine/sharded_service.h"
 #include "asup/index/inverted_index.h"
+#include "asup/index/sharded_index.h"
 #include "asup/obs/trace.h"
 #include "asup/suppress/as_arbi.h"
 #include "asup/suppress/as_simple.h"
@@ -192,6 +194,61 @@ BENCHMARK(BM_DeterministicArbiBatch)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Scatter-gather matching at state.range(0) shards, single-threaded
+// fan-out: the pure cost of partitioned matching + exact merge relative
+// to BM_PlainSearch (answers are bitwise identical by construction).
+void BM_ShardedSearchSerial(benchmark::State& state) {
+  MicroEnv& env = Env();
+  ShardedInvertedIndex index(*env.corpus,
+                             static_cast<size_t>(state.range(0)));
+  ShardedSearchService engine(index, env.engine->k());
+  const auto& log = env.workload->log();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Search(log[i]).docs.size());
+    i = (i + 1) % log.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedSearchSerial)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The same scatter phase fanned out on a pool of range(0) workers, one
+// worker per shard. Compare to BM_ShardedSearchSerial at the same shard
+// count for the match-throughput scaling of the scatter-gather engine.
+void BM_ShardedSearchPooled(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const auto shards = static_cast<size_t>(state.range(0));
+  ShardedInvertedIndex index(*env.corpus, shards);
+  ThreadPool pool(shards);
+  ShardedSearchService engine(index, env.engine->k(), &pool);
+  const auto& log = env.workload->log();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Search(log[i]).docs.size());
+    i = (i + 1) % log.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedSearchPooled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// Sharded index construction: N per-shard indexes over disjoint ranges.
+void BM_ShardedIndexBuild(benchmark::State& state) {
+  const Corpus& corpus = *Env().corpus;
+  const auto shards = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    ShardedInvertedIndex index(corpus, shards);
+    benchmark::DoNotOptimize(index.stats().num_postings);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_ShardedIndexBuild)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_PostingDecode(benchmark::State& state) {
   PostingList::Builder builder;

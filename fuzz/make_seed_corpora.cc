@@ -150,6 +150,23 @@ int main(int argc, char** argv) {
     std::string huge_count = header;
     append_var(1u << 28, huge_count);  // claims 2^28 docs, provides none
     WriteSeed(corpus_dir, "huge_doc_count", huge_count);
+
+    // Varbyte-decoder regressions (the ReadVarByte hardening): a varint
+    // cut mid-continuation, and overlong encodings a canonical encoder
+    // never emits — six continuation bytes and a five-byte value whose
+    // top nibble overflows uint32. The loader must reject, not read past
+    // the buffer or shift past bit 31.
+    std::string truncated_varint = header;
+    truncated_varint += '\x80';  // doc count promises a next byte that...
+    WriteSeed(corpus_dir, "truncated_varint", truncated_varint);
+
+    std::string overlong_varint = header;
+    overlong_varint += std::string("\x80\x80\x80\x80\x80\x01", 6);
+    WriteSeed(corpus_dir, "overlong_varint", overlong_varint);
+
+    std::string shift_overflow_varint = header;
+    shift_overflow_varint += std::string("\x80\x80\x80\x80\x10", 5);
+    WriteSeed(corpus_dir, "shift_overflow_varint", shift_overflow_varint);
   }
 
   // --- fuzz_state_io: defense snapshots from the harness's own rig --------

@@ -3,11 +3,32 @@
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "asup/index/inverted_index.h"
 #include "asup/text/vocabulary.h"
 
 namespace asup {
+
+/// Corpus-wide inputs to scoring for one query, decoupled from any single
+/// InvertedIndex so a sharded engine can score shard-local matches against
+/// *global* statistics. Scores are bitwise identical to a single-index
+/// engine exactly when `stats` and `dfs` describe the whole logical corpus
+/// (the scoring arithmetic consumes nothing else that spans shards).
+struct ScoringContext {
+  /// Statistics of the logical corpus (num_documents, average_doc_length).
+  const IndexStats* stats = nullptr;
+
+  /// Document frequency of each query term across the logical corpus, in
+  /// query-term order (parallel to MatchedDoc::freqs).
+  std::vector<size_t> dfs;
+};
+
+/// Builds the scoring context of `terms` against one index (the
+/// single-index engine's whole corpus). A sharded engine assembles the
+/// same struct from its global stats and summed per-shard frequencies.
+ScoringContext MakeScoringContext(const InvertedIndex& index,
+                                  std::span<const TermId> terms);
 
 /// The engine's ranking function.
 ///
@@ -19,10 +40,17 @@ class ScoringFunction {
  public:
   virtual ~ScoringFunction() = default;
 
-  /// Relevance of a matched document to the query terms. Higher is better.
-  virtual double Score(const InvertedIndex& index,
-                       std::span<const TermId> terms,
-                       const MatchedDoc& match) const = 0;
+  /// Relevance of a matched document to the query. Higher is better.
+  /// `doc_length` is the matched document's token count; `match.freqs`
+  /// holds its per-query-term frequencies.
+  virtual double ScoreMatch(const ScoringContext& context, double doc_length,
+                            const MatchedDoc& match) const = 0;
+
+  /// Single-index convenience: builds the context from `index` and scores
+  /// one match. Callers scoring many matches of one query should build the
+  /// context once with MakeScoringContext and call ScoreMatch directly.
+  double Score(const InvertedIndex& index, std::span<const TermId> terms,
+               const MatchedDoc& match) const;
 };
 
 /// Okapi BM25 — the default ranking function of the substrate engine.
@@ -30,8 +58,8 @@ class Bm25Scorer : public ScoringFunction {
  public:
   explicit Bm25Scorer(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
 
-  double Score(const InvertedIndex& index, std::span<const TermId> terms,
-               const MatchedDoc& match) const override;
+  double ScoreMatch(const ScoringContext& context, double doc_length,
+                    const MatchedDoc& match) const override;
 
  private:
   double k1_;
@@ -43,8 +71,8 @@ class Bm25Scorer : public ScoringFunction {
 /// scoring function.
 class TfIdfScorer : public ScoringFunction {
  public:
-  double Score(const InvertedIndex& index, std::span<const TermId> terms,
-               const MatchedDoc& match) const override;
+  double ScoreMatch(const ScoringContext& context, double doc_length,
+                    const MatchedDoc& match) const override;
 };
 
 /// Returns the library's default scorer (BM25 with standard parameters).

@@ -4,16 +4,24 @@
 
 namespace asup {
 
-namespace {
-
-/// Ranking order: descending score, ties broken by ascending doc id so the
-/// engine is fully deterministic.
 bool RankBefore(const ScoredDoc& a, const ScoredDoc& b) {
   if (a.score != b.score) return a.score > b.score;
   return a.doc < b.doc;
 }
 
-}  // namespace
+SearchResult MatchingEngine::Search(const KeywordQuery& query) {
+  RankedMatches ranked = TopMatches(query, k());
+  SearchResult result;
+  if (ranked.total_matches == 0) {
+    result.status = QueryStatus::kUnderflow;
+  } else if (ranked.total_matches > k()) {
+    result.status = QueryStatus::kOverflow;
+  } else {
+    result.status = QueryStatus::kValid;
+  }
+  result.docs = std::move(ranked.docs);
+  return result;
+}
 
 PlainSearchEngine::PlainSearchEngine(const InvertedIndex& index, size_t k,
                                      std::unique_ptr<ScoringFunction> scorer)
@@ -30,11 +38,17 @@ RankedMatches PlainSearchEngine::TopMatches(const KeywordQuery& query,
   out.total_matches = matches.size();
   if (matches.empty()) return out;
 
+  const ScoringContext context =
+      MakeScoringContext(*index_, query.terms());
   std::vector<ScoredDoc> scored;
   scored.reserve(matches.size());
   for (const MatchedDoc& match : matches) {
-    scored.push_back({index_->LocalToId(match.local_doc),
-                      scorer_->Score(*index_, query.terms(), match)});
+    scored.push_back(
+        {index_->LocalToId(match.local_doc),
+         scorer_->ScoreMatch(
+             context,
+             static_cast<double>(index_->DocAt(match.local_doc).length()),
+             match)});
   }
   if (limit < scored.size()) {
     std::nth_element(scored.begin(), scored.begin() + limit, scored.end(),
@@ -44,20 +58,6 @@ RankedMatches PlainSearchEngine::TopMatches(const KeywordQuery& query,
   std::sort(scored.begin(), scored.end(), RankBefore);
   out.docs = std::move(scored);
   return out;
-}
-
-SearchResult PlainSearchEngine::Search(const KeywordQuery& query) {
-  RankedMatches ranked = TopMatches(query, k_);
-  SearchResult result;
-  if (ranked.total_matches == 0) {
-    result.status = QueryStatus::kUnderflow;
-  } else if (ranked.total_matches > k_) {
-    result.status = QueryStatus::kOverflow;
-  } else {
-    result.status = QueryStatus::kValid;
-  }
-  result.docs = std::move(ranked.docs);
-  return result;
 }
 
 size_t PlainSearchEngine::MatchCount(const KeywordQuery& query) const {
@@ -79,6 +79,8 @@ std::vector<DocId> PlainSearchEngine::MatchIds(const KeywordQuery& query) const 
 
 std::vector<ScoredDoc> PlainSearchEngine::RankDocs(
     const KeywordQuery& query, std::span<const DocId> docs) const {
+  const ScoringContext context =
+      MakeScoringContext(*index_, query.terms());
   std::vector<ScoredDoc> scored;
   scored.reserve(docs.size());
   for (DocId id : docs) {
@@ -90,7 +92,9 @@ std::vector<ScoredDoc> PlainSearchEngine::RankDocs(
     for (TermId term : query.terms()) {
       match.freqs.push_back(doc.FrequencyOf(term));
     }
-    scored.push_back({id, scorer_->Score(*index_, query.terms(), match)});
+    scored.push_back(
+        {id, scorer_->ScoreMatch(context,
+                                 static_cast<double>(doc.length()), match)});
   }
   std::sort(scored.begin(), scored.end(), RankBefore);
   return scored;

@@ -22,39 +22,90 @@ struct RankedMatches {
   size_t total_matches = 0;
 };
 
+/// The engine's deterministic ranking order: descending score, ties broken
+/// by ascending doc id. A strict total order over any answer set (document
+/// ids are unique), which is what makes top-k selection — and the sharded
+/// engine's scatter-gather merge — exact rather than merely equivalent.
+bool RankBefore(const ScoredDoc& a, const ScoredDoc& b);
+
+/// Privileged (server-side) engine interface the suppression layer builds
+/// on: deterministic conjunctive matching and ranking over *one logical
+/// corpus*, plus the dense document-id mapping Θ_R and state persistence
+/// require. Implemented by PlainSearchEngine (a single InvertedIndex) and
+/// ShardedSearchService (scatter-gather over a ShardedInvertedIndex); the
+/// AS-SIMPLE / AS-ARBI engines run unchanged on either, because both
+/// present identical answers, match counts, and local-id assignments.
+class MatchingEngine : public SearchService {
+ public:
+  /// Public interface: TopMatches(k) mapped to the restrictive
+  /// underflow/valid/overflow answer model of Section 2.1.
+  SearchResult Search(const KeywordQuery& query) override;
+
+  /// Server-side: the top `limit` matches and the total match count.
+  virtual RankedMatches TopMatches(const KeywordQuery& query,
+                                   size_t limit) const = 0;
+
+  /// Server-side: |Sel(q)|.
+  virtual size_t MatchCount(const KeywordQuery& query) const = 0;
+
+  /// Server-side: ids of all matching documents, ascending.
+  virtual std::vector<DocId> MatchIds(const KeywordQuery& query) const = 0;
+
+  /// Server-side: scores the given documents (each must match the query and
+  /// be in the corpus) and returns them ranked exactly as Search would.
+  /// Used by AS-ARBI's virtual query processing to rank an answer composed
+  /// from historic results.
+  virtual std::vector<ScoredDoc> RankDocs(const KeywordQuery& query,
+                                          std::span<const DocId> docs)
+      const = 0;
+
+  /// Number of documents in the logical corpus.
+  virtual size_t NumDocuments() const = 0;
+
+  /// Dense local id of a document; aborts if the document is not indexed.
+  /// Ascending local id == ascending universe DocId, independent of how
+  /// the corpus is partitioned into shards.
+  virtual uint32_t LocalOf(DocId id) const = 0;
+
+  /// Universe DocId for a dense local id.
+  virtual DocId LocalToId(uint32_t local) const = 0;
+
+  /// The indexed corpus.
+  virtual const Corpus& corpus() const = 0;
+};
+
 /// The undefended enterprise search engine substrate: deterministic
 /// conjunctive keyword search with top-k truncation over an inverted index.
 ///
 /// Plays the role of Windows Search 4.0 in the paper's experiments. The
 /// public `Search` obeys the restrictive interface model of Section 2.1;
-/// the suppression engines are constructed *around* a PlainSearchEngine and
+/// the suppression engines are constructed *around* a MatchingEngine and
 /// use its privileged `TopMatches` / `MatchIds` accessors.
-class PlainSearchEngine : public SearchService {
+class PlainSearchEngine : public MatchingEngine {
  public:
   /// Builds an engine over `index` (borrowed; must outlive the engine).
   /// `scorer` defaults to BM25. `k` is the interface's result limit.
   PlainSearchEngine(const InvertedIndex& index, size_t k,
                     std::unique_ptr<ScoringFunction> scorer = nullptr);
 
-  SearchResult Search(const KeywordQuery& query) override;
-
   size_t k() const override { return k_; }
 
-  /// Server-side: the top `limit` matches and the total match count.
-  RankedMatches TopMatches(const KeywordQuery& query, size_t limit) const;
+  RankedMatches TopMatches(const KeywordQuery& query,
+                           size_t limit) const override;
 
-  /// Server-side: |Sel(q)|.
-  size_t MatchCount(const KeywordQuery& query) const;
+  size_t MatchCount(const KeywordQuery& query) const override;
 
-  /// Server-side: ids of all matching documents, ascending.
-  std::vector<DocId> MatchIds(const KeywordQuery& query) const;
+  std::vector<DocId> MatchIds(const KeywordQuery& query) const override;
 
-  /// Server-side: scores the given documents (each must match the query and
-  /// be in the corpus) and returns them ranked exactly as Search would.
-  /// Used by AS-ARBI's virtual query processing to rank an answer composed
-  /// from historic results.
   std::vector<ScoredDoc> RankDocs(const KeywordQuery& query,
-                                  std::span<const DocId> docs) const;
+                                  std::span<const DocId> docs) const override;
+
+  size_t NumDocuments() const override { return index_->NumDocuments(); }
+  uint32_t LocalOf(DocId id) const override { return index_->LocalOf(id); }
+  DocId LocalToId(uint32_t local) const override {
+    return index_->LocalToId(local);
+  }
+  const Corpus& corpus() const override { return index_->corpus(); }
 
   const InvertedIndex& index() const { return *index_; }
   const ScoringFunction& scorer() const { return *scorer_; }

@@ -1,0 +1,185 @@
+#include "asup/engine/sharded_service.h"
+
+#include <algorithm>
+
+#include "asup/obs/trace.h"
+#include "asup/util/check.h"
+
+namespace asup {
+
+ShardedSearchService::ShardedSearchService(
+    const ShardedInvertedIndex& index, size_t k, ThreadPool* pool,
+    std::unique_ptr<ScoringFunction> scorer)
+    : index_(&index),
+      k_(k),
+      pool_(pool),
+      scorer_(scorer ? std::move(scorer) : MakeDefaultScorer()) {}
+
+void ShardedSearchService::ForEachShard(
+    const std::function<void(size_t)>& body) const {
+  const size_t shards = index_->NumShards();
+  ASUP_METRIC_COUNT("asup_shard_fanout_total", shards);
+  if (pool_ == nullptr || shards == 1) {
+    for (size_t s = 0; s < shards; ++s) body(s);
+    return;
+  }
+  pool_->ParallelFor(shards, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) body(s);
+  });
+}
+
+ScoringContext ShardedSearchService::MakeContext(
+    std::span<const TermId> terms) const {
+  ScoringContext context;
+  context.stats = &index_->stats();
+  context.dfs.reserve(terms.size());
+  for (TermId term : terms) {
+    context.dfs.push_back(index_->DocumentFrequency(term));
+  }
+  return context;
+}
+
+RankedMatches ShardedSearchService::TopMatches(const KeywordQuery& query,
+                                               size_t limit) const {
+  RankedMatches out;
+  if (query.terms().empty()) return out;  // unknown word or empty query
+  const std::span<const TermId> terms = query.terms();
+  const ScoringContext context = MakeContext(terms);
+
+  // Scatter: each shard matches and scores its own document range against
+  // the global context, keeping only its local top-`limit` — a superset of
+  // the shard's contribution to the global top-`limit`. Slots are
+  // preallocated, so the phase is deterministic under any scheduling.
+  struct ShardCandidates {
+    std::vector<ScoredDoc> docs;
+    size_t total_matches = 0;
+  };
+  std::vector<ShardCandidates> slots(index_->NumShards());
+  ForEachShard([&](size_t s) {
+    // Attributes the span to the caller's trace when this chunk runs on
+    // the issuing thread; always feeds the shard_match latency histogram.
+    ASUP_TRACE_STAGE(obs::Stage::kShardMatch);
+    const InvertedIndex& shard = index_->Shard(s);
+    const std::vector<MatchedDoc> matches = shard.ConjunctiveMatch(terms);
+    ShardCandidates& slot = slots[s];
+    slot.total_matches = matches.size();
+    slot.docs.reserve(std::min(matches.size(), limit));
+    std::vector<ScoredDoc> scored;
+    scored.reserve(matches.size());
+    for (const MatchedDoc& match : matches) {
+      scored.push_back(
+          {shard.LocalToId(match.local_doc),
+           scorer_->ScoreMatch(
+               context,
+               static_cast<double>(shard.DocAt(match.local_doc).length()),
+               match)});
+    }
+    if (limit < scored.size()) {
+      std::nth_element(scored.begin(), scored.begin() + limit, scored.end(),
+                       RankBefore);
+      scored.resize(limit);
+    }
+    slot.docs = std::move(scored);
+  });
+
+  // Gather: exact global merge. RankBefore is a strict total order over
+  // distinct document ids, so the top-`limit` of the concatenated
+  // candidates is unique — bitwise the single-index answer.
+  {
+    ASUP_TRACE_STAGE(obs::Stage::kShardMerge);
+    size_t candidates = 0;
+    for (const ShardCandidates& slot : slots) {
+      out.total_matches += slot.total_matches;
+      candidates += slot.docs.size();
+    }
+    std::vector<ScoredDoc> merged;
+    merged.reserve(candidates);
+    for (ShardCandidates& slot : slots) {
+      merged.insert(merged.end(), slot.docs.begin(), slot.docs.end());
+    }
+    ASUP_METRIC_OBSERVE_SIZE("asup_shard_merge_candidates", candidates);
+    if (limit < merged.size()) {
+      std::nth_element(merged.begin(), merged.begin() + limit, merged.end(),
+                       RankBefore);
+      merged.resize(limit);
+    }
+    std::sort(merged.begin(), merged.end(), RankBefore);
+    // Merge-ordering contract: a strict total order admits exactly one
+    // sorted answer of at most `limit` documents, none repeated.
+    ASUP_CHECK_LE(merged.size(), std::min(limit, candidates));
+    ASUP_CONTRACTS_ONLY(for (size_t i = 1; i < merged.size(); ++i) {
+      ASUP_CHECK(RankBefore(merged[i - 1], merged[i]));
+    })
+    ASUP_CHECK_LE(merged.size(), out.total_matches);
+    out.docs = std::move(merged);
+  }
+  ASUP_TRACE_NOTE("shard_fanout", index_->NumShards());
+  return out;
+}
+
+size_t ShardedSearchService::MatchCount(const KeywordQuery& query) const {
+  if (query.terms().empty()) return 0;
+  const std::span<const TermId> terms = query.terms();
+  std::vector<size_t> counts(index_->NumShards(), 0);
+  ForEachShard([&](size_t s) {
+    ASUP_TRACE_STAGE(obs::Stage::kShardMatch);
+    counts[s] = index_->Shard(s).MatchCount(terms);
+  });
+  size_t total = 0;
+  for (size_t count : counts) total += count;
+  return total;
+}
+
+std::vector<DocId> ShardedSearchService::MatchIds(
+    const KeywordQuery& query) const {
+  std::vector<DocId> ids;
+  if (query.terms().empty()) return ids;
+  const std::span<const TermId> terms = query.terms();
+  std::vector<std::vector<DocId>> slots(index_->NumShards());
+  ForEachShard([&](size_t s) {
+    ASUP_TRACE_STAGE(obs::Stage::kShardMatch);
+    const InvertedIndex& shard = index_->Shard(s);
+    const std::vector<MatchedDoc> matches = shard.ConjunctiveMatch(terms);
+    slots[s].reserve(matches.size());
+    for (const MatchedDoc& match : matches) {
+      slots[s].push_back(shard.LocalToId(match.local_doc));
+    }
+  });
+  // Shards hold ascending, disjoint DocId ranges; concatenating in shard
+  // order is the single-index ascending id list.
+  ASUP_TRACE_STAGE(obs::Stage::kShardMerge);
+  size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  ids.reserve(total);
+  for (const auto& slot : slots) {
+    ids.insert(ids.end(), slot.begin(), slot.end());
+  }
+  ASUP_CONTRACTS_ONLY(
+      ASUP_CHECK(std::is_sorted(ids.begin(), ids.end()));)
+  return ids;
+}
+
+std::vector<ScoredDoc> ShardedSearchService::RankDocs(
+    const KeywordQuery& query, std::span<const DocId> docs) const {
+  const ScoringContext context = MakeContext(query.terms());
+  std::vector<ScoredDoc> scored;
+  scored.reserve(docs.size());
+  for (DocId id : docs) {
+    const size_t s = index_->ShardOfLocal(index_->LocalOf(id));
+    const InvertedIndex& shard = index_->Shard(s);
+    MatchedDoc match;
+    match.local_doc = shard.LocalOf(id);
+    const Document& doc = shard.DocAt(match.local_doc);
+    match.freqs.reserve(query.terms().size());
+    for (TermId term : query.terms()) {
+      match.freqs.push_back(doc.FrequencyOf(term));
+    }
+    scored.push_back(
+        {id, scorer_->ScoreMatch(context,
+                                 static_cast<double>(doc.length()), match)});
+  }
+  std::sort(scored.begin(), scored.end(), RankBefore);
+  return scored;
+}
+
+}  // namespace asup

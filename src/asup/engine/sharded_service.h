@@ -1,0 +1,82 @@
+#ifndef ASUP_ENGINE_SHARDED_SERVICE_H_
+#define ASUP_ENGINE_SHARDED_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "asup/engine/scoring.h"
+#include "asup/engine/search_engine.h"
+#include "asup/index/sharded_index.h"
+#include "asup/util/thread_pool.h"
+
+namespace asup {
+
+/// Scatter-gather query engine over a ShardedInvertedIndex: fans the match
+/// + local top-k scoring phase out across shards (on a ThreadPool when one
+/// is attached, serially otherwise), then merges the per-shard candidates
+/// into the exact global ranking before anything downstream sees them.
+///
+/// Exactness, not approximation: every shard scores its matches with the
+/// *global* ScoringContext (corpus-wide document count, average length and
+/// per-term document frequencies), and the ranking order RankBefore is a
+/// strict total order, so a shard's local top-`limit` superset of the
+/// global top-`limit` merges into bitwise the same answer a single-index
+/// PlainSearchEngine produces. The per-shard work writes to preallocated
+/// per-shard slots and reads only immutable state, so results are
+/// independent of worker scheduling — with or without a pool, with any
+/// shard count.
+///
+/// Suppression (AS-SIMPLE / AS-ARBI) wraps this engine through the
+/// MatchingEngine interface and runs strictly post-merge: μ/γ segment
+/// arithmetic, Θ_R and the history store all see one logical corpus of
+/// NumDocuments() documents, exactly as the paper assumes (DESIGN.md §12).
+class ShardedSearchService : public MatchingEngine {
+ public:
+  /// Builds the service over `index` (borrowed). `pool` (borrowed,
+  /// optional) parallelizes the scatter phase; null means a serial
+  /// fan-out with identical results. `scorer` defaults to BM25.
+  ShardedSearchService(const ShardedInvertedIndex& index, size_t k,
+                       ThreadPool* pool = nullptr,
+                       std::unique_ptr<ScoringFunction> scorer = nullptr);
+
+  size_t k() const override { return k_; }
+
+  RankedMatches TopMatches(const KeywordQuery& query,
+                           size_t limit) const override;
+
+  size_t MatchCount(const KeywordQuery& query) const override;
+
+  std::vector<DocId> MatchIds(const KeywordQuery& query) const override;
+
+  std::vector<ScoredDoc> RankDocs(const KeywordQuery& query,
+                                  std::span<const DocId> docs) const override;
+
+  size_t NumDocuments() const override { return index_->NumDocuments(); }
+  uint32_t LocalOf(DocId id) const override { return index_->LocalOf(id); }
+  DocId LocalToId(uint32_t local) const override {
+    return index_->LocalToId(local);
+  }
+  const Corpus& corpus() const override { return index_->corpus(); }
+
+  const ShardedInvertedIndex& index() const { return *index_; }
+  const ScoringFunction& scorer() const { return *scorer_; }
+
+ private:
+  /// Runs `body(s)` for every shard s — on the pool when attached (the
+  /// calling thread participates), serially otherwise. `body` must only
+  /// write to shard-`s`-owned slots.
+  void ForEachShard(const std::function<void(size_t)>& body) const;
+
+  /// The global scoring inputs of one query (see ScoringContext).
+  ScoringContext MakeContext(std::span<const TermId> terms) const;
+
+  const ShardedInvertedIndex* index_;
+  size_t k_;
+  ThreadPool* pool_;
+  std::unique_ptr<ScoringFunction> scorer_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ENGINE_SHARDED_SERVICE_H_

@@ -1,13 +1,29 @@
 #include "asup/index/inverted_index.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
+
+#include "asup/util/check.h"
 
 namespace asup {
 
-InvertedIndex::InvertedIndex(const Corpus& corpus) : corpus_(&corpus) {
-  docs_by_local_.reserve(corpus.size());
-  for (const auto& doc : corpus.documents()) docs_by_local_.push_back(&doc);
+namespace {
+
+std::vector<const Document*> AllDocuments(const Corpus& corpus) {
+  std::vector<const Document*> docs;
+  docs.reserve(corpus.size());
+  for (const auto& doc : corpus.documents()) docs.push_back(&doc);
+  return docs;
+}
+
+}  // namespace
+
+InvertedIndex::InvertedIndex(const Corpus& corpus)
+    : InvertedIndex(corpus, AllDocuments(corpus)) {}
+
+InvertedIndex::InvertedIndex(const Corpus& corpus,
+                             std::vector<const Document*> docs)
+    : corpus_(&corpus), docs_by_local_(std::move(docs)) {
   std::sort(docs_by_local_.begin(), docs_by_local_.end(),
             [](const Document* a, const Document* b) {
               return a->id() < b->id();
@@ -20,17 +36,21 @@ InvertedIndex::InvertedIndex(const Corpus& corpus) : corpus_(&corpus) {
     const Document& doc = *docs_by_local_[local];
     total_length += doc.length();
     for (const TermFreq& entry : doc.terms()) {
-      assert(entry.term < builders.size());
+      ASUP_DCHECK(entry.term < builders.size());
       builders[entry.term].Add(local, entry.freq);
     }
   }
 
-  stats_.num_documents = corpus.size();
+  stats_.num_documents = docs_by_local_.size();
+  // An empty (sub)corpus has average length 0 by definition — the 0/0 NaN
+  // would otherwise leak through BM25 into CSV reports.
   stats_.average_doc_length =
-      corpus.size() == 0
+      docs_by_local_.empty()
           ? 0.0
           : static_cast<double>(total_length) /
-                static_cast<double>(corpus.size());
+                static_cast<double>(docs_by_local_.size());
+  ASUP_CHECK(std::isfinite(stats_.average_doc_length));
+  ASUP_CHECK(stats_.average_doc_length >= 0.0);
   for (size_t term = 0; term < builders.size(); ++term) {
     const size_t df = builders[term].size();
     if (df == 0) continue;
@@ -46,7 +66,7 @@ uint32_t InvertedIndex::LocalOf(DocId id) const {
                              [](const Document* doc, DocId value) {
                                return doc->id() < value;
                              });
-  assert(it != docs_by_local_.end() && (*it)->id() == id);
+  ASUP_CHECK(it != docs_by_local_.end() && (*it)->id() == id);
   return static_cast<uint32_t>(it - docs_by_local_.begin());
 }
 

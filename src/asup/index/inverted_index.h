@@ -37,8 +37,14 @@ struct IndexStats {
 /// corpus, which must outlive it.
 class InvertedIndex {
  public:
-  /// Builds the index; O(total tokens).
+  /// Builds the index over the whole corpus; O(total tokens).
   explicit InvertedIndex(const Corpus& corpus);
+
+  /// Builds the index over a subset of `corpus` (each document borrowed
+  /// from it) — the per-shard constructor used by ShardedInvertedIndex.
+  /// Local ids follow ascending document id within the subset, and stats()
+  /// describes the subset only.
+  InvertedIndex(const Corpus& corpus, std::vector<const Document*> docs);
 
   InvertedIndex(const InvertedIndex&) = delete;
   InvertedIndex& operator=(const InvertedIndex&) = delete;

@@ -1,9 +1,27 @@
 #include "asup/index/postings.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "asup/util/check.h"
 
 namespace asup {
+
+namespace {
+
+/// Largest shift a 5-byte varbyte payload may reach: bits [28, 32) come
+/// from the fifth byte, which therefore may carry at most 4 payload bits.
+constexpr int kMaxVarByteShift = 28;
+
+[[noreturn]] void VarByteFailure(const char* reason, size_t offset) {
+  std::fprintf(stderr,
+               "asup: posting varbyte decode failed at offset %zu: %s\n",
+               offset, reason);
+  std::abort();
+}
+
+}  // namespace
 
 void AppendVarByte(uint32_t value, std::vector<uint8_t>& out) {
   while (value >= 0x80) {
@@ -13,22 +31,44 @@ void AppendVarByte(uint32_t value, std::vector<uint8_t>& out) {
   out.push_back(static_cast<uint8_t>(value));
 }
 
-uint32_t ReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset) {
-  uint32_t value = 0;
+bool TryReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset,
+                    uint32_t& value) {
+  uint32_t decoded = 0;
   int shift = 0;
+  size_t at = offset;
   while (true) {
-    assert(offset < bytes.size());
-    const uint8_t byte = bytes[offset++];
-    value |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if (at >= bytes.size()) return false;  // truncated mid-varint
+    const uint8_t byte = bytes[at];
+    if (shift == kMaxVarByteShift &&
+        (byte & 0x80 || (byte & 0x7f) > 0x0f)) {
+      // Overlong: a sixth byte, or fifth-byte bits that do not fit in 32.
+      // Rejecting (instead of shifting by >= 32, which is UB) also keeps
+      // the encoding canonical — AppendVarByte never emits these.
+      return false;
+    }
+    decoded |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    ++at;
     if ((byte & 0x80) == 0) break;
     shift += 7;
+  }
+  value = decoded;
+  offset = at;
+  return true;
+}
+
+uint32_t ReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset) {
+  uint32_t value = 0;
+  if (!TryReadVarByte(bytes, offset, value)) {
+    VarByteFailure(offset >= bytes.size() ? "truncated input"
+                                          : "overlong encoding",
+                   offset);
   }
   return value;
 }
 
 void PostingList::Builder::Add(uint32_t local_doc, uint32_t freq) {
-  assert(freq >= 1);
-  assert(count_ == 0 || local_doc > last_doc_);
+  ASUP_DCHECK(freq >= 1);
+  ASUP_DCHECK(count_ == 0 || local_doc > last_doc_);
   if (count_ % kPostingBlock == 0) {
     // Block boundary: record a skip entry (except for the very first
     // block, which the iterator starts in anyway) and encode the absolute
@@ -61,6 +101,9 @@ PostingList::Iterator::Iterator(const PostingList* list) : list_(list) {
 }
 
 void PostingList::Iterator::ReadCurrent() {
+  // ReadVarByte is bounds-checked in every build type, so a count_ that
+  // overstates the payload (or a corrupt skip offset) aborts instead of
+  // reading out of bounds.
   const uint32_t value = ReadVarByte(list_->bytes_, offset_);
   current_.local_doc =
       index_ % kPostingBlock == 0 ? value : current_.local_doc + value;
@@ -68,7 +111,7 @@ void PostingList::Iterator::ReadCurrent() {
 }
 
 void PostingList::Iterator::Next() {
-  assert(Valid());
+  ASUP_DCHECK(Valid());
   ++index_;
   if (!Valid()) return;
   ReadCurrent();
@@ -86,6 +129,8 @@ void PostingList::Iterator::SkipTo(uint32_t target) {
   if (it != skips.begin()) {
     const auto& entry = *(it - 1);
     if (entry.index > index_) {
+      // Skip entries are builder-produced; their offsets point at block
+      // starts inside bytes_, and ReadCurrent re-validates every byte.
       index_ = entry.index;
       offset_ = entry.offset;
       ReadCurrent();

@@ -118,7 +118,21 @@ class PostingList {
 /// Appends `value` to `out` in LEB128-style variable-byte encoding.
 void AppendVarByte(uint32_t value, std::vector<uint8_t>& out);
 
+/// Decodes one variable-byte integer starting at `offset`. Returns false —
+/// without ever reading past `bytes.size()` — when the input is truncated
+/// (a continuation byte at the end of `bytes`) or overlong (a fifth payload
+/// byte carrying bits beyond 32, or any sixth byte), which AppendVarByte
+/// never produces. On success stores the value, advances `offset` past the
+/// encoding, and returns true; on failure `offset` is left at the
+/// offending byte.
+bool TryReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset,
+                    uint32_t& value);
+
 /// Decodes one variable-byte integer starting at `offset`, advancing it.
+/// Aborts (in every build type, including plain Release) on truncated or
+/// overlong input: posting bytes are produced in-process by
+/// PostingList::Builder, so a malformed byte stream is memory corruption,
+/// not a recoverable condition. Use TryReadVarByte for untrusted bytes.
 uint32_t ReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset);
 
 }  // namespace asup

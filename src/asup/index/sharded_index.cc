@@ -1,0 +1,107 @@
+#include "asup/index/sharded_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asup/util/check.h"
+
+namespace asup {
+
+ShardedInvertedIndex::ShardedInvertedIndex(const Corpus& corpus,
+                                           size_t num_shards)
+    : corpus_(&corpus) {
+  // Clamp to [1, corpus size]: every shard non-empty (an empty corpus
+  // degenerates to one empty shard).
+  const size_t n = corpus.size();
+  const size_t shards = std::max<size_t>(
+      1, std::min(num_shards, std::max<size_t>(n, 1)));
+
+  // Ascending-DocId order is the single-index local-id order; contiguous
+  // ranges of it keep the global local-id space identical.
+  std::vector<const Document*> docs;
+  docs.reserve(n);
+  for (const auto& doc : corpus.documents()) docs.push_back(&doc);
+  std::sort(docs.begin(), docs.end(),
+            [](const Document* a, const Document* b) {
+              return a->id() < b->id();
+            });
+
+  shards_.reserve(shards);
+  bases_.reserve(shards + 1);
+  shard_first_id_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = s * n / shards;
+    const size_t end = (s + 1) * n / shards;
+    bases_.push_back(static_cast<uint32_t>(begin));
+    shard_first_id_.push_back(begin < end ? docs[begin]->id() : kInvalidDoc);
+    shards_.push_back(std::make_unique<InvertedIndex>(
+        corpus, std::vector<const Document*>(docs.begin() + begin,
+                                             docs.begin() + end)));
+  }
+  bases_.push_back(static_cast<uint32_t>(n));
+
+  // Shard-count / partition invariants: contiguous, disjoint, covering,
+  // in ascending id order.
+  ASUP_CHECK(shards_.size() >= 1);
+  ASUP_CHECK_EQ(bases_.size(), shards_.size() + 1);
+  ASUP_CONTRACTS_ONLY(for (size_t s = 0; s < shards_.size(); ++s) {
+    ASUP_CHECK_EQ(bases_[s] + shards_[s]->NumDocuments(), bases_[s + 1]);
+    ASUP_CHECK(s == 0 || shard_first_id_[s - 1] < shard_first_id_[s] ||
+               shards_[s]->NumDocuments() == 0);
+  })
+
+  // Global statistics, computed with the same arithmetic as a single
+  // InvertedIndex over the whole corpus (scoring consumes num_documents
+  // and average_doc_length; both must be bitwise identical).
+  uint64_t total_length = 0;
+  for (const Document* doc : docs) total_length += doc->length();
+  stats_.num_documents = n;
+  stats_.average_doc_length =
+      n == 0 ? 0.0
+             : static_cast<double>(total_length) / static_cast<double>(n);
+  ASUP_CHECK(std::isfinite(stats_.average_doc_length));
+  uint64_t num_terms = 0;
+  for (TermId term = 0; term < corpus.vocabulary().size(); ++term) {
+    const size_t df = DocumentFrequency(term);
+    if (df > 0) ++num_terms;
+    stats_.num_postings += df;
+  }
+  stats_.num_terms = num_terms;
+  for (const auto& shard : shards_) {
+    stats_.posting_bytes += shard->stats().posting_bytes;
+  }
+}
+
+size_t ShardedInvertedIndex::DocumentFrequency(TermId term) const {
+  // Shards partition the corpus, so per-shard frequencies sum to exactly
+  // the single-index document frequency.
+  size_t df = 0;
+  for (const auto& shard : shards_) df += shard->DocumentFrequency(term);
+  return df;
+}
+
+size_t ShardedInvertedIndex::ShardOfLocal(uint32_t local) const {
+  ASUP_DCHECK(local < NumDocuments());
+  const auto it =
+      std::upper_bound(bases_.begin(), bases_.end() - 1, local);
+  return static_cast<size_t>(it - bases_.begin()) - 1;
+}
+
+DocId ShardedInvertedIndex::LocalToId(uint32_t local) const {
+  const size_t s = ShardOfLocal(local);
+  return shards_[s]->LocalToId(local - bases_[s]);
+}
+
+uint32_t ShardedInvertedIndex::LocalOf(DocId id) const {
+  size_t s = 0;
+  const auto it = std::upper_bound(shard_first_id_.begin(),
+                                   shard_first_id_.end(), id);
+  if (it != shard_first_id_.begin()) {
+    s = static_cast<size_t>(it - shard_first_id_.begin()) - 1;
+  }
+  // An id below the first shard's range routes to shard 0, whose LocalOf
+  // rejects it like a single index would.
+  return bases_[s] + shards_[s]->LocalOf(id);
+}
+
+}  // namespace asup

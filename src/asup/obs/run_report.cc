@@ -98,14 +98,22 @@ std::string RunReport::Json() const {
   for (const auto& [name, value] : counters_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + JsonKey(name) + "\":" + std::to_string(value);
+    // Built with append rather than operator+(const char*, string&&): GCC
+    // 12's -O3 -Werror=restrict misfires on the rvalue-string overload.
+    out += "\"";
+    out += JsonKey(name);
+    out += "\":";
+    out += std::to_string(value);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : gauges_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + JsonKey(name) + "\":" + FormatDouble(value);
+    out += "\"";
+    out += JsonKey(name);
+    out += "\":";
+    out += FormatDouble(value);
   }
   out += "}}";
   return out;

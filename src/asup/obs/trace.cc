@@ -52,6 +52,12 @@ Histogram& StageHistogram(Stage stage) {
           "asup_pipeline_stage_ns{stage=\"prefetch\"}", LatencyBucketsNanos()),
       &MetricsRegistry::Default().HistogramOf(
           "asup_pipeline_stage_ns{stage=\"commit\"}", LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"shard_match\"}",
+          LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"shard_merge\"}",
+          LatencyBucketsNanos()),
   };
   return *histograms[static_cast<size_t>(stage)];
 }
@@ -113,6 +119,10 @@ const char* StageName(Stage stage) {
       return "prefetch";
     case Stage::kCommit:
       return "commit";
+    case Stage::kShardMatch:
+      return "shard_match";
+    case Stage::kShardMerge:
+      return "shard_merge";
   }
   return "?";
 }

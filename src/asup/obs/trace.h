@@ -52,8 +52,11 @@ enum class Stage : uint8_t {
   kHistoryRecord,   // AS-ARBI history append (exclusive lock)
   kPrefetch,        // BatchExecutor deterministic-mode parallel prefetch
   kCommit,          // BatchExecutor deterministic-mode serial commit
+  kShardMatch,      // scatter: match + local top-k on one index shard
+  kShardMerge,      // gather: exact global merge of per-shard candidates
 };
-inline constexpr size_t kNumStages = static_cast<size_t>(Stage::kCommit) + 1;
+inline constexpr size_t kNumStages =
+    static_cast<size_t>(Stage::kShardMerge) + 1;
 
 const char* StageName(Stage stage);
 

@@ -22,7 +22,7 @@ AsSimpleConfig InnerSimpleConfig(const AsArbiConfig& config) {
 
 }  // namespace
 
-AsArbiEngine::AsArbiEngine(PlainSearchEngine& base, const AsArbiConfig& config)
+AsArbiEngine::AsArbiEngine(MatchingEngine& base, const AsArbiConfig& config)
     : base_(&base),
       config_(config),
       simple_(base, InnerSimpleConfig(config)),

@@ -75,8 +75,10 @@ class AsArbiEngine : public PrefetchableService {
   friend bool SaveDefenseState(const AsArbiEngine&, std::ostream&);
   friend bool LoadDefenseState(AsArbiEngine&, std::istream&);
 
-  /// Wraps `base` (borrowed; must outlive this engine).
-  AsArbiEngine(PlainSearchEngine& base, const AsArbiConfig& config);
+  /// Wraps `base` (borrowed; must outlive this engine) — any
+  /// MatchingEngine (single-index or sharded); suppression and virtual
+  /// query processing run post-merge on the one logical corpus.
+  AsArbiEngine(MatchingEngine& base, const AsArbiConfig& config);
 
   SearchResult Search(const KeywordQuery& query) override;
 
@@ -119,7 +121,7 @@ class AsArbiEngine : public PrefetchableService {
                                const std::vector<DocId>& match_ids,
                                const CoverResult& cover);
 
-  PlainSearchEngine* base_;
+  MatchingEngine* base_;
   AsArbiConfig config_;
   AsSimpleEngine simple_;
   HistoryStore history_;

@@ -12,7 +12,7 @@ AsSimpleConfig InnerSimpleConfig(const AsDeclineConfig& config) {
 
 }  // namespace
 
-AsDeclineEngine::AsDeclineEngine(PlainSearchEngine& base,
+AsDeclineEngine::AsDeclineEngine(MatchingEngine& base,
                                  const AsDeclineConfig& config)
     : base_(&base),
       config_(config),

@@ -39,7 +39,7 @@ struct AsDeclineStats {
 /// comparison measurable (see bench_ablation_decline).
 class AsDeclineEngine : public SearchService {
  public:
-  AsDeclineEngine(PlainSearchEngine& base, const AsDeclineConfig& config);
+  AsDeclineEngine(MatchingEngine& base, const AsDeclineConfig& config);
 
   SearchResult Search(const KeywordQuery& query) override;
 
@@ -50,7 +50,7 @@ class AsDeclineEngine : public SearchService {
   const AsSimpleEngine& simple_engine() const { return simple_; }
 
  private:
-  PlainSearchEngine* base_;
+  MatchingEngine* base_;
   AsDeclineConfig config_;
   AsSimpleEngine simple_;
   HistoryStore history_;

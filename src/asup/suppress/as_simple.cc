@@ -9,16 +9,15 @@
 
 namespace asup {
 
-AsSimpleEngine::AsSimpleEngine(PlainSearchEngine& base,
+AsSimpleEngine::AsSimpleEngine(MatchingEngine& base,
                                const AsSimpleConfig& config)
     : base_(&base),
       config_(config),
-      segment_(std::max<size_t>(base.index().NumDocuments(), 1),
-               config.gamma),
+      segment_(std::max<size_t>(base.NumDocuments(), 1), config.gamma),
       coin_(config.secret_key),
       m_limit_(static_cast<size_t>(
           std::ceil(config.gamma * static_cast<double>(base.k())))),
-      returned_before_(base.index().NumDocuments()) {
+      returned_before_(base.NumDocuments()) {
   // γ > 1 (checked again by the segment) implies |M(q)| may exceed k, which
   // is what lets trimmed top-k documents be replaced by lower-ranked ones.
   ASUP_CHECK_LE(base.k(), m_limit_);
@@ -35,9 +34,8 @@ AsSimpleStats AsSimpleEngine::stats() const {
 }
 
 bool AsSimpleEngine::IsActivated(DocId doc) const {
-  const InvertedIndex& index = base_->index();
-  if (!index.corpus().Contains(doc)) return false;
-  return returned_before_.Test(index.LocalOf(doc));
+  if (!base_->corpus().Contains(doc)) return false;
+  return returned_before_.Test(base_->LocalOf(doc));
 }
 
 QueryPrefetch AsSimpleEngine::PrefetchMatches(const KeywordQuery& query) const {
@@ -114,7 +112,6 @@ SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
   // (exactly as in Algorithm 1, where line 14 runs after the loop). The
   // atomic test-and-set makes the fresh-or-returned decision per document
   // linearizable under concurrent queries.
-  const InvertedIndex& index = base_->index();
   const double keep_probability = segment_.edge_keep_probability();
   // Line 9's edge-removal coin keeps with probability μ/γ ∈ (0, 1]
   // (equivalently hides with probability 1 − μ/γ ∈ [0, 1)).
@@ -127,7 +124,7 @@ SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
   {
     ASUP_TRACE_STAGE(obs::Stage::kHide);
     for (const ScoredDoc& scored : ranked.docs) {
-      if (returned_before_.TestAndSet(index.LocalOf(scored.doc))) {
+      if (returned_before_.TestAndSet(base_->LocalOf(scored.doc))) {
         if (coin_.Accept(query.hash(), scored.doc, keep_probability)) {
           survivors.push_back(scored);
           ++reshown;
@@ -154,7 +151,7 @@ SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
   // activated (Algorithm 1 runs line 14 after the loop; §5.1 depends on
   // all of M(q) entering Θ_R).
   ASUP_CONTRACTS_ONLY(for (const ScoredDoc& scored : ranked.docs) {
-    ASUP_DCHECK(returned_before_.Test(index.LocalOf(scored.doc)));
+    ASUP_DCHECK(returned_before_.Test(base_->LocalOf(scored.doc)));
   })
   ASUP_CHECK_EQ(survivors.size() + hidden, m_size);
 

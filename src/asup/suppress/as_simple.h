@@ -71,8 +71,11 @@ class AsSimpleEngine : public PrefetchableService {
   friend bool SaveDefenseState(const AsSimpleEngine&, std::ostream&);
   friend bool LoadDefenseState(AsSimpleEngine&, std::istream&);
 
-  /// Wraps `base` (borrowed; must outlive this engine).
-  AsSimpleEngine(PlainSearchEngine& base, const AsSimpleConfig& config);
+  /// Wraps `base` (borrowed; must outlive this engine) — any
+  /// MatchingEngine: the single-index PlainSearchEngine or the sharded
+  /// scatter-gather ShardedSearchService. Suppression always runs
+  /// post-merge on the one logical corpus the base presents.
+  AsSimpleEngine(MatchingEngine& base, const AsSimpleConfig& config);
 
   SearchResult Search(const KeywordQuery& query) override;
 
@@ -89,7 +92,7 @@ class AsSimpleEngine : public PrefetchableService {
 
   const IndistinguishableSegment& segment() const { return segment_; }
   const AsSimpleConfig& config() const { return config_; }
-  PlainSearchEngine& base() const { return *base_; }
+  MatchingEngine& base() const { return *base_; }
 
   /// Snapshot of the processing counters (consistent only when quiesced).
   AsSimpleStats stats() const;
@@ -109,7 +112,7 @@ class AsSimpleEngine : public PrefetchableService {
   SearchResult SearchImpl(const KeywordQuery& query,
                           const QueryPrefetch* prefetch);
 
-  PlainSearchEngine* base_;
+  MatchingEngine* base_;
   AsSimpleConfig config_;
   IndistinguishableSegment segment_;
   DeterministicCoin coin_;

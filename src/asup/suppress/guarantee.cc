@@ -1,20 +1,20 @@
 #include "asup/suppress/guarantee.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "asup/suppress/segment.h"
+#include "asup/util/check.h"
 
 namespace asup {
 
 SuppressionGuarantee ComputeGuarantee(size_t corpus_size, double gamma,
                                       size_t k, size_t dmax,
                                       double aggregate_value, double delta) {
-  assert(corpus_size >= 1);
-  assert(gamma > 1.0);
-  assert(k >= 1);
-  assert(dmax >= 1);
-  assert(delta >= 0.0 && delta <= 1.0);
+  ASUP_CHECK(corpus_size >= 1);
+  ASUP_CHECK(gamma > 1.0);
+  ASUP_CHECK(k >= 1);
+  ASUP_CHECK(dmax >= 1);
+  ASUP_CHECK(delta >= 0.0 && delta <= 1.0);
 
   // γ^⌈log n / log γ⌉ — the emulated segment top (reuse the segment math;
   // for exact powers the ceiling equals the exponent itself).

@@ -1,8 +1,22 @@
 #include "asup/suppress/segment.h"
 
+#include <cmath>
+
 #include "asup/util/check.h"
 
 namespace asup {
+
+namespace {
+
+/// γ values that are exact small integers get the overflow-safe uint64
+/// power loop; 2^53 caps the range where the cast back to double in the
+/// comparison below is still exact for γ itself.
+bool IsExactIntegerGamma(double gamma) {
+  return gamma == std::floor(gamma) && gamma >= 2.0 &&
+         gamma <= 9007199254740992.0;  // 2^53
+}
+
+}  // namespace
 
 IndistinguishableSegment::IndistinguishableSegment(size_t corpus_size,
                                                    double gamma)
@@ -12,19 +26,38 @@ IndistinguishableSegment::IndistinguishableSegment(size_t corpus_size,
   // Find the largest i with γ^i <= n by repeated multiplication; avoids the
   // boundary instability of floor(log n / log γ) when n is an exact power.
   index_ = 0;
-  low_ = 1.0;
   const double n = static_cast<double>(corpus_size);
-  while (low_ * gamma_ <= n) {
-    low_ *= gamma_;
-    ++index_;
+  if (IsExactIntegerGamma(gamma_)) {
+    // Exact fast path: compute γ^i in uint64 arithmetic so that n = γ^i
+    // lands exactly on the segment bottom even when γ^i exceeds 2^53
+    // (where the double product loop below drifts and can off-by-one the
+    // segment index, or report μ marginally above γ).
+    const uint64_t g = static_cast<uint64_t>(gamma_);
+    uint64_t low = 1;
+    // low * g <= corpus_size, written division-side to avoid overflow.
+    while (low <= corpus_size / g) {
+      low *= g;
+      ++index_;
+    }
+    low_ = static_cast<double>(low);
+  } else {
+    low_ = 1.0;
+    while (low_ * gamma_ <= n) {
+      low_ *= gamma_;
+      ++index_;
+    }
+    ASUP_CHECK_LE(low_, n);
+    ASUP_CHECK_LT(n, low_ * gamma_);
   }
   mu_ = n / low_;
-  // Paper Section 4.2: μ = n/γ^⌊log n/log γ⌋ ∈ (1, γ] — equal to 1 only
-  // when n is an exact power of γ. Segment bounds: γ^i ≤ n < γ^{i+1}.
+  // Mathematically μ = n/γ^i ∈ [1, γ): γ^i ≤ n < γ^{i+1} exactly. The
+  // double division can still round onto γ when n and γ^i are huge and
+  // adjacent in double space; clamp to the largest representable value
+  // below γ rather than let a rounding artifact violate the paper bound
+  // (a keep probability μ/γ > 1 downstream).
+  if (mu_ >= gamma_) mu_ = std::nexttoward(gamma_, 1.0L);
   ASUP_CHECK(mu_ >= 1.0);
-  ASUP_CHECK_LE(mu_, gamma_ + 1e-9);
-  ASUP_CHECK_LE(low_, n);
-  ASUP_CHECK_LT(n, low_ * gamma_);
+  ASUP_CHECK_LT(mu_, gamma_);
   // Derived probabilities Algorithm 1 relies on: the hide probability
   // 1 − μ/γ must be a probability strictly below 1 (a keep probability of 0
   // would hide every previously returned document and be trivially

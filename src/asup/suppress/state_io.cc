@@ -113,11 +113,11 @@ bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out) {
   PutFingerprint(engine, out);
   // Θ_R is stored as universe document ids (stable across restarts); the
   // engine's atomic bitmap is indexed by dense local id.
-  const InvertedIndex& index = engine.base_->index();
+  const MatchingEngine& base = *engine.base_;
   const std::vector<size_t> locals = engine.returned_before_.SetBits();
   PutU64(locals.size(), out);
   for (size_t local : locals) {
-    PutU64(index.LocalToId(static_cast<uint32_t>(local)), out);
+    PutU64(base.LocalToId(static_cast<uint32_t>(local)), out);
   }
   const auto cache_entries = engine.answer_cache_.Snapshot();
   PutU64(cache_entries.size(), out);
@@ -137,15 +137,15 @@ bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
 
   // Parse (and validate) everything before touching the engine, so a
   // corrupt snapshot leaves it unchanged.
-  const InvertedIndex& index = engine.base_->index();
+  const MatchingEngine& base = *engine.base_;
   std::vector<DocId> returned;
   uint64_t count = 0;
-  if (!GetU64(in, count) || count > index.NumDocuments()) return false;
+  if (!GetU64(in, count) || count > base.NumDocuments()) return false;
   returned.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t doc = 0;
     if (!GetU64(in, doc)) return false;
-    if (!index.corpus().Contains(static_cast<DocId>(doc))) return false;
+    if (!base.corpus().Contains(static_cast<DocId>(doc))) return false;
     returned.push_back(static_cast<DocId>(doc));
   }
 
@@ -161,7 +161,7 @@ bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
   }
 
   engine.returned_before_.ClearAll();
-  for (DocId doc : returned) engine.returned_before_.Set(index.LocalOf(doc));
+  for (DocId doc : returned) engine.returned_before_.Set(base.LocalOf(doc));
   engine.answer_cache_.Clear();
   for (auto& [canonical, result] : cache) {
     engine.answer_cache_.Insert(canonical, std::move(result));
@@ -199,8 +199,7 @@ bool LoadDefenseState(AsArbiEngine& engine, std::istream& in) {
   AsSimpleEngine staged(*engine.base_, engine.config_.simple);
   if (!LoadDefenseState(staged, in)) return false;
 
-  const Vocabulary& vocabulary =
-      engine.base_->index().corpus().vocabulary();
+  const Vocabulary& vocabulary = engine.base_->corpus().vocabulary();
   HistoryStore history;
   uint64_t num_queries = 0;
   if (!GetU64(in, num_queries) || num_queries > (1u << 26)) return false;

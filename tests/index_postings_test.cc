@@ -31,6 +31,95 @@ TEST(VarByteTest, SmallValuesUseOneByte) {
   EXPECT_EQ(bytes.size(), 3u);
 }
 
+TEST(VarByteTest, TryReadRejectsTruncatedInput) {
+  // Every proper prefix of an encoded value is truncated: the continuation
+  // bit of the last present byte promises more bytes than exist.
+  for (uint32_t v : {128u, 16384u, 2097152u, 268435456u, UINT32_MAX}) {
+    std::vector<uint8_t> bytes;
+    AppendVarByte(v, bytes);
+    ASSERT_GE(bytes.size(), 2u);
+    for (size_t cut = 1; cut < bytes.size(); ++cut) {
+      std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+      size_t offset = 0;
+      uint32_t value = 0;
+      EXPECT_FALSE(TryReadVarByte(truncated, offset, value))
+          << "value " << v << " cut to " << cut << " bytes";
+      // The failed read never walked past the end of the buffer.
+      EXPECT_LE(offset, truncated.size());
+    }
+  }
+}
+
+TEST(VarByteTest, TryReadRejectsEmptyInput) {
+  std::vector<uint8_t> empty;
+  size_t offset = 0;
+  uint32_t value = 0;
+  EXPECT_FALSE(TryReadVarByte(empty, offset, value));
+  EXPECT_EQ(offset, 0u);
+}
+
+TEST(VarByteTest, TryReadRejectsOverlongEncodings) {
+  // Six continuation bytes: the fifth byte must terminate a uint32 varint.
+  std::vector<uint8_t> overlong(6, 0x80);
+  size_t offset = 0;
+  uint32_t value = 0;
+  EXPECT_FALSE(TryReadVarByte(overlong, offset, value));
+
+  // Exactly five bytes, but the fifth both continues and would shift data
+  // past bit 31 — two independent reasons to reject.
+  std::vector<uint8_t> continued{0x80, 0x80, 0x80, 0x80, 0x80, 0x00};
+  offset = 0;
+  EXPECT_FALSE(TryReadVarByte(continued, offset, value));
+
+  // Five terminated bytes whose top nibble overflows uint32 (would encode
+  // 2^35). A naive decoder shifts by 35 — UB — before noticing.
+  std::vector<uint8_t> overflow{0x80, 0x80, 0x80, 0x80, 0x10};
+  offset = 0;
+  EXPECT_FALSE(TryReadVarByte(overflow, offset, value));
+}
+
+TEST(VarByteTest, TryReadAcceptsMaxValueAtShiftBoundary) {
+  // UINT32_MAX uses all five bytes with the top nibble 0x0f — the largest
+  // encoding the shift cap must still admit.
+  std::vector<uint8_t> bytes;
+  AppendVarByte(UINT32_MAX, bytes);
+  ASSERT_EQ(bytes.size(), 5u);
+  size_t offset = 0;
+  uint32_t value = 0;
+  ASSERT_TRUE(TryReadVarByte(bytes, offset, value));
+  EXPECT_EQ(value, UINT32_MAX);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(VarByteTest, TryReadLeavesOffsetAtOffendingByteOnFailure) {
+  std::vector<uint8_t> bytes;
+  AppendVarByte(7, bytes);       // one clean value...
+  bytes.push_back(0x80);         // ...then a truncated varint
+  size_t offset = 0;
+  uint32_t value = 0;
+  ASSERT_TRUE(TryReadVarByte(bytes, offset, value));
+  EXPECT_EQ(value, 7u);
+  const size_t before_failure = offset;
+  EXPECT_FALSE(TryReadVarByte(bytes, offset, value));
+  EXPECT_GE(offset, before_failure);
+  EXPECT_LE(offset, bytes.size());
+}
+
+TEST(VarByteDeathTest, ReadAbortsOnTruncatedInputInEveryBuildType) {
+  // The headline bugfix: ReadVarByte on untrusted bytes must abort — not
+  // read out of bounds — even in a plain Release build where assert() and
+  // ASUP_CHECK compile out.
+  std::vector<uint8_t> truncated{0x80, 0x80};
+  size_t offset = 0;
+  EXPECT_DEATH(ReadVarByte(truncated, offset), "varbyte");
+}
+
+TEST(VarByteDeathTest, ReadAbortsOnOverlongInput) {
+  std::vector<uint8_t> overlong{0xff, 0xff, 0xff, 0xff, 0xff, 0x01};
+  size_t offset = 0;
+  EXPECT_DEATH(ReadVarByte(overlong, offset), "varbyte");
+}
+
 TEST(PostingListTest, EmptyList) {
   PostingList list;
   EXPECT_TRUE(list.empty());

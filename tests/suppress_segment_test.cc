@@ -56,6 +56,42 @@ TEST(SegmentTest, GammaTen) {
   EXPECT_DOUBLE_EQ(segment.segment_high(), 100000.0);
 }
 
+TEST(SegmentTest, LargeExactPowerIsSegmentBottom) {
+  // Regression: n = γ^i at large i. 7^22 ≈ 3.9e18 exceeds 2^53, where the
+  // old repeated double multiplication (with its 1e-9 slack test) drifted
+  // and could misclassify the exact power — off-by-one segment index or
+  // μ marginally above γ. The uint64 fast path must land exactly.
+  uint64_t n = 1;
+  for (int i = 0; i < 22; ++i) n *= 7;
+  IndistinguishableSegment segment(n, 7.0);
+  EXPECT_EQ(segment.segment_index(), 22);
+  EXPECT_DOUBLE_EQ(segment.mu(), 1.0);
+  EXPECT_DOUBLE_EQ(segment.segment_low(), static_cast<double>(n));
+}
+
+TEST(SegmentTest, LargeExactPowersOfTwoAcrossExponents) {
+  // Powers of two are exact in double space, so both the index and μ = 1
+  // must be exact for every exponent up to near the uint64 limit.
+  for (int i = 1; i <= 62; ++i) {
+    const uint64_t n = uint64_t{1} << i;
+    IndistinguishableSegment segment(n, 2.0);
+    EXPECT_EQ(segment.segment_index(), i) << "n = 2^" << i;
+    EXPECT_DOUBLE_EQ(segment.mu(), 1.0) << "n = 2^" << i;
+  }
+}
+
+TEST(SegmentTest, JustBelowLargePowerStaysInLowerSegment) {
+  // n = 7^22 − 1 sits at the very top of segment 21; μ must stay < γ.
+  uint64_t n = 1;
+  for (int i = 0; i < 22; ++i) n *= 7;
+  IndistinguishableSegment segment(n - 1, 7.0);
+  EXPECT_EQ(segment.segment_index(), 21);
+  EXPECT_GE(segment.mu(), 1.0);
+  EXPECT_LT(segment.mu(), 7.0);
+  EXPECT_GT(segment.edge_keep_probability(), 0.0);
+  EXPECT_LE(segment.edge_keep_probability(), 1.0);
+}
+
 TEST(SegmentTest, NonIntegerGamma) {
   IndistinguishableSegment segment(10, 1.5);
   // 1.5^5 = 7.59 <= 10 < 1.5^6 = 11.39.

@@ -29,6 +29,15 @@ Rules (all scoped to src/ unless noted):
                            the mutex" — it must not construct a lock guard
                            itself (deadlock with a non-recursive mutex, or
                            double-think about which lock protects what).
+  asup-raw-assert          validation-critical paths (src/asup/index/,
+                           src/asup/suppress/): a raw assert() compiles out
+                           in Release, so the check it expresses silently
+                           vanishes from production decoders exactly where
+                           untrusted bytes arrive (the ReadVarByte
+                           out-of-bounds bug). Use ASUP_CHECK (always on
+                           where it matters) or ASUP_DCHECK (explicitly
+                           debug-only) from util/check.h; static_assert is
+                           fine.
 
 Suppressing a finding requires an inline justification on the same line or
 on the preceding line:
@@ -47,6 +56,11 @@ import sys
 from pathlib import Path
 
 DETERMINISTIC_SUBDIRS = ("asup/suppress", "asup/engine")
+RAW_ASSERT_SUBDIRS = ("asup/index", "asup/suppress")
+
+# assert( not preceded by an identifier character: matches the macro call
+# but not static_assert( or FooAssert(.
+RAW_ASSERT_RE = re.compile(r"(?<![\w])assert\s*\(")
 
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)\s*[;={(]"
@@ -192,6 +206,15 @@ def lint_file(path, rel, findings):
         for rule, pattern, message in BANNED_PATTERNS:
             if pattern.search(line) and not is_suppressed(lineno, rule):
                 findings.add(rel, lineno, rule, message)
+
+    if any(d in rel.replace("\\", "/") for d in RAW_ASSERT_SUBDIRS):
+        for lineno, line in enumerate(clean_lines, 1):
+            if RAW_ASSERT_RE.search(line) and \
+                    not is_suppressed(lineno, "asup-raw-assert"):
+                findings.add(
+                    rel, lineno, "asup-raw-assert",
+                    "raw assert() compiles out in Release; use ASUP_CHECK "
+                    "or ASUP_DCHECK (util/check.h)")
 
     deterministic = any(d in rel.replace("\\", "/")
                         for d in DETERMINISTIC_SUBDIRS)
