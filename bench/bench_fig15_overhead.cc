@@ -22,7 +22,10 @@
 
 #include "asup/engine/parallel_service.h"
 #include "asup/engine/sharded_service.h"
+#include "asup/index/corpus_manager.h"
 #include "asup/index/sharded_index.h"
+#include "asup/text/corpus_delta.h"
+#include "asup/text/synthetic_corpus.h"
 #include "asup/obs/run_report.h"
 #include "asup/obs/trace.h"
 #include "asup/util/stopwatch.h"
@@ -155,6 +158,55 @@ void PrintShardScaling(const Corpus& corpus,
   PrintFigure("fig15d: sharded match throughput vs shard count", table);
 }
 
+/// Epoch maintenance cost of the dynamic-corpus layer: documents merged
+/// per second and mean publish latency of CorpusManager::Apply as the
+/// update batch grows. Each batch mixes adds with batch/4 removals so the
+/// incremental merge exercises both the append and the filter path; every
+/// row starts from a fresh manager so earlier rows cannot warm later ones.
+void PrintEpochMaintenance() {
+  SyntheticCorpusConfig config;
+  config.vocabulary_size = 20000;
+  config.num_topics = 100;
+  config.words_per_topic = 200;
+  config.seed = 17;
+  const size_t base_docs = PaperScale() ? 20000 : 6000;
+  const size_t total_update_docs = PaperScale() ? 8192 : 2048;
+
+  CsvTable table({"batch_docs", "publishes", "update_docs_per_s",
+                  "publish_latency_ms"});
+  for (const size_t batch : {16u, 64u, 256u, 1024u}) {
+    SyntheticCorpusGenerator generator(config);
+    CorpusManager manager(generator.Generate(base_docs));
+    const size_t publishes = std::max<size_t>(2, total_update_docs / batch);
+
+    uint64_t update_docs = 0;
+    Stopwatch watch;
+    for (size_t p = 0; p < publishes; ++p) {
+      CorpusDelta delta;
+      const Corpus fresh = generator.Generate(batch);
+      delta.add.assign(fresh.documents().begin(), fresh.documents().end());
+      const Corpus& current = manager.Current()->corpus();
+      const size_t removals = batch / 4;
+      const size_t stride =
+          std::max<size_t>(1, current.size() / std::max<size_t>(removals, 1));
+      for (size_t pos = 0;
+           pos < current.size() && delta.remove.size() < removals;
+           pos += stride) {
+        delta.remove.push_back(current.documents()[pos].id());
+      }
+      update_docs += delta.add.size() + delta.remove.size();
+      manager.Apply(delta);
+    }
+    const double seconds =
+        static_cast<double>(watch.ElapsedNanos()) / 1e9;
+    table.AddRow({static_cast<double>(batch),
+                  static_cast<double>(publishes),
+                  static_cast<double>(update_docs) / std::max(seconds, 1e-9),
+                  seconds * 1e3 / static_cast<double>(publishes)});
+  }
+  PrintFigure("fig15e: epoch update throughput vs batch size", table);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,6 +276,8 @@ int main(int argc, char** argv) {
   PrintParallelMode(corpus, workload.log(), params.k);
 
   PrintShardScaling(corpus, workload.log(), params.k);
+
+  PrintEpochMaintenance();
 
   PrintRunReport("fig15c: per-stage latency percentiles (ns)");
 #if ASUP_METRICS_ENABLED

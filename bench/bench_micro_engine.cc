@@ -265,6 +265,45 @@ void BM_PostingDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_PostingDecode);
 
+// Vocabulary lookup through the heterogeneous (string_view) path: query
+// parsing resolves every token this way, so the per-lookup cost — and in
+// particular the absence of a temporary std::string allocation per probe —
+// feeds straight into query latency. The miss case exercises the same path
+// with tokens guaranteed absent.
+void BM_VocabularyLookup(benchmark::State& state) {
+  const Vocabulary& vocab = Env().corpus->vocabulary();
+  std::vector<std::string> words;
+  words.reserve(vocab.size());
+  for (TermId id = 0; id < vocab.size(); ++id) {
+    words.push_back(vocab.WordOf(id));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vocab.Lookup(std::string_view(words[i])).has_value());
+    i = (i + 1) % words.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VocabularyLookup);
+
+void BM_VocabularyLookupMiss(benchmark::State& state) {
+  const Vocabulary& vocab = Env().corpus->vocabulary();
+  std::vector<std::string> words;
+  words.reserve(1024);
+  for (size_t w = 0; w < 1024; ++w) {
+    words.push_back("zz-absent-" + std::to_string(w));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vocab.Lookup(std::string_view(words[i])).has_value());
+    i = (i + 1) % words.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VocabularyLookupMiss);
+
 void BM_ConjunctiveMatch(benchmark::State& state) {
   MicroEnv& env = Env();
   const auto& vocab = env.corpus->vocabulary();

@@ -22,6 +22,12 @@ struct QueryPrefetch {
   /// commit phase can need them (AS-ARBI's cover trigger).
   std::vector<DocId> match_ids;
   bool has_match_ids = false;
+
+  /// The epoch this prefetch was computed against. Null from legacy/static
+  /// producers (treated as matching whatever epoch the commit runs in); a
+  /// commit in a *different* epoch discards the prefetch and recomputes the
+  /// match phase live against its own snapshot.
+  SnapshotHandle snapshot;
 };
 
 /// A SearchService whose per-query work splits into a thread-safe read-only

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "asup/util/check.h"
+
 namespace asup {
 
 bool RankBefore(const ScoredDoc& a, const ScoredDoc& b) {
@@ -10,7 +12,10 @@ bool RankBefore(const ScoredDoc& a, const ScoredDoc& b) {
 }
 
 SearchResult MatchingEngine::Search(const KeywordQuery& query) {
-  RankedMatches ranked = TopMatches(query, k());
+  // One pin for the whole query: the answer is computed against a single
+  // epoch even if a publish lands mid-query.
+  const SnapshotHandle snapshot = PinSnapshot();
+  RankedMatches ranked = TopMatchesIn(*snapshot, query, k());
   SearchResult result;
   if (ranked.total_matches == 0) {
     result.status = QueryStatus::kUnderflow;
@@ -25,29 +30,36 @@ SearchResult MatchingEngine::Search(const KeywordQuery& query) {
 
 PlainSearchEngine::PlainSearchEngine(const InvertedIndex& index, size_t k,
                                      std::unique_ptr<ScoringFunction> scorer)
-    : index_(&index),
+    : static_snapshot_(CorpusSnapshot::Borrow(index)),
       k_(k),
       scorer_(scorer ? std::move(scorer) : MakeDefaultScorer()) {}
 
-RankedMatches PlainSearchEngine::TopMatches(const KeywordQuery& query,
-                                            size_t limit) const {
+PlainSearchEngine::PlainSearchEngine(const CorpusManager& manager, size_t k,
+                                     std::unique_ptr<ScoringFunction> scorer)
+    : manager_(&manager),
+      k_(k),
+      scorer_(scorer ? std::move(scorer) : MakeDefaultScorer()) {}
+
+RankedMatches PlainSearchEngine::TopMatchesIn(const CorpusSnapshot& snapshot,
+                                              const KeywordQuery& query,
+                                              size_t limit) const {
+  const InvertedIndex& index = snapshot.index();
   RankedMatches out;
   if (query.terms().empty()) return out;  // unknown word or empty query
   const std::vector<MatchedDoc> matches =
-      index_->ConjunctiveMatch(query.terms());
+      index.ConjunctiveMatch(query.terms());
   out.total_matches = matches.size();
   if (matches.empty()) return out;
 
-  const ScoringContext context =
-      MakeScoringContext(*index_, query.terms());
+  const ScoringContext context = MakeScoringContext(index, query.terms());
   std::vector<ScoredDoc> scored;
   scored.reserve(matches.size());
   for (const MatchedDoc& match : matches) {
     scored.push_back(
-        {index_->LocalToId(match.local_doc),
+        {index.LocalToId(match.local_doc),
          scorer_->ScoreMatch(
              context,
-             static_cast<double>(index_->DocAt(match.local_doc).length()),
+             static_cast<double>(index.DocAt(match.local_doc).length()),
              match)});
   }
   if (limit < scored.size()) {
@@ -60,34 +72,38 @@ RankedMatches PlainSearchEngine::TopMatches(const KeywordQuery& query,
   return out;
 }
 
-size_t PlainSearchEngine::MatchCount(const KeywordQuery& query) const {
+size_t PlainSearchEngine::MatchCountIn(const CorpusSnapshot& snapshot,
+                                       const KeywordQuery& query) const {
   if (query.terms().empty()) return 0;
-  return index_->MatchCount(query.terms());
+  return snapshot.index().MatchCount(query.terms());
 }
 
-std::vector<DocId> PlainSearchEngine::MatchIds(const KeywordQuery& query) const {
+std::vector<DocId> PlainSearchEngine::MatchIdsIn(
+    const CorpusSnapshot& snapshot, const KeywordQuery& query) const {
+  const InvertedIndex& index = snapshot.index();
   std::vector<DocId> ids;
   if (query.terms().empty()) return ids;
   const std::vector<MatchedDoc> matches =
-      index_->ConjunctiveMatch(query.terms());
+      index.ConjunctiveMatch(query.terms());
   ids.reserve(matches.size());
   for (const MatchedDoc& match : matches) {
-    ids.push_back(index_->LocalToId(match.local_doc));
+    ids.push_back(index.LocalToId(match.local_doc));
   }
   return ids;
 }
 
-std::vector<ScoredDoc> PlainSearchEngine::RankDocs(
-    const KeywordQuery& query, std::span<const DocId> docs) const {
-  const ScoringContext context =
-      MakeScoringContext(*index_, query.terms());
+std::vector<ScoredDoc> PlainSearchEngine::RankDocsIn(
+    const CorpusSnapshot& snapshot, const KeywordQuery& query,
+    std::span<const DocId> docs) const {
+  const InvertedIndex& index = snapshot.index();
+  const ScoringContext context = MakeScoringContext(index, query.terms());
   std::vector<ScoredDoc> scored;
   scored.reserve(docs.size());
   for (DocId id : docs) {
-    const uint32_t local = index_->LocalOf(id);
+    const uint32_t local = index.LocalOf(id);
     MatchedDoc match;
     match.local_doc = local;
-    const Document& doc = index_->DocAt(local);
+    const Document& doc = index.DocAt(local);
     match.freqs.reserve(query.terms().size());
     for (TermId term : query.terms()) {
       match.freqs.push_back(doc.FrequencyOf(term));

@@ -6,6 +6,7 @@
 
 #include "asup/engine/scoring.h"
 #include "asup/engine/search_service.h"
+#include "asup/index/corpus_manager.h"
 #include "asup/index/inverted_index.h"
 
 namespace asup {
@@ -35,43 +36,81 @@ bool RankBefore(const ScoredDoc& a, const ScoredDoc& b);
 /// ShardedSearchService (scatter-gather over a ShardedInvertedIndex); the
 /// AS-SIMPLE / AS-ARBI engines run unchanged on either, because both
 /// present identical answers, match counts, and local-id assignments.
+///
+/// Epoch model: the engine resolves a `CorpusSnapshot` per query. The
+/// `*In(snapshot, ...)` virtuals answer against an explicit pinned epoch —
+/// what the suppression engines use, so one query reads one consistent
+/// corpus even while a CorpusManager publishes successors concurrently.
+/// The snapshot-free names are non-virtual conveniences that pin the
+/// current epoch per call; they keep every pre-epoch caller (attacks,
+/// workloads, evaluation) source compatible.
 class MatchingEngine : public SearchService {
  public:
   /// Public interface: TopMatches(k) mapped to the restrictive
-  /// underflow/valid/overflow answer model of Section 2.1.
+  /// underflow/valid/overflow answer model of Section 2.1. Pins one epoch
+  /// for the whole query.
   SearchResult Search(const KeywordQuery& query) override;
 
-  /// Server-side: the top `limit` matches and the total match count.
-  virtual RankedMatches TopMatches(const KeywordQuery& query,
-                                   size_t limit) const = 0;
+  /// Pins the engine's current epoch. Wait-free; holding the handle keeps
+  /// the epoch's corpus and indexes alive across concurrent publishes.
+  virtual SnapshotHandle PinSnapshot() const = 0;
 
-  /// Server-side: |Sel(q)|.
-  virtual size_t MatchCount(const KeywordQuery& query) const = 0;
+  /// Epoch number of the current snapshot (0 for static deployments).
+  uint64_t CurrentEpoch() const { return PinSnapshot()->epoch(); }
 
-  /// Server-side: ids of all matching documents, ascending.
-  virtual std::vector<DocId> MatchIds(const KeywordQuery& query) const = 0;
+  /// Server-side, against a pinned epoch: the top `limit` matches and the
+  /// total match count. `snapshot` must come from this engine's
+  /// PinSnapshot (now or earlier).
+  virtual RankedMatches TopMatchesIn(const CorpusSnapshot& snapshot,
+                                     const KeywordQuery& query,
+                                     size_t limit) const = 0;
 
-  /// Server-side: scores the given documents (each must match the query and
-  /// be in the corpus) and returns them ranked exactly as Search would.
-  /// Used by AS-ARBI's virtual query processing to rank an answer composed
-  /// from historic results.
-  virtual std::vector<ScoredDoc> RankDocs(const KeywordQuery& query,
-                                          std::span<const DocId> docs)
+  /// Server-side, against a pinned epoch: |Sel(q)|.
+  virtual size_t MatchCountIn(const CorpusSnapshot& snapshot,
+                              const KeywordQuery& query) const = 0;
+
+  /// Server-side, against a pinned epoch: ids of all matching documents,
+  /// ascending.
+  virtual std::vector<DocId> MatchIdsIn(const CorpusSnapshot& snapshot,
+                                        const KeywordQuery& query) const = 0;
+
+  /// Server-side, against a pinned epoch: scores the given documents (each
+  /// must match the query and be in the snapshot's corpus) and returns
+  /// them ranked exactly as Search would. Used by AS-ARBI's virtual query
+  /// processing to rank an answer composed from historic results.
+  virtual std::vector<ScoredDoc> RankDocsIn(const CorpusSnapshot& snapshot,
+                                            const KeywordQuery& query,
+                                            std::span<const DocId> docs)
       const = 0;
 
-  /// Number of documents in the logical corpus.
-  virtual size_t NumDocuments() const = 0;
+  // Snapshot-free conveniences: each call pins the current epoch. Across
+  // two calls the epoch may change; epoch-sensitive callers (the
+  // suppression engines) pin once and use the *In forms.
 
-  /// Dense local id of a document; aborts if the document is not indexed.
-  /// Ascending local id == ascending universe DocId, independent of how
-  /// the corpus is partitioned into shards.
-  virtual uint32_t LocalOf(DocId id) const = 0;
+  RankedMatches TopMatches(const KeywordQuery& query, size_t limit) const {
+    return TopMatchesIn(*PinSnapshot(), query, limit);
+  }
+  size_t MatchCount(const KeywordQuery& query) const {
+    return MatchCountIn(*PinSnapshot(), query);
+  }
+  std::vector<DocId> MatchIds(const KeywordQuery& query) const {
+    return MatchIdsIn(*PinSnapshot(), query);
+  }
+  std::vector<ScoredDoc> RankDocs(const KeywordQuery& query,
+                                  std::span<const DocId> docs) const {
+    return RankDocsIn(*PinSnapshot(), query, docs);
+  }
+  size_t NumDocuments() const { return PinSnapshot()->NumDocuments(); }
+  uint32_t LocalOf(DocId id) const { return PinSnapshot()->LocalOf(id); }
+  DocId LocalToId(uint32_t local) const {
+    return PinSnapshot()->LocalToId(local);
+  }
 
-  /// Universe DocId for a dense local id.
-  virtual DocId LocalToId(uint32_t local) const = 0;
-
-  /// The indexed corpus.
-  virtual const Corpus& corpus() const = 0;
+  /// The current epoch's corpus. The reference stays valid while that
+  /// epoch is reachable — indefinitely for static deployments; until the
+  /// epoch is superseded *and* every pinned handle dropped for managed
+  /// ones. Epoch-sensitive callers should hold a PinSnapshot() handle.
+  const Corpus& corpus() const { return PinSnapshot()->corpus(); }
 };
 
 /// The undefended enterprise search engine substrate: deterministic
@@ -83,35 +122,47 @@ class MatchingEngine : public SearchService {
 /// use its privileged `TopMatches` / `MatchIds` accessors.
 class PlainSearchEngine : public MatchingEngine {
  public:
-  /// Builds an engine over `index` (borrowed; must outlive the engine).
-  /// `scorer` defaults to BM25. `k` is the interface's result limit.
+  /// Builds an engine over a static `index` (borrowed; must outlive the
+  /// engine) as a never-changing epoch-0 snapshot. `scorer` defaults to
+  /// BM25. `k` is the interface's result limit.
   PlainSearchEngine(const InvertedIndex& index, size_t k,
+                    std::unique_ptr<ScoringFunction> scorer = nullptr);
+
+  /// Builds an engine over `manager`'s epoch chain (borrowed; must outlive
+  /// the engine): every query pins the epoch current when it starts.
+  PlainSearchEngine(const CorpusManager& manager, size_t k,
                     std::unique_ptr<ScoringFunction> scorer = nullptr);
 
   size_t k() const override { return k_; }
 
-  RankedMatches TopMatches(const KeywordQuery& query,
-                           size_t limit) const override;
-
-  size_t MatchCount(const KeywordQuery& query) const override;
-
-  std::vector<DocId> MatchIds(const KeywordQuery& query) const override;
-
-  std::vector<ScoredDoc> RankDocs(const KeywordQuery& query,
-                                  std::span<const DocId> docs) const override;
-
-  size_t NumDocuments() const override { return index_->NumDocuments(); }
-  uint32_t LocalOf(DocId id) const override { return index_->LocalOf(id); }
-  DocId LocalToId(uint32_t local) const override {
-    return index_->LocalToId(local);
+  SnapshotHandle PinSnapshot() const override {
+    return manager_ != nullptr ? manager_->Current() : static_snapshot_;
   }
-  const Corpus& corpus() const override { return index_->corpus(); }
 
-  const InvertedIndex& index() const { return *index_; }
+  RankedMatches TopMatchesIn(const CorpusSnapshot& snapshot,
+                             const KeywordQuery& query,
+                             size_t limit) const override;
+
+  size_t MatchCountIn(const CorpusSnapshot& snapshot,
+                      const KeywordQuery& query) const override;
+
+  std::vector<DocId> MatchIdsIn(const CorpusSnapshot& snapshot,
+                                const KeywordQuery& query) const override;
+
+  std::vector<ScoredDoc> RankDocsIn(const CorpusSnapshot& snapshot,
+                                    const KeywordQuery& query,
+                                    std::span<const DocId> docs)
+      const override;
+
+  /// The current epoch's single index (lifetime caveat as corpus()).
+  const InvertedIndex& index() const { return PinSnapshot()->index(); }
   const ScoringFunction& scorer() const { return *scorer_; }
 
  private:
-  const InvertedIndex* index_;
+  /// Exactly one of these is set: a managed epoch chain or a pinned
+  /// epoch-0 snapshot borrowing the caller's static index.
+  const CorpusManager* manager_ = nullptr;
+  SnapshotHandle static_snapshot_;
   size_t k_;
   std::unique_ptr<ScoringFunction> scorer_;
 };

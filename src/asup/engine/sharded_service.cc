@@ -10,14 +10,26 @@ namespace asup {
 ShardedSearchService::ShardedSearchService(
     const ShardedInvertedIndex& index, size_t k, ThreadPool* pool,
     std::unique_ptr<ScoringFunction> scorer)
-    : index_(&index),
+    : static_snapshot_(CorpusSnapshot::Borrow(index)),
       k_(k),
       pool_(pool),
       scorer_(scorer ? std::move(scorer) : MakeDefaultScorer()) {}
 
+ShardedSearchService::ShardedSearchService(
+    const CorpusManager& manager, size_t k, ThreadPool* pool,
+    std::unique_ptr<ScoringFunction> scorer)
+    : manager_(&manager),
+      k_(k),
+      pool_(pool),
+      scorer_(scorer ? std::move(scorer) : MakeDefaultScorer()) {
+  // Every snapshot of the chain must carry the sharded view this service
+  // scatters over.
+  ASUP_CHECK(manager.num_shards() >= 1);
+  ASUP_CHECK(manager.Current()->has_sharded());
+}
+
 void ShardedSearchService::ForEachShard(
-    const std::function<void(size_t)>& body) const {
-  const size_t shards = index_->NumShards();
+    size_t shards, const std::function<void(size_t)>& body) const {
   ASUP_METRIC_COUNT("asup_shard_fanout_total", shards);
   if (pool_ == nullptr || shards == 1) {
     for (size_t s = 0; s < shards; ++s) body(s);
@@ -29,22 +41,24 @@ void ShardedSearchService::ForEachShard(
 }
 
 ScoringContext ShardedSearchService::MakeContext(
-    std::span<const TermId> terms) const {
+    const ShardedInvertedIndex& index, std::span<const TermId> terms) const {
   ScoringContext context;
-  context.stats = &index_->stats();
+  context.stats = &index.stats();
   context.dfs.reserve(terms.size());
   for (TermId term : terms) {
-    context.dfs.push_back(index_->DocumentFrequency(term));
+    context.dfs.push_back(index.DocumentFrequency(term));
   }
   return context;
 }
 
-RankedMatches ShardedSearchService::TopMatches(const KeywordQuery& query,
-                                               size_t limit) const {
+RankedMatches ShardedSearchService::TopMatchesIn(
+    const CorpusSnapshot& snapshot, const KeywordQuery& query,
+    size_t limit) const {
+  const ShardedInvertedIndex& index = snapshot.sharded();
   RankedMatches out;
   if (query.terms().empty()) return out;  // unknown word or empty query
   const std::span<const TermId> terms = query.terms();
-  const ScoringContext context = MakeContext(terms);
+  const ScoringContext context = MakeContext(index, terms);
 
   // Scatter: each shard matches and scores its own document range against
   // the global context, keeping only its local top-`limit` — a superset of
@@ -54,12 +68,12 @@ RankedMatches ShardedSearchService::TopMatches(const KeywordQuery& query,
     std::vector<ScoredDoc> docs;
     size_t total_matches = 0;
   };
-  std::vector<ShardCandidates> slots(index_->NumShards());
-  ForEachShard([&](size_t s) {
+  std::vector<ShardCandidates> slots(index.NumShards());
+  ForEachShard(index.NumShards(), [&](size_t s) {
     // Attributes the span to the caller's trace when this chunk runs on
     // the issuing thread; always feeds the shard_match latency histogram.
     ASUP_TRACE_STAGE(obs::Stage::kShardMatch);
-    const InvertedIndex& shard = index_->Shard(s);
+    const InvertedIndex& shard = index.Shard(s);
     const std::vector<MatchedDoc> matches = shard.ConjunctiveMatch(terms);
     ShardCandidates& slot = slots[s];
     slot.total_matches = matches.size();
@@ -113,32 +127,35 @@ RankedMatches ShardedSearchService::TopMatches(const KeywordQuery& query,
     ASUP_CHECK_LE(merged.size(), out.total_matches);
     out.docs = std::move(merged);
   }
-  ASUP_TRACE_NOTE("shard_fanout", index_->NumShards());
+  ASUP_TRACE_NOTE("shard_fanout", index.NumShards());
   return out;
 }
 
-size_t ShardedSearchService::MatchCount(const KeywordQuery& query) const {
+size_t ShardedSearchService::MatchCountIn(const CorpusSnapshot& snapshot,
+                                          const KeywordQuery& query) const {
+  const ShardedInvertedIndex& index = snapshot.sharded();
   if (query.terms().empty()) return 0;
   const std::span<const TermId> terms = query.terms();
-  std::vector<size_t> counts(index_->NumShards(), 0);
-  ForEachShard([&](size_t s) {
+  std::vector<size_t> counts(index.NumShards(), 0);
+  ForEachShard(index.NumShards(), [&](size_t s) {
     ASUP_TRACE_STAGE(obs::Stage::kShardMatch);
-    counts[s] = index_->Shard(s).MatchCount(terms);
+    counts[s] = index.Shard(s).MatchCount(terms);
   });
   size_t total = 0;
   for (size_t count : counts) total += count;
   return total;
 }
 
-std::vector<DocId> ShardedSearchService::MatchIds(
-    const KeywordQuery& query) const {
+std::vector<DocId> ShardedSearchService::MatchIdsIn(
+    const CorpusSnapshot& snapshot, const KeywordQuery& query) const {
+  const ShardedInvertedIndex& index = snapshot.sharded();
   std::vector<DocId> ids;
   if (query.terms().empty()) return ids;
   const std::span<const TermId> terms = query.terms();
-  std::vector<std::vector<DocId>> slots(index_->NumShards());
-  ForEachShard([&](size_t s) {
+  std::vector<std::vector<DocId>> slots(index.NumShards());
+  ForEachShard(index.NumShards(), [&](size_t s) {
     ASUP_TRACE_STAGE(obs::Stage::kShardMatch);
-    const InvertedIndex& shard = index_->Shard(s);
+    const InvertedIndex& shard = index.Shard(s);
     const std::vector<MatchedDoc> matches = shard.ConjunctiveMatch(terms);
     slots[s].reserve(matches.size());
     for (const MatchedDoc& match : matches) {
@@ -159,14 +176,16 @@ std::vector<DocId> ShardedSearchService::MatchIds(
   return ids;
 }
 
-std::vector<ScoredDoc> ShardedSearchService::RankDocs(
-    const KeywordQuery& query, std::span<const DocId> docs) const {
-  const ScoringContext context = MakeContext(query.terms());
+std::vector<ScoredDoc> ShardedSearchService::RankDocsIn(
+    const CorpusSnapshot& snapshot, const KeywordQuery& query,
+    std::span<const DocId> docs) const {
+  const ShardedInvertedIndex& index = snapshot.sharded();
+  const ScoringContext context = MakeContext(index, query.terms());
   std::vector<ScoredDoc> scored;
   scored.reserve(docs.size());
   for (DocId id : docs) {
-    const size_t s = index_->ShardOfLocal(index_->LocalOf(id));
-    const InvertedIndex& shard = index_->Shard(s);
+    const size_t s = index.ShardOfLocal(index.LocalOf(id));
+    const InvertedIndex& shard = index.Shard(s);
     MatchedDoc match;
     match.local_doc = shard.LocalOf(id);
     const Document& doc = shard.DocAt(match.local_doc);

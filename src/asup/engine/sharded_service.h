@@ -7,6 +7,7 @@
 
 #include "asup/engine/scoring.h"
 #include "asup/engine/search_engine.h"
+#include "asup/index/corpus_manager.h"
 #include "asup/index/sharded_index.h"
 #include "asup/util/thread_pool.h"
 
@@ -31,47 +32,66 @@ namespace asup {
 /// MatchingEngine interface and runs strictly post-merge: μ/γ segment
 /// arithmetic, Θ_R and the history store all see one logical corpus of
 /// NumDocuments() documents, exactly as the paper assumes (DESIGN.md §12).
+///
+/// Epoch model: like PlainSearchEngine, the service either borrows one
+/// static sharded index (epoch 0) or follows a CorpusManager configured
+/// with shards; every query pins one epoch's sharded view.
 class ShardedSearchService : public MatchingEngine {
  public:
-  /// Builds the service over `index` (borrowed). `pool` (borrowed,
-  /// optional) parallelizes the scatter phase; null means a serial
-  /// fan-out with identical results. `scorer` defaults to BM25.
+  /// Builds the service over a static `index` (borrowed). `pool`
+  /// (borrowed, optional) parallelizes the scatter phase; null means a
+  /// serial fan-out with identical results. `scorer` defaults to BM25.
   ShardedSearchService(const ShardedInvertedIndex& index, size_t k,
+                       ThreadPool* pool = nullptr,
+                       std::unique_ptr<ScoringFunction> scorer = nullptr);
+
+  /// Builds the service over `manager`'s epoch chain (borrowed; must be
+  /// configured with num_shards >= 1 so every snapshot carries a sharded
+  /// view).
+  ShardedSearchService(const CorpusManager& manager, size_t k,
                        ThreadPool* pool = nullptr,
                        std::unique_ptr<ScoringFunction> scorer = nullptr);
 
   size_t k() const override { return k_; }
 
-  RankedMatches TopMatches(const KeywordQuery& query,
-                           size_t limit) const override;
-
-  size_t MatchCount(const KeywordQuery& query) const override;
-
-  std::vector<DocId> MatchIds(const KeywordQuery& query) const override;
-
-  std::vector<ScoredDoc> RankDocs(const KeywordQuery& query,
-                                  std::span<const DocId> docs) const override;
-
-  size_t NumDocuments() const override { return index_->NumDocuments(); }
-  uint32_t LocalOf(DocId id) const override { return index_->LocalOf(id); }
-  DocId LocalToId(uint32_t local) const override {
-    return index_->LocalToId(local);
+  SnapshotHandle PinSnapshot() const override {
+    return manager_ != nullptr ? manager_->Current() : static_snapshot_;
   }
-  const Corpus& corpus() const override { return index_->corpus(); }
 
-  const ShardedInvertedIndex& index() const { return *index_; }
+  RankedMatches TopMatchesIn(const CorpusSnapshot& snapshot,
+                             const KeywordQuery& query,
+                             size_t limit) const override;
+
+  size_t MatchCountIn(const CorpusSnapshot& snapshot,
+                      const KeywordQuery& query) const override;
+
+  std::vector<DocId> MatchIdsIn(const CorpusSnapshot& snapshot,
+                                const KeywordQuery& query) const override;
+
+  std::vector<ScoredDoc> RankDocsIn(const CorpusSnapshot& snapshot,
+                                    const KeywordQuery& query,
+                                    std::span<const DocId> docs)
+      const override;
+
+  /// The current epoch's sharded index (lifetime caveat as corpus()).
+  const ShardedInvertedIndex& index() const {
+    return PinSnapshot()->sharded();
+  }
   const ScoringFunction& scorer() const { return *scorer_; }
 
  private:
   /// Runs `body(s)` for every shard s — on the pool when attached (the
   /// calling thread participates), serially otherwise. `body` must only
   /// write to shard-`s`-owned slots.
-  void ForEachShard(const std::function<void(size_t)>& body) const;
+  void ForEachShard(size_t shards,
+                    const std::function<void(size_t)>& body) const;
 
   /// The global scoring inputs of one query (see ScoringContext).
-  ScoringContext MakeContext(std::span<const TermId> terms) const;
+  ScoringContext MakeContext(const ShardedInvertedIndex& index,
+                             std::span<const TermId> terms) const;
 
-  const ShardedInvertedIndex* index_;
+  const CorpusManager* manager_ = nullptr;
+  SnapshotHandle static_snapshot_;
   size_t k_;
   ThreadPool* pool_;
   std::unique_ptr<ScoringFunction> scorer_;

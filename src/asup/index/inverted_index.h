@@ -90,7 +90,13 @@ class InvertedIndex {
   const IndexStats& stats() const { return stats_; }
 
  private:
-  const Corpus* corpus_;
+  /// Uninitialized shell for CorpusManager's incremental epoch merge, which
+  /// fills the members directly from the previous epoch's posting lists
+  /// (see index/corpus_manager.cc) instead of re-scanning document tokens.
+  InvertedIndex() = default;
+  friend class CorpusManager;
+
+  const Corpus* corpus_ = nullptr;
   std::vector<const Document*> docs_by_local_;
   std::vector<PostingList> postings_;  // indexed by TermId
   PostingList empty_list_;

@@ -58,6 +58,12 @@ Histogram& StageHistogram(Stage stage) {
       &MetricsRegistry::Default().HistogramOf(
           "asup_pipeline_stage_ns{stage=\"shard_merge\"}",
           LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"epoch_build\"}",
+          LatencyBucketsNanos()),
+      &MetricsRegistry::Default().HistogramOf(
+          "asup_pipeline_stage_ns{stage=\"epoch_migrate\"}",
+          LatencyBucketsNanos()),
   };
   return *histograms[static_cast<size_t>(stage)];
 }
@@ -123,6 +129,10 @@ const char* StageName(Stage stage) {
       return "shard_match";
     case Stage::kShardMerge:
       return "shard_merge";
+    case Stage::kEpochBuild:
+      return "epoch_build";
+    case Stage::kEpochMigrate:
+      return "epoch_migrate";
   }
   return "?";
 }

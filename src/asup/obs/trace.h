@@ -54,9 +54,11 @@ enum class Stage : uint8_t {
   kCommit,          // BatchExecutor deterministic-mode serial commit
   kShardMatch,      // scatter: match + local top-k on one index shard
   kShardMerge,      // gather: exact global merge of per-shard candidates
+  kEpochBuild,      // CorpusManager: incremental merge of the next epoch
+  kEpochMigrate,    // suppression-state migration to a newer corpus epoch
 };
 inline constexpr size_t kNumStages =
-    static_cast<size_t>(Stage::kShardMerge) + 1;
+    static_cast<size_t>(Stage::kEpochMigrate) + 1;
 
 const char* StageName(Stage stage);
 

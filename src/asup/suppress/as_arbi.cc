@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <utility>
 
 #include "asup/obs/trace.h"
 #include "asup/util/check.h"
@@ -25,7 +26,11 @@ AsSimpleConfig InnerSimpleConfig(const AsArbiConfig& config) {
 AsArbiEngine::AsArbiEngine(MatchingEngine& base, const AsArbiConfig& config)
     : base_(&base),
       config_(config),
-      simple_(base, InnerSimpleConfig(config)),
+      snapshot_(base.PinSnapshot()),
+      // The inner engine pins *our* snapshot, not a fresh one: base_ may
+      // publish a new epoch between the two pins, and the two engines must
+      // never disagree about the corpus.
+      simple_(base, InnerSimpleConfig(config), snapshot_),
       finder_(history_, config.cover_size, config.cover_ratio) {
   // Algorithm 2's trigger parameters: cover size m ≥ 1 historic answers,
   // cover ratio σ ∈ (0, 1].
@@ -45,7 +50,18 @@ AsArbiStats AsArbiEngine::stats() const {
       stats_.simple_answers.load(std::memory_order_relaxed);
   snapshot.trigger_evaluations =
       stats_.trigger_evaluations.load(std::memory_order_relaxed);
+  snapshot.epoch_migrations =
+      stats_.epoch_migrations.load(std::memory_order_relaxed);
   return snapshot;
+}
+
+uint64_t AsArbiEngine::StateEpoch() const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mutex_);
+  return snapshot_->epoch();
+}
+
+void AsArbiEngine::MigrateToCurrentEpoch() {
+  MigrateTo(base_->PinSnapshot());
 }
 
 bool AsArbiEngine::TriggerPlausible(size_t match_count) const {
@@ -63,7 +79,8 @@ QueryPrefetch AsArbiEngine::PrefetchMatches(const KeywordQuery& query) const {
   QueryPrefetch prefetch = simple_.PrefetchMatches(query);
   if (prefetch.ranked.total_matches > 0 &&
       TriggerPlausible(prefetch.ranked.total_matches)) {
-    prefetch.match_ids = base_->MatchIds(query);
+    // Same snapshot as the ranked matches — a prefetch is one epoch's view.
+    prefetch.match_ids = base_->MatchIdsIn(*prefetch.snapshot, query);
     prefetch.has_match_ids = true;
   }
   return prefetch;
@@ -85,6 +102,20 @@ SearchResult AsArbiEngine::SearchPrefetched(const KeywordQuery& query,
 SearchResult AsArbiEngine::SearchImpl(const KeywordQuery& query,
                                       const QueryPrefetch* prefetch) {
   stats_.queries_processed.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    {
+      std::shared_lock<std::shared_mutex> lock(epoch_mutex_);
+      if (snapshot_->epoch() == base_->CurrentEpoch()) {
+        return SearchStateLocked(query, prefetch);
+      }
+    }
+    // The corpus moved ahead of the state: migrate, then re-check.
+    MigrateTo(base_->PinSnapshot());
+  }
+}
+
+SearchResult AsArbiEngine::SearchStateLocked(const KeywordQuery& query,
+                                             const QueryPrefetch* prefetch) {
   if (config_.cache_answers) {
     SearchResult cached;
     if (answer_cache_.LookupOrClaim(query.canonical(), &cached) ==
@@ -94,15 +125,84 @@ SearchResult AsArbiEngine::SearchImpl(const KeywordQuery& query,
     }
   }
 
+  // A prefetch computed against a different epoch is stale — its M(q) and
+  // match ids reflect the wrong index. Recompute live in that case.
+  const bool prefetch_usable =
+      prefetch != nullptr &&
+      (prefetch->snapshot == nullptr ||
+       prefetch->snapshot->epoch() == snapshot_->epoch());
+
   SearchResult result;
   try {
-    result = Process(query, prefetch);
+    result = Process(query, prefetch_usable ? prefetch : nullptr);
   } catch (...) {
     if (config_.cache_answers) answer_cache_.Abandon(query.canonical());
     throw;
   }
   if (config_.cache_answers) answer_cache_.Publish(query.canonical(), result);
   return result;
+}
+
+void AsArbiEngine::MigrateTo(const SnapshotHandle& target) {
+  std::unique_lock<std::shared_mutex> lock(epoch_mutex_);
+  // Raced with another migrating query: the state may already be at (or
+  // past) the epoch this caller saw.
+  if (target->epoch() <= snapshot_->epoch()) return;
+  ASUP_TRACE_STAGE(obs::Stage::kEpochMigrate);
+
+  // Inner engine first: every fall-through query runs against simple_'s
+  // Θ_R/μ, so those must reach the new epoch before any query does.
+  simple_.MigrateTo(target);
+  ASUP_CHECK_EQ(simple_.StateEpoch(), target->epoch());
+
+  {
+    std::unique_lock<std::shared_mutex> history_lock(history_mutex_);
+    CompactHistoryLocked(*target);
+  }
+
+  // Per-epoch determinism: answers cached under the old history and μ must
+  // not replay in the new epoch.
+  answer_cache_.Clear();
+
+  snapshot_ = target;
+  stats_.epoch_migrations.fetch_add(1, std::memory_order_relaxed);
+  ASUP_METRIC_COUNT("asup_suppress_epoch_migrations_total", 1);
+}
+
+void AsArbiEngine::CompactHistoryLocked(const CorpusSnapshot& to) {
+  // Rebuild the store keeping the original record order, so surviving
+  // entries keep their relative indices and the cover search's tie-breaks
+  // stay deterministic. Deleted documents can never be matched (they left
+  // the index) nor disclosed again, so dropping them loses nothing; an
+  // answer with no surviving document can no longer cover anything and is
+  // removed outright.
+  HistoryStore compacted;
+  const size_t num_queries = history_.NumQueries();
+  size_t dropped_entries = 0;
+  for (size_t i = 0; i < num_queries; ++i) {
+    const HistoryStore::HistoricQuery& entry = history_.QueryAt(i);
+    std::vector<DocId> survivors;
+    survivors.reserve(entry.answer.size());
+    for (DocId doc : entry.answer) {
+      if (to.Contains(doc)) survivors.push_back(doc);
+    }
+    if (survivors.empty()) {
+      ++dropped_entries;
+      continue;
+    }
+    compacted.Record(entry.query, std::move(survivors));
+  }
+  history_ = std::move(compacted);
+  // The mirrors may shrink here — that is safe because the exclusive epoch
+  // lock has quiesced every prescreen reader.
+  history_docs_seen_.store(history_.NumDocumentsSeen(),
+                           std::memory_order_release);
+  history_queries_.store(history_.NumQueries(), std::memory_order_release);
+  ASUP_TRACE_NOTE("epoch_history_dropped", dropped_entries);
+  ASUP_METRIC_GAUGE_SET("asup_suppress_history_queries",
+                        history_.NumQueries());
+  ASUP_METRIC_GAUGE_SET("asup_suppress_history_docs_seen",
+                        history_.NumDocumentsSeen());
 }
 
 SearchResult AsArbiEngine::Process(const KeywordQuery& query,
@@ -113,7 +213,7 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
     match_count = prefetch->ranked.total_matches;
   } else {
     ASUP_TRACE_STAGE(obs::Stage::kMatch);
-    match_count = base_->MatchCount(query);
+    match_count = base_->MatchCountIn(*snapshot_, query);
   }
   // |Sel(q)|; AS-SIMPLE notes its own "match_count" when we fall through.
   ASUP_TRACE_NOTE("sel_size", match_count);
@@ -137,7 +237,7 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
       std::vector<DocId> local_ids;
       if (!use_prefetched_ids) {
         ASUP_TRACE_STAGE(obs::Stage::kMatch);
-        local_ids = base_->MatchIds(query);
+        local_ids = base_->MatchIdsIn(*snapshot_, query);
       }
       const std::vector<DocId>& match_ids =
           use_prefetched_ids ? prefetch->match_ids : local_ids;
@@ -156,11 +256,12 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
     }
   }
 
-  // Lines 6-8: fall through to AS-SIMPLE and remember the answer.
+  // Lines 6-8: fall through to AS-SIMPLE and remember the answer. The
+  // inner engine is driven pinned to our snapshot — it was migrated in
+  // lockstep, so the epochs agree by construction.
   stats_.simple_answers.fetch_add(1, std::memory_order_relaxed);
   ASUP_METRIC_COUNT("asup_suppress_arbi_simple_answers_total", 1);
-  result = prefetch ? simple_.SearchPrefetched(query, *prefetch)
-                    : simple_.Search(query);
+  result = simple_.SearchPinned(query, prefetch, *snapshot_);
   if (!result.docs.empty()) {
     ASUP_TRACE_STAGE(obs::Stage::kHistoryRecord);
     std::unique_lock<std::shared_mutex> lock(history_mutex_);
@@ -168,9 +269,11 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
                         const size_t docs_before =
                             history_.NumDocumentsSeen();)
     history_.Record(query, result.DocIds());
-    // The history only ever grows — answers, once disclosed, cannot be
-    // retracted; the cover trigger's lock-free prescreen relies on the
-    // mirrors being monotone lower bounds of the store.
+    // Within one epoch the history only ever grows — answers, once
+    // disclosed, cannot be retracted; the cover trigger's lock-free
+    // prescreen relies on the mirrors being monotone lower bounds of the
+    // store. (Epoch compaction may shrink both, but only with every
+    // prescreen reader quiesced behind the exclusive epoch lock.)
     ASUP_CONTRACTS_ONLY(
         ASUP_CHECK_EQ(history_.NumQueries(), queries_before + 1);
         ASUP_CHECK(history_.NumDocumentsSeen() >= docs_before);)
@@ -227,7 +330,8 @@ SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
     result.status = QueryStatus::kUnderflow;
     return result;
   }
-  std::vector<ScoredDoc> ranked = base_->RankDocs(query, virtual_ids);
+  std::vector<ScoredDoc> ranked =
+      base_->RankDocsIn(*snapshot_, query, virtual_ids);
   if (ranked.size() > base_->k()) ranked.resize(base_->k());
   // Top-k interface bound, same as every non-virtual answer path.
   ASUP_CHECK_LE(ranked.size(), base_->k());

@@ -46,6 +46,8 @@ struct AsArbiStats {
   uint64_t simple_answers = 0;
   /// Queries for which the (cheap) trigger evaluation ran.
   uint64_t trigger_evaluations = 0;
+  /// Epoch migrations performed (history compacted, inner state remapped).
+  uint64_t epoch_migrations = 0;
 };
 
 /// AS-ARBI: AS-SIMPLE plus *virtual query processing*, which defeats the
@@ -68,6 +70,15 @@ struct AsArbiStats {
 /// that cannot possibly be covered skip the lock entirely. The engine
 /// implements PrefetchableService for BatchExecutor's deterministic
 /// parallel mode.
+///
+/// Epoch model: like AS-SIMPLE, all suppression state is pinned to one
+/// corpus epoch. A query that finds the base's epoch moved ahead migrates
+/// first: the inner AS-SIMPLE engine is migrated in lockstep (so the two
+/// engines never disagree about μ or Θ_R's indexing), the history is
+/// compacted — deleted documents drop out of every recorded answer, and
+/// answers left empty are removed entirely (they can no longer cover
+/// anything) — and the answer cache is cleared. Lock order is always
+/// outer epoch → inner epoch → history (DESIGN.md §13).
 class AsArbiEngine : public PrefetchableService {
  public:
   // State persistence (suppress/state_io.h) reads and restores the inner
@@ -77,14 +88,16 @@ class AsArbiEngine : public PrefetchableService {
 
   /// Wraps `base` (borrowed; must outlive this engine) — any
   /// MatchingEngine (single-index or sharded); suppression and virtual
-  /// query processing run post-merge on the one logical corpus.
+  /// query processing run post-merge on the one logical corpus. Pins the
+  /// base's current epoch.
   AsArbiEngine(MatchingEngine& base, const AsArbiConfig& config);
 
   SearchResult Search(const KeywordQuery& query) override;
 
   /// Read-only match phase: M(q) for the inner AS-SIMPLE plus — when the
   /// trigger is size-plausible — the full match-id list the cover
-  /// evaluation needs. Independent of suppression state.
+  /// evaluation needs. Independent of suppression state; pins the base's
+  /// current epoch into the prefetch.
   QueryPrefetch PrefetchMatches(const KeywordQuery& query) const override;
 
   SearchResult SearchPrefetched(const KeywordQuery& query,
@@ -101,17 +114,42 @@ class AsArbiEngine : public PrefetchableService {
     return simple_.segment();
   }
 
+  /// Epoch the suppression state is currently pinned to.
+  uint64_t StateEpoch() const;
+
+  /// Eagerly migrates the state (inner engine, history, cache) to the
+  /// base's current epoch (queries do this lazily on their own).
+  void MigrateToCurrentEpoch();
+
   /// Snapshot of the processing counters (consistent only when quiesced).
   AsArbiStats stats() const;
 
  private:
   /// Full processing pipeline behind the answer cache. `prefetch` is null
-  /// on the live path (match data computed on demand).
+  /// on the live path (match data computed on demand). Caller holds the
+  /// epoch lock (shared side); all match work resolves against snapshot_.
   SearchResult Process(const KeywordQuery& query,
                        const QueryPrefetch* prefetch);
 
+  /// Cache-wrapped processing; migrates lazily until the state epoch
+  /// matches the base's current one.
   SearchResult SearchImpl(const KeywordQuery& query,
                           const QueryPrefetch* prefetch);
+
+  /// Cache claim + Process + publish against the pinned epoch. Caller
+  /// holds epoch_mutex_ (shared side). A prefetch from a different epoch
+  /// is discarded and the match phase recomputed live.
+  SearchResult SearchStateLocked(const KeywordQuery& query,
+                                 const QueryPrefetch* prefetch);
+
+  /// Takes the exclusive epoch lock and migrates inner engine, history and
+  /// cache to `target`.
+  void MigrateTo(const SnapshotHandle& target);
+
+  /// Drops deleted documents from every recorded answer and removes
+  /// answers left empty; refreshes the prescreen mirrors. Caller holds
+  /// epoch_mutex_ and history_mutex_ (both exclusive).
+  void CompactHistoryLocked(const CorpusSnapshot& to);
 
   /// True when m historic answers of at most k documents each could reach
   /// σ·|Sel(q)| documents — a pure size argument, no state involved.
@@ -123,13 +161,21 @@ class AsArbiEngine : public PrefetchableService {
 
   MatchingEngine* base_;
   AsArbiConfig config_;
+  /// Guards the epoch-pinned state (snapshot_, the history's document
+  /// universe, the cache's validity): shared for query processing,
+  /// exclusive for migration. Ordered before simple_ so the constructor
+  /// can hand the pinned snapshot to the inner engine.
+  mutable std::shared_mutex epoch_mutex_;
+  /// The epoch the suppression state is expressed against; the inner
+  /// AS-SIMPLE engine is always pinned to the same epoch.
+  SnapshotHandle snapshot_;
   AsSimpleEngine simple_;
   HistoryStore history_;
   CoverFinder finder_;
   AnswerCache answer_cache_;
 
   /// Guards history_ (and finder_'s traversals of it): shared for cover
-  /// evaluation, exclusive for Record.
+  /// evaluation, exclusive for Record and epoch compaction.
   mutable std::shared_mutex history_mutex_;
   /// Lock-free mirrors of history_.NumQueries() / NumDocumentsSeen() for
   /// pre-screening; they may lag the store, which only makes the screen
@@ -143,6 +189,7 @@ class AsArbiEngine : public PrefetchableService {
     std::atomic<uint64_t> virtual_answers{0};
     std::atomic<uint64_t> simple_answers{0};
     std::atomic<uint64_t> trigger_evaluations{0};
+    std::atomic<uint64_t> epoch_migrations{0};
   } stats_;
 };
 

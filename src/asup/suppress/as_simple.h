@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <shared_mutex>
 #include <string>
 
 #include "asup/engine/answer_cache.h"
@@ -15,6 +16,8 @@
 #include "asup/util/hash.h"
 
 namespace asup {
+
+class AsArbiEngine;
 
 /// Configuration of AS-SIMPLE (paper Algorithm 1).
 struct AsSimpleConfig {
@@ -42,6 +45,8 @@ struct AsSimpleStats {
   uint64_t docs_hidden = 0;
   /// Documents trimmed by the final LHS-degree cut (line 14).
   uint64_t docs_trimmed = 0;
+  /// Epoch migrations performed (corpus changed under the engine).
+  uint64_t epoch_migrations = 0;
 };
 
 /// AS-SIMPLE: run-time document hiding that suppresses COUNT/SUM aggregates
@@ -64,6 +69,18 @@ struct AsSimpleStats {
 /// read-only against the immutable index, so the engine also implements
 /// PrefetchableService for BatchExecutor's deterministic parallel mode
 /// (see DESIGN.md, "Threading model").
+///
+/// Epoch model: the suppression state (Θ_R's dense-local indexing, μ, the
+/// answer cache) is pinned to one corpus epoch. When the base engine's
+/// current epoch moves ahead (a CorpusManager published a delta), the next
+/// query migrates the state first — Θ_R is remapped document-by-document
+/// into the new local-id space (deleted documents drop out), μ is
+/// recomputed from the new corpus size (the query may thereby cross a
+/// segment boundary γ^i), and the answer cache is cleared (the determinism
+/// guarantee of Section 2.1 is *per epoch*; answers computed under the old
+/// μ must not replay). Queries take the shared side of an epoch lock,
+/// migration the exclusive side, so processing always sees state and
+/// snapshot in agreement (DESIGN.md §13).
 class AsSimpleEngine : public PrefetchableService {
  public:
   // State persistence (suppress/state_io.h) reads and restores Θ_R and the
@@ -74,15 +91,19 @@ class AsSimpleEngine : public PrefetchableService {
   /// Wraps `base` (borrowed; must outlive this engine) — any
   /// MatchingEngine: the single-index PlainSearchEngine or the sharded
   /// scatter-gather ShardedSearchService. Suppression always runs
-  /// post-merge on the one logical corpus the base presents.
+  /// post-merge on the one logical corpus the base presents. Pins the
+  /// base's current epoch.
   AsSimpleEngine(MatchingEngine& base, const AsSimpleConfig& config);
 
   SearchResult Search(const KeywordQuery& query) override;
 
   /// Read-only match phase: M(q), independent of suppression state.
+  /// Pins the base's current epoch into the prefetch.
   QueryPrefetch PrefetchMatches(const KeywordQuery& query) const override;
 
-  /// Stateful phase of Search, fed a prefetched M(q).
+  /// Stateful phase of Search, fed a prefetched M(q). A prefetch from a
+  /// different epoch than the one the commit runs in is discarded and the
+  /// match phase recomputed live.
   SearchResult SearchPrefetched(const KeywordQuery& query,
                                 const QueryPrefetch& prefetch) override;
 
@@ -90,30 +111,79 @@ class AsSimpleEngine : public PrefetchableService {
 
   size_t k() const override { return base_->k(); }
 
+  /// Segment arithmetic of the *state's* epoch. Stable while queries are
+  /// in flight on this epoch; changes under migration.
   const IndistinguishableSegment& segment() const { return segment_; }
   const AsSimpleConfig& config() const { return config_; }
   MatchingEngine& base() const { return *base_; }
+
+  /// Epoch the suppression state is currently pinned to.
+  uint64_t StateEpoch() const;
+
+  /// Eagerly migrates the state to the base's current epoch (queries do
+  /// this lazily on their own).
+  void MigrateToCurrentEpoch();
+
+  /// Processes `query` strictly within `target`'s epoch. The caller
+  /// (AS-ARBI) must guarantee the state is already at that epoch and hold
+  /// off migrations for the duration of the call.
+  SearchResult SearchPinned(const KeywordQuery& query,
+                            const QueryPrefetch* prefetch,
+                            const CorpusSnapshot& target);
 
   /// Snapshot of the processing counters (consistent only when quiesced).
   AsSimpleStats stats() const;
 
   /// |Θ_R|: number of documents returned (or activated) so far.
-  size_t NumActivatedDocs() const { return returned_before_.Count(); }
+  size_t NumActivatedDocs() const;
 
   /// True if `doc` is in Θ_R.
   bool IsActivated(DocId doc) const;
 
  private:
-  /// The stateful suppression phase (Algorithm 1 lines 7-14) applied to a
-  /// prefetched M(q). Safe for concurrent callers; never reads the cache.
-  SearchResult Process(const KeywordQuery& query, const RankedMatches& ranked);
+  // AS-ARBI drives the inner engine through SearchPinned and MigrateTo so
+  // inner and outer state always sit on the same epoch; the AS-ARBI loader
+  // stages a scratch inner engine on a specific snapshot.
+  friend class AsArbiEngine;
+  friend bool SaveDefenseState(const AsArbiEngine&, std::ostream&);
+  friend bool LoadDefenseState(AsArbiEngine&, std::istream&);
 
-  /// Cache-wrapped processing shared by Search and SearchPrefetched.
+  /// Pins an explicit snapshot instead of the base's current one (AS-ARBI
+  /// keeps its inner engine on the outer engine's epoch).
+  AsSimpleEngine(MatchingEngine& base, const AsSimpleConfig& config,
+                 SnapshotHandle snapshot);
+
+  /// The stateful suppression phase (Algorithm 1 lines 7-14) applied to a
+  /// prefetched M(q), resolved against `snapshot` (the state's pinned
+  /// epoch). Caller holds the epoch lock (shared side).
+  SearchResult Process(const KeywordQuery& query, const RankedMatches& ranked,
+                       const CorpusSnapshot& snapshot);
+
+  /// Cache-wrapped processing shared by Search and SearchPrefetched;
+  /// migrates lazily until the state epoch matches the base's current one.
   SearchResult SearchImpl(const KeywordQuery& query,
                           const QueryPrefetch* prefetch);
 
+  /// Cache claim + Process + publish against the state's pinned epoch.
+  /// Caller holds epoch_mutex_ (shared side).
+  SearchResult SearchStateLocked(const KeywordQuery& query,
+                                 const QueryPrefetch* prefetch);
+
+  /// Takes the exclusive epoch lock and migrates the state to `target`.
+  void MigrateTo(const SnapshotHandle& target);
+
+  /// Θ_R remap + μ recompute + cache clear. Caller holds epoch_mutex_
+  /// (exclusive side).
+  void MigrateStateLocked(const SnapshotHandle& target);
+
   MatchingEngine* base_;
   AsSimpleConfig config_;
+  /// Guards the epoch-pinned state below (snapshot_, segment_,
+  /// returned_before_'s indexing, and the answer cache's validity): shared
+  /// for query processing, exclusive for migration.
+  mutable std::shared_mutex epoch_mutex_;
+  /// The epoch the suppression state is expressed against.
+  SnapshotHandle snapshot_;
   IndistinguishableSegment segment_;
   DeterministicCoin coin_;
   size_t m_limit_;  // γ·k, the size cap of M(q)
@@ -124,6 +194,7 @@ class AsSimpleEngine : public PrefetchableService {
     std::atomic<uint64_t> cache_hits{0};
     std::atomic<uint64_t> docs_hidden{0};
     std::atomic<uint64_t> docs_trimmed{0};
+    std::atomic<uint64_t> epoch_migrations{0};
   } stats_;
 };
 

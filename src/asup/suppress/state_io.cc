@@ -13,8 +13,12 @@ namespace asup {
 
 namespace {
 
-constexpr char kSimpleMagic[4] = {'A', 'S', 'S', '1'};
-constexpr char kArbiMagic[4] = {'A', 'S', 'A', '1'};
+// Format v2 adds the epoch content fingerprint after the config
+// fingerprint; the body is unchanged. v1 snapshots still load.
+constexpr char kSimpleMagicV1[4] = {'A', 'S', 'S', '1'};
+constexpr char kSimpleMagicV2[4] = {'A', 'S', 'S', '2'};
+constexpr char kArbiMagicV1[4] = {'A', 'S', 'A', '1'};
+constexpr char kArbiMagicV2[4] = {'A', 'S', 'A', '2'};
 
 void PutU64(uint64_t value, std::ostream& out) {
   for (int i = 0; i < 8; ++i) out.put(static_cast<char>(value >> (8 * i)));
@@ -86,38 +90,63 @@ bool GetResult(std::istream& in, SearchResult& result) {
   return true;
 }
 
-// Configuration fingerprint: a snapshot only replays under the same corpus
-// size, γ, and coin key.
-void PutFingerprint(const AsSimpleEngine& engine, std::ostream& out) {
+// Configuration fingerprint (v1 and v2): a snapshot only replays under the
+// same corpus size, γ, and coin key. v2 appends the epoch *content*
+// fingerprint — document ids, lengths and term frequencies, deliberately
+// not the epoch counter, so incrementally maintained and freshly built
+// engines over the same corpus interoperate byte-for-byte.
+void PutFingerprint(const AsSimpleEngine& engine,
+                    const CorpusSnapshot& snapshot, std::ostream& out) {
   PutU64(engine.segment().corpus_size(), out);
   PutDouble(engine.config().gamma, out);
   PutU64(engine.config().secret_key, out);
+  PutU64(snapshot.Fingerprint(), out);
 }
 
-bool CheckFingerprint(const AsSimpleEngine& engine, std::istream& in) {
+bool CheckFingerprint(const AsSimpleEngine& engine,
+                      const CorpusSnapshot& snapshot, std::istream& in,
+                      bool check_content) {
   uint64_t corpus_size = 0;
   double gamma = 0.0;
   uint64_t key = 0;
   if (!GetU64(in, corpus_size) || !GetDouble(in, gamma) || !GetU64(in, key)) {
     return false;
   }
-  return corpus_size == engine.segment().corpus_size() &&
-         gamma == engine.config().gamma &&
-         key == engine.config().secret_key;
+  if (corpus_size != engine.segment().corpus_size() ||
+      gamma != engine.config().gamma ||
+      key != engine.config().secret_key) {
+    return false;
+  }
+  if (!check_content) return true;  // v1 snapshot: size check only
+  uint64_t content = 0;
+  if (!GetU64(in, content)) return false;
+  return content == snapshot.Fingerprint();
+}
+
+// Reads a 4-byte magic with prefix `kind` ('S' or 'A') and reports the
+// format version, or 0 on mismatch.
+int ReadVersion(std::istream& in, char kind) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || magic[0] != 'A' || magic[1] != 'S' || magic[2] != kind) return 0;
+  if (magic[3] == '1') return 1;
+  if (magic[3] == '2') return 2;
+  return 0;
 }
 
 }  // namespace
 
 bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out) {
-  out.write(kSimpleMagic, 4);
-  PutFingerprint(engine, out);
-  // Θ_R is stored as universe document ids (stable across restarts); the
-  // engine's atomic bitmap is indexed by dense local id.
-  const MatchingEngine& base = *engine.base_;
+  out.write(kSimpleMagicV2, 4);
+  // Θ_R is stored as universe document ids (stable across restarts and
+  // epochs); the engine's atomic bitmap is indexed by dense local id of
+  // the *state's* pinned epoch.
+  const CorpusSnapshot& snapshot = *engine.snapshot_;
+  PutFingerprint(engine, snapshot, out);
   const std::vector<size_t> locals = engine.returned_before_.SetBits();
   PutU64(locals.size(), out);
   for (size_t local : locals) {
-    PutU64(base.LocalToId(static_cast<uint32_t>(local)), out);
+    PutU64(snapshot.LocalToId(static_cast<uint32_t>(local)), out);
   }
   const auto cache_entries = engine.answer_cache_.Snapshot();
   PutU64(cache_entries.size(), out);
@@ -130,22 +159,24 @@ bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out) {
 }
 
 bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kSimpleMagic, 4) != 0) return false;
-  if (!CheckFingerprint(engine, in)) return false;
+  const int version = ReadVersion(in, 'S');
+  if (version == 0) return false;
+  const CorpusSnapshot& snapshot = *engine.snapshot_;
+  if (!CheckFingerprint(engine, snapshot, in,
+                        /*check_content=*/version >= 2)) {
+    return false;
+  }
 
   // Parse (and validate) everything before touching the engine, so a
   // corrupt snapshot leaves it unchanged.
-  const MatchingEngine& base = *engine.base_;
   std::vector<DocId> returned;
   uint64_t count = 0;
-  if (!GetU64(in, count) || count > base.NumDocuments()) return false;
+  if (!GetU64(in, count) || count > snapshot.NumDocuments()) return false;
   returned.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t doc = 0;
     if (!GetU64(in, doc)) return false;
-    if (!base.corpus().Contains(static_cast<DocId>(doc))) return false;
+    if (!snapshot.Contains(static_cast<DocId>(doc))) return false;
     returned.push_back(static_cast<DocId>(doc));
   }
 
@@ -161,7 +192,9 @@ bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
   }
 
   engine.returned_before_.ClearAll();
-  for (DocId doc : returned) engine.returned_before_.Set(base.LocalOf(doc));
+  for (DocId doc : returned) {
+    engine.returned_before_.Set(snapshot.LocalOf(doc));
+  }
   engine.answer_cache_.Clear();
   for (auto& [canonical, result] : cache) {
     engine.answer_cache_.Insert(canonical, std::move(result));
@@ -170,7 +203,7 @@ bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
 }
 
 bool SaveDefenseState(const AsArbiEngine& engine, std::ostream& out) {
-  out.write(kArbiMagic, 4);
+  out.write(kArbiMagicV2, 4);
   if (!SaveDefenseState(engine.simple_, out)) return false;
   PutU64(engine.history_.NumQueries(), out);
   for (size_t i = 0; i < engine.history_.NumQueries(); ++i) {
@@ -190,16 +223,18 @@ bool SaveDefenseState(const AsArbiEngine& engine, std::ostream& out) {
 }
 
 bool LoadDefenseState(AsArbiEngine& engine, std::istream& in) {
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kArbiMagic, 4) != 0) return false;
+  const int version = ReadVersion(in, 'A');
+  if (version == 0) return false;
   // Stage the inner AS-SIMPLE section in a scratch engine: a snapshot whose
   // history or cache section is corrupt must leave the real engine fully
-  // unchanged, including its inner AS-SIMPLE state.
-  AsSimpleEngine staged(*engine.base_, engine.config_.simple);
+  // unchanged, including its inner AS-SIMPLE state. The scratch engine pins
+  // the *real* inner engine's snapshot so the fingerprints and the
+  // local-id mapping agree regardless of what epoch the base is on now.
+  AsSimpleEngine staged(*engine.base_, engine.config_.simple,
+                        engine.simple_.snapshot_);
   if (!LoadDefenseState(staged, in)) return false;
 
-  const Vocabulary& vocabulary = engine.base_->corpus().vocabulary();
+  const Vocabulary& vocabulary = engine.snapshot_->corpus().vocabulary();
   HistoryStore history;
   uint64_t num_queries = 0;
   if (!GetU64(in, num_queries) || num_queries > (1u << 26)) return false;

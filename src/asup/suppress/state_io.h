@@ -21,6 +21,15 @@ namespace asup {
 /// The snapshot embeds γ, the corpus size, and the secret coin key; Load
 /// refuses a snapshot taken under a different configuration (the coins
 /// would not replay).
+///
+/// Format v2 additionally embeds a *content* fingerprint of the corpus
+/// epoch the state was pinned to — the hash covers document ids, lengths
+/// and term frequencies, never the epoch number, so a state saved from an
+/// incrementally maintained engine restores into a freshly built engine
+/// over the same corpus (and vice versa). Load still accepts v1 snapshots
+/// (no content check beyond the corpus size). Save and Load must run
+/// quiesced, with the engine's state epoch equal to the corpus the bytes
+/// describe.
 
 /// Serializes the engine's Θ_R and answer cache. Returns false on I/O
 /// failure.

@@ -1,8 +1,6 @@
 #include "asup/text/corpus.h"
 
-#include <cassert>
-#include <cstdio>
-#include <cstdlib>
+#include "asup/util/check.h"
 
 namespace asup {
 
@@ -11,22 +9,16 @@ Corpus::Corpus(std::shared_ptr<Vocabulary> vocabulary,
     : vocabulary_(std::move(vocabulary)), documents_(std::move(documents)) {
   by_id_.reserve(documents_.size() * 2);
   for (uint32_t pos = 0; pos < documents_.size(); ++pos) {
-    const bool inserted =
-        by_id_.emplace(documents_[pos].id(), pos).second;
-    if (!inserted) {
-      std::fprintf(stderr, "Corpus: duplicate document id %u\n",
-                   documents_[pos].id());
-      std::abort();
-    }
+    const bool duplicate_document_id =
+        !by_id_.emplace(documents_[pos].id(), pos).second;
+    ASUP_CHECK(!duplicate_document_id);
   }
 }
 
 const Document& Corpus::Get(DocId id) const {
   auto it = by_id_.find(id);
-  if (it == by_id_.end()) {
-    std::fprintf(stderr, "Corpus: unknown document id %u\n", id);
-    std::abort();
-  }
+  const bool unknown_document_id = it == by_id_.end();
+  ASUP_CHECK(!unknown_document_id);
   return documents_[it->second];
 }
 
@@ -55,7 +47,7 @@ uint64_t Corpus::SumLengthWhere(
 }
 
 Corpus Corpus::SampleSubcorpus(size_t count, Rng& rng) const {
-  assert(count <= documents_.size());
+  ASUP_CHECK_LE(count, documents_.size());
   std::vector<uint64_t> picks =
       rng.SampleWithoutReplacement(documents_.size(), count);
   std::vector<Document> sampled;

@@ -1,0 +1,46 @@
+#include "asup/text/corpus_delta.h"
+
+#include <algorithm>
+
+#include "asup/util/check.h"
+
+namespace asup {
+
+Corpus ApplyDelta(const Corpus& base, const CorpusDelta& delta) {
+  // Removed ids: sorted for the membership test below; must be unique and
+  // present in the base.
+  std::vector<DocId> removed = delta.remove;
+  std::sort(removed.begin(), removed.end());
+  ASUP_CHECK(std::adjacent_find(removed.begin(), removed.end()) ==
+             removed.end());
+  for (DocId id : removed) ASUP_CHECK(base.Contains(id));
+
+  const auto is_removed = [&removed](DocId id) {
+    return std::binary_search(removed.begin(), removed.end(), id);
+  };
+
+  // Added documents: unique ids, absent from the base, not simultaneously
+  // removed.
+  ASUP_CONTRACTS_ONLY({
+    std::vector<DocId> added_ids;
+    added_ids.reserve(delta.add.size());
+    for (const Document& doc : delta.add) added_ids.push_back(doc.id());
+    std::sort(added_ids.begin(), added_ids.end());
+    ASUP_CHECK(std::adjacent_find(added_ids.begin(), added_ids.end()) ==
+               added_ids.end());
+  })
+  for (const Document& doc : delta.add) {
+    ASUP_CHECK(!base.Contains(doc.id()));
+    ASUP_CHECK(!is_removed(doc.id()));
+  }
+
+  std::vector<Document> documents;
+  documents.reserve(base.size() - removed.size() + delta.add.size());
+  for (const Document& doc : base.documents()) {
+    if (!is_removed(doc.id())) documents.push_back(doc);
+  }
+  for (const Document& doc : delta.add) documents.push_back(doc);
+  return Corpus(base.vocabulary_ptr(), std::move(documents));
+}
+
+}  // namespace asup

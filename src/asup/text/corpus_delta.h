@@ -1,0 +1,34 @@
+#ifndef ASUP_TEXT_CORPUS_DELTA_H_
+#define ASUP_TEXT_CORPUS_DELTA_H_
+
+#include <vector>
+
+#include "asup/text/corpus.h"
+#include "asup/text/document.h"
+
+namespace asup {
+
+/// A batched corpus mutation: documents to ingest and documents to delete,
+/// applied atomically as one epoch transition (see index/corpus_manager.h).
+///
+/// Validity rules, checked by ApplyDelta:
+///  * added ids are unique within the batch and absent from the base corpus,
+///  * removed ids are unique within the batch and present in the base,
+///  * no id is both added and removed in the same batch (split such churn
+///    across two deltas; each epoch then has a well-defined document set).
+struct CorpusDelta {
+  std::vector<Document> add;
+  std::vector<DocId> remove;
+
+  bool empty() const { return add.empty() && remove.empty(); }
+};
+
+/// Returns `base` with `delta` applied, sharing the base's vocabulary.
+/// Surviving documents keep their ids (and therefore their relative dense
+/// local-id order); added documents slot into the id order wherever their
+/// ids fall. Aborts (ASUP_CHECK) on an invalid delta.
+Corpus ApplyDelta(const Corpus& base, const CorpusDelta& delta);
+
+}  // namespace asup
+
+#endif  // ASUP_TEXT_CORPUS_DELTA_H_

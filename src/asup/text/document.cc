@@ -1,7 +1,8 @@
 #include "asup/text/document.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "asup/util/check.h"
 
 namespace asup {
 
@@ -20,10 +21,11 @@ Document::Document(DocId id, const std::vector<TermId>& tokens) : id_(id) {
 
 Document::Document(DocId id, std::vector<TermFreq> terms, uint32_t length)
     : id_(id), length_(length), terms_(std::move(terms)) {
-  assert(std::is_sorted(terms_.begin(), terms_.end(),
-                        [](const TermFreq& a, const TermFreq& b) {
-                          return a.term < b.term;
-                        }));
+  // O(|terms|) scan, so explicitly debug-only.
+  ASUP_DCHECK(std::is_sorted(terms_.begin(), terms_.end(),
+                             [](const TermFreq& a, const TermFreq& b) {
+                               return a.term < b.term;
+                             }));
 }
 
 uint32_t Document::FrequencyOf(TermId term) const {

@@ -1,8 +1,9 @@
 #include "asup/text/synthetic_corpus.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
+
+#include "asup/util/check.h"
 
 namespace asup {
 
@@ -46,10 +47,10 @@ SyntheticCorpusGenerator::SyntheticCorpusGenerator(
       topic_word_dist_(config.words_per_topic, config.topic_zipf_s),
       topic_pick_dist_(std::max<size_t>(config.num_topics, 1),
                        config.topic_popularity_s) {
-  assert(config_.vocabulary_size > 0);
-  assert(config_.num_topics > 0);
-  assert(config_.words_per_topic > 0);
-  assert(config_.words_per_topic <= config_.vocabulary_size);
+  ASUP_CHECK(config_.vocabulary_size > 0);
+  ASUP_CHECK(config_.num_topics > 0);
+  ASUP_CHECK(config_.words_per_topic > 0);
+  ASUP_CHECK_LE(config_.words_per_topic, config_.vocabulary_size);
 
   vocabulary_ = Vocabulary::GenerateSynthetic(
       config_.vocabulary_size, rng_, FlattenSeedWords(SeedTopicWords()));

@@ -1,13 +1,11 @@
 #include "asup/text/vocabulary.h"
 
-#include <cassert>
-#include <cstdio>
-#include <cstdlib>
+#include "asup/util/check.h"
 
 namespace asup {
 
 TermId Vocabulary::AddWord(std::string_view word) {
-  auto it = ids_.find(std::string(word));
+  auto it = ids_.find(word);  // heterogeneous: no temporary string
   if (it != ids_.end()) return it->second;
   const TermId id = static_cast<TermId>(words_.size());
   words_.emplace_back(word);
@@ -16,13 +14,13 @@ TermId Vocabulary::AddWord(std::string_view word) {
 }
 
 std::optional<TermId> Vocabulary::Lookup(std::string_view word) const {
-  auto it = ids_.find(std::string(word));
+  auto it = ids_.find(word);  // heterogeneous: no temporary string
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& Vocabulary::WordOf(TermId id) const {
-  assert(id < words_.size());
+  ASUP_CHECK_LT(id, words_.size());
   return words_[id];
 }
 
@@ -30,13 +28,9 @@ std::shared_ptr<Vocabulary> Vocabulary::GenerateSynthetic(
     size_t size, Rng& rng, const std::vector<std::string>& reserved_words) {
   auto vocab = std::make_shared<Vocabulary>();
   for (const auto& word : reserved_words) vocab->AddWord(word);
-  if (vocab->size() > size) {
-    std::fprintf(stderr,
-                 "Vocabulary::GenerateSynthetic: %zu reserved words exceed "
-                 "requested size %zu\n",
-                 reserved_words.size(), size);
-    std::abort();
-  }
+  // Reserved words must fit in the requested size (duplicates collapse, so
+  // the check is on the vocabulary after insertion, not the input list).
+  ASUP_CHECK_LE(vocab->size(), size);
   WordSynthesizer synthesizer(rng);
   size_t attempts = 0;
   while (vocab->size() < size) {

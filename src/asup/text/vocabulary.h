@@ -19,6 +19,17 @@ using TermId = uint32_t;
 /// Sentinel for "no such term".
 inline constexpr TermId kInvalidTerm = UINT32_MAX;
 
+/// Hashes std::string map keys and std::string_view probes identically
+/// ([basic.string.hash] guarantees the two specializations agree on equal
+/// character sequences), enabling heterogeneous (C++20 `is_transparent`)
+/// lookup: probing with a string_view allocates nothing.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Bidirectional word <-> TermId mapping shared by a corpus, its index, the
 /// search engine, and the adversary's query pool.
 ///
@@ -26,6 +37,10 @@ inline constexpr TermId kInvalidTerm = UINT32_MAX;
 /// generates pronounceable pseudo-words (plus injected real topic words such
 /// as "sports" that the paper's SUM experiment and correlated-query attack
 /// refer to), so examples and debug output stay readable.
+///
+/// The mapping is append-only: AddWord never reassigns or removes an id, so
+/// corpora of different epochs (see index/corpus_manager.h) can share one
+/// vocabulary — a term id means the same word in every epoch.
 class Vocabulary {
  public:
   Vocabulary() = default;
@@ -56,7 +71,11 @@ class Vocabulary {
 
  private:
   std::vector<std::string> words_;
-  std::unordered_map<std::string, TermId> ids_;
+  /// Transparent hash/equality: the hot tokenize path probes with the
+  /// caller's string_view directly, no temporary std::string per call.
+  std::unordered_map<std::string, TermId, TransparentStringHash,
+                     std::equal_to<>>
+      ids_;
 };
 
 /// Produces distinct pronounceable pseudo-words ("zorimak", "beltanu", ...).

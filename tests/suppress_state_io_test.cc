@@ -54,6 +54,36 @@ TEST(StateIoTest, SimpleRoundTripRestoresAnswers) {
   }
 }
 
+TEST(StateIoTest, SimpleLoadsLegacyV1Snapshot) {
+  // Backward compatibility: a v1 snapshot is a v2 snapshot minus the
+  // 8-byte corpus content fingerprint, under the 'ASS1' magic. Splicing a
+  // v2 snapshot down to the v1 layout must still restore (content check
+  // skipped, config fingerprint still enforced).
+  Rig rig = MakeRig(520, 5);
+  AsSimpleEngine original(*rig.engine, AsSimpleConfig{});
+  std::vector<SearchResult> answers;
+  for (const auto& q : WarmupQueries(rig)) {
+    answers.push_back(original.Search(q));
+  }
+  std::stringstream snapshot;
+  ASSERT_TRUE(SaveDefenseState(original, snapshot));
+  std::string bytes = snapshot.str();
+  ASSERT_EQ(bytes.substr(0, 4), "ASS2");
+  bytes[3] = '1';
+  // Drop the content fingerprint: bytes [28, 36) after magic(4) +
+  // corpus_size(8) + gamma(8) + key(8).
+  bytes.erase(4 + 8 + 8 + 8, 8);
+
+  std::stringstream v1(bytes);
+  AsSimpleEngine restarted(*rig.engine, AsSimpleConfig{});
+  ASSERT_TRUE(LoadDefenseState(restarted, v1));
+  EXPECT_EQ(restarted.NumActivatedDocs(), original.NumActivatedDocs());
+  const auto queries = WarmupQueries(rig);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(SameAnswers(restarted.Search(queries[i]), answers[i])) << i;
+  }
+}
+
 TEST(StateIoTest, RestartWithoutStateChangesAnswers) {
   // The scenario persistence exists to prevent: losing Θ_R makes a
   // restarted engine answer at least one warmed query differently.
@@ -216,11 +246,11 @@ TEST(StateIoTest, SimpleRejectsUnknownDocumentId) {
   ASSERT_TRUE(SaveDefenseState(original, snapshot));
   std::string bytes = snapshot.str();
 
-  // Layout: magic(4) + corpus_size(8) + gamma(8) + key(8) + count(8) +
-  // first universe doc id (8 bytes, little-endian). Overwrite that id with
-  // one no universe document uses.
+  // v2 layout: magic(4) + corpus_size(8) + gamma(8) + key(8) +
+  // content_fingerprint(8) + count(8) + first universe doc id (8 bytes,
+  // little-endian). Overwrite that id with one no universe document uses.
   ASSERT_GT(original.NumActivatedDocs(), 0u);
-  const size_t id_offset = 4 + 8 + 8 + 8 + 8;
+  const size_t id_offset = 4 + 8 + 8 + 8 + 8 + 8;
   ASSERT_GE(bytes.size(), id_offset + 8);
   for (size_t i = 0; i < 8; ++i) {
     bytes[id_offset + i] = static_cast<char>(0xff);

@@ -30,14 +30,15 @@ Rules (all scoped to src/ unless noted):
                            itself (deadlock with a non-recursive mutex, or
                            double-think about which lock protects what).
   asup-raw-assert          validation-critical paths (src/asup/index/,
-                           src/asup/suppress/): a raw assert() compiles out
-                           in Release, so the check it expresses silently
-                           vanishes from production decoders exactly where
-                           untrusted bytes arrive (the ReadVarByte
-                           out-of-bounds bug). Use ASUP_CHECK (always on
-                           where it matters) or ASUP_DCHECK (explicitly
-                           debug-only) from util/check.h; static_assert is
-                           fine.
+                           src/asup/suppress/, src/asup/text/,
+                           src/asup/engine/, src/asup/eval/): a raw
+                           assert() compiles out in Release, so the check
+                           it expresses silently vanishes from production
+                           decoders exactly where untrusted bytes arrive
+                           (the ReadVarByte out-of-bounds bug). Use
+                           ASUP_CHECK (always on where it matters) or
+                           ASUP_DCHECK (explicitly debug-only) from
+                           util/check.h; static_assert is fine.
 
 Suppressing a finding requires an inline justification on the same line or
 on the preceding line:
@@ -56,7 +57,13 @@ import sys
 from pathlib import Path
 
 DETERMINISTIC_SUBDIRS = ("asup/suppress", "asup/engine")
-RAW_ASSERT_SUBDIRS = ("asup/index", "asup/suppress")
+RAW_ASSERT_SUBDIRS = (
+    "asup/index",
+    "asup/suppress",
+    "asup/text",
+    "asup/engine",
+    "asup/eval",
+)
 
 # assert( not preceded by an identifier character: matches the macro call
 # but not static_assert( or FooAssert(.
