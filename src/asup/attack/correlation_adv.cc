@@ -1,0 +1,82 @@
+#include "asup/attack/correlation_adv.h"
+
+#include "asup/obs/metrics.h"
+
+namespace asup {
+
+double AdvantageReport::TruePositiveRate() const {
+  const uint64_t positives = true_positives + false_negatives;
+  if (positives == 0) return 0.0;
+  return static_cast<double>(true_positives) / static_cast<double>(positives);
+}
+
+double AdvantageReport::TrueNegativeRate() const {
+  const uint64_t negatives = true_negatives + false_positives;
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(true_negatives) / static_cast<double>(negatives);
+}
+
+double AdvantageReport::Advantage() const {
+  const uint64_t positives = true_positives + false_negatives;
+  const uint64_t negatives = true_negatives + false_positives;
+  if (positives == 0 || negatives == 0) return 0.0;
+  return (TruePositiveRate() + TrueNegativeRate()) / 2.0 - 0.5;
+}
+
+CorrelationAdversary::CorrelationAdversary(
+    const CorrelationAdversaryOptions& options)
+    : options_(options) {}
+
+void CorrelationAdversary::Reset() {
+  disclosed_.clear();
+  seen_terms_.clear();
+  query_counts_.clear();
+  last_features_ = CorrelationFeatures();
+  observations_ = 0;
+}
+
+bool CorrelationAdversary::ObserveAndClassify(const KeywordQuery& query,
+                                              const SearchResult& result) {
+  CorrelationFeatures features;
+  features.answer_size = result.docs.size();
+  for (const ScoredDoc& scored : result.docs) {
+    if (disclosed_.find(scored.doc) == disclosed_.end()) {
+      ++features.novel_docs;
+    }
+  }
+  features.novel_fraction =
+      features.answer_size == 0
+          ? 0.0
+          : static_cast<double>(features.novel_docs) /
+                static_cast<double>(features.answer_size);
+  for (TermId term : query.terms()) {
+    if (seen_terms_.find(term) != seen_terms_.end()) ++features.repeat_terms;
+  }
+  const auto repeat_it = query_counts_.find(query.hash());
+  features.query_repeats =
+      repeat_it == query_counts_.end() ? 0 : repeat_it->second;
+
+  // Decision rule: a virtual answer is non-empty, drawn wholly (up to the
+  // configured slack) from previously disclosed documents, and — when
+  // required — correlated with an earlier query through a repeated term.
+  bool verdict = features.answer_size > 0 &&
+                 features.novel_fraction <= options_.max_novel_fraction;
+  if (options_.require_repeat_term && features.repeat_terms == 0) {
+    verdict = false;
+  }
+
+  // Fold the observation into the history after classifying: the adversary
+  // never conditions on information it has not yet received.
+  for (const ScoredDoc& scored : result.docs) disclosed_.insert(scored.doc);
+  for (TermId term : query.terms()) seen_terms_.insert(term);
+  ++query_counts_[query.hash()];
+  ++observations_;
+  last_features_ = features;
+
+  ASUP_METRIC_GAUGE_SET("asup_attack_corr_disclosed_docs", disclosed_.size());
+  ASUP_METRIC_COUNT("asup_attack_corr_observations", 1);
+  if (verdict) ASUP_METRIC_COUNT("asup_attack_corr_virtual_verdicts", 1);
+  return verdict;
+}
+
+}  // namespace asup

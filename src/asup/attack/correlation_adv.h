@@ -1,0 +1,115 @@
+#ifndef ASUP_ATTACK_CORRELATION_ADV_H_
+#define ASUP_ATTACK_CORRELATION_ADV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "asup/engine/query.h"
+#include "asup/engine/search_service.h"
+
+namespace asup {
+
+/// Options of the correlation adversary's decision rule.
+struct CorrelationAdversaryOptions {
+  /// Classify an answer as virtual only when at most this fraction of its
+  /// documents is novel (never disclosed to this adversary before). The
+  /// default 0.0 encodes AS-ARBI's defining property: a virtual answer is
+  /// assembled entirely from the history cover, so every document in it
+  /// was disclosed earlier.
+  double max_novel_fraction = 0.0;
+
+  /// Additionally require at least one query term to have appeared in an
+  /// earlier query: virtual processing only triggers on history overlap,
+  /// so a first-contact term cannot be served virtually.
+  bool require_repeat_term = true;
+};
+
+/// Per-answer signals the adversary extracts before updating its history.
+struct CorrelationFeatures {
+  size_t answer_size = 0;
+  /// Returned documents never disclosed in any earlier answer.
+  size_t novel_docs = 0;
+  /// novel_docs / answer_size; 0 for empty answers.
+  double novel_fraction = 0.0;
+  /// Query terms that occurred in at least one earlier observed query.
+  size_t repeat_terms = 0;
+  /// Times this exact query (by canonical hash) was observed before.
+  uint64_t query_repeats = 0;
+};
+
+/// Confusion-matrix accumulator for a binary distinguishing game. The
+/// headline number is the advantage over random guessing,
+/// (TPR + TNR)/2 − 1/2 — the balanced-accuracy form that stays 0 for any
+/// constant classifier regardless of class skew.
+struct AdvantageReport {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t true_negatives = 0;
+  uint64_t false_negatives = 0;
+
+  void Record(bool predicted, bool actual) {
+    if (actual) {
+      ++(predicted ? true_positives : false_negatives);
+    } else {
+      ++(predicted ? false_positives : true_negatives);
+    }
+  }
+
+  uint64_t total() const {
+    return true_positives + false_positives + true_negatives + false_negatives;
+  }
+
+  /// TPR over actual positives; 0 when there are none.
+  double TruePositiveRate() const;
+  /// TNR over actual negatives; 0 when there are none.
+  double TrueNegativeRate() const;
+  /// (TPR + TNR)/2 − 1/2, or 0.0 when only one class was observed (the
+  /// game is then vacuous and "no advantage" is the honest report).
+  double Advantage() const;
+};
+
+/// Adversary in the spirit of Oya & Kerschbaum's search-pattern-leakage
+/// attacks: it watches its own query stream and the answers it gets back,
+/// and classifies each answer as virtually served (composed by AS-ARBI
+/// from previously disclosed documents) or fresh. It uses only
+/// adversary-visible information — returned DocIds, its own past queries —
+/// never engine internals; ground truth for scoring comes from the harness
+/// (AsArbiStats::virtual_answers deltas).
+///
+/// State is kept in ordered containers so replays are deterministic.
+class CorrelationAdversary {
+ public:
+  explicit CorrelationAdversary(
+      const CorrelationAdversaryOptions& options = {});
+
+  /// Extracts features for (query, result) against the current history,
+  /// classifies, then folds the observation into the history. Returns true
+  /// when the answer is classified as virtual.
+  bool ObserveAndClassify(const KeywordQuery& query,
+                          const SearchResult& result);
+
+  /// Features of the most recent observation.
+  const CorrelationFeatures& last_features() const { return last_features_; }
+
+  /// Distinct documents disclosed to this adversary so far.
+  size_t disclosed_docs() const { return disclosed_.size(); }
+
+  /// Observations folded into the history so far.
+  uint64_t observations() const { return observations_; }
+
+  void Reset();
+
+ private:
+  CorrelationAdversaryOptions options_;
+  std::set<DocId> disclosed_;
+  std::set<TermId> seen_terms_;
+  std::map<uint64_t, uint64_t> query_counts_;  // canonical hash → occurrences
+  CorrelationFeatures last_features_;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ATTACK_CORRELATION_ADV_H_

@@ -1,0 +1,125 @@
+#include "asup/attack/dynamic_est.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "asup/obs/metrics.h"
+#include "asup/util/check.h"
+
+namespace asup {
+
+DynamicEstimator::DynamicEstimator(const QueryPool& pool,
+                                   const AggregateQuery& aggregate,
+                                   DocFetcher fetcher,
+                                   const DynamicEstimatorOptions& options)
+    : pool_(&pool),
+      aggregate_(aggregate),
+      fetcher_(std::move(fetcher)),
+      options_(options),
+      rng_(options.seed) {
+  ASUP_CHECK(options_.refresh_fraction >= 0.0 &&
+             options_.refresh_fraction <= 1.0);
+  Initialize();
+}
+
+void DynamicEstimator::Initialize() {
+  rng_ = Rng(options_.seed);
+  maintained_.clear();
+  const size_t pool_size = pool_->size();
+  const size_t keep = std::min(options_.maintained_pool_size, pool_size);
+  if (keep == pool_size) {
+    maintained_.reserve(pool_size);
+    for (size_t i = 0; i < pool_size; ++i) maintained_.push_back(i);
+  } else {
+    const std::vector<uint64_t> picks =
+        rng_.SampleWithoutReplacement(pool_size, keep);
+    maintained_.reserve(keep);
+    for (uint64_t p : picks) maintained_.push_back(static_cast<size_t>(p));
+    // Canonicalize before shuffling so the visit order depends only on the
+    // chosen set and the seed, not on sampler internals.
+    std::sort(maintained_.begin(), maintained_.end());
+  }
+  // Seeded random visit order: pools are built in descending-df order, so a
+  // budget that covers only a window of the rotation would otherwise see a
+  // df-biased sample and inflate the normalized estimate. A permuted order
+  // makes every contiguous window a uniform draw from the maintained set.
+  rng_.Shuffle(maintained_);
+  cache_.assign(maintained_.size(), CachedAnswer());
+  refresh_cursor_ = 0;
+  trajectory_.clear();
+}
+
+void DynamicEstimator::Reset() { Initialize(); }
+
+DynamicEpochPoint DynamicEstimator::ObserveEpoch(SearchService& service,
+                                                 uint64_t query_budget) {
+  DynamicEpochPoint point;
+  point.epoch = trajectory_.size() + 1;
+  const size_t maintained = maintained_.size();
+  if (maintained == 0) {
+    trajectory_.push_back(point);
+    return point;
+  }
+
+  // Rotating visit order: each epoch starts where the last refresh window
+  // ended, so a budget too small to reissue the whole maintained pool still
+  // sweeps every slot across successive epochs (the RS-ESTIMATOR resample
+  // rotation). The first refresh_count visited slots are re-probed even if
+  // their answer looks unchanged — the drift correction for return-degree
+  // changes that are invisible in a slot's own answer.
+  const size_t refresh_count = static_cast<size_t>(
+      options_.refresh_fraction * static_cast<double>(maintained) + 0.999999);
+
+  uint64_t issued = 0;
+  double contribution_sum = 0.0;
+  size_t observed = 0;
+  for (size_t j = 0; j < maintained; ++j) {
+    const size_t slot = (refresh_cursor_ + j) % maintained;
+    CachedAnswer& cached = cache_[slot];
+    if (issued >= query_budget) {
+      // Budget exhausted: a previously observed slot still contributes its
+      // (stale) cache; a never-observed slot is left out of the mean
+      // entirely — it carries no information yet.
+      if (cached.valid) {
+        contribution_sum += cached.contribution;
+        ++observed;
+      }
+      continue;
+    }
+    const SearchResult result =
+        service.Search(pool_->QueryAt(maintained_[slot]));
+    ++issued;
+    std::vector<DocId> ids = result.DocIds();
+    std::sort(ids.begin(), ids.end());
+    const bool changed = !cached.valid || ids != cached.doc_ids;
+    if (changed) ++point.answers_changed;
+    if (changed || j < refresh_count) {
+      cached.contribution = attack_internal::EstimateResultContribution(
+          service, *pool_, aggregate_, fetcher_, rng_, result, query_budget,
+          options_.max_trial_factor, issued);
+      cached.doc_ids = std::move(ids);
+      cached.valid = true;
+    }
+    contribution_sum += cached.contribution;
+    ++observed;
+  }
+  refresh_cursor_ = (refresh_cursor_ + refresh_count) % maintained;
+
+  point.estimate = observed == 0 ? 0.0
+                                 : static_cast<double>(pool_->size()) *
+                                       contribution_sum /
+                                       static_cast<double>(observed);
+  point.delta_estimate =
+      trajectory_.empty() ? 0.0 : point.estimate - trajectory_.back().estimate;
+  point.queries_spent = issued;
+  trajectory_.push_back(point);
+
+  ASUP_METRIC_GAUGE_SET("asup_attack_dynamic_epoch", point.epoch);
+  ASUP_METRIC_GAUGE_SET("asup_attack_dynamic_estimate", point.estimate);
+  ASUP_METRIC_GAUGE_SET("asup_attack_dynamic_answers_changed",
+                        point.answers_changed);
+  ASUP_METRIC_COUNT("asup_attack_dynamic_queries_total", point.queries_spent);
+  return point;
+}
+
+}  // namespace asup

@@ -1,0 +1,129 @@
+#ifndef ASUP_ATTACK_DYNAMIC_EST_H_
+#define ASUP_ATTACK_DYNAMIC_EST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "asup/attack/aggregate.h"
+#include "asup/attack/estimator.h"
+#include "asup/attack/query_pool.h"
+#include "asup/engine/search_service.h"
+#include "asup/util/random.h"
+
+namespace asup {
+
+/// Options of the dynamic aggregate estimator.
+struct DynamicEstimatorOptions {
+  uint64_t seed = 13;
+
+  /// Number of pool queries maintained (reissued every epoch). Clamped to
+  /// the pool size; the default maintains the entire pool — a census whose
+  /// only per-epoch error is second-round sampling noise.
+  size_t maintained_pool_size = std::numeric_limits<size_t>::max();
+
+  /// Fraction of the maintained set re-probed each epoch even when the
+  /// answer looks unchanged. An unchanged answer does not imply an
+  /// unchanged weight: deg_ret(X) moves when *other* queries' answers
+  /// shift, so cached weights drift. The rotation bounds the staleness of
+  /// any cached weight to ceil(1/refresh_fraction) epochs.
+  double refresh_fraction = 0.1;
+
+  /// Second-round trial cap factor (see attack_internal).
+  double max_trial_factor = 8.0;
+};
+
+/// One epoch of the dynamic estimate trajectory.
+struct DynamicEpochPoint {
+  /// 1-based index of the observation (not the CorpusManager epoch number;
+  /// the harness records that mapping).
+  uint64_t epoch = 0;
+  /// Estimate of the aggregate over the snapshot observed this epoch.
+  double estimate = 0.0;
+  /// estimate − previous epoch's estimate; 0 for the first observation.
+  double delta_estimate = 0.0;
+  /// Interface queries spent on this epoch (first + second round).
+  uint64_t queries_spent = 0;
+  /// Maintained queries whose answer document set changed since the last
+  /// observation (first observation: every maintained query counts).
+  uint64_t answers_changed = 0;
+};
+
+/// Dynamic-corpus aggregate estimator in the style of RS-ESTIMATOR from
+/// *Aggregate Estimation Over Dynamic Hidden Web Databases* (Liu,
+/// Thirumuruganathan, Zhang & Das, VLDB 2014), adapted to the paper's
+/// restrictive top-k keyword interface and pool-based edge weights.
+///
+/// The estimator maintains a fixed subsample of the query pool across
+/// epochs. Each epoch it reissues every maintained query (one interface
+/// query each); queries whose answer set is unchanged reuse their cached
+/// second-round weight, while changed answers — plus a rotating
+/// drift-correction slice — are re-probed with the Bar-Yossef & Gurevich
+/// second round. The per-epoch estimate is |pool| × mean(per-query
+/// contribution) over the maintained set, and consecutive estimates yield
+/// the per-epoch aggregate deltas the leakage measurements consume.
+///
+/// Determinism: all randomness flows through one Rng seeded from options;
+/// maintained queries are visited in a deterministic rotation (advancing
+/// by the refresh window each epoch), so the trajectory is a pure function
+/// of (pool, aggregate, options, observed answers).
+class DynamicEstimator {
+ public:
+  /// `pool` is borrowed and must outlive the estimator. `fetcher` reads
+  /// returned documents (see DocFetcher) and must resolve every DocId any
+  /// observed snapshot can return.
+  DynamicEstimator(const QueryPool& pool, const AggregateQuery& aggregate,
+                   DocFetcher fetcher,
+                   const DynamicEstimatorOptions& options = {});
+
+  /// Observes the snapshot currently behind `service`: reissues the
+  /// maintained queries (starting at the rotation cursor), re-probes
+  /// changed answers, and appends one point to the trajectory.
+  /// `query_budget` caps the interface queries spent in this epoch; once
+  /// exhausted, previously observed slots fall back to their cached
+  /// contribution and never-observed slots are excluded from the mean, so
+  /// a budget smaller than the maintained set still yields an unbiased
+  /// (higher-variance) estimate over the slots it could afford.
+  DynamicEpochPoint ObserveEpoch(SearchService& service, uint64_t query_budget);
+
+  /// All points observed since construction (or the last Reset), oldest
+  /// first.
+  const std::vector<DynamicEpochPoint>& trajectory() const {
+    return trajectory_;
+  }
+
+  /// Number of pool queries maintained across epochs.
+  size_t maintained_size() const { return maintained_.size(); }
+
+  /// Restores the freshly constructed state: same maintained set, empty
+  /// caches, empty trajectory, reseeded Rng.
+  void Reset();
+
+  const char* name() const { return "DYNAMIC-EST"; }
+
+ private:
+  struct CachedAnswer {
+    bool valid = false;
+    std::vector<DocId> doc_ids;  // sorted answer set of the last probe
+    double contribution = 0.0;
+  };
+
+  /// (Re)derives the maintained subsample and clears all per-epoch state.
+  void Initialize();
+
+  const QueryPool* pool_;
+  AggregateQuery aggregate_;
+  DocFetcher fetcher_;
+  DynamicEstimatorOptions options_;
+
+  Rng rng_;
+  std::vector<size_t> maintained_;  // pool indices, seeded-shuffled order
+  std::vector<CachedAnswer> cache_;  // parallel to maintained_
+  size_t refresh_cursor_ = 0;
+  std::vector<DynamicEpochPoint> trajectory_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_ATTACK_DYNAMIC_EST_H_

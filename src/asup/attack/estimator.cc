@@ -17,9 +17,21 @@ double EstimateQueryContribution(SearchService& service, const QueryPool& pool,
                                  const DocFetcher& fetcher, Rng& rng,
                                  size_t pool_index, uint64_t query_budget,
                                  double max_trial_factor, uint64_t& issued) {
-  const uint64_t issued_before = issued;
   const SearchResult result = service.Search(pool.QueryAt(pool_index));
   ++issued;
+  ASUP_METRIC_COUNT("asup_attack_queries_issued_total", 1);
+  return EstimateResultContribution(service, pool, aggregate, fetcher, rng,
+                                    result, query_budget, max_trial_factor,
+                                    issued);
+}
+
+double EstimateResultContribution(SearchService& service, const QueryPool& pool,
+                                  const AggregateQuery& aggregate,
+                                  const DocFetcher& fetcher, Rng& rng,
+                                  const SearchResult& result,
+                                  uint64_t query_budget,
+                                  double max_trial_factor, uint64_t& issued) {
+  const uint64_t issued_before = issued;
   double contribution = 0.0;
   for (const ScoredDoc& scored : result.docs) {
     const Document& doc = fetcher(scored.doc);

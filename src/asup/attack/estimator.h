@@ -64,6 +64,17 @@ double EstimateQueryContribution(SearchService& service, const QueryPool& pool,
                                  size_t pool_index, uint64_t query_budget,
                                  double max_trial_factor, uint64_t& issued);
 
+/// The second-round half of EstimateQueryContribution, operating on an
+/// answer the caller has already retrieved (and paid for). The dynamic
+/// estimator reuses this to re-probe only queries whose answer changed
+/// between epochs, keeping cached contributions for the rest.
+double EstimateResultContribution(SearchService& service, const QueryPool& pool,
+                                  const AggregateQuery& aggregate,
+                                  const DocFetcher& fetcher, Rng& rng,
+                                  const SearchResult& result,
+                                  uint64_t query_budget,
+                                  double max_trial_factor, uint64_t& issued);
+
 }  // namespace attack_internal
 
 }  // namespace asup

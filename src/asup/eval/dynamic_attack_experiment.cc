@@ -1,0 +1,275 @@
+#include "asup/eval/dynamic_attack_experiment.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "asup/attack/aggregate.h"
+#include "asup/attack/query_pool.h"
+#include "asup/engine/search_engine.h"
+#include "asup/index/corpus_manager.h"
+#include "asup/obs/metrics.h"
+#include "asup/suppress/as_arbi.h"
+#include "asup/suppress/as_simple.h"
+#include "asup/suppress/segment.h"
+#include "asup/util/check.h"
+
+namespace asup {
+
+const char* DefenseKindName(DefenseKind kind) {
+  switch (kind) {
+    case DefenseKind::kNone:
+      return "none";
+    case DefenseKind::kSimple:
+      return "simple";
+    case DefenseKind::kArbi:
+      return "arbi";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Decorator that feeds every (query, answer) pair the estimator generates
+/// to the correlation adversary and scores its verdict against the engine's
+/// own virtual-answer counter (the harness-side ground truth the adversary
+/// itself never sees).
+class AdversaryTapService : public SearchService {
+ public:
+  AdversaryTapService(SearchService& base, const AsArbiEngine* arbi,
+                      CorrelationAdversary& adversary, AdvantageReport& report)
+      : base_(&base), arbi_(arbi), adversary_(&adversary), report_(&report) {}
+
+  SearchResult Search(const KeywordQuery& query) override {
+    uint64_t virtual_before = 0;
+    uint64_t hits_before = 0;
+    if (arbi_ != nullptr) {
+      const AsArbiStats before = arbi_->stats();
+      virtual_before = before.virtual_answers;
+      hits_before = before.cache_hits;
+    }
+    SearchResult result = base_->Search(query);
+    bool served_virtually = false;
+    if (arbi_ != nullptr) {
+      const AsArbiStats after = arbi_->stats();
+      if (after.cache_hits > hits_before) {
+        // Replayed from the per-epoch answer cache: the answer is the one
+        // fixed when this query was first processed this epoch, so its label
+        // is too. (The cache is cleared on migration, so the map entry is
+        // rewritten each epoch before any hit can consult it.)
+        const auto it = labels_.find(query.hash());
+        served_virtually = it != labels_.end() && it->second;
+      } else {
+        served_virtually = after.virtual_answers > virtual_before;
+        labels_[query.hash()] = served_virtually;
+      }
+    }
+    const bool predicted = adversary_->ObserveAndClassify(query, result);
+    report_->Record(predicted, served_virtually);
+    return result;
+  }
+
+  size_t k() const override { return base_->k(); }
+
+ private:
+  SearchService* base_;
+  const AsArbiEngine* arbi_;
+  CorrelationAdversary* adversary_;
+  AdvantageReport* report_;
+  std::map<uint64_t, bool> labels_;
+};
+
+int SignOf(double v) { return v > 0.0 ? 1 : (v < 0.0 ? -1 : 0); }
+
+}  // namespace
+
+DynamicAttackReport RunDynamicAttack(const DynamicAttackConfig& config,
+                                     DefenseKind defense) {
+  ASUP_CHECK(config.initial_corpus_size > 0);
+  DynamicAttackReport report;
+  report.defense = defense;
+  report.workload = config.stream.kind;
+
+  SyntheticCorpusConfig generator_config = config.corpus_config;
+  generator_config.seed = config.seed;
+  SyntheticCorpusGenerator generator(generator_config);
+
+  // Universe document store: the estimator's fetcher (and the ground-truth
+  // measure) must resolve every id ever disclosed — including documents
+  // deleted in later epochs, which AS-ARBI may have answered with before
+  // its history was compacted.
+  std::map<DocId, Document> universe;
+  const auto absorb = [&universe](const std::vector<Document>& docs) {
+    for (const Document& doc : docs) universe.emplace(doc.id(), doc);
+  };
+
+  Corpus initial = generator.Generate(config.initial_corpus_size);
+  absorb(initial.documents());
+  const Corpus held_out = generator.Generate(config.held_out_size);
+
+  QueryPool::Options pool_options;
+  pool_options.max_df_fraction = config.pool_max_df_fraction;
+  const QueryPool pool(held_out, pool_options);
+
+  CorpusManager manager(std::move(initial));
+  PlainSearchEngine engine(manager, config.k);
+
+  // Answer caches stay ON (the production configuration, and what keeps
+  // AS-ARBI affordable when the estimator re-issues its pool every epoch).
+  // The tap service labels cache hits from the verdict recorded when the
+  // answer was first processed in the epoch.
+  std::unique_ptr<AsSimpleEngine> simple;
+  std::unique_ptr<AsArbiEngine> arbi;
+  SearchService* attacked = &engine;
+  if (defense == DefenseKind::kSimple) {
+    AsSimpleConfig simple_config;
+    simple_config.gamma = config.gamma;
+    simple = std::make_unique<AsSimpleEngine>(engine, simple_config);
+    attacked = simple.get();
+  } else if (defense == DefenseKind::kArbi) {
+    AsArbiConfig arbi_config;
+    arbi_config.simple.gamma = config.gamma;
+    arbi = std::make_unique<AsArbiEngine>(engine, arbi_config);
+    attacked = arbi.get();
+  }
+
+  const AggregateQuery aggregate = AggregateQuery::Count();
+  const DocFetcher fetcher = [&universe](DocId id) -> const Document& {
+    const auto it = universe.find(id);
+    ASUP_CHECK(it != universe.end());
+    return it->second;
+  };
+
+  DynamicEstimator estimator(pool, aggregate, fetcher, config.estimator);
+  CorrelationAdversary adversary(config.adversary);
+  AdversaryTapService tap(*attacked, arbi.get(), adversary,
+                          report.adversary_report);
+
+  EpochStream stream(generator, config.stream);
+
+  double previous_truth = 0.0;
+  int previous_segment = 0;
+  const auto observe_current_epoch = [&]() {
+    const SnapshotHandle snapshot = manager.Current();
+
+    // Ground truth: the aggregate over the documents recallable through
+    // the pool on the undefended substrate (privileged harness-side
+    // computation; none of these queries touch defended state).
+    std::set<DocId> recalled;
+    double truth = 0.0;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      for (const ScoredDoc& scored : engine.Search(pool.QueryAt(i)).docs) {
+        if (recalled.insert(scored.doc).second) {
+          truth += aggregate.MeasureOf(fetcher(scored.doc));
+        }
+      }
+    }
+
+    const DynamicEpochPoint point =
+        estimator.ObserveEpoch(tap, config.per_epoch_budget);
+
+    DynamicEpochRow row;
+    row.epoch = snapshot->epoch();
+    row.corpus_size = snapshot->NumDocuments();
+    row.true_value = truth;
+    row.estimate = point.estimate;
+    row.rel_error = truth == 0.0
+                        ? (point.estimate == 0.0 ? 0.0 : 1.0)
+                        : std::abs(point.estimate - truth) / truth;
+    row.true_delta = report.rows.empty() ? 0.0 : truth - previous_truth;
+    row.est_delta = point.delta_estimate;
+    const IndistinguishableSegment segment(row.corpus_size, config.gamma);
+    row.mu = segment.mu();
+    row.segment_index = segment.segment_index();
+    row.segment_crossed =
+        !report.rows.empty() && segment.segment_index() != previous_segment;
+    row.queries_spent = point.queries_spent;
+    row.answers_changed = point.answers_changed;
+    previous_truth = truth;
+    previous_segment = row.segment_index;
+    report.rows.push_back(row);
+
+    ASUP_METRIC_GAUGE_SET("asup_eval_dynamic_true_value", truth);
+    ASUP_METRIC_GAUGE_SET("asup_eval_dynamic_rel_error", row.rel_error);
+  };
+
+  observe_current_epoch();  // epoch 1, before any delta
+  while (!stream.exhausted()) {
+    CorpusDelta delta = stream.NextDelta(manager.Current()->corpus());
+    absorb(delta.add);
+    manager.Apply(delta);
+    observe_current_epoch();
+  }
+
+  // Aggregates over the run.
+  double error_sum = 0.0;
+  size_t sign_hits = 0;
+  for (size_t i = 0; i < report.rows.size(); ++i) {
+    const DynamicEpochRow& row = report.rows[i];
+    error_sum += row.rel_error;
+    report.total_queries += row.queries_spent;
+    if (row.segment_crossed) ++report.segment_crossings;
+    if (i > 0 && row.true_delta != 0.0) {
+      ++report.delta_sign_evaluated;
+      if (SignOf(row.est_delta) == SignOf(row.true_delta)) ++sign_hits;
+    }
+  }
+  report.mean_rel_error =
+      report.rows.empty() ? 0.0
+                          : error_sum / static_cast<double>(report.rows.size());
+  report.final_rel_error =
+      report.rows.empty() ? 0.0 : report.rows.back().rel_error;
+  report.delta_sign_accuracy =
+      report.delta_sign_evaluated == 0
+          ? 0.0
+          : static_cast<double>(sign_hits) /
+                static_cast<double>(report.delta_sign_evaluated);
+  report.adversary_advantage = report.adversary_report.Advantage();
+
+  ASUP_METRIC_GAUGE_SET("asup_eval_dynamic_mean_rel_error",
+                        report.mean_rel_error);
+  ASUP_METRIC_GAUGE_SET("asup_eval_dynamic_adversary_advantage",
+                        report.adversary_advantage);
+  return report;
+}
+
+CsvTable DynamicAttackEpochsCsv(const std::vector<DynamicAttackReport>& runs) {
+  std::vector<std::string> columns = {"epoch", "n", "true"};
+  size_t num_rows = runs.empty() ? 0 : runs[0].rows.size();
+  for (const DynamicAttackReport& run : runs) {
+    const std::string name = DefenseKindName(run.defense);
+    columns.push_back(name + "_est");
+    columns.push_back(name + "_relerr");
+    num_rows = std::min(num_rows, run.rows.size());
+  }
+  CsvTable table(columns);
+  for (size_t i = 0; i < num_rows; ++i) {
+    std::vector<double> row = {
+        static_cast<double>(runs[0].rows[i].epoch),
+        static_cast<double>(runs[0].rows[i].corpus_size),
+        runs[0].rows[i].true_value};
+    for (const DynamicAttackReport& run : runs) {
+      row.push_back(run.rows[i].estimate);
+      row.push_back(run.rows[i].rel_error);
+    }
+    table.AddRow(row);
+  }
+  return table;
+}
+
+CsvTable DynamicAttackSummaryCsv(const std::vector<DynamicAttackReport>& runs) {
+  CsvTable table({"defense", "mean_relerr", "final_relerr", "sign_acc",
+                  "advantage", "crossings", "queries"});
+  for (const DynamicAttackReport& run : runs) {
+    table.AddRow({static_cast<double>(run.defense), run.mean_rel_error,
+                  run.final_rel_error, run.delta_sign_accuracy,
+                  run.adversary_advantage,
+                  static_cast<double>(run.segment_crossings),
+                  static_cast<double>(run.total_queries)});
+  }
+  return table;
+}
+
+}  // namespace asup

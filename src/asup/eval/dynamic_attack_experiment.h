@@ -1,0 +1,152 @@
+#ifndef ASUP_EVAL_DYNAMIC_ATTACK_EXPERIMENT_H_
+#define ASUP_EVAL_DYNAMIC_ATTACK_EXPERIMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asup/attack/correlation_adv.h"
+#include "asup/attack/dynamic_est.h"
+#include "asup/text/synthetic_corpus.h"
+#include "asup/util/csv.h"
+#include "asup/workload/epoch_stream.h"
+
+namespace asup {
+
+/// Defense in front of the attacked interface.
+enum class DefenseKind : uint8_t { kNone, kSimple, kArbi };
+
+const char* DefenseKindName(DefenseKind kind);
+
+/// One dynamic-corpus attack run: an epoch stream replayed through a
+/// CorpusManager behind a (possibly defended) engine, with the dynamic
+/// estimator and the correlation adversary riding the same query stream.
+struct DynamicAttackConfig {
+  /// Workload replayed against the engine.
+  EpochStreamConfig stream;
+
+  /// Documents in the initial corpus (epoch 1). The default 300 sits just
+  /// above the γ=2 segment boundary at 256, where μ ≈ 1.17 — the regime
+  /// where suppression visibly reshapes answers (estimates get pushed
+  /// toward the segment top 512).
+  size_t initial_corpus_size = 300;
+
+  /// Held-out documents the adversary's query pool is built from.
+  size_t held_out_size = 300;
+
+  /// Interface result limit.
+  size_t k = 50;
+
+  /// Obfuscation factor of the defended runs.
+  double gamma = 2.0;
+
+  /// Interface queries the estimator may spend per epoch.
+  uint64_t per_epoch_budget = 60000;
+
+  DynamicEstimatorOptions estimator;
+  CorrelationAdversaryOptions adversary;
+
+  /// Generator parameters; its seed is overridden by `seed`. Defaults are
+  /// shrunk to test scale (2000-word vocabulary) like tests/test_util.h.
+  SyntheticCorpusConfig corpus_config;
+
+  /// Pool stop-word threshold (QueryPool::Options::max_df_fraction). The
+  /// default drops the df head of the external sample: head-word answers
+  /// overflow at the interface (pure second-round noise for the estimator,
+  /// exactly why published pools stop-word filter), and the d_max of the
+  /// SIMPLE-ADV model stays small.
+  double pool_max_df_fraction = 0.1;
+
+  /// Seed of the synthetic-document generator (the corpus universe). The
+  /// estimator's and the stream's sampling seeds live in their own
+  /// sub-configs; together the config fixes the entire replay.
+  uint64_t seed = 2026;
+
+  DynamicAttackConfig() {
+    corpus_config.vocabulary_size = 2000;
+    corpus_config.num_topics = 12;
+    corpus_config.words_per_topic = 150;
+  }
+};
+
+/// Per-epoch measurements of one run.
+struct DynamicEpochRow {
+  /// CorpusManager epoch number (1 = initial corpus).
+  uint64_t epoch = 0;
+  /// Corpus size n of this epoch.
+  uint64_t corpus_size = 0;
+  /// Ground truth of the estimated quantity: the aggregate over the
+  /// documents recallable through the pool on an *undefended* engine (the
+  /// quantity the pool-based estimators are unbiased for; see
+  /// attack/estimator.h).
+  double true_value = 0.0;
+  double estimate = 0.0;
+  /// |estimate − true_value| / true_value (0 when true_value is 0).
+  double rel_error = 0.0;
+  /// true_value − previous epoch's true_value; 0 for the first epoch.
+  double true_delta = 0.0;
+  /// Estimator's delta for this epoch (DynamicEpochPoint::delta_estimate).
+  double est_delta = 0.0;
+  /// μ = n/γ^i of this epoch (reported for defended and undefended runs).
+  double mu = 0.0;
+  /// Indistinguishable-segment index i of this epoch.
+  int segment_index = 0;
+  /// True when the segment index differs from the previous epoch's — the
+  /// boundary crossings where migration re-randomizes suppression.
+  bool segment_crossed = false;
+  uint64_t queries_spent = 0;
+  uint64_t answers_changed = 0;
+};
+
+/// Outcome of one run (one defense, one workload).
+struct DynamicAttackReport {
+  DefenseKind defense = DefenseKind::kNone;
+  EpochStreamKind workload = EpochStreamKind::kChurn;
+  std::vector<DynamicEpochRow> rows;
+
+  /// Mean / final per-epoch relative error of the dynamic estimator.
+  double mean_rel_error = 0.0;
+  double final_rel_error = 0.0;
+
+  /// n-delta leakage: over epochs with a nonzero true delta, how often the
+  /// estimator's delta has the correct sign. 0.5 = coin flip; counts how
+  /// many epochs entered the evaluation.
+  double delta_sign_accuracy = 0.0;
+  size_t delta_sign_evaluated = 0;
+
+  /// Correlation adversary's confusion matrix over the full query stream
+  /// (ground truth: AsArbiStats::virtual_answers deltas per query) and its
+  /// headline advantage over random guessing.
+  AdvantageReport adversary_report;
+  double adversary_advantage = 0.0;
+
+  /// Segment-boundary crossings observed across the run.
+  size_t segment_crossings = 0;
+
+  /// Interface queries the attacker spent across all epochs.
+  uint64_t total_queries = 0;
+};
+
+/// Replays `config.stream` against a fresh engine defended by `defense`,
+/// running the dynamic estimator and the correlation adversary over the
+/// stream. Fully deterministic in `config` (same config + defense ⇒
+/// identical report), so defended and undefended runs with the same config
+/// face the byte-identical workload — the paired comparison the
+/// acceptance assertions need.
+DynamicAttackReport RunDynamicAttack(const DynamicAttackConfig& config,
+                                     DefenseKind defense);
+
+/// Zips per-epoch rows of several reports (same workload, different
+/// defenses) into a figure table: "epoch,n,true" plus
+/// "<defense>_est,<defense>_relerr" per report. Rows are truncated to the
+/// shortest report.
+CsvTable DynamicAttackEpochsCsv(const std::vector<DynamicAttackReport>& runs);
+
+/// One summary row per report: defense (as index: 0 none, 1 simple,
+/// 2 arbi), error/leakage/advantage aggregates, query spend.
+CsvTable DynamicAttackSummaryCsv(const std::vector<DynamicAttackReport>& runs);
+
+}  // namespace asup
+
+#endif  // ASUP_EVAL_DYNAMIC_ATTACK_EXPERIMENT_H_

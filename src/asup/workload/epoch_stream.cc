@@ -1,0 +1,82 @@
+#include "asup/workload/epoch_stream.h"
+
+#include <algorithm>
+
+#include "asup/util/check.h"
+
+namespace asup {
+
+const char* EpochStreamKindName(EpochStreamKind kind) {
+  switch (kind) {
+    case EpochStreamKind::kGrow:
+      return "grow";
+    case EpochStreamKind::kShrink:
+      return "shrink";
+    case EpochStreamKind::kChurn:
+      return "churn";
+    case EpochStreamKind::kAlternate:
+      return "alternate";
+  }
+  return "?";
+}
+
+EpochStream::EpochStream(SyntheticCorpusGenerator& generator,
+                         const EpochStreamConfig& config)
+    : generator_(&generator), config_(config), rng_(config.seed) {
+  ASUP_CHECK(config_.docs_per_epoch > 0);
+}
+
+bool EpochStream::EpochAdds() const {
+  switch (config_.kind) {
+    case EpochStreamKind::kGrow:
+    case EpochStreamKind::kChurn:
+      return true;
+    case EpochStreamKind::kShrink:
+      return false;
+    case EpochStreamKind::kAlternate:
+      return produced_ % 2 == 0;  // even epochs grow, odd epochs shrink
+  }
+  return false;
+}
+
+bool EpochStream::EpochRemoves() const {
+  switch (config_.kind) {
+    case EpochStreamKind::kGrow:
+      return false;
+    case EpochStreamKind::kShrink:
+    case EpochStreamKind::kChurn:
+      return true;
+    case EpochStreamKind::kAlternate:
+      return produced_ % 2 == 1;
+  }
+  return false;
+}
+
+CorpusDelta EpochStream::NextDelta(const Corpus& current) {
+  ASUP_CHECK(!exhausted());
+  CorpusDelta delta;
+  if (EpochAdds()) {
+    const Corpus fresh = generator_->Generate(config_.docs_per_epoch);
+    delta.add.assign(fresh.documents().begin(), fresh.documents().end());
+  }
+  if (EpochRemoves() && current.size() > 1) {
+    // Keep at least one survivor so every epoch has a well-defined segment.
+    const size_t count =
+        std::min(config_.docs_per_epoch, current.size() - 1);
+    const std::vector<uint64_t> picks =
+        rng_.SampleWithoutReplacement(current.size(), count);
+    delta.remove.reserve(count);
+    for (uint64_t pos : picks) {
+      delta.remove.push_back(
+          current.documents()[static_cast<size_t>(pos)].id());
+    }
+    // Canonical ascending order: the delta (and thus the whole stream) is a
+    // pure function of (generator state, seed), independent of sampler
+    // internals.
+    std::sort(delta.remove.begin(), delta.remove.end());
+  }
+  ++produced_;
+  return delta;
+}
+
+}  // namespace asup

@@ -1,0 +1,82 @@
+#ifndef ASUP_WORKLOAD_EPOCH_STREAM_H_
+#define ASUP_WORKLOAD_EPOCH_STREAM_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "asup/text/corpus.h"
+#include "asup/text/corpus_delta.h"
+#include "asup/text/synthetic_corpus.h"
+#include "asup/util/random.h"
+
+namespace asup {
+
+/// Shape of a dynamic-corpus workload, mirroring the update patterns of
+/// *Aggregate Estimation Over Dynamic Hidden Web Databases* (Liu,
+/// Thirumuruganathan, Zhang & Das): a hidden database that only inserts,
+/// one that only deletes, one that replaces.
+enum class EpochStreamKind : uint8_t {
+  /// Every epoch adds `docs_per_epoch` fresh universe documents.
+  kGrow,
+  /// Every epoch removes `docs_per_epoch` random current documents.
+  kShrink,
+  /// Every epoch adds and removes `docs_per_epoch` documents (size-neutral
+  /// replacement churn: COUNT stays put, the document *set* does not).
+  kChurn,
+  /// Alternates one grow epoch and one shrink epoch: the corpus size
+  /// oscillates, which is the signal the per-epoch n-delta leakage
+  /// measurements need (churn's true deltas are all zero).
+  kAlternate,
+};
+
+const char* EpochStreamKindName(EpochStreamKind kind);
+
+struct EpochStreamConfig {
+  EpochStreamKind kind = EpochStreamKind::kChurn;
+  /// Number of deltas the stream produces.
+  size_t num_epochs = 10;
+  /// Documents added and/or removed per epoch (see EpochStreamKind).
+  size_t docs_per_epoch = 40;
+  /// Seed for removal sampling (additions are drawn from the generator's
+  /// own deterministic universe sequence).
+  uint64_t seed = 31;
+};
+
+/// Deterministic generator of the CorpusDelta sequence of one dynamic
+/// workload. Borrows the corpus generator (it owns the universe's id
+/// sequence and vocabulary); each NextDelta is valid against the corpus it
+/// was built from, per the rules of text/corpus_delta.h.
+class EpochStream {
+ public:
+  /// `generator` is borrowed and must outlive the stream.
+  EpochStream(SyntheticCorpusGenerator& generator,
+              const EpochStreamConfig& config);
+
+  /// Deltas still to be produced.
+  size_t remaining() const { return config_.num_epochs - produced_; }
+
+  /// True once all `num_epochs` deltas were produced.
+  bool exhausted() const { return produced_ >= config_.num_epochs; }
+
+  /// Builds the next delta against `current` (the epoch it will be applied
+  /// to). Removal targets are sampled uniformly without replacement from
+  /// `current`; shrink epochs never empty the corpus (at least one document
+  /// survives). Requires !exhausted().
+  CorpusDelta NextDelta(const Corpus& current);
+
+  const EpochStreamConfig& config() const { return config_; }
+
+ private:
+  /// True if the epoch about to be produced adds documents / removes them.
+  bool EpochAdds() const;
+  bool EpochRemoves() const;
+
+  SyntheticCorpusGenerator* generator_;
+  EpochStreamConfig config_;
+  Rng rng_;
+  size_t produced_ = 0;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_WORKLOAD_EPOCH_STREAM_H_

@@ -4,12 +4,13 @@
 
 #include "asup/suppress/as_arbi.h"
 #include "asup/suppress/as_simple.h"
-#include "test_util.h"
+#include "attack_test_util.h"
 
 namespace asup {
 namespace {
 
 using testing_util::MakeRig;
+using testing_util::MakeSportsAttack;
 using testing_util::MakeTopicalRig;
 using testing_util::Rig;
 
@@ -17,7 +18,7 @@ TEST(CorrelatedAttackTest, BuildsPairQueries) {
   Rig rig = MakeRig(100, 5, /*seed=*/31, /*held_out_size=*/400);
   CorrelatedQueryAttack::Options options;
   options.num_queries = 20;
-  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const CorrelatedQueryAttack attack = MakeSportsAttack(rig, options);
   const auto& queries = attack.queries();
   ASSERT_GE(queries.size(), 5u);
   ASSERT_LE(queries.size(), 20u);
@@ -33,14 +34,14 @@ TEST(CorrelatedAttackTest, SeedQueryOptional) {
   CorrelatedQueryAttack::Options options;
   options.num_queries = 10;
   options.include_seed_query = true;
-  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const CorrelatedQueryAttack attack = MakeSportsAttack(rig, options);
   EXPECT_EQ(attack.queries()[0].canonical(), "sports");
   EXPECT_EQ(attack.queries()[1].terms().size(), 2u);
 }
 
 TEST(CorrelatedAttackTest, QueriesOrderedByCooccurrence) {
   Rig rig = MakeRig(100, 5, /*seed=*/32, /*held_out_size=*/400);
-  CorrelatedQueryAttack attack(*rig.held_out, "sports");
+  const CorrelatedQueryAttack attack = MakeSportsAttack(rig);
   const auto& queries = attack.queries();
   const TermId sports = *rig.held_out->vocabulary().Lookup("sports");
   auto cooccurrence = [&](const KeywordQuery& q) {
@@ -59,7 +60,7 @@ TEST(CorrelatedAttackTest, CooccurrenceBandRespected) {
   CorrelatedQueryAttack::Options options;
   options.min_cooccurrence = 5;
   options.max_cooccurrence = 30;
-  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const CorrelatedQueryAttack attack = MakeSportsAttack(rig, options);
   const TermId sports = *rig.held_out->vocabulary().Lookup("sports");
   for (const auto& q : attack.queries()) {
     TermId other = q.terms()[0] == sports ? q.terms()[1] : q.terms()[0];
@@ -75,7 +76,7 @@ TEST(CorrelatedAttackTest, QueriesHeavilyOverlapOnTarget) {
   // On the target corpus, the pair queries must return documents from the
   // seed word's match set — the overlap that powers the attack.
   Rig rig = MakeTopicalRig(600, 50, /*seed=*/33, /*held_out_size=*/900);
-  CorrelatedQueryAttack attack(*rig.held_out, "sports");
+  const CorrelatedQueryAttack attack = MakeSportsAttack(rig);
   const TermId sports = *rig.corpus->vocabulary().Lookup("sports");
   for (const auto& q : attack.queries()) {
     for (DocId id : rig.engine->MatchIds(q)) {
@@ -88,7 +89,7 @@ TEST(CorrelatedAttackTest, RunReturnsPerQueryCounts) {
   Rig rig = MakeTopicalRig(600, 50, /*seed=*/34, /*held_out_size=*/900);
   CorrelatedQueryAttack::Options options;
   options.num_queries = 15;
-  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const CorrelatedQueryAttack attack = MakeSportsAttack(rig, options);
   const auto counts = attack.Run(*rig.engine);
   EXPECT_EQ(counts.size(), attack.queries().size());
   for (size_t c : counts) EXPECT_LE(c, 50u);
@@ -107,7 +108,7 @@ TEST(CorrelatedAttackTest, RevealsDecayUnderAsSimpleAtSegmentBottom) {
   CorrelatedQueryAttack::Options options;
   options.num_queries = 60;
   options.min_cooccurrence = 3;
-  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const CorrelatedQueryAttack attack = MakeSportsAttack(rig, options);
   ASSERT_GE(attack.queries().size(), 20u);
   const auto counts = attack.Run(defended);
 
@@ -136,7 +137,7 @@ TEST(CorrelatedAttackTest, AsArbiSuppressesDecay) {
   CorrelatedQueryAttack::Options options;
   options.num_queries = 60;
   options.min_cooccurrence = 3;
-  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const CorrelatedQueryAttack attack = MakeSportsAttack(rig, options);
   const auto counts = attack.Run(defended);
 
   AsSimpleConfig fresh_config;
@@ -169,7 +170,7 @@ TEST(CorrelatedAttackTest, OverflowMasksDecayOnLargerCorpus) {
   CorrelatedQueryAttack::Options options;
   options.num_queries = 20;  // broadest pairs only
   options.min_cooccurrence = 3;
-  CorrelatedQueryAttack attack(*rig.held_out, "sports", options);
+  const CorrelatedQueryAttack attack = MakeSportsAttack(rig, options);
   const auto counts = attack.Run(defended);
 
   double ratio_sum = 0.0;

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "asup/attack/brute_force.h"
+#include "asup/attack/dynamic_est.h"
+#include "asup/attack/stratified_est.h"
+#include "asup/attack/unbiased_est.h"
+#include "asup/suppress/as_simple.h"
+#include "attack_test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::EpochRig;
+using testing_util::MakeEpochRig;
+using testing_util::MakePool;
+using testing_util::MakeRig;
+using testing_util::Rig;
+
+// Seeded-determinism regression for the attack layer (the determinism-lint
+// contract, asserted at runtime): identical seeds must reproduce estimate
+// trajectories bit-for-bit — exact double equality, no tolerance.
+
+void ExpectIdenticalTrajectories(const std::vector<EstimationPoint>& a,
+                                 const std::vector<EstimationPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].queries_issued, b[i].queries_issued) << "point " << i;
+    EXPECT_EQ(a[i].estimate, b[i].estimate) << "point " << i;
+  }
+}
+
+TEST(AttackDeterminismTest, BruteForceTrajectoryIsSeedDeterministic) {
+  const Rig rig = MakeRig(300, 50, /*seed=*/29, /*held_out_size=*/300);
+  const QueryPool pool = MakePool(rig);
+  const AggregateQuery aggregate = AggregateQuery::Count();
+  const DocFetcher fetcher = FetchFrom(*rig.corpus);
+
+  BruteForceCrawler first(pool, aggregate, fetcher);
+  BruteForceCrawler second(pool, aggregate, fetcher);
+  ExpectIdenticalTrajectories(first.Run(*rig.engine, 2000, 500),
+                              second.Run(*rig.engine, 2000, 500));
+}
+
+TEST(AttackDeterminismTest, UnbiasedTrajectoryIsSeedDeterministic) {
+  const Rig rig = MakeRig(300, 50, /*seed=*/29, /*held_out_size=*/300);
+  const QueryPool pool = MakePool(rig);
+  const AggregateQuery aggregate = AggregateQuery::Count();
+  const DocFetcher fetcher = FetchFrom(*rig.corpus);
+
+  UnbiasedEstimator first(pool, aggregate, fetcher);
+  UnbiasedEstimator second(pool, aggregate, fetcher);
+  ExpectIdenticalTrajectories(first.Run(*rig.engine, 5000, 1000),
+                              second.Run(*rig.engine, 5000, 1000));
+}
+
+TEST(AttackDeterminismTest, StratifiedTrajectoryIsSeedDeterministic) {
+  const Rig rig = MakeRig(300, 50, /*seed=*/29, /*held_out_size=*/300);
+  const QueryPool pool = MakePool(rig);
+  const AggregateQuery aggregate = AggregateQuery::Count();
+  const DocFetcher fetcher = FetchFrom(*rig.corpus);
+
+  StratifiedEstimator first(pool, aggregate, fetcher);
+  StratifiedEstimator second(pool, aggregate, fetcher);
+  ExpectIdenticalTrajectories(first.Run(*rig.engine, 5000, 1000),
+                              second.Run(*rig.engine, 5000, 1000));
+}
+
+// The keyed suppression coins make defended replays deterministic too, as
+// long as engine state is rebuilt from scratch: two fresh AS-SIMPLE stacks
+// over identical corpora answer identically, so seeded estimators produce
+// identical trajectories through them.
+TEST(AttackDeterminismTest, DefendedTrajectoryIsSeedDeterministic) {
+  std::vector<std::vector<EstimationPoint>> trajectories;
+  for (int run = 0; run < 2; ++run) {
+    const Rig rig = MakeRig(300, 50, /*seed=*/29, /*held_out_size=*/300);
+    const QueryPool pool = MakePool(rig);
+    AsSimpleEngine defended(*rig.engine, AsSimpleConfig());
+    UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
+                                FetchFrom(*rig.corpus));
+    trajectories.push_back(estimator.Run(defended, 5000, 1000));
+  }
+  ExpectIdenticalTrajectories(trajectories[0], trajectories[1]);
+}
+
+// The dynamic estimator's multi-epoch trajectory: two full replays — fresh
+// corpus manager, fresh epoch stream, fresh estimator, same seeds — must
+// match point-for-point across every epoch.
+TEST(AttackDeterminismTest, DynamicTrajectoryIsSeedDeterministicAcrossEpochs) {
+  std::vector<std::vector<DynamicEpochPoint>> trajectories;
+  for (int run = 0; run < 2; ++run) {
+    EpochRig rig = MakeEpochRig(300, 50, /*seed=*/31, /*held_out_size=*/300);
+    const QueryPool pool(*rig.held_out);
+
+    // Every document any epoch can return, including ones added later by
+    // the stream (the same universe-store pattern the eval harness uses).
+    std::map<DocId, Document> universe;
+    for (const Document& doc : rig.corpus().documents()) {
+      universe.emplace(doc.id(), doc);
+    }
+    const DocFetcher fetcher = [&universe](DocId id) -> const Document& {
+      return universe.at(id);
+    };
+    DynamicEstimator estimator(pool, AggregateQuery::Count(), fetcher);
+
+    EpochStreamConfig stream_config;
+    stream_config.kind = EpochStreamKind::kChurn;
+    stream_config.num_epochs = 3;
+    stream_config.docs_per_epoch = 30;
+    EpochStream stream = rig.MakeStream(stream_config);
+
+    estimator.ObserveEpoch(*rig.engine, 8000);
+    while (!stream.exhausted()) {
+      CorpusDelta delta = stream.NextDelta(rig.corpus());
+      for (const Document& doc : delta.add) universe.emplace(doc.id(), doc);
+      rig.manager->Apply(delta);
+      estimator.ObserveEpoch(*rig.engine, 8000);
+    }
+    trajectories.push_back(estimator.trajectory());
+  }
+  ASSERT_EQ(trajectories[0].size(), 4u);
+  ASSERT_EQ(trajectories[1].size(), 4u);
+  for (size_t i = 0; i < trajectories[0].size(); ++i) {
+    EXPECT_EQ(trajectories[0][i].estimate, trajectories[1][i].estimate);
+    EXPECT_EQ(trajectories[0][i].delta_estimate,
+              trajectories[1][i].delta_estimate);
+    EXPECT_EQ(trajectories[0][i].queries_spent,
+              trajectories[1][i].queries_spent);
+    EXPECT_EQ(trajectories[0][i].answers_changed,
+              trajectories[1][i].answers_changed);
+  }
+}
+
+// Reset restores the freshly constructed state: the re-run trajectory is
+// bit-identical to the first.
+TEST(AttackDeterminismTest, ResetReplaysIdentically) {
+  const Rig rig = MakeRig(300, 50, /*seed=*/29, /*held_out_size=*/300);
+  const QueryPool pool = MakePool(rig);
+  DynamicEstimator estimator(pool, AggregateQuery::Count(),
+                             FetchFrom(*rig.corpus));
+  const double first = estimator.ObserveEpoch(*rig.engine, 8000).estimate;
+  estimator.Reset();
+  EXPECT_TRUE(estimator.trajectory().empty());
+  const double second = estimator.ObserveEpoch(*rig.engine, 8000).estimate;
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace asup

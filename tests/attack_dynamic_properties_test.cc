@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asup/attack/brute_force.h"
+#include "asup/attack/dynamic_est.h"
+#include "asup/attack/stratified_est.h"
+#include "asup/attack/unbiased_est.h"
+#include "attack_test_util.h"
+
+namespace asup {
+namespace {
+
+using testing_util::MakePool;
+using testing_util::MakeRig;
+using testing_util::RecallableCount;
+using testing_util::Rig;
+
+// On a static corpus the dynamic estimator is just another pool estimator:
+// one ObserveEpoch must agree with the static estimators and with the
+// recallable-count ground truth they are all unbiased for.
+TEST(AttackDynamicPropertiesTest, AgreesWithStaticEstimatorsOnStaticCorpus) {
+  const Rig rig = MakeRig(400, 50, /*seed=*/19, /*held_out_size=*/400);
+  const QueryPool pool = MakePool(rig);
+  const double recallable = RecallableCount(rig, pool);
+  ASSERT_GT(recallable, 300.0);
+
+  const AggregateQuery aggregate = AggregateQuery::Count();
+  const DocFetcher fetcher = FetchFrom(*rig.corpus);
+
+  DynamicEstimator dynamic(pool, aggregate, fetcher);
+  // A budget generous enough for a full census sweep (every slot probed
+  // plus its second-round trials), so every first-contact answer counts.
+  const DynamicEpochPoint point = dynamic.ObserveEpoch(*rig.engine, 200000);
+  // Census pass: the only error is second-round sampling noise.
+  EXPECT_NEAR(point.estimate, recallable, 0.10 * recallable);
+  EXPECT_EQ(point.answers_changed, dynamic.maintained_size());
+
+  UnbiasedEstimator::Options unbiased_options;
+  unbiased_options.seed = 5;
+  UnbiasedEstimator unbiased(pool, aggregate, fetcher, unbiased_options);
+  const double unbiased_estimate =
+      unbiased.Run(*rig.engine, 40000, 10000).back().estimate;
+  EXPECT_NEAR(point.estimate, unbiased_estimate, 0.30 * recallable);
+
+  StratifiedEstimator stratified(pool, aggregate, fetcher);
+  const double stratified_estimate =
+      stratified.Run(*rig.engine, 40000, 10000).back().estimate;
+  EXPECT_NEAR(point.estimate, stratified_estimate, 0.30 * recallable);
+}
+
+// The brute-force crawl can only lower-bound what the pool can reach: its
+// tally is capped by the recallable count, which in turn anchors both the
+// dynamic and the static estimates from below.
+TEST(AttackDynamicPropertiesTest, BruteForceBoundsTheEstimatesFromBelow) {
+  const Rig rig = MakeRig(400, 50, /*seed=*/19, /*held_out_size=*/400);
+  const QueryPool pool = MakePool(rig);
+  const double recallable = RecallableCount(rig, pool);
+
+  const AggregateQuery aggregate = AggregateQuery::Count();
+  const DocFetcher fetcher = FetchFrom(*rig.corpus);
+
+  BruteForceCrawler crawler(pool, aggregate, fetcher);
+  const double crawled = crawler.Run(*rig.engine, 4000, 1000).back().estimate;
+  EXPECT_LE(crawled, recallable + 1e-9);
+
+  DynamicEstimator dynamic(pool, aggregate, fetcher);
+  const double dynamic_estimate =
+      dynamic.ObserveEpoch(*rig.engine, 40000).estimate;
+  // The crawl tally cannot exceed an (accurate) estimate of the recallable
+  // set by more than the estimator's sampling noise.
+  EXPECT_LE(crawled, dynamic_estimate * 1.15);
+}
+
+// Metamorphic anchor: observing the same static snapshot twice changes
+// nothing — no answer drifts, and with drift-correction refresh disabled
+// the second estimate reuses every cached weight bit-for-bit.
+TEST(AttackDynamicPropertiesTest, RepeatEpochOnStaticCorpusIsAFixpoint) {
+  const Rig rig = MakeRig(300, 50, /*seed=*/23, /*held_out_size=*/300);
+  const QueryPool pool = MakePool(rig);
+  DynamicEstimatorOptions options;
+  options.refresh_fraction = 0.0;
+  DynamicEstimator dynamic(pool, AggregateQuery::Count(),
+                           FetchFrom(*rig.corpus), options);
+  const DynamicEpochPoint first = dynamic.ObserveEpoch(*rig.engine, 40000);
+  const DynamicEpochPoint second = dynamic.ObserveEpoch(*rig.engine, 40000);
+  EXPECT_EQ(second.answers_changed, 0u);
+  EXPECT_EQ(second.estimate, first.estimate);
+  EXPECT_EQ(second.delta_estimate, 0.0);
+  // Unchanged answers cost exactly one interface query each.
+  EXPECT_EQ(second.queries_spent, dynamic.maintained_size());
+}
+
+// A query budget smaller than a full sweep must degrade variance, not
+// correctness: the rotation normalizes over the slots it could afford.
+TEST(AttackDynamicPropertiesTest, BudgetConstrainedEpochStaysUnbiased) {
+  const Rig rig = MakeRig(400, 50, /*seed=*/19, /*held_out_size=*/400);
+  const QueryPool pool = MakePool(rig);
+  const double recallable = RecallableCount(rig, pool);
+
+  DynamicEstimator dynamic(pool, AggregateQuery::Count(),
+                           FetchFrom(*rig.corpus));
+  const DynamicEpochPoint point = dynamic.ObserveEpoch(*rig.engine, 3000);
+  EXPECT_LE(point.queries_spent, 3000u);
+  EXPECT_LT(point.queries_spent, dynamic.maintained_size() * 2);
+  EXPECT_NEAR(point.estimate, recallable, 0.35 * recallable);
+}
+
+// Subsampled maintained pools estimate the same quantity as the census,
+// with more noise — and resampling is deterministic in the seed.
+TEST(AttackDynamicPropertiesTest, SubsampledPoolTracksCensus) {
+  const Rig rig = MakeRig(400, 50, /*seed=*/19, /*held_out_size=*/400);
+  const QueryPool pool = MakePool(rig);
+  const double recallable = RecallableCount(rig, pool);
+
+  DynamicEstimatorOptions options;
+  options.maintained_pool_size = pool.size() / 3;
+  DynamicEstimator subsampled(pool, AggregateQuery::Count(),
+                              FetchFrom(*rig.corpus), options);
+  EXPECT_EQ(subsampled.maintained_size(), pool.size() / 3);
+  const DynamicEpochPoint point = subsampled.ObserveEpoch(*rig.engine, 40000);
+  EXPECT_NEAR(point.estimate, recallable, 0.5 * recallable);
+}
+
+}  // namespace
+}  // namespace asup

@@ -8,30 +8,19 @@
 #include "asup/engine/access_policy.h"
 #include "asup/attack/stratified_est.h"
 #include "asup/attack/unbiased_est.h"
-#include "test_util.h"
+#include "attack_test_util.h"
 
 namespace asup {
 namespace {
 
+using testing_util::MakePool;
 using testing_util::MakeRig;
+using testing_util::RecallableCount;
 using testing_util::Rig;
-
-// Number of corpus documents recallable through the pool (return-degree
-// >= 1 under the top-k interface): the quantity UNBIASED-EST actually
-// estimates.
-double RecallableCount(const Rig& rig, const QueryPool& pool) {
-  std::set<DocId> recalled;
-  for (size_t i = 0; i < pool.size(); ++i) {
-    for (const auto& scored : rig.engine->Search(pool.QueryAt(i)).docs) {
-      recalled.insert(scored.doc);
-    }
-  }
-  return static_cast<double>(recalled.size());
-}
 
 TEST(UnbiasedEstTest, EstimatesCountOnUndefendedEngine) {
   Rig rig = MakeRig(400, 50, /*seed=*/19, /*held_out_size=*/400);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   const double recallable = RecallableCount(rig, pool);
   ASSERT_GT(recallable, 300.0);
 
@@ -47,7 +36,7 @@ TEST(UnbiasedEstTest, EstimatesCountOnUndefendedEngine) {
 
 TEST(UnbiasedEstTest, TrajectoryHasRequestedCadence) {
   Rig rig = MakeRig(150, 50, /*seed=*/20, /*held_out_size=*/150);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
                               FetchFrom(*rig.corpus));
   const auto points = estimator.Run(*rig.engine, 3000, 500);
@@ -60,7 +49,7 @@ TEST(UnbiasedEstTest, TrajectoryHasRequestedCadence) {
 
 TEST(UnbiasedEstTest, RespectsQueryBudget) {
   Rig rig = MakeRig(150, 50, /*seed=*/21, /*held_out_size=*/150);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   QueryCountingService counting(*rig.engine);
   UnbiasedEstimator estimator(pool, AggregateQuery::Count(),
                               FetchFrom(*rig.corpus));
@@ -70,7 +59,7 @@ TEST(UnbiasedEstTest, RespectsQueryBudget) {
 
 TEST(UnbiasedEstTest, SumAggregateScalesWithLength) {
   Rig rig = MakeRig(300, 50, /*seed=*/22, /*held_out_size=*/300);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   UnbiasedEstimator count_est(pool, AggregateQuery::Count(),
                               FetchFrom(*rig.corpus));
   UnbiasedEstimator sum_est(pool, AggregateQuery::SumLength(),
@@ -87,7 +76,7 @@ TEST(UnbiasedEstTest, SumAggregateScalesWithLength) {
 
 TEST(UnbiasedEstTest, DeterministicForSeed) {
   Rig rig = MakeRig(150, 50, /*seed=*/23, /*held_out_size=*/150);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   UnbiasedEstimator::Options options;
   options.seed = 77;
   UnbiasedEstimator a(pool, AggregateQuery::Count(), FetchFrom(*rig.corpus),
@@ -104,7 +93,7 @@ TEST(UnbiasedEstTest, DeterministicForSeed) {
 
 TEST(StratifiedEstTest, StrataPartitionThePool) {
   Rig rig = MakeRig(200, 50, /*seed=*/24, /*held_out_size=*/300);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   StratifiedEstimator estimator(pool, AggregateQuery::Count(),
                                 FetchFrom(*rig.corpus));
   size_t total = 0;
@@ -118,7 +107,7 @@ TEST(StratifiedEstTest, StrataPartitionThePool) {
 
 TEST(StratifiedEstTest, StrataOrderedByDf) {
   Rig rig = MakeRig(200, 50, /*seed=*/25, /*held_out_size=*/300);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   StratifiedEstimator estimator(pool, AggregateQuery::Count(),
                                 FetchFrom(*rig.corpus));
   // Max df of stratum s must be below min df of stratum s+2 (geometric
@@ -138,7 +127,7 @@ TEST(StratifiedEstTest, StrataOrderedByDf) {
 
 TEST(StratifiedEstTest, EstimatesCountOnUndefendedEngine) {
   Rig rig = MakeRig(400, 50, /*seed=*/26, /*held_out_size=*/400);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   const double recallable = RecallableCount(rig, pool);
   StratifiedEstimator::Options options;
   options.seed = 6;
@@ -150,7 +139,7 @@ TEST(StratifiedEstTest, EstimatesCountOnUndefendedEngine) {
 
 TEST(BruteForceTest, CrawlsDistinctDocsAndLowerBounds) {
   Rig rig = MakeRig(500, 5, /*seed=*/27, /*held_out_size=*/300);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   BruteForceCrawler crawler(pool, AggregateQuery::Count(),
                             FetchFrom(*rig.corpus));
   const auto points = crawler.Run(*rig.engine, 300, 100);
@@ -168,7 +157,7 @@ TEST(UnbiasedEstTest, SurvivesRateLimitedInterface) {
   // quota). The estimator must finish without crashing and report a
   // finite (degraded) estimate.
   Rig rig = MakeRig(300, 5, /*seed=*/29, /*held_out_size=*/200);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   AccessPolicy policy;
   policy.queries_per_period = 150;
   policy.block_periods = 0;  // blocked forever once exceeded
@@ -208,7 +197,7 @@ TEST(StratifiedEstTest, EmptyPoolYieldsZero) {
 
 TEST(StratifiedEstTest, SurvivesRateLimitedInterface) {
   Rig rig = MakeRig(300, 5, /*seed=*/32, /*held_out_size=*/200);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   AccessPolicy policy;
   policy.queries_per_period = 100;
   policy.block_periods = 0;
@@ -222,7 +211,7 @@ TEST(StratifiedEstTest, SurvivesRateLimitedInterface) {
 
 TEST(BruteForceTest, MonotoneTrajectory) {
   Rig rig = MakeRig(300, 5, /*seed=*/28, /*held_out_size=*/200);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   BruteForceCrawler crawler(pool, AggregateQuery::Count(),
                             FetchFrom(*rig.corpus));
   const auto points = crawler.Run(*rig.engine, 200, 50);

@@ -5,17 +5,18 @@
 #include "asup/attack/aggregate.h"
 #include "asup/attack/unbiased_est.h"
 
-#include "test_util.h"
+#include "attack_test_util.h"
 
 namespace asup {
 namespace {
 
+using testing_util::MakePool;
 using testing_util::MakeRig;
 using testing_util::Rig;
 
 TEST(QueryPoolTest, PoolContainsDistinctSampleWords) {
   Rig rig = MakeRig(200, 5, /*seed=*/3, /*held_out_size=*/150);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   EXPECT_GT(pool.size(), 100u);
   // Every pool query is a single known word.
   for (size_t i = 0; i < pool.size(); ++i) {
@@ -26,7 +27,7 @@ TEST(QueryPoolTest, PoolContainsDistinctSampleWords) {
 
 TEST(QueryPoolTest, SampleDfMatchesHeldOutCorpus) {
   Rig rig = MakeRig(200, 5, /*seed=*/4, /*held_out_size=*/120);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   for (size_t i = 0; i < pool.size(); i += 37) {
     const TermId term = pool.TermAt(i);
     const uint64_t df = rig.held_out->CountWhere(
@@ -37,7 +38,7 @@ TEST(QueryPoolTest, SampleDfMatchesHeldOutCorpus) {
 
 TEST(QueryPoolTest, MatchingQueriesAreExactlyDocWordsInPool) {
   Rig rig = MakeRig(300, 5, /*seed=*/5, /*held_out_size=*/150);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   const Document& doc = rig.corpus->documents()[7];
   const auto matching = pool.MatchingQueries(doc);
   // Every matching query's term is in the doc.
@@ -54,7 +55,7 @@ TEST(QueryPoolTest, MatchingQueriesAreExactlyDocWordsInPool) {
 
 TEST(QueryPoolTest, IndexOfTermRoundTrips) {
   Rig rig = MakeRig(100, 5, /*seed=*/6, /*held_out_size=*/100);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   for (size_t i = 0; i < pool.size(); i += 11) {
     EXPECT_EQ(pool.IndexOfTerm(pool.TermAt(i)), i);
   }
@@ -62,7 +63,7 @@ TEST(QueryPoolTest, IndexOfTermRoundTrips) {
 
 TEST(QueryPoolTest, SampleIndexWithinBounds) {
   Rig rig = MakeRig(100, 5, /*seed=*/8, /*held_out_size=*/80);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   Rng rng(1);
   for (int i = 0; i < 1000; ++i) {
     EXPECT_LT(pool.SampleIndex(rng), pool.size());
@@ -74,7 +75,7 @@ TEST(QueryPoolTest, PoolRecallsMostOfCorpus) {
   // should recall nearly every corpus document (the paper's worst-case
   // assumption for the defender).
   Rig rig = MakeRig(400, 5, /*seed=*/9, /*held_out_size=*/400);
-  QueryPool pool(*rig.held_out);
+  const QueryPool pool = MakePool(rig);
   size_t recalled = 0;
   for (const Document& doc : rig.corpus->documents()) {
     if (!pool.MatchingQueries(doc).empty()) ++recalled;
@@ -84,10 +85,8 @@ TEST(QueryPoolTest, PoolRecallsMostOfCorpus) {
 
 TEST(QueryPoolTest, DfFilterDropsCommonWords) {
   Rig rig = MakeRig(200, 5, /*seed=*/14, /*held_out_size=*/200);
-  QueryPool unfiltered(*rig.held_out);
-  QueryPool::Options options;
-  options.max_df_fraction = 0.05;
-  QueryPool filtered(*rig.held_out, options);
+  const QueryPool unfiltered = MakePool(rig);
+  const QueryPool filtered = MakePool(rig, 0.05);
   EXPECT_LT(filtered.size(), unfiltered.size());
   const double max_df = 0.05 * static_cast<double>(rig.held_out->size());
   for (size_t i = 0; i < filtered.size(); ++i) {
@@ -99,9 +98,7 @@ TEST(QueryPoolTest, FilteredPoolStillRecallsMostDocs) {
   // Rare words dominate recall: dropping the head of the df distribution
   // barely reduces coverage (why real attack pools can ignore stop words).
   Rig rig = MakeRig(400, 5, /*seed=*/15, /*held_out_size=*/400);
-  QueryPool::Options options;
-  options.max_df_fraction = 0.05;
-  QueryPool pool(*rig.held_out, options);
+  const QueryPool pool = MakePool(rig, 0.05);
   size_t recalled = 0;
   for (const Document& doc : rig.corpus->documents()) {
     if (!pool.MatchingQueries(doc).empty()) ++recalled;
@@ -111,10 +108,8 @@ TEST(QueryPoolTest, FilteredPoolStillRecallsMostDocs) {
 
 TEST(QueryPoolTest, FilterOfOneKeepsEverything) {
   Rig rig = MakeRig(100, 5, /*seed=*/16, /*held_out_size=*/100);
-  QueryPool unfiltered(*rig.held_out);
-  QueryPool::Options options;
-  options.max_df_fraction = 1.0;
-  QueryPool same(*rig.held_out, options);
+  const QueryPool unfiltered = MakePool(rig);
+  const QueryPool same = MakePool(rig, 1.0);
   EXPECT_EQ(same.size(), unfiltered.size());
 }
 

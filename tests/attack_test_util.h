@@ -1,0 +1,104 @@
+#ifndef ASUP_TESTS_ATTACK_TEST_UTIL_H_
+#define ASUP_TESTS_ATTACK_TEST_UTIL_H_
+
+/// Shared fixtures of the attack/eval test suites: canned query pools,
+/// the recallable-count ground truth the pool estimators are unbiased for,
+/// and an epoch rig (CorpusManager-backed engine + epoch-stream builder)
+/// for dynamic-corpus attack tests.
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "asup/attack/correlated.h"
+#include "asup/attack/query_pool.h"
+#include "asup/engine/search_engine.h"
+#include "asup/engine/search_service.h"
+#include "asup/index/corpus_manager.h"
+#include "asup/text/synthetic_corpus.h"
+#include "asup/workload/epoch_stream.h"
+#include "test_util.h"
+
+namespace asup {
+namespace testing_util {
+
+/// Canned single-word pool over a rig's held-out corpus (the standard
+/// adversary pool of the attack suites). Requires the rig to have been
+/// built with held_out_size > 0.
+inline QueryPool MakePool(const Rig& rig, double max_df_fraction = 1.0) {
+  QueryPool::Options options;
+  options.max_df_fraction = max_df_fraction;
+  return QueryPool(*rig.held_out, options);
+}
+
+/// Canned correlated-query attack seeded on the "sports" topic head word
+/// (the attack of the paper's Section 5.1 experiments).
+inline CorrelatedQueryAttack MakeSportsAttack(
+    const Rig& rig, const CorrelatedQueryAttack::Options& options = {}) {
+  return CorrelatedQueryAttack(*rig.held_out, "sports", options);
+}
+
+/// Number of documents recallable through the pool (return-degree >= 1
+/// under the top-k interface): the quantity the pool-based estimators
+/// actually estimate.
+inline double RecallableCount(SearchService& service, const QueryPool& pool) {
+  std::set<DocId> recalled;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (const ScoredDoc& scored : service.Search(pool.QueryAt(i)).docs) {
+      recalled.insert(scored.doc);
+    }
+  }
+  return static_cast<double>(recalled.size());
+}
+
+inline double RecallableCount(const Rig& rig, const QueryPool& pool) {
+  return RecallableCount(*rig.engine, pool);
+}
+
+/// A dynamic-corpus rig: the generator stays alive (epoch streams borrow
+/// it for additions), the corpus lives inside a CorpusManager, and the
+/// engine answers against the manager's current epoch.
+struct EpochRig {
+  std::unique_ptr<SyntheticCorpusGenerator> generator;
+  std::unique_ptr<Corpus> held_out;
+  std::unique_ptr<CorpusManager> manager;
+  std::unique_ptr<PlainSearchEngine> engine;
+
+  KeywordQuery Q(const std::string& text) const {
+    return KeywordQuery::Parse(manager->Current()->corpus().vocabulary(),
+                               text);
+  }
+
+  const Corpus& corpus() const { return manager->Current()->corpus(); }
+
+  /// Builds a deterministic epoch stream against this rig's generator.
+  EpochStream MakeStream(const EpochStreamConfig& config) const {
+    return EpochStream(*generator, config);
+  }
+};
+
+/// Same corpus profile as MakeRig (2000-word vocabulary, 12 topics), but
+/// managed: the corpus is epoch 1 of a CorpusManager.
+inline EpochRig MakeEpochRig(size_t corpus_size, size_t k, uint64_t seed = 7,
+                             size_t held_out_size = 0) {
+  SyntheticCorpusConfig config;
+  config.vocabulary_size = 2000;
+  config.num_topics = 12;
+  config.words_per_topic = 150;
+  config.seed = seed;
+  EpochRig rig;
+  rig.generator = std::make_unique<SyntheticCorpusGenerator>(config);
+  Corpus initial = rig.generator->Generate(corpus_size);
+  if (held_out_size > 0) {
+    rig.held_out =
+        std::make_unique<Corpus>(rig.generator->Generate(held_out_size));
+  }
+  rig.manager = std::make_unique<CorpusManager>(std::move(initial));
+  rig.engine = std::make_unique<PlainSearchEngine>(*rig.manager, k);
+  return rig;
+}
+
+}  // namespace testing_util
+}  // namespace asup
+
+#endif  // ASUP_TESTS_ATTACK_TEST_UTIL_H_

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "asup/attack/correlation_adv.h"
+#include "asup/text/vocabulary.h"
+
+namespace asup {
+namespace {
+
+Vocabulary MakeVocab() {
+  Vocabulary vocab;
+  vocab.AddWord("sports");
+  vocab.AddWord("finance");
+  vocab.AddWord("weather");
+  return vocab;
+}
+
+SearchResult Answer(std::initializer_list<DocId> ids) {
+  SearchResult result;
+  for (DocId id : ids) result.docs.push_back(ScoredDoc{id, 1.0});
+  return result;
+}
+
+TEST(AdvantageReportTest, RatesAndAdvantage) {
+  AdvantageReport report;
+  report.Record(true, true);    // tp
+  report.Record(true, true);    // tp
+  report.Record(false, true);   // fn
+  report.Record(false, false);  // tn
+  report.Record(true, false);   // fp
+  EXPECT_EQ(report.total(), 5u);
+  EXPECT_DOUBLE_EQ(report.TruePositiveRate(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(report.TrueNegativeRate(), 0.5);
+  EXPECT_DOUBLE_EQ(report.Advantage(), (2.0 / 3.0 + 0.5) / 2.0 - 0.5);
+}
+
+TEST(AdvantageReportTest, PerfectClassifierScoresHalf) {
+  AdvantageReport report;
+  report.Record(true, true);
+  report.Record(false, false);
+  EXPECT_DOUBLE_EQ(report.Advantage(), 0.5);
+}
+
+TEST(AdvantageReportTest, SingleClassGameIsVacuous) {
+  AdvantageReport only_negatives;
+  only_negatives.Record(true, false);
+  only_negatives.Record(false, false);
+  EXPECT_EQ(only_negatives.Advantage(), 0.0);
+
+  AdvantageReport only_positives;
+  only_positives.Record(true, true);
+  EXPECT_EQ(only_positives.Advantage(), 0.0);
+}
+
+TEST(AdvantageReportTest, ConstantClassifierHasNoAdvantage) {
+  AdvantageReport report;
+  report.Record(true, true);
+  report.Record(true, true);
+  report.Record(true, false);  // always predicts "virtual"
+  EXPECT_DOUBLE_EQ(report.Advantage(), 0.0);  // TPR 1, TNR 0
+}
+
+TEST(CorrelationAdversaryTest, FirstContactAnswerIsNotVirtual) {
+  const Vocabulary vocab = MakeVocab();
+  CorrelationAdversary adversary;
+  const KeywordQuery query = KeywordQuery::Parse(vocab, "sports");
+  EXPECT_FALSE(adversary.ObserveAndClassify(query, Answer({1, 2, 3})));
+  const CorrelationFeatures& features = adversary.last_features();
+  EXPECT_EQ(features.answer_size, 3u);
+  EXPECT_EQ(features.novel_docs, 3u);
+  EXPECT_DOUBLE_EQ(features.novel_fraction, 1.0);
+  EXPECT_EQ(features.repeat_terms, 0u);
+  EXPECT_EQ(features.query_repeats, 0u);
+  EXPECT_EQ(adversary.disclosed_docs(), 3u);
+  EXPECT_EQ(adversary.observations(), 1u);
+}
+
+TEST(CorrelationAdversaryTest, RepeatedAllDisclosedAnswerIsVirtual) {
+  const Vocabulary vocab = MakeVocab();
+  CorrelationAdversary adversary;
+  const KeywordQuery query = KeywordQuery::Parse(vocab, "sports");
+  EXPECT_FALSE(adversary.ObserveAndClassify(query, Answer({1, 2, 3})));
+  EXPECT_TRUE(adversary.ObserveAndClassify(query, Answer({1, 2, 3})));
+  const CorrelationFeatures& features = adversary.last_features();
+  EXPECT_EQ(features.novel_docs, 0u);
+  EXPECT_EQ(features.repeat_terms, 1u);
+  EXPECT_EQ(features.query_repeats, 1u);
+}
+
+TEST(CorrelationAdversaryTest, NovelDocumentBreaksTheVerdict) {
+  const Vocabulary vocab = MakeVocab();
+  CorrelationAdversary adversary;
+  const KeywordQuery query = KeywordQuery::Parse(vocab, "sports");
+  adversary.ObserveAndClassify(query, Answer({1, 2, 3}));
+  // One never-disclosed document in the answer: cannot be a pure history
+  // cover under the default max_novel_fraction = 0.
+  EXPECT_FALSE(adversary.ObserveAndClassify(query, Answer({1, 2, 9})));
+  EXPECT_DOUBLE_EQ(adversary.last_features().novel_fraction, 1.0 / 3.0);
+  // The slack option admits it.
+  CorrelationAdversaryOptions lax;
+  lax.max_novel_fraction = 0.5;
+  CorrelationAdversary lax_adversary(lax);
+  const KeywordQuery q2 = KeywordQuery::Parse(vocab, "sports");
+  lax_adversary.ObserveAndClassify(q2, Answer({1, 2, 3}));
+  EXPECT_TRUE(lax_adversary.ObserveAndClassify(q2, Answer({1, 2, 9})));
+}
+
+TEST(CorrelationAdversaryTest, RepeatTermRequirementGatesFreshTerms) {
+  const Vocabulary vocab = MakeVocab();
+  CorrelationAdversary adversary;
+  adversary.ObserveAndClassify(KeywordQuery::Parse(vocab, "sports"),
+                               Answer({1, 2}));
+  // All-disclosed answer but a first-contact term: virtual processing
+  // cannot trigger without history overlap, so default options say fresh.
+  EXPECT_FALSE(adversary.ObserveAndClassify(
+      KeywordQuery::Parse(vocab, "finance"), Answer({1, 2})));
+
+  CorrelationAdversaryOptions no_gate;
+  no_gate.require_repeat_term = false;
+  CorrelationAdversary ungated(no_gate);
+  ungated.ObserveAndClassify(KeywordQuery::Parse(vocab, "sports"),
+                             Answer({1, 2}));
+  EXPECT_TRUE(ungated.ObserveAndClassify(KeywordQuery::Parse(vocab, "finance"),
+                                         Answer({1, 2})));
+}
+
+TEST(CorrelationAdversaryTest, EmptyAnswerIsNeverVirtual) {
+  const Vocabulary vocab = MakeVocab();
+  CorrelationAdversary adversary;
+  const KeywordQuery query = KeywordQuery::Parse(vocab, "weather");
+  adversary.ObserveAndClassify(query, Answer({7}));
+  EXPECT_FALSE(adversary.ObserveAndClassify(query, Answer({})));
+  EXPECT_EQ(adversary.last_features().answer_size, 0u);
+  EXPECT_DOUBLE_EQ(adversary.last_features().novel_fraction, 0.0);
+}
+
+TEST(CorrelationAdversaryTest, ResetClearsHistory) {
+  const Vocabulary vocab = MakeVocab();
+  CorrelationAdversary adversary;
+  const KeywordQuery query = KeywordQuery::Parse(vocab, "sports");
+  adversary.ObserveAndClassify(query, Answer({1, 2, 3}));
+  EXPECT_TRUE(adversary.ObserveAndClassify(query, Answer({1, 2, 3})));
+  adversary.Reset();
+  EXPECT_EQ(adversary.disclosed_docs(), 0u);
+  EXPECT_EQ(adversary.observations(), 0u);
+  // Post-reset, the same observation is first contact again.
+  EXPECT_FALSE(adversary.ObserveAndClassify(query, Answer({1, 2, 3})));
+}
+
+}  // namespace
+}  // namespace asup

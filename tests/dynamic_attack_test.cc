@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asup/eval/dynamic_attack_experiment.h"
+
+namespace asup {
+namespace {
+
+// The acceptance workload of issue 6: a 10-epoch size-neutral churn stream
+// at the harness defaults (n = 300, census estimator). Shared by the
+// undefended and the defended runs so both face the byte-identical
+// workload.
+DynamicAttackConfig AcceptanceConfig() {
+  DynamicAttackConfig config;
+  config.stream.kind = EpochStreamKind::kChurn;
+  config.stream.num_epochs = 9;  // 9 deltas on top of the initial epoch
+  return config;
+}
+
+// Acceptance criterion, both arms asserted: the dynamic estimator tracks
+// the undefended engine within 10% over a 10-epoch churn stream, and under
+// AS-ARBI (same seed, same workload) the defense either inflates the
+// estimator's error at least 3x or reduces the correlation adversary to
+// (approximately) random guessing.
+TEST(DynamicAttackTest, AcceptanceChurnUndefendedVsAsArbi) {
+  const DynamicAttackConfig config = AcceptanceConfig();
+  const DynamicAttackReport none = RunDynamicAttack(config, DefenseKind::kNone);
+  const DynamicAttackReport arbi = RunDynamicAttack(config, DefenseKind::kArbi);
+
+  ASSERT_EQ(none.rows.size(), 10u);
+  ASSERT_EQ(arbi.rows.size(), 10u);
+  EXPECT_EQ(none.workload, EpochStreamKind::kChurn);
+
+  // (a) Convergence: the census estimator recovers the pool-recallable
+  // count essentially exactly on the undefended engine.
+  EXPECT_LT(none.mean_rel_error, 0.10);
+  EXPECT_LT(none.final_rel_error, 0.10);
+  for (const DynamicEpochRow& row : none.rows) {
+    EXPECT_GT(row.true_value, 0.0);
+    EXPECT_LE(row.queries_spent, config.per_epoch_budget);
+  }
+
+  // The undefended engine never serves virtually, so the distinguishing
+  // game is vacuous there and the advantage must report 0 by definition.
+  EXPECT_EQ(none.adversary_report.true_positives +
+                none.adversary_report.false_negatives,
+            0u);
+  EXPECT_EQ(none.adversary_advantage, 0.0);
+
+  // Under AS-ARBI the game is real: a large share of the re-issued pool is
+  // served virtually from the history.
+  EXPECT_GT(arbi.adversary_report.true_positives +
+                arbi.adversary_report.false_negatives,
+            0u);
+
+  // (b) The defense holds on at least one front — both arms evaluated, the
+  // disjunction asserted exactly as the acceptance criterion states it.
+  const bool error_inflated =
+      arbi.mean_rel_error >= 3.0 * none.mean_rel_error;
+  const bool adversary_blind = std::abs(arbi.adversary_advantage) <= 0.05;
+  EXPECT_TRUE(error_inflated || adversary_blind)
+      << "arbi mean_rel_error=" << arbi.mean_rel_error
+      << " vs none=" << none.mean_rel_error
+      << ", advantage=" << arbi.adversary_advantage;
+
+  // Which arm holds is itself a finding worth pinning: at census scale the
+  // persistent estimator re-measures post-suppression return degrees and
+  // sees through the answer reshaping (see EXPERIMENTS.md), so AS-ARBI's
+  // win is making virtual answers indistinguishable: the correlation
+  // adversary's advantage over coin flipping stays below 5%.
+  EXPECT_TRUE(adversary_blind)
+      << "advantage=" << arbi.adversary_advantage;
+}
+
+// The paper-predicted degradation (SIMPLE-ADV analysis, Section 4): in the
+// transient regime — query budget small against the corpus, Θ_R far from
+// saturation — suppression pushes estimates toward the segment top γ^(i+1),
+// because documents are counted at first disclosure but re-probed at the
+// suppressed return rate. Same scale as eval_privacy_game_test: 17000
+// documents sit near the bottom of segment [16384, 32768).
+TEST(DynamicAttackTest, SuppressionTransientInflatesEstimates) {
+  DynamicAttackConfig config;
+  config.corpus_config.vocabulary_size = 10000;
+  config.corpus_config.num_topics = 96;
+  config.corpus_config.words_per_topic = 300;
+  config.initial_corpus_size = 17000;
+  config.held_out_size = 3000;
+  config.pool_max_df_fraction = 1.0;
+  config.per_epoch_budget = 3000;
+  config.estimator.maintained_pool_size = 400;
+  config.stream.kind = EpochStreamKind::kChurn;
+  config.stream.num_epochs = 1;
+  config.stream.docs_per_epoch = 500;
+
+  const DynamicAttackReport none = RunDynamicAttack(config, DefenseKind::kNone);
+  const DynamicAttackReport simple =
+      RunDynamicAttack(config, DefenseKind::kSimple);
+  ASSERT_FALSE(none.rows.empty());
+  ASSERT_FALSE(simple.rows.empty());
+
+  const DynamicEpochRow& none_first = none.rows.front();
+  const DynamicEpochRow& simple_first = simple.rows.front();
+
+  // Budget-constrained but unbiased: 3000 queries against 17000 documents
+  // still land within 5% on the undefended engine.
+  EXPECT_LT(none_first.rel_error, 0.05);
+
+  // AS-SIMPLE inflates the first-epoch error at least 3x and pushes the
+  // estimate upward, toward the segment top — the direction the paper's
+  // SIMPLE-ADV margin predicts.
+  EXPECT_GE(simple_first.rel_error, 3.0 * none_first.rel_error);
+  EXPECT_GT(simple_first.estimate, none_first.estimate);
+  EXPECT_GT(simple_first.estimate, simple_first.true_value);
+}
+
+// Size-alternating workload: the estimator's per-epoch deltas recover the
+// sign of every corpus-size change — the n-delta leakage the suppression
+// layer does not hide, even across AS-ARBI (answers are re-frozen per
+// epoch, so epoch-to-epoch answer drift tracks the corpus).
+TEST(DynamicAttackTest, AlternateStreamLeaksDeltaSigns) {
+  DynamicAttackConfig config = AcceptanceConfig();
+  config.stream.kind = EpochStreamKind::kAlternate;
+  const DynamicAttackReport none = RunDynamicAttack(config, DefenseKind::kNone);
+
+  ASSERT_EQ(none.rows.size(), 10u);
+  EXPECT_EQ(none.delta_sign_evaluated, 9u);
+  EXPECT_EQ(none.delta_sign_accuracy, 1.0);
+  for (const DynamicEpochRow& row : none.rows) {
+    EXPECT_GE(row.mu, 1.0);
+    EXPECT_LT(row.mu, config.gamma);
+  }
+}
+
+DynamicAttackReport TinyReport(DefenseKind defense, double est1, double est2) {
+  DynamicAttackReport report;
+  report.defense = defense;
+  DynamicEpochRow row;
+  row.epoch = 1;
+  row.corpus_size = 200;
+  row.true_value = 200.0;
+  row.estimate = est1;
+  row.rel_error = std::abs(est1 - 200.0) / 200.0;
+  report.rows.push_back(row);
+  row.epoch = 2;
+  row.estimate = est2;
+  row.rel_error = std::abs(est2 - 200.0) / 200.0;
+  report.rows.push_back(row);
+  report.mean_rel_error = (report.rows[0].rel_error + report.rows[1].rel_error) / 2.0;
+  return report;
+}
+
+TEST(DynamicAttackTest, EpochsCsvZipsRunsByDefense) {
+  const std::vector<DynamicAttackReport> runs = {
+      TinyReport(DefenseKind::kNone, 200.0, 201.0),
+      TinyReport(DefenseKind::kArbi, 230.0, 260.0)};
+  const CsvTable table = DynamicAttackEpochsCsv(runs);
+  ASSERT_EQ(table.NumColumns(), 7u);  // epoch,n,true + 2 runs x (est,relerr)
+  ASSERT_EQ(table.NumRows(), 2u);
+  EXPECT_EQ(table.At(0, 0), 1.0);
+  EXPECT_EQ(table.At(0, 1), 200.0);
+  EXPECT_EQ(table.At(0, 3), 200.0);  // none_est
+  EXPECT_EQ(table.At(1, 5), 260.0);  // arbi_est, epoch 2
+}
+
+TEST(DynamicAttackTest, SummaryCsvHasOneRowPerRun) {
+  const std::vector<DynamicAttackReport> runs = {
+      TinyReport(DefenseKind::kNone, 200.0, 200.0),
+      TinyReport(DefenseKind::kSimple, 240.0, 240.0),
+      TinyReport(DefenseKind::kArbi, 260.0, 260.0)};
+  const CsvTable table = DynamicAttackSummaryCsv(runs);
+  ASSERT_EQ(table.NumRows(), 3u);
+  EXPECT_EQ(table.At(0, 0), 0.0);
+  EXPECT_EQ(table.At(1, 0), 1.0);
+  EXPECT_EQ(table.At(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(table.At(1, 1), 0.2);  // mean relerr of the 240 run
+}
+
+}  // namespace
+}  // namespace asup

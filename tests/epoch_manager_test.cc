@@ -220,6 +220,85 @@ TEST(CorpusManagerTest, ShardedViewFollowsEveryEpoch) {
   }
 }
 
+TEST(CorpusManagerTest, EmptyDeltaKeepsIndexBitwiseIdentical) {
+  // Edge case: an empty delta after real epochs — no new epoch, and the
+  // published index is still bitwise the fresh build of its corpus.
+  SyntheticCorpusGenerator managed_gen(SmallConfig(19));
+  SyntheticCorpusGenerator fresh_gen(SmallConfig(19));
+  CorpusManager manager(managed_gen.Generate(200));
+  Corpus reference = fresh_gen.Generate(200);
+
+  const CorpusDelta managed_delta =
+      MakeDelta(managed_gen, manager.Current()->corpus(), 30, 10);
+  const CorpusDelta fresh_delta = MakeDelta(fresh_gen, reference, 30, 10);
+  manager.Apply(managed_delta);
+  reference = ApplyDelta(reference, fresh_delta);
+
+  const SnapshotHandle before = manager.Current();
+  const SnapshotHandle after = manager.Apply(CorpusDelta{});
+  EXPECT_EQ(after.get(), before.get());
+  EXPECT_EQ(manager.CurrentEpoch(), 2u);
+  ExpectIndexesBitwiseEqual(after->index(), InvertedIndex(reference));
+}
+
+TEST(CorpusManagerTest, DeltaDeletingEveryPostingOfATermDropsTheTerm) {
+  SyntheticCorpusGenerator managed_gen(SmallConfig(23));
+  SyntheticCorpusGenerator fresh_gen(SmallConfig(23));
+  CorpusManager manager(managed_gen.Generate(200));
+  const Corpus reference = fresh_gen.Generate(200);
+
+  // Victim: the first term of the first document; the delta removes every
+  // document containing it, so its posting list must vanish entirely.
+  const Corpus& initial = manager.Current()->corpus();
+  const TermId victim = initial.documents()[0].terms()[0].term;
+  CorpusDelta delta;
+  for (const Document& doc : initial.documents()) {
+    if (doc.Contains(victim)) delta.remove.push_back(doc.id());
+  }
+  ASSERT_FALSE(delta.remove.empty());
+
+  const SnapshotHandle snapshot = manager.Apply(delta);
+  EXPECT_EQ(snapshot->index().Postings(victim).size(), 0u);
+  EXPECT_TRUE(snapshot->index().Postings(victim).Decode().empty());
+  // The term is invisible through document-level stats of the new epoch.
+  EXPECT_EQ(snapshot->corpus().CountWhere([victim](const Document& doc) {
+    return doc.Contains(victim);
+  }),
+            0u);
+  const Corpus fresh_corpus = ApplyDelta(reference, delta);
+  ExpectIndexesBitwiseEqual(snapshot->index(), InvertedIndex(fresh_corpus));
+}
+
+TEST(CorpusManagerTest, ReAddingARemovedDocIdRestoresBitwiseEquality) {
+  SyntheticCorpusGenerator managed_gen(SmallConfig(29));
+  SyntheticCorpusGenerator fresh_gen(SmallConfig(29));
+  CorpusManager manager(managed_gen.Generate(200));
+  const Corpus reference = fresh_gen.Generate(200);
+
+  const Document victim = manager.Current()->corpus().documents()[42];
+  CorpusDelta removal;
+  removal.remove.push_back(victim.id());
+  const SnapshotHandle removed = manager.Apply(removal);
+  EXPECT_FALSE(removed->Contains(victim.id()));
+
+  // Re-add the identical document under its original DocId: the merged
+  // index must be bitwise the fresh build — same dense local slot (local
+  // ids are ascending-by-DocId), same postings, same stats.
+  CorpusDelta readd;
+  readd.add.push_back(victim);
+  const SnapshotHandle restored = manager.Apply(readd);
+  EXPECT_TRUE(restored->Contains(victim.id()));
+  EXPECT_EQ(restored->NumDocuments(), 200u);
+  const Corpus fresh_corpus = ApplyDelta(ApplyDelta(reference, removal), readd);
+  const InvertedIndex fresh(fresh_corpus);
+  ExpectIndexesBitwiseEqual(restored->index(), fresh);
+  // Remove-then-readd restores the original content, so the content-only
+  // fingerprint matches the untouched reference build.
+  const InvertedIndex original(reference);
+  EXPECT_EQ(restored->Fingerprint(),
+            CorpusSnapshot::Borrow(original)->Fingerprint());
+}
+
 TEST(CorpusManagerTest, ApplyAsyncPublishesFromPool) {
   SyntheticCorpusGenerator generator(SmallConfig(13));
   ThreadPool pool(2);
