@@ -8,6 +8,15 @@
 
 namespace asup {
 
+AnswerCache::AnswerCache(size_t min_shards) {
+  size_t shards = 1;
+  while (shards < std::max<size_t>(min_shards, 1)) shards <<= 1;
+  shard_mask_ = shards - 1;
+  // Shards are constructed in place and never moved: Mutex and
+  // condition_variable are address-stable for the cache's lifetime.
+  shards_ = std::vector<Shard>(shards);
+}
+
 AnswerCache::Claim AnswerCache::LookupOrClaim(const std::string& key,
                                               SearchResult* out) {
 #if ASUP_METRICS_ENABLED
@@ -19,9 +28,8 @@ AnswerCache::Claim AnswerCache::LookupOrClaim(const std::string& key,
     span.emplace(obs::Stage::kCacheLookup);
   }
 #endif
-  const size_t shard_index = ShardIndexOf(key);
-  Shard& shard = shards_[shard_index];
-  std::unique_lock<std::mutex> lock(mutexes_.MutexAt(shard_index));
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mutex);
   for (;;) {
     auto [it, inserted] = shard.map.try_emplace(key);
     if (inserted) {
@@ -36,15 +44,14 @@ AnswerCache::Claim AnswerCache::LookupOrClaim(const std::string& key,
     }
     // Another thread is computing this key. Iterators may be invalidated by
     // concurrent insertions while we wait, so re-probe from scratch.
-    shard.ready_cv.wait(lock);
+    lock.Wait(shard.ready_cv);
   }
 }
 
 void AnswerCache::Publish(const std::string& key, const SearchResult& result) {
-  const size_t shard_index = ShardIndexOf(key);
-  Shard& shard = shards_[shard_index];
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
+    MutexLock lock(shard.mutex);
     // Claim protocol: only the thread that claimed the key may publish,
     // exactly once. Re-publishing a ready entry could swap an answer a
     // client already saw — the nondeterministic-re-issue side channel the
@@ -61,10 +68,9 @@ void AnswerCache::Publish(const std::string& key, const SearchResult& result) {
 }
 
 void AnswerCache::Abandon(const std::string& key) {
-  const size_t shard_index = ShardIndexOf(key);
-  Shard& shard = shards_[shard_index];
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
+    MutexLock lock(shard.mutex);
     auto it = shard.map.find(key);
     // Abandoning a published answer would let a later compute replace it;
     // only unclaimed or in-flight keys may be abandoned.
@@ -76,19 +82,18 @@ void AnswerCache::Abandon(const std::string& key) {
 }
 
 bool AnswerCache::Contains(const std::string& key) const {
-  const size_t shard_index = ShardIndexOf(key);
-  const Shard& shard = shards_[shard_index];
-  std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   return it != shard.map.end() && it->second.ready;
 }
 
 size_t AnswerCache::size() const {
   size_t count = 0;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(s));
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
     // NOLINTNEXTLINE(asup-unordered-iteration): counting is order-invariant
-    for (const auto& [key, entry] : shards_[s].map) {
+    for (const auto& [key, entry] : shard.map) {
       if (entry.ready) ++count;
     }
   }
@@ -96,16 +101,16 @@ size_t AnswerCache::size() const {
 }
 
 void AnswerCache::Clear() {
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(s));
-    shards_[s].map.clear();
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    shard.map.clear();
   }
 }
 
 void AnswerCache::Insert(const std::string& key, SearchResult result) {
-  const size_t shard_index = ShardIndexOf(key);
-  std::lock_guard<std::mutex> lock(mutexes_.MutexAt(shard_index));
-  Entry& entry = shards_[shard_index].map[key];
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mutex);
+  Entry& entry = shard.map[key];
   entry.result = std::move(result);
   entry.ready = true;
 }
@@ -113,10 +118,10 @@ void AnswerCache::Insert(const std::string& key, SearchResult result) {
 std::vector<std::pair<std::string, SearchResult>> AnswerCache::Snapshot()
     const {
   std::vector<std::pair<std::string, SearchResult>> entries;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(mutexes_.MutexAt(s));
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
     // NOLINTNEXTLINE(asup-unordered-iteration): order canonicalized below
-    for (const auto& [key, entry] : shards_[s].map) {
+    for (const auto& [key, entry] : shard.map) {
       if (entry.ready) entries.emplace_back(key, entry.result);
     }
   }

@@ -2,13 +2,15 @@
 #define ASUP_ENGINE_ANSWER_CACHE_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "asup/engine/search_service.h"
-#include "asup/util/sharded_mutex.h"
+#include "asup/util/annotated_mutex.h"
+#include "asup/util/hash.h"
 
 namespace asup {
 
@@ -19,12 +21,16 @@ namespace asup {
 /// concurrency: the first caller to claim a key computes the answer while
 /// every concurrent caller of the same query blocks until the answer is
 /// published — so a query observably has exactly one answer, regardless of
-/// how racing threads interleave. Keys are hash-partitioned across shards
-/// (see ShardedMutex), so distinct queries rarely contend.
+/// how racing threads interleave. Keys are hash-partitioned across a
+/// power-of-two shard array, so distinct queries rarely contend.
+///
+/// Lock discipline (compiler-checked, DESIGN.md §14): each shard embeds its
+/// own `Mutex` and its map is `ASUP_GUARDED_BY` it — the annotation needs a
+/// statically nameable capability, which is why the mutex lives inside the
+/// shard struct rather than in a parallel ShardedMutex table.
 class AnswerCache {
  public:
-  explicit AnswerCache(size_t min_shards = 16)
-      : mutexes_(min_shards), shards_(mutexes_.num_shards()) {}
+  explicit AnswerCache(size_t min_shards = 16);
 
   enum class Claim {
     /// The answer was already computed (or became ready while waiting);
@@ -61,6 +67,8 @@ class AnswerCache {
   /// Copies all ready entries (state save; callers quiesced).
   std::vector<std::pair<std::string, SearchResult>> Snapshot() const;
 
+  size_t num_shards() const { return shards_.size(); }
+
  private:
   struct Entry {
     SearchResult result;
@@ -68,15 +76,16 @@ class AnswerCache {
   };
 
   struct Shard {
-    std::unordered_map<std::string, Entry> map;
+    mutable Mutex mutex;
+    std::unordered_map<std::string, Entry> map ASUP_GUARDED_BY(mutex);
     std::condition_variable ready_cv;
   };
 
-  size_t ShardIndexOf(const std::string& key) const {
-    return mutexes_.ShardOf(HashString(key));
+  Shard& ShardFor(const std::string& key) const {
+    return shards_[Mix64(HashString(key)) & shard_mask_];
   }
 
-  mutable ShardedMutex mutexes_;
+  uint64_t shard_mask_ = 0;
   mutable std::vector<Shard> shards_;
 };
 

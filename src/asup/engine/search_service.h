@@ -75,7 +75,9 @@ class SearchService {
 /// Models the per-user query-number limit of real interfaces and provides
 /// the x-axis ("No. of Queries") of every suppression experiment. The
 /// counter is atomic, so the decorator may wrap a thread-safe service and
-/// be called from concurrent workers.
+/// be called from concurrent workers. (Internally-synchronized fields like
+/// this carry no ASUP_GUARDED_BY — there is no mutex to name; see
+/// DESIGN.md §14.)
 class QueryCountingService : public SearchService {
  public:
   explicit QueryCountingService(SearchService& base) : base_(&base) {}

@@ -1,9 +1,8 @@
 #ifndef ASUP_ENGINE_SYNCHRONIZED_SERVICE_H_
 #define ASUP_ENGINE_SYNCHRONIZED_SERVICE_H_
 
-#include <mutex>
-
 #include "asup/engine/search_service.h"
+#include "asup/util/annotated_mutex.h"
 
 namespace asup {
 
@@ -19,15 +18,20 @@ class SynchronizedService : public SearchService {
  public:
   explicit SynchronizedService(SearchService& base) : base_(&base) {}
 
-  SearchResult Search(const KeywordQuery& query) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+  SearchResult Search(const KeywordQuery& query) override
+      ASUP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return base_->Search(query);
   }
 
   size_t k() const override { return base_->k(); }
 
  private:
-  std::mutex mutex_;
+  /// Serializes every Search call. `base_` is not ASUP_GUARDED_BY it: the
+  /// pointer is set once in the constructor and never reassigned; the mutex
+  /// guards the *callee's* un-synchronized internals, which the analysis
+  /// cannot see across the virtual call.
+  Mutex mutex_;
   SearchService* base_;
 };
 

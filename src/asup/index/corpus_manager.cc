@@ -82,7 +82,7 @@ CorpusManager::CorpusManager(Corpus initial, Options options)
 }
 
 SnapshotHandle CorpusManager::Apply(const CorpusDelta& delta) {
-  std::lock_guard<std::mutex> guard(apply_mutex_);
+  MutexLock guard(apply_mutex_);
   SnapshotHandle base = Current();
   if (delta.empty()) return base;
   SnapshotHandle next;

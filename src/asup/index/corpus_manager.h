@@ -29,11 +29,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "asup/index/inverted_index.h"
 #include "asup/index/sharded_index.h"
 #include "asup/text/corpus_delta.h"
+#include "asup/util/annotated_mutex.h"
 #include "asup/util/thread_pool.h"
 
 namespace asup {
@@ -156,8 +156,8 @@ class CorpusManager {
   CorpusManager& operator=(const CorpusManager&) = delete;
 
   /// The latest published epoch. Safe from any thread.
-  SnapshotHandle Current() const {
-    std::lock_guard<std::mutex> guard(current_mutex_);
+  SnapshotHandle Current() const ASUP_EXCLUDES(current_mutex_) {
+    MutexLock guard(current_mutex_);
     return current_;
   }
 
@@ -168,7 +168,8 @@ class CorpusManager {
   /// text/corpus_delta.h). Returns the published snapshot. An empty delta
   /// publishes nothing and returns the current snapshot. Serialized with
   /// other Apply calls; concurrent readers are never blocked.
-  SnapshotHandle Apply(const CorpusDelta& delta);
+  SnapshotHandle Apply(const CorpusDelta& delta)
+      ASUP_EXCLUDES(apply_mutex_, current_mutex_);
 
   /// Queues `delta` onto the options pool (required) and invokes `done`
   /// (may be empty) with the published snapshot from the worker thread.
@@ -178,26 +179,40 @@ class CorpusManager {
   size_t num_shards() const { return options_.num_shards; }
 
  private:
-  /// Builds the successor snapshot of `base`. Caller holds apply_mutex_.
+  /// Builds the successor snapshot of `base`.
   SnapshotHandle BuildNextLocked(const CorpusSnapshot& base,
-                                 const CorpusDelta& delta) const;
+                                 const CorpusDelta& delta) const
+      ASUP_REQUIRES(apply_mutex_);
 
-  /// Publishes `next` as the current snapshot.
-  void Publish(SnapshotHandle next) {
-    std::lock_guard<std::mutex> guard(current_mutex_);
+  /// Publishes `next` as the current snapshot. (The constructor publishes
+  /// epoch 1 without apply_mutex_ — no other thread can hold a reference
+  /// yet — which the analysis permits because constructors are outside its
+  /// scope.)
+  void Publish(SnapshotHandle next) ASUP_EXCLUDES(current_mutex_) {
+    MutexLock guard(current_mutex_);
     current_ = std::move(next);
   }
 
   Options options_;
-  mutable std::mutex apply_mutex_;
+  /// Serializes epoch builds (one successor constructed at a time). Guards
+  /// no fields — the build works on locals — but its declared order before
+  /// current_mutex_ pins the publish protocol: a builder takes
+  /// apply_mutex_, builds off to the side, then briefly takes
+  /// current_mutex_ to publish.
+  mutable Mutex apply_mutex_ ASUP_ACQUIRED_BEFORE(current_mutex_);
   /// Guards only the `current_` pointer itself, never the snapshot build.
   /// (A std::atomic<shared_ptr> would be wait-free, but libstdc++'s
   /// implementation synchronizes through an internal spin bit that
   /// ThreadSanitizer cannot see, producing false races on every
   /// publish/pin pair; a plain mutex is contention-free at realistic
   /// publish rates and fully TSan-visible.)
-  mutable std::mutex current_mutex_;
-  SnapshotHandle current_;
+  mutable Mutex current_mutex_;
+  /// Both the pointer and (conservatively) the pointee are tied to
+  /// current_mutex_: readers copy the handle under the lock (Current()) and
+  /// from then on use their own pin — a SnapshotHandle copy — whose
+  /// pointee is immutable, so the PT annotation never constrains them.
+  SnapshotHandle current_ ASUP_GUARDED_BY(current_mutex_)
+      ASUP_PT_GUARDED_BY(current_mutex_);
 };
 
 }  // namespace asup

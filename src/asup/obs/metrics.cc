@@ -179,7 +179,7 @@ const std::vector<int64_t>& SizeBuckets() {
 }
 
 Counter& MetricsRegistry::CounterOf(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -189,7 +189,7 @@ Counter& MetricsRegistry::CounterOf(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GaugeOf(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -199,7 +199,7 @@ Gauge& MetricsRegistry::GaugeOf(std::string_view name) {
 
 Histogram& MetricsRegistry::HistogramOf(std::string_view name,
                                         const std::vector<int64_t>& bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -210,7 +210,7 @@ Histogram& MetricsRegistry::HistogramOf(std::string_view name,
 }
 
 std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::map<std::string, uint64_t> values;
   for (const auto& [name, counter] : counters_) {
     values.emplace(name, counter->Value());
@@ -219,7 +219,7 @@ std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
 }
 
 std::map<std::string, double> MetricsRegistry::GaugeValues() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::map<std::string, double> values;
   for (const auto& [name, gauge] : gauges_) {
     values.emplace(name, gauge->Value());
@@ -228,13 +228,13 @@ std::map<std::string, double> MetricsRegistry::GaugeValues() const {
 }
 
 Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::string MetricsRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += "# TYPE " + name.substr(0, name.find('{')) + " counter\n";
@@ -264,7 +264,7 @@ std::string MetricsRegistry::PrometheusText() const {
 }
 
 std::string MetricsRegistry::JsonText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -302,7 +302,7 @@ std::string MetricsRegistry::JsonText() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();

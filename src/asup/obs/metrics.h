@@ -39,10 +39,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "asup/util/annotated_mutex.h"
 
 namespace asup {
 namespace obs {
@@ -149,39 +150,46 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& CounterOf(std::string_view name);
-  Gauge& GaugeOf(std::string_view name);
+  Counter& CounterOf(std::string_view name) ASUP_EXCLUDES(mutex_);
+  Gauge& GaugeOf(std::string_view name) ASUP_EXCLUDES(mutex_);
   /// `bounds` is consulted only on first registration of `name`.
   Histogram& HistogramOf(std::string_view name,
-                         const std::vector<int64_t>& bounds);
+                         const std::vector<int64_t>& bounds)
+      ASUP_EXCLUDES(mutex_);
 
   /// Point-in-time values of every counter / gauge, sorted by name
   /// (RunReport scrapes these).
-  std::map<std::string, uint64_t> CounterValues() const;
-  std::map<std::string, double> GaugeValues() const;
+  std::map<std::string, uint64_t> CounterValues() const
+      ASUP_EXCLUDES(mutex_);
+  std::map<std::string, double> GaugeValues() const ASUP_EXCLUDES(mutex_);
 
   /// The histogram registered under `name`, or nullptr.
-  Histogram* FindHistogram(std::string_view name) const;
+  Histogram* FindHistogram(std::string_view name) const ASUP_EXCLUDES(mutex_);
 
   /// Prometheus text exposition (deterministic: metrics sorted by name).
-  std::string PrometheusText() const;
+  std::string PrometheusText() const ASUP_EXCLUDES(mutex_);
 
   /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  std::string JsonText() const;
+  std::string JsonText() const ASUP_EXCLUDES(mutex_);
 
   /// Zeroes every metric in place; references handed out stay valid.
-  void Reset();
+  void Reset() ASUP_EXCLUDES(mutex_);
 
   /// The process-wide registry the instrumentation macros write to.
   static MetricsRegistry& Default();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // std::map: snapshot iteration must be deterministic (golden files, CI
-  // greps); registration is cold so the tree walk never matters.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // greps); registration is cold so the tree walk never matters. The maps
+  // are guarded; the pointed-to metrics are internally synchronized
+  // (atomics) and hand out stable references past the lock by design.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ASUP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      ASUP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      ASUP_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -4,7 +4,6 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 
@@ -184,7 +183,7 @@ TraceRingSink::TraceRingSink(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void TraceRingSink::Publish(QueryTrace trace) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(trace));
   } else {
@@ -195,12 +194,12 @@ void TraceRingSink::Publish(QueryTrace trace) {
 }
 
 uint64_t TraceRingSink::total_published() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return published_;
 }
 
 std::vector<QueryTrace> TraceRingSink::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<QueryTrace> out;
   out.reserve(ring_.size());
   // `next_` is the oldest retained slot once the ring has wrapped.

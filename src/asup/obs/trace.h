@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "asup/util/annotated_mutex.h"
 #include "asup/util/stopwatch.h"
 
 namespace asup {
@@ -120,25 +121,26 @@ class TraceRingSink {
  public:
   explicit TraceRingSink(size_t capacity);
 
-  void Publish(QueryTrace trace);
+  void Publish(QueryTrace trace) ASUP_EXCLUDES(mutex_);
 
   /// Total traces ever published (≥ the number retained).
-  uint64_t total_published() const;
+  uint64_t total_published() const ASUP_EXCLUDES(mutex_);
 
   /// Retained traces, oldest first.
-  std::vector<QueryTrace> Snapshot() const;
+  std::vector<QueryTrace> Snapshot() const ASUP_EXCLUDES(mutex_);
 
   /// Writes every retained trace as JSONL, oldest first.
-  void WriteJsonl(std::ostream& out) const;
+  void WriteJsonl(std::ostream& out) const ASUP_EXCLUDES(mutex_);
 
   size_t capacity() const { return capacity_; }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<QueryTrace> ring_;
-  size_t next_ = 0;           // ring slot the next publish overwrites
-  uint64_t published_ = 0;
+  mutable Mutex mutex_;
+  std::vector<QueryTrace> ring_ ASUP_GUARDED_BY(mutex_);
+  // ring slot the next publish overwrites
+  size_t next_ ASUP_GUARDED_BY(mutex_) = 0;
+  uint64_t published_ ASUP_GUARDED_BY(mutex_) = 0;
 };
 
 /// Installs the process-wide sink the scopes publish to (nullptr to

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <utility>
 
 #include "asup/obs/trace.h"
@@ -56,7 +55,7 @@ AsArbiStats AsArbiEngine::stats() const {
 }
 
 uint64_t AsArbiEngine::StateEpoch() const {
-  std::shared_lock<std::shared_mutex> lock(epoch_mutex_);
+  ReaderLock lock(epoch_mutex_);
   return snapshot_->epoch();
 }
 
@@ -104,7 +103,7 @@ SearchResult AsArbiEngine::SearchImpl(const KeywordQuery& query,
   stats_.queries_processed.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
     {
-      std::shared_lock<std::shared_mutex> lock(epoch_mutex_);
+      ReaderLock lock(epoch_mutex_);
       if (snapshot_->epoch() == base_->CurrentEpoch()) {
         return SearchStateLocked(query, prefetch);
       }
@@ -144,7 +143,7 @@ SearchResult AsArbiEngine::SearchStateLocked(const KeywordQuery& query,
 }
 
 void AsArbiEngine::MigrateTo(const SnapshotHandle& target) {
-  std::unique_lock<std::shared_mutex> lock(epoch_mutex_);
+  WriterLock lock(epoch_mutex_);
   // Raced with another migrating query: the state may already be at (or
   // past) the epoch this caller saw.
   if (target->epoch() <= snapshot_->epoch()) return;
@@ -156,7 +155,7 @@ void AsArbiEngine::MigrateTo(const SnapshotHandle& target) {
   ASUP_CHECK_EQ(simple_.StateEpoch(), target->epoch());
 
   {
-    std::unique_lock<std::shared_mutex> history_lock(history_mutex_);
+    WriterLock history_lock(history_mutex_);
     CompactHistoryLocked(*target);
   }
 
@@ -241,7 +240,7 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
       }
       const std::vector<DocId>& match_ids =
           use_prefetched_ids ? prefetch->match_ids : local_ids;
-      std::shared_lock<std::shared_mutex> lock(history_mutex_);
+      ReaderLock lock(history_mutex_);
       CoverResult cover;
       {
         ASUP_TRACE_STAGE(obs::Stage::kCover);
@@ -264,7 +263,7 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
   result = simple_.SearchPinned(query, prefetch, *snapshot_);
   if (!result.docs.empty()) {
     ASUP_TRACE_STAGE(obs::Stage::kHistoryRecord);
-    std::unique_lock<std::shared_mutex> lock(history_mutex_);
+    WriterLock lock(history_mutex_);
     ASUP_CONTRACTS_ONLY(const size_t queries_before = history_.NumQueries();
                         const size_t docs_before =
                             history_.NumDocumentsSeen();)

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <shared_mutex>
 #include <string>
 
 #include "asup/engine/answer_cache.h"
@@ -14,6 +13,7 @@
 #include "asup/suppress/as_simple.h"
 #include "asup/suppress/cover_finder.h"
 #include "asup/suppress/history_store.h"
+#include "asup/util/annotated_mutex.h"
 
 namespace asup {
 
@@ -108,48 +108,55 @@ class AsArbiEngine : public PrefetchableService {
   size_t k() const override { return base_->k(); }
 
   const AsArbiConfig& config() const { return config_; }
-  const HistoryStore& history() const { return history_; }
+  /// Quiesced accessor for tests and experiments: hands out a reference to
+  /// the history without its lock, so the analysis is opted out here.
+  const HistoryStore& history() const ASUP_NO_THREAD_SAFETY_ANALYSIS {
+    return history_;
+  }
   const AsSimpleEngine& simple_engine() const { return simple_; }
   const IndistinguishableSegment& segment() const {
     return simple_.segment();
   }
 
   /// Epoch the suppression state is currently pinned to.
-  uint64_t StateEpoch() const;
+  uint64_t StateEpoch() const ASUP_EXCLUDES(epoch_mutex_);
 
   /// Eagerly migrates the state (inner engine, history, cache) to the
   /// base's current epoch (queries do this lazily on their own).
-  void MigrateToCurrentEpoch();
+  void MigrateToCurrentEpoch() ASUP_EXCLUDES(epoch_mutex_);
 
   /// Snapshot of the processing counters (consistent only when quiesced).
   AsArbiStats stats() const;
 
  private:
   /// Full processing pipeline behind the answer cache. `prefetch` is null
-  /// on the live path (match data computed on demand). Caller holds the
-  /// epoch lock (shared side); all match work resolves against snapshot_.
-  SearchResult Process(const KeywordQuery& query,
-                       const QueryPrefetch* prefetch);
+  /// on the live path (match data computed on demand); all match work
+  /// resolves against snapshot_.
+  SearchResult Process(const KeywordQuery& query, const QueryPrefetch* prefetch)
+      ASUP_REQUIRES_SHARED(epoch_mutex_) ASUP_EXCLUDES(history_mutex_);
 
   /// Cache-wrapped processing; migrates lazily until the state epoch
   /// matches the base's current one.
   SearchResult SearchImpl(const KeywordQuery& query,
-                          const QueryPrefetch* prefetch);
+                          const QueryPrefetch* prefetch)
+      ASUP_EXCLUDES(epoch_mutex_, history_mutex_);
 
-  /// Cache claim + Process + publish against the pinned epoch. Caller
-  /// holds epoch_mutex_ (shared side). A prefetch from a different epoch
-  /// is discarded and the match phase recomputed live.
+  /// Cache claim + Process + publish against the pinned epoch. A prefetch
+  /// from a different epoch is discarded and the match phase recomputed
+  /// live.
   SearchResult SearchStateLocked(const KeywordQuery& query,
-                                 const QueryPrefetch* prefetch);
+                                 const QueryPrefetch* prefetch)
+      ASUP_REQUIRES_SHARED(epoch_mutex_) ASUP_EXCLUDES(history_mutex_);
 
   /// Takes the exclusive epoch lock and migrates inner engine, history and
   /// cache to `target`.
-  void MigrateTo(const SnapshotHandle& target);
+  void MigrateTo(const SnapshotHandle& target)
+      ASUP_EXCLUDES(epoch_mutex_, history_mutex_);
 
   /// Drops deleted documents from every recorded answer and removes
-  /// answers left empty; refreshes the prescreen mirrors. Caller holds
-  /// epoch_mutex_ and history_mutex_ (both exclusive).
-  void CompactHistoryLocked(const CorpusSnapshot& to);
+  /// answers left empty; refreshes the prescreen mirrors.
+  void CompactHistoryLocked(const CorpusSnapshot& to)
+      ASUP_REQUIRES(epoch_mutex_, history_mutex_);
 
   /// True when m historic answers of at most k documents each could reach
   /// σ·|Sel(q)| documents — a pure size argument, no state involved.
@@ -157,26 +164,31 @@ class AsArbiEngine : public PrefetchableService {
 
   SearchResult AnswerVirtually(const KeywordQuery& query,
                                const std::vector<DocId>& match_ids,
-                               const CoverResult& cover);
+                               const CoverResult& cover)
+      ASUP_REQUIRES_SHARED(epoch_mutex_, history_mutex_);
 
   MatchingEngine* base_;
   AsArbiConfig config_;
   /// Guards the epoch-pinned state (snapshot_, the history's document
   /// universe, the cache's validity): shared for query processing,
   /// exclusive for migration. Ordered before simple_ so the constructor
-  /// can hand the pinned snapshot to the inner engine.
-  mutable std::shared_mutex epoch_mutex_;
+  /// can hand the pinned snapshot to the inner engine. The declared
+  /// acquisition order (epoch before history) is the DAG of DESIGN.md §13;
+  /// inversions are a compile error under -Wthread-safety-beta.
+  mutable SharedMutex epoch_mutex_ ASUP_ACQUIRED_BEFORE(history_mutex_);
   /// The epoch the suppression state is expressed against; the inner
   /// AS-SIMPLE engine is always pinned to the same epoch.
-  SnapshotHandle snapshot_;
+  SnapshotHandle snapshot_ ASUP_GUARDED_BY(epoch_mutex_);
   AsSimpleEngine simple_;
-  HistoryStore history_;
+  HistoryStore history_ ASUP_GUARDED_BY(history_mutex_);
+  /// Traverses history_ internally; callers hold history_mutex_ around
+  /// finder_.Find (the analysis cannot see through the stored reference).
   CoverFinder finder_;
   AnswerCache answer_cache_;
 
   /// Guards history_ (and finder_'s traversals of it): shared for cover
   /// evaluation, exclusive for Record and epoch compaction.
-  mutable std::shared_mutex history_mutex_;
+  mutable SharedMutex history_mutex_;
   /// Lock-free mirrors of history_.NumQueries() / NumDocumentsSeen() for
   /// pre-screening; they may lag the store, which only makes the screen
   /// more conservative (a just-recorded cover is found on the next query).

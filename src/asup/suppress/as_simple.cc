@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -44,7 +43,7 @@ AsSimpleStats AsSimpleEngine::stats() const {
 }
 
 uint64_t AsSimpleEngine::StateEpoch() const {
-  std::shared_lock<std::shared_mutex> lock(epoch_mutex_);
+  ReaderLock lock(epoch_mutex_);
   return snapshot_->epoch();
 }
 
@@ -53,12 +52,12 @@ void AsSimpleEngine::MigrateToCurrentEpoch() {
 }
 
 size_t AsSimpleEngine::NumActivatedDocs() const {
-  std::shared_lock<std::shared_mutex> lock(epoch_mutex_);
+  ReaderLock lock(epoch_mutex_);
   return returned_before_.Count();
 }
 
 bool AsSimpleEngine::IsActivated(DocId doc) const {
-  std::shared_lock<std::shared_mutex> lock(epoch_mutex_);
+  ReaderLock lock(epoch_mutex_);
   if (!snapshot_->Contains(doc)) return false;
   return returned_before_.Test(snapshot_->LocalOf(doc));
 }
@@ -92,7 +91,7 @@ SearchResult AsSimpleEngine::SearchImpl(const KeywordQuery& query,
   stats_.queries_processed.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
     {
-      std::shared_lock<std::shared_mutex> lock(epoch_mutex_);
+      ReaderLock lock(epoch_mutex_);
       if (snapshot_->epoch() == base_->CurrentEpoch()) {
         return SearchStateLocked(query, prefetch);
       }
@@ -108,7 +107,7 @@ SearchResult AsSimpleEngine::SearchPinned(const KeywordQuery& query,
                                           const QueryPrefetch* prefetch,
                                           const CorpusSnapshot& target) {
   stats_.queries_processed.fetch_add(1, std::memory_order_relaxed);
-  std::shared_lock<std::shared_mutex> lock(epoch_mutex_);
+  ReaderLock lock(epoch_mutex_);
   // The caller (AS-ARBI) migrates this engine in lockstep with itself
   // before driving it, so the pinned epochs must already agree.
   ASUP_CHECK_EQ(snapshot_->epoch(), target.epoch());
@@ -155,7 +154,7 @@ SearchResult AsSimpleEngine::SearchStateLocked(const KeywordQuery& query,
 }
 
 void AsSimpleEngine::MigrateTo(const SnapshotHandle& target) {
-  std::unique_lock<std::shared_mutex> lock(epoch_mutex_);
+  WriterLock lock(epoch_mutex_);
   // Raced with another migrating query: the state may already be at (or
   // past) the epoch this caller saw.
   if (target->epoch() <= snapshot_->epoch()) return;

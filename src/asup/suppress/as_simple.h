@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <shared_mutex>
 #include <string>
 
 #include "asup/engine/answer_cache.h"
@@ -12,6 +11,7 @@
 #include "asup/engine/search_engine.h"
 #include "asup/engine/search_service.h"
 #include "asup/suppress/segment.h"
+#include "asup/util/annotated_mutex.h"
 #include "asup/util/atomic_bitmap.h"
 #include "asup/util/hash.h"
 
@@ -112,33 +112,40 @@ class AsSimpleEngine : public PrefetchableService {
   size_t k() const override { return base_->k(); }
 
   /// Segment arithmetic of the *state's* epoch. Stable while queries are
-  /// in flight on this epoch; changes under migration.
-  const IndistinguishableSegment& segment() const { return segment_; }
+  /// in flight on this epoch; changes under migration. Hands out a
+  /// reference without epoch_mutex_ (AS-ARBI holds its own epoch lock,
+  /// which pins this engine's epoch in lockstep; tests call it quiesced),
+  /// so the analysis is opted out here.
+  const IndistinguishableSegment& segment() const
+      ASUP_NO_THREAD_SAFETY_ANALYSIS {
+    return segment_;
+  }
   const AsSimpleConfig& config() const { return config_; }
   MatchingEngine& base() const { return *base_; }
 
   /// Epoch the suppression state is currently pinned to.
-  uint64_t StateEpoch() const;
+  uint64_t StateEpoch() const ASUP_EXCLUDES(epoch_mutex_);
 
   /// Eagerly migrates the state to the base's current epoch (queries do
   /// this lazily on their own).
-  void MigrateToCurrentEpoch();
+  void MigrateToCurrentEpoch() ASUP_EXCLUDES(epoch_mutex_);
 
   /// Processes `query` strictly within `target`'s epoch. The caller
   /// (AS-ARBI) must guarantee the state is already at that epoch and hold
   /// off migrations for the duration of the call.
   SearchResult SearchPinned(const KeywordQuery& query,
                             const QueryPrefetch* prefetch,
-                            const CorpusSnapshot& target);
+                            const CorpusSnapshot& target)
+      ASUP_EXCLUDES(epoch_mutex_);
 
   /// Snapshot of the processing counters (consistent only when quiesced).
   AsSimpleStats stats() const;
 
   /// |Θ_R|: number of documents returned (or activated) so far.
-  size_t NumActivatedDocs() const;
+  size_t NumActivatedDocs() const ASUP_EXCLUDES(epoch_mutex_);
 
   /// True if `doc` is in Θ_R.
-  bool IsActivated(DocId doc) const;
+  bool IsActivated(DocId doc) const ASUP_EXCLUDES(epoch_mutex_);
 
  private:
   // AS-ARBI drives the inner engine through SearchPinned and MigrateTo so
@@ -155,39 +162,48 @@ class AsSimpleEngine : public PrefetchableService {
 
   /// The stateful suppression phase (Algorithm 1 lines 7-14) applied to a
   /// prefetched M(q), resolved against `snapshot` (the state's pinned
-  /// epoch). Caller holds the epoch lock (shared side).
+  /// epoch).
   SearchResult Process(const KeywordQuery& query, const RankedMatches& ranked,
-                       const CorpusSnapshot& snapshot);
+                       const CorpusSnapshot& snapshot)
+      ASUP_REQUIRES_SHARED(epoch_mutex_);
 
   /// Cache-wrapped processing shared by Search and SearchPrefetched;
   /// migrates lazily until the state epoch matches the base's current one.
   SearchResult SearchImpl(const KeywordQuery& query,
-                          const QueryPrefetch* prefetch);
+                          const QueryPrefetch* prefetch)
+      ASUP_EXCLUDES(epoch_mutex_);
 
   /// Cache claim + Process + publish against the state's pinned epoch.
-  /// Caller holds epoch_mutex_ (shared side).
   SearchResult SearchStateLocked(const KeywordQuery& query,
-                                 const QueryPrefetch* prefetch);
+                                 const QueryPrefetch* prefetch)
+      ASUP_REQUIRES_SHARED(epoch_mutex_);
 
   /// Takes the exclusive epoch lock and migrates the state to `target`.
-  void MigrateTo(const SnapshotHandle& target);
+  void MigrateTo(const SnapshotHandle& target) ASUP_EXCLUDES(epoch_mutex_);
 
-  /// Θ_R remap + μ recompute + cache clear. Caller holds epoch_mutex_
-  /// (exclusive side).
-  void MigrateStateLocked(const SnapshotHandle& target);
+  /// Θ_R remap + μ recompute + cache clear.
+  void MigrateStateLocked(const SnapshotHandle& target)
+      ASUP_REQUIRES(epoch_mutex_);
 
   MatchingEngine* base_;
   AsSimpleConfig config_;
   /// Guards the epoch-pinned state below (snapshot_, segment_,
   /// returned_before_'s indexing, and the answer cache's validity): shared
   /// for query processing, exclusive for migration.
-  mutable std::shared_mutex epoch_mutex_;
+  mutable SharedMutex epoch_mutex_;
   /// The epoch the suppression state is expressed against.
-  SnapshotHandle snapshot_;
-  IndistinguishableSegment segment_;
+  SnapshotHandle snapshot_ ASUP_GUARDED_BY(epoch_mutex_);
+  IndistinguishableSegment segment_ ASUP_GUARDED_BY(epoch_mutex_);
   DeterministicCoin coin_;
   size_t m_limit_;  // γ·k, the size cap of M(q)
-  AtomicBitmap returned_before_;  // Θ_R, indexed by dense local doc id
+  /// Θ_R, indexed by dense local doc id. Internally synchronized
+  /// (per-bit atomic test-and-set), so deliberately NOT ASUP_GUARDED_BY:
+  /// the analysis would reject the legal TestAndSet under the shared side
+  /// (any non-const call counts as a write). epoch_mutex_ guards only its
+  /// *reassignment* during migration, which holds the exclusive side.
+  AtomicBitmap returned_before_;
+  /// Internally synchronized (sharded mutexes of its own); epoch_mutex_
+  /// orders its Clear() against in-flight queries, not its field access.
   AnswerCache answer_cache_;
   struct {
     std::atomic<uint64_t> queries_processed{0};

@@ -136,7 +136,9 @@ int ReadVersion(std::istream& in, char kind) {
 
 }  // namespace
 
-bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out) {
+// Quiesced by contract (see state_io.h): guarded state is read lock-free.
+bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out)
+    ASUP_NO_THREAD_SAFETY_ANALYSIS {
   out.write(kSimpleMagicV2, 4);
   // Θ_R is stored as universe document ids (stable across restarts and
   // epochs); the engine's atomic bitmap is indexed by dense local id of
@@ -158,7 +160,9 @@ bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out) {
   return static_cast<bool>(out);
 }
 
-bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
+// Quiesced by contract (see state_io.h): guarded state is written lock-free.
+bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in)
+    ASUP_NO_THREAD_SAFETY_ANALYSIS {
   const int version = ReadVersion(in, 'S');
   if (version == 0) return false;
   const CorpusSnapshot& snapshot = *engine.snapshot_;
@@ -202,7 +206,9 @@ bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in) {
   return true;
 }
 
-bool SaveDefenseState(const AsArbiEngine& engine, std::ostream& out) {
+// Quiesced by contract (see state_io.h): guarded state is read lock-free.
+bool SaveDefenseState(const AsArbiEngine& engine, std::ostream& out)
+    ASUP_NO_THREAD_SAFETY_ANALYSIS {
   out.write(kArbiMagicV2, 4);
   if (!SaveDefenseState(engine.simple_, out)) return false;
   PutU64(engine.history_.NumQueries(), out);
@@ -222,7 +228,9 @@ bool SaveDefenseState(const AsArbiEngine& engine, std::ostream& out) {
   return static_cast<bool>(out);
 }
 
-bool LoadDefenseState(AsArbiEngine& engine, std::istream& in) {
+// Quiesced by contract (see state_io.h): guarded state is written lock-free.
+bool LoadDefenseState(AsArbiEngine& engine, std::istream& in)
+    ASUP_NO_THREAD_SAFETY_ANALYSIS {
   const int version = ReadVersion(in, 'A');
   if (version == 0) return false;
   // Stage the inner AS-SIMPLE section in a scratch engine: a snapshot whose

@@ -5,6 +5,7 @@
 
 #include "asup/suppress/as_arbi.h"
 #include "asup/suppress/as_simple.h"
+#include "asup/util/annotated_mutex.h"
 
 namespace asup {
 
@@ -30,21 +31,27 @@ namespace asup {
 /// (no content check beyond the corpus size). Save and Load must run
 /// quiesced, with the engine's state epoch equal to the corpus the bytes
 /// describe.
+///
+/// Because the quiesced contract replaces locking, these friends read the
+/// engines' guarded state without their mutexes and are opted out of the
+/// capability analysis (the attribute lives on the definitions in
+/// state_io.cc).
 
 /// Serializes the engine's Θ_R and answer cache. Returns false on I/O
-/// failure.
+/// failure. Caller must be quiesced.
 bool SaveDefenseState(const AsSimpleEngine& engine, std::ostream& out);
 
 /// Restores a snapshot written by SaveDefenseState. Returns false on
 /// corruption or configuration mismatch; the engine is unchanged on
-/// failure.
+/// failure. Caller must be quiesced.
 bool LoadDefenseState(AsSimpleEngine& engine, std::istream& in);
 
 /// Serializes the AS-ARBI state: the inner AS-SIMPLE state, the query
-/// history, and the answer cache.
+/// history, and the answer cache. Caller must be quiesced.
 bool SaveDefenseState(const AsArbiEngine& engine, std::ostream& out);
 
-/// Restores a snapshot written by the AS-ARBI SaveDefenseState.
+/// Restores a snapshot written by the AS-ARBI SaveDefenseState. Caller
+/// must be quiesced.
 bool LoadDefenseState(AsArbiEngine& engine, std::istream& in);
 
 }  // namespace asup

@@ -3,51 +3,72 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "asup/util/annotated_mutex.h"
 #include "asup/util/hash.h"
 
 namespace asup {
 
-/// A power-of-two array of mutexes addressed by key hash.
+/// A power-of-two array of annotated mutexes addressed by key hash.
 ///
-/// Spreads lock contention on hash-partitioned state (e.g. the concurrent
-/// answer cache) across independent shards: operations on keys in different
-/// shards never contend. The hash is re-mixed before masking so weak input
-/// hashes still spread evenly.
+/// Spreads lock contention on hash-partitioned state across independent
+/// shards: operations on keys in different shards never contend. The hash
+/// is re-mixed before masking so weak input hashes still spread evenly.
+///
+/// Capability caveat (DESIGN.md §14): the mutex protecting a given key is
+/// *dynamically selected*, so `ASUP_GUARDED_BY` cannot name it — Clang's
+/// analysis needs a capability it can resolve statically. A ShardedMutex
+/// therefore gives you annotated acquire/release discipline (no double
+/// acquires, RAII pairing) but NOT guarded-field checking. When the
+/// sharded data lives next to the lock — as in AnswerCache — prefer
+/// embedding one `Mutex` per shard struct instead, so the data can be
+/// `ASUP_GUARDED_BY(mutex)` of its sibling member and the analysis proves
+/// the full discipline. This class remains for lock tables guarding state
+/// that is *not* colocated with the lock (e.g. striping an external
+/// resource by key).
 class ShardedMutex {
  public:
   /// Creates at least `min_shards` mutexes (rounded up to a power of two).
   explicit ShardedMutex(size_t min_shards = 16) {
     size_t shards = 1;
     while (shards < min_shards) shards <<= 1;
-    mutexes_ = std::vector<std::mutex>(shards);
+    mutexes_ = std::make_unique<Mutex[]>(shards);
+    num_shards_ = shards;
     mask_ = shards - 1;
   }
 
-  size_t num_shards() const { return mutexes_.size(); }
+  size_t num_shards() const { return num_shards_; }
 
   /// Shard index for a key hash.
   size_t ShardOf(uint64_t hash) const {
     return static_cast<size_t>(Mix64(hash) & mask_);
   }
 
-  std::mutex& MutexAt(size_t shard) { return mutexes_[shard]; }
+  Mutex& MutexAt(size_t shard) { return mutexes_[shard]; }
 
-  std::mutex& MutexFor(uint64_t hash) { return mutexes_[ShardOf(hash)]; }
+  Mutex& MutexFor(uint64_t hash) { return mutexes_[ShardOf(hash)]; }
 
   /// Locks every shard (in index order, so concurrent LockAll calls cannot
   /// deadlock). Used for whole-structure operations such as snapshots.
-  std::vector<std::unique_lock<std::mutex>> LockAll() {
+  /// The analysis cannot track a dynamic number of capabilities, so the
+  /// acquisition is opted out of checking; the RAII return value still
+  /// guarantees release.
+  std::vector<std::unique_lock<std::mutex>> LockAll()
+      ASUP_NO_THREAD_SAFETY_ANALYSIS {
     std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(mutexes_.size());
-    for (std::mutex& mutex : mutexes_) locks.emplace_back(mutex);
+    locks.reserve(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      locks.emplace_back(mutexes_[s].native());
+    }
     return locks;
   }
 
  private:
-  std::vector<std::mutex> mutexes_;
+  std::unique_ptr<Mutex[]> mutexes_;
+  size_t num_shards_ = 0;
   uint64_t mask_ = 0;
 };
 

@@ -22,7 +22,10 @@ struct ForLoop {
   /// queued helper never gets a worker (e.g. every worker is itself blocked
   /// in an enclosing ParallelFor). This is what makes nesting deadlock-free.
   std::atomic<size_t> completed{0};
-  std::mutex mutex;
+  /// Guards no data — `completed` is atomic. The mutex exists only to order
+  /// the final notify after the caller's predicate check so the wakeup
+  /// cannot be lost.
+  Mutex mutex;
   std::condition_variable done;
 
   void RunChunks() {
@@ -36,7 +39,7 @@ struct ForLoop {
           n) {
         // Last chunk: wake the caller. Taking the mutex orders this notify
         // after the caller's predicate check, so the wakeup cannot be lost.
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         done.notify_all();
       }
     }
@@ -55,7 +58,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   ready_.notify_all();
@@ -64,7 +67,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   ready_.notify_one();
@@ -88,14 +91,17 @@ void ThreadPool::ParallelFor(
   // are busy with other (possibly enclosing) ParallelFor calls.
   loop->RunChunks();
 
-  std::unique_lock<std::mutex> lock(loop->mutex);
-  loop->done.wait(lock, [&] {
-    return loop->completed.load(std::memory_order_acquire) == loop->n;
-  });
+  // Explicit predicate loop rather than the wait(lock, pred) overload: the
+  // capability analysis cannot see into the predicate lambda (DESIGN.md
+  // §14), and `completed` is atomic so the loop shape costs nothing.
+  MutexLock lock(loop->mutex);
+  while (loop->completed.load(std::memory_order_acquire) != loop->n) {
+    lock.Wait(loop->done);
+  }
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -108,8 +114,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) lock.Wait(ready_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

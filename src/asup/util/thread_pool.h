@@ -7,9 +7,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "asup/util/annotated_mutex.h"
 
 namespace asup {
 
@@ -38,21 +39,21 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task for an arbitrary worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ASUP_EXCLUDES(mutex_);
 
   /// Runs `body(begin, end)` over disjoint chunks covering [0, n), using
   /// the workers *and* the calling thread, and blocks until every index has
   /// been processed. Chunks are claimed dynamically, so uneven per-index
   /// cost balances itself.
-  void ParallelFor(size_t n,
-                   const std::function<void(size_t, size_t)>& body);
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body)
+      ASUP_EXCLUDES(mutex_);
 
   /// Hardware concurrency, at least 1.
   static size_t DefaultThreadCount();
 
   /// Tasks currently queued (not yet picked up by a worker). A point-in-time
   /// reading for monitoring gauges; stale by the time the caller sees it.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const ASUP_EXCLUDES(mutex_);
 
   /// Tasks a worker has finished executing since construction.
   uint64_t TasksExecuted() const {
@@ -60,14 +61,14 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ASUP_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
+  std::deque<std::function<void()>> queue_ ASUP_GUARDED_BY(mutex_);
   std::condition_variable ready_;
   std::atomic<uint64_t> tasks_executed_{0};
-  bool stopping_ = false;
+  bool stopping_ ASUP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace asup

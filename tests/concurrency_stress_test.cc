@@ -14,9 +14,13 @@
 #include <gtest/gtest.h>
 
 #include "asup/engine/parallel_service.h"
+#include "asup/engine/search_engine.h"
 #include "asup/engine/synchronized_service.h"
+#include "asup/index/corpus_manager.h"
 #include "asup/suppress/as_arbi.h"
 #include "asup/suppress/as_simple.h"
+#include "asup/text/corpus_delta.h"
+#include "asup/text/synthetic_corpus.h"
 #include "asup/workload/aol_like.h"
 #include "test_util.h"
 
@@ -201,6 +205,80 @@ TEST(ConcurrencyStressTest, ConcurrentBatchesThroughParallelService) {
     const auto a = defended.Search(query).DocIds();
     const auto b = defended.Search(query).DocIds();
     EXPECT_EQ(a, b);
+  }
+}
+
+TEST(ConcurrencyStressTest, AnswerCacheSurvivesEpochMigrationStorm) {
+  // The lock-order edge the static analysis pins down with
+  // ASUP_ACQUIRED_BEFORE (epoch before history, DESIGN.md §13), provoked
+  // dynamically: searcher threads hold the epoch lock shared and dip into
+  // the history lock for cover checks and recording, while a mutator
+  // thread publishes new corpus epochs. Each publish makes the next
+  // Search() migrate lazily — taking the epoch lock exclusive and then the
+  // history lock for compaction — mid-storm. Duplicate queries keep the
+  // AnswerCache claim/publish protocol hot across the epoch flips. Under
+  // ThreadSanitizer (-DASUP_SANITIZE=thread) any ordering or publication
+  // bug the annotations claim to rule out becomes a reported race or
+  // deadlock here.
+  SyntheticCorpusConfig gen_config;
+  gen_config.vocabulary_size = 2000;
+  gen_config.num_topics = 12;
+  gen_config.words_per_topic = 150;
+  gen_config.seed = 23;
+  SyntheticCorpusGenerator generator(gen_config);
+  CorpusManager manager(generator.Generate(400));
+  constexpr size_t kTopK = 5;
+  PlainSearchEngine base(manager, kTopK);
+  AsArbiEngine defended(base, AsArbiConfig{});
+
+  AolLikeConfig log_config;
+  log_config.log_size = 90;
+  log_config.unique_queries = 30;  // duplicates exercise the cache
+  const auto log = [&] {
+    const auto snapshot = manager.Current();
+    return AolLikeWorkload(snapshot->corpus(), log_config).log();
+  }();
+
+  constexpr int kSearchers = 6;
+  constexpr int kRounds = 60;
+  constexpr int kEpochs = 4;
+  std::atomic<int> violations{0};
+  std::atomic<bool> mutating{true};
+
+  std::vector<std::thread> searchers;
+  for (int t = 0; t < kSearchers; ++t) {
+    searchers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const auto& query = log[(round * (t + 5) + t) % log.size()];
+        const SearchResult result = defended.Search(query);
+        if (result.docs.size() > kTopK) violations.fetch_add(1);
+      }
+    });
+  }
+  std::thread mutator([&] {
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      CorpusDelta delta;
+      const Corpus fresh = generator.Generate(60);
+      delta.add.assign(fresh.documents().begin(), fresh.documents().end());
+      manager.Apply(delta);
+      std::this_thread::yield();
+    }
+    mutating.store(false);
+  });
+  for (auto& searcher : searchers) searcher.join();
+  mutator.join();
+
+  EXPECT_EQ(violations.load(), 0);
+
+  // Quiesced: converge on the final epoch, then every re-issue must be a
+  // deterministic (cached) answer at that epoch.
+  defended.MigrateToCurrentEpoch();
+  EXPECT_EQ(defended.StateEpoch(), manager.CurrentEpoch());
+  EXPECT_GE(defended.stats().epoch_migrations, 1u);
+  for (const auto& query : log) {
+    const auto first = defended.Search(query).DocIds();
+    EXPECT_EQ(defended.Search(query).DocIds(), first)
+        << "query '" << query.canonical() << "'";
   }
 }
 

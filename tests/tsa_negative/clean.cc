@@ -1,0 +1,70 @@
+// Positive control: exercises every annotation the violation cases abuse,
+// correctly. Must compile clean under -Wthread-safety -Wthread-safety-beta
+// -Werror; if this case fails, the macro layer or the wrapper types broke
+// and the other cases' failures mean nothing.
+
+#include <condition_variable>
+
+#include "asup/util/annotated_mutex.h"
+
+namespace {
+
+class Annotated {
+ public:
+  int Get() const ASUP_EXCLUDES(mutex_) {
+    asup::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  void Set(int v) ASUP_EXCLUDES(mutex_) {
+    {
+      asup::MutexLock lock(mutex_);
+      SetLocked(v);
+    }
+    changed_.notify_all();
+  }
+
+  void WaitFor(int v) ASUP_EXCLUDES(mutex_) {
+    asup::MutexLock lock(mutex_);
+    while (value_ != v) lock.Wait(changed_);
+  }
+
+  int ReadShared() const ASUP_EXCLUDES(shared_mutex_) {
+    asup::ReaderLock lock(shared_mutex_);
+    return shared_value_;
+  }
+
+  void WriteExclusive(int v) ASUP_EXCLUDES(shared_mutex_) {
+    asup::WriterLock lock(shared_mutex_);
+    shared_value_ = v;
+  }
+
+  void InDeclaredOrder() ASUP_EXCLUDES(first_, second_) {
+    asup::MutexLock a(first_);
+    asup::MutexLock b(second_);
+  }
+
+ private:
+  void SetLocked(int v) ASUP_REQUIRES(mutex_) { value_ = v; }
+
+  mutable asup::Mutex mutex_;
+  int value_ ASUP_GUARDED_BY(mutex_) = 0;
+  std::condition_variable changed_;
+
+  mutable asup::SharedMutex shared_mutex_;
+  int shared_value_ ASUP_GUARDED_BY(shared_mutex_) = 0;
+
+  asup::Mutex first_ ASUP_ACQUIRED_BEFORE(second_);
+  asup::Mutex second_;
+};
+
+}  // namespace
+
+int main() {
+  Annotated a;
+  a.Set(1);
+  a.WaitFor(1);
+  a.WriteExclusive(2);
+  a.InDeclaredOrder();
+  return a.Get() + a.ReadShared();
+}

@@ -1,0 +1,29 @@
+// Violation: acquiring a non-recursive mutex the thread already holds —
+// self-deadlock at runtime, compile error under the analysis.
+
+#include "asup/util/annotated_mutex.h"
+
+namespace {
+
+class Store {
+ public:
+  void Touch() ASUP_EXCLUDES(mutex_) {
+    mutex_.Lock();
+    mutex_.Lock();  // BAD: already held; std::mutex self-deadlocks here
+    ++value_;
+    mutex_.Unlock();
+    mutex_.Unlock();
+  }
+
+ private:
+  asup::Mutex mutex_;
+  int value_ ASUP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store s;
+  s.Touch();
+  return 0;
+}

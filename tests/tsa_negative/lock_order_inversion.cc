@@ -1,0 +1,35 @@
+// Violation: acquiring two mutexes against their declared
+// ASUP_ACQUIRED_BEFORE order — the deadlock class DESIGN.md §13's
+// epoch-before-history DAG exists to prevent. Caught only under
+// -Wthread-safety-beta (ordering checks are beta), which is why the CI job
+// and this harness enable it.
+
+#include "asup/util/annotated_mutex.h"
+
+namespace {
+
+class Pipeline {
+ public:
+  void Forward() ASUP_EXCLUDES(epoch_, history_) {
+    asup::MutexLock a(epoch_);
+    asup::MutexLock b(history_);
+  }
+
+  void Inverted() ASUP_EXCLUDES(epoch_, history_) {
+    asup::MutexLock b(history_);
+    asup::MutexLock a(epoch_);  // BAD: epoch_ is declared acquired first
+  }
+
+ private:
+  asup::Mutex epoch_ ASUP_ACQUIRED_BEFORE(history_);
+  asup::Mutex history_;
+};
+
+}  // namespace
+
+int main() {
+  Pipeline p;
+  p.Forward();
+  p.Inverted();
+  return 0;
+}

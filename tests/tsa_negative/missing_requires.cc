@@ -1,0 +1,32 @@
+// Violation: a *Locked helper that touches guarded state but does not
+// declare its precondition with ASUP_REQUIRES. The analysis flags the
+// guarded access inside the helper — exactly the hole the old regex lint
+// (which only checked the *name*) could not see into.
+
+#include "asup/util/annotated_mutex.h"
+
+namespace {
+
+class Table {
+ public:
+  void Insert(int v) ASUP_EXCLUDES(mutex_) {
+    asup::MutexLock lock(mutex_);
+    InsertLocked(v);
+  }
+
+ private:
+  // BAD: missing ASUP_REQUIRES(mutex_); the size_ access below is
+  // unprotected as far as the analysis can prove.
+  void InsertLocked(int v) { size_ += v; }
+
+  asup::Mutex mutex_;
+  int size_ ASUP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.Insert(1);
+  return 0;
+}

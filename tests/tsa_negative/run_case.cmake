@@ -1,0 +1,61 @@
+# Negative-compilation driver for the thread-safety analysis (DESIGN.md §14).
+#
+# Each case is compiled twice with the configured compiler:
+#   1. control: -fsyntax-only without the analysis flags — must ALWAYS
+#      succeed, proving the case is valid C++ and a later failure is the
+#      analysis speaking, not a syntax error.
+#   2. analysis: -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror —
+#      must fail for EXPECT=fail cases with a thread-safety diagnostic, and
+#      must stay clean for the EXPECT=pass control case (guards the macro
+#      layer itself against bitrot that would make *everything* "fail").
+#
+# Usage (wired up by tests/CMakeLists.txt, Clang toolchains only):
+#   cmake -DCXX=<clang++> -DSRC=<case.cc> -DINC=<repo>/src
+#         -DEXPECT=fail|pass -P run_case.cmake
+
+foreach(var CXX SRC INC EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(BASE_ARGS -std=c++20 -fsyntax-only "-I${INC}" "${SRC}")
+
+execute_process(
+  COMMAND "${CXX}" ${BASE_ARGS}
+  RESULT_VARIABLE control_result
+  OUTPUT_VARIABLE control_out
+  ERROR_VARIABLE control_err)
+if(NOT control_result EQUAL 0)
+  message(FATAL_ERROR
+      "control compile of ${SRC} failed — the case is broken C++, not a "
+      "thread-safety finding:\n${control_err}")
+endif()
+
+execute_process(
+  COMMAND "${CXX}" -Wthread-safety -Wthread-safety-beta -Werror ${BASE_ARGS}
+  RESULT_VARIABLE tsa_result
+  OUTPUT_VARIABLE tsa_out
+  ERROR_VARIABLE tsa_err)
+
+if(EXPECT STREQUAL "pass")
+  if(NOT tsa_result EQUAL 0)
+    message(FATAL_ERROR
+        "clean case ${SRC} was rejected by the analysis — the annotation "
+        "macros or wrappers are broken:\n${tsa_err}")
+  endif()
+elseif(EXPECT STREQUAL "fail")
+  if(tsa_result EQUAL 0)
+    message(FATAL_ERROR
+        "violation case ${SRC} compiled clean under -Wthread-safety — the "
+        "analysis no longer catches this class of bug")
+  endif()
+  if(NOT tsa_err MATCHES "thread-safety")
+    message(FATAL_ERROR
+        "violation case ${SRC} failed, but not with a thread-safety "
+        "diagnostic:\n${tsa_err}")
+  endif()
+else()
+  message(FATAL_ERROR "run_case.cmake: EXPECT must be 'fail' or 'pass', "
+                      "got '${EXPECT}'")
+endif()

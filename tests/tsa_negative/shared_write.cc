@@ -1,0 +1,33 @@
+// Violation: writing a guarded field while holding only the shared
+// (reader) side of its SharedMutex. Reads under ReaderLock are legal;
+// writes need the exclusive side — the discipline the suppression engines'
+// epoch locks depend on (queries shared, migration exclusive).
+
+#include "asup/util/annotated_mutex.h"
+
+namespace {
+
+class EpochState {
+ public:
+  int Read() const ASUP_EXCLUDES(mutex_) {
+    asup::ReaderLock lock(mutex_);
+    return epoch_;  // OK: shared side suffices for reads
+  }
+
+  void Bump() ASUP_EXCLUDES(mutex_) {
+    asup::ReaderLock lock(mutex_);
+    ++epoch_;  // BAD: writing under the shared side
+  }
+
+ private:
+  mutable asup::SharedMutex mutex_;
+  int epoch_ ASUP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  EpochState s;
+  s.Bump();
+  return s.Read();
+}

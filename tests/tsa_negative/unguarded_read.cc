@@ -1,0 +1,31 @@
+// Violation: reading an ASUP_GUARDED_BY field without holding its mutex.
+// The analysis must reject Get() — this is the core guarantee every
+// annotated field in the codebase relies on.
+
+#include "asup/util/annotated_mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Get() const {
+    return value_;  // BAD: mutex_ not held
+  }
+
+  void Increment() ASUP_EXCLUDES(mutex_) {
+    asup::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  mutable asup::Mutex mutex_;
+  int value_ ASUP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get();
+}

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "asup/util/annotated_mutex.h"
 #include "asup/util/atomic_bitmap.h"
 #include "asup/util/sharded_mutex.h"
 
@@ -25,18 +25,18 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   ThreadPool pool(4);
   constexpr int kTasks = 200;
   std::atomic<int> done{0};
-  std::mutex mutex;
+  Mutex mutex;
   std::condition_variable all_done;
   for (int i = 0; i < kTasks; ++i) {
     pool.Submit([&] {
       if (done.fetch_add(1) + 1 == kTasks) {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         all_done.notify_all();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  all_done.wait(lock, [&] { return done.load() == kTasks; });
+  MutexLock lock(mutex);
+  while (done.load() != kTasks) lock.Wait(all_done);
   EXPECT_EQ(done.load(), kTasks);
 }
 
@@ -127,7 +127,7 @@ TEST(ShardedMutexTest, ShardsArePowerOfTwoAndStable) {
   const size_t shard = mutexes.ShardOf(12345);
   EXPECT_EQ(mutexes.ShardOf(12345), shard);
   EXPECT_LT(shard, mutexes.num_shards());
-  std::lock_guard<std::mutex> lock(mutexes.MutexFor(12345));
+  MutexLock lock(mutexes.MutexFor(12345));
 }
 
 TEST(ShardedMutexTest, LockAllAcquiresEveryShard) {

@@ -24,11 +24,24 @@ Rules (all scoped to src/ unless noted):
                            which varies across platforms/libstdc++ versions.
                            Canonicalize (sort) or use an ordered container.
   asup-manual-lock         .lock()/.unlock() calls: RAII guards only
-                           (lock_guard/unique_lock/shared_lock/scoped_lock).
-  asup-locked-suffix       a function named *Locked asserts "caller holds
-                           the mutex" — it must not construct a lock guard
-                           itself (deadlock with a non-recursive mutex, or
-                           double-think about which lock protects what).
+                           (MutexLock/ReaderLock/WriterLock).
+  asup-raw-mutex           std::mutex / std::shared_mutex / std::lock_guard
+                           / std::unique_lock / std::shared_lock (and their
+                           recursive/timed/scoped cousins) outside
+                           src/asup/util/: all locking goes through the
+                           capability-annotated wrappers in
+                           util/annotated_mutex.h so Clang's
+                           -Wthread-safety analysis sees every acquire and
+                           every guarded access (DESIGN.md §14). The
+                           wrappers themselves (src/asup/util/) are the one
+                           place raw primitives may appear.
+  asup-locked-requires     a method named *Locked asserts "caller holds the
+                           mutex"; its declaration must say which one with
+                           ASUP_REQUIRES / ASUP_REQUIRES_SHARED so the
+                           analysis can enforce the precondition at every
+                           call site. (Out-of-line Class::FooLocked
+                           definitions are exempt — the attribute lives on
+                           the in-class declaration.)
   asup-raw-assert          validation-critical paths (src/asup/index/,
                            src/asup/suppress/, src/asup/text/,
                            src/asup/engine/, src/asup/eval/): a raw
@@ -73,11 +86,18 @@ UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)\s*[;={(]"
 )
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*([^)]*)\)")
-LOCK_GUARD_RE = re.compile(
-    r"\bstd::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+    r"shared_lock|scoped_lock)\b"
 )
-LOCKED_DEF_RE = re.compile(
-    r"^\s*(?:[\w:<>,*&~\[\]]+\s+)+(?:\w+::)?(\w*Locked)\s*\(")
+# A *Locked declaration/definition line: return-type tokens, then an
+# optionally-qualified name ending in "Locked", then '('. The keyword
+# lookahead rejects `return FooLocked(...)` call statements; member calls
+# (`obj.FooLocked(`) never match because '.' is not a type-token character.
+LOCKED_DECL_RE = re.compile(
+    r"^\s*(?!return\b|throw\b|co_return\b)"
+    r"(?:[\w:<>,*&~\[\]]+\s+)+((?:\w+::)*\w*Locked)\s*\(")
 NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE)?\(([^)]*)\)(:?)\s*(.*)")
 
 BANNED_PATTERNS = (
@@ -156,40 +176,48 @@ def paired_header_text(path):
     return ""
 
 
-def check_locked_suffix(clean_lines, suppressed, path, findings):
-    """*Locked functions must not construct lock guards in their own body."""
+def check_locked_requires(clean_lines, is_suppressed, path, findings):
+    """*Locked declarations must state their precondition via ASUP_REQUIRES.
+
+    The old lint guessed at lock discipline from the function *body* (no
+    guard construction inside *Locked). With the capability annotations of
+    util/annotated_mutex.h the precondition is machine-checked by Clang, so
+    the lint's job shrinks to making sure the annotation is actually there:
+    a *Locked method whose declaration lacks ASUP_REQUIRES[_SHARED] silently
+    opts out of the analysis. Out-of-line `Class::FooLocked` definitions are
+    skipped — attributes belong on the in-class declaration.
+    """
     for idx, line in enumerate(clean_lines):
-        match = LOCKED_DEF_RE.search(line.rstrip())
+        match = LOCKED_DECL_RE.search(line.rstrip())
         if not match:
             continue
-        # A definition reaches '{' before ';'; declarations and call
-        # statements hit ';' first and are skipped.
-        is_definition = False
-        for j in range(idx, min(idx + 20, len(clean_lines))):
-            brace = clean_lines[j].find("{")
-            semi = clean_lines[j].find(";")
-            if brace != -1 and (semi == -1 or brace < semi):
-                is_definition = True
-            if brace != -1 or semi != -1:
+        name = match.group(1)
+        if "::" in name:
+            continue  # out-of-line definition; declaration carries the
+            # attribute
+        # Gather the declaration up to its terminator: ';' for a pure
+        # declaration, '{' for an inline definition (attributes precede
+        # either). 12 lines is generous for one signature.
+        span = []
+        for j in range(idx, min(idx + 12, len(clean_lines))):
+            decl_line = clean_lines[j]
+            cut = len(decl_line)
+            for terminator in ("{", ";"):
+                pos = decl_line.find(terminator)
+                if pos != -1:
+                    cut = min(cut, pos)
+            span.append(decl_line[:cut])
+            if cut != len(decl_line):
                 break
-        if not is_definition:
+        declaration = " ".join(span)
+        if "ASUP_REQUIRES" in declaration:  # matches _SHARED too
             continue
-        # Walk to the opening brace, then scan the brace-balanced body.
-        depth = 0
-        opened = False
-        for j in range(idx, min(idx + 400, len(clean_lines))):
-            body_line = clean_lines[j]
-            if opened and LOCK_GUARD_RE.search(body_line) and \
-                    "asup-locked-suffix" not in suppressed.get(j + 1, ()):
-                findings.add(
-                    path, j + 1, "asup-locked-suffix",
-                    f"{match.group(1)}() claims the caller holds the lock "
-                    "but constructs a lock guard itself")
-            depth += body_line.count("{") - body_line.count("}")
-            if "{" in body_line:
-                opened = True
-            if opened and depth <= 0:
-                break
+        if is_suppressed(idx + 1, "asup-locked-requires"):
+            continue
+        findings.add(
+            path, idx + 1, "asup-locked-requires",
+            f"{name}() asserts the caller holds a lock; declare which one "
+            "with ASUP_REQUIRES(...) / ASUP_REQUIRES_SHARED(...)")
 
 
 def lint_file(path, rel, findings):
@@ -213,6 +241,20 @@ def lint_file(path, rel, findings):
         for rule, pattern, message in BANNED_PATTERNS:
             if pattern.search(line) and not is_suppressed(lineno, rule):
                 findings.add(rel, lineno, rule, message)
+
+    posix_rel = rel.replace("\\", "/")
+    if "asup/util/" not in posix_rel:
+        for lineno, line in enumerate(clean_lines, 1):
+            if RAW_MUTEX_RE.search(line) and \
+                    not is_suppressed(lineno, "asup-raw-mutex"):
+                findings.add(
+                    rel, lineno, "asup-raw-mutex",
+                    "raw std:: locking primitive; use the annotated "
+                    "wrappers in util/annotated_mutex.h (Mutex, "
+                    "SharedMutex, MutexLock, ReaderLock, WriterLock) so "
+                    "the thread-safety analysis sees the acquire")
+
+    check_locked_requires(clean_lines, is_suppressed, rel, findings)
 
     if any(d in rel.replace("\\", "/") for d in RAW_ASSERT_SUBDIRS):
         for lineno, line in enumerate(clean_lines, 1):
@@ -240,7 +282,6 @@ def lint_file(path, rel, findings):
                         rel, lineno, "asup-unordered-iteration",
                         "iteration over an unordered container in a "
                         "deterministic path; canonicalize the order")
-        check_locked_suffix(clean_lines, suppressed, rel, findings)
 
 
 def main(argv):
