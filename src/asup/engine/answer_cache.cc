@@ -33,11 +33,13 @@ AnswerCache::Claim AnswerCache::LookupOrClaim(const std::string& key,
   for (;;) {
     auto [it, inserted] = shard.map.try_emplace(key);
     if (inserted) {
-      ASUP_METRIC_COUNT("asup_engine_cache_claims_total", 1);
+      ASUP_METRIC_COUNT("asup_engine_cache_claims_total", 1,
+                        "Answer-cache slots claimed for computation");
       return Claim::kOwned;
     }
     if (it->second.ready) {
-      ASUP_METRIC_COUNT("asup_engine_cache_hits_total", 1);
+      ASUP_METRIC_COUNT("asup_engine_cache_hits_total", 1,
+                        "Queries answered from the answer cache");
       ASUP_METRICS_ONLY(if (span) { ASUP_TRACE_NOTE("cache_hit", 1); })
       *out = it->second.result;
       return Claim::kHit;
@@ -63,7 +65,8 @@ void AnswerCache::Publish(const std::string& key, const SearchResult& result) {
     entry.result = result;
     entry.ready = true;
   }
-  ASUP_METRIC_COUNT("asup_engine_cache_publishes_total", 1);
+  ASUP_METRIC_COUNT("asup_engine_cache_publishes_total", 1,
+                    "Computed answers published to the cache");
   shard.ready_cv.notify_all();
 }
 
@@ -77,7 +80,8 @@ void AnswerCache::Abandon(const std::string& key) {
     ASUP_CHECK(it == shard.map.end() || !it->second.ready);
     if (it != shard.map.end() && !it->second.ready) shard.map.erase(it);
   }
-  ASUP_METRIC_COUNT("asup_engine_cache_abandons_total", 1);
+  ASUP_METRIC_COUNT("asup_engine_cache_abandons_total", 1,
+                    "Claimed cache slots abandoned after a failure");
   shard.ready_cv.notify_all();
 }
 

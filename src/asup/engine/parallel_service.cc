@@ -54,12 +54,16 @@ std::vector<SearchResult> BatchExecutor::ExecuteDeterministic(
     });
   }
   ASUP_METRIC_GAUGE_SET("asup_engine_batch_unique_queries",
-                        unique_queries.size());
+                        unique_queries.size(),
+                        "Distinct queries in the last deterministic batch");
   ASUP_METRIC_GAUGE_SET("asup_engine_batch_prefetch_hits",
-                        prefetch_hits.load(std::memory_order_relaxed));
-  ASUP_METRIC_GAUGE_SET("asup_engine_pool_queue_depth", pool_->QueueDepth());
+                        prefetch_hits.load(std::memory_order_relaxed),
+                        "Batch queries skipped via the answer cache");
+  ASUP_METRIC_GAUGE_SET("asup_engine_pool_queue_depth", pool_->QueueDepth(),
+                        "Thread-pool tasks awaiting execution");
   ASUP_METRIC_GAUGE_SET("asup_engine_pool_tasks_executed",
-                        pool_->TasksExecuted());
+                        pool_->TasksExecuted(),
+                        "Thread-pool tasks executed since startup");
 
   // Phase 2 (serial, in input order): run the stateful suppression phase.
   // State evolves exactly as in a serial loop, so answers are bitwise

@@ -51,6 +51,15 @@ class KeywordQuery {
   /// Hash of the canonical form.
   uint64_t hash() const { return hash_; }
 
+  /// Transport-layer tag identifying the issuing client (0 = untagged).
+  /// Deliberately *not* part of the query's identity — hash, canonical
+  /// form and equality ignore it, so answer caches and history signatures
+  /// stay shared across clients — but it rides along into the engines,
+  /// where the defense-observability events attribute per-client behavior
+  /// (obs/client_window.h). `ClientTaggingService` stamps it.
+  uint64_t client_id() const { return client_id_; }
+  void set_client_id(uint64_t id) { client_id_ = id; }
+
   friend bool operator==(const KeywordQuery& a, const KeywordQuery& b) {
     return a.canonical_ == b.canonical_;
   }
@@ -59,6 +68,7 @@ class KeywordQuery {
   std::vector<TermId> terms_;
   std::string canonical_;
   uint64_t hash_ = 0;
+  uint64_t client_id_ = 0;
   bool has_unknown_word_ = false;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "asup/obs/event_log.h"
+
 namespace asup {
 
 std::vector<DocId> SearchResult::DocIds() const {
@@ -14,6 +16,17 @@ std::vector<DocId> SearchResult::DocIds() const {
 bool SearchResult::Returned(DocId doc) const {
   return std::any_of(docs.begin(), docs.end(),
                      [doc](const ScoredDoc& s) { return s.doc == doc; });
+}
+
+SearchResult ClientTaggingService::Search(const KeywordQuery& query) {
+  KeywordQuery tagged = query;
+  tagged.set_client_id(client_id_);
+  ASUP_EVENT_QUERY_ISSUED(client_id_, tagged.hash(), tagged.terms());
+  SearchResult result = base_->Search(tagged);
+  ASUP_EVENT_EMIT(kAnswerServed, client_id_, tagged.hash(),
+                  result.docs.size(),
+                  result.status == QueryStatus::kOverflow ? 1 : 0);
+  return result;
 }
 
 }  // namespace asup

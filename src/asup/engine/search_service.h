@@ -102,6 +102,31 @@ class QueryCountingService : public SearchService {
   std::atomic<uint64_t> queries_issued_{0};
 };
 
+/// Decorator that stamps a fixed client id onto every query it forwards
+/// and emits the defense-observability events framing the query: a
+/// kQueryIssued (+ per-term kQueryTerm) before the base engine runs and a
+/// kAnswerServed after it returns. The inner engines (AS-SIMPLE/AS-ARBI,
+/// caches) see the tagged query and attribute their own events to the
+/// same client, so one decorator per client is the entire per-client
+/// observability plumbing — the shape the multi-tenant front-end will
+/// reuse (ROADMAP item 1). Stateless apart from the id; thread-safe iff
+/// the wrapped service is.
+class ClientTaggingService : public SearchService {
+ public:
+  ClientTaggingService(SearchService& base, uint64_t client_id)
+      : base_(&base), client_id_(client_id) {}
+
+  SearchResult Search(const KeywordQuery& query) override;
+
+  size_t k() const override { return base_->k(); }
+
+  uint64_t client_id() const { return client_id_; }
+
+ private:
+  SearchService* base_;
+  uint64_t client_id_;
+};
+
 /// Decorator that accumulates wall-clock time spent answering queries
 /// (Figure 15 reports defended/undefended response-time ratios).
 ///

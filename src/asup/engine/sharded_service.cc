@@ -30,7 +30,8 @@ ShardedSearchService::ShardedSearchService(
 
 void ShardedSearchService::ForEachShard(
     size_t shards, const std::function<void(size_t)>& body) const {
-  ASUP_METRIC_COUNT("asup_shard_fanout_total", shards);
+  ASUP_METRIC_COUNT("asup_shard_fanout_total", shards,
+                    "Per-shard match tasks fanned out");
   if (pool_ == nullptr || shards == 1) {
     for (size_t s = 0; s < shards; ++s) body(s);
     return;

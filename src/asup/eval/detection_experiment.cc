@@ -1,0 +1,309 @@
+#include "asup/eval/detection_experiment.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "asup/attack/aggregate.h"
+#include "asup/attack/dynamic_est.h"
+#include "asup/attack/query_pool.h"
+#include "asup/attack/stratified_est.h"
+#include "asup/attack/unbiased_est.h"
+#include "asup/engine/search_engine.h"
+#include "asup/engine/search_service.h"
+#include "asup/index/corpus_manager.h"
+#include "asup/obs/metrics.h"
+#include "asup/suppress/as_arbi.h"
+#include "asup/suppress/as_simple.h"
+#include "asup/util/check.h"
+
+#if ASUP_METRICS_ENABLED
+#include "asup/obs/event_log.h"
+#include "asup/obs/suspicion.h"
+#endif
+
+namespace asup {
+
+const char* AttackerKindName(AttackerKind kind) {
+  switch (kind) {
+    case AttackerKind::kNone:
+      return "none";
+    case AttackerKind::kUnbiased:
+      return "unbiased";
+    case AttackerKind::kStratified:
+      return "stratified";
+    case AttackerKind::kDynamic:
+      return "dynamic";
+  }
+  return "?";
+}
+
+#if ASUP_METRICS_ENABLED
+
+namespace {
+
+/// Uninstalls the event sinks on scope exit so a run never leaks its log /
+/// watchtower into the process-global slots past their lifetimes.
+struct ScopedEventSinks {
+  ScopedEventSinks(obs::EventLog* log, obs::Watchtower* watchtower) {
+    obs::InstallEventLog(log);
+    obs::InstallWatchtower(watchtower);
+  }
+  ~ScopedEventSinks() {
+    obs::InstallWatchtower(nullptr);
+    obs::InstallEventLog(nullptr);
+  }
+};
+
+DetectionClientRow RowFromVerdict(const obs::Watchtower::Verdict& verdict,
+                                  bool is_attacker) {
+  DetectionClientRow row;
+  row.client = verdict.client;
+  row.is_attacker = is_attacker;
+  row.flagged = verdict.flagged;
+  row.score = verdict.score;
+  row.smoothed_score = verdict.smoothed_score;
+  const obs::ClientFeatures& f = verdict.features;
+  row.window_queries = f.window_queries;
+  row.lifetime_queries = f.lifetime_queries;
+  row.query_share = f.query_share;
+  row.repeat_query_fraction = f.repeat_query_fraction;
+  row.repeat_term_fraction = f.repeat_term_fraction;
+  row.distinct_term_growth = f.distinct_term_growth;
+  row.hidden_rate = f.hidden_rate;
+  row.segment_crossing_rate = f.segment_crossing_rate;
+  row.saturation_rate = f.saturation_rate;
+  row.cache_hit_rate = f.cache_hit_rate;
+  return row;
+}
+
+}  // namespace
+
+DetectionReport RunDetectionExperiment(const DetectionConfig& config,
+                                       DefenseKind defense,
+                                       AttackerKind attacker) {
+  ASUP_CHECK(config.initial_corpus_size > 0);
+  DetectionReport report;
+  report.enabled = true;
+  report.defense = defense;
+  report.attacker = attacker;
+
+  SyntheticCorpusConfig generator_config = config.corpus_config;
+  generator_config.seed = config.seed;
+  SyntheticCorpusGenerator generator(generator_config);
+
+  // Universe store for the attacker's fetcher, as in the dynamic-attack
+  // rig: every id ever disclosed must stay resolvable across deletions.
+  std::map<DocId, Document> universe;
+  const auto absorb = [&universe](const std::vector<Document>& docs) {
+    for (const Document& doc : docs) universe.emplace(doc.id(), doc);
+  };
+
+  Corpus initial = generator.Generate(config.initial_corpus_size);
+  absorb(initial.documents());
+  const Corpus held_out = generator.Generate(config.held_out_size);
+
+  // Benign population is built against the initial corpus (bona fide
+  // users query the site they see), the attacker's pool against the
+  // external sample — the same split the attack experiments use.
+  const BenignMix mix(initial, config.benign);
+
+  QueryPool::Options pool_options;
+  pool_options.max_df_fraction = config.pool_max_df_fraction;
+  const QueryPool pool(held_out, pool_options);
+
+  CorpusManager manager(std::move(initial));
+  PlainSearchEngine engine(manager, config.k);
+
+  std::unique_ptr<AsSimpleEngine> simple;
+  std::unique_ptr<AsArbiEngine> arbi;
+  SearchService* attacked = &engine;
+  if (defense == DefenseKind::kSimple) {
+    AsSimpleConfig simple_config;
+    simple_config.gamma = config.gamma;
+    simple = std::make_unique<AsSimpleEngine>(engine, simple_config);
+    attacked = simple.get();
+  } else if (defense == DefenseKind::kArbi) {
+    AsArbiConfig arbi_config;
+    arbi_config.simple.gamma = config.gamma;
+    arbi = std::make_unique<AsArbiEngine>(engine, arbi_config);
+    attacked = arbi.get();
+  }
+
+  // The watchtower under test, fed synchronously by every query below.
+  obs::EventLog event_log(config.event_log_capacity);
+  obs::WatchtowerConfig watch_config;
+  watch_config.window.window = config.watch_window;
+  watch_config.ewma_alpha = config.ewma_alpha;
+  watch_config.flag_threshold = config.flag_threshold;
+  watch_config.min_queries = config.min_queries;
+  obs::Watchtower watchtower(watch_config);
+  ScopedEventSinks sinks(&event_log, &watchtower);
+
+  // One tagging decorator per client — the entire per-client plumbing.
+  std::vector<std::unique_ptr<ClientTaggingService>> benign_services;
+  for (size_t c = 0; c < mix.num_clients(); ++c) {
+    benign_services.push_back(std::make_unique<ClientTaggingService>(
+        *attacked, static_cast<uint64_t>(c) + 1));
+  }
+  ClientTaggingService attacker_service(*attacked, kDetectionAttackerClient);
+
+  const AggregateQuery aggregate = AggregateQuery::Count();
+  const DocFetcher fetcher = [&universe](DocId id) -> const Document& {
+    const auto it = universe.find(id);
+    ASUP_CHECK(it != universe.end());
+    return it->second;
+  };
+
+  std::unique_ptr<UnbiasedEstimator> unbiased;
+  std::unique_ptr<StratifiedEstimator> stratified;
+  std::unique_ptr<DynamicEstimator> dynamic;
+  if (attacker == AttackerKind::kUnbiased) {
+    unbiased = std::make_unique<UnbiasedEstimator>(pool, aggregate, fetcher);
+  } else if (attacker == AttackerKind::kStratified) {
+    stratified =
+        std::make_unique<StratifiedEstimator>(pool, aggregate, fetcher);
+  } else if (attacker == AttackerKind::kDynamic) {
+    dynamic = std::make_unique<DynamicEstimator>(pool, aggregate, fetcher,
+                                                 DynamicEstimatorOptions());
+  }
+
+  EpochStream stream(generator, config.stream);
+
+  const auto run_epoch_traffic = [&]() {
+    const uint64_t epoch = manager.Current()->epoch();
+    // Benign clients interleave round-robin, approximating the concurrent
+    // mix a real front-end sees (a serial per-client replay would make
+    // every client look like the sole user of its own window span). The
+    // attacker then runs as one burst — a per-epoch scraping session.
+    std::vector<std::vector<KeywordQuery>> epoch_queries;
+    for (size_t c = 0; c < mix.num_clients(); ++c) {
+      epoch_queries.push_back(mix.EpochQueries(c, epoch));
+    }
+    for (size_t i = 0; i < config.benign.queries_per_client_per_epoch; ++i) {
+      for (size_t c = 0; c < mix.num_clients(); ++c) {
+        if (i >= epoch_queries[c].size()) continue;
+        benign_services[c]->Search(epoch_queries[c][i]);
+        ++report.benign_queries;
+      }
+    }
+    const uint64_t budget = config.attacker_budget_per_epoch;
+    switch (attacker) {
+      case AttackerKind::kNone:
+        break;
+      case AttackerKind::kUnbiased: {
+        const auto points = unbiased->Run(attacker_service, budget, budget);
+        report.attacker_queries +=
+            points.empty() ? budget : points.back().queries_issued;
+        break;
+      }
+      case AttackerKind::kStratified: {
+        const auto points = stratified->Run(attacker_service, budget, budget);
+        report.attacker_queries +=
+            points.empty() ? budget : points.back().queries_issued;
+        break;
+      }
+      case AttackerKind::kDynamic: {
+        const DynamicEpochPoint point =
+            dynamic->ObserveEpoch(attacker_service, budget);
+        report.attacker_queries += point.queries_spent;
+        break;
+      }
+    }
+  };
+
+  run_epoch_traffic();  // epoch 1
+  while (!stream.exhausted()) {
+    CorpusDelta delta = stream.NextDelta(manager.Current()->corpus());
+    absorb(delta.add);
+    manager.Apply(delta);
+    run_epoch_traffic();
+  }
+
+  // Read out the verdicts: benign clients first, attacker last.
+  size_t benign_flagged = 0;
+  for (size_t c = 0; c < mix.num_clients(); ++c) {
+    const auto verdict = watchtower.VerdictOf(static_cast<uint64_t>(c) + 1);
+    if (!verdict.has_value()) continue;  // evicted or never completed
+    report.clients.push_back(RowFromVerdict(*verdict, /*is_attacker=*/false));
+    if (verdict->flagged) ++benign_flagged;
+  }
+  bool attacker_flagged = false;
+  if (attacker != AttackerKind::kNone) {
+    const auto verdict = watchtower.VerdictOf(kDetectionAttackerClient);
+    if (verdict.has_value()) {
+      report.clients.push_back(RowFromVerdict(*verdict, /*is_attacker=*/true));
+      attacker_flagged = verdict->flagged;
+    }
+  }
+
+  report.benign_clients = mix.num_clients();
+  report.benign_flagged = benign_flagged;
+  report.tpr = attacker != AttackerKind::kNone && attacker_flagged ? 1.0 : 0.0;
+  report.fpr = static_cast<double>(benign_flagged) /
+               static_cast<double>(mix.num_clients());
+  report.advantage = report.tpr - report.fpr;
+  report.events_ingested = watchtower.events_ingested();
+  report.queries_scored = watchtower.queries_scored();
+  report.events_retained = event_log.Snapshot().size();
+  report.events_dropped = event_log.dropped();
+
+  ASUP_METRIC_GAUGE_SET("asup_eval_detection_tpr", report.tpr,
+                        "True-positive rate of the last detection run");
+  ASUP_METRIC_GAUGE_SET("asup_eval_detection_fpr", report.fpr,
+                        "False-positive rate of the last detection run");
+  ASUP_METRIC_GAUGE_SET("asup_eval_detection_advantage", report.advantage,
+                        "TPR - FPR of the last detection run");
+  return report;
+}
+
+#else  // !ASUP_METRICS_ENABLED
+
+DetectionReport RunDetectionExperiment(const DetectionConfig& config,
+                                       DefenseKind defense,
+                                       AttackerKind attacker) {
+  // The watchtower is compiled out: nothing observes, nothing is scored.
+  (void)config;
+  DetectionReport report;
+  report.enabled = false;
+  report.defense = defense;
+  report.attacker = attacker;
+  return report;
+}
+
+#endif  // ASUP_METRICS_ENABLED
+
+CsvTable DetectionClientsCsv(const DetectionReport& report) {
+  CsvTable table({"client", "attacker", "flagged", "score", "smoothed",
+                  "window_q", "lifetime_q", "share", "repeat_q", "repeat_t",
+                  "term_growth", "hidden", "crossing", "saturation",
+                  "cache_hit"});
+  for (const DetectionClientRow& row : report.clients) {
+    table.AddRow({static_cast<double>(row.client), row.is_attacker ? 1.0 : 0.0,
+                  row.flagged ? 1.0 : 0.0, row.score, row.smoothed_score,
+                  static_cast<double>(row.window_queries),
+                  static_cast<double>(row.lifetime_queries), row.query_share,
+                  row.repeat_query_fraction, row.repeat_term_fraction,
+                  row.distinct_term_growth, row.hidden_rate,
+                  row.segment_crossing_rate, row.saturation_rate,
+                  row.cache_hit_rate});
+  }
+  return table;
+}
+
+CsvTable DetectionSummaryCsv(const std::vector<DetectionReport>& runs) {
+  CsvTable table({"defense", "attacker", "tpr", "fpr", "advantage",
+                  "benign_q", "attacker_q", "events", "scored", "dropped"});
+  for (const DetectionReport& run : runs) {
+    table.AddRow({static_cast<double>(run.defense),
+                  static_cast<double>(run.attacker), run.tpr, run.fpr,
+                  run.advantage, static_cast<double>(run.benign_queries),
+                  static_cast<double>(run.attacker_queries),
+                  static_cast<double>(run.events_ingested),
+                  static_cast<double>(run.queries_scored),
+                  static_cast<double>(run.events_dropped)});
+  }
+  return table;
+}
+
+}  // namespace asup

@@ -1,0 +1,149 @@
+#ifndef ASUP_EVAL_DETECTION_EXPERIMENT_H_
+#define ASUP_EVAL_DETECTION_EXPERIMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asup/eval/dynamic_attack_experiment.h"
+#include "asup/text/synthetic_corpus.h"
+#include "asup/util/csv.h"
+#include "asup/workload/benign_mix.h"
+#include "asup/workload/epoch_stream.h"
+
+namespace asup {
+
+/// Estimator replayed as the attacking client (kNone = benign-only
+/// stream, the watchtower's false-positive baseline).
+enum class AttackerKind : uint8_t {
+  kNone = 0,
+  kUnbiased,
+  kStratified,
+  kDynamic
+};
+
+const char* AttackerKindName(AttackerKind kind);
+
+/// One watchtower detection run: a benign multi-client mix and (optionally)
+/// one attacking client share a defended interface across corpus epochs;
+/// every query flows through the structured event stream into the online
+/// suspicion scorer, and the run reports who got flagged.
+///
+/// The config deliberately holds the watchtower tuning as plain numbers:
+/// this header (and the report) keep the same shape under
+/// `-DASUP_METRICS=OFF`, where the run returns `enabled == false` and no
+/// client rows — the eval library stays linkable in the watchtower-free
+/// build without leaking obs symbols.
+struct DetectionConfig {
+  /// Corpus / interface rig, mirroring DynamicAttackConfig's defaults (see
+  /// eval/dynamic_attack_experiment.h for why 300 documents).
+  size_t initial_corpus_size = 300;
+  size_t held_out_size = 300;
+  size_t k = 50;
+  double gamma = 2.0;
+  SyntheticCorpusConfig corpus_config;
+  double pool_max_df_fraction = 0.1;
+
+  /// Corpus evolution between traffic rounds. `stream.num_epochs` deltas
+  /// are applied, so traffic runs in `stream.num_epochs + 1` epochs.
+  EpochStreamConfig stream;
+
+  /// Benign traffic (clients 1..num_clients).
+  BenignMixConfig benign;
+
+  /// Interface queries the attacker spends per epoch. Kept modest: the
+  /// watchtower must recognize the attack by *shape*, not only by volume.
+  uint64_t attacker_budget_per_epoch = 3000;
+
+  /// Watchtower tuning (plain mirrors of obs::WatchtowerConfig).
+  size_t watch_window = 256;
+  double ewma_alpha = 0.25;
+  double flag_threshold = 3.0;
+  uint64_t min_queries = 24;
+  size_t event_log_capacity = 1 << 15;
+
+  /// Seed of the synthetic-document generator (the corpus universe).
+  uint64_t seed = 2026;
+
+  DetectionConfig() {
+    corpus_config.vocabulary_size = 2000;
+    corpus_config.num_topics = 12;
+    corpus_config.words_per_topic = 150;
+    stream.num_epochs = 3;
+    stream.docs_per_epoch = 40;
+  }
+};
+
+/// Client id of the attacking client (benign clients are 1..num_clients).
+inline constexpr uint64_t kDetectionAttackerClient = 1000;
+
+/// The watchtower's final view of one client.
+struct DetectionClientRow {
+  uint64_t client = 0;
+  bool is_attacker = false;
+  bool flagged = false;
+  double score = 0.0;
+  double smoothed_score = 0.0;
+
+  // Window features at end of run (see obs::ClientFeatures).
+  uint64_t window_queries = 0;
+  uint64_t lifetime_queries = 0;
+  double query_share = 0.0;
+  double repeat_query_fraction = 0.0;
+  double repeat_term_fraction = 0.0;
+  double distinct_term_growth = 0.0;
+  double hidden_rate = 0.0;
+  double segment_crossing_rate = 0.0;
+  double saturation_rate = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+/// Outcome of one run (one defense, one attacker kind).
+struct DetectionReport {
+  /// False when the obs layer is compiled out (`-DASUP_METRICS=OFF`): no
+  /// events flow, nothing below is meaningful.
+  bool enabled = false;
+
+  DefenseKind defense = DefenseKind::kNone;
+  AttackerKind attacker = AttackerKind::kNone;
+
+  /// One row per tracked client, benign clients first, attacker last.
+  std::vector<DetectionClientRow> clients;
+
+  /// Detection outcome: TPR is 1/0 (one attacker; 0 when kNone), FPR the
+  /// flagged fraction of benign clients, advantage = TPR - FPR.
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double advantage = 0.0;
+
+  size_t benign_clients = 0;
+  size_t benign_flagged = 0;
+
+  /// Traffic and watchtower volume over the run.
+  uint64_t benign_queries = 0;
+  uint64_t attacker_queries = 0;
+  uint64_t events_ingested = 0;
+  uint64_t queries_scored = 0;
+  uint64_t events_retained = 0;
+  uint64_t events_dropped = 0;
+};
+
+/// Runs one detection experiment. Deterministic in (config, defense,
+/// attacker): the benign mix draws per-(client, epoch) streams, so every
+/// run with the same config faces byte-identical benign traffic regardless
+/// of the attacker riding along.
+DetectionReport RunDetectionExperiment(const DetectionConfig& config,
+                                       DefenseKind defense,
+                                       AttackerKind attacker);
+
+/// Per-client feature/verdict table of one run (fig. 21a).
+CsvTable DetectionClientsCsv(const DetectionReport& report);
+
+/// One summary row per run: defense and attacker (as indices), TPR / FPR /
+/// advantage, volumes (fig. 21b).
+CsvTable DetectionSummaryCsv(const std::vector<DetectionReport>& runs);
+
+}  // namespace asup
+
+#endif  // ASUP_EVAL_DETECTION_EXPERIMENT_H_

@@ -1,0 +1,228 @@
+#include "asup/obs/client_window.h"
+
+#if ASUP_METRICS_ENABLED
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "asup/util/check.h"
+
+namespace asup {
+namespace obs {
+
+namespace {
+
+// Rough per-entry overheads for the byte estimate; precision does not
+// matter, monotonicity with actual footprint does.
+constexpr size_t kClientBaseBytes = 256;
+constexpr size_t kSeenTermBytes = 48;  // std::set node
+constexpr size_t kRecordBaseBytes = 96;
+
+}  // namespace
+
+ClientWindowTable::ClientWindowTable(const ClientWindowConfig& config)
+    : config_(config) {
+  ASUP_CHECK(config_.window > 0);
+  ASUP_CHECK(config_.max_clients > 0);
+}
+
+size_t ClientWindowTable::EstimateBytes(const ClientState& state) {
+  size_t bytes = kClientBaseBytes;
+  bytes += state.seen_terms.size() * kSeenTermBytes;
+  for (const QueryRecord& record : state.window) {
+    bytes += kRecordBaseBytes + record.terms.size() * sizeof(uint32_t);
+  }
+  bytes += kRecordBaseBytes + state.pending.terms.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+ClientWindowTable::ClientState& ClientWindowTable::TouchClient(
+    uint64_t client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    it = clients_.emplace(client, ClientState()).first;
+    lru_.push_front(client);
+    it->second.lru_pos = lru_.begin();
+    it->second.approx_bytes = EstimateBytes(it->second);
+    approx_bytes_ += it->second.approx_bytes;
+  } else if (it->second.lru_pos != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  return it->second;
+}
+
+void ClientWindowTable::EvictOverBudget() {
+  while (clients_.size() > config_.max_clients ||
+         (config_.state_bytes_budget > 0 &&
+          approx_bytes_ > config_.state_bytes_budget &&
+          clients_.size() > 1)) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = clients_.find(victim);
+    ASUP_CHECK(it != clients_.end());
+    approx_bytes_ -= it->second.approx_bytes;
+    clients_.erase(it);
+    ++evictions_;
+  }
+}
+
+void ClientWindowTable::CommitPending(ClientState& state) {
+  if (!state.pending_open) return;
+  state.window.push_back(std::move(state.pending));
+  state.pending = QueryRecord();
+  state.pending_open = false;
+  ++state.lifetime_queries;
+  while (state.window.size() > config_.window) state.window.pop_front();
+  approx_bytes_ -= state.approx_bytes;
+  state.approx_bytes = EstimateBytes(state);
+  approx_bytes_ += state.approx_bytes;
+}
+
+bool ClientWindowTable::Observe(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kQueryIssued: {
+      ++global_queries_;
+      ClientState& state = TouchClient(event.client);
+      // A query issued while one is pending means the served event was
+      // lost (or same-client queries interleaved); commit what we have so
+      // the window keeps moving.
+      CommitPending(state);
+      state.pending_open = true;
+      state.pending.hash = event.query_hash;
+      state.pending.global_index = global_queries_;
+      EvictOverBudget();
+      return false;
+    }
+    case EventKind::kQueryTerm: {
+      ClientState& state = TouchClient(event.client);
+      if (!state.pending_open) return false;
+      const auto term = static_cast<uint32_t>(event.a);
+      state.pending.terms.push_back(term);
+      if (state.seen_terms.size() < config_.max_terms_tracked &&
+          state.seen_terms.insert(term).second) {
+        ++state.pending.new_terms;
+      }
+      return false;
+    }
+    case EventKind::kSegmentProbe: {
+      ClientState& state = TouchClient(event.client);
+      if (state.pending_open) {
+        state.pending.segment = static_cast<int32_t>(event.a);
+      }
+      return false;
+    }
+    case EventKind::kAnswerHidden:
+    case EventKind::kAnswerTrimmed: {
+      ClientState& state = TouchClient(event.client);
+      if (state.pending_open && event.a > 0) {
+        state.pending.suppressed = true;
+      }
+      return false;
+    }
+    case EventKind::kVirtualAnswer: {
+      ClientState& state = TouchClient(event.client);
+      if (state.pending_open) state.pending.suppressed = true;
+      return false;
+    }
+    case EventKind::kCacheHit: {
+      ClientState& state = TouchClient(event.client);
+      if (state.pending_open) state.pending.cache_hit = true;
+      return false;
+    }
+    case EventKind::kAnswerServed: {
+      ClientState& state = TouchClient(event.client);
+      if (!state.pending_open) return false;
+      state.pending.overflow = event.b != 0;
+      CommitPending(state);
+      EvictOverBudget();
+      return true;
+    }
+    case EventKind::kCoverFound:
+    case EventKind::kEpochMigration:
+    case EventKind::kSuspicionFlag:
+      return false;
+  }
+  return false;
+}
+
+ClientFeatures ClientWindowTable::ComputeFeatures(
+    uint64_t client, const ClientState& state) const {
+  ClientFeatures features;
+  features.client = client;
+  features.window_queries = state.window.size();
+  features.lifetime_queries = state.lifetime_queries;
+  if (state.window.empty()) return features;
+
+  const double n = static_cast<double>(state.window.size());
+  std::unordered_set<uint64_t> hashes;
+  std::unordered_set<uint32_t> terms;
+  size_t term_occurrences = 0;
+  size_t new_terms = 0;
+  size_t suppressed = 0;
+  size_t overflow = 0;
+  size_t cache_hits = 0;
+  size_t crossings = 0;
+  size_t segment_pairs = 0;
+  int32_t previous_segment = -1;
+  for (const QueryRecord& record : state.window) {
+    hashes.insert(record.hash);
+    for (uint32_t term : record.terms) terms.insert(term);
+    term_occurrences += record.terms.size();
+    new_terms += record.new_terms;
+    if (record.suppressed) ++suppressed;
+    if (record.overflow) ++overflow;
+    if (record.cache_hit) ++cache_hits;
+    if (record.segment >= 0) {
+      if (previous_segment >= 0) {
+        ++segment_pairs;
+        if (record.segment != previous_segment) ++crossings;
+      }
+      previous_segment = record.segment;
+    }
+  }
+
+  const uint64_t span_begin = state.window.front().global_index;
+  const uint64_t span = global_queries_ >= span_begin
+                            ? global_queries_ - span_begin + 1
+                            : 1;
+  features.query_share = n / static_cast<double>(span);
+  features.repeat_query_fraction =
+      1.0 - static_cast<double>(hashes.size()) / n;
+  if (term_occurrences > 0) {
+    features.repeat_term_fraction =
+        1.0 - static_cast<double>(terms.size()) /
+                  static_cast<double>(term_occurrences);
+    features.distinct_term_growth =
+        static_cast<double>(new_terms) /
+        static_cast<double>(term_occurrences);
+  }
+  features.hidden_rate = static_cast<double>(suppressed) / n;
+  if (segment_pairs > 0) {
+    features.segment_crossing_rate =
+        static_cast<double>(crossings) / static_cast<double>(segment_pairs);
+  }
+  features.saturation_rate = static_cast<double>(overflow) / n;
+  features.cache_hit_rate = static_cast<double>(cache_hits) / n;
+  return features;
+}
+
+std::optional<ClientFeatures> ClientWindowTable::FeaturesOf(
+    uint64_t client) const {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return std::nullopt;
+  return ComputeFeatures(client, it->second);
+}
+
+std::vector<ClientFeatures> ClientWindowTable::AllFeatures() const {
+  std::vector<ClientFeatures> out;
+  out.reserve(clients_.size());
+  for (const auto& [client, state] : clients_) {
+    out.push_back(ComputeFeatures(client, state));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace asup
+
+#endif  // ASUP_METRICS_ENABLED

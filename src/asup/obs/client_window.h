@@ -1,0 +1,172 @@
+#ifndef ASUP_OBS_CLIENT_WINDOW_H_
+#define ASUP_OBS_CLIENT_WINDOW_H_
+
+/// Per-client sliding-window feature aggregation.
+///
+/// The watchtower's substrate: a table keyed by client id that folds the
+/// structured event stream (obs/event_log.h) into one record per
+/// *completed query* and keeps the most recent `window` records per
+/// client. From that window it derives the features the paper's attack
+/// streams are distinguishable by — RS-ESTIMATOR-style probing re-issues a
+/// maintained query pool every epoch (repeat-query fraction), draws from a
+/// fixed term population (repeat-term fraction, distinct-term growth
+/// ~ 0), walks µ-segment boundaries (segment-crossing rate), and probes
+/// the suppressed region far more often than bona fide traffic
+/// (hidden-answer encounter rate, answer-at-k saturation).
+///
+/// State is bounded two ways, prefiguring the multi-tenant server's
+/// per-tenant budget: an LRU client cap (`max_clients`) and an approximate
+/// byte budget (`state_bytes_budget`) — the least-recently-active client
+/// is evicted first when either is exceeded.
+///
+/// The table itself is not synchronized; `Watchtower` (obs/suspicion.h)
+/// owns one behind its mutex. Compiled out with the obs layer under
+/// `-DASUP_METRICS=OFF`.
+
+#include "asup/obs/event_log.h"
+
+#if ASUP_METRICS_ENABLED
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace asup {
+namespace obs {
+
+struct ClientWindowConfig {
+  /// Completed queries retained per client.
+  size_t window = 256;
+
+  /// LRU client budget: tracking a client beyond this evicts the least
+  /// recently active one.
+  size_t max_clients = 64;
+
+  /// Approximate total state budget in bytes (0 = unlimited). Evicts LRU
+  /// clients until the estimate fits.
+  size_t state_bytes_budget = 0;
+
+  /// Cap on the per-client lifetime distinct-term set backing the
+  /// distinct-term-growth feature.
+  size_t max_terms_tracked = 8192;
+};
+
+/// Features of one client's current window. Rates are fractions in [0, 1]
+/// unless noted; all are 0 while the window is empty.
+struct ClientFeatures {
+  uint64_t client = 0;
+
+  /// Completed queries currently in the window / over the client lifetime.
+  uint64_t window_queries = 0;
+  uint64_t lifetime_queries = 0;
+
+  /// Fraction of *global* query traffic this client issued over its
+  /// window's span (1.0 = the only active client).
+  double query_share = 0.0;
+
+  /// 1 - distinct query hashes / window queries: how often the client
+  /// re-issues a query it already issued inside the window.
+  double repeat_query_fraction = 0.0;
+
+  /// 1 - distinct terms / term occurrences inside the window.
+  double repeat_term_fraction = 0.0;
+
+  /// Never-seen-before terms (client lifetime) per window term occurrence.
+  /// Bona fide users keep discovering vocabulary; pool-replaying attackers
+  /// converge to 0.
+  double distinct_term_growth = 0.0;
+
+  /// Fraction of window queries whose answer the defense perturbed
+  /// (documents hidden or trimmed, or a virtual answer served).
+  double hidden_rate = 0.0;
+
+  /// Fraction of consecutive window query pairs that landed in different
+  /// µ-segments (boundary walking).
+  double segment_crossing_rate = 0.0;
+
+  /// Fraction of window queries whose answer overflowed (size saturated
+  /// at the interface limit k).
+  double saturation_rate = 0.0;
+
+  /// Fraction of window queries answered from the answer cache.
+  double cache_hit_rate = 0.0;
+};
+
+/// Folds events into per-client windows. Events between a client's
+/// kQueryIssued and kAnswerServed are attributed to that query; a query
+/// record is committed to the window when its kAnswerServed arrives.
+class ClientWindowTable {
+ public:
+  explicit ClientWindowTable(const ClientWindowConfig& config);
+
+  /// Routes one event. Returns true when the event completed a query
+  /// (i.e. `event.kind == kAnswerServed`) — the moment to score.
+  bool Observe(const Event& event);
+
+  /// Features of `client`'s current window (nullopt if untracked).
+  std::optional<ClientFeatures> FeaturesOf(uint64_t client) const;
+
+  /// Features of every tracked client, ascending client id.
+  std::vector<ClientFeatures> AllFeatures() const;
+
+  size_t tracked_clients() const { return clients_.size(); }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t global_queries() const { return global_queries_; }
+
+  /// Estimated bytes held across all tracked clients.
+  size_t ApproxBytes() const { return approx_bytes_; }
+
+  const ClientWindowConfig& config() const { return config_; }
+
+ private:
+  /// One completed query in a client's window.
+  struct QueryRecord {
+    uint64_t hash = 0;
+    std::vector<uint32_t> terms;
+    uint32_t new_terms = 0;  // first-ever terms at admission time
+    int32_t segment = -1;    // -1: no segment probe observed
+    bool suppressed = false;
+    bool overflow = false;
+    bool cache_hit = false;
+    uint64_t global_index = 0;  // global query counter at issue time
+  };
+
+  struct ClientState {
+    std::deque<QueryRecord> window;
+    QueryRecord pending;
+    bool pending_open = false;
+    // Lifetime distinct terms (capped at max_terms_tracked). std::set for
+    // deterministic memory estimates; feature math never iterates it.
+    std::set<uint32_t> seen_terms;
+    uint64_t lifetime_queries = 0;
+    size_t approx_bytes = 0;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  ClientState& TouchClient(uint64_t client);
+  void CommitPending(ClientState& state);
+  void EvictOverBudget();
+  static size_t EstimateBytes(const ClientState& state);
+  ClientFeatures ComputeFeatures(uint64_t client,
+                                 const ClientState& state) const;
+
+  ClientWindowConfig config_;
+  // std::map: AllFeatures() iterates in client-id order (deterministic
+  // snapshots / CSV output).
+  std::map<uint64_t, ClientState> clients_;
+  std::list<uint64_t> lru_;  // most recently active at front
+  uint64_t global_queries_ = 0;
+  uint64_t evictions_ = 0;
+  size_t approx_bytes_ = 0;
+};
+
+}  // namespace obs
+}  // namespace asup
+
+#endif  // ASUP_METRICS_ENABLED
+
+#endif  // ASUP_OBS_CLIENT_WINDOW_H_

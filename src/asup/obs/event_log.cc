@@ -1,0 +1,358 @@
+#include "asup/obs/event_log.h"
+
+#if ASUP_METRICS_ENABLED
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "asup/util/check.h"
+
+namespace asup {
+namespace obs {
+
+namespace {
+
+/// Round-robin shard assignment (same policy as the histogram shards): up
+/// to kShards concurrent writers never contend on one ring mutex.
+size_t CurrentShard() {
+  static std::atomic<size_t> next_shard{0};
+  thread_local const size_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % EventLog::kShards;
+  return shard;
+}
+
+std::atomic<uint64_t> g_next_log_id{1};
+std::atomic<uint64_t> g_next_sequence{1};
+
+std::atomic<EventLog*> g_event_log{nullptr};
+std::atomic<Watchtower*> g_watchtower{nullptr};
+
+constexpr uint32_t kBinaryMagic = 0x41534556;  // "ASEV"
+constexpr uint32_t kBinaryVersion = 1;
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)));
+  out.write(buf, sizeof(buf));
+}
+
+void PutU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)));
+  out.write(buf, sizeof(buf));
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  if (!in.read(buf, sizeof(buf))) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i]))
+          << (8 * i);
+  }
+  return true;
+}
+
+bool GetU64(std::istream& in, uint64_t* v) {
+  char buf[8];
+  if (!in.read(buf, sizeof(buf))) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i]))
+          << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<uint32_t> g_event_sink_mask{0};
+}  // namespace detail
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kQueryIssued:
+      return "query_issued";
+    case EventKind::kQueryTerm:
+      return "query_term";
+    case EventKind::kAnswerServed:
+      return "answer_served";
+    case EventKind::kAnswerHidden:
+      return "answer_hidden";
+    case EventKind::kAnswerTrimmed:
+      return "answer_trimmed";
+    case EventKind::kSegmentProbe:
+      return "segment_probe";
+    case EventKind::kVirtualAnswer:
+      return "virtual_answer";
+    case EventKind::kCoverFound:
+      return "cover_found";
+    case EventKind::kCacheHit:
+      return "cache_hit";
+    case EventKind::kEpochMigration:
+      return "epoch_migration";
+    case EventKind::kSuspicionFlag:
+      return "suspicion_flag";
+  }
+  return "?";
+}
+
+/// One ring shard. `ring` grows to `shard_capacity_` and then overwrites
+/// the slot at `next` (the oldest retained event).
+struct EventLog::Shard {
+  Mutex mu;
+  std::vector<Event> ring ASUP_GUARDED_BY(mu);
+  size_t next ASUP_GUARDED_BY(mu) = 0;
+  uint64_t appended ASUP_GUARDED_BY(mu) = 0;
+  uint64_t dropped ASUP_GUARDED_BY(mu) = 0;
+};
+
+/// One thread's staging buffer. The owning thread appends under `mu`
+/// (uncontended in steady state); Flush/Snapshot drain under the same
+/// mutex from any thread.
+struct EventLog::Staging {
+  Mutex mu;
+  std::vector<Event> buf ASUP_GUARDED_BY(mu);
+};
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(capacity == 0 ? kShards : capacity),
+      shard_capacity_((capacity_ + kShards - 1) / kShards),
+      log_id_(g_next_log_id.fetch_add(1, std::memory_order_relaxed)),
+      shards_(std::make_unique<Shard[]>(kShards)) {}
+
+EventLog::~EventLog() {
+  ASUP_CHECK(InstalledEventLog() != this);  // uninstall before destruction
+}
+
+EventLog::Staging& EventLog::StagingForThisThread() const {
+  // Cache keyed by the log's process-unique id: ids are never reused, so a
+  // stale entry for a destroyed log can never be looked up again.
+  thread_local std::vector<std::pair<uint64_t, Staging*>> cache;
+  for (const auto& [id, staging] : cache) {
+    if (id == log_id_) return *staging;
+  }
+  auto owned = std::make_unique<Staging>();
+  Staging* staging = owned.get();
+  {
+    MutexLock lock(staging_mutex_);
+    stagings_.push_back(std::move(owned));
+  }
+  cache.emplace_back(log_id_, staging);
+  return *staging;
+}
+
+void EventLog::DrainInto(std::vector<Event>&& spill) const {
+  if (spill.empty()) return;
+  Shard& shard = shards_[CurrentShard()];
+  uint64_t dropped_now = 0;
+  {
+    MutexLock lock(shard.mu);
+    for (Event& event : spill) {
+      if (shard.ring.size() < shard_capacity_) {
+        shard.ring.push_back(event);
+      } else {
+        shard.ring[shard.next] = event;
+        shard.next = (shard.next + 1) % shard_capacity_;
+        ++shard.dropped;
+        ++dropped_now;
+      }
+      ++shard.appended;
+    }
+  }
+  if (dropped_now > 0) {
+    ASUP_METRIC_COUNT("asup_obs_events_dropped_total", dropped_now,
+                      "Structured events the bounded event log overwrote");
+  }
+}
+
+void EventLog::Append(const Event& event) {
+  Staging& staging = StagingForThisThread();
+  std::vector<Event> spill;
+  {
+    MutexLock lock(staging.mu);
+    staging.buf.push_back(event);
+    if (staging.buf.size() >= kStagingCapacity) {
+      spill = std::move(staging.buf);
+      staging.buf.clear();
+    }
+  }
+  DrainInto(std::move(spill));
+}
+
+void EventLog::Flush() {
+  std::vector<Staging*> stagings;
+  {
+    MutexLock lock(staging_mutex_);
+    stagings.reserve(stagings_.size());
+    for (const auto& staging : stagings_) stagings.push_back(staging.get());
+  }
+  for (Staging* staging : stagings) {
+    std::vector<Event> spill;
+    {
+      MutexLock lock(staging->mu);
+      spill = std::move(staging->buf);
+      staging->buf.clear();
+    }
+    DrainInto(std::move(spill));
+  }
+}
+
+uint64_t EventLog::total_appended() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kShards; ++i) {
+    Shard& shard = shards_[i];
+    MutexLock lock(shard.mu);
+    total += shard.appended;
+  }
+  // Staged-but-undrained events count as appended too.
+  std::vector<Staging*> stagings;
+  {
+    MutexLock lock(staging_mutex_);
+    for (const auto& staging : stagings_) stagings.push_back(staging.get());
+  }
+  for (Staging* staging : stagings) {
+    MutexLock lock(staging->mu);
+    total += staging->buf.size();
+  }
+  return total;
+}
+
+uint64_t EventLog::dropped() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kShards; ++i) {
+    Shard& shard = shards_[i];
+    MutexLock lock(shard.mu);
+    total += shard.dropped;
+  }
+  return total;
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  const_cast<EventLog*>(this)->Flush();
+  std::vector<Event> out;
+  for (size_t i = 0; i < kShards; ++i) {
+    Shard& shard = shards_[i];
+    MutexLock lock(shard.mu);
+    // Oldest first within the shard: `next` is the oldest slot once the
+    // ring has wrapped.
+    for (size_t j = 0; j < shard.ring.size(); ++j) {
+      out.push_back(shard.ring[(shard.next + j) % shard.ring.size()]);
+    }
+  }
+  // Global order is the emit order; stable sort keeps per-shard append
+  // order for hand-built events that share a sequence number.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& x, const Event& y) {
+                     return x.sequence < y.sequence;
+                   });
+  return out;
+}
+
+void EventLog::WriteJsonl(std::ostream& out) const {
+  for (const Event& event : Snapshot()) {
+    out << "{\"seq\":" << event.sequence << ",\"kind\":\""
+        << EventKindName(event.kind) << "\",\"client\":" << event.client
+        << ",\"qhash\":" << event.query_hash << ",\"a\":" << event.a
+        << ",\"b\":" << event.b << "}\n";
+  }
+}
+
+void EventLog::WriteBinary(std::ostream& out) const {
+  const std::vector<Event> events = Snapshot();
+  PutU32(out, kBinaryMagic);
+  PutU32(out, kBinaryVersion);
+  PutU64(out, events.size());
+  for (const Event& event : events) {
+    PutU32(out, static_cast<uint32_t>(event.kind));
+    PutU64(out, event.client);
+    PutU64(out, event.query_hash);
+    PutU64(out, event.sequence);
+    PutU64(out, static_cast<uint64_t>(event.a));
+    PutU64(out, static_cast<uint64_t>(event.b));
+  }
+}
+
+bool EventLog::ReadBinary(std::istream& in, std::vector<Event>* events) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!GetU32(in, &magic) || magic != kBinaryMagic) return false;
+  if (!GetU32(in, &version) || version != kBinaryVersion) return false;
+  if (!GetU64(in, &count)) return false;
+  events->clear();
+  events->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t kind = 0;
+    Event event;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    if (!GetU32(in, &kind) || kind >= kNumEventKinds) return false;
+    if (!GetU64(in, &event.client) || !GetU64(in, &event.query_hash) ||
+        !GetU64(in, &event.sequence) || !GetU64(in, &a) || !GetU64(in, &b)) {
+      return false;
+    }
+    event.kind = static_cast<EventKind>(kind);
+    event.a = static_cast<int64_t>(a);
+    event.b = static_cast<int64_t>(b);
+    events->push_back(event);
+  }
+  return true;
+}
+
+void InstallEventLog(EventLog* log) {
+  g_event_log.store(log, std::memory_order_release);
+  uint32_t mask =
+      detail::g_event_sink_mask.load(std::memory_order_relaxed);
+  if (log != nullptr) {
+    mask |= 1u;
+  } else {
+    mask &= ~1u;
+  }
+  detail::g_event_sink_mask.store(mask, std::memory_order_release);
+}
+
+EventLog* InstalledEventLog() {
+  return g_event_log.load(std::memory_order_acquire);
+}
+
+void InstallWatchtower(Watchtower* watchtower) {
+  g_watchtower.store(watchtower, std::memory_order_release);
+  uint32_t mask =
+      detail::g_event_sink_mask.load(std::memory_order_relaxed);
+  if (watchtower != nullptr) {
+    mask |= 2u;
+  } else {
+    mask &= ~2u;
+  }
+  detail::g_event_sink_mask.store(mask, std::memory_order_release);
+}
+
+Watchtower* InstalledWatchtower() {
+  return g_watchtower.load(std::memory_order_acquire);
+}
+
+// Defined here (not suspicion.cc) so the fan-out has one home; the
+// watchtower hook is declared in suspicion.h.
+void WatchtowerIngest(Watchtower& watchtower, const Event& event);
+
+void EmitEvent(Event event) {
+  if (!EventSinksInstalled()) return;
+  event.sequence = g_next_sequence.fetch_add(1, std::memory_order_relaxed);
+  if (EventLog* log = InstalledEventLog(); log != nullptr) {
+    log->Append(event);
+  }
+  if (Watchtower* watchtower = InstalledWatchtower();
+      watchtower != nullptr) {
+    WatchtowerIngest(*watchtower, event);
+  }
+}
+
+}  // namespace obs
+}  // namespace asup
+
+#endif  // ASUP_METRICS_ENABLED

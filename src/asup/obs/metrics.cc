@@ -178,8 +178,19 @@ const std::vector<int64_t>& SizeBuckets() {
   return *buckets;
 }
 
-Counter& MetricsRegistry::CounterOf(std::string_view name) {
+void MetricsRegistry::RecordHelpLocked(std::string_view name,
+                                       std::string_view help) {
+  if (help.empty()) return;
+  const std::string family(name.substr(0, name.find('{')));
+  // First writer wins: a family's documentation should not flap between
+  // call sites.
+  help_.emplace(family, std::string(help));
+}
+
+Counter& MetricsRegistry::CounterOf(std::string_view name,
+                                    std::string_view help) {
   MutexLock lock(mutex_);
+  RecordHelpLocked(name, help);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -188,8 +199,9 @@ Counter& MetricsRegistry::CounterOf(std::string_view name) {
   return *it->second;
 }
 
-Gauge& MetricsRegistry::GaugeOf(std::string_view name) {
+Gauge& MetricsRegistry::GaugeOf(std::string_view name, std::string_view help) {
   MutexLock lock(mutex_);
+  RecordHelpLocked(name, help);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -198,8 +210,10 @@ Gauge& MetricsRegistry::GaugeOf(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::HistogramOf(std::string_view name,
-                                        const std::vector<int64_t>& bounds) {
+                                        const std::vector<int64_t>& bounds,
+                                        std::string_view help) {
   MutexLock lock(mutex_);
+  RecordHelpLocked(name, help);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -207,6 +221,19 @@ Histogram& MetricsRegistry::HistogramOf(std::string_view name,
              .first;
   }
   return *it->second;
+}
+
+std::string MetricsRegistry::HelpOf(std::string_view family) const {
+  MutexLock lock(mutex_);
+  auto it = help_.find(family);
+  return it == help_.end() ? std::string() : it->second;
+}
+
+std::string MetricsRegistry::HelpLineLocked(const std::string& name) const {
+  const std::string family = name.substr(0, name.find('{'));
+  auto it = help_.find(family);
+  if (it == help_.end()) return {};
+  return "# HELP " + family + " " + it->second + "\n";
 }
 
 std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
@@ -237,15 +264,18 @@ std::string MetricsRegistry::PrometheusText() const {
   MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
+    out += HelpLineLocked(name);
     out += "# TYPE " + name.substr(0, name.find('{')) + " counter\n";
     out += name + " " + std::to_string(counter->Value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
+    out += HelpLineLocked(name);
     out += "# TYPE " + name.substr(0, name.find('{')) + " gauge\n";
     out += name + " " + FormatDouble(gauge->Value()) + "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
     const Histogram::Snapshot snap = histogram->Snap();
+    out += HelpLineLocked(name);
     out += "# TYPE " + name.substr(0, name.find('{')) + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < snap.bounds.size(); ++i) {

@@ -150,12 +150,21 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& CounterOf(std::string_view name) ASUP_EXCLUDES(mutex_);
-  Gauge& GaugeOf(std::string_view name) ASUP_EXCLUDES(mutex_);
+  /// `help`, when non-empty, is recorded once per metric *family* (the name
+  /// with any `{label}` suffix stripped) and emitted as a `# HELP` line in
+  /// PrometheusText(). Later registrations never overwrite an existing help
+  /// string, so the first caller to document a family wins.
+  Counter& CounterOf(std::string_view name, std::string_view help = {})
+      ASUP_EXCLUDES(mutex_);
+  Gauge& GaugeOf(std::string_view name, std::string_view help = {})
+      ASUP_EXCLUDES(mutex_);
   /// `bounds` is consulted only on first registration of `name`.
   Histogram& HistogramOf(std::string_view name,
-                         const std::vector<int64_t>& bounds)
-      ASUP_EXCLUDES(mutex_);
+                         const std::vector<int64_t>& bounds,
+                         std::string_view help = {}) ASUP_EXCLUDES(mutex_);
+
+  /// The help string registered for `family` ("" if none).
+  std::string HelpOf(std::string_view family) const ASUP_EXCLUDES(mutex_);
 
   /// Point-in-time values of every counter / gauge, sorted by name
   /// (RunReport scrapes these).
@@ -190,6 +199,16 @@ class MetricsRegistry {
       ASUP_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       ASUP_GUARDED_BY(mutex_);
+  // family name -> HELP text (exposition only; absent families emit no
+  // `# HELP` line, keeping snapshots byte-stable for undocumented metrics).
+  std::map<std::string, std::string, std::less<>> help_
+      ASUP_GUARDED_BY(mutex_);
+
+  void RecordHelpLocked(std::string_view name, std::string_view help)
+      ASUP_REQUIRES(mutex_);
+  /// "# HELP <family> <text>\n" for documented families, "" otherwise.
+  std::string HelpLineLocked(const std::string& name) const
+      ASUP_REQUIRES(mutex_);
 };
 
 }  // namespace obs
@@ -198,55 +217,64 @@ class MetricsRegistry {
 // Instrumentation macros. `name` must be a string literal (or have static
 // storage duration): the resolved metric reference is cached in a
 // function-local static, so the registry lock is taken once per call site.
+// An optional trailing string-literal argument documents the metric family
+// (emitted as a `# HELP` line by PrometheusText).
 #define ASUP_METRICS_ONLY(...) __VA_ARGS__
 
-#define ASUP_METRIC_COUNT(name, n)                               \
-  do {                                                           \
-    static ::asup::obs::Counter& asup_metric_counter_ =          \
-        ::asup::obs::MetricsRegistry::Default().CounterOf(name); \
-    asup_metric_counter_.Add(n);                                 \
-  } while (0)
-
-#define ASUP_METRIC_GAUGE_SET(name, v)                         \
+#define ASUP_METRIC_COUNT(name, n, ...)                        \
   do {                                                         \
-    static ::asup::obs::Gauge& asup_metric_gauge_ =            \
-        ::asup::obs::MetricsRegistry::Default().GaugeOf(name); \
-    asup_metric_gauge_.Set(static_cast<double>(v));            \
+    static ::asup::obs::Counter& asup_metric_counter_ =        \
+        ::asup::obs::MetricsRegistry::Default().CounterOf(     \
+            name __VA_OPT__(, ) __VA_ARGS__);                  \
+    asup_metric_counter_.Add(n);                               \
   } while (0)
 
-#define ASUP_METRIC_GAUGE_ADD(name, v)                         \
-  do {                                                         \
-    static ::asup::obs::Gauge& asup_metric_gauge_ =            \
-        ::asup::obs::MetricsRegistry::Default().GaugeOf(name); \
-    asup_metric_gauge_.Add(static_cast<double>(v));            \
+#define ASUP_METRIC_GAUGE_SET(name, v, ...)                 \
+  do {                                                      \
+    static ::asup::obs::Gauge& asup_metric_gauge_ =         \
+        ::asup::obs::MetricsRegistry::Default().GaugeOf(    \
+            name __VA_OPT__(, ) __VA_ARGS__);               \
+    asup_metric_gauge_.Set(static_cast<double>(v));         \
   } while (0)
 
-#define ASUP_METRIC_OBSERVE_NANOS(name, v)                      \
-  do {                                                          \
-    static ::asup::obs::Histogram& asup_metric_histogram_ =     \
-        ::asup::obs::MetricsRegistry::Default().HistogramOf(    \
-            name, ::asup::obs::LatencyBucketsNanos());          \
-    asup_metric_histogram_.Observe(static_cast<int64_t>(v));    \
+#define ASUP_METRIC_GAUGE_ADD(name, v, ...)                 \
+  do {                                                      \
+    static ::asup::obs::Gauge& asup_metric_gauge_ =         \
+        ::asup::obs::MetricsRegistry::Default().GaugeOf(    \
+            name __VA_OPT__(, ) __VA_ARGS__);               \
+    asup_metric_gauge_.Add(static_cast<double>(v));         \
   } while (0)
 
-#define ASUP_METRIC_OBSERVE_SIZE(name, v)                       \
-  do {                                                          \
-    static ::asup::obs::Histogram& asup_metric_histogram_ =     \
-        ::asup::obs::MetricsRegistry::Default().HistogramOf(    \
-            name, ::asup::obs::SizeBuckets());                  \
-    asup_metric_histogram_.Observe(static_cast<int64_t>(v));    \
+#define ASUP_METRIC_OBSERVE_NANOS(name, v, ...)                          \
+  do {                                                                   \
+    static ::asup::obs::Histogram& asup_metric_histogram_ =              \
+        ::asup::obs::MetricsRegistry::Default().HistogramOf(             \
+            name, ::asup::obs::LatencyBucketsNanos() __VA_OPT__(, )      \
+                      __VA_ARGS__);                                      \
+    asup_metric_histogram_.Observe(static_cast<int64_t>(v));             \
+  } while (0)
+
+#define ASUP_METRIC_OBSERVE_SIZE(name, v, ...)                           \
+  do {                                                                   \
+    static ::asup::obs::Histogram& asup_metric_histogram_ =              \
+        ::asup::obs::MetricsRegistry::Default().HistogramOf(             \
+            name, ::asup::obs::SizeBuckets() __VA_OPT__(, ) __VA_ARGS__); \
+    asup_metric_histogram_.Observe(static_cast<int64_t>(v));             \
   } while (0)
 
 #else  // !ASUP_METRICS_ENABLED
 
 // Compiled out: operands stay type checked (the dead branch folds away)
 // but are never evaluated — the same contract as the disabled ASUP_CHECK.
+// The optional help-string argument is discarded.
 #define ASUP_METRICS_ONLY(...)
-#define ASUP_METRIC_COUNT(name, n) (true ? (void)0 : ((void)(n)))
-#define ASUP_METRIC_GAUGE_SET(name, v) (true ? (void)0 : ((void)(v)))
-#define ASUP_METRIC_GAUGE_ADD(name, v) (true ? (void)0 : ((void)(v)))
-#define ASUP_METRIC_OBSERVE_NANOS(name, v) (true ? (void)0 : ((void)(v)))
-#define ASUP_METRIC_OBSERVE_SIZE(name, v) (true ? (void)0 : ((void)(v)))
+#define ASUP_METRIC_COUNT(name, n, ...) (true ? (void)0 : ((void)(n)))
+#define ASUP_METRIC_GAUGE_SET(name, v, ...) (true ? (void)0 : ((void)(v)))
+#define ASUP_METRIC_GAUGE_ADD(name, v, ...) (true ? (void)0 : ((void)(v)))
+#define ASUP_METRIC_OBSERVE_NANOS(name, v, ...) \
+  (true ? (void)0 : ((void)(v)))
+#define ASUP_METRIC_OBSERVE_SIZE(name, v, ...) \
+  (true ? (void)0 : ((void)(v)))
 
 #endif  // ASUP_METRICS_ENABLED
 

@@ -1,0 +1,153 @@
+#include "asup/obs/suspicion.h"
+
+#if ASUP_METRICS_ENABLED
+
+#include <utility>
+
+namespace asup {
+namespace obs {
+
+/// Bridge called by EmitEvent's fan-out (declared in event_log.cc), kept
+/// out of the public header.
+void WatchtowerIngest(Watchtower& watchtower, const Event& event) {
+  watchtower.Ingest(event);
+}
+
+Watchtower::Watchtower(const WatchtowerConfig& config)
+    : config_(config), table_(config.window) {}
+
+double Watchtower::RuleScore(const ClientFeatures& features,
+                             const SuspicionRules& rules,
+                             uint64_t min_queries) {
+  if (features.window_queries < min_queries) return 0.0;
+  double score = 0.0;
+  if (features.query_share >= rules.min_query_share) {
+    score += rules.query_share_weight;
+  }
+  if (features.repeat_query_fraction >= rules.min_repeat_query) {
+    score += rules.repeat_query_weight;
+  }
+  if (features.repeat_term_fraction >= rules.min_repeat_term) {
+    score += rules.repeat_term_weight;
+  }
+  if (features.distinct_term_growth <= rules.max_term_growth) {
+    score += rules.term_growth_weight;
+  }
+  if (features.hidden_rate >= rules.min_hidden_rate) {
+    score += rules.hidden_rate_weight;
+  }
+  if (features.segment_crossing_rate >= rules.min_crossing_rate) {
+    score += rules.crossing_weight;
+  }
+  if (features.saturation_rate >= rules.min_saturation) {
+    score += rules.saturation_weight;
+  }
+  if (features.cache_hit_rate >= rules.min_cache_hit) {
+    score += rules.cache_hit_weight;
+  }
+  return score;
+}
+
+void Watchtower::ScoreClientLocked(uint64_t client) {
+  const std::optional<ClientFeatures> features = table_.FeaturesOf(client);
+  if (!features.has_value()) return;
+  ScoreState& state = scores_[client];
+  state.score = RuleScore(*features, config_.rules, config_.min_queries);
+  // EWMA from an implicit 0 prior: a flag needs the raw score to *stay*
+  // above the threshold, not to spike there once.
+  state.smoothed = config_.ewma_alpha * state.score +
+                   (1.0 - config_.ewma_alpha) * state.smoothed;
+  ++scored_;
+  ASUP_METRIC_COUNT("asup_watchtower_queries_scored_total", 1,
+                    "Completed queries scored by the watchtower");
+  if (!state.flagged && state.smoothed >= config_.flag_threshold &&
+      features->window_queries >= config_.min_queries) {
+    state.flagged = true;
+    ++flagged_;
+    ASUP_METRIC_COUNT("asup_watchtower_flagged_clients_total", 1,
+                      "Clients whose smoothed suspicion score crossed the "
+                      "flag threshold");
+    Event flag;
+    flag.kind = EventKind::kSuspicionFlag;
+    flag.client = client;
+    flag.a = static_cast<int64_t>(state.smoothed * 1000.0);
+    flag.b = static_cast<int64_t>(features->window_queries);
+    // Ingest ignores kSuspicionFlag, so the fan-out cannot re-enter this
+    // mutex.
+    EmitEvent(flag);
+  }
+  // Keep the score map aligned with the (LRU-bounded) window table.
+  if (scores_.size() > 2 * config_.window.max_clients) {
+    for (auto it = scores_.begin(); it != scores_.end();) {
+      if (!table_.FeaturesOf(it->first).has_value()) {
+        it = scores_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Watchtower::Ingest(const Event& event) {
+  if (event.kind == EventKind::kSuspicionFlag) return;
+  MutexLock lock(mutex_);
+  ++events_;
+  const bool completed = table_.Observe(event);
+  if (completed) {
+    ScoreClientLocked(event.client);
+    ASUP_METRIC_GAUGE_SET("asup_watchtower_clients_tracked",
+                          table_.tracked_clients(),
+                          "Clients currently tracked by the watchtower");
+  }
+}
+
+Watchtower::Verdict Watchtower::VerdictLocked(
+    uint64_t client, const ClientFeatures& features) const {
+  Verdict verdict;
+  verdict.client = client;
+  verdict.features = features;
+  auto it = scores_.find(client);
+  if (it != scores_.end()) {
+    verdict.score = it->second.score;
+    verdict.smoothed_score = it->second.smoothed;
+    verdict.flagged = it->second.flagged;
+  }
+  return verdict;
+}
+
+std::optional<Watchtower::Verdict> Watchtower::VerdictOf(
+    uint64_t client) const {
+  MutexLock lock(mutex_);
+  const std::optional<ClientFeatures> features = table_.FeaturesOf(client);
+  if (!features.has_value()) return std::nullopt;
+  return VerdictLocked(client, *features);
+}
+
+std::vector<Watchtower::Verdict> Watchtower::Verdicts() const {
+  MutexLock lock(mutex_);
+  std::vector<Verdict> out;
+  for (const ClientFeatures& features : table_.AllFeatures()) {
+    out.push_back(VerdictLocked(features.client, features));
+  }
+  return out;
+}
+
+uint64_t Watchtower::events_ingested() const {
+  MutexLock lock(mutex_);
+  return events_;
+}
+
+uint64_t Watchtower::queries_scored() const {
+  MutexLock lock(mutex_);
+  return scored_;
+}
+
+uint64_t Watchtower::clients_flagged() const {
+  MutexLock lock(mutex_);
+  return flagged_;
+}
+
+}  // namespace obs
+}  // namespace asup
+
+#endif  // ASUP_METRICS_ENABLED

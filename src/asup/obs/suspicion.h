@@ -1,0 +1,161 @@
+#ifndef ASUP_OBS_SUSPICION_H_
+#define ASUP_OBS_SUSPICION_H_
+
+/// Online attack-suspicion scoring (the "watchtower").
+///
+/// Consumes the structured event stream synchronously (EmitEvent fans out
+/// to the installed Watchtower) and maintains per-client window features
+/// (obs/client_window.h). Each completed query re-scores its client: every
+/// threshold rule that fires contributes its weight to the raw score, the
+/// raw score is EWMA-smoothed per client, and a client whose smoothed
+/// score reaches `flag_threshold` (with at least `min_queries` in the
+/// window) is flagged — once, stickily — emitting a kSuspicionFlag event
+/// and bumping `asup_watchtower_flagged_clients_total`.
+///
+/// The rules encode the attack signatures of our own `attack/` suite:
+/// RS-ESTIMATOR-style pool replay (term discovery collapses to zero, the
+/// answer cache absorbs the re-issued pool), sheer traffic share, and the
+/// suppressed-region probing signals (hidden-answer encounters, segment
+/// walking, answer-at-k saturation). The smoothed score starts at 0, so a
+/// flag requires a *sustained* high raw score — a benign client's bursty
+/// first window cannot trip it. `eval/detection_experiment.h` closes the
+/// loop by replaying those attackers and benign epoch-stream mixes
+/// through this scorer; the default thresholds are calibrated there
+/// (fig. 21: benign mixes score ≤ 2, pool-replaying estimators ≥ 3.5).
+///
+/// Thread-safe (one mutex; ingest is cheap — O(window) on completed
+/// queries only). Compiled out with the obs layer under
+/// `-DASUP_METRICS=OFF`.
+
+#include "asup/obs/client_window.h"
+#include "asup/obs/event_log.h"
+
+#if ASUP_METRICS_ENABLED
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "asup/util/annotated_mutex.h"
+
+namespace asup {
+namespace obs {
+
+/// Threshold rules. A rule fires when its feature crosses the threshold in
+/// the suspicious direction; its weight then joins the raw score. Weights
+/// of 0 disable a rule.
+struct SuspicionRules {
+  /// Client issues an outsized share of global traffic.
+  double min_query_share = 0.5;
+  double query_share_weight = 1.0;
+
+  /// Pool replay: the client re-issues queries from inside its window.
+  double min_repeat_query = 0.30;
+  double repeat_query_weight = 1.0;
+
+  /// Fixed probe vocabulary.
+  double min_repeat_term = 0.85;
+  double repeat_term_weight = 0.5;
+
+  /// Term discovery dried up (suspicious *below* the threshold): bona fide
+  /// users keep finding new vocabulary (fig. 21 benign mixes sit near
+  /// 0.45); a maintained pool converges to ~0.
+  double max_term_growth = 0.05;
+  double term_growth_weight = 1.5;
+
+  /// The defense keeps perturbing this client's answers. Weighted low: on
+  /// small corpora bona fide valid queries are perturbed too.
+  double min_hidden_rate = 0.25;
+  double hidden_rate_weight = 0.5;
+
+  /// µ-segment boundary walking (selectivity-stratum flips between
+  /// consecutive queries). Diverse bona fide traffic flips often, so only
+  /// near-systematic walking fires.
+  double min_crossing_rate = 0.95;
+  double crossing_weight = 0.5;
+
+  /// Answers pinned at the interface limit k.
+  double min_saturation = 0.90;
+  double saturation_weight = 0.5;
+
+  /// Pool replay's second face: re-issued queries land in the answer
+  /// cache epoch after epoch.
+  double min_cache_hit = 0.60;
+  double cache_hit_weight = 1.0;
+};
+
+struct WatchtowerConfig {
+  ClientWindowConfig window;
+  SuspicionRules rules;
+
+  /// EWMA smoothing factor for the per-client score (1 = no smoothing).
+  double ewma_alpha = 0.25;
+
+  /// Smoothed score at which a client is flagged.
+  double flag_threshold = 3.0;
+
+  /// Minimum window queries before a client can be scored or flagged.
+  uint64_t min_queries = 24;
+};
+
+class Watchtower {
+ public:
+  explicit Watchtower(const WatchtowerConfig& config = WatchtowerConfig());
+
+  /// Folds one event into the client windows; re-scores the client when
+  /// the event completes a query. Ignores kSuspicionFlag (its own output).
+  void Ingest(const Event& event) ASUP_EXCLUDES(mutex_);
+
+  struct Verdict {
+    uint64_t client = 0;
+    ClientFeatures features;
+    double score = 0.0;           // latest raw rule score
+    double smoothed_score = 0.0;  // EWMA of raw scores
+    bool flagged = false;         // sticky once set
+  };
+
+  /// Current verdict for `client` (nullopt if untracked).
+  std::optional<Verdict> VerdictOf(uint64_t client) const
+      ASUP_EXCLUDES(mutex_);
+
+  /// Verdicts for every tracked client, ascending client id.
+  std::vector<Verdict> Verdicts() const ASUP_EXCLUDES(mutex_);
+
+  uint64_t events_ingested() const ASUP_EXCLUDES(mutex_);
+  uint64_t queries_scored() const ASUP_EXCLUDES(mutex_);
+  uint64_t clients_flagged() const ASUP_EXCLUDES(mutex_);
+
+  const WatchtowerConfig& config() const { return config_; }
+
+  /// The raw rule score for `features` under `rules` (stateless; the
+  /// smoothing and stickiness live in Ingest).
+  static double RuleScore(const ClientFeatures& features,
+                          const SuspicionRules& rules, uint64_t min_queries);
+
+ private:
+  struct ScoreState {
+    double score = 0.0;
+    double smoothed = 0.0;  // EWMA from an implicit 0 prior
+    bool flagged = false;
+  };
+
+  void ScoreClientLocked(uint64_t client) ASUP_REQUIRES(mutex_);
+  Verdict VerdictLocked(uint64_t client, const ClientFeatures& features)
+      const ASUP_REQUIRES(mutex_);
+
+  const WatchtowerConfig config_;
+  mutable Mutex mutex_;
+  ClientWindowTable table_ ASUP_GUARDED_BY(mutex_);
+  std::map<uint64_t, ScoreState> scores_ ASUP_GUARDED_BY(mutex_);
+  uint64_t events_ ASUP_GUARDED_BY(mutex_) = 0;
+  uint64_t scored_ ASUP_GUARDED_BY(mutex_) = 0;
+  uint64_t flagged_ ASUP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace obs
+}  // namespace asup
+
+#endif  // ASUP_METRICS_ENABLED
+
+#endif  // ASUP_OBS_SUSPICION_H_

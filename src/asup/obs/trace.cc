@@ -189,6 +189,9 @@ void TraceRingSink::Publish(QueryTrace trace) {
   } else {
     ring_[next_] = std::move(trace);
     next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+    ASUP_METRIC_COUNT("asup_obs_traces_dropped_total", 1,
+                      "Query traces a TraceRingSink overwrote to make room");
   }
   ++published_;
 }
@@ -196,6 +199,11 @@ void TraceRingSink::Publish(QueryTrace trace) {
 uint64_t TraceRingSink::total_published() const {
   MutexLock lock(mutex_);
   return published_;
+}
+
+uint64_t TraceRingSink::dropped() const {
+  MutexLock lock(mutex_);
+  return dropped_;
 }
 
 std::vector<QueryTrace> TraceRingSink::Snapshot() const {

@@ -126,6 +126,11 @@ class TraceRingSink {
   /// Total traces ever published (≥ the number retained).
   uint64_t total_published() const ASUP_EXCLUDES(mutex_);
 
+  /// Traces the ring overwrote to make room (total_published() -
+  /// retained). Each overwrite also bumps `asup_obs_traces_dropped_total`
+  /// in the default registry, so silent wrap-around is visible fleet-wide.
+  uint64_t dropped() const ASUP_EXCLUDES(mutex_);
+
   /// Retained traces, oldest first.
   std::vector<QueryTrace> Snapshot() const ASUP_EXCLUDES(mutex_);
 
@@ -141,6 +146,7 @@ class TraceRingSink {
   // ring slot the next publish overwrites
   size_t next_ ASUP_GUARDED_BY(mutex_) = 0;
   uint64_t published_ ASUP_GUARDED_BY(mutex_) = 0;
+  uint64_t dropped_ ASUP_GUARDED_BY(mutex_) = 0;
 };
 
 /// Installs the process-wide sink the scopes publish to (nullptr to

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "asup/obs/event_log.h"
 #include "asup/obs/trace.h"
 #include "asup/util/check.h"
 
@@ -120,6 +121,8 @@ SearchResult AsArbiEngine::SearchStateLocked(const KeywordQuery& query,
     if (answer_cache_.LookupOrClaim(query.canonical(), &cached) ==
         AnswerCache::Claim::kHit) {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      ASUP_EVENT_EMIT(kCacheHit, query.client_id(), query.hash(),
+                      cached.docs.size(), 0);
       return cached;
     }
   }
@@ -166,6 +169,7 @@ void AsArbiEngine::MigrateTo(const SnapshotHandle& target) {
   snapshot_ = target;
   stats_.epoch_migrations.fetch_add(1, std::memory_order_relaxed);
   ASUP_METRIC_COUNT("asup_suppress_epoch_migrations_total", 1);
+  ASUP_EVENT_EMIT(kEpochMigration, 0, 0, target->epoch(), 0);
 }
 
 void AsArbiEngine::CompactHistoryLocked(const CorpusSnapshot& to) {
@@ -250,6 +254,8 @@ SearchResult AsArbiEngine::Process(const KeywordQuery& query,
         stats_.virtual_answers.fetch_add(1, std::memory_order_relaxed);
         ASUP_METRIC_COUNT("asup_suppress_arbi_virtual_answers_total", 1);
         ASUP_TRACE_NOTE("cover_answers_used", cover.query_indices.size());
+        ASUP_EVENT_EMIT(kCoverFound, query.client_id(), query.hash(),
+                        cover.query_indices.size(), match_ids.size());
         return AnswerVirtually(query, match_ids, cover);
       }
     }
@@ -343,6 +349,8 @@ SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
   } else {
     result.status = QueryStatus::kValid;
   }
+  ASUP_EVENT_EMIT(kVirtualAnswer, query.client_id(), query.hash(),
+                  result.docs.size(), cover.query_indices.size());
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "asup/obs/event_log.h"
 #include "asup/obs/trace.h"
 #include "asup/util/check.h"
 
@@ -121,6 +122,8 @@ SearchResult AsSimpleEngine::SearchStateLocked(const KeywordQuery& query,
     if (answer_cache_.LookupOrClaim(query.canonical(), &cached) ==
         AnswerCache::Claim::kHit) {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      ASUP_EVENT_EMIT(kCacheHit, query.client_id(), query.hash(),
+                      cached.docs.size(), 0);
       return cached;
     }
   }
@@ -198,6 +201,7 @@ void AsSimpleEngine::MigrateStateLocked(const SnapshotHandle& target) {
   stats_.epoch_migrations.fetch_add(1, std::memory_order_relaxed);
   ASUP_METRIC_COUNT("asup_suppress_epoch_migrations_total", 1);
   ASUP_TRACE_NOTE("epoch_thetar_dropped", dropped);
+  ASUP_EVENT_EMIT(kEpochMigration, 0, 0, to.epoch(), dropped);
 }
 
 SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
@@ -256,6 +260,20 @@ SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
   ASUP_TRACE_NOTE("docs_reshown", reshown);
   ASUP_TRACE_NOTE("mu", segment_.mu());
   ASUP_TRACE_NOTE("gamma", config_.gamma);
+  if (hidden != 0) {
+    ASUP_EVENT_EMIT(kAnswerHidden, query.client_id(), query.hash(), hidden,
+                    0);
+  }
+  // The query's selectivity stratum: which γ-segment |Sel(q)| falls into.
+  // Estimators that walk the answer-size strata (stratified, dynamic)
+  // hop between strata far more often than bona fide traffic, which
+  // clusters on the popular head — the watchtower's segment-crossing
+  // feature counts those hops.
+  ASUP_EVENT_EMIT(kSegmentProbe, query.client_id(), query.hash(),
+                  static_cast<int64_t>(
+                      std::log(static_cast<double>(ranked.total_matches)) /
+                      std::log(config_.gamma)),
+                  ranked.total_matches);
   // Θ_R monotonicity: TestAndSet only ever sets bits, so after the loop
   // every document of M(q) — kept, hidden, or about to be trimmed — is
   // activated (Algorithm 1 runs line 14 after the loop; §5.1 depends on
@@ -280,6 +298,8 @@ SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
       stats_.docs_trimmed.fetch_add(trimmed, std::memory_order_relaxed);
       ASUP_METRIC_COUNT("asup_suppress_docs_trimmed_total", trimmed);
       ASUP_TRACE_NOTE("docs_trimmed", trimmed);
+      ASUP_EVENT_EMIT(kAnswerTrimmed, query.client_id(), query.hash(),
+                      trimmed, 0);
       survivors.resize(keep);
     }
     // Line 14 postcondition: the answer is capped at min(|M(q)|/μ, k).

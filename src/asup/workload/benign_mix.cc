@@ -1,0 +1,43 @@
+#include "asup/workload/benign_mix.h"
+
+#include "asup/util/check.h"
+#include "asup/util/random.h"
+
+namespace asup {
+
+namespace {
+
+// splitmix64-style mixing of (seed, client, epoch) into one derived seed;
+// the constants are the usual golden-ratio / Murmur3 finalizer primes.
+uint64_t DeriveSeed(uint64_t seed, size_t client, uint64_t epoch) {
+  uint64_t x = seed;
+  x += 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(client) + 1);
+  x += 0xc2b2ae3d27d4eb4fULL * (epoch + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+}  // namespace
+
+BenignMix::BenignMix(const Corpus& corpus, const BenignMixConfig& config)
+    : config_(config), workload_(corpus, config.log) {
+  ASUP_CHECK(config_.num_clients > 0);
+  ASUP_CHECK(!workload_.log().empty());
+}
+
+std::vector<KeywordQuery> BenignMix::EpochQueries(size_t client,
+                                                  uint64_t epoch) const {
+  ASUP_CHECK_LT(client, config_.num_clients);
+  Rng rng(DeriveSeed(config_.seed, client, epoch));
+  const std::vector<KeywordQuery>& log = workload_.log();
+  std::vector<KeywordQuery> queries;
+  queries.reserve(config_.queries_per_client_per_epoch);
+  for (size_t i = 0; i < config_.queries_per_client_per_epoch; ++i) {
+    queries.push_back(log[rng.UniformBelow(log.size())]);
+  }
+  return queries;
+}
+
+}  // namespace asup

@@ -1,0 +1,65 @@
+#ifndef ASUP_WORKLOAD_BENIGN_MIX_H_
+#define ASUP_WORKLOAD_BENIGN_MIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "asup/engine/query.h"
+#include "asup/text/corpus.h"
+#include "asup/workload/aol_like.h"
+
+namespace asup {
+
+/// Parameters of a multi-client benign traffic mix.
+struct BenignMixConfig {
+  /// Number of bona fide clients sharing the interface.
+  size_t num_clients = 8;
+
+  /// Queries each client issues per corpus epoch.
+  size_t queries_per_client_per_epoch = 60;
+
+  /// The shared query population behind every client (the AOL-like log of
+  /// Section 6.1). Its own seed fixes the population; `seed` below fixes
+  /// which entries each client draws.
+  AolLikeConfig log;
+
+  /// Seed of the per-(client, epoch) draw sequences.
+  uint64_t seed = 77;
+};
+
+/// Deterministic benign traffic: `num_clients` bona fide users drawing
+/// popularity-weighted queries from one shared AOL-like log.
+///
+/// Each (client, epoch) pair gets its own derived Rng, so the stream a
+/// client issues in an epoch depends only on the config — interleaving
+/// clients differently, adding an attacker, or replaying a single client
+/// in isolation never changes what any client asks. That independence is
+/// what makes the watchtower's false-positive measurements (fig. 21)
+/// paired: the benign-only run and the attacked run face byte-identical
+/// benign traffic.
+///
+/// Draws are indices into the log (duplicates included), so the per-client
+/// streams inherit the log's Zipf head-repetition instead of flattening
+/// it — repeat-query rates of real users survive the split.
+class BenignMix {
+ public:
+  BenignMix(const Corpus& corpus, const BenignMixConfig& config);
+
+  size_t num_clients() const { return config_.num_clients; }
+
+  /// The queries client `client` (0-based) issues in `epoch` (1-based),
+  /// in issue order. Deterministic in (config, client, epoch).
+  std::vector<KeywordQuery> EpochQueries(size_t client, uint64_t epoch) const;
+
+  const AolLikeWorkload& workload() const { return workload_; }
+  const BenignMixConfig& config() const { return config_; }
+
+ private:
+  BenignMixConfig config_;
+  AolLikeWorkload workload_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_WORKLOAD_BENIGN_MIX_H_

@@ -1,0 +1,179 @@
+// Tests for the per-client sliding-window feature table
+// (src/asup/obs/client_window.h): the query-record commit model, each
+// derived feature, LRU and byte-budget eviction. Compiled to a skip note
+// in the ASUP_METRICS=OFF build (the type does not exist there).
+
+#include "asup/obs/client_window.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace asup {
+namespace {
+
+#if ASUP_METRICS_ENABLED
+
+obs::Event Ev(obs::EventKind kind, uint64_t client, uint64_t hash = 0,
+              int64_t a = 0, int64_t b = 0) {
+  obs::Event event;
+  event.kind = kind;
+  event.client = client;
+  event.query_hash = hash;
+  event.a = a;
+  event.b = b;
+  return event;
+}
+
+/// Issues one full query frame: issued + terms + optional decorations +
+/// served. Returns Observe's result for the serving event.
+bool IssueQuery(obs::ClientWindowTable& table, uint64_t client, uint64_t hash,
+                const std::vector<uint32_t>& terms, bool suppressed = false,
+                bool overflow = false, bool cache_hit = false,
+                int64_t segment = -1) {
+  table.Observe(Ev(obs::EventKind::kQueryIssued, client, hash,
+                   static_cast<int64_t>(terms.size())));
+  for (uint32_t term : terms) {
+    table.Observe(Ev(obs::EventKind::kQueryTerm, client, hash, term));
+  }
+  if (segment >= 0) {
+    table.Observe(Ev(obs::EventKind::kSegmentProbe, client, hash, segment));
+  }
+  if (suppressed) {
+    table.Observe(Ev(obs::EventKind::kAnswerHidden, client, hash, 2));
+  }
+  if (cache_hit) {
+    table.Observe(Ev(obs::EventKind::kCacheHit, client, hash));
+  }
+  return table.Observe(Ev(obs::EventKind::kAnswerServed, client, hash, 10,
+                          overflow ? 1 : 0));
+}
+
+TEST(ClientWindowTable, CommitsOnAnswerServedOnly) {
+  obs::ClientWindowTable table(obs::ClientWindowConfig{});
+  EXPECT_FALSE(
+      table.Observe(Ev(obs::EventKind::kQueryIssued, 1, 100, 1)));
+  EXPECT_FALSE(table.Observe(Ev(obs::EventKind::kQueryTerm, 1, 100, 7)));
+  const auto before = table.FeaturesOf(1);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->window_queries, 0u);  // still pending
+  EXPECT_TRUE(
+      table.Observe(Ev(obs::EventKind::kAnswerServed, 1, 100, 5, 0)));
+  const auto after = table.FeaturesOf(1);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->window_queries, 1u);
+  EXPECT_EQ(after->lifetime_queries, 1u);
+}
+
+TEST(ClientWindowTable, RepeatAndGrowthFeatures) {
+  obs::ClientWindowTable table(obs::ClientWindowConfig{});
+  // Three queries: hashes {100, 100, 200}, terms {1,2},{1,2},{1,3}.
+  IssueQuery(table, 1, 100, {1, 2});
+  IssueQuery(table, 1, 100, {1, 2});
+  IssueQuery(table, 1, 200, {1, 3});
+  const auto features = table.FeaturesOf(1);
+  ASSERT_TRUE(features.has_value());
+  EXPECT_EQ(features->window_queries, 3u);
+  // 2 distinct hashes over 3 queries; 3 distinct terms over 6 occurrences.
+  EXPECT_DOUBLE_EQ(features->repeat_query_fraction, 1.0 - 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(features->repeat_term_fraction, 1.0 - 3.0 / 6.0);
+  // New terms: {1,2} then {} then {3} = 3 of 6 occurrences.
+  EXPECT_DOUBLE_EQ(features->distinct_term_growth, 3.0 / 6.0);
+  // Sole client: its window spans the whole global stream.
+  EXPECT_DOUBLE_EQ(features->query_share, 1.0);
+}
+
+TEST(ClientWindowTable, RateFeaturesAndSegmentCrossings) {
+  obs::ClientWindowTable table(obs::ClientWindowConfig{});
+  IssueQuery(table, 1, 100, {1}, /*suppressed=*/true, /*overflow=*/false,
+             /*cache_hit=*/false, /*segment=*/2);
+  IssueQuery(table, 1, 101, {2}, /*suppressed=*/false, /*overflow=*/true,
+             /*cache_hit=*/true, /*segment=*/3);
+  IssueQuery(table, 1, 102, {3}, /*suppressed=*/false, /*overflow=*/false,
+             /*cache_hit=*/false, /*segment=*/3);
+  IssueQuery(table, 1, 103, {4}, /*suppressed=*/true, /*overflow=*/true,
+             /*cache_hit=*/false, /*segment=*/1);
+  const auto features = table.FeaturesOf(1);
+  ASSERT_TRUE(features.has_value());
+  EXPECT_DOUBLE_EQ(features->hidden_rate, 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(features->saturation_rate, 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(features->cache_hit_rate, 1.0 / 4.0);
+  // Segments 2 -> 3 -> 3 -> 1: two crossings over three pairs.
+  EXPECT_DOUBLE_EQ(features->segment_crossing_rate, 2.0 / 3.0);
+}
+
+TEST(ClientWindowTable, QueryShareSplitsAcrossInterleavedClients) {
+  obs::ClientWindowTable table(obs::ClientWindowConfig{});
+  for (int i = 0; i < 10; ++i) {
+    IssueQuery(table, 1, 100 + i, {static_cast<uint32_t>(i)});
+    IssueQuery(table, 2, 200 + i, {static_cast<uint32_t>(i)});
+  }
+  const auto features = table.FeaturesOf(1);
+  ASSERT_TRUE(features.has_value());
+  EXPECT_NEAR(features->query_share, 0.5, 0.06);
+}
+
+TEST(ClientWindowTable, WindowSlidesAtConfiguredSize) {
+  obs::ClientWindowConfig config;
+  config.window = 4;
+  obs::ClientWindowTable table(config);
+  for (int i = 0; i < 10; ++i) {
+    IssueQuery(table, 1, 100 + i, {static_cast<uint32_t>(i)});
+  }
+  const auto features = table.FeaturesOf(1);
+  ASSERT_TRUE(features.has_value());
+  EXPECT_EQ(features->window_queries, 4u);
+  EXPECT_EQ(features->lifetime_queries, 10u);
+}
+
+TEST(ClientWindowTable, LruEvictionKeepsMostRecentClients) {
+  obs::ClientWindowConfig config;
+  config.max_clients = 3;
+  obs::ClientWindowTable table(config);
+  for (uint64_t client = 1; client <= 5; ++client) {
+    IssueQuery(table, client, client, {1});
+  }
+  EXPECT_EQ(table.tracked_clients(), 3u);
+  EXPECT_EQ(table.evictions(), 2u);
+  EXPECT_FALSE(table.FeaturesOf(1).has_value());
+  EXPECT_FALSE(table.FeaturesOf(2).has_value());
+  EXPECT_TRUE(table.FeaturesOf(5).has_value());
+  // Activity refreshes recency: client 3 survives the next eviction.
+  IssueQuery(table, 3, 33, {2});
+  IssueQuery(table, 6, 66, {3});
+  EXPECT_TRUE(table.FeaturesOf(3).has_value());
+  EXPECT_FALSE(table.FeaturesOf(4).has_value());
+}
+
+TEST(ClientWindowTable, ByteBudgetEvictsDownToOneClient) {
+  obs::ClientWindowConfig config;
+  config.state_bytes_budget = 2000;  // a handful of clients at most
+  obs::ClientWindowTable table(config);
+  for (uint64_t client = 1; client <= 20; ++client) {
+    IssueQuery(table, client, client, {1, 2, 3});
+  }
+  EXPECT_GT(table.evictions(), 0u);
+  EXPECT_LE(table.ApproxBytes(), config.state_bytes_budget);
+  EXPECT_GE(table.tracked_clients(), 1u);
+  EXPECT_LT(table.tracked_clients(), 20u);
+}
+
+TEST(ClientWindowTable, StrayEventsWithoutOpenQueryAreIgnored) {
+  obs::ClientWindowTable table(obs::ClientWindowConfig{});
+  EXPECT_FALSE(table.Observe(Ev(obs::EventKind::kAnswerServed, 1, 9, 5, 0)));
+  EXPECT_FALSE(table.Observe(Ev(obs::EventKind::kCacheHit, 1, 9)));
+  const auto features = table.FeaturesOf(1);
+  ASSERT_TRUE(features.has_value());
+  EXPECT_EQ(features->window_queries, 0u);
+}
+
+#else  // !ASUP_METRICS_ENABLED
+
+TEST(ClientWindowCompiledOut, NothingToTest) {
+  GTEST_SKIP() << "client windows compile out with ASUP_METRICS=OFF";
+}
+
+#endif  // ASUP_METRICS_ENABLED
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,109 @@
+// Acceptance tests for the watchtower detection experiment
+// (src/asup/eval/detection_experiment.h): the dynamic estimator must be
+// detectable against benign epoch-stream traffic (advantage > 0.3 under a
+// defense) while the benign-only stream stays below 5% false positives.
+// In the ASUP_METRICS=OFF build the run must report itself disabled.
+
+#include "asup/eval/detection_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace asup {
+namespace {
+
+#if ASUP_METRICS_ENABLED
+
+TEST(DetectionExperiment, BenignOnlyStreamStaysBelowFprBudget) {
+  const DetectionConfig config;
+  for (DefenseKind defense :
+       {DefenseKind::kNone, DefenseKind::kSimple, DefenseKind::kArbi}) {
+    const DetectionReport report =
+        RunDetectionExperiment(config, defense, AttackerKind::kNone);
+    ASSERT_TRUE(report.enabled);
+    EXPECT_EQ(report.attacker_queries, 0u);
+    EXPECT_GT(report.benign_queries, 0u);
+    EXPECT_LE(report.fpr, 0.05) << DefenseKindName(defense);
+    EXPECT_EQ(report.benign_flagged, 0u) << DefenseKindName(defense);
+  }
+}
+
+TEST(DetectionExperiment, DynamicEstimatorIsDetectedUnderDefense) {
+  const DetectionConfig config;
+  const DetectionReport report = RunDetectionExperiment(
+      config, DefenseKind::kSimple, AttackerKind::kDynamic);
+  ASSERT_TRUE(report.enabled);
+  EXPECT_GT(report.advantage, 0.3);
+  EXPECT_DOUBLE_EQ(report.tpr, 1.0);
+  EXPECT_LE(report.fpr, 0.05);
+
+  // The attacker row exists, is flagged, and separates from the benign
+  // population on the pool-replay features, not just on volume.
+  ASSERT_FALSE(report.clients.empty());
+  const DetectionClientRow& attacker = report.clients.back();
+  ASSERT_TRUE(attacker.is_attacker);
+  EXPECT_EQ(attacker.client, kDetectionAttackerClient);
+  EXPECT_TRUE(attacker.flagged);
+  for (const DetectionClientRow& row : report.clients) {
+    if (row.is_attacker) continue;
+    EXPECT_FALSE(row.flagged);
+    // Bona fide clients keep discovering vocabulary; the maintained pool
+    // does not.
+    EXPECT_GT(row.distinct_term_growth, attacker.distinct_term_growth);
+  }
+  EXPECT_GT(report.events_ingested, report.benign_queries);
+  EXPECT_GT(report.queries_scored, 0u);
+}
+
+TEST(DetectionExperiment, RunsAreDeterministicInTheConfig) {
+  DetectionConfig config;
+  // Shrink the run: determinism only needs two identical replays.
+  config.stream.num_epochs = 1;
+  config.attacker_budget_per_epoch = 500;
+  const DetectionReport a = RunDetectionExperiment(
+      config, DefenseKind::kSimple, AttackerKind::kDynamic);
+  const DetectionReport b = RunDetectionExperiment(
+      config, DefenseKind::kSimple, AttackerKind::kDynamic);
+  EXPECT_EQ(a.benign_queries, b.benign_queries);
+  EXPECT_EQ(a.attacker_queries, b.attacker_queries);
+  EXPECT_EQ(a.events_ingested, b.events_ingested);
+  EXPECT_DOUBLE_EQ(a.advantage, b.advantage);
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (size_t i = 0; i < a.clients.size(); ++i) {
+    EXPECT_EQ(a.clients[i].client, b.clients[i].client);
+    EXPECT_EQ(a.clients[i].flagged, b.clients[i].flagged);
+    EXPECT_DOUBLE_EQ(a.clients[i].smoothed_score,
+                     b.clients[i].smoothed_score);
+  }
+}
+
+TEST(DetectionExperiment, SummaryCsvHasOneRowPerRun) {
+  DetectionConfig config;
+  config.stream.num_epochs = 1;
+  config.attacker_budget_per_epoch = 200;
+  std::vector<DetectionReport> runs;
+  runs.push_back(
+      RunDetectionExperiment(config, DefenseKind::kNone, AttackerKind::kNone));
+  const CsvTable summary = DetectionSummaryCsv(runs);
+  EXPECT_EQ(summary.NumRows(), 1u);
+  EXPECT_EQ(summary.columns().front(), "defense");
+  const CsvTable clients = DetectionClientsCsv(runs[0]);
+  EXPECT_EQ(clients.NumRows(), runs[0].clients.size());
+}
+
+#else  // !ASUP_METRICS_ENABLED
+
+TEST(DetectionExperiment, ReportsDisabledWhenMetricsCompiledOut) {
+  const DetectionConfig config;
+  const DetectionReport report = RunDetectionExperiment(
+      config, DefenseKind::kSimple, AttackerKind::kDynamic);
+  EXPECT_FALSE(report.enabled);
+  EXPECT_TRUE(report.clients.empty());
+  EXPECT_EQ(report.benign_queries, 0u);
+  // The CSV shells still work so OFF-build tooling does not branch.
+  EXPECT_EQ(DetectionClientsCsv(report).NumRows(), 0u);
+}
+
+#endif  // ASUP_METRICS_ENABLED
+
+}  // namespace
+}  // namespace asup

@@ -1,0 +1,206 @@
+// Tests for the structured event log (src/asup/obs/event_log.h): append /
+// snapshot ordering, bounded retention with explicit drop accounting,
+// per-thread staging, export round-trips, macro dispatch through the
+// installed sinks, and the compile-out contract of the OFF build.
+
+#include "asup/obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace asup {
+namespace {
+
+#if ASUP_METRICS_ENABLED
+
+obs::Event MakeEvent(uint64_t sequence, uint64_t client = 1) {
+  obs::Event event;
+  event.kind = obs::EventKind::kAnswerServed;
+  event.client = client;
+  event.query_hash = 0x1234;
+  event.sequence = sequence;
+  event.a = static_cast<int64_t>(sequence);
+  return event;
+}
+
+class EventLogScope {
+ public:
+  explicit EventLogScope(obs::EventLog& log) { obs::InstallEventLog(&log); }
+  ~EventLogScope() { obs::InstallEventLog(nullptr); }
+};
+
+TEST(EventLog, SnapshotReturnsAppendsInSequenceOrder) {
+  obs::EventLog log(1024);
+  for (uint64_t s = 10; s > 0; --s) log.Append(MakeEvent(s));
+  const std::vector<obs::Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, i + 1);
+  }
+  EXPECT_EQ(log.total_appended(), 10u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, BoundedRetentionCountsDrops) {
+  obs::MetricsRegistry::Default().Reset();
+  // Tiny capacity: every shard ring holds one event. A single-threaded
+  // appender drains into its one assigned shard, so exactly one event
+  // survives and every other append is an accounted overwrite.
+  obs::EventLog log(obs::EventLog::kShards);
+  const uint64_t total = 4 * obs::EventLog::kShards;
+  for (uint64_t s = 1; s <= total; ++s) log.Append(MakeEvent(s));
+  log.Flush();
+  EXPECT_EQ(log.total_appended(), total);
+  const std::vector<obs::Event> kept = log.Snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].sequence, total);  // the newest append wins
+  EXPECT_EQ(log.dropped(), total - 1);
+  EXPECT_EQ(obs::MetricsRegistry::Default().CounterValues().at(
+                "asup_obs_events_dropped_total"),
+            total - 1);
+}
+
+TEST(EventLog, StagedAppendsBecomeVisibleOnFlush) {
+  obs::EventLog log(1024);
+  log.Append(MakeEvent(1));  // sits in this thread's staging buffer
+  EXPECT_EQ(log.total_appended(), 1u);
+  log.Flush();
+  EXPECT_EQ(log.Snapshot().size(), 1u);
+}
+
+TEST(EventLog, ConcurrentAppendsAreLosslessUnderCapacity) {
+  obs::EventLog log(1 << 16);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Append(MakeEvent(static_cast<uint64_t>(t) * kPerThread + i + 1,
+                             static_cast<uint64_t>(t)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(log.total_appended(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.Snapshot().size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, WriteJsonlEmitsOneObjectPerEvent) {
+  obs::EventLog log(16);
+  obs::Event event = MakeEvent(7, /*client=*/3);
+  event.kind = obs::EventKind::kAnswerHidden;
+  event.b = -2;
+  log.Append(event);
+  std::ostringstream out;
+  log.WriteJsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"seq\":7,\"kind\":\"answer_hidden\",\"client\":3,"
+            "\"qhash\":4660,\"a\":7,\"b\":-2}\n");
+}
+
+TEST(EventLog, BinaryExportRoundTrips) {
+  obs::EventLog log(64);
+  for (uint64_t s = 1; s <= 5; ++s) {
+    obs::Event event = MakeEvent(s, s % 2);
+    event.kind = static_cast<obs::EventKind>(s % obs::kNumEventKinds);
+    event.b = -static_cast<int64_t>(s);
+    log.Append(event);
+  }
+  std::stringstream stream;
+  log.WriteBinary(stream);
+  std::vector<obs::Event> decoded;
+  ASSERT_TRUE(obs::EventLog::ReadBinary(stream, &decoded));
+  const std::vector<obs::Event> original = log.Snapshot();
+  ASSERT_EQ(decoded.size(), original.size());
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].kind, original[i].kind);
+    EXPECT_EQ(decoded[i].client, original[i].client);
+    EXPECT_EQ(decoded[i].query_hash, original[i].query_hash);
+    EXPECT_EQ(decoded[i].sequence, original[i].sequence);
+    EXPECT_EQ(decoded[i].a, original[i].a);
+    EXPECT_EQ(decoded[i].b, original[i].b);
+  }
+}
+
+TEST(EventLog, ReadBinaryRejectsGarbage) {
+  std::stringstream stream("not an event log");
+  std::vector<obs::Event> decoded;
+  EXPECT_FALSE(obs::EventLog::ReadBinary(stream, &decoded));
+}
+
+TEST(EmitEvent, FansOutToInstalledLogWithGlobalSequence) {
+  obs::EventLog log(64);
+  EventLogScope scope(log);
+  EXPECT_TRUE(obs::EventSinksInstalled());
+  ASUP_EVENT_EMIT(kCacheHit, 5, 77, 3, 0);
+  ASUP_EVENT_EMIT(kCoverFound, 5, 77, 2, 9);
+  const std::vector<obs::Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kCacheHit);
+  EXPECT_EQ(events[1].kind, obs::EventKind::kCoverFound);
+  EXPECT_EQ(events[0].client, 5u);
+  EXPECT_EQ(events[0].query_hash, 77u);
+  EXPECT_EQ(events[0].a, 3);
+  EXPECT_EQ(events[1].b, 9);
+  // EmitEvent stamps a strictly increasing global sequence.
+  EXPECT_LT(events[0].sequence, events[1].sequence);
+}
+
+TEST(EmitEvent, QueryIssuedMacroEmitsPerTermEvents) {
+  obs::EventLog log(64);
+  EventLogScope scope(log);
+  const std::vector<uint32_t> terms = {11, 22, 33};
+  ASUP_EVENT_QUERY_ISSUED(9, 1234, terms);
+  const std::vector<obs::Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kQueryIssued);
+  EXPECT_EQ(events[0].a, 3);  // distinct term count
+  for (size_t i = 0; i < terms.size(); ++i) {
+    EXPECT_EQ(events[i + 1].kind, obs::EventKind::kQueryTerm);
+    EXPECT_EQ(events[i + 1].a, static_cast<int64_t>(terms[i]));
+    EXPECT_EQ(events[i + 1].client, 9u);
+  }
+}
+
+TEST(EmitEvent, MacrosDoNotEvaluateOperandsWithoutSinks) {
+  ASSERT_EQ(obs::InstalledEventLog(), nullptr);
+  ASSERT_EQ(obs::InstalledWatchtower(), nullptr);
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations; };
+  ASUP_EVENT_EMIT(kCacheHit, bump(), bump(), bump(), bump());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(EventKindName, CoversTheTaxonomy) {
+  EXPECT_STREQ(obs::EventKindName(obs::EventKind::kQueryIssued),
+               "query_issued");
+  EXPECT_STREQ(obs::EventKindName(obs::EventKind::kSuspicionFlag),
+               "suspicion_flag");
+}
+
+#else  // !ASUP_METRICS_ENABLED
+
+// The compiled-out event macros must not evaluate their operands (the
+// same contract as the disabled metric macros).
+TEST(EventLogCompiledOut, MacrosDoNotEvaluateOperands) {
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations; };
+  const std::vector<uint32_t> terms = {1, 2, 3};
+  ASUP_EVENT_EMIT(kCacheHit, bump(), bump(), bump(), bump());
+  ASUP_EVENT_QUERY_ISSUED(bump(), bump(), terms);
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // ASUP_METRICS_ENABLED
+
+}  // namespace
+}  // namespace asup

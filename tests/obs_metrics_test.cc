@@ -143,6 +143,50 @@ TEST(MetricsRegistry, PrometheusTextExposesLabelledHistogramSeries) {
             std::string::npos);
 }
 
+TEST(MetricsRegistry, PrometheusTextEmitsHelpWhenRegistered) {
+  obs::MetricsRegistry registry;
+  registry.CounterOf("asup_test_helped_total", "Things that happened").Add(1);
+  registry.GaugeOf("asup_test_depth", "Current queue depth").Set(2.0);
+  registry
+      .HistogramOf("asup_test_ns{stage=\"hide\"}", {10}, "Stage latencies")
+      .Observe(5);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# HELP asup_test_helped_total Things that happened\n"
+                      "# TYPE asup_test_helped_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP asup_test_depth Current queue depth\n"),
+            std::string::npos);
+  // Help attaches to the metric *family* (label-stripped name).
+  EXPECT_NE(text.find("# HELP asup_test_ns Stage latencies\n"
+                      "# TYPE asup_test_ns histogram\n"),
+            std::string::npos);
+  EXPECT_EQ(registry.HelpOf("asup_test_ns"), "Stage latencies");
+  EXPECT_EQ(registry.HelpOf("asup_test_unknown"), "");
+}
+
+TEST(MetricsRegistry, HelpIsFirstWriterWinsAndOptional) {
+  obs::MetricsRegistry registry;
+  registry.CounterOf("asup_test_total", "first");
+  registry.CounterOf("asup_test_total", "second");  // ignored
+  EXPECT_EQ(registry.HelpOf("asup_test_total"), "first");
+
+  // Without help the snapshot is byte-identical to the pre-HELP format:
+  // no `# HELP` line appears anywhere.
+  obs::MetricsRegistry bare;
+  bare.CounterOf("asup_test_bare_total").Add(1);
+  bare.GaugeOf("asup_test_bare_gauge").Set(1.0);
+  bare.HistogramOf("asup_test_bare_ns", {10}).Observe(1);
+  EXPECT_EQ(bare.PrometheusText().find("# HELP"), std::string::npos);
+}
+
+TEST(MetricsMacros, RegisterHelpViaOptionalArgument) {
+  obs::MetricsRegistry::Default().Reset();
+  ASUP_METRIC_COUNT("asup_test_help_macro_total", 1, "Macro-registered help");
+  EXPECT_EQ(obs::MetricsRegistry::Default().HelpOf(
+                "asup_test_help_macro_total"),
+            "Macro-registered help");
+}
+
 TEST(MetricsRegistry, JsonTextEscapesLabelQuotes) {
   obs::MetricsRegistry registry;
   registry.CounterOf("asup_test_total{kind=\"x\"}").Add(1);

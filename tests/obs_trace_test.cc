@@ -77,6 +77,21 @@ TEST(TraceRingSink, KeepsMostRecentTracesOldestFirst) {
   }
 }
 
+TEST(TraceRingSink, CountsOverwrittenTracesAndExportsThemAsMetric) {
+  obs::MetricsRegistry::Default().Reset();
+  obs::TraceRingSink sink(4);
+  EXPECT_EQ(sink.dropped(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    sink.Publish(obs::QueryTrace("q" + std::to_string(i)));
+  }
+  // 10 published into 4 slots: 6 evicted, visible locally and fleet-wide.
+  EXPECT_EQ(sink.total_published(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  EXPECT_EQ(obs::MetricsRegistry::Default().CounterValues().at(
+                "asup_obs_traces_dropped_total"),
+            6u);
+}
+
 TEST(TraceRingSink, WriteJsonlEmitsOneLinePerTrace) {
   obs::TraceRingSink sink(8);
   for (int i = 0; i < 3; ++i) {

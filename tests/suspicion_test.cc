@@ -1,0 +1,178 @@
+// Tests for the online attack-suspicion scorer (src/asup/obs/suspicion.h):
+// rule scoring, EWMA smoothing from a zero prior, sticky flagging of a
+// pool-replaying client, the benign profile staying unflagged, and the
+// kSuspicionFlag event reaching the installed event log.
+
+#include "asup/obs/suspicion.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "asup/obs/event_log.h"
+
+namespace asup {
+namespace {
+
+#if ASUP_METRICS_ENABLED
+
+obs::Event Ev(obs::EventKind kind, uint64_t client, uint64_t hash = 0,
+              int64_t a = 0, int64_t b = 0) {
+  obs::Event event;
+  event.kind = kind;
+  event.client = client;
+  event.query_hash = hash;
+  event.a = a;
+  event.b = b;
+  return event;
+}
+
+/// Feeds one full query frame to the watchtower.
+void IngestQuery(obs::Watchtower& watchtower, uint64_t client, uint64_t hash,
+                 const std::vector<uint32_t>& terms, bool cache_hit = false) {
+  watchtower.Ingest(Ev(obs::EventKind::kQueryIssued, client, hash,
+                       static_cast<int64_t>(terms.size())));
+  for (uint32_t term : terms) {
+    watchtower.Ingest(Ev(obs::EventKind::kQueryTerm, client, hash, term));
+  }
+  if (cache_hit) {
+    watchtower.Ingest(Ev(obs::EventKind::kCacheHit, client, hash));
+  }
+  watchtower.Ingest(Ev(obs::EventKind::kAnswerServed, client, hash, 10, 0));
+}
+
+/// Pool replay: the same few single-term queries over and over, answered
+/// from the cache — the signature of our `attack/` estimators.
+void ReplayPool(obs::Watchtower& watchtower, uint64_t client, int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    for (uint32_t q = 0; q < 10; ++q) {
+      IngestQuery(watchtower, client, 1000 + q, {q}, /*cache_hit=*/true);
+    }
+  }
+}
+
+TEST(RuleScore, SumsWeightsOfFiringRules) {
+  obs::SuspicionRules rules;
+  obs::ClientFeatures features;
+  features.window_queries = 100;
+  features.query_share = 1.0;             // fires (weight 1.0)
+  features.distinct_term_growth = 0.0;    // fires (weight 1.5)
+  features.cache_hit_rate = 1.0;          // fires (weight 1.0)
+  features.repeat_query_fraction = 0.05;  // below threshold
+  EXPECT_DOUBLE_EQ(obs::Watchtower::RuleScore(features, rules, 24), 3.5);
+
+  // Below the min-queries gate nothing fires.
+  features.window_queries = 10;
+  EXPECT_DOUBLE_EQ(obs::Watchtower::RuleScore(features, rules, 24), 0.0);
+}
+
+TEST(Watchtower, FlagsSustainedPoolReplayStickily) {
+  obs::Watchtower watchtower;
+  ReplayPool(watchtower, /*client=*/7, /*rounds=*/30);
+  const auto verdict = watchtower.VerdictOf(7);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(verdict->flagged);
+  EXPECT_GE(verdict->smoothed_score, watchtower.config().flag_threshold);
+  EXPECT_EQ(watchtower.clients_flagged(), 1u);
+  // Sticky: the flag survives even if the client later looks clean.
+  for (uint32_t q = 0; q < 50; ++q) {
+    IngestQuery(watchtower, 7, 5000 + q, {100 + q});
+  }
+  EXPECT_TRUE(watchtower.VerdictOf(7)->flagged);
+  EXPECT_EQ(watchtower.clients_flagged(), 1u);  // flagged once, not twice
+}
+
+TEST(Watchtower, DoesNotFlagDiverseBenignTraffic) {
+  obs::Watchtower watchtower;
+  // Fresh hash and fresh terms every query: only the sole-client traffic
+  // share rule can fire, far below the flag threshold.
+  for (uint32_t q = 0; q < 200; ++q) {
+    IngestQuery(watchtower, 3, 100 + q, {2 * q, 2 * q + 1});
+  }
+  const auto verdict = watchtower.VerdictOf(3);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(verdict->flagged);
+  EXPECT_LT(verdict->smoothed_score, watchtower.config().flag_threshold);
+  EXPECT_EQ(watchtower.clients_flagged(), 0u);
+}
+
+TEST(Watchtower, SmoothedScoreRampsFromZeroPrior) {
+  obs::WatchtowerConfig config;
+  config.min_queries = 1;
+  obs::Watchtower watchtower(config);
+  IngestQuery(watchtower, 1, 10, {1}, /*cache_hit=*/true);
+  const auto verdict = watchtower.VerdictOf(1);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_GT(verdict->score, 0.0);
+  // One observation moves the EWMA only by alpha * score.
+  EXPECT_DOUBLE_EQ(verdict->smoothed_score,
+                   config.ewma_alpha * verdict->score);
+}
+
+TEST(Watchtower, EmitsSuspicionFlagEventIntoInstalledLog) {
+  obs::MetricsRegistry::Default().Reset();
+  // Sized so one shard (this thread's) retains the whole single-threaded
+  // run: the flag fires early and must not be overwritten by later events.
+  obs::EventLog log(obs::EventLog::kShards * 2048);
+  obs::Watchtower watchtower;
+  obs::InstallEventLog(&log);
+  obs::InstallWatchtower(&watchtower);
+  // Drive the attack through EmitEvent (the production path): the fan-out
+  // feeds the watchtower, whose flag event must land in the log without
+  // deadlocking on re-entry.
+  for (int round = 0; round < 30; ++round) {
+    for (uint32_t q = 0; q < 10; ++q) {
+      obs::Event issued = Ev(obs::EventKind::kQueryIssued, 9, 1000 + q, 1);
+      obs::EmitEvent(issued);
+      obs::EmitEvent(Ev(obs::EventKind::kQueryTerm, 9, 1000 + q, q));
+      obs::EmitEvent(Ev(obs::EventKind::kCacheHit, 9, 1000 + q));
+      obs::EmitEvent(Ev(obs::EventKind::kAnswerServed, 9, 1000 + q, 10, 0));
+    }
+  }
+  obs::InstallWatchtower(nullptr);
+  obs::InstallEventLog(nullptr);
+  ASSERT_TRUE(watchtower.VerdictOf(9)->flagged);
+  bool saw_flag = false;
+  for (const obs::Event& event : log.Snapshot()) {
+    if (event.kind == obs::EventKind::kSuspicionFlag) {
+      saw_flag = true;
+      EXPECT_EQ(event.client, 9u);
+      EXPECT_GE(event.a,
+                static_cast<int64_t>(
+                    watchtower.config().flag_threshold * 1000.0));
+      EXPECT_GE(event.b,
+                static_cast<int64_t>(watchtower.config().min_queries));
+    }
+  }
+  EXPECT_TRUE(saw_flag);
+  EXPECT_EQ(obs::MetricsRegistry::Default().CounterValues().at(
+                "asup_watchtower_flagged_clients_total"),
+            1u);
+  EXPECT_GT(obs::MetricsRegistry::Default().CounterValues().at(
+                "asup_watchtower_queries_scored_total"),
+            0u);
+}
+
+TEST(Watchtower, VerdictsListsTrackedClientsAscending) {
+  obs::Watchtower watchtower;
+  IngestQuery(watchtower, 5, 1, {1});
+  IngestQuery(watchtower, 2, 2, {2});
+  const std::vector<obs::Watchtower::Verdict> verdicts =
+      watchtower.Verdicts();
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].client, 2u);
+  EXPECT_EQ(verdicts[1].client, 5u);
+  EXPECT_EQ(watchtower.queries_scored(), 2u);
+  EXPECT_GT(watchtower.events_ingested(), 0u);
+}
+
+#else  // !ASUP_METRICS_ENABLED
+
+TEST(SuspicionCompiledOut, NothingToTest) {
+  GTEST_SKIP() << "the watchtower compiles out with ASUP_METRICS=OFF";
+}
+
+#endif  // ASUP_METRICS_ENABLED
+
+}  // namespace
+}  // namespace asup

@@ -14,14 +14,28 @@ if [ -e "$build_dir/src/libasup_obs.a" ]; then
   exit 1
 fi
 
+# Any asup::obs:: symbol is a violation; the named watchtower types get
+# their own explicit greps so a regression points at the subsystem that
+# leaked (event log, per-client windows, or the suspicion scorer) instead
+# of a generic namespace hit.
+named_types="EventLog Watchtower ClientWindowTable EmitEvent"
+
 status=0
 checked=0
 for archive in "$build_dir"/src/libasup_*.a; do
   [ -e "$archive" ] || continue
   checked=$((checked + 1))
-  if nm -C "$archive" 2>/dev/null | grep -q 'asup::obs::'; then
+  symbols="$(nm -C "$archive" 2>/dev/null || true)"
+  for type_name in $named_types; do
+    if grep -q "asup::obs::${type_name}\b" <<<"$symbols"; then
+      echo "FAIL: $archive leaks the compiled-out obs::${type_name}:" >&2
+      grep "asup::obs::${type_name}\b" <<<"$symbols" | head >&2
+      status=1
+    fi
+  done
+  if grep -q 'asup::obs::' <<<"$symbols"; then
     echo "FAIL: $archive carries asup::obs symbols:" >&2
-    nm -C "$archive" | grep 'asup::obs::' | head >&2
+    grep 'asup::obs::' <<<"$symbols" | head >&2
     status=1
   fi
 done

@@ -42,6 +42,21 @@ Rules (all scoped to src/ unless noted):
                            call site. (Out-of-line Class::FooLocked
                            definitions are exempt — the attribute lives on
                            the in-class declaration.)
+  asup-obs-macro           hot paths (src/asup/engine/, src/asup/suppress/)
+                           must emit telemetry through the ASUP_METRIC_* /
+                           ASUP_EVENT_* / ASUP_TRACE_* macros, never by
+                           calling the obs registry, event log, or
+                           watchtower directly (obs::MetricsRegistry,
+                           obs::EmitEvent, obs::Install*/Installed*,
+                           obs::EventLog, obs::Watchtower,
+                           obs::ClientWindowTable). The macros compile to
+                           nothing under ASUP_METRICS=OFF; a direct call
+                           drags asup::obs symbols into the defense
+                           libraries and breaks the compile-out contract
+                           that tools/check_no_obs_symbols.sh enforces.
+                           Trace *types* (obs::Stage, obs::ScopedStageTimer,
+                           obs::ActiveTrace) stay allowed: they only appear
+                           inside ASUP_METRICS_ENABLED blocks.
   asup-raw-assert          validation-critical paths (src/asup/index/,
                            src/asup/suppress/, src/asup/text/,
                            src/asup/engine/, src/asup/eval/): a raw
@@ -95,6 +110,15 @@ RAW_MUTEX_RE = re.compile(
 # optionally-qualified name ending in "Locked", then '('. The keyword
 # lookahead rejects `return FooLocked(...)` call statements; member calls
 # (`obj.FooLocked(`) never match because '.' is not a type-token character.
+# Direct observability-plumbing calls that the ASUP_* macros wrap. Matching
+# both the obs::-qualified and bare spellings catches `using namespace`
+# escapes; the trace helper types (Stage, ScopedStageTimer, ActiveTrace)
+# are deliberately absent — they are the sanctioned way to scope a span.
+OBS_DIRECT_RE = re.compile(
+    r"\b(?:obs::)?(?:EmitEvent|EventSinksInstalled|"
+    r"Install(?:ed)?(?:EventLog|Watchtower)|MetricsRegistry)\b"
+    r"|\bobs::(?:EventLog|Watchtower|ClientWindowTable)\b"
+)
 LOCKED_DECL_RE = re.compile(
     r"^\s*(?!return\b|throw\b|co_return\b)"
     r"(?:[\w:<>,*&~\[\]]+\s+)+((?:\w+::)*\w*Locked)\s*\(")
@@ -268,6 +292,14 @@ def lint_file(path, rel, findings):
     deterministic = any(d in rel.replace("\\", "/")
                         for d in DETERMINISTIC_SUBDIRS)
     if deterministic:
+        for lineno, line in enumerate(clean_lines, 1):
+            if OBS_DIRECT_RE.search(line) and \
+                    not is_suppressed(lineno, "asup-obs-macro"):
+                findings.add(
+                    rel, lineno, "asup-obs-macro",
+                    "direct obs registry/event-log call in a hot path; "
+                    "emit through the ASUP_METRIC_* / ASUP_EVENT_* macros "
+                    "so the call compiles out under ASUP_METRICS=OFF")
         names = collect_unordered_names(text)
         names |= collect_unordered_names(paired_header_text(path))
         if names:
