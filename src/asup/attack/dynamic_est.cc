@@ -1,6 +1,7 @@
 #include "asup/attack/dynamic_est.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "asup/obs/metrics.h"
@@ -67,8 +68,12 @@ DynamicEpochPoint DynamicEstimator::ObserveEpoch(SearchService& service,
   // rotation). The first refresh_count visited slots are re-probed even if
   // their answer looks unchanged — the drift correction for return-degree
   // changes that are invisible in a slot's own answer.
-  const size_t refresh_count = static_cast<size_t>(
-      options_.refresh_fraction * static_cast<double>(maintained) + 0.999999);
+  // ⌈fraction·maintained⌉: any nonzero fraction refreshes at least one
+  // slot. (An additive 0.999999 fudge is not a ceiling — it overshoots at
+  // exact integers once the product's representation error is upward, and
+  // undershoots for products in (0, 1e-6).)
+  const size_t refresh_count = static_cast<size_t>(std::ceil(
+      options_.refresh_fraction * static_cast<double>(maintained)));
 
   uint64_t issued = 0;
   double contribution_sum = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "asup/engine/pipeline/result_processor.h"
 #include "asup/util/check.h"
 
 namespace asup {
@@ -15,17 +16,14 @@ SearchResult MatchingEngine::Search(const KeywordQuery& query) {
   // One pin for the whole query: the answer is computed against a single
   // epoch even if a publish lands mid-query.
   const SnapshotHandle snapshot = PinSnapshot();
-  RankedMatches ranked = TopMatchesIn(*snapshot, query, k());
-  SearchResult result;
-  if (ranked.total_matches == 0) {
-    result.status = QueryStatus::kUnderflow;
-  } else if (ranked.total_matches > k()) {
-    result.status = QueryStatus::kOverflow;
-  } else {
-    result.status = QueryStatus::kValid;
-  }
-  result.docs = std::move(ranked.docs);
-  return result;
+  QueryContext context;
+  context.query = &query;
+  context.base = this;
+  context.snapshot = snapshot.get();
+  context.k = k();
+  context.match_limit = k();
+  InterfaceProcessorChain().Run(context);
+  return std::move(context.result);
 }
 
 PlainSearchEngine::PlainSearchEngine(const InvertedIndex& index, size_t k,

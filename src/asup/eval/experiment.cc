@@ -20,24 +20,29 @@ size_t ScaledSize(size_t small, size_t paper) {
   return PaperScale() ? paper : small;
 }
 
-EngineStack::EngineStack(const Corpus& corpus, size_t k)
+EngineStack::EngineStack(const Corpus& corpus, size_t k,
+                         std::unique_ptr<ScoringFunction> scorer)
     : index_(std::make_unique<InvertedIndex>(corpus)),
-      plain_(std::make_unique<PlainSearchEngine>(*index_, k)) {}
+      plain_(std::make_unique<PlainSearchEngine>(*index_, k,
+                                                 std::move(scorer))) {}
 
-EngineStack EngineStack::Plain(const Corpus& corpus, size_t k) {
-  return EngineStack(corpus, k);
+EngineStack EngineStack::Plain(const Corpus& corpus, size_t k,
+                               std::unique_ptr<ScoringFunction> scorer) {
+  return EngineStack(corpus, k, std::move(scorer));
 }
 
 EngineStack EngineStack::WithSimple(const Corpus& corpus, size_t k,
-                                    const AsSimpleConfig& config) {
-  EngineStack stack(corpus, k);
+                                    const AsSimpleConfig& config,
+                                    std::unique_ptr<ScoringFunction> scorer) {
+  EngineStack stack(corpus, k, std::move(scorer));
   stack.simple_ = std::make_unique<AsSimpleEngine>(*stack.plain_, config);
   return stack;
 }
 
 EngineStack EngineStack::WithArbi(const Corpus& corpus, size_t k,
-                                  const AsArbiConfig& config) {
-  EngineStack stack(corpus, k);
+                                  const AsArbiConfig& config,
+                                  std::unique_ptr<ScoringFunction> scorer) {
+  EngineStack stack(corpus, k, std::move(scorer));
   stack.arbi_ = std::make_unique<AsArbiEngine>(*stack.plain_, config);
   return stack;
 }

@@ -29,16 +29,23 @@ size_t ScaledSize(size_t small, size_t paper);
 /// stack.
 class EngineStack {
  public:
-  /// Undefended engine.
-  static EngineStack Plain(const Corpus& corpus, size_t k);
+  /// Undefended engine. `scorer` swaps the base ranker (nullptr = BM25);
+  /// the suppression chains compose over whatever ranker the base engine
+  /// scores with, so a defended stack re-ranks the same way.
+  static EngineStack Plain(const Corpus& corpus, size_t k,
+                           std::unique_ptr<ScoringFunction> scorer = nullptr);
 
   /// Engine defended by AS-SIMPLE.
   static EngineStack WithSimple(const Corpus& corpus, size_t k,
-                                const AsSimpleConfig& config);
+                                const AsSimpleConfig& config,
+                                std::unique_ptr<ScoringFunction> scorer =
+                                    nullptr);
 
   /// Engine defended by AS-ARBI.
   static EngineStack WithArbi(const Corpus& corpus, size_t k,
-                              const AsArbiConfig& config);
+                              const AsArbiConfig& config,
+                              std::unique_ptr<ScoringFunction> scorer =
+                                  nullptr);
 
   EngineStack(EngineStack&&) = default;
   EngineStack& operator=(EngineStack&&) = default;
@@ -52,7 +59,8 @@ class EngineStack {
   AsArbiEngine* arbi() { return arbi_.get(); }
 
  private:
-  explicit EngineStack(const Corpus& corpus, size_t k);
+  EngineStack(const Corpus& corpus, size_t k,
+              std::unique_ptr<ScoringFunction> scorer);
 
   std::unique_ptr<InvertedIndex> index_;
   std::unique_ptr<PlainSearchEngine> plain_;

@@ -51,6 +51,16 @@ ClientWindowTable::ClientState& ClientWindowTable::TouchClient(
   return it->second;
 }
 
+ClientWindowTable::ClientState* ClientWindowTable::FindClient(
+    uint64_t client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return nullptr;
+  if (it->second.lru_pos != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  return &it->second;
+}
+
 void ClientWindowTable::EvictOverBudget() {
   while (clients_.size() > config_.max_clients ||
          (config_.state_bytes_budget > 0 &&
@@ -94,46 +104,60 @@ bool ClientWindowTable::Observe(const Event& event) {
       return false;
     }
     case EventKind::kQueryTerm: {
-      ClientState& state = TouchClient(event.client);
-      if (!state.pending_open) return false;
+      ClientState* state = FindClient(event.client);
+      if (state == nullptr || !state->pending_open) return false;
       const auto term = static_cast<uint32_t>(event.a);
-      state.pending.terms.push_back(term);
-      if (state.seen_terms.size() < config_.max_terms_tracked &&
-          state.seen_terms.insert(term).second) {
-        ++state.pending.new_terms;
+      state->pending.terms.push_back(term);
+      // Pending-term growth counts against the byte budget immediately —
+      // an attacker streaming terms into one never-served query must not
+      // hold unbounded state just because CommitPending never runs. The
+      // increments mirror EstimateBytes, so the commit-time recompute
+      // lands on the same total.
+      state->approx_bytes += sizeof(uint32_t);
+      approx_bytes_ += sizeof(uint32_t);
+      if (state->seen_terms.size() < config_.max_terms_tracked &&
+          state->seen_terms.insert(term).second) {
+        ++state->pending.new_terms;
+        state->approx_bytes += kSeenTermBytes;
+        approx_bytes_ += kSeenTermBytes;
       }
+      EvictOverBudget();
       return false;
     }
     case EventKind::kSegmentProbe: {
-      ClientState& state = TouchClient(event.client);
-      if (state.pending_open) {
-        state.pending.segment = static_cast<int32_t>(event.a);
+      ClientState* state = FindClient(event.client);
+      if (state != nullptr && state->pending_open) {
+        state->pending.segment = static_cast<int32_t>(event.a);
       }
       return false;
     }
     case EventKind::kAnswerHidden:
     case EventKind::kAnswerTrimmed: {
-      ClientState& state = TouchClient(event.client);
-      if (state.pending_open && event.a > 0) {
-        state.pending.suppressed = true;
+      ClientState* state = FindClient(event.client);
+      if (state != nullptr && state->pending_open && event.a > 0) {
+        state->pending.suppressed = true;
       }
       return false;
     }
     case EventKind::kVirtualAnswer: {
-      ClientState& state = TouchClient(event.client);
-      if (state.pending_open) state.pending.suppressed = true;
+      ClientState* state = FindClient(event.client);
+      if (state != nullptr && state->pending_open) {
+        state->pending.suppressed = true;
+      }
       return false;
     }
     case EventKind::kCacheHit: {
-      ClientState& state = TouchClient(event.client);
-      if (state.pending_open) state.pending.cache_hit = true;
+      ClientState* state = FindClient(event.client);
+      if (state != nullptr && state->pending_open) {
+        state->pending.cache_hit = true;
+      }
       return false;
     }
     case EventKind::kAnswerServed: {
-      ClientState& state = TouchClient(event.client);
-      if (!state.pending_open) return false;
-      state.pending.overflow = event.b != 0;
-      CommitPending(state);
+      ClientState* state = FindClient(event.client);
+      if (state == nullptr || !state->pending_open) return false;
+      state->pending.overflow = event.b != 0;
+      CommitPending(*state);
       EvictOverBudget();
       return true;
     }

@@ -98,7 +98,10 @@ struct ClientFeatures {
 
 /// Folds events into per-client windows. Events between a client's
 /// kQueryIssued and kAnswerServed are attributed to that query; a query
-/// record is committed to the window when its kAnswerServed arrives.
+/// record is committed to the window when its kAnswerServed arrives. Only
+/// kQueryIssued creates client state — events for clients that never
+/// issued a query are dropped, so a stream of stray served/hidden events
+/// cannot grow the table or evict bona fide clients.
 class ClientWindowTable {
  public:
   explicit ClientWindowTable(const ClientWindowConfig& config);
@@ -147,7 +150,12 @@ class ClientWindowTable {
     std::list<uint64_t>::iterator lru_pos;
   };
 
+  /// Creates (or refreshes) `client`'s state — kQueryIssued only; every
+  /// other event kind must not conjure state for clients that never issued
+  /// a query (a served/hidden event for an unknown client is a stray).
   ClientState& TouchClient(uint64_t client);
+  /// Looks up `client` and refreshes its LRU position; null if untracked.
+  ClientState* FindClient(uint64_t client);
   void CommitPending(ClientState& state);
   void EvictOverBudget();
   static size_t EstimateBytes(const ClientState& state);

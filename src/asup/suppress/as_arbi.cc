@@ -6,6 +6,7 @@
 
 #include "asup/obs/event_log.h"
 #include "asup/obs/trace.h"
+#include "asup/suppress/processors.h"
 #include "asup/util/check.h"
 
 namespace asup {
@@ -37,6 +38,14 @@ AsArbiEngine::AsArbiEngine(MatchingEngine& base, const AsArbiConfig& config)
   ASUP_CHECK(config.cover_size >= 1);
   ASUP_CHECK(config.cover_ratio > 0.0);
   ASUP_CHECK_LE(config.cover_ratio, 1.0);
+  chain_.Add(std::make_unique<MatchCountProcessor>())
+      .Add(std::make_unique<SelSizeNoteProcessor>())
+      .Add(std::make_unique<UnderflowGuardProcessor>())
+      .Add(std::make_unique<AsArbiCoverProcessor>(*this))
+      .Add(std::make_unique<AsArbiVirtualProcessor>(*this))
+      .Add(std::make_unique<AsArbiFallthroughProcessor>(*this))
+      .Add(std::make_unique<AsArbiHistoryProcessor>(*this))
+      .Add(std::make_unique<DefenseRecordProcessor>());
 }
 
 AsArbiStats AsArbiEngine::stats() const {
@@ -134,9 +143,19 @@ SearchResult AsArbiEngine::SearchStateLocked(const KeywordQuery& query,
       (prefetch->snapshot == nullptr ||
        prefetch->snapshot->epoch() == snapshot_->epoch());
 
+  QueryContext context;
+  context.query = &query;
+  context.base = base_;
+  context.snapshot = snapshot_.get();
+  context.k = base_->k();
+  context.match_limit = base_->k();
+  context.prefetch = prefetch_usable ? prefetch : nullptr;
+  context.trace_match = true;
+  context.segment = &simple_.segment();
   SearchResult result;
   try {
-    result = Process(query, prefetch_usable ? prefetch : nullptr);
+    chain_.Run(context);
+    result = std::move(context.result);
   } catch (...) {
     if (config_.cache_answers) answer_cache_.Abandon(query.canonical());
     throw;
@@ -206,152 +225,6 @@ void AsArbiEngine::CompactHistoryLocked(const CorpusSnapshot& to) {
                         history_.NumQueries());
   ASUP_METRIC_GAUGE_SET("asup_suppress_history_docs_seen",
                         history_.NumDocumentsSeen());
-}
-
-SearchResult AsArbiEngine::Process(const KeywordQuery& query,
-                                   const QueryPrefetch* prefetch) {
-  SearchResult result;
-  size_t match_count;
-  if (prefetch) {
-    match_count = prefetch->ranked.total_matches;
-  } else {
-    ASUP_TRACE_STAGE(obs::Stage::kMatch);
-    match_count = base_->MatchCountIn(*snapshot_, query);
-  }
-  // |Sel(q)|; AS-SIMPLE notes its own "match_count" when we fall through.
-  ASUP_TRACE_NOTE("sel_size", match_count);
-  if (match_count == 0) {
-    result.status = QueryStatus::kUnderflow;
-    return result;
-  }
-
-  if (TriggerPlausible(match_count)) {
-    stats_.trigger_evaluations.fetch_add(1, std::memory_order_relaxed);
-    ASUP_METRIC_COUNT("asup_suppress_arbi_trigger_evals_total", 1);
-    // Lock-free pre-screen: with no recorded answer, or fewer documents
-    // ever disclosed than the coverage target, no cover can exist — skip
-    // the history lock entirely.
-    const size_t need = std::max<size_t>(
-        1, static_cast<size_t>(std::ceil(
-               config_.cover_ratio * static_cast<double>(match_count))));
-    if (history_queries_.load(std::memory_order_acquire) > 0 &&
-        history_docs_seen_.load(std::memory_order_acquire) >= need) {
-      const bool use_prefetched_ids = prefetch && prefetch->has_match_ids;
-      std::vector<DocId> local_ids;
-      if (!use_prefetched_ids) {
-        ASUP_TRACE_STAGE(obs::Stage::kMatch);
-        local_ids = base_->MatchIdsIn(*snapshot_, query);
-      }
-      const std::vector<DocId>& match_ids =
-          use_prefetched_ids ? prefetch->match_ids : local_ids;
-      ReaderLock lock(history_mutex_);
-      CoverResult cover;
-      {
-        ASUP_TRACE_STAGE(obs::Stage::kCover);
-        cover = finder_.Find(match_ids);
-      }
-      if (cover.found) {
-        stats_.virtual_answers.fetch_add(1, std::memory_order_relaxed);
-        ASUP_METRIC_COUNT("asup_suppress_arbi_virtual_answers_total", 1);
-        ASUP_TRACE_NOTE("cover_answers_used", cover.query_indices.size());
-        ASUP_EVENT_EMIT(kCoverFound, query.client_id(), query.hash(),
-                        cover.query_indices.size(), match_ids.size());
-        return AnswerVirtually(query, match_ids, cover);
-      }
-    }
-  }
-
-  // Lines 6-8: fall through to AS-SIMPLE and remember the answer. The
-  // inner engine is driven pinned to our snapshot — it was migrated in
-  // lockstep, so the epochs agree by construction.
-  stats_.simple_answers.fetch_add(1, std::memory_order_relaxed);
-  ASUP_METRIC_COUNT("asup_suppress_arbi_simple_answers_total", 1);
-  result = simple_.SearchPinned(query, prefetch, *snapshot_);
-  if (!result.docs.empty()) {
-    ASUP_TRACE_STAGE(obs::Stage::kHistoryRecord);
-    WriterLock lock(history_mutex_);
-    ASUP_CONTRACTS_ONLY(const size_t queries_before = history_.NumQueries();
-                        const size_t docs_before =
-                            history_.NumDocumentsSeen();)
-    history_.Record(query, result.DocIds());
-    // Within one epoch the history only ever grows — answers, once
-    // disclosed, cannot be retracted; the cover trigger's lock-free
-    // prescreen relies on the mirrors being monotone lower bounds of the
-    // store. (Epoch compaction may shrink both, but only with every
-    // prescreen reader quiesced behind the exclusive epoch lock.)
-    ASUP_CONTRACTS_ONLY(
-        ASUP_CHECK_EQ(history_.NumQueries(), queries_before + 1);
-        ASUP_CHECK(history_.NumDocumentsSeen() >= docs_before);)
-    history_docs_seen_.store(history_.NumDocumentsSeen(),
-                             std::memory_order_release);
-    history_queries_.store(history_.NumQueries(), std::memory_order_release);
-    ASUP_METRIC_GAUGE_SET("asup_suppress_history_queries",
-                          history_.NumQueries());
-    ASUP_METRIC_GAUGE_SET("asup_suppress_history_docs_seen",
-                          history_.NumDocumentsSeen());
-  }
-  return result;
-}
-
-SearchResult AsArbiEngine::AnswerVirtually(const KeywordQuery& query,
-                                           const std::vector<DocId>& match_ids,
-                                           const CoverResult& cover) {
-  ASUP_TRACE_STAGE(obs::Stage::kVirtual);
-  // Algorithm 2's cover contract: at most m historic answers...
-  ASUP_CHECK(cover.found);
-  ASUP_CHECK(!cover.query_indices.empty());
-  ASUP_CHECK_LE(cover.query_indices.size(), config_.cover_size);
-  // Union of the covering historic answers. The caller holds the history
-  // lock (shared side) across the cover search and this read.
-  std::vector<DocId> pool;
-  for (uint32_t qi : cover.query_indices) {
-    ASUP_CHECK_LT(qi, history_.NumQueries());
-    const auto& answer = history_.QueryAt(qi).answer;
-    pool.insert(pool.end(), answer.begin(), answer.end());
-  }
-  std::sort(pool.begin(), pool.end());
-  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
-
-  // q ∩ (Res(q1) ∪ ... ∪ Res(qu)); both inputs are ascending.
-  std::vector<DocId> virtual_ids;
-  std::set_intersection(match_ids.begin(), match_ids.end(), pool.begin(),
-                        pool.end(), std::back_inserter(virtual_ids));
-  ASUP_TRACE_NOTE("cover_pool_docs", pool.size());
-  ASUP_TRACE_NOTE("virtual_docs", virtual_ids.size());
-
-  // ...covering at least ⌈σ·|Sel(q)|⌉ matching documents, every one of them
-  // already disclosed by an earlier answer (so the virtual answer reveals
-  // no new query–document edge and no fresh degree evidence).
-  ASUP_CONTRACTS_ONLY(
-      const auto need = static_cast<size_t>(std::ceil(
-          config_.cover_ratio * static_cast<double>(match_ids.size())));
-      ASUP_CHECK(virtual_ids.size() >= need);
-      for (DocId doc : virtual_ids) {
-        ASUP_DCHECK(simple_.IsActivated(doc));
-      })
-
-  SearchResult result;
-  if (virtual_ids.empty()) {
-    result.status = QueryStatus::kUnderflow;
-    return result;
-  }
-  std::vector<ScoredDoc> ranked =
-      base_->RankDocsIn(*snapshot_, query, virtual_ids);
-  if (ranked.size() > base_->k()) ranked.resize(base_->k());
-  // Top-k interface bound, same as every non-virtual answer path.
-  ASUP_CHECK_LE(ranked.size(), base_->k());
-  result.docs = std::move(ranked);
-  // Same emulated-overflow rule as AS-SIMPLE, so the two answer paths are
-  // indistinguishable to the client.
-  if (static_cast<double>(match_ids.size()) >
-      simple_.segment().mu() * static_cast<double>(base_->k())) {
-    result.status = QueryStatus::kOverflow;
-  } else {
-    result.status = QueryStatus::kValid;
-  }
-  ASUP_EVENT_EMIT(kVirtualAnswer, query.client_id(), query.hash(),
-                  result.docs.size(), cover.query_indices.size());
-  return result;
 }
 
 }  // namespace asup

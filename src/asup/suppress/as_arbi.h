@@ -129,11 +129,15 @@ class AsArbiEngine : public PrefetchableService {
   AsArbiStats stats() const;
 
  private:
-  /// Full processing pipeline behind the answer cache. `prefetch` is null
-  /// on the live path (match data computed on demand); all match work
-  /// resolves against snapshot_.
-  SearchResult Process(const KeywordQuery& query, const QueryPrefetch* prefetch)
-      ASUP_REQUIRES_SHARED(epoch_mutex_) ASUP_EXCLUDES(history_mutex_);
+  // The pipeline stages this engine's chain is composed of (Algorithm 2
+  // decomposed; suppress/processors.h). They read the history, its lock,
+  // the prescreen mirrors, and the counters through this friendship;
+  // lock-guarded epoch inputs (snapshot, segment) reach them only through
+  // the QueryContext the engine fills under its epoch lock.
+  friend class AsArbiCoverProcessor;
+  friend class AsArbiVirtualProcessor;
+  friend class AsArbiFallthroughProcessor;
+  friend class AsArbiHistoryProcessor;
 
   /// Cache-wrapped processing; migrates lazily until the state epoch
   /// matches the base's current one.
@@ -161,11 +165,6 @@ class AsArbiEngine : public PrefetchableService {
   /// True when m historic answers of at most k documents each could reach
   /// σ·|Sel(q)| documents — a pure size argument, no state involved.
   bool TriggerPlausible(size_t match_count) const;
-
-  SearchResult AnswerVirtually(const KeywordQuery& query,
-                               const std::vector<DocId>& match_ids,
-                               const CoverResult& cover)
-      ASUP_REQUIRES_SHARED(epoch_mutex_, history_mutex_);
 
   MatchingEngine* base_;
   AsArbiConfig config_;
@@ -203,6 +202,11 @@ class AsArbiEngine : public PrefetchableService {
     std::atomic<uint64_t> trigger_evaluations{0};
     std::atomic<uint64_t> epoch_migrations{0};
   } stats_;
+  /// Algorithm 2 as a processor chain: match count → sel-size note →
+  /// underflow guard → cover → virtual → fall-through → history record →
+  /// record. Composed once at construction, immutable afterwards; run per
+  /// query under the shared epoch lock.
+  ProcessorChain chain_;
 };
 
 }  // namespace asup

@@ -1,5 +1,10 @@
 #include "asup/suppress/as_decline.h"
 
+#include <memory>
+#include <utility>
+
+#include "asup/suppress/processors.h"
+
 namespace asup {
 
 namespace {
@@ -17,7 +22,12 @@ AsDeclineEngine::AsDeclineEngine(MatchingEngine& base,
     : base_(&base),
       config_(config),
       simple_(base, InnerSimpleConfig(config)),
-      finder_(history_, config.cover_size, config.cover_ratio) {}
+      finder_(history_, config.cover_size, config.cover_ratio) {
+  chain_.Add(std::make_unique<MatchCountProcessor>())
+      .Add(std::make_unique<UnderflowGuardProcessor>())
+      .Add(std::make_unique<AsDeclineTriggerProcessor>(*this))
+      .Add(std::make_unique<AsDeclineFallthroughProcessor>(*this));
+}
 
 SearchResult AsDeclineEngine::Search(const KeywordQuery& query) {
   ++stats_.queries_processed;
@@ -29,34 +39,15 @@ SearchResult AsDeclineEngine::Search(const KeywordQuery& query) {
     }
   }
 
-  SearchResult result;
-  const size_t match_count = base_->MatchCount(query);
-  if (match_count == 0) {
-    result.status = QueryStatus::kUnderflow;
-    if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
-    return result;
-  }
-
-  const double max_coverable =
-      static_cast<double>(config_.cover_size * base_->k());
-  if (config_.cover_ratio * static_cast<double>(match_count) <=
-      max_coverable) {
-    const std::vector<DocId> match_ids = base_->MatchIds(query);
-    if (finder_.Find(match_ids).found) {
-      ++stats_.declined;
-      result.status = QueryStatus::kDeclined;
-      if (config_.cache_answers) {
-        answer_cache_.emplace(query.canonical(), result);
-      }
-      return result;
-    }
-  }
-
-  ++stats_.simple_answers;
-  result = simple_.Search(query);
-  if (!result.docs.empty()) {
-    history_.Record(query, result.DocIds());
-  }
+  // No snapshot in the context: this engine is serial and epoch-agnostic,
+  // so every match helper resolves against the base's current pin.
+  QueryContext context;
+  context.query = &query;
+  context.base = base_;
+  context.k = base_->k();
+  context.match_limit = base_->k();
+  chain_.Run(context);
+  SearchResult result = std::move(context.result);
   if (config_.cache_answers) answer_cache_.emplace(query.canonical(), result);
   return result;
 }

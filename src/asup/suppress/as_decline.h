@@ -50,6 +50,12 @@ class AsDeclineEngine : public SearchService {
   const AsSimpleEngine& simple_engine() const { return simple_; }
 
  private:
+  // The pipeline stages this engine's chain is composed of (the decline
+  // trigger and the AS-SIMPLE fall-through; suppress/processors.h). This
+  // engine is serial, so the stages touch its state directly.
+  friend class AsDeclineTriggerProcessor;
+  friend class AsDeclineFallthroughProcessor;
+
   MatchingEngine* base_;
   AsDeclineConfig config_;
   AsSimpleEngine simple_;
@@ -57,6 +63,10 @@ class AsDeclineEngine : public SearchService {
   CoverFinder finder_;
   std::unordered_map<std::string, SearchResult> answer_cache_;
   AsDeclineStats stats_;
+  /// Section 5.2's decline defense as a processor chain: match count →
+  /// underflow guard → decline trigger → fall-through. Composed once at
+  /// construction, immutable afterwards.
+  ProcessorChain chain_;
 };
 
 }  // namespace asup

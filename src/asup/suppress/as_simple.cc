@@ -7,6 +7,7 @@
 
 #include "asup/obs/event_log.h"
 #include "asup/obs/trace.h"
+#include "asup/suppress/processors.h"
 #include "asup/util/check.h"
 
 namespace asup {
@@ -29,6 +30,12 @@ AsSimpleEngine::AsSimpleEngine(MatchingEngine& base,
   // γ > 1 (checked again by the segment) implies |M(q)| may exceed k, which
   // is what lets trimmed top-k documents be replaced by lower-ranked ones.
   ASUP_CHECK_LE(base.k(), m_limit_);
+  chain_.Add(std::make_unique<MatchProcessor>())
+      .Add(std::make_unique<AsSimpleGuardProcessor>(*this))
+      .Add(std::make_unique<AsSimpleHideProcessor>(*this))
+      .Add(std::make_unique<AsSimpleTrimProcessor>(*this))
+      .Add(std::make_unique<EmulatedStatusProcessor>())
+      .Add(std::make_unique<DefenseRecordProcessor>());
 }
 
 AsSimpleStats AsSimpleEngine::stats() const {
@@ -136,18 +143,19 @@ SearchResult AsSimpleEngine::SearchStateLocked(const KeywordQuery& query,
       (prefetch->snapshot == nullptr ||
        prefetch->snapshot->epoch() == snapshot_->epoch());
 
+  QueryContext context;
+  context.query = &query;
+  context.base = base_;
+  context.snapshot = snapshot_.get();
+  context.k = base_->k();
+  context.match_limit = m_limit_;
+  context.prefetch = prefetch_usable ? prefetch : nullptr;
+  context.trace_match = true;
+  context.segment = &segment_;
   SearchResult result;
   try {
-    if (prefetch_usable) {
-      result = Process(query, prefetch->ranked, *snapshot_);
-    } else {
-      RankedMatches ranked;
-      {
-        ASUP_TRACE_STAGE(obs::Stage::kMatch);
-        ranked = base_->TopMatchesIn(*snapshot_, query, m_limit_);
-      }
-      result = Process(query, ranked, *snapshot_);
-    }
+    chain_.Run(context);
+    result = std::move(context.result);
   } catch (...) {
     if (config_.cache_answers) answer_cache_.Abandon(query.canonical());
     throw;
@@ -202,123 +210,6 @@ void AsSimpleEngine::MigrateStateLocked(const SnapshotHandle& target) {
   ASUP_METRIC_COUNT("asup_suppress_epoch_migrations_total", 1);
   ASUP_TRACE_NOTE("epoch_thetar_dropped", dropped);
   ASUP_EVENT_EMIT(kEpochMigration, 0, 0, to.epoch(), dropped);
-}
-
-SearchResult AsSimpleEngine::Process(const KeywordQuery& query,
-                                     const RankedMatches& ranked,
-                                     const CorpusSnapshot& snapshot) {
-  const size_t m_size = ranked.docs.size();
-  // Algorithm 1 line 5: |M(q)| = min(|Sel(q)|, γ·k).
-  ASUP_CHECK_LE(m_size, m_limit_);
-  ASUP_CHECK_LE(m_size, ranked.total_matches);
-
-  SearchResult result;
-  if (ranked.total_matches == 0) {
-    result.status = QueryStatus::kUnderflow;
-    return result;
-  }
-
-  // Lines 7-13: per-document edge removal. A document already in Θ_R keeps
-  // its edge to this query only with probability μ/γ; the coin is a keyed
-  // deterministic function of the (query, document) edge, so processing is
-  // repeatable. Fresh documents are always kept and enter Θ_R — note that
-  // *all* of M(q) is activated, including documents the final trim will cut
-  // (exactly as in Algorithm 1, where line 14 runs after the loop). The
-  // atomic test-and-set makes the fresh-or-returned decision per document
-  // linearizable under concurrent queries.
-  const double keep_probability = segment_.edge_keep_probability();
-  // Line 9's edge-removal coin keeps with probability μ/γ ∈ (0, 1]
-  // (equivalently hides with probability 1 − μ/γ ∈ [0, 1)).
-  ASUP_CHECK(keep_probability > 0.0);
-  ASUP_CHECK_LE(keep_probability, 1.0);
-  std::vector<ScoredDoc> survivors;
-  survivors.reserve(m_size);
-  uint64_t hidden = 0;
-  uint64_t reshown = 0;
-  {
-    ASUP_TRACE_STAGE(obs::Stage::kHide);
-    for (const ScoredDoc& scored : ranked.docs) {
-      if (returned_before_.TestAndSet(snapshot.LocalOf(scored.doc))) {
-        if (coin_.Accept(query.hash(), scored.doc, keep_probability)) {
-          survivors.push_back(scored);
-          ++reshown;
-        } else {
-          ++hidden;
-        }
-      } else {
-        survivors.push_back(scored);
-      }
-    }
-  }
-  if (hidden != 0) {
-    stats_.docs_hidden.fetch_add(hidden, std::memory_order_relaxed);
-  }
-  ASUP_METRIC_COUNT("asup_suppress_docs_hidden_total", hidden);
-  ASUP_METRIC_COUNT("asup_suppress_docs_reshown_total", reshown);
-  ASUP_TRACE_NOTE("match_count", ranked.total_matches);
-  ASUP_TRACE_NOTE("docs_hidden", hidden);
-  ASUP_TRACE_NOTE("docs_reshown", reshown);
-  ASUP_TRACE_NOTE("mu", segment_.mu());
-  ASUP_TRACE_NOTE("gamma", config_.gamma);
-  if (hidden != 0) {
-    ASUP_EVENT_EMIT(kAnswerHidden, query.client_id(), query.hash(), hidden,
-                    0);
-  }
-  // The query's selectivity stratum: which γ-segment |Sel(q)| falls into.
-  // Estimators that walk the answer-size strata (stratified, dynamic)
-  // hop between strata far more often than bona fide traffic, which
-  // clusters on the popular head — the watchtower's segment-crossing
-  // feature counts those hops.
-  ASUP_EVENT_EMIT(kSegmentProbe, query.client_id(), query.hash(),
-                  static_cast<int64_t>(
-                      std::log(static_cast<double>(ranked.total_matches)) /
-                      std::log(config_.gamma)),
-                  ranked.total_matches);
-  // Θ_R monotonicity: TestAndSet only ever sets bits, so after the loop
-  // every document of M(q) — kept, hidden, or about to be trimmed — is
-  // activated (Algorithm 1 runs line 14 after the loop; §5.1 depends on
-  // all of M(q) entering Θ_R).
-  ASUP_CONTRACTS_ONLY(for (const ScoredDoc& scored : ranked.docs) {
-    ASUP_DCHECK(returned_before_.Test(snapshot.LocalOf(scored.doc)));
-  })
-  ASUP_CHECK_EQ(survivors.size() + hidden, m_size);
-
-  // Line 14: trim to min(|M(q)|/μ, k) lowest-rank-last documents. When the
-  // query overflows, documents hidden above are implicitly replaced by
-  // lower-ranked survivors of M(q).
-  {
-    ASUP_TRACE_STAGE(obs::Stage::kTrim);
-    const size_t lhs_target = static_cast<size_t>(std::llround(
-        static_cast<double>(m_size) * segment_.lhs_keep_fraction()));
-    // 1/μ ≤ 1, so the trim target never exceeds |M(q)|.
-    ASUP_CHECK_LE(lhs_target, m_size);
-    const size_t keep = std::min(lhs_target, base_->k());
-    if (survivors.size() > keep) {
-      const uint64_t trimmed = survivors.size() - keep;
-      stats_.docs_trimmed.fetch_add(trimmed, std::memory_order_relaxed);
-      ASUP_METRIC_COUNT("asup_suppress_docs_trimmed_total", trimmed);
-      ASUP_TRACE_NOTE("docs_trimmed", trimmed);
-      ASUP_EVENT_EMIT(kAnswerTrimmed, query.client_id(), query.hash(),
-                      trimmed, 0);
-      survivors.resize(keep);
-    }
-    // Line 14 postcondition: the answer is capped at min(|M(q)|/μ, k).
-    ASUP_CHECK_LE(survivors.size(), keep);
-    ASUP_CHECK_LE(survivors.size(), base_->k());
-  }
-
-  result.docs = std::move(survivors);
-  // Status in the *emulated* corpus: the defended engine behaves as if q
-  // matched |q|/μ documents, so it overflows iff |q| > μ·k.
-  if (result.docs.empty()) {
-    result.status = QueryStatus::kUnderflow;
-  } else if (static_cast<double>(ranked.total_matches) >
-             segment_.mu() * static_cast<double>(base_->k())) {
-    result.status = QueryStatus::kOverflow;
-  } else {
-    result.status = QueryStatus::kValid;
-  }
-  return result;
 }
 
 }  // namespace asup

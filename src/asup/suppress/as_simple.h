@@ -8,6 +8,7 @@
 
 #include "asup/engine/answer_cache.h"
 #include "asup/engine/parallel_service.h"
+#include "asup/engine/pipeline/result_processor.h"
 #include "asup/engine/search_engine.h"
 #include "asup/engine/search_service.h"
 #include "asup/suppress/segment.h"
@@ -18,6 +19,9 @@
 namespace asup {
 
 class AsArbiEngine;
+class AsSimpleGuardProcessor;
+class AsSimpleHideProcessor;
+class AsSimpleTrimProcessor;
 
 /// Configuration of AS-SIMPLE (paper Algorithm 1).
 struct AsSimpleConfig {
@@ -154,18 +158,19 @@ class AsSimpleEngine : public PrefetchableService {
   friend class AsArbiEngine;
   friend bool SaveDefenseState(const AsArbiEngine&, std::ostream&);
   friend bool LoadDefenseState(AsArbiEngine&, std::istream&);
+  // The pipeline stages this engine's chain is composed of (Algorithm 1
+  // decomposed; suppress/processors.h). They read Θ_R, the coin, and the
+  // counters through this friendship; lock-guarded inputs (snapshot,
+  // segment) reach them only through the QueryContext the engine fills
+  // under its epoch lock.
+  friend class AsSimpleGuardProcessor;
+  friend class AsSimpleHideProcessor;
+  friend class AsSimpleTrimProcessor;
 
   /// Pins an explicit snapshot instead of the base's current one (AS-ARBI
   /// keeps its inner engine on the outer engine's epoch).
   AsSimpleEngine(MatchingEngine& base, const AsSimpleConfig& config,
                  SnapshotHandle snapshot);
-
-  /// The stateful suppression phase (Algorithm 1 lines 7-14) applied to a
-  /// prefetched M(q), resolved against `snapshot` (the state's pinned
-  /// epoch).
-  SearchResult Process(const KeywordQuery& query, const RankedMatches& ranked,
-                       const CorpusSnapshot& snapshot)
-      ASUP_REQUIRES_SHARED(epoch_mutex_);
 
   /// Cache-wrapped processing shared by Search and SearchPrefetched;
   /// migrates lazily until the state epoch matches the base's current one.
@@ -212,6 +217,10 @@ class AsSimpleEngine : public PrefetchableService {
     std::atomic<uint64_t> docs_trimmed{0};
     std::atomic<uint64_t> epoch_migrations{0};
   } stats_;
+  /// Algorithm 1 as a processor chain: match → guard → hide → trim →
+  /// emulated status → record. Composed once at construction, immutable
+  /// afterwards; run per query under the shared epoch lock.
+  ProcessorChain chain_;
 };
 
 }  // namespace asup

@@ -1,0 +1,177 @@
+#ifndef ASUP_SUPPRESS_PROCESSORS_H_
+#define ASUP_SUPPRESS_PROCESSORS_H_
+
+/// Suppression defenses as pipeline stages.
+///
+/// Each of the paper's run-time defenses decomposes into small
+/// ResultProcessor stages over the shared QueryContext (see
+/// engine/pipeline/result_processor.h): AS-SIMPLE is guard → hide → trim →
+/// emulated status, AS-ARBI prepends cover → virtual answer and appends a
+/// history record, AS-DECLINE swaps the virtual stage for a refusal. Every
+/// chain ends in the shared DefenseRecordProcessor, which emits the
+/// defense-observability events — including the segment probe, computed
+/// once here via the overflow-safe IndistinguishableSegment::IndexOf
+/// instead of ad-hoc log-ratio arithmetic.
+///
+/// The processors hold a pointer to their engine and are composed by that
+/// engine's constructor; the engine's Search path populates the context's
+/// lock-guarded inputs (snapshot, segment) while holding its epoch lock, so
+/// stages themselves never touch annotated engine state directly — except
+/// the AS-ARBI history stages, which take history_mutex_ themselves (the
+/// capability analysis checks those acquisitions syntactically).
+
+#include "asup/engine/pipeline/result_processor.h"
+
+namespace asup {
+
+class AsSimpleEngine;
+class AsArbiEngine;
+class AsDeclineEngine;
+
+/// Algorithm 1 preconditions: |M(q)| ≤ min(|Sel(q)|, γ·k), underflow
+/// short-circuit on an empty match set, and arming the segment probe for
+/// every query that proceeds.
+class AsSimpleGuardProcessor : public ResultProcessor {
+ public:
+  explicit AsSimpleGuardProcessor(AsSimpleEngine& engine) : engine_(&engine) {}
+  const char* name() const override { return "simple_guard"; }
+  void Process(QueryContext& context) const override;
+
+ private:
+  AsSimpleEngine* engine_;
+};
+
+/// Algorithm 1 lines 7-13: per-document edge removal against Θ_R with the
+/// keyed deterministic coin; survivors land in context.docs, all of M(q)
+/// enters Θ_R.
+class AsSimpleHideProcessor : public ResultProcessor {
+ public:
+  explicit AsSimpleHideProcessor(AsSimpleEngine& engine) : engine_(&engine) {}
+  const char* name() const override { return "hide"; }
+  void Process(QueryContext& context) const override;
+
+ private:
+  AsSimpleEngine* engine_;
+};
+
+/// Algorithm 1 line 14: trim the survivors to min(|M(q)|/μ, k).
+class AsSimpleTrimProcessor : public ResultProcessor {
+ public:
+  explicit AsSimpleTrimProcessor(AsSimpleEngine& engine) : engine_(&engine) {}
+  const char* name() const override { return "trim"; }
+  void Process(QueryContext& context) const override;
+
+ private:
+  AsSimpleEngine* engine_;
+};
+
+/// Status in the *emulated* corpus: the defended engine behaves as if q
+/// matched |Sel(q)|/μ documents, so it overflows iff |Sel(q)| > μ·k.
+class EmulatedStatusProcessor : public ResultProcessor {
+ public:
+  const char* name() const override { return "emulated_status"; }
+  void Process(QueryContext& context) const override;
+};
+
+/// Shared terminal stage: emits the defense-observability events the
+/// watchtower consumes, in the engines' historical order (hidden → segment
+/// probe → trimmed → cover → virtual). The segment probe is the γ-segment
+/// of |Sel(q)|, computed via IndistinguishableSegment::IndexOf — the same
+/// overflow-safe multiply loop as the segment constructor, never
+/// trunc(log n / log γ).
+class DefenseRecordProcessor : public ResultProcessor {
+ public:
+  const char* name() const override { return "record"; }
+  bool RunsWhenFinished() const override { return true; }
+  void Process(QueryContext& context) const override;
+};
+
+/// Notes |Sel(q)| on the active trace (AS-ARBI's pre-trigger note).
+class SelSizeNoteProcessor : public ResultProcessor {
+ public:
+  const char* name() const override { return "sel_size_note"; }
+  void Process(QueryContext& context) const override;
+};
+
+/// Algorithm 2's cover trigger: size-plausibility check, lock-free
+/// prescreen, match-id resolution, and the cover search under the history
+/// lock. On success the covering answers' document pool is extracted into
+/// the context (still under the lock) for the virtual stage.
+class AsArbiCoverProcessor : public ResultProcessor {
+ public:
+  explicit AsArbiCoverProcessor(AsArbiEngine& engine) : engine_(&engine) {}
+  const char* name() const override { return "cover"; }
+  void Process(QueryContext& context) const override;
+
+ private:
+  AsArbiEngine* engine_;
+};
+
+/// Virtual query processing: q ∩ (Res(q1) ∪ ... ∪ Res(qu)), ranked by the
+/// base engine and capped at k, with the same emulated-overflow status as
+/// AS-SIMPLE.
+class AsArbiVirtualProcessor : public ResultProcessor {
+ public:
+  explicit AsArbiVirtualProcessor(AsArbiEngine& engine) : engine_(&engine) {}
+  const char* name() const override { return "virtual"; }
+  void Process(QueryContext& context) const override;
+
+ private:
+  AsArbiEngine* engine_;
+};
+
+/// Uncovered queries fall through to the inner AS-SIMPLE engine, pinned to
+/// the outer engine's epoch.
+class AsArbiFallthroughProcessor : public ResultProcessor {
+ public:
+  explicit AsArbiFallthroughProcessor(AsArbiEngine& engine)
+      : engine_(&engine) {}
+  const char* name() const override { return "simple_fallthrough"; }
+  void Process(QueryContext& context) const override;
+
+ private:
+  AsArbiEngine* engine_;
+};
+
+/// Records a non-empty fall-through answer into the history (exclusive
+/// lock) and refreshes the lock-free prescreen mirrors.
+class AsArbiHistoryProcessor : public ResultProcessor {
+ public:
+  explicit AsArbiHistoryProcessor(AsArbiEngine& engine) : engine_(&engine) {}
+  const char* name() const override { return "history_record"; }
+  bool RunsWhenFinished() const override { return true; }
+  void Process(QueryContext& context) const override;
+
+ private:
+  AsArbiEngine* engine_;
+};
+
+/// AS-DECLINE's trigger: same cover evaluation as AS-ARBI (serial, no
+/// locks), but a covered query is refused outright (kDeclined).
+class AsDeclineTriggerProcessor : public ResultProcessor {
+ public:
+  explicit AsDeclineTriggerProcessor(AsDeclineEngine& engine)
+      : engine_(&engine) {}
+  const char* name() const override { return "decline_trigger"; }
+  void Process(QueryContext& context) const override;
+
+ private:
+  AsDeclineEngine* engine_;
+};
+
+/// AS-DECLINE's fall-through: answer via the inner AS-SIMPLE engine and
+/// record the disclosure.
+class AsDeclineFallthroughProcessor : public ResultProcessor {
+ public:
+  explicit AsDeclineFallthroughProcessor(AsDeclineEngine& engine)
+      : engine_(&engine) {}
+  const char* name() const override { return "decline_fallthrough"; }
+  void Process(QueryContext& context) const override;
+
+ private:
+  AsDeclineEngine* engine_;
+};
+
+}  // namespace asup
+
+#endif  // ASUP_SUPPRESS_PROCESSORS_H_

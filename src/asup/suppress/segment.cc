@@ -18,38 +18,51 @@ bool IsExactIntegerGamma(double gamma) {
 
 }  // namespace
 
-IndistinguishableSegment::IndistinguishableSegment(size_t corpus_size,
-                                                   double gamma)
-    : n_(corpus_size), gamma_(gamma) {
-  ASUP_CHECK(corpus_size >= 1);
+void IndistinguishableSegment::FindSegment(size_t count, double gamma,
+                                           int* index, double* low) {
+  ASUP_CHECK(count >= 1);
   ASUP_CHECK(gamma > 1.0);
-  // Find the largest i with γ^i <= n by repeated multiplication; avoids the
-  // boundary instability of floor(log n / log γ) when n is an exact power.
-  index_ = 0;
-  const double n = static_cast<double>(corpus_size);
-  if (IsExactIntegerGamma(gamma_)) {
-    // Exact fast path: compute γ^i in uint64 arithmetic so that n = γ^i
+  // Find the largest i with γ^i <= count by repeated multiplication; avoids
+  // the boundary instability of floor(log count / log γ) when count is an
+  // exact power.
+  *index = 0;
+  if (IsExactIntegerGamma(gamma)) {
+    // Exact fast path: compute γ^i in uint64 arithmetic so that count = γ^i
     // lands exactly on the segment bottom even when γ^i exceeds 2^53
     // (where the double product loop below drifts and can off-by-one the
     // segment index, or report μ marginally above γ).
-    const uint64_t g = static_cast<uint64_t>(gamma_);
-    uint64_t low = 1;
-    // low * g <= corpus_size, written division-side to avoid overflow.
-    while (low <= corpus_size / g) {
-      low *= g;
-      ++index_;
+    const uint64_t g = static_cast<uint64_t>(gamma);
+    uint64_t low_int = 1;
+    // low_int * g <= count, written division-side to avoid overflow.
+    while (low_int <= count / g) {
+      low_int *= g;
+      ++*index;
     }
-    low_ = static_cast<double>(low);
+    *low = static_cast<double>(low_int);
   } else {
-    low_ = 1.0;
-    while (low_ * gamma_ <= n) {
-      low_ *= gamma_;
-      ++index_;
+    const double n = static_cast<double>(count);
+    *low = 1.0;
+    while (*low * gamma <= n) {
+      *low *= gamma;
+      ++*index;
     }
-    ASUP_CHECK_LE(low_, n);
-    ASUP_CHECK_LT(n, low_ * gamma_);
+    ASUP_CHECK_LE(*low, n);
+    ASUP_CHECK_LT(n, *low * gamma);
   }
-  mu_ = n / low_;
+}
+
+int IndistinguishableSegment::IndexOf(size_t count, double gamma) {
+  int index = 0;
+  double low = 1.0;
+  FindSegment(count, gamma, &index, &low);
+  return index;
+}
+
+IndistinguishableSegment::IndistinguishableSegment(size_t corpus_size,
+                                                   double gamma)
+    : n_(corpus_size), gamma_(gamma) {
+  FindSegment(corpus_size, gamma_, &index_, &low_);
+  mu_ = static_cast<double>(corpus_size) / low_;
   // Mathematically μ = n/γ^i ∈ [1, γ): γ^i ≤ n < γ^{i+1} exactly. The
   // double division can still round onto γ when n and γ^i are huge and
   // adjacent in double space; clamp to the largest representable value

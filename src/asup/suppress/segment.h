@@ -47,7 +47,18 @@ class IndistinguishableSegment {
   /// The corpus size this segment was computed for.
   size_t corpus_size() const { return n_; }
 
+  /// The largest integer i with γ^i <= count — the segment a corpus (or an
+  /// answer's |Sel(q)|) of that size falls into. Same overflow-safe
+  /// multiply-loop as the constructor, including the exact-integer-γ uint64
+  /// fast path; never floor(log count / log γ), which truncates one segment
+  /// low at exact powers of γ. Requires count >= 1 and gamma > 1.
+  static int IndexOf(size_t count, double gamma);
+
  private:
+  /// Shared segment search: sets *index to IndexOf(count, gamma) and *low to
+  /// γ^index as a double.
+  static void FindSegment(size_t count, double gamma, int* index, double* low);
+
   size_t n_;
   double gamma_;
   int index_;

@@ -91,6 +91,46 @@ TEST(AttackDynamicPropertiesTest, RepeatEpochOnStaticCorpusIsAFixpoint) {
   EXPECT_EQ(second.queries_spent, dynamic.maintained_size());
 }
 
+// refresh_count = ⌈fraction·maintained⌉ at the edges: a tiny nonzero
+// fraction still rotates at least one drift-correction slot per epoch
+// (the additive-fudge arithmetic it replaced computed 0 and silently
+// disabled the rotation), and fraction 1.0 re-probes every slot.
+TEST(AttackDynamicPropertiesTest, RefreshFractionEdgeCases) {
+  const Rig rig = MakeRig(300, 50, /*seed=*/23, /*held_out_size=*/300);
+  const QueryPool pool = MakePool(rig);
+  const DocFetcher fetcher = FetchFrom(*rig.corpus);
+  const AggregateQuery aggregate = AggregateQuery::Count();
+
+  const auto second_epoch = [&](double fraction) {
+    DynamicEstimatorOptions options;
+    options.refresh_fraction = fraction;
+    DynamicEstimator dynamic(pool, aggregate, fetcher, options);
+    dynamic.ObserveEpoch(*rig.engine, 40000);
+    return dynamic.ObserveEpoch(*rig.engine, 40000);
+  };
+
+  DynamicEstimatorOptions probe_options;
+  DynamicEstimator sizer(pool, aggregate, fetcher, probe_options);
+  const uint64_t maintained = sizer.maintained_size();
+  ASSERT_GT(maintained, 0u);
+
+  // fraction = 0.0: nothing re-probed on an unchanged corpus.
+  EXPECT_EQ(second_epoch(0.0).queries_spent, maintained);
+
+  // Tiny nonzero fraction: ⌈ε·m⌉ = 1 — the rotation must not collapse to
+  // zero slots, or cached weights would never be drift-corrected.
+  const DynamicEpochPoint tiny = second_epoch(1e-12);
+  EXPECT_EQ(tiny.answers_changed, 0u);
+  EXPECT_GT(tiny.queries_spent, maintained);
+
+  // fraction = 1.0: every slot re-probed — second-round trials on top of
+  // the per-slot first-round reissue (empty answers alone cost nothing
+  // extra, but a census-sized refresh dwarfs the single-slot rotation).
+  const DynamicEpochPoint full = second_epoch(1.0);
+  EXPECT_EQ(full.answers_changed, 0u);
+  EXPECT_GT(full.queries_spent, tiny.queries_spent);
+}
+
 // A query budget smaller than a full sweep must degrade variance, not
 // correctness: the rotation normalizes over the slots it could afford.
 TEST(AttackDynamicPropertiesTest, BudgetConstrainedEpochStaysUnbiased) {

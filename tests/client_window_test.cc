@@ -158,13 +158,74 @@ TEST(ClientWindowTable, ByteBudgetEvictsDownToOneClient) {
   EXPECT_LT(table.tracked_clients(), 20u);
 }
 
-TEST(ClientWindowTable, StrayEventsWithoutOpenQueryAreIgnored) {
+TEST(ClientWindowTable, StrayEventsCreateNoClientState) {
   obs::ClientWindowTable table(obs::ClientWindowConfig{});
+  // Only kQueryIssued may create a client: a served/term/decoration event
+  // for a client that never issued a query is a stray and must be dropped
+  // outright, not conjure an empty window.
   EXPECT_FALSE(table.Observe(Ev(obs::EventKind::kAnswerServed, 1, 9, 5, 0)));
   EXPECT_FALSE(table.Observe(Ev(obs::EventKind::kCacheHit, 1, 9)));
-  const auto features = table.FeaturesOf(1);
-  ASSERT_TRUE(features.has_value());
-  EXPECT_EQ(features->window_queries, 0u);
+  EXPECT_FALSE(table.Observe(Ev(obs::EventKind::kQueryTerm, 1, 9, 7)));
+  EXPECT_FALSE(table.Observe(Ev(obs::EventKind::kSegmentProbe, 1, 9, 2)));
+  EXPECT_FALSE(table.Observe(Ev(obs::EventKind::kAnswerHidden, 1, 9, 3)));
+  EXPECT_EQ(table.tracked_clients(), 0u);
+  EXPECT_FALSE(table.FeaturesOf(1).has_value());
+}
+
+TEST(ClientWindowTable, StrayEventStormCannotEvictTrackedClients) {
+  obs::ClientWindowConfig config;
+  config.max_clients = 3;
+  obs::ClientWindowTable table(config);
+  for (uint64_t client = 1; client <= 3; ++client) {
+    IssueQuery(table, client, client, {1});
+  }
+  ASSERT_EQ(table.tracked_clients(), 3u);
+  // A storm of decoration events from fabricated client ids: with strays
+  // creating state, each distinct id would enter the LRU and flush the
+  // three bona fide clients out (a spoofed-id eviction storm). They must
+  // neither grow the table past max_clients nor evict anyone.
+  for (uint64_t fake = 1000; fake < 2000; ++fake) {
+    table.Observe(Ev(obs::EventKind::kAnswerServed, fake, fake, 5, 0));
+    table.Observe(Ev(obs::EventKind::kAnswerHidden, fake, fake, 2));
+    EXPECT_LE(table.tracked_clients(), config.max_clients);
+  }
+  EXPECT_EQ(table.tracked_clients(), 3u);
+  EXPECT_EQ(table.evictions(), 0u);
+  EXPECT_TRUE(table.FeaturesOf(1).has_value());
+  EXPECT_TRUE(table.FeaturesOf(2).has_value());
+  EXPECT_TRUE(table.FeaturesOf(3).has_value());
+}
+
+TEST(ClientWindowTable, PendingTermsCountAgainstByteBudgetBeforeCommit) {
+  obs::ClientWindowTable table(obs::ClientWindowConfig{});
+  table.Observe(Ev(obs::EventKind::kQueryIssued, 1, 100, 1));
+  const size_t before = table.ApproxBytes();
+  // Terms streamed into a still-pending query grow the estimate
+  // immediately — an attacker must not park unbounded state in a query
+  // that is never served.
+  for (uint32_t term = 0; term < 64; ++term) {
+    table.Observe(Ev(obs::EventKind::kQueryTerm, 1, 100, term));
+  }
+  EXPECT_GT(table.ApproxBytes(), before);
+  EXPECT_GE(table.ApproxBytes() - before, 64 * sizeof(uint32_t));
+}
+
+TEST(ClientWindowTable, PendingTermBytesEnforceBudgetWithoutServe) {
+  obs::ClientWindowConfig config;
+  config.state_bytes_budget = 4000;
+  obs::ClientWindowTable table(config);
+  // Two clients park terms in never-served queries; a third keeps querying.
+  table.Observe(Ev(obs::EventKind::kQueryIssued, 1, 100, 1));
+  table.Observe(Ev(obs::EventKind::kQueryIssued, 2, 200, 1));
+  for (uint32_t term = 0; term < 200; ++term) {
+    table.Observe(Ev(obs::EventKind::kQueryTerm, 1, 100, term));
+    table.Observe(Ev(obs::EventKind::kQueryTerm, 2, 200, 1000 + term));
+  }
+  // The budget is enforced as the pending bytes grow, not only at commit:
+  // one of the two parked clients is evicted mid-stream (the survivor may
+  // exceed the budget alone — eviction always keeps one client).
+  EXPECT_GT(table.evictions(), 0u);
+  EXPECT_EQ(table.tracked_clients(), 1u);
 }
 
 #else  // !ASUP_METRICS_ENABLED

@@ -1,6 +1,8 @@
 #include "asup/eval/experiment.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -77,6 +79,50 @@ TEST(ExperimentEnvTest, PoolFilterPlumbsThrough) {
   options.pool_max_df_fraction = 0.05;
   ExperimentEnv filtered(options);
   EXPECT_LT(filtered.pool().size(), unfiltered.pool().size());
+}
+
+TEST(EngineStackTest, PluggableScorerReachesTheBaseEngine) {
+  ExperimentEnv::Options options;
+  options.universe_size = 300;
+  options.held_out_size = 100;
+  options.corpus_config.vocabulary_size = 1500;
+  options.corpus_config.num_topics = 8;
+  options.corpus_config.words_per_topic = 100;
+  const ExperimentEnv env(options);
+  const Corpus corpus = env.SampleCorpus(200, /*salt=*/1);
+
+  EngineStack bm25 = EngineStack::Plain(corpus, 10);
+  EngineStack tfidf =
+      EngineStack::Plain(corpus, 10, std::make_unique<TfIdfScorer>());
+  EngineStack defended_tfidf = EngineStack::WithSimple(
+      corpus, 10, AsSimpleConfig{}, std::make_unique<TfIdfScorer>());
+
+  // Some query must rank differently under the two scorers — and the
+  // defended stack must be suppressing the TF-IDF ranking, not BM25's.
+  bool ranking_differs = false;
+  for (size_t i = 0; i < env.pool().size() && i < 200; ++i) {
+    const KeywordQuery& q = env.pool().QueryAt(i);
+    const SearchResult a = bm25.service().Search(q);
+    const SearchResult b = tfidf.service().Search(q);
+    ASSERT_EQ(a.docs.size(), b.docs.size()) << q.canonical();
+    for (size_t r = 0; r < a.docs.size(); ++r) {
+      if (a.docs[r].doc != b.docs[r].doc || a.docs[r].score != b.docs[r].score)
+        ranking_differs = true;
+    }
+    const SearchResult defended = defended_tfidf.service().Search(q);
+    // Every defended answer document keeps its TF-IDF score from M(q) (the
+    // top γ·k of the *same-scorer* base ranking): suppression hides and
+    // trims, it never re-scores.
+    const RankedMatches deep = defended_tfidf.plain().TopMatches(q, 20);
+    for (const ScoredDoc& doc : defended.docs) {
+      const auto it = std::find_if(
+          deep.docs.begin(), deep.docs.end(),
+          [&](const ScoredDoc& d) { return d.doc == doc.doc; });
+      ASSERT_NE(it, deep.docs.end()) << q.canonical();
+      EXPECT_EQ(it->score, doc.score) << q.canonical();
+    }
+  }
+  EXPECT_TRUE(ranking_differs);
 }
 
 }  // namespace

@@ -99,6 +99,59 @@ TEST(SegmentTest, NonIntegerGamma) {
   EXPECT_NEAR(segment.mu(), 10.0 / std::pow(1.5, 5), 1e-9);
 }
 
+TEST(SegmentIndexOfTest, MatchesConstructorAtAndAroundExactPowers) {
+  // Regression for the segment-probe boundary drift: the probe's index
+  // must come from the same multiply loop as the segment itself, never
+  // trunc(log n / log γ) — the log ratio lands a hair below the integer at
+  // exact powers (e.g. log(1000)/log(10) = 2.9999999999999996) and reports
+  // the segment below. Probe index == segment_index() of an equally-sized
+  // corpus, at the boundary and on both sides of it.
+  for (const double gamma : {2.0, 5.0, 10.0}) {
+    uint64_t power = 1;
+    const auto g = static_cast<uint64_t>(gamma);
+    for (int i = 1; i <= 12; ++i) {
+      power *= g;
+      for (const uint64_t n : {power - 1, power, power + 1}) {
+        const IndistinguishableSegment segment(n, gamma);
+        EXPECT_EQ(IndistinguishableSegment::IndexOf(n, gamma),
+                  segment.segment_index())
+            << "n = " << n << ", gamma = " << gamma;
+      }
+    }
+  }
+}
+
+TEST(SegmentIndexOfTest, KnownLogRatioFailureCases) {
+  // The concrete truncation cases the log-ratio arithmetic got wrong:
+  // each n is an exact power γ^i whose double log-ratio rounds down.
+  EXPECT_EQ(IndistinguishableSegment::IndexOf(1000, 10.0), 3);
+  EXPECT_EQ(IndistinguishableSegment::IndexOf(125, 5.0), 3);
+  EXPECT_EQ(IndistinguishableSegment::IndexOf(3125, 5.0), 5);
+  // And the trivial anchors.
+  EXPECT_EQ(IndistinguishableSegment::IndexOf(1, 10.0), 0);
+  EXPECT_EQ(IndistinguishableSegment::IndexOf(9, 10.0), 0);
+  EXPECT_EQ(IndistinguishableSegment::IndexOf(10, 10.0), 1);
+}
+
+TEST(SegmentIndexOfTest, LargeCountsUseExactIntegerPath) {
+  // Near the uint64 ceiling the double loop would drift; the exact-γ fast
+  // path must still agree with the constructor.
+  uint64_t n = 1;
+  for (int i = 0; i < 22; ++i) n *= 7;  // 7^22 > 2^53
+  EXPECT_EQ(IndistinguishableSegment::IndexOf(n, 7.0), 22);
+  EXPECT_EQ(IndistinguishableSegment::IndexOf(n - 1, 7.0), 21);
+  EXPECT_EQ(IndistinguishableSegment::IndexOf(uint64_t{1} << 62, 2.0), 62);
+}
+
+TEST(SegmentIndexOfTest, NonIntegerGammaAgreesWithConstructor) {
+  for (const size_t n : {1u, 2u, 7u, 10u, 100u, 4097u, 50000u}) {
+    const IndistinguishableSegment segment(n, 1.5);
+    EXPECT_EQ(IndistinguishableSegment::IndexOf(n, 1.5),
+              segment.segment_index())
+        << "n = " << n;
+  }
+}
+
 class SegmentSweepTest
     : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
 

@@ -57,6 +57,16 @@ Rules (all scoped to src/ unless noted):
                            Trace *types* (obs::Stage, obs::ScopedStageTimer,
                            obs::ActiveTrace) stay allowed: they only appear
                            inside ASUP_METRICS_ENABLED blocks.
+  asup-log-ratio-segment   log(x)/log(γ) segment-index arithmetic anywhere
+                           but src/asup/suppress/segment.cc: the double
+                           log-ratio lands a hair below the integer at
+                           exact powers of γ (log(1000)/log(10) =
+                           2.9999999999999996) and truncation reports the
+                           segment below — the fig21 boundary-drift bug.
+                           Segment indices come from
+                           IndistinguishableSegment::IndexOf, which shares
+                           the exact multiply loop with the segment
+                           constructor.
   asup-raw-assert          validation-critical paths (src/asup/index/,
                            src/asup/suppress/, src/asup/text/,
                            src/asup/engine/, src/asup/eval/): a raw
@@ -119,6 +129,13 @@ OBS_DIRECT_RE = re.compile(
     r"Install(?:ed)?(?:EventLog|Watchtower)|MetricsRegistry)\b"
     r"|\bobs::(?:EventLog|Watchtower|ClientWindowTable)\b"
 )
+# A quotient of two log calls — log(x)/log(y), std::log, log2, log10, with
+# arbitrary (possibly nested) arguments on the left as long as the '/' and
+# the second log sit on the same line. Change-of-base arithmetic is how
+# every log-ratio segment index has been written; there is no legitimate
+# same-line log/log quotient in this codebase outside segment.cc.
+LOG_RATIO_RE = re.compile(
+    r"\b(?:std::)?log[210]*\s*\(.*?\)\s*/\s*(?:std::)?log[210]*\s*\(")
 LOCKED_DECL_RE = re.compile(
     r"^\s*(?!return\b|throw\b|co_return\b)"
     r"(?:[\w:<>,*&~\[\]]+\s+)+((?:\w+::)*\w*Locked)\s*\(")
@@ -277,6 +294,16 @@ def lint_file(path, rel, findings):
                     "wrappers in util/annotated_mutex.h (Mutex, "
                     "SharedMutex, MutexLock, ReaderLock, WriterLock) so "
                     "the thread-safety analysis sees the acquire")
+
+    if not posix_rel.endswith("asup/suppress/segment.cc"):
+        for lineno, line in enumerate(clean_lines, 1):
+            if LOG_RATIO_RE.search(line) and \
+                    not is_suppressed(lineno, "asup-log-ratio-segment"):
+                findings.add(
+                    rel, lineno, "asup-log-ratio-segment",
+                    "log(x)/log(y) change-of-base arithmetic truncates one "
+                    "segment low at exact powers (log(1000)/log(10) < 3); "
+                    "use IndistinguishableSegment::IndexOf")
 
     check_locked_requires(clean_lines, is_suppressed, rel, findings)
 
