@@ -20,8 +20,11 @@
 #include <span>
 #include <string>
 
+#include "asup/engine/doc_iterator.h"
 #include "asup/engine/parallel_service.h"
+#include "asup/engine/query_node.h"
 #include "asup/engine/sharded_service.h"
+#include "asup/index/block_codec.h"
 #include "asup/index/corpus_manager.h"
 #include "asup/index/sharded_index.h"
 #include "asup/text/corpus_delta.h"
@@ -207,6 +210,133 @@ void PrintEpochMaintenance() {
   PrintFigure("fig15e: epoch update throughput vs batch size", table);
 }
 
+// Defeats dead-code elimination of the measured decode loops without
+// pulling in google-benchmark here.
+volatile uint64_t g_decode_sink = 0;
+
+/// fig15f: full-scan decode throughput (millions of postings per second)
+/// of the block group-varint codec against the pre-block scalar varbyte
+/// pair format, reconstructed locally since the production decoder no
+/// longer speaks it. The block column must stay >= the varbyte column.
+void PrintDecodeThroughput() {
+  CsvTable table(
+      {"list_size", "block_mps", "varbyte_mps", "block_speedup"});
+  for (const size_t size : {10000u, 100000u}) {
+    PostingList::Builder builder;
+    std::vector<uint8_t> legacy;
+    uint32_t prev = 0;
+    for (uint32_t d = 0; d < size; ++d) {
+      const uint32_t doc = d * 3;
+      const uint32_t freq = 1 + d % 7;
+      builder.Add(doc, freq);
+      AppendVarByte(d == 0 ? doc : doc - prev, legacy);
+      AppendVarByte(freq, legacy);
+      prev = doc;
+    }
+    const PostingList list = std::move(builder).Build();
+    const size_t rounds = (PaperScale() ? 2000u : 400u) * 10000u / size;
+
+    uint64_t sink = 0;
+    Stopwatch block_watch;
+    for (size_t r = 0; r < rounds; ++r) {
+      for (auto it = list.begin(); it.Valid(); it.Next()) {
+        sink += it.Get().freq;
+      }
+    }
+    const double block_s =
+        static_cast<double>(block_watch.ElapsedNanos()) / 1e9;
+
+    Stopwatch legacy_watch;
+    for (size_t r = 0; r < rounds; ++r) {
+      size_t offset = 0;
+      uint32_t doc = 0;
+      for (uint32_t d = 0; d < size; ++d) {
+        uint32_t delta = 0;
+        uint32_t freq = 0;
+        if (!TryReadVarByte(legacy, offset, delta) ||
+            !TryReadVarByte(legacy, offset, freq)) {
+          break;
+        }
+        doc += delta;
+        sink += freq;
+      }
+      sink += doc;
+    }
+    const double legacy_s =
+        static_cast<double>(legacy_watch.ElapsedNanos()) / 1e9;
+    g_decode_sink = sink;
+
+    const double postings =
+        static_cast<double>(size) * static_cast<double>(rounds);
+    const double block_mps = postings / std::max(block_s, 1e-9) / 1e6;
+    const double varbyte_mps = postings / std::max(legacy_s, 1e-9) / 1e6;
+    table.AddRow({static_cast<double>(size), block_mps, varbyte_mps,
+                  block_mps / std::max(varbyte_mps, 1e-9)});
+  }
+  PrintFigure("fig15f: posting decode throughput (block vs legacy varbyte)",
+              table);
+}
+
+/// fig15g: disjunction cost vs fanout under each Or merge strategy, in
+/// two regimes. Over dense top-df lists most children share each minimum
+/// and the flat min-scan wins outright; over sparse mid-rank lists the
+/// heap wins from the crossover on. The adaptive column must track the
+/// flat column on the dense table below the crossover and the heap column
+/// on the sparse table at and above it (kOrHeapCrossoverChildren,
+/// engine/doc_iterator.h).
+void PrintOrStrategySweep(const Corpus& corpus) {
+  const InvertedIndex index(corpus);
+
+  std::vector<std::pair<size_t, TermId>> by_df;
+  for (TermId term = 0; term < corpus.vocabulary().size(); ++term) {
+    const size_t df = index.DocumentFrequency(term);
+    if (df > 0) by_df.emplace_back(df, term);
+  }
+  std::sort(by_df.rbegin(), by_df.rend());
+
+  struct Regime {
+    const char* title;
+    size_t start;        // df-rank of the first term handed to the union
+    size_t rounds_mult;  // sparse unions finish in microseconds — more
+                         // rounds, or the table is timer noise
+  };
+  const Regime regimes[] = {
+      {"fig15g: Or-strategy throughput vs fanout (dense top-df terms)", 0, 1},
+      {"fig15g: Or-strategy throughput vs fanout (sparse mid-rank terms)",
+       by_df.size() / 2, 50},
+  };
+  for (const Regime& regime : regimes) {
+    CsvTable table({"fanout", "flat_qps", "heap_qps", "adaptive_qps"});
+    for (const size_t fanout : {2u, 4u, 6u, 8u, 12u, 16u, 32u, 64u}) {
+      if (regime.start + fanout > by_df.size()) break;
+      std::vector<QueryNode> children;
+      for (size_t i = 0; i < fanout; ++i) {
+        children.push_back(QueryNode::Term(by_df[regime.start + i].second));
+      }
+      const QueryNode node = QueryNode::Or(std::move(children));
+      const size_t rounds =
+          (PaperScale() ? 400 : 120) * regime.rounds_mult;
+
+      std::vector<double> qps;
+      for (const OrStrategy strategy :
+           {OrStrategy::kFlat, OrStrategy::kHeap, OrStrategy::kAdaptive}) {
+        uint64_t sink = 0;
+        Stopwatch watch;
+        for (size_t r = 0; r < rounds; ++r) {
+          sink += ExecuteCount(index, node, strategy);
+        }
+        g_decode_sink = sink;
+        const double seconds =
+            static_cast<double>(watch.ElapsedNanos()) / 1e9;
+        qps.push_back(static_cast<double>(rounds) /
+                      std::max(seconds, 1e-9));
+      }
+      table.AddRow({static_cast<double>(fanout), qps[0], qps[1], qps[2]});
+    }
+    PrintFigure(regime.title, table);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -278,6 +408,10 @@ int main(int argc, char** argv) {
   PrintShardScaling(corpus, workload.log(), params.k);
 
   PrintEpochMaintenance();
+
+  PrintDecodeThroughput();
+
+  PrintOrStrategySweep(corpus);
 
   PrintRunReport("fig15c: per-stage latency percentiles (ns)");
 #if ASUP_METRICS_ENABLED

@@ -7,11 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "asup/engine/doc_iterator.h"
 #include "asup/engine/parallel_service.h"
 #include "asup/engine/pipeline/result_processor.h"
+#include "asup/engine/query_node.h"
 #include "asup/engine/scoring.h"
 #include "asup/engine/search_engine.h"
 #include "asup/engine/sharded_service.h"
+#include "asup/index/block_codec.h"
 #include "asup/index/inverted_index.h"
 #include "asup/index/sharded_index.h"
 #include "asup/obs/trace.h"
@@ -282,6 +285,8 @@ void BM_ShardedIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedIndexBuild)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
+// Block-format decode throughput: full scan of a 10k-posting list through
+// the group-varint block codec (the format every engine reads now).
 void BM_PostingDecode(benchmark::State& state) {
   PostingList::Builder builder;
   for (uint32_t d = 0; d < 10000; ++d) builder.Add(d * 3, 1 + d % 7);
@@ -296,6 +301,42 @@ void BM_PostingDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_PostingDecode);
+
+// The pre-block posting format, reconstructed locally: one LEB128
+// (delta, freq) varbyte pair per posting, decoded scalar one value at a
+// time. The BM_PostingDecode / BM_LegacyVarByteDecode ratio is the
+// decode-throughput win of the group-varint block format (fig15f).
+void BM_LegacyVarByteDecode(benchmark::State& state) {
+  std::vector<uint8_t> bytes;
+  uint32_t prev = 0;
+  bool first = true;
+  for (uint32_t d = 0; d < 10000; ++d) {
+    const uint32_t doc = d * 3;
+    AppendVarByte(first ? doc : doc - prev, bytes);
+    AppendVarByte(1 + d % 7, bytes);
+    prev = doc;
+    first = false;
+  }
+  for (auto _ : state) {
+    size_t total = 0;
+    size_t offset = 0;
+    uint32_t doc = 0;
+    for (uint32_t d = 0; d < 10000; ++d) {
+      uint32_t delta = 0;
+      uint32_t freq = 0;
+      if (!TryReadVarByte(bytes, offset, delta) ||
+          !TryReadVarByte(bytes, offset, freq)) {
+        break;
+      }
+      doc += delta;
+      total += freq;
+    }
+    benchmark::DoNotOptimize(total);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_LegacyVarByteDecode);
 
 // Vocabulary lookup through the heterogeneous (string_view) path: query
 // parsing resolves every token this way, so the per-lookup cost — and in
@@ -336,16 +377,135 @@ void BM_VocabularyLookupMiss(benchmark::State& state) {
 }
 BENCHMARK(BM_VocabularyLookupMiss);
 
+// Multi-term conjunctive match latency through the iterator algebra
+// (rarest-first leapfrog And over block-compressed postings) — the match
+// path every engine now runs.
 void BM_ConjunctiveMatch(benchmark::State& state) {
   MicroEnv& env = Env();
   const auto& vocab = env.corpus->vocabulary();
   const auto query = KeywordQuery::Parse(vocab, "sports game team");
+  const QueryNode node = QueryNode::FromKeywords(query);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        env.index->ConjunctiveMatch(query.terms()).size());
+        ExecuteMatch(*env.index, node, query.terms()).size());
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ConjunctiveMatch);
+
+// Terms for the disjunction sweeps, by document frequency rank.
+// rank_from_top=true returns the state.range(0) highest-df terms (dense,
+// heavily overlapping lists — every step has many children at the minimum,
+// so the flat scan's regime); false returns mid-rank rare terms (sparse,
+// mostly disjoint lists — usually one child per minimum, the heap's
+// regime).
+std::vector<TermId> TermsByDfRank(const InvertedIndex& index, size_t count,
+                                  bool rank_from_top) {
+  std::vector<std::pair<size_t, TermId>> by_df;
+  const size_t vocab = index.corpus().vocabulary().size();
+  for (TermId term = 0; term < vocab; ++term) {
+    const size_t df = index.DocumentFrequency(term);
+    if (df > 0) by_df.emplace_back(df, term);
+  }
+  std::sort(by_df.rbegin(), by_df.rend());
+  std::vector<TermId> terms;
+  const size_t start = rank_from_top ? 0 : by_df.size() / 2;
+  for (size_t i = start; i < by_df.size() && terms.size() < count; ++i) {
+    terms.push_back(by_df[i].second);
+  }
+  return terms;
+}
+
+// Disjunction count at state.range(0) children under a fixed Or merge
+// strategy. The flat/heap crossing point across the sparse sweep is what
+// sets kOrHeapCrossoverChildren (engine/doc_iterator.h, EXPERIMENTS.md);
+// the adaptive rows must track the better of the two in each regime it
+// can distinguish (child count is its only input).
+void OrCountSweep(benchmark::State& state, OrStrategy strategy, bool dense) {
+  MicroEnv& env = Env();
+  const auto fanout = static_cast<size_t>(state.range(0));
+  std::vector<QueryNode> children;
+  for (TermId term : TermsByDfRank(*env.index, fanout, dense)) {
+    children.push_back(QueryNode::Term(term));
+  }
+  const QueryNode node = QueryNode::Or(std::move(children));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteCount(*env.index, node, strategy));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_OrCountFlat(benchmark::State& state) {
+  OrCountSweep(state, OrStrategy::kFlat, /*dense=*/true);
+}
+BENCHMARK(BM_OrCountFlat)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+void BM_OrCountHeap(benchmark::State& state) {
+  OrCountSweep(state, OrStrategy::kHeap, /*dense=*/true);
+}
+BENCHMARK(BM_OrCountHeap)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+void BM_OrCountAdaptive(benchmark::State& state) {
+  OrCountSweep(state, OrStrategy::kAdaptive, /*dense=*/true);
+}
+BENCHMARK(BM_OrCountAdaptive)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+void BM_OrCountSparseFlat(benchmark::State& state) {
+  OrCountSweep(state, OrStrategy::kFlat, /*dense=*/false);
+}
+BENCHMARK(BM_OrCountSparseFlat)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+void BM_OrCountSparseHeap(benchmark::State& state) {
+  OrCountSweep(state, OrStrategy::kHeap, /*dense=*/false);
+}
+BENCHMARK(BM_OrCountSparseHeap)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+void BM_OrCountSparseAdaptive(benchmark::State& state) {
+  OrCountSweep(state, OrStrategy::kAdaptive, /*dense=*/false);
+}
+BENCHMARK(BM_OrCountSparseAdaptive)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
 
 #if ASUP_METRICS_ENABLED
 

@@ -1,0 +1,54 @@
+// Fuzz oracle for the block posting codec (index/block_codec.h).
+//
+// TryDecodeBlock consumes untrusted bytes; it must reject truncated,
+// overlong and otherwise malformed blocks without ever reading out of
+// bounds, and every block it accepts must satisfy the posting invariants
+// (strictly ascending doc ids, frequencies >= 1) and re-encode to exactly
+// the bytes it consumed — the format is canonical, so decode ∘ encode is
+// the identity on accepted inputs.
+//
+// Input shape: byte 0 selects the posting count in [1, kMaxBlockPostings],
+// the rest is the candidate block payload.
+
+#include <cstdint>
+#include <vector>
+
+#include "asup/index/block_codec.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 1) return 0;
+  namespace bc = asup::blockcodec;
+  const size_t count = 1 + data[0] % bc::kMaxBlockPostings;
+  const std::vector<uint8_t> bytes(data + 1, data + size);
+
+  size_t offset = 0;
+  bc::DecodedBlock block;
+  if (!bc::TryDecodeBlock(bytes, offset, count, block)) {
+    // Rejection may leave offset mid-stream (callers discard it), but it
+    // never runs past the input.
+    FUZZ_ASSERT(offset <= bytes.size());
+    return 0;
+  }
+
+  FUZZ_ASSERT(block.count == count);
+  FUZZ_ASSERT(offset <= bytes.size());
+  for (size_t i = 1; i < count; ++i) {
+    FUZZ_ASSERT(block.docs[i - 1] < block.docs[i]);
+  }
+  std::vector<asup::Posting> postings;
+  postings.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    FUZZ_ASSERT(block.freqs[i] >= 1);
+    postings.push_back({block.docs[i], block.freqs[i]});
+  }
+
+  // Canonical fixed point: re-encoding reproduces the consumed bytes.
+  std::vector<uint8_t> reencoded;
+  bc::EncodeBlock(postings, reencoded);
+  FUZZ_ASSERT(reencoded.size() == offset);
+  for (size_t i = 0; i < offset; ++i) {
+    FUZZ_ASSERT(reencoded[i] == bytes[i]);
+  }
+  return 0;
+}

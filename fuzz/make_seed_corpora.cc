@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "asup/engine/query.h"
+#include "asup/index/block_codec.h"
 #include "asup/index/corpus_io.h"
 #include "asup/suppress/as_arbi.h"
 #include "asup/suppress/as_simple.h"
@@ -167,6 +168,65 @@ int main(int argc, char** argv) {
     std::string shift_overflow_varint = header;
     shift_overflow_varint += std::string("\x80\x80\x80\x80\x10", 5);
     WriteSeed(corpus_dir, "shift_overflow_varint", shift_overflow_varint);
+  }
+
+  // --- fuzz_block_codec: valid blocks + crafted malformed ones ------------
+  // Harness input shape: byte 0 selects the posting count, the rest is the
+  // candidate block payload (see fuzz_block_codec.cc).
+  {
+    const fs::path block_dir = root / "fuzz_block_codec";
+    auto encode = [](const std::vector<asup::Posting>& postings) {
+      std::vector<uint8_t> bytes;
+      asup::blockcodec::EncodeBlock(postings, bytes);
+      std::string out;
+      // count byte 1..128 maps from (count - 1); count <= 128 here.
+      out.push_back(static_cast<char>(postings.size() - 1));
+      out.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+      return out;
+    };
+
+    // Tail-only block (count < 4: pure scalar varbyte path).
+    WriteSeed(block_dir, "tail_only",
+              encode({{5, 1}, {6, 2}, {300, 9}}));
+    // One exact group, no tail.
+    WriteSeed(block_dir, "one_group",
+              encode({{0, 1}, {1, 1}, {70000, 130}, {70001, 70000}}));
+    // Groups plus tail, mixed byte widths.
+    {
+      std::vector<asup::Posting> postings;
+      uint32_t doc = 3;
+      for (uint32_t i = 0; i < 11; ++i) {
+        postings.push_back({doc, 1 + (i * i) % 1000});
+        doc += 1 + (i % 3 == 0 ? 1u << 17 : 2u);
+      }
+      WriteSeed(block_dir, "groups_and_tail", encode(postings));
+    }
+    // Full block of kMaxBlockPostings postings.
+    {
+      std::vector<asup::Posting> postings;
+      for (uint32_t i = 0; i < asup::blockcodec::kMaxBlockPostings; ++i) {
+        postings.push_back({i * 7, 1 + i % 5});
+      }
+      WriteSeed(block_dir, "full_block", encode(postings));
+    }
+    // Malformed mutants: truncation, non-canonical group padding,
+    // zero delta, zero freq — the reject paths the Try-variant must take
+    // without reading out of bounds.
+    {
+      const std::string valid = encode({{5, 1}, {6, 2}, {300, 9}, {301, 4}});
+      WriteSeed(block_dir, "truncated", valid.substr(0, valid.size() / 2));
+      WriteSeed(block_dir, "padded_group",
+                std::string("\x03", 1) +
+                    std::string("\x01\x05\x00\x01\x01\x01"
+                                "\x00\x01\x01\x01\x01",
+                                11));
+      WriteSeed(block_dir, "zero_delta",
+                std::string("\x01\x05\x00\x01\x01", 5));
+      WriteSeed(block_dir, "zero_freq",
+                std::string("\x01\x05\x01\x01\x00", 5));
+      WriteSeed(block_dir, "garbage",
+                std::string("\x7f\xff\xff\xff\xff\xff\xff\xff", 8));
+    }
   }
 
   // --- fuzz_state_io: defense snapshots from the harness's own rig --------

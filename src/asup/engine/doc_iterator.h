@@ -1,0 +1,229 @@
+#ifndef ASUP_ENGINE_DOC_ITERATOR_H_
+#define ASUP_ENGINE_DOC_ITERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "asup/engine/query_node.h"
+#include "asup/index/inverted_index.h"
+
+namespace asup {
+
+/// The iterator algebra the match path executes: a QueryNode tree compiles
+/// into a tree of DocIterators (Term / And / Or / Not / Empty), and every
+/// engine entry point — PlainSearchEngine, ShardedSearchService's
+/// per-shard match, the pipeline match stage — drives the root. Iterators
+/// stream ascending local doc ids; SkipTo obeys the same forward-only
+/// contract as PostingList::Iterator::SkipTo (a target at or behind the
+/// current doc is a no-op), which is what lets And leapfrog its children
+/// against each other.
+class DocIterator {
+ public:
+  virtual ~DocIterator() = default;
+
+  /// True if the iterator points at a document.
+  virtual bool Valid() const = 0;
+
+  /// Current local doc id. Requires Valid().
+  virtual uint32_t Doc() const = 0;
+
+  /// Advances to the next matching document. Requires Valid().
+  virtual void Next() = 0;
+
+  /// Advances until Doc() >= target or exhaustion; forward-only (a target
+  /// at or behind the current doc is a no-op).
+  virtual void SkipTo(uint32_t target) = 0;
+
+  /// Upper bound on the number of documents this iterator can produce —
+  /// exact for Term, min/sum/range for And/Or/Not. Drives the rarest-first
+  /// ordering of And children.
+  virtual size_t CostEstimate() const = 0;
+};
+
+/// Leaf: streams one term's posting list, exposing the in-document
+/// frequency the scoring function needs.
+class TermIterator : public DocIterator {
+ public:
+  TermIterator(const PostingList& list, TermId term)
+      : it_(&list), size_(list.size()), term_(term) {}
+
+  bool Valid() const override { return it_.Valid(); }
+  uint32_t Doc() const override { return it_.Get().local_doc; }
+  void Next() override { it_.Next(); }
+  void SkipTo(uint32_t target) override { it_.SkipTo(target); }
+  size_t CostEstimate() const override { return size_; }
+
+  /// Frequency of the term in the current document. Requires Valid().
+  uint32_t Freq() const { return it_.Get().freq; }
+  TermId term() const { return term_; }
+
+ private:
+  PostingList::Iterator it_;
+  size_t size_;
+  TermId term_;
+};
+
+/// Intersection: multi-way leapfrog over children ordered rarest-first
+/// (the caller — CompileQuery — sorts them by CostEstimate).
+class AndIterator : public DocIterator {
+ public:
+  explicit AndIterator(std::vector<std::unique_ptr<DocIterator>> children);
+
+  bool Valid() const override { return valid_; }
+  uint32_t Doc() const override { return doc_; }
+  void Next() override;
+  void SkipTo(uint32_t target) override;
+  size_t CostEstimate() const override;
+
+ private:
+  /// From the driver's current position, leapfrogs to the next doc every
+  /// child agrees on (or exhaustion).
+  void Leapfrog();
+
+  std::vector<std::unique_ptr<DocIterator>> children_;  // rarest first
+  uint32_t doc_ = 0;
+  bool valid_ = false;
+};
+
+/// Union, flat variant: every Next/SkipTo scans all children for the
+/// minimum. O(k) per step with no per-step allocation or heap churn —
+/// wins for small child counts (see kOrHeapCrossoverChildren).
+class FlatOrIterator : public DocIterator {
+ public:
+  explicit FlatOrIterator(std::vector<std::unique_ptr<DocIterator>> children);
+
+  bool Valid() const override { return valid_; }
+  uint32_t Doc() const override { return doc_; }
+  void Next() override;
+  void SkipTo(uint32_t target) override;
+  size_t CostEstimate() const override;
+
+ private:
+  void FindMin();
+
+  std::vector<std::unique_ptr<DocIterator>> children_;
+  uint32_t doc_ = 0;
+  bool valid_ = false;
+};
+
+/// Union, k-way-heap variant: children keyed by current doc in a binary
+/// min-heap; each step pops/reinserts only the children at the minimum.
+/// O(log k) per step — wins for large child counts.
+class HeapOrIterator : public DocIterator {
+ public:
+  explicit HeapOrIterator(std::vector<std::unique_ptr<DocIterator>> children);
+
+  bool Valid() const override { return !heap_.empty(); }
+  uint32_t Doc() const override { return heap_.front().doc; }
+  void Next() override;
+  void SkipTo(uint32_t target) override;
+  size_t CostEstimate() const override;
+
+ private:
+  struct Entry {
+    uint32_t doc;
+    size_t child;
+  };
+
+  /// Pops the heap's minimum entry, advances that child with `advance`,
+  /// and reinserts it if still valid.
+  template <typename Advance>
+  void ReplaceTop(Advance&& advance);
+
+  std::vector<std::unique_ptr<DocIterator>> children_;
+  std::vector<Entry> heap_;
+};
+
+/// Complement: anti-join of the child against the local id range
+/// [0, num_docs) — every indexed document not produced by the child.
+class NotIterator : public DocIterator {
+ public:
+  NotIterator(std::unique_ptr<DocIterator> child, uint32_t num_docs);
+
+  bool Valid() const override { return doc_ < num_docs_; }
+  uint32_t Doc() const override { return doc_; }
+  void Next() override;
+  void SkipTo(uint32_t target) override;
+  size_t CostEstimate() const override { return num_docs_; }
+
+ private:
+  /// Advances doc_ past documents the child produces.
+  void Align();
+
+  std::unique_ptr<DocIterator> child_;
+  uint32_t num_docs_;
+  uint32_t doc_ = 0;
+};
+
+/// The empty set (unindexed term, And with an empty child, ...).
+class EmptyIterator : public DocIterator {
+ public:
+  bool Valid() const override { return false; }
+  uint32_t Doc() const override { return 0; }
+  void Next() override {}
+  void SkipTo(uint32_t) override {}
+  size_t CostEstimate() const override { return 0; }
+};
+
+/// Union execution strategy. kAdaptive picks flat below
+/// kOrHeapCrossoverChildren children and the heap at or above it; the
+/// forced variants exist for the crossover benchmarks and the property
+/// tests (all three must agree on every tree).
+enum class OrStrategy { kAdaptive, kFlat, kHeap };
+
+/// Measured flat-vs-heap crossover (bench_micro_engine BM_OrCount*,
+/// recorded in EXPERIMENTS.md). The two regimes disagree: over sparse,
+/// mostly-disjoint lists the heap wins from 3 children on (1.7x at 3, 9x
+/// at 32 — one pop/push beats a k-wide min-scan when only one child sits
+/// at the minimum), while over dense overlapping lists the flat scan wins
+/// at every measured fanout up to 64 (worst heap deficit 1.3x — most
+/// children share each minimum, so the heap churns log k per child where
+/// the flat scan pays one predictable pass). Child count is the only
+/// signal available at compile time, so the constant is the minimax-regret
+/// compromise: 3 is where the sparse heap's win (1.7x and growing) starts
+/// dwarfing the dense flat scan's edge (a dead tie at 3, <=1.3x above).
+inline constexpr size_t kOrHeapCrossoverChildren = 3;
+
+/// A compiled query: the iterator tree plus, for the conjunctive fast
+/// shape (a bare Term or an And of Terms — every KeywordQuery), the
+/// aligned TermIterators whose Freq() is readable at each match without
+/// any document lookup.
+struct CompiledQuery {
+  /// Never null; EmptyIterator when the tree cannot match.
+  std::unique_ptr<DocIterator> root;
+
+  /// Non-empty iff the tree is a pure conjunction of terms *and* every
+  /// term is indexed: the distinct TermIterators, rarest-first, owned by
+  /// `root` and aligned at root->Doc() whenever root is Valid().
+  std::vector<const TermIterator*> aligned_terms;
+};
+
+/// Compiles `node` against `index`. Duplicate term children of an And are
+/// deduplicated; children of an And run rarest-first; unindexed terms
+/// compile to EmptyIterator (and erase a surrounding And).
+CompiledQuery CompileQuery(const InvertedIndex& index, const QueryNode& node,
+                           OrStrategy strategy = OrStrategy::kAdaptive);
+
+/// Executes `node` and returns every matching document ascending, with
+/// per-position frequencies for `freq_terms` (the scoring inputs, in
+/// query-term order). Conjunctions read frequencies from the aligned
+/// iterators; other shapes fall back to the document's term map.
+std::vector<MatchedDoc> ExecuteMatch(
+    const InvertedIndex& index, const QueryNode& node,
+    std::span<const TermId> freq_terms,
+    OrStrategy strategy = OrStrategy::kAdaptive);
+
+/// Number of matching documents, without materializing anything.
+size_t ExecuteCount(const InvertedIndex& index, const QueryNode& node,
+                    OrStrategy strategy = OrStrategy::kAdaptive);
+
+/// Local ids of every matching document, ascending.
+std::vector<uint32_t> ExecuteLocals(
+    const InvertedIndex& index, const QueryNode& node,
+    OrStrategy strategy = OrStrategy::kAdaptive);
+
+}  // namespace asup
+
+#endif  // ASUP_ENGINE_DOC_ITERATOR_H_

@@ -9,16 +9,31 @@
 namespace asup {
 
 RankedMatches QueryContext::TopMatches(size_t limit) const {
+  if (node != nullptr) {
+    const std::vector<TermId>& terms =
+        score_terms != nullptr ? *score_terms : query->terms();
+    return snapshot != nullptr
+               ? base->TopMatchesNodeIn(*snapshot, *node, terms, limit)
+               : base->TopMatchesNode(*node, terms, limit);
+  }
   return snapshot != nullptr ? base->TopMatchesIn(*snapshot, *query, limit)
                              : base->TopMatches(*query, limit);
 }
 
 size_t QueryContext::MatchCount() const {
+  if (node != nullptr) {
+    return snapshot != nullptr ? base->MatchCountNodeIn(*snapshot, *node)
+                               : base->MatchCountNode(*node);
+  }
   return snapshot != nullptr ? base->MatchCountIn(*snapshot, *query)
                              : base->MatchCount(*query);
 }
 
 std::vector<DocId> QueryContext::MatchIds() const {
+  if (node != nullptr) {
+    return snapshot != nullptr ? base->MatchIdsNodeIn(*snapshot, *node)
+                               : base->MatchIdsNode(*node);
+  }
   return snapshot != nullptr ? base->MatchIdsIn(*snapshot, *query)
                              : base->MatchIds(*query);
 }

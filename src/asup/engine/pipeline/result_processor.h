@@ -27,6 +27,15 @@ class IndistinguishableSegment;
 struct QueryContext {
   // --- inputs, set by the engine before Run ---
   const KeywordQuery* query = nullptr;
+  /// Boolean query tree overriding `query`'s match semantics: when set,
+  /// the match stages compile and execute this tree (through the node
+  /// entry points of MatchingEngine) instead of lowering `query`'s
+  /// conjunction. Null for every conjunctive caller — `query` then lowers
+  /// to its And-of-terms tree inside the engine, same algebra either way.
+  const QueryNode* node = nullptr;
+  /// Scoring terms for `node` (per-term frequency/df inputs); null means
+  /// query->terms(). Ignored when `node` is null.
+  const std::vector<TermId>* score_terms = nullptr;
   MatchingEngine* base = nullptr;
   /// The epoch every match/rank call resolves against. Null only for
   /// engines with no epoch pinning (AS-DECLINE), whose match stages then

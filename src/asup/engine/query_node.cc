@@ -1,0 +1,72 @@
+#include "asup/engine/query_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "asup/util/check.h"
+
+namespace asup {
+
+QueryNode QueryNode::Term(TermId term) {
+  QueryNode node;
+  node.kind_ = Kind::kTerm;
+  node.term_ = term;
+  return node;
+}
+
+QueryNode QueryNode::And(std::vector<QueryNode> children) {
+  ASUP_CHECK(!children.empty());
+  QueryNode node;
+  node.kind_ = Kind::kAnd;
+  node.children_ = std::move(children);
+  return node;
+}
+
+QueryNode QueryNode::Or(std::vector<QueryNode> children) {
+  ASUP_CHECK(!children.empty());
+  QueryNode node;
+  node.kind_ = Kind::kOr;
+  node.children_ = std::move(children);
+  return node;
+}
+
+QueryNode QueryNode::Not(QueryNode child) {
+  QueryNode node;
+  node.kind_ = Kind::kNot;
+  node.children_.push_back(std::move(child));
+  return node;
+}
+
+QueryNode QueryNode::MakeEmpty() { return QueryNode(); }
+
+QueryNode QueryNode::FromKeywords(const KeywordQuery& query) {
+  const std::vector<TermId>& terms = query.terms();
+  if (terms.empty()) return MakeEmpty();  // unknown word or empty query
+  if (terms.size() == 1) return Term(terms.front());
+  std::vector<QueryNode> children;
+  children.reserve(terms.size());
+  for (TermId term : terms) children.push_back(Term(term));
+  return And(std::move(children));
+}
+
+namespace {
+
+void CollectInto(const QueryNode& node, std::vector<TermId>& out) {
+  if (node.kind() == QueryNode::Kind::kTerm) {
+    out.push_back(node.term());
+    return;
+  }
+  for (const QueryNode& child : node.children()) CollectInto(child, out);
+}
+
+}  // namespace
+
+std::vector<TermId> QueryNode::CollectTerms() const {
+  std::vector<TermId> terms;
+  CollectInto(*this, terms);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+}  // namespace asup

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "asup/engine/doc_iterator.h"
 #include "asup/engine/pipeline/result_processor.h"
 #include "asup/util/check.h"
 
@@ -26,6 +27,27 @@ SearchResult MatchingEngine::Search(const KeywordQuery& query) {
   return std::move(context.result);
 }
 
+RankedMatches MatchingEngine::TopMatchesIn(const CorpusSnapshot& snapshot,
+                                           const KeywordQuery& query,
+                                           size_t limit) const {
+  if (query.terms().empty()) return {};  // unknown word or empty query
+  return TopMatchesNodeIn(snapshot, QueryNode::FromKeywords(query),
+                          query.terms(), limit);
+}
+
+size_t MatchingEngine::MatchCountIn(const CorpusSnapshot& snapshot,
+                                    const KeywordQuery& query) const {
+  if (query.terms().empty()) return 0;
+  return MatchCountNodeIn(snapshot, QueryNode::FromKeywords(query));
+}
+
+std::vector<DocId> MatchingEngine::MatchIdsIn(const CorpusSnapshot& snapshot,
+                                              const KeywordQuery& query)
+    const {
+  if (query.terms().empty()) return {};
+  return MatchIdsNodeIn(snapshot, QueryNode::FromKeywords(query));
+}
+
 PlainSearchEngine::PlainSearchEngine(const InvertedIndex& index, size_t k,
                                      std::unique_ptr<ScoringFunction> scorer)
     : static_snapshot_(CorpusSnapshot::Borrow(index)),
@@ -38,18 +60,17 @@ PlainSearchEngine::PlainSearchEngine(const CorpusManager& manager, size_t k,
       k_(k),
       scorer_(scorer ? std::move(scorer) : MakeDefaultScorer()) {}
 
-RankedMatches PlainSearchEngine::TopMatchesIn(const CorpusSnapshot& snapshot,
-                                              const KeywordQuery& query,
-                                              size_t limit) const {
+RankedMatches PlainSearchEngine::TopMatchesNodeIn(
+    const CorpusSnapshot& snapshot, const QueryNode& node,
+    std::span<const TermId> score_terms, size_t limit) const {
   const InvertedIndex& index = snapshot.index();
   RankedMatches out;
-  if (query.terms().empty()) return out;  // unknown word or empty query
   const std::vector<MatchedDoc> matches =
-      index.ConjunctiveMatch(query.terms());
+      ExecuteMatch(index, node, score_terms);
   out.total_matches = matches.size();
   if (matches.empty()) return out;
 
-  const ScoringContext context = MakeScoringContext(index, query.terms());
+  const ScoringContext context = MakeScoringContext(index, score_terms);
   std::vector<ScoredDoc> scored;
   scored.reserve(matches.size());
   for (const MatchedDoc& match : matches) {
@@ -70,23 +91,18 @@ RankedMatches PlainSearchEngine::TopMatchesIn(const CorpusSnapshot& snapshot,
   return out;
 }
 
-size_t PlainSearchEngine::MatchCountIn(const CorpusSnapshot& snapshot,
-                                       const KeywordQuery& query) const {
-  if (query.terms().empty()) return 0;
-  return snapshot.index().MatchCount(query.terms());
+size_t PlainSearchEngine::MatchCountNodeIn(const CorpusSnapshot& snapshot,
+                                           const QueryNode& node) const {
+  return ExecuteCount(snapshot.index(), node);
 }
 
-std::vector<DocId> PlainSearchEngine::MatchIdsIn(
-    const CorpusSnapshot& snapshot, const KeywordQuery& query) const {
+std::vector<DocId> PlainSearchEngine::MatchIdsNodeIn(
+    const CorpusSnapshot& snapshot, const QueryNode& node) const {
   const InvertedIndex& index = snapshot.index();
+  const std::vector<uint32_t> locals = ExecuteLocals(index, node);
   std::vector<DocId> ids;
-  if (query.terms().empty()) return ids;
-  const std::vector<MatchedDoc> matches =
-      index.ConjunctiveMatch(query.terms());
-  ids.reserve(matches.size());
-  for (const MatchedDoc& match : matches) {
-    ids.push_back(index.LocalToId(match.local_doc));
-  }
+  ids.reserve(locals.size());
+  for (uint32_t local : locals) ids.push_back(index.LocalToId(local));
   return ids;
 }
 

@@ -2,8 +2,10 @@
 #define ASUP_ENGINE_SEARCH_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "asup/engine/query_node.h"
 #include "asup/engine/scoring.h"
 #include "asup/engine/search_service.h"
 #include "asup/index/corpus_manager.h"
@@ -58,21 +60,49 @@ class MatchingEngine : public SearchService {
   /// Epoch number of the current snapshot (0 for static deployments).
   uint64_t CurrentEpoch() const { return PinSnapshot()->epoch(); }
 
-  /// Server-side, against a pinned epoch: the top `limit` matches and the
-  /// total match count. `snapshot` must come from this engine's
-  /// PinSnapshot (now or earlier).
-  virtual RankedMatches TopMatchesIn(const CorpusSnapshot& snapshot,
-                                     const KeywordQuery& query,
-                                     size_t limit) const = 0;
+  // Boolean-tree entry points — the layer every match actually executes
+  // through (engine/doc_iterator.h). Implementations compile `node` into
+  // an iterator tree per index (per shard, for the sharded service).
+  // `score_terms` are the scoring inputs (per-term frequencies and
+  // document frequencies), in query-term order; node.CollectTerms() is the
+  // natural choice for free-form trees.
 
-  /// Server-side, against a pinned epoch: |Sel(q)|.
-  virtual size_t MatchCountIn(const CorpusSnapshot& snapshot,
-                              const KeywordQuery& query) const = 0;
+  /// Server-side, against a pinned epoch: the top `limit` matches of a
+  /// boolean query tree and the total match count. `snapshot` must come
+  /// from this engine's PinSnapshot (now or earlier).
+  virtual RankedMatches TopMatchesNodeIn(const CorpusSnapshot& snapshot,
+                                         const QueryNode& node,
+                                         std::span<const TermId> score_terms,
+                                         size_t limit) const = 0;
+
+  /// Server-side, against a pinned epoch: the tree's match count.
+  virtual size_t MatchCountNodeIn(const CorpusSnapshot& snapshot,
+                                  const QueryNode& node) const = 0;
 
   /// Server-side, against a pinned epoch: ids of all matching documents,
   /// ascending.
-  virtual std::vector<DocId> MatchIdsIn(const CorpusSnapshot& snapshot,
-                                        const KeywordQuery& query) const = 0;
+  virtual std::vector<DocId> MatchIdsNodeIn(const CorpusSnapshot& snapshot,
+                                            const QueryNode& node) const = 0;
+
+  // Conjunctive KeywordQuery entry points — what the suppression layer,
+  // attacks and workloads call. Non-virtual: each lowers the query to its
+  // And-of-terms tree (QueryNode::FromKeywords) and executes it through
+  // the node virtuals above, so the conjunctive path and the boolean path
+  // are one code path and stay bitwise identical.
+
+  /// Server-side, against a pinned epoch: the top `limit` matches and the
+  /// total match count — paper notation M(q) and |Sel(q)|.
+  RankedMatches TopMatchesIn(const CorpusSnapshot& snapshot,
+                             const KeywordQuery& query, size_t limit) const;
+
+  /// Server-side, against a pinned epoch: |Sel(q)|.
+  size_t MatchCountIn(const CorpusSnapshot& snapshot,
+                      const KeywordQuery& query) const;
+
+  /// Server-side, against a pinned epoch: ids of all matching documents,
+  /// ascending.
+  std::vector<DocId> MatchIdsIn(const CorpusSnapshot& snapshot,
+                                const KeywordQuery& query) const;
 
   /// Server-side, against a pinned epoch: scores the given documents (each
   /// must match the query and be in the snapshot's corpus) and returns
@@ -95,6 +125,17 @@ class MatchingEngine : public SearchService {
   }
   std::vector<DocId> MatchIds(const KeywordQuery& query) const {
     return MatchIdsIn(*PinSnapshot(), query);
+  }
+  RankedMatches TopMatchesNode(const QueryNode& node,
+                               std::span<const TermId> score_terms,
+                               size_t limit) const {
+    return TopMatchesNodeIn(*PinSnapshot(), node, score_terms, limit);
+  }
+  size_t MatchCountNode(const QueryNode& node) const {
+    return MatchCountNodeIn(*PinSnapshot(), node);
+  }
+  std::vector<DocId> MatchIdsNode(const QueryNode& node) const {
+    return MatchIdsNodeIn(*PinSnapshot(), node);
   }
   std::vector<ScoredDoc> RankDocs(const KeywordQuery& query,
                                   std::span<const DocId> docs) const {
@@ -139,15 +180,16 @@ class PlainSearchEngine : public MatchingEngine {
     return manager_ != nullptr ? manager_->Current() : static_snapshot_;
   }
 
-  RankedMatches TopMatchesIn(const CorpusSnapshot& snapshot,
-                             const KeywordQuery& query,
-                             size_t limit) const override;
+  RankedMatches TopMatchesNodeIn(const CorpusSnapshot& snapshot,
+                                 const QueryNode& node,
+                                 std::span<const TermId> score_terms,
+                                 size_t limit) const override;
 
-  size_t MatchCountIn(const CorpusSnapshot& snapshot,
-                      const KeywordQuery& query) const override;
+  size_t MatchCountNodeIn(const CorpusSnapshot& snapshot,
+                          const QueryNode& node) const override;
 
-  std::vector<DocId> MatchIdsIn(const CorpusSnapshot& snapshot,
-                                const KeywordQuery& query) const override;
+  std::vector<DocId> MatchIdsNodeIn(const CorpusSnapshot& snapshot,
+                                    const QueryNode& node) const override;
 
   std::vector<ScoredDoc> RankDocsIn(const CorpusSnapshot& snapshot,
                                     const KeywordQuery& query,

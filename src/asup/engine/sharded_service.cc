@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "asup/engine/doc_iterator.h"
 #include "asup/obs/trace.h"
 #include "asup/util/check.h"
 
@@ -52,19 +53,20 @@ ScoringContext ShardedSearchService::MakeContext(
   return context;
 }
 
-RankedMatches ShardedSearchService::TopMatchesIn(
-    const CorpusSnapshot& snapshot, const KeywordQuery& query,
-    size_t limit) const {
+RankedMatches ShardedSearchService::TopMatchesNodeIn(
+    const CorpusSnapshot& snapshot, const QueryNode& node,
+    std::span<const TermId> score_terms, size_t limit) const {
   const ShardedInvertedIndex& index = snapshot.sharded();
   RankedMatches out;
-  if (query.terms().empty()) return out;  // unknown word or empty query
-  const std::span<const TermId> terms = query.terms();
-  const ScoringContext context = MakeContext(index, terms);
+  const ScoringContext context = MakeContext(index, score_terms);
 
-  // Scatter: each shard matches and scores its own document range against
-  // the global context, keeping only its local top-`limit` — a superset of
-  // the shard's contribution to the global top-`limit`. Slots are
-  // preallocated, so the phase is deterministic under any scheduling.
+  // Scatter: each shard compiles the same query tree against its own
+  // document range (Not anti-joins each shard's local range; shards
+  // partition the corpus, so the per-shard complements union to the
+  // global complement), matches, and scores against the global context,
+  // keeping only its local top-`limit` — a superset of the shard's
+  // contribution to the global top-`limit`. Slots are preallocated, so
+  // the phase is deterministic under any scheduling.
   struct ShardCandidates {
     std::vector<ScoredDoc> docs;
     size_t total_matches = 0;
@@ -75,7 +77,8 @@ RankedMatches ShardedSearchService::TopMatchesIn(
     // the issuing thread; always feeds the shard_match latency histogram.
     ASUP_TRACE_STAGE(obs::Stage::kShardMatch);
     const InvertedIndex& shard = index.Shard(s);
-    const std::vector<MatchedDoc> matches = shard.ConjunctiveMatch(terms);
+    const std::vector<MatchedDoc> matches =
+        ExecuteMatch(shard, node, score_terms);
     ShardCandidates& slot = slots[s];
     slot.total_matches = matches.size();
     slot.docs.reserve(std::min(matches.size(), limit));
@@ -132,35 +135,31 @@ RankedMatches ShardedSearchService::TopMatchesIn(
   return out;
 }
 
-size_t ShardedSearchService::MatchCountIn(const CorpusSnapshot& snapshot,
-                                          const KeywordQuery& query) const {
+size_t ShardedSearchService::MatchCountNodeIn(const CorpusSnapshot& snapshot,
+                                              const QueryNode& node) const {
   const ShardedInvertedIndex& index = snapshot.sharded();
-  if (query.terms().empty()) return 0;
-  const std::span<const TermId> terms = query.terms();
   std::vector<size_t> counts(index.NumShards(), 0);
   ForEachShard(index.NumShards(), [&](size_t s) {
     ASUP_TRACE_STAGE(obs::Stage::kShardMatch);
-    counts[s] = index.Shard(s).MatchCount(terms);
+    counts[s] = ExecuteCount(index.Shard(s), node);
   });
   size_t total = 0;
   for (size_t count : counts) total += count;
   return total;
 }
 
-std::vector<DocId> ShardedSearchService::MatchIdsIn(
-    const CorpusSnapshot& snapshot, const KeywordQuery& query) const {
+std::vector<DocId> ShardedSearchService::MatchIdsNodeIn(
+    const CorpusSnapshot& snapshot, const QueryNode& node) const {
   const ShardedInvertedIndex& index = snapshot.sharded();
   std::vector<DocId> ids;
-  if (query.terms().empty()) return ids;
-  const std::span<const TermId> terms = query.terms();
   std::vector<std::vector<DocId>> slots(index.NumShards());
   ForEachShard(index.NumShards(), [&](size_t s) {
     ASUP_TRACE_STAGE(obs::Stage::kShardMatch);
     const InvertedIndex& shard = index.Shard(s);
-    const std::vector<MatchedDoc> matches = shard.ConjunctiveMatch(terms);
-    slots[s].reserve(matches.size());
-    for (const MatchedDoc& match : matches) {
-      slots[s].push_back(shard.LocalToId(match.local_doc));
+    const std::vector<uint32_t> locals = ExecuteLocals(shard, node);
+    slots[s].reserve(locals.size());
+    for (uint32_t local : locals) {
+      slots[s].push_back(shard.LocalToId(local));
     }
   });
   // Shards hold ascending, disjoint DocId ranges; concatenating in shard

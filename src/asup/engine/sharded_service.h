@@ -58,15 +58,16 @@ class ShardedSearchService : public MatchingEngine {
     return manager_ != nullptr ? manager_->Current() : static_snapshot_;
   }
 
-  RankedMatches TopMatchesIn(const CorpusSnapshot& snapshot,
-                             const KeywordQuery& query,
-                             size_t limit) const override;
+  RankedMatches TopMatchesNodeIn(const CorpusSnapshot& snapshot,
+                                 const QueryNode& node,
+                                 std::span<const TermId> score_terms,
+                                 size_t limit) const override;
 
-  size_t MatchCountIn(const CorpusSnapshot& snapshot,
-                      const KeywordQuery& query) const override;
+  size_t MatchCountNodeIn(const CorpusSnapshot& snapshot,
+                          const QueryNode& node) const override;
 
-  std::vector<DocId> MatchIdsIn(const CorpusSnapshot& snapshot,
-                                const KeywordQuery& query) const override;
+  std::vector<DocId> MatchIdsNodeIn(const CorpusSnapshot& snapshot,
+                                    const QueryNode& node) const override;
 
   std::vector<ScoredDoc> RankDocsIn(const CorpusSnapshot& snapshot,
                                     const KeywordQuery& query,

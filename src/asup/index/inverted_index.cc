@@ -75,120 +75,4 @@ const PostingList& InvertedIndex::Postings(TermId term) const {
   return postings_[term];
 }
 
-namespace {
-
-// Deduplicates query terms but remembers, for each original position, which
-// deduplicated list it reads from.
-struct QueryPlan {
-  std::vector<TermId> distinct;          // distinct terms, rarest first
-  std::vector<size_t> position_to_slot;  // original position -> distinct slot
-};
-
-QueryPlan PlanQuery(std::span<const TermId> terms, const InvertedIndex& index) {
-  QueryPlan plan;
-  plan.position_to_slot.resize(terms.size());
-  for (size_t i = 0; i < terms.size(); ++i) {
-    size_t slot = plan.distinct.size();
-    for (size_t j = 0; j < plan.distinct.size(); ++j) {
-      if (plan.distinct[j] == terms[i]) {
-        slot = j;
-        break;
-      }
-    }
-    if (slot == plan.distinct.size()) plan.distinct.push_back(terms[i]);
-    plan.position_to_slot[i] = slot;
-  }
-  // Intersect rarest-first; remap slots accordingly.
-  std::vector<size_t> order(plan.distinct.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return index.DocumentFrequency(plan.distinct[a]) <
-           index.DocumentFrequency(plan.distinct[b]);
-  });
-  std::vector<TermId> reordered(plan.distinct.size());
-  std::vector<size_t> inverse(order.size());
-  for (size_t rank = 0; rank < order.size(); ++rank) {
-    reordered[rank] = plan.distinct[order[rank]];
-    inverse[order[rank]] = rank;
-  }
-  plan.distinct = std::move(reordered);
-  for (auto& slot : plan.position_to_slot) slot = inverse[slot];
-  return plan;
-}
-
-}  // namespace
-
-std::vector<MatchedDoc> InvertedIndex::ConjunctiveMatch(
-    std::span<const TermId> terms) const {
-  std::vector<MatchedDoc> result;
-  if (terms.empty()) return result;
-  const QueryPlan plan = PlanQuery(terms, *this);
-
-  std::vector<PostingList::Iterator> iters;
-  iters.reserve(plan.distinct.size());
-  for (TermId term : plan.distinct) {
-    const PostingList& list = Postings(term);
-    if (list.empty()) return result;  // some term matches nothing
-    iters.emplace_back(&list);
-  }
-
-  // Multi-way leapfrog intersection driven by the rarest list.
-  std::vector<uint32_t> slot_freqs(plan.distinct.size());
-  while (iters[0].Valid()) {
-    const uint32_t candidate = iters[0].Get().local_doc;
-    slot_freqs[0] = iters[0].Get().freq;
-    bool all = true;
-    for (size_t s = 1; s < iters.size(); ++s) {
-      iters[s].SkipTo(candidate);
-      if (!iters[s].Valid()) return result;  // exhausted: no more matches
-      if (iters[s].Get().local_doc != candidate) {
-        all = false;
-        break;
-      }
-      slot_freqs[s] = iters[s].Get().freq;
-    }
-    if (all) {
-      MatchedDoc match;
-      match.local_doc = candidate;
-      match.freqs.reserve(terms.size());
-      for (size_t pos = 0; pos < terms.size(); ++pos) {
-        match.freqs.push_back(slot_freqs[plan.position_to_slot[pos]]);
-      }
-      result.push_back(std::move(match));
-    }
-    iters[0].Next();
-  }
-  return result;
-}
-
-size_t InvertedIndex::MatchCount(std::span<const TermId> terms) const {
-  if (terms.empty()) return 0;
-  const QueryPlan plan = PlanQuery(terms, *this);
-  if (plan.distinct.size() == 1) return Postings(plan.distinct[0]).size();
-
-  std::vector<PostingList::Iterator> iters;
-  iters.reserve(plan.distinct.size());
-  for (TermId term : plan.distinct) {
-    const PostingList& list = Postings(term);
-    if (list.empty()) return 0;
-    iters.emplace_back(&list);
-  }
-  size_t count = 0;
-  while (iters[0].Valid()) {
-    const uint32_t candidate = iters[0].Get().local_doc;
-    bool all = true;
-    for (size_t s = 1; s < iters.size(); ++s) {
-      iters[s].SkipTo(candidate);
-      if (!iters[s].Valid()) return count;
-      if (iters[s].Get().local_doc != candidate) {
-        all = false;
-        break;
-      }
-    }
-    if (all) ++count;
-    iters[0].Next();
-  }
-  return count;
-}
-
 }  // namespace asup

@@ -2,7 +2,6 @@
 #define ASUP_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "asup/index/postings.h"
@@ -74,17 +73,9 @@ class InvertedIndex {
     return Postings(term).size();
   }
 
-  /// Returns all documents containing *every* term in `terms` (conjunctive
-  /// keyword-search semantics), ascending by local id, with per-term
-  /// frequencies. Duplicate terms are allowed and behave as a single
-  /// occurrence (frequencies are still reported per input position).
-  /// An empty `terms` matches nothing.
-  std::vector<MatchedDoc> ConjunctiveMatch(std::span<const TermId> terms) const;
-
-  /// Number of documents matching the conjunctive query (the |q| of the
-  /// paper). Equivalent to ConjunctiveMatch(terms).size() but avoids
-  /// materializing frequencies.
-  size_t MatchCount(std::span<const TermId> terms) const;
+  // Matching is not the index's job: queries compile to iterator trees
+  // over Postings() and execute in the engine layer (engine/doc_iterator.h
+  // — ExecuteMatch / ExecuteCount / ExecuteLocals).
 
   /// Corpus-wide statistics.
   const IndexStats& stats() const { return stats_; }

@@ -1,92 +1,33 @@
 #include "asup/index/postings.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 
 #include "asup/util/check.h"
 
 namespace asup {
 
-namespace {
-
-/// Largest shift a 5-byte varbyte payload may reach: bits [28, 32) come
-/// from the fifth byte, which therefore may carry at most 4 payload bits.
-constexpr int kMaxVarByteShift = 28;
-
-[[noreturn]] void VarByteFailure(const char* reason, size_t offset) {
-  std::fprintf(stderr,
-               "asup: posting varbyte decode failed at offset %zu: %s\n",
-               offset, reason);
-  std::abort();
-}
-
-}  // namespace
-
-void AppendVarByte(uint32_t value, std::vector<uint8_t>& out) {
-  while (value >= 0x80) {
-    out.push_back(static_cast<uint8_t>(value) | 0x80);
-    value >>= 7;
-  }
-  out.push_back(static_cast<uint8_t>(value));
-}
-
-bool TryReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset,
-                    uint32_t& value) {
-  uint32_t decoded = 0;
-  int shift = 0;
-  size_t at = offset;
-  while (true) {
-    if (at >= bytes.size()) return false;  // truncated mid-varint
-    const uint8_t byte = bytes[at];
-    if (shift == kMaxVarByteShift &&
-        (byte & 0x80 || (byte & 0x7f) > 0x0f)) {
-      // Overlong: a sixth byte, or fifth-byte bits that do not fit in 32.
-      // Rejecting (instead of shifting by >= 32, which is UB) also keeps
-      // the encoding canonical — AppendVarByte never emits these.
-      return false;
-    }
-    decoded |= static_cast<uint32_t>(byte & 0x7f) << shift;
-    ++at;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-  }
-  value = decoded;
-  offset = at;
-  return true;
-}
-
-uint32_t ReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset) {
-  uint32_t value = 0;
-  if (!TryReadVarByte(bytes, offset, value)) {
-    VarByteFailure(offset >= bytes.size() ? "truncated input"
-                                          : "overlong encoding",
-                   offset);
-  }
-  return value;
-}
-
 void PostingList::Builder::Add(uint32_t local_doc, uint32_t freq) {
   ASUP_DCHECK(freq >= 1);
   ASUP_DCHECK(count_ == 0 || local_doc > last_doc_);
-  if (count_ % kPostingBlock == 0) {
-    // Block boundary: record a skip entry (except for the very first
-    // block, which the iterator starts in anyway) and encode the absolute
-    // doc id so decoding can begin here.
-    if (count_ > 0) {
-      skips_.push_back({local_doc, static_cast<uint32_t>(bytes_.size()),
-                        static_cast<uint32_t>(count_)});
-    }
-    AppendVarByte(local_doc, bytes_);
-  } else {
-    AppendVarByte(local_doc - last_doc_, bytes_);
-  }
-  AppendVarByte(freq, bytes_);
+  pending_.push_back({local_doc, freq});
   last_doc_ = local_doc;
   ++count_;
+  if (pending_.size() == kPostingBlock) Flush();
+}
+
+void PostingList::Builder::Flush() {
+  if (pending_.empty()) return;
+  // Skip-table offsets are 32-bit; a single term's payload approaching
+  // 4 GiB would mean a corpus far beyond this codebase's design envelope.
+  ASUP_CHECK_LE(bytes_.size(), size_t{UINT32_MAX});
+  skips_.push_back({pending_.front().local_doc, pending_.back().local_doc,
+                    static_cast<uint32_t>(bytes_.size())});
+  blockcodec::EncodeBlock(pending_, bytes_);
+  pending_.clear();
 }
 
 PostingList PostingList::Builder::Build() && {
+  Flush();
   PostingList list;
   list.bytes_ = std::move(bytes_);
   list.bytes_.shrink_to_fit();
@@ -96,53 +37,65 @@ PostingList PostingList::Builder::Build() && {
   return list;
 }
 
-PostingList::Iterator::Iterator(const PostingList* list) : list_(list) {
-  if (Valid()) ReadCurrent();
+PostingList::Iterator::Iterator(const PostingList* list)
+    : list_(list), count_(list->count_) {
+  if (Valid()) LoadBlock(0);
 }
 
-void PostingList::Iterator::ReadCurrent() {
-  // ReadVarByte is bounds-checked in every build type, so a count_ that
-  // overstates the payload (or a corrupt skip offset) aborts instead of
-  // reading out of bounds.
-  const uint32_t value = ReadVarByte(list_->bytes_, offset_);
-  current_.local_doc =
-      index_ % kPostingBlock == 0 ? value : current_.local_doc + value;
-  current_.freq = ReadVarByte(list_->bytes_, offset_);
-}
-
-void PostingList::Iterator::Next() {
-  ASUP_DCHECK(Valid());
-  ++index_;
-  if (!Valid()) return;
-  ReadCurrent();
+void PostingList::Iterator::LoadBlock(size_t block) {
+  block_ = block;
+  pos_ = 0;
+  // DecodeBlock is bounds-checked in every build type, so a corrupt skip
+  // offset or payload aborts instead of reading out of bounds.
+  size_t offset = list_->skips_[block].offset;
+  blockcodec::DecodeBlock(list_->bytes_, offset, list_->BlockSize(block),
+                          buffer_);
 }
 
 void PostingList::Iterator::SkipTo(uint32_t target) {
-  if (!Valid() || current_.local_doc >= target) return;
-  // Jump to the last block whose first doc is <= target, if it is ahead.
+  // Forward-only contract (see header): a target at or behind the current
+  // posting leaves the iterator exactly where it is.
+  if (!Valid() || buffer_.docs[pos_] >= target) return;
+  ASUP_CONTRACTS_ONLY(const size_t index_before = index_;)
   const auto& skips = list_->skips_;
-  auto it = std::upper_bound(
-      skips.begin(), skips.end(), target,
-      [](uint32_t value, const Builder::SkipEntry& entry) {
-        return value < entry.doc;
-      });
-  if (it != skips.begin()) {
-    const auto& entry = *(it - 1);
-    if (entry.index > index_) {
-      // Skip entries are builder-produced; their offsets point at block
-      // starts inside bytes_, and ReadCurrent re-validates every byte.
-      index_ = entry.index;
-      offset_ = entry.offset;
-      ReadCurrent();
+  if (skips[block_].last_doc < target) {
+    // First later block that can contain a doc >= target.
+    const auto it = std::lower_bound(
+        skips.begin() + static_cast<ptrdiff_t>(block_) + 1, skips.end(),
+        target, [](const SkipEntry& entry, uint32_t value) {
+          return entry.last_doc < value;
+        });
+    if (it == skips.end()) {
+      index_ = list_->count_;  // exhausted: every doc id is < target
+      return;
     }
+    LoadBlock(static_cast<size_t>(it - skips.begin()));
+    index_ = block_ * kPostingBlock;
   }
-  while (Valid() && current_.local_doc < target) Next();
+  // The block's last doc is >= target, so the in-buffer search must land.
+  const uint32_t* begin = buffer_.docs + pos_;
+  const uint32_t* end = buffer_.docs + buffer_.count;
+  const uint32_t* found = std::lower_bound(begin, end, target);
+  ASUP_DCHECK(found != end);
+  const size_t stepped = static_cast<size_t>(found - begin);
+  pos_ += stepped;
+  index_ += stepped;
+  ASUP_CONTRACTS_ONLY(
+      ASUP_DCHECK(index_ >= index_before);
+      ASUP_DCHECK(!Valid() || buffer_.docs[pos_] >= target);)
 }
 
 std::vector<Posting> PostingList::Decode() const {
   std::vector<Posting> out;
   out.reserve(count_);
-  for (Iterator it(this); it.Valid(); it.Next()) out.push_back(it.Get());
+  blockcodec::DecodedBlock buffer;
+  for (size_t block = 0; block < skips_.size(); ++block) {
+    size_t offset = skips_[block].offset;
+    blockcodec::DecodeBlock(bytes_, offset, BlockSize(block), buffer);
+    for (size_t i = 0; i < buffer.count; ++i) {
+      out.push_back({buffer.docs[i], buffer.freqs[i]});
+    }
+  }
   return out;
 }
 

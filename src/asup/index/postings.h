@@ -5,29 +5,35 @@
 #include <cstdint>
 #include <vector>
 
+#include "asup/index/block_codec.h"
+#include "asup/util/check.h"
+
 namespace asup {
 
-/// One posting: a document (as a dense per-index local id, which preserves
-/// document-id order) and the term's in-document frequency.
-struct Posting {
-  uint32_t local_doc;
-  uint32_t freq;
-
-  friend bool operator==(const Posting& a, const Posting& b) {
-    return a.local_doc == b.local_doc && a.freq == b.freq;
-  }
-};
-
-/// Immutable compressed posting list: ascending local doc ids, delta +
-/// variable-byte encoded in blocks of kPostingBlock postings, frequencies
-/// variable-byte encoded inline. Each block boundary stores the absolute
-/// doc id and a skip entry, so `Iterator::SkipTo` jumps whole blocks —
-/// the standard skip-pointer layout of enterprise search indexes, and what
+/// Immutable block-compressed posting list: ascending local doc ids,
+/// partitioned into fixed-size blocks of kPostingBlock postings, each block
+/// group-varint encoded (see block_codec.h) and fronted by a skip entry
+/// carrying its first/last doc id and byte offset. `Iterator::SkipTo`
+/// binary-searches the skip table and decodes at most one block — the
+/// standard skip-pointer layout of enterprise search indexes, and what
 /// keeps conjunctive intersections of a rare and a common term cheap.
 class PostingList {
  public:
-  /// Postings per skip block.
-  static constexpr uint32_t kPostingBlock = 128;
+  /// Postings per block (and per skip entry).
+  static constexpr uint32_t kPostingBlock =
+      static_cast<uint32_t>(blockcodec::kMaxBlockPostings);
+
+  /// Per-block skip metadata: one entry per block, including the first.
+  struct SkipEntry {
+    uint32_t first_doc;  // local doc id of the block's first posting
+    uint32_t last_doc;   // local doc id of the block's last posting
+    uint32_t offset;     // byte offset of the block's encoding in bytes_
+  };
+
+  /// Exact encoded footprint of one skip entry: three fixed-width 32-bit
+  /// fields. Deliberately *not* sizeof(SkipEntry) — ByteSize() reports the
+  /// format's cost, which must not drift with struct padding or layout.
+  static constexpr size_t kSkipEntryEncodedBytes = 3 * sizeof(uint32_t);
 
   /// Incremental builder; postings must be added in strictly increasing
   /// local doc id order.
@@ -43,47 +49,62 @@ class PostingList {
     size_t size() const { return count_; }
 
    private:
-    friend class PostingList;
-    struct SkipEntry {
-      uint32_t doc;     // first doc id of the block
-      uint32_t offset;  // byte offset of the block start
-      uint32_t index;   // posting index of the block start
-    };
+    /// Encodes the buffered postings as one block.
+    void Flush();
 
     std::vector<uint8_t> bytes_;
     std::vector<SkipEntry> skips_;
+    std::vector<Posting> pending_;
     uint32_t last_doc_ = 0;
     size_t count_ = 0;
   };
 
-  /// Forward iterator over the compressed list.
+  /// Forward iterator over the compressed list. Decodes block-at-a-time
+  /// into an internal buffer; Next() within a block is an array read.
   class Iterator {
    public:
     explicit Iterator(const PostingList* list);
 
     /// True if the iterator points at a posting.
-    bool Valid() const { return index_ < list_->count_; }
+    bool Valid() const { return index_ < count_; }
 
     /// Current posting. Requires Valid().
-    const Posting& Get() const { return current_; }
+    Posting Get() const { return {buffer_.docs[pos_], buffer_.freqs[pos_]}; }
 
-    /// Advances to the next posting.
-    void Next();
+    /// Advances to the next posting. Requires Valid(). Inline: within a
+    /// block this is two increments and two compares; only the per-block
+    /// reload is out of line.
+    void Next() {
+      ASUP_DCHECK(Valid());
+      ++index_;
+      ++pos_;
+      if (index_ < count_ && pos_ == buffer_.count) LoadBlock(block_ + 1);
+    }
 
     /// Advances until Get().local_doc >= target (or exhaustion), jumping
-    /// over whole blocks via the skip entries where possible.
+    /// whole blocks via the skip table where possible.
+    ///
+    /// Contract: SkipTo only ever moves *forward*. A target at or behind
+    /// the current posting's doc id — which multi-way intersections
+    /// legitimately produce when the driving list lags another list — is a
+    /// documented no-op, not an error. Postconditions (ASUP_DCHECKed):
+    /// index() never decreases, and whenever the iterator moved and is
+    /// still Valid(), Get().local_doc >= target.
     void SkipTo(uint32_t target);
 
     /// Index of the current posting within the list.
     size_t index() const { return index_; }
 
    private:
-    void ReadCurrent();
+    /// Decodes block `block` into buffer_ and points pos_ at its start.
+    void LoadBlock(size_t block);
 
     const PostingList* list_;
-    size_t offset_ = 0;
-    size_t index_ = 0;
-    Posting current_{0, 0};
+    size_t count_ = 0;  // cached list_->count_: Valid() is one compare
+    size_t block_ = 0;
+    size_t pos_ = 0;    // position within buffer_
+    size_t index_ = 0;  // global posting index
+    blockcodec::DecodedBlock buffer_;
   };
 
   PostingList() = default;
@@ -93,15 +114,19 @@ class PostingList {
 
   bool empty() const { return count_ == 0; }
 
-  /// Compressed size in bytes (payload + skip entries).
+  /// Compressed size in bytes: encoded payload plus the exact encoded
+  /// footprint of the skip table (kSkipEntryEncodedBytes per block).
   size_t ByteSize() const {
-    return bytes_.size() + skips_.size() * sizeof(Builder::SkipEntry);
+    return bytes_.size() + skips_.size() * kSkipEntryEncodedBytes;
   }
 
-  /// Number of skip entries (one per block after the first).
+  /// Encoded payload bytes only (no skip table).
+  size_t PayloadBytes() const { return bytes_.size(); }
+
+  /// Number of skip entries — one per block, including the first.
   size_t NumSkipEntries() const { return skips_.size(); }
 
-  /// Decodes the full list.
+  /// Decodes the full list, block at a time.
   std::vector<Posting> Decode() const;
 
   Iterator begin() const { return Iterator(this); }
@@ -110,30 +135,18 @@ class PostingList {
   friend class Builder;
   friend class Iterator;
 
+  /// Number of postings in `block` (kPostingBlock except possibly the
+  /// last).
+  size_t BlockSize(size_t block) const {
+    return block + 1 < skips_.size()
+               ? kPostingBlock
+               : count_ - block * kPostingBlock;
+  }
+
   std::vector<uint8_t> bytes_;
-  std::vector<Builder::SkipEntry> skips_;
+  std::vector<SkipEntry> skips_;
   size_t count_ = 0;
 };
-
-/// Appends `value` to `out` in LEB128-style variable-byte encoding.
-void AppendVarByte(uint32_t value, std::vector<uint8_t>& out);
-
-/// Decodes one variable-byte integer starting at `offset`. Returns false —
-/// without ever reading past `bytes.size()` — when the input is truncated
-/// (a continuation byte at the end of `bytes`) or overlong (a fifth payload
-/// byte carrying bits beyond 32, or any sixth byte), which AppendVarByte
-/// never produces. On success stores the value, advances `offset` past the
-/// encoding, and returns true; on failure `offset` is left at the
-/// offending byte.
-bool TryReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset,
-                    uint32_t& value);
-
-/// Decodes one variable-byte integer starting at `offset`, advancing it.
-/// Aborts (in every build type, including plain Release) on truncated or
-/// overlong input: posting bytes are produced in-process by
-/// PostingList::Builder, so a malformed byte stream is memory corruption,
-/// not a recoverable condition. Use TryReadVarByte for untrusted bytes.
-uint32_t ReadVarByte(const std::vector<uint8_t>& bytes, size_t& offset);
 
 }  // namespace asup
 

@@ -5,10 +5,32 @@
 
 #include <gtest/gtest.h>
 
+#include "asup/engine/doc_iterator.h"
+#include "asup/engine/query_node.h"
 #include "asup/text/synthetic_corpus.h"
 
 namespace asup {
 namespace {
+
+// Matching moved out of the index into the engine's iterator algebra; these
+// helpers keep the historical conjunctive-semantics tests (which exercise
+// the *index* as seen through an And-of-terms tree) in their original shape.
+QueryNode AndOf(const std::vector<TermId>& terms) {
+  if (terms.empty()) return QueryNode::MakeEmpty();
+  std::vector<QueryNode> children;
+  children.reserve(terms.size());
+  for (TermId term : terms) children.push_back(QueryNode::Term(term));
+  return QueryNode::And(std::move(children));
+}
+
+std::vector<MatchedDoc> Match(const InvertedIndex& index,
+                              const std::vector<TermId>& terms) {
+  return ExecuteMatch(index, AndOf(terms), terms);
+}
+
+size_t Count(const InvertedIndex& index, const std::vector<TermId>& terms) {
+  return ExecuteCount(index, AndOf(terms));
+}
 
 // Small hand-built corpus mirroring Figure 1 of the paper.
 Corpus FigureOneCorpus() {
@@ -45,7 +67,7 @@ TEST(InvertedIndexTest, SingleTermMatch) {
   Corpus corpus = FigureOneCorpus();
   InvertedIndex index(corpus);
   const TermId linux = *corpus.vocabulary().Lookup("linux");
-  const auto matches = index.ConjunctiveMatch(std::vector<TermId>{linux});
+  const auto matches = Match(index, std::vector<TermId>{linux});
   ASSERT_EQ(matches.size(), 3u);
   // Ascending by id.
   EXPECT_EQ(index.LocalToId(matches[0].local_doc), 1u);
@@ -59,7 +81,7 @@ TEST(InvertedIndexTest, ConjunctiveMatchIntersects) {
   const auto& vocab = corpus.vocabulary();
   const std::vector<TermId> terms{*vocab.Lookup("linux"),
                                   *vocab.Lookup("handbook")};
-  const auto matches = index.ConjunctiveMatch(terms);
+  const auto matches = Match(index, terms);
   ASSERT_EQ(matches.size(), 1u);
   EXPECT_EQ(index.LocalToId(matches[0].local_doc), 3u);
   EXPECT_EQ(matches[0].freqs.size(), 2u);
@@ -70,8 +92,8 @@ TEST(InvertedIndexTest, ConjunctiveMatchIntersects) {
 TEST(InvertedIndexTest, EmptyQueryMatchesNothing) {
   Corpus corpus = FigureOneCorpus();
   InvertedIndex index(corpus);
-  EXPECT_TRUE(index.ConjunctiveMatch({}).empty());
-  EXPECT_EQ(index.MatchCount({}), 0u);
+  EXPECT_TRUE(Match(index, {}).empty());
+  EXPECT_EQ(Count(index, {}), 0u);
 }
 
 TEST(InvertedIndexTest, UnknownTermMatchesNothing) {
@@ -79,7 +101,7 @@ TEST(InvertedIndexTest, UnknownTermMatchesNothing) {
   InvertedIndex index(corpus);
   const TermId kernel = *corpus.vocabulary().Lookup("kernel");
   EXPECT_TRUE(
-      index.ConjunctiveMatch(std::vector<TermId>{kernel, TermId{99}}).empty());
+      Match(index, std::vector<TermId>{kernel, TermId{99}}).empty());
 }
 
 TEST(InvertedIndexTest, DuplicateQueryTerms) {
@@ -87,7 +109,7 @@ TEST(InvertedIndexTest, DuplicateQueryTerms) {
   InvertedIndex index(corpus);
   const TermId linux = *corpus.vocabulary().Lookup("linux");
   const auto matches =
-      index.ConjunctiveMatch(std::vector<TermId>{linux, linux});
+      Match(index, std::vector<TermId>{linux, linux});
   EXPECT_EQ(matches.size(), 3u);
   for (const auto& m : matches) {
     ASSERT_EQ(m.freqs.size(), 2u);
@@ -102,8 +124,8 @@ TEST(InvertedIndexTest, MatchCountAgreesWithMatch) {
   for (const char* w1 : {"linux", "os", "windows", "kernel", "handbook"}) {
     for (const char* w2 : {"linux", "os", "windows", "kernel", "handbook"}) {
       const std::vector<TermId> terms{*vocab.Lookup(w1), *vocab.Lookup(w2)};
-      EXPECT_EQ(index.MatchCount(terms),
-                index.ConjunctiveMatch(terms).size())
+      EXPECT_EQ(Count(index, terms),
+                Match(index, terms).size())
           << w1 << " " << w2;
     }
   }
@@ -167,11 +189,11 @@ TEST_P(IndexAgreementTest, MatchesBruteForceScan) {
     std::sort(expected.begin(), expected.end());
 
     std::vector<DocId> actual;
-    for (const auto& match : index.ConjunctiveMatch(terms)) {
+    for (const auto& match : Match(index, terms)) {
       actual.push_back(index.LocalToId(match.local_doc));
     }
     EXPECT_EQ(actual, expected);
-    EXPECT_EQ(index.MatchCount(terms), expected.size());
+    EXPECT_EQ(Count(index, terms), expected.size());
   }
 }
 

@@ -183,9 +183,11 @@ TEST(PostingListTest, CompressionIsCompactForDenseLists) {
   PostingList::Builder builder;
   for (uint32_t d = 0; d < 10000; ++d) builder.Add(d, 1);
   PostingList list = std::move(builder).Build();
-  // Delta 1 + freq 1 = 2 bytes per posting, plus ~12 bytes of skip entry
-  // and an absolute doc id per 128-posting block.
-  EXPECT_LE(list.ByteSize(), 22000u);
+  // Group-varint: 5 bytes per 4 one-byte values (tag + payload) in each of
+  // the doc and freq streams, i.e. ~2.5 bytes per posting, plus 12 bytes
+  // of skip entry per 128-posting block — the tag-byte density cost the
+  // 4-at-a-time decode buys (DESIGN.md §17).
+  EXPECT_LE(list.ByteSize(), 27000u);
 }
 
 TEST(PostingListTest, SkipEntriesPerBlock) {
@@ -193,7 +195,23 @@ TEST(PostingListTest, SkipEntriesPerBlock) {
   const uint32_t n = PostingList::kPostingBlock * 3 + 10;
   for (uint32_t d = 0; d < n; ++d) builder.Add(d * 2, 1);
   PostingList list = std::move(builder).Build();
-  EXPECT_EQ(list.NumSkipEntries(), 3u);  // one per block after the first
+  EXPECT_EQ(list.NumSkipEntries(), 4u);  // one per block, first included
+}
+
+TEST(PostingListTest, ByteSizeCountsExactEncodedSkipBytes) {
+  // Regression: ByteSize() must charge each skip entry its exact encoded
+  // footprint (three 32-bit fields), not sizeof(SkipEntry) — struct
+  // padding or layout changes must never leak into the reported format
+  // cost (IndexStats::posting_bytes feeds fig15-style tables).
+  static_assert(PostingList::kSkipEntryEncodedBytes == 12);
+  PostingList::Builder builder;
+  const uint32_t n = PostingList::kPostingBlock * 2 + 7;  // 3 blocks
+  for (uint32_t d = 0; d < n; ++d) builder.Add(d * 3, 2);
+  PostingList list = std::move(builder).Build();
+  EXPECT_EQ(list.NumSkipEntries(), 3u);
+  EXPECT_EQ(list.ByteSize(),
+            list.PayloadBytes() +
+                list.NumSkipEntries() * PostingList::kSkipEntryEncodedBytes);
 }
 
 TEST(PostingListTest, SkipToJumpsAcrossBlocks) {

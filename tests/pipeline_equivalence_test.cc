@@ -576,7 +576,9 @@ TEST(PipelineStagesTest, FacetCountProcessorHistogramsTheAnswer) {
   for (size_t i = 0; i < context.facet_buckets.size(); ++i) {
     const auto& [bucket, count] = context.facet_buckets[i];
     EXPECT_EQ(bucket % kBucket, 0u);
-    if (i > 0) EXPECT_GT(bucket, context.facet_buckets[i - 1].first);
+    if (i > 0) {
+      EXPECT_GT(bucket, context.facet_buckets[i - 1].first);
+    }
     EXPECT_EQ(count, manual[bucket]) << "bucket " << bucket;
     total += count;
   }

@@ -67,6 +67,15 @@ Rules (all scoped to src/ unless noted):
                            IndistinguishableSegment::IndexOf, which shares
                            the exact multiply loop with the segment
                            constructor.
+  asup-posting-varbyte     src/asup/index/ outside block_codec.{h,cc}: the
+                           varbyte primitives (AppendVarByte, ReadVarByte,
+                           TryReadVarByte) must not touch posting payload
+                           bytes anywhere but the block codec TU. Posting
+                           payloads are group-varint *blocks*; a stray
+                           scalar-varbyte read silently misparses them (or
+                           reintroduces a second, divergent decoder). Go
+                           through PostingList::Iterator / Decode() or the
+                           blockcodec Encode/TryDecodeBlock entry points.
   asup-raw-assert          validation-critical paths (src/asup/index/,
                            src/asup/suppress/, src/asup/text/,
                            src/asup/engine/, src/asup/eval/): a raw
@@ -136,6 +145,10 @@ OBS_DIRECT_RE = re.compile(
 # same-line log/log quotient in this codebase outside segment.cc.
 LOG_RATIO_RE = re.compile(
     r"\b(?:std::)?log[210]*\s*\(.*?\)\s*/\s*(?:std::)?log[210]*\s*\(")
+# The scalar varbyte primitives of the posting codec; outside the codec TU
+# itself these must not appear anywhere in the index layer.
+POSTING_VARBYTE_RE = re.compile(
+    r"\b(?:AppendVarByte|TryReadVarByte|ReadVarByte)\s*\(")
 LOCKED_DECL_RE = re.compile(
     r"^\s*(?!return\b|throw\b|co_return\b)"
     r"(?:[\w:<>,*&~\[\]]+\s+)+((?:\w+::)*\w*Locked)\s*\(")
@@ -304,6 +317,18 @@ def lint_file(path, rel, findings):
                     "log(x)/log(y) change-of-base arithmetic truncates one "
                     "segment low at exact powers (log(1000)/log(10) < 3); "
                     "use IndistinguishableSegment::IndexOf")
+
+    if "asup/index/" in posix_rel and \
+            not posix_rel.endswith(("block_codec.cc", "block_codec.h")):
+        for lineno, line in enumerate(clean_lines, 1):
+            if POSTING_VARBYTE_RE.search(line) and \
+                    not is_suppressed(lineno, "asup-posting-varbyte"):
+                findings.add(
+                    rel, lineno, "asup-posting-varbyte",
+                    "scalar varbyte call on posting bytes outside the "
+                    "block codec TU; posting payloads are group-varint "
+                    "blocks — use PostingList::Iterator/Decode() or the "
+                    "blockcodec entry points")
 
     check_locked_requires(clean_lines, is_suppressed, rel, findings)
 
